@@ -1,0 +1,179 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! - `pipeline/parse_once` vs `pipeline/parse_per_service`: §3's claim
+//!   that "parsing and code generation are performed only once for all
+//!   static services" matters.
+//! - `proxy/cache_hit` vs `proxy/rewrite`: the rewrite cache's value.
+//! - `security/cache_hit` vs `security/server_query`: the enforcement
+//!   manager's client-side cache.
+//! - `verify/with_env` vs `verify/empty_env`: cost of deferring link
+//!   checks versus discharging them against a signature environment.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parking_lot::Mutex;
+
+use dvm_classfile::ClassFile;
+use dvm_core::{CostModel, Organization, ServiceConfig, StaticServiceStats};
+use dvm_proxy::{Filter, RequestContext};
+use dvm_security::{EnforcementManager, PermissionId, Policy, SecurityId, SecurityServer};
+use dvm_verifier::{MapEnvironment, StaticVerifier};
+use dvm_workload::{figure5_apps, generate};
+
+fn sample_classes() -> Vec<ClassFile> {
+    let spec = figure5_apps().remove(0).scaled(1, 20000);
+    generate(&spec).classes
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let classes = sample_classes();
+    let stats = Arc::new(Mutex::new(StaticServiceStats::default()));
+    let policy = Arc::new(Mutex::new(
+        Policy::parse(dvm_security::policy::example_policy()).unwrap(),
+    ));
+    let sites = Arc::new(Mutex::new(dvm_monitor::SiteTable::new()));
+
+    let make_filters = || -> Vec<Box<dyn Filter>> {
+        vec![
+            Box::new(dvm_core::filters::VerifierFilter::new(
+                StaticVerifier::new(MapEnvironment::with_bootstrap()),
+                stats.clone(),
+            )),
+            Box::new(dvm_core::filters::SecurityFilter::new(
+                policy.clone(),
+                SecurityId(1),
+                stats.clone(),
+            )),
+            Box::new(dvm_core::filters::AuditFilter::new(sites.clone(), stats.clone())),
+        ]
+    };
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    // Parse once: one parse, all filters, one generate.
+    group.bench_function("parse_once", |b| {
+        let filters = make_filters();
+        let bytes: Vec<Vec<u8>> =
+            classes.iter().map(|cf| cf.clone().to_bytes().unwrap()).collect();
+        let ctx = RequestContext::default();
+        b.iter(|| {
+            for raw in &bytes {
+                let mut class = ClassFile::parse(raw).unwrap();
+                for f in &filters {
+                    class = f.apply(class, &ctx).unwrap();
+                }
+                std::hint::black_box(class.to_bytes().unwrap());
+            }
+        });
+    });
+    // Parse per service: each filter parses and regenerates (the naive
+    // service decomposition §2 warns about).
+    group.bench_function("parse_per_service", |b| {
+        let filters = make_filters();
+        let bytes: Vec<Vec<u8>> =
+            classes.iter().map(|cf| cf.clone().to_bytes().unwrap()).collect();
+        let ctx = RequestContext::default();
+        b.iter(|| {
+            for raw in &bytes {
+                let mut raw = raw.clone();
+                for f in &filters {
+                    let class = ClassFile::parse(&raw).unwrap();
+                    let mut out = f.apply(class, &ctx).unwrap();
+                    raw = out.to_bytes().unwrap();
+                }
+                std::hint::black_box(raw);
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_proxy_cache(c: &mut Criterion) {
+    let classes = sample_classes();
+    let policy = Policy::parse(dvm_security::policy::example_policy()).unwrap();
+    let name = classes[1].name().unwrap().to_owned();
+    let url = format!("class://{name}");
+    let ctx = RequestContext { principal: "applets".into(), ..Default::default() };
+
+    let mut group = c.benchmark_group("proxy");
+    group.sample_size(20);
+    group.bench_function("cache_hit", |b| {
+        let org = Organization::new(
+            &classes,
+            policy.clone(),
+            ServiceConfig::dvm(),
+            CostModel::default(),
+        )
+        .unwrap();
+        org.proxy.handle_request(&url, &ctx).unwrap(); // warm
+        b.iter(|| std::hint::black_box(org.proxy.handle_request(&url, &ctx).unwrap()));
+    });
+    group.bench_function("rewrite", |b| {
+        let mut config = ServiceConfig::dvm();
+        config.caching = false;
+        let org =
+            Organization::new(&classes, policy.clone(), config, CostModel::default()).unwrap();
+        b.iter(|| std::hint::black_box(org.proxy.handle_request(&url, &ctx).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_security_cache(c: &mut Criterion) {
+    let policy = Policy::parse(dvm_security::policy::example_policy()).unwrap();
+    let sid = policy.principals["applets"];
+    let perm = policy.permissions["file.read"];
+
+    let mut group = c.benchmark_group("security");
+    group.bench_function("cache_hit", |b| {
+        let server = Arc::new(Mutex::new(SecurityServer::new(policy.clone())));
+        let mut em = EnforcementManager::register(server);
+        em.check(sid, perm); // warm
+        b.iter(|| std::hint::black_box(em.check(sid, perm)));
+    });
+    group.bench_function("server_query", |b| {
+        let server = Arc::new(Mutex::new(SecurityServer::new(policy.clone())));
+        b.iter(|| {
+            // A fresh query each time (bypasses the client cache by asking
+            // the server directly, as a cache-less client would).
+            std::hint::black_box(server.lock().query(sid, PermissionId(perm.0)))
+        });
+    });
+    group.finish();
+}
+
+fn bench_verifier_env(c: &mut Criterion) {
+    let classes = sample_classes();
+    let mut group = c.benchmark_group("verify");
+    group.sample_size(10);
+    group.bench_function("with_env", |b| {
+        let mut env = MapEnvironment::with_bootstrap();
+        for cf in &classes {
+            env.add(cf);
+        }
+        let v = StaticVerifier::new(env);
+        b.iter(|| {
+            for cf in &classes {
+                std::hint::black_box(v.verify(cf.clone()).unwrap());
+            }
+        });
+    });
+    group.bench_function("empty_env", |b| {
+        let v = StaticVerifier::new(MapEnvironment::new());
+        b.iter(|| {
+            for cf in &classes {
+                std::hint::black_box(v.verify(cf.clone()).unwrap());
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pipeline,
+    bench_proxy_cache,
+    bench_security_cache,
+    bench_verifier_env
+);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 11: application start-up time as a function of network
+//! bandwidth.
+//!
+//! Startup time (first invocation until the application can process user
+//! requests) for the six graphical applications over links from
+//! 28.8 Kb/s wireless to 1 MB/s, under Java's class-granularity lazy
+//! loading (the §5 baseline).
+
+use dvm_bench::fig11::{app_profile, bandwidth_sweep};
+use dvm_bench::Table;
+use dvm_netsim::presets;
+use dvm_optimizer::{startup_time, Strategy};
+use dvm_workload::{figure11_apps, generate};
+
+fn main() {
+    println!("Figure 11: start-up time vs bandwidth (seconds, class-lazy loading)\n");
+    let apps: Vec<_> = figure11_apps()
+        .into_iter()
+        .map(|spec| {
+            let app = generate(&spec);
+            let profile = app_profile(&app);
+            (spec.name.clone(), profile)
+        })
+        .collect();
+
+    let mut headers: Vec<&str> = vec!["KB/s"];
+    let names: Vec<String> = apps.iter().map(|(n, _)| n.clone()).collect();
+    for n in &names {
+        headers.push(n);
+    }
+    let mut t = Table::new(&headers);
+    for bw in bandwidth_sweep() {
+        let link = presets::sweep_link(bw);
+        let mut row = vec![format!("{:.1}", bw as f64 / 1000.0)];
+        for (_, profile) in &apps {
+            let s = startup_time(profile, Strategy::LazyClass, &link);
+            row.push(format!("{:.1}", s.as_secs_f64()));
+        }
+        t.row(&row);
+    }
+    t.print();
+    println!("\nShape: startup is transfer-dominated below ~1 Mb/s; the largest");
+    println!("application (hotjava) takes minutes at 28.8 Kb/s (paper Figure 11).");
+}

@@ -1,0 +1,42 @@
+//! Figure 5: the benchmark application inventory.
+//!
+//! Prints the paper's table next to the generated equivalents' actual
+//! sizes and class counts.
+
+use dvm_bench::Table;
+use dvm_workload::{figure5_apps, generate, WorkKind};
+
+fn description(kind: WorkKind) -> &'static str {
+    match kind {
+        WorkKind::Lexer => "Lexical analyzer generator",
+        WorkKind::Parser => "LALR parser compiler",
+        WorkKind::Compiler => "Bytecode to native compiler",
+        WorkKind::Database => "Relational database (TPC-A like workload)",
+        WorkKind::Constraint => "Constraint satisfier",
+        WorkKind::Gui => "Graphical application",
+    }
+}
+
+fn main() {
+    println!("Figure 5: benchmark applications (paper inventory vs generated)\n");
+    let mut t = Table::new(&[
+        "Name",
+        "Paper size",
+        "Paper classes",
+        "Generated size",
+        "Generated classes",
+        "Description",
+    ]);
+    for spec in figure5_apps() {
+        let app = generate(&spec);
+        t.row(&[
+            spec.name.clone(),
+            format!("{}K", spec.target_bytes / 1024),
+            spec.class_count.to_string(),
+            format!("{}K", app.total_bytes() / 1024),
+            (app.classes.len() - 1).to_string(),
+            description(spec.kind).to_string(),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,74 @@
+//! Shared pieces of the Figure 11/12 startup-time experiments.
+
+use dvm_optimizer::{AppProfile, ClassProfile, MethodProfile};
+use dvm_workload::{Disposition, GeneratedApp};
+
+/// Builds the transfer profile of a generated application from its real
+/// class files and its ground-truth method dispositions (which the §5
+/// profiling service observes in practice; `dvm-core`'s architecture
+/// tests validate that profiled first-use matches this ground truth).
+pub fn app_profile(app: &GeneratedApp) -> AppProfile {
+    let mut classes = Vec::new();
+    for cf in &app.classes {
+        let mut cf2 = cf.clone();
+        let name = cf2.name().expect("name").to_owned();
+        let total = cf2.to_bytes().map(|b| b.len()).unwrap_or(0) as u64;
+        let mut methods = Vec::new();
+        let mut method_bytes = 0u64;
+        for m in &cf.methods {
+            let mname = m.name(&cf.pool).unwrap_or("?").to_owned();
+            let size = m.code().map(|c| c.code.len() as u64 + 40).unwrap_or(16);
+            method_bytes += size;
+            let disposition = app
+                .truth
+                .iter()
+                .find(|(c, mm, _)| c == &name && mm == &mname)
+                .map(|(_, _, d)| *d)
+                .unwrap_or(Disposition::Core);
+            let (startup, ever) = match disposition {
+                Disposition::Startup | Disposition::Core => (true, true),
+                Disposition::Interactive => (false, true),
+                Disposition::Dead => (false, false),
+            };
+            methods.push(MethodProfile {
+                name: mname,
+                size,
+                used_at_startup: startup,
+                used_ever: ever,
+            });
+        }
+        classes.push(ClassProfile {
+            name,
+            methods,
+            overhead_bytes: total.saturating_sub(method_bytes),
+        });
+    }
+    AppProfile { name: app.spec.name.clone(), classes }
+}
+
+/// The bandwidth sweep (bytes/second) used by Figures 11 and 12: from the
+/// paper's 28.8 Kb/s wireless links up to 1 MB/s.
+pub fn bandwidth_sweep() -> Vec<u64> {
+    vec![3_600, 7_200, 14_400, 28_800, 57_600, 125_000, 250_000, 500_000, 1_000_000]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvm_workload::{figure11_apps, generate};
+
+    #[test]
+    fn profile_covers_every_class_with_sane_sizes() {
+        let spec = figure11_apps().pop().unwrap(); // animatedui, smallest
+        let app = generate(&spec.scaled(1, 50));
+        let profile = app_profile(&app);
+        assert_eq!(profile.classes.len(), app.classes.len());
+        let total = profile.total_bytes();
+        let actual = app.total_bytes() as u64;
+        let ratio = total as f64 / actual as f64;
+        assert!((0.9..1.1).contains(&ratio), "profile {total} vs actual {actual}");
+        // The paper's 10-30% dead-code observation holds.
+        let dead = profile.dead_fraction();
+        assert!((0.05..0.5).contains(&dead), "dead fraction {dead}");
+    }
+}

@@ -1,0 +1,308 @@
+//! The Figure 9 security microbenchmarks.
+//!
+//! Four operations: GetProperty, OpenFile, ChangeThreadPriority, ReadFile.
+//! Each is measured as a one-shot static method under three service
+//! architectures: no checking (baseline), monolithic JDK-style stack
+//! introspection (built into the library at anticipated sites; file read
+//! is *not* anticipated — "N/A"), and the DVM enforcement manager
+//! (injected checks, first call downloads the policy portion).
+
+use dvm_bytecode::Asm;
+use dvm_classfile::{AccessFlags, Attribute, ClassBuilder, ClassFile, MemberInfo};
+use dvm_core::{CostModel, MonolithicClient, Organization, ServiceConfig};
+use dvm_jvm::{Completion, MapProvider, Vm};
+use dvm_netsim::SimTime;
+
+use crate::runners::experiment_policy;
+
+/// The benchmarked operations, in the paper's row order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MicroOp {
+    /// `System.getProperty("os.name")`.
+    GetProperty,
+    /// `new FileInputStream(path)` + close.
+    OpenFile,
+    /// `Thread.currentThread().setPriority(5)`.
+    ChangeThreadPriority,
+    /// One `FileInputStream.read()` from an open stream.
+    ReadFile,
+}
+
+impl MicroOp {
+    /// All rows, in paper order.
+    pub fn all() -> [MicroOp; 4] {
+        [
+            MicroOp::GetProperty,
+            MicroOp::OpenFile,
+            MicroOp::ChangeThreadPriority,
+            MicroOp::ReadFile,
+        ]
+    }
+
+    /// Display label matching the paper's table.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MicroOp::GetProperty => "Get Property",
+            MicroOp::OpenFile => "Open File",
+            MicroOp::ChangeThreadPriority => "Change Thread Priority",
+            MicroOp::ReadFile => "Read File",
+        }
+    }
+}
+
+/// One row of measurements (milliseconds, as in the paper's table).
+#[derive(Debug, Clone, Copy)]
+pub struct MicroRow {
+    /// Unchecked operation latency.
+    pub baseline_ms: f64,
+    /// JDK-checked latency, or `None` when the JDK has no check (N/A).
+    pub jdk_check_ms: Option<f64>,
+    /// DVM first check (includes the policy download).
+    pub dvm_download_ms: f64,
+    /// DVM steady-state checked latency.
+    pub dvm_check_ms: f64,
+}
+
+impl MicroRow {
+    /// JDK overhead over baseline.
+    pub fn jdk_overhead_ms(&self) -> Option<f64> {
+        self.jdk_check_ms.map(|c| c - self.baseline_ms)
+    }
+
+    /// DVM steady-state overhead over baseline.
+    pub fn dvm_overhead_ms(&self) -> f64 {
+        self.dvm_check_ms - self.baseline_ms
+    }
+}
+
+/// Builds the microbenchmark class: one `op()V` method per operation plus
+/// an open stream for `ReadFile`.
+pub fn microbench_class(op: MicroOp) -> ClassFile {
+    let mut cf = ClassBuilder::new("bench/Micro").build();
+    match op {
+        MicroOp::GetProperty => {
+            let getprop = cf
+                .pool
+                .methodref(
+                    "java/lang/System",
+                    "getProperty",
+                    "(Ljava/lang/String;)Ljava/lang/String;",
+                )
+                .unwrap();
+            let key = cf.pool.string("os.name").unwrap();
+            let mut a = Asm::new(0);
+            a.ldc(key).invokestatic(getprop).pop().ret();
+            push(&mut cf, "op", a);
+        }
+        MicroOp::OpenFile => {
+            let fis = cf.pool.class("java/io/FileInputStream").unwrap();
+            let init = cf
+                .pool
+                .methodref("java/io/FileInputStream", "<init>", "(Ljava/lang/String;)V")
+                .unwrap();
+            let close = cf.pool.methodref("java/io/FileInputStream", "close", "()V").unwrap();
+            let path = cf.pool.string("/data/bench").unwrap();
+            let mut a = Asm::new(1);
+            a.new_object(fis).dup().ldc(path).invokespecial(init);
+            a.astore(0).aload(0).invokevirtual(close).ret();
+            push(&mut cf, "op", a);
+        }
+        MicroOp::ChangeThreadPriority => {
+            let current = cf
+                .pool
+                .methodref("java/lang/Thread", "currentThread", "()Ljava/lang/Thread;")
+                .unwrap();
+            let set = cf.pool.methodref("java/lang/Thread", "setPriority", "(I)V").unwrap();
+            let mut a = Asm::new(0);
+            a.invokestatic(current).iconst(5).invokevirtual(set).ret();
+            push(&mut cf, "op", a);
+        }
+        MicroOp::ReadFile => {
+            // static FileInputStream IN; <clinit> opens it; op() reads one
+            // byte.
+            let ni = cf.pool.utf8("IN").unwrap();
+            let di = cf.pool.utf8("Ljava/io/FileInputStream;").unwrap();
+            cf.fields.push(MemberInfo {
+                access: AccessFlags::STATIC,
+                name_index: ni,
+                descriptor_index: di,
+                attributes: vec![],
+            });
+            let field = cf
+                .pool
+                .fieldref("bench/Micro", "IN", "Ljava/io/FileInputStream;")
+                .unwrap();
+            let fis = cf.pool.class("java/io/FileInputStream").unwrap();
+            let init = cf
+                .pool
+                .methodref("java/io/FileInputStream", "<init>", "(Ljava/lang/String;)V")
+                .unwrap();
+            let path = cf.pool.string("/data/bench").unwrap();
+            let mut a = Asm::new(0);
+            a.new_object(fis).dup().ldc(path).invokespecial(init).putstatic(field).ret();
+            push_named(&mut cf, "<clinit>", AccessFlags::STATIC, a);
+            let read = cf.pool.methodref("java/io/FileInputStream", "read", "()I").unwrap();
+            let mut a = Asm::new(0);
+            a.getstatic(field).invokevirtual(read).pop().ret();
+            push(&mut cf, "op", a);
+        }
+    }
+    cf
+}
+
+fn push(cf: &mut ClassFile, name: &str, a: Asm) {
+    push_named(cf, name, AccessFlags::PUBLIC | AccessFlags::STATIC, a);
+}
+
+fn push_named(cf: &mut ClassFile, name: &str, access: AccessFlags, a: Asm) {
+    let attr = a.finish().unwrap().encode(&cf.pool).unwrap();
+    let n = cf.pool.utf8(name).unwrap();
+    let d = cf.pool.utf8("()V").unwrap();
+    cf.methods.push(MemberInfo {
+        access,
+        name_index: n,
+        descriptor_index: d,
+        attributes: vec![Attribute::Code(attr)],
+    });
+}
+
+const BENCH_FILE: &str = "/data/bench";
+
+fn ms(cost: &CostModel, cycles: u64) -> f64 {
+    cost.cpu.time_for(cycles).as_millis_f64()
+}
+
+fn one_call(vm: &mut Vm) -> u64 {
+    let before = vm.stats.cycles;
+    match vm.run_static("bench/Micro", "op", "()V", vec![]) {
+        Ok(Completion::Normal(_)) => {}
+        Ok(Completion::Exception(e)) => {
+            let info = vm.exception_message(e);
+            panic!("microbench threw: {info:?}");
+        }
+        Err(e) => panic!("microbench failed: {e}"),
+    }
+    vm.stats.cycles - before
+}
+
+/// Measures one operation under all three architectures.
+pub fn measure(op: MicroOp) -> MicroRow {
+    let cost = CostModel::default();
+    let cf = microbench_class(op);
+
+    // Baseline: a bare VM, no services, no built-in checks.
+    let baseline_cycles = {
+        let mut provider = MapProvider::new();
+        let mut c = cf.clone();
+        provider.insert_class(&mut c).unwrap();
+        let mut vm = Vm::new(Box::new(provider)).unwrap();
+        vm.add_file(BENCH_FILE, vec![7; 4096]);
+        one_call(&mut vm); // warm (loads class, runs <clinit>)
+        one_call(&mut vm)
+    };
+
+    // JDK: monolithic client with anticipated built-in checks.
+    let jdk_cycles = {
+        let mut client = MonolithicClient::new(std::slice::from_ref(&cf), cost).unwrap();
+        client.vm.add_file(BENCH_FILE, vec![7; 4096]);
+        let warm_checks = {
+            one_call(&mut client.vm);
+            client.vm.stats.security_checks
+        };
+        let before_checks = client.vm.stats.security_checks;
+        let cycles = one_call(&mut client.vm);
+        let checked = client.vm.stats.security_checks > before_checks;
+        let _ = warm_checks;
+        if checked {
+            Some(cycles)
+        } else {
+            None // the JDK has no check at this site (Figure 9's N/A)
+        }
+    };
+
+    // DVM: organization client running the rewritten code.
+    let (dvm_download_cycles, dvm_cycles) = {
+        let org = Organization::new(
+            &[cf],
+            experiment_policy(),
+            ServiceConfig::dvm(),
+            cost,
+        )
+        .unwrap();
+        let mut client = org.client("bench", "applets").unwrap();
+        client.vm.add_file(BENCH_FILE, vec![7; 4096]);
+        // First call: class fetch + rewrite + policy download. Isolate the
+        // download by preloading the class via a dry run of <clinit> — the
+        // first op() call still pays the enforcement manager's download.
+        let first = one_call(&mut client.vm);
+        let steady = one_call(&mut client.vm);
+        (first, steady)
+    };
+
+    MicroRow {
+        baseline_ms: ms(&cost, baseline_cycles),
+        jdk_check_ms: jdk_cycles.map(|c| ms(&cost, c)),
+        dvm_download_ms: ms(&cost, dvm_download_cycles),
+        dvm_check_ms: ms(&cost, dvm_cycles),
+    }
+}
+
+/// Runs the whole table.
+pub fn run_all() -> Vec<(MicroOp, MicroRow)> {
+    MicroOp::all().into_iter().map(|op| (op, measure(op))).collect()
+}
+
+/// Formats milliseconds like the paper (4 significant-ish decimals).
+pub fn fmt_ms(v: f64) -> String {
+    if v >= 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Formats the simulated time for diagnostics.
+pub fn fmt_time(t: SimTime) -> String {
+    fmt_ms(t.as_millis_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure9_shape_holds() {
+        let rows = run_all();
+        let get = |op: MicroOp| rows.iter().find(|(o, _)| *o == op).unwrap().1;
+
+        let gp = get(MicroOp::GetProperty);
+        let of = get(MicroOp::OpenFile);
+        let tp = get(MicroOp::ChangeThreadPriority);
+        let rf = get(MicroOp::ReadFile);
+
+        // The JDK checks the three anticipated operations but not reads.
+        assert!(gp.jdk_check_ms.is_some());
+        assert!(of.jdk_check_ms.is_some());
+        assert!(tp.jdk_check_ms.is_some());
+        assert!(rf.jdk_check_ms.is_none(), "file read must be N/A in the JDK model");
+
+        // The DVM checks everything, including reads.
+        assert!(rf.dvm_overhead_ms() > 0.0);
+
+        // First DVM check pays the ~5 ms policy download.
+        assert!(gp.dvm_download_ms > 4.0, "download {}", gp.dvm_download_ms);
+
+        // GetProperty: DVM steady state beats the JDK's stack walk.
+        assert!(
+            gp.dvm_overhead_ms() < gp.jdk_overhead_ms().unwrap(),
+            "dvm {} vs jdk {:?}",
+            gp.dvm_overhead_ms(),
+            gp.jdk_overhead_ms()
+        );
+
+        // OpenFile: the JDK's policy-file machinery makes the DVM look
+        // dramatically better (paper: 300×; require at least 50×).
+        let ratio = of.jdk_overhead_ms().unwrap() / of.dvm_overhead_ms();
+        assert!(ratio > 50.0, "open-file overhead ratio only {ratio}");
+    }
+}

@@ -1,0 +1,14 @@
+//! Shared infrastructure for the experiment harness.
+//!
+//! One `repro_*` binary exists per table and figure of the paper's
+//! evaluation (see DESIGN.md §4); this library holds the pieces they
+//! share: table rendering, the Figure 9 microbenchmark programs, and the
+//! standard experiment runners.
+
+pub mod fig11;
+pub mod fig9;
+pub mod runners;
+pub mod table;
+
+pub use runners::{run_dvm, run_dvm_cached_pair, run_monolithic, ExperimentScale};
+pub use table::Table;

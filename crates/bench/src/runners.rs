@@ -1,0 +1,96 @@
+//! Standard experiment runners shared by the `repro_*` binaries.
+
+use dvm_core::{CostModel, MonolithicClient, MonolithicReport, Organization, RunReport, ServiceConfig};
+use dvm_security::{policy::example_policy, Policy};
+use dvm_workload::{generate, AppSpec, GeneratedApp};
+
+/// Workload scale, settable from the command line (`--quick` for CI-speed
+/// runs, default for paper-shaped magnitudes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentScale {
+    /// Fast: iterations divided by 50.
+    Quick,
+    /// Full default scale.
+    Full,
+}
+
+impl ExperimentScale {
+    /// Reads the scale from process arguments.
+    pub fn from_args() -> ExperimentScale {
+        if std::env::args().any(|a| a == "--quick") {
+            ExperimentScale::Quick
+        } else {
+            ExperimentScale::Full
+        }
+    }
+
+    /// Applies the scale to a specification.
+    pub fn apply(&self, spec: &AppSpec) -> AppSpec {
+        match self {
+            ExperimentScale::Quick => spec.scaled(1, 2000),
+            ExperimentScale::Full => spec.clone(),
+        }
+    }
+}
+
+/// The standard policy used by the experiments (forces the services to
+/// parse every class and examine every instruction, as in §4.1).
+pub fn experiment_policy() -> Policy {
+    Policy::parse(example_policy()).expect("example policy parses")
+}
+
+/// Runs `app` on a monolithic client.
+pub fn run_monolithic(app: &GeneratedApp) -> MonolithicReport {
+    let mut client =
+        MonolithicClient::new(&app.classes, CostModel::default()).expect("client builds");
+    client.run_main(&app.main_class).expect("runs")
+}
+
+/// Runs `app` on a fresh DVM organization (uncached first execution).
+pub fn run_dvm(app: &GeneratedApp) -> RunReport {
+    let org = Organization::new(
+        &app.classes,
+        experiment_policy(),
+        ServiceConfig::dvm(),
+        CostModel::default(),
+    )
+    .expect("organization builds");
+    let mut client = org.client("bench", "applets").expect("client builds");
+    client.run_main(&app.main_class).expect("runs")
+}
+
+/// Runs `app` twice on one organization: returns `(uncached, cached)`
+/// reports (the cached run is a second client hitting the proxy cache).
+pub fn run_dvm_cached_pair(app: &GeneratedApp) -> (RunReport, RunReport) {
+    let org = Organization::new(
+        &app.classes,
+        experiment_policy(),
+        ServiceConfig::dvm(),
+        CostModel::default(),
+    )
+    .expect("organization builds");
+    let mut first = org.client("bench1", "applets").expect("client builds");
+    let r1 = first.run_main(&app.main_class).expect("runs");
+    let mut second = org.client("bench2", "applets").expect("client builds");
+    let r2 = second.run_main(&app.main_class).expect("runs");
+    (r1, r2)
+}
+
+/// Generates an app at the given scale.
+pub fn generate_scaled(spec: &AppSpec, scale: ExperimentScale) -> GeneratedApp {
+    generate(&scale.apply(spec))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvm_workload::figure5_apps;
+
+    #[test]
+    fn cached_pair_is_faster_second_time() {
+        let spec = figure5_apps().remove(0).scaled(1, 20000);
+        let app = generate(&spec);
+        let (first, second) = run_dvm_cached_pair(&app);
+        assert!(second.total_time < first.total_time);
+    }
+}

@@ -1,0 +1,498 @@
+//! A label-based assembler for synthesizing method bodies.
+//!
+//! The workload generator and the rewriting services build injected code
+//! with this API instead of hand-counting instruction indices:
+//!
+//! ```
+//! use dvm_bytecode::asm::Asm;
+//! use dvm_bytecode::insn::{ICond, Kind};
+//! use dvm_classfile::pool::ConstPool;
+//!
+//! let mut pool = ConstPool::new();
+//! let mut a = Asm::new(2);
+//! let loop_top = a.new_label();
+//! let done = a.new_label();
+//! a.iconst(0).istore(1);
+//! a.place(loop_top);
+//! a.iload(1).iconst(10).if_icmp(ICond::Ge, done);
+//! a.iinc(1, 1).goto(loop_top);
+//! a.place(done);
+//! a.iload(1).ret_val(Kind::Int);
+//! let code = a.finish().unwrap();
+//! assert!(code.encode(&pool).is_ok());
+//! ```
+
+use std::collections::HashMap;
+
+use crate::code::{Code, Handler};
+use crate::error::{BytecodeError, Result};
+use crate::insn::{AKind, ArithOp, ICond, Insn, Kind, LogicOp, NumKind, NumType, ShiftOp};
+
+/// An opaque forward-referencable code label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// The assembler. Emits [`Insn`] values and resolves labels to instruction
+/// indices when finished.
+#[derive(Debug, Default)]
+pub struct Asm {
+    insns: Vec<Insn>,
+    // Instruction emitted with a label target carries usize::MAX - label id;
+    // resolved in finish(). Tracked separately for clarity:
+    pending: Vec<(usize, Label)>, // (insn index, label), applied via map_targets
+    placed: HashMap<Label, usize>,
+    next_label: usize,
+    handlers: Vec<(Label, Label, Label, u16)>,
+    max_locals: u16,
+}
+
+impl Asm {
+    /// Creates an assembler for a body with `max_locals` local slots.
+    pub fn new(max_locals: u16) -> Asm {
+        Asm { max_locals, ..Asm::default() }
+    }
+
+    /// Allocates a fresh, unplaced label.
+    pub fn new_label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Binds `label` to the next instruction to be emitted.
+    pub fn place(&mut self, label: Label) -> &mut Self {
+        self.placed.insert(label, self.insns.len());
+        self
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Returns `true` when no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Raises `max_locals` to at least `n`.
+    pub fn reserve_locals(&mut self, n: u16) -> &mut Self {
+        self.max_locals = self.max_locals.max(n);
+        self
+    }
+
+    /// Emits an arbitrary instruction (with already-resolved targets).
+    pub fn raw(&mut self, insn: Insn) -> &mut Self {
+        self.insns.push(insn);
+        self
+    }
+
+    fn branch(&mut self, insn: Insn, label: Label) -> &mut Self {
+        self.pending.push((self.insns.len(), label));
+        self.insns.push(insn);
+        self
+    }
+
+    // ---- Constants ----
+
+    /// Pushes an `int` constant (chooses the shortest form; values outside
+    /// `i16` must be loaded via `ldc` from the pool instead).
+    pub fn iconst(&mut self, v: i32) -> &mut Self {
+        self.raw(Insn::IConst(v))
+    }
+
+    /// Pushes `null`.
+    pub fn aconst_null(&mut self) -> &mut Self {
+        self.raw(Insn::AConstNull)
+    }
+
+    /// Pushes a constant-pool entry (`ldc`).
+    pub fn ldc(&mut self, index: u16) -> &mut Self {
+        self.raw(Insn::Ldc(index))
+    }
+
+    /// Pushes a two-slot constant-pool entry (`ldc2_w`).
+    pub fn ldc2(&mut self, index: u16) -> &mut Self {
+        self.raw(Insn::Ldc2(index))
+    }
+
+    /// Pushes `lconst_0`/`lconst_1`.
+    pub fn lconst(&mut self, v: i64) -> &mut Self {
+        self.raw(Insn::LConst(v))
+    }
+
+    // ---- Locals ----
+
+    /// Loads an `int` local.
+    pub fn iload(&mut self, slot: u16) -> &mut Self {
+        self.raw(Insn::Load(Kind::Int, slot))
+    }
+
+    /// Stores an `int` local.
+    pub fn istore(&mut self, slot: u16) -> &mut Self {
+        self.raw(Insn::Store(Kind::Int, slot))
+    }
+
+    /// Loads a reference local.
+    pub fn aload(&mut self, slot: u16) -> &mut Self {
+        self.raw(Insn::Load(Kind::Ref, slot))
+    }
+
+    /// Stores a reference local.
+    pub fn astore(&mut self, slot: u16) -> &mut Self {
+        self.raw(Insn::Store(Kind::Ref, slot))
+    }
+
+    /// Loads a `long` local.
+    pub fn lload(&mut self, slot: u16) -> &mut Self {
+        self.raw(Insn::Load(Kind::Long, slot))
+    }
+
+    /// Stores a `long` local.
+    pub fn lstore(&mut self, slot: u16) -> &mut Self {
+        self.raw(Insn::Store(Kind::Long, slot))
+    }
+
+    /// Typed local load.
+    pub fn load(&mut self, kind: Kind, slot: u16) -> &mut Self {
+        self.raw(Insn::Load(kind, slot))
+    }
+
+    /// Typed local store.
+    pub fn store(&mut self, kind: Kind, slot: u16) -> &mut Self {
+        self.raw(Insn::Store(kind, slot))
+    }
+
+    /// `iinc slot, delta`.
+    pub fn iinc(&mut self, slot: u16, delta: i16) -> &mut Self {
+        self.raw(Insn::IInc(slot, delta))
+    }
+
+    // ---- Arrays ----
+
+    /// Array element load.
+    pub fn array_load(&mut self, kind: AKind) -> &mut Self {
+        self.raw(Insn::ArrayLoad(kind))
+    }
+
+    /// Array element store.
+    pub fn array_store(&mut self, kind: AKind) -> &mut Self {
+        self.raw(Insn::ArrayStore(kind))
+    }
+
+    /// `newarray` of a primitive kind.
+    pub fn newarray(&mut self, kind: AKind) -> &mut Self {
+        self.raw(Insn::NewArray(kind))
+    }
+
+    /// `anewarray` of a pool class.
+    pub fn anewarray(&mut self, class_index: u16) -> &mut Self {
+        self.raw(Insn::ANewArray(class_index))
+    }
+
+    /// `arraylength`.
+    pub fn arraylength(&mut self) -> &mut Self {
+        self.raw(Insn::ArrayLength)
+    }
+
+    // ---- Stack ----
+
+    /// `dup`.
+    pub fn dup(&mut self) -> &mut Self {
+        self.raw(Insn::Dup)
+    }
+
+    /// `pop`.
+    pub fn pop(&mut self) -> &mut Self {
+        self.raw(Insn::Pop)
+    }
+
+    /// `swap`.
+    pub fn swap(&mut self) -> &mut Self {
+        self.raw(Insn::Swap)
+    }
+
+    // ---- Arithmetic ----
+
+    /// Typed arithmetic.
+    pub fn arith(&mut self, kind: NumKind, op: ArithOp) -> &mut Self {
+        self.raw(Insn::Arith(kind, op))
+    }
+
+    /// `iadd`.
+    pub fn iadd(&mut self) -> &mut Self {
+        self.arith(NumKind::Int, ArithOp::Add)
+    }
+
+    /// `isub`.
+    pub fn isub(&mut self) -> &mut Self {
+        self.arith(NumKind::Int, ArithOp::Sub)
+    }
+
+    /// `imul`.
+    pub fn imul(&mut self) -> &mut Self {
+        self.arith(NumKind::Int, ArithOp::Mul)
+    }
+
+    /// `irem`.
+    pub fn irem(&mut self) -> &mut Self {
+        self.arith(NumKind::Int, ArithOp::Rem)
+    }
+
+    /// Typed shift.
+    pub fn shift(&mut self, kind: NumKind, op: ShiftOp) -> &mut Self {
+        self.raw(Insn::Shift(kind, op))
+    }
+
+    /// Typed bitwise logic.
+    pub fn logic(&mut self, kind: NumKind, op: LogicOp) -> &mut Self {
+        self.raw(Insn::Logic(kind, op))
+    }
+
+    /// Numeric conversion.
+    pub fn convert(&mut self, from: NumType, to: NumType) -> &mut Self {
+        self.raw(Insn::Convert(from, to))
+    }
+
+    // ---- Control flow ----
+
+    /// Conditional branch against zero.
+    pub fn if_(&mut self, cond: ICond, target: Label) -> &mut Self {
+        self.branch(Insn::If(cond, usize::MAX), target)
+    }
+
+    /// Conditional branch comparing two ints.
+    pub fn if_icmp(&mut self, cond: ICond, target: Label) -> &mut Self {
+        self.branch(Insn::IfICmp(cond, usize::MAX), target)
+    }
+
+    /// Branch when two references are equal (`eq = true`) or unequal.
+    pub fn if_acmp(&mut self, eq: bool, target: Label) -> &mut Self {
+        self.branch(Insn::IfACmp(eq, usize::MAX), target)
+    }
+
+    /// Branch when the reference on top of the stack is null.
+    pub fn if_null(&mut self, target: Label) -> &mut Self {
+        self.branch(Insn::IfNull(usize::MAX), target)
+    }
+
+    /// Branch when the reference on top of the stack is not null.
+    pub fn if_nonnull(&mut self, target: Label) -> &mut Self {
+        self.branch(Insn::IfNonNull(usize::MAX), target)
+    }
+
+    /// Unconditional branch.
+    pub fn goto(&mut self, target: Label) -> &mut Self {
+        self.branch(Insn::Goto(usize::MAX), target)
+    }
+
+    /// `tableswitch` over labels for keys `low..`.
+    pub fn tableswitch(&mut self, low: i32, targets: &[Label], default: Label) -> &mut Self {
+        let idx = self.insns.len();
+        // Labels are queued positionally — default first, then the arms —
+        // matching the order map_targets visits the slots during finish().
+        self.pending.push((idx, default));
+        for l in targets {
+            self.pending.push((idx, *l));
+        }
+        self.insns.push(Insn::TableSwitch {
+            default: usize::MAX,
+            low,
+            targets: vec![usize::MAX; targets.len()],
+        });
+        self
+    }
+
+    /// Typed return.
+    pub fn ret_val(&mut self, kind: Kind) -> &mut Self {
+        self.raw(Insn::Return(Some(kind)))
+    }
+
+    /// `return` (void).
+    pub fn ret(&mut self) -> &mut Self {
+        self.raw(Insn::Return(None))
+    }
+
+    /// `athrow`.
+    pub fn athrow(&mut self) -> &mut Self {
+        self.raw(Insn::AThrow)
+    }
+
+    // ---- References ----
+
+    /// `getstatic`.
+    pub fn getstatic(&mut self, index: u16) -> &mut Self {
+        self.raw(Insn::GetStatic(index))
+    }
+
+    /// `putstatic`.
+    pub fn putstatic(&mut self, index: u16) -> &mut Self {
+        self.raw(Insn::PutStatic(index))
+    }
+
+    /// `getfield`.
+    pub fn getfield(&mut self, index: u16) -> &mut Self {
+        self.raw(Insn::GetField(index))
+    }
+
+    /// `putfield`.
+    pub fn putfield(&mut self, index: u16) -> &mut Self {
+        self.raw(Insn::PutField(index))
+    }
+
+    /// `invokevirtual`.
+    pub fn invokevirtual(&mut self, index: u16) -> &mut Self {
+        self.raw(Insn::InvokeVirtual(index))
+    }
+
+    /// `invokespecial`.
+    pub fn invokespecial(&mut self, index: u16) -> &mut Self {
+        self.raw(Insn::InvokeSpecial(index))
+    }
+
+    /// `invokestatic`.
+    pub fn invokestatic(&mut self, index: u16) -> &mut Self {
+        self.raw(Insn::InvokeStatic(index))
+    }
+
+    /// `invokeinterface`.
+    pub fn invokeinterface(&mut self, index: u16) -> &mut Self {
+        self.raw(Insn::InvokeInterface(index))
+    }
+
+    /// `new`.
+    pub fn new_object(&mut self, class_index: u16) -> &mut Self {
+        self.raw(Insn::New(class_index))
+    }
+
+    /// `checkcast`.
+    pub fn checkcast(&mut self, class_index: u16) -> &mut Self {
+        self.raw(Insn::CheckCast(class_index))
+    }
+
+    /// `instanceof`.
+    pub fn instanceof(&mut self, class_index: u16) -> &mut Self {
+        self.raw(Insn::InstanceOf(class_index))
+    }
+
+    // ---- Exception handlers ----
+
+    /// Registers an exception handler over `[start, end)` landing at
+    /// `handler` for pool class `catch_type` (0 = catch-all).
+    pub fn handler(&mut self, start: Label, end: Label, handler: Label, catch_type: u16) {
+        self.handlers.push((start, end, handler, catch_type));
+    }
+
+    /// Resolves all labels and produces the final [`Code`].
+    pub fn finish(mut self) -> Result<Code> {
+        // Sort pending fixes by instruction so switch arms resolve in order.
+        let placed = std::mem::take(&mut self.placed);
+        let resolve = |l: Label| -> Result<usize> {
+            placed
+                .get(&l)
+                .copied()
+                .ok_or(BytecodeError::BadTargetIndex { index: l.0, len: usize::MAX })
+        };
+        // Group pending entries per instruction, in insertion order.
+        let mut per_insn: HashMap<usize, Vec<Label>> = HashMap::new();
+        for (idx, label) in &self.pending {
+            per_insn.entry(*idx).or_default().push(*label);
+        }
+        for (idx, labels) in per_insn {
+            let mut resolved = Vec::with_capacity(labels.len());
+            for l in labels {
+                resolved.push(resolve(l)?);
+            }
+            let mut it = resolved.into_iter();
+            self.insns[idx].map_targets(|_| it.next().unwrap_or(usize::MAX));
+        }
+        let mut handlers = Vec::with_capacity(self.handlers.len());
+        for (s, e, h, c) in &self.handlers {
+            handlers.push(Handler {
+                start: resolve(*s)?,
+                end: resolve(*e)?,
+                handler: resolve(*h)?,
+                catch_type: *c,
+            });
+        }
+        let code = Code { insns: self.insns, handlers, max_locals: self.max_locals };
+        code.validate_targets()?;
+        Ok(code)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvm_classfile::pool::ConstPool;
+
+    #[test]
+    fn loop_assembles_and_encodes() {
+        let pool = ConstPool::new();
+        let mut a = Asm::new(2);
+        let top = a.new_label();
+        let done = a.new_label();
+        a.iconst(0).istore(1);
+        a.place(top);
+        a.iload(1).iconst(10).if_icmp(ICond::Ge, done);
+        a.iinc(1, 1).goto(top);
+        a.place(done);
+        a.iload(1).ret_val(Kind::Int);
+        let code = a.finish().unwrap();
+        let attr = code.encode(&pool).unwrap();
+        assert_eq!(attr.max_locals, 2);
+        assert!(attr.max_stack >= 2);
+    }
+
+    #[test]
+    fn unplaced_label_is_an_error() {
+        let mut a = Asm::new(0);
+        let nowhere = a.new_label();
+        a.goto(nowhere);
+        assert!(a.finish().is_err());
+    }
+
+    #[test]
+    fn tableswitch_arms_resolve_in_order() {
+        let mut a = Asm::new(1);
+        let c0 = a.new_label();
+        let c1 = a.new_label();
+        let def = a.new_label();
+        a.iload(0);
+        a.tableswitch(0, &[c0, c1], def);
+        a.place(c0);
+        a.iconst(100).ret_val(Kind::Int);
+        a.place(c1);
+        a.iconst(200).ret_val(Kind::Int);
+        a.place(def);
+        a.iconst(-1).ret_val(Kind::Int);
+        let code = a.finish().unwrap();
+        match &code.insns[1] {
+            Insn::TableSwitch { default, targets, .. } => {
+                assert_eq!(*default, 6);
+                assert_eq!(targets, &vec![2, 4]);
+            }
+            other => panic!("expected tableswitch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn handlers_are_resolved() {
+        let mut a = Asm::new(1);
+        let s = a.new_label();
+        let e = a.new_label();
+        let h = a.new_label();
+        a.place(s);
+        a.iconst(1).pop();
+        a.place(e);
+        a.ret();
+        a.place(h);
+        a.pop().ret();
+        a.handler(s, e, h, 0);
+        let code = a.finish().unwrap();
+        assert_eq!(code.handlers.len(), 1);
+        assert_eq!(code.handlers[0].start, 0);
+        assert_eq!(code.handlers[0].end, 2);
+        assert_eq!(code.handlers[0].handler, 3);
+    }
+}

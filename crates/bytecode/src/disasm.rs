@@ -1,0 +1,86 @@
+//! Human-readable disassembly, used in diagnostics and the admin console.
+
+use dvm_classfile::pool::{ConstPool, Constant};
+
+use crate::code::Code;
+use crate::insn::Insn;
+
+/// Renders one instruction, resolving pool references when possible.
+pub fn render_insn(insn: &Insn, pool: &ConstPool) -> String {
+    let member = |idx: u16| -> String {
+        pool.get_member_ref(idx)
+            .map(|(c, n, d)| format!("{c}.{n}:{d}"))
+            .unwrap_or_else(|_| format!("#{idx}"))
+    };
+    let class = |idx: u16| -> String {
+        pool.get_class_name(idx).map(str::to_owned).unwrap_or_else(|_| format!("#{idx}"))
+    };
+    match insn {
+        Insn::Ldc(idx) | Insn::Ldc2(idx) => {
+            let v = match pool.get(*idx) {
+                Ok(Constant::Integer(v)) => v.to_string(),
+                Ok(Constant::Long(v)) => format!("{v}L"),
+                Ok(Constant::Float(v)) => format!("{v}f"),
+                Ok(Constant::Double(v)) => format!("{v}d"),
+                Ok(Constant::String { .. }) => {
+                    format!("{:?}", pool.get_string(*idx).unwrap_or("?"))
+                }
+                _ => format!("#{idx}"),
+            };
+            format!("ldc {v}")
+        }
+        Insn::GetStatic(i) => format!("getstatic {}", member(*i)),
+        Insn::PutStatic(i) => format!("putstatic {}", member(*i)),
+        Insn::GetField(i) => format!("getfield {}", member(*i)),
+        Insn::PutField(i) => format!("putfield {}", member(*i)),
+        Insn::InvokeVirtual(i) => format!("invokevirtual {}", member(*i)),
+        Insn::InvokeSpecial(i) => format!("invokespecial {}", member(*i)),
+        Insn::InvokeStatic(i) => format!("invokestatic {}", member(*i)),
+        Insn::InvokeInterface(i) => format!("invokeinterface {}", member(*i)),
+        Insn::New(i) => format!("new {}", class(*i)),
+        Insn::ANewArray(i) => format!("anewarray {}", class(*i)),
+        Insn::CheckCast(i) => format!("checkcast {}", class(*i)),
+        Insn::InstanceOf(i) => format!("instanceof {}", class(*i)),
+        other => format!("{other:?}"),
+    }
+}
+
+/// Renders a whole body, one instruction per line, with indices.
+pub fn render_code(code: &Code, pool: &ConstPool) -> String {
+    let mut out = String::new();
+    for (i, insn) in code.insns.iter().enumerate() {
+        out.push_str(&format!("{i:5}: {}\n", render_insn(insn, pool)));
+    }
+    for h in &code.handlers {
+        out.push_str(&format!(
+            "  handler [{}, {}) -> {} catch #{}\n",
+            h.start, h.end, h.handler, h.catch_type
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_member_references() {
+        let mut pool = ConstPool::new();
+        let m = pool.methodref("java/io/PrintStream", "println", "(Ljava/lang/String;)V").unwrap();
+        let s = render_insn(&Insn::InvokeVirtual(m), &pool);
+        assert!(s.contains("println"), "{s}");
+    }
+
+    #[test]
+    fn renders_whole_body() {
+        let pool = ConstPool::new();
+        let code = Code {
+            insns: vec![Insn::IConst(3), Insn::Return(Some(crate::insn::Kind::Int))],
+            handlers: vec![],
+            max_locals: 0,
+        };
+        let text = render_code(&code, &pool);
+        assert!(text.contains("IConst(3)"));
+    }
+}

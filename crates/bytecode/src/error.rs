@@ -1,0 +1,124 @@
+//! Error type for bytecode decoding, encoding, and editing.
+
+use std::fmt;
+
+use dvm_classfile::ClassFileError;
+
+/// Errors produced while decoding, encoding, or editing bytecode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BytecodeError {
+    /// The code array ended in the middle of an instruction.
+    TruncatedInstruction {
+        /// Byte offset of the instruction's opcode.
+        offset: usize,
+    },
+    /// An opcode byte is not a valid JVM instruction.
+    UnknownOpcode {
+        /// The opcode value.
+        opcode: u8,
+        /// Byte offset where it was found.
+        offset: usize,
+    },
+    /// A branch landed inside another instruction.
+    BadBranchTarget {
+        /// Byte offset of the branching instruction.
+        from: usize,
+        /// The invalid target byte offset.
+        target: i64,
+    },
+    /// A branch target index is out of range for the instruction list.
+    BadTargetIndex {
+        /// The out-of-range index.
+        index: usize,
+        /// Number of instructions in the body.
+        len: usize,
+    },
+    /// An encoded branch displacement does not fit its 16-bit field.
+    BranchOverflow {
+        /// Index of the branching instruction.
+        index: usize,
+    },
+    /// A constant used with the wrong instruction (e.g. `ldc` of a long).
+    BadConstantKind {
+        /// Constant-pool index.
+        index: u16,
+        /// Kind actually found.
+        found: &'static str,
+        /// Instruction context.
+        context: &'static str,
+    },
+    /// A constant value cannot be encoded by this instruction form; use the
+    /// constant pool instead.
+    UnencodableConstant(String),
+    /// Operand-stack depths disagree at a control-flow merge point.
+    StackMismatch {
+        /// Instruction index of the merge.
+        index: usize,
+        /// Depth arriving along the earlier path.
+        expected: u16,
+        /// Depth arriving along the later path.
+        found: u16,
+    },
+    /// The operand stack would underflow.
+    StackUnderflow {
+        /// Instruction index.
+        index: usize,
+    },
+    /// Code layout failed to stabilize (pathological switch padding).
+    LayoutDiverged,
+    /// The encoded method body exceeds the 65535-byte limit.
+    CodeTooLarge(usize),
+    /// An underlying class-file error.
+    ClassFile(ClassFileError),
+}
+
+impl fmt::Display for BytecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BytecodeError::TruncatedInstruction { offset } => {
+                write!(f, "instruction at byte {offset} is truncated")
+            }
+            BytecodeError::UnknownOpcode { opcode, offset } => {
+                write!(f, "unknown opcode {opcode:#04x} at byte {offset}")
+            }
+            BytecodeError::BadBranchTarget { from, target } => {
+                write!(f, "branch from byte {from} targets invalid offset {target}")
+            }
+            BytecodeError::BadTargetIndex { index, len } => {
+                write!(f, "branch target index {index} out of range (len {len})")
+            }
+            BytecodeError::BranchOverflow { index } => {
+                write!(f, "branch at instruction {index} does not fit a 16-bit offset")
+            }
+            BytecodeError::BadConstantKind { index, found, context } => {
+                write!(f, "constant {index} is a {found}, invalid for {context}")
+            }
+            BytecodeError::UnencodableConstant(v) => {
+                write!(f, "constant {v} requires a constant-pool entry")
+            }
+            BytecodeError::StackMismatch { index, expected, found } => write!(
+                f,
+                "stack depth mismatch at instruction {index}: {expected} vs {found}"
+            ),
+            BytecodeError::StackUnderflow { index } => {
+                write!(f, "operand stack underflow at instruction {index}")
+            }
+            BytecodeError::LayoutDiverged => write!(f, "code layout failed to stabilize"),
+            BytecodeError::CodeTooLarge(n) => {
+                write!(f, "method body of {n} bytes exceeds the 65535-byte limit")
+            }
+            BytecodeError::ClassFile(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for BytecodeError {}
+
+impl From<ClassFileError> for BytecodeError {
+    fn from(e: ClassFileError) -> Self {
+        BytecodeError::ClassFile(e)
+    }
+}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, BytecodeError>;

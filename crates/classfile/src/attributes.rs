@@ -1,0 +1,337 @@
+//! Class, field, method, and code attributes.
+//!
+//! Besides the standard JVM attributes this module defines the
+//! `DvmSelfDescribing` attribute: the reflection attribute described in the
+//! paper's §4.3, added by the proxy so that injected service code can look up
+//! exported members without the slow client reflection path.
+
+use crate::error::{ClassFileError, Result};
+use crate::pool::ConstPool;
+use crate::reader::Reader;
+use crate::writer::Writer;
+
+/// One entry of a `Code` attribute's exception table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExceptionTableEntry {
+    /// Start (inclusive) of the protected range, as a code offset.
+    pub start_pc: u16,
+    /// End (exclusive) of the protected range.
+    pub end_pc: u16,
+    /// Code offset of the handler.
+    pub handler_pc: u16,
+    /// Constant-pool index of the caught class, or 0 for catch-all.
+    pub catch_type: u16,
+}
+
+/// The body of a `Code` attribute.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CodeAttribute {
+    /// Maximum operand-stack depth.
+    pub max_stack: u16,
+    /// Number of local-variable slots.
+    pub max_locals: u16,
+    /// Raw bytecode.
+    pub code: Vec<u8>,
+    /// Exception handlers, in order of decreasing precedence.
+    pub exception_table: Vec<ExceptionTableEntry>,
+    /// Nested attributes (line numbers etc.; preserved but uninterpreted).
+    pub attributes: Vec<Attribute>,
+}
+
+/// One exported member recorded in a `DvmSelfDescribing` attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExportedMember {
+    /// Simple member name.
+    pub name: String,
+    /// Field or method descriptor.
+    pub descriptor: String,
+    /// Raw access flags.
+    pub access: u16,
+    /// `true` for methods, `false` for fields.
+    pub is_method: bool,
+}
+
+/// A parsed attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Attribute {
+    /// Method bytecode plus its metadata.
+    Code(CodeAttribute),
+    /// A `final` field's constant value (constant-pool index).
+    ConstantValue(u16),
+    /// Checked exceptions a method declares (constant-pool `Class` indices).
+    Exceptions(Vec<u16>),
+    /// Source file name (constant-pool `Utf8` index).
+    SourceFile(u16),
+    /// Marks compiler- or service-generated members.
+    Synthetic,
+    /// Marks members that should not be used (paper-era `Deprecated`).
+    Deprecated,
+    /// The DVM reflection attribute (§4.3): a self-describing digest of the
+    /// class's exported members, attached by the proxy so injected checks can
+    /// avoid the slow reflection path.
+    DvmSelfDescribing(Vec<ExportedMember>),
+    /// Any attribute this crate does not interpret; preserved verbatim.
+    Unknown {
+        /// Attribute name.
+        name: String,
+        /// Raw attribute payload.
+        data: Vec<u8>,
+    },
+}
+
+impl Attribute {
+    /// The attribute's name as written in the class file.
+    pub fn name(&self) -> &str {
+        match self {
+            Attribute::Code(_) => "Code",
+            Attribute::ConstantValue(_) => "ConstantValue",
+            Attribute::Exceptions(_) => "Exceptions",
+            Attribute::SourceFile(_) => "SourceFile",
+            Attribute::Synthetic => "Synthetic",
+            Attribute::Deprecated => "Deprecated",
+            Attribute::DvmSelfDescribing(_) => "DvmSelfDescribing",
+            Attribute::Unknown { name, .. } => name,
+        }
+    }
+
+    /// Parses one attribute from `r`, resolving its name through `pool`.
+    pub fn parse(r: &mut Reader<'_>, pool: &ConstPool) -> Result<Attribute> {
+        let name_index = r.u16("attribute name index")?;
+        let name = pool.get_utf8(name_index)?.to_owned();
+        let len = r.u32("attribute length")? as usize;
+        let data = r.bytes(len, "attribute data")?;
+        let mut inner = Reader::new(data);
+        let attr = match name.as_str() {
+            "Code" => {
+                let max_stack = inner.u16("max_stack")?;
+                let max_locals = inner.u16("max_locals")?;
+                let code_len = inner.u32("code length")? as usize;
+                let code = inner.bytes(code_len, "code")?.to_vec();
+                let et_len = inner.u16("exception table length")?;
+                let mut exception_table = Vec::with_capacity(et_len as usize);
+                for _ in 0..et_len {
+                    exception_table.push(ExceptionTableEntry {
+                        start_pc: inner.u16("start_pc")?,
+                        end_pc: inner.u16("end_pc")?,
+                        handler_pc: inner.u16("handler_pc")?,
+                        catch_type: inner.u16("catch_type")?,
+                    });
+                }
+                let n_attrs = inner.u16("code attribute count")?;
+                let mut attributes = Vec::with_capacity(n_attrs as usize);
+                for _ in 0..n_attrs {
+                    attributes.push(Attribute::parse(&mut inner, pool)?);
+                }
+                Attribute::Code(CodeAttribute {
+                    max_stack,
+                    max_locals,
+                    code,
+                    exception_table,
+                    attributes,
+                })
+            }
+            "ConstantValue" => Attribute::ConstantValue(inner.u16("constantvalue index")?),
+            "Exceptions" => {
+                let n = inner.u16("exception count")?;
+                let mut v = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    v.push(inner.u16("exception class index")?);
+                }
+                Attribute::Exceptions(v)
+            }
+            "SourceFile" => Attribute::SourceFile(inner.u16("sourcefile index")?),
+            "Synthetic" => Attribute::Synthetic,
+            "Deprecated" => Attribute::Deprecated,
+            "DvmSelfDescribing" => {
+                let n = inner.u16("exported member count")?;
+                let mut members = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    let name_idx = inner.u16("member name")?;
+                    let desc_idx = inner.u16("member descriptor")?;
+                    let access = inner.u16("member access")?;
+                    let is_method = inner.u8("member kind")? != 0;
+                    members.push(ExportedMember {
+                        name: pool.get_utf8(name_idx)?.to_owned(),
+                        descriptor: pool.get_utf8(desc_idx)?.to_owned(),
+                        access,
+                        is_method,
+                    });
+                }
+                Attribute::DvmSelfDescribing(members)
+            }
+            _ => Attribute::Unknown { name: name.clone(), data: data.to_vec() },
+        };
+        // Unknown attributes keep their payload verbatim and never advance
+        // `inner`, so the exact-length check applies only to parsed kinds.
+        if !matches!(attr, Attribute::Unknown { .. }) && !inner.is_empty() {
+            return Err(ClassFileError::BadAttributeLength {
+                name,
+                declared: len as u32,
+                actual: inner.position() as u32,
+            });
+        }
+        Ok(attr)
+    }
+
+    /// Serializes this attribute, interning any names it needs into `pool`.
+    pub fn write(&self, w: &mut Writer, pool: &mut ConstPool) -> Result<()> {
+        let name_index = pool.utf8(self.name())?;
+        w.u16(name_index);
+        let mut body = Writer::new();
+        match self {
+            Attribute::Code(c) => {
+                body.u16(c.max_stack);
+                body.u16(c.max_locals);
+                body.u32(c.code.len() as u32);
+                body.bytes(&c.code);
+                body.u16(c.exception_table.len() as u16);
+                for e in &c.exception_table {
+                    body.u16(e.start_pc);
+                    body.u16(e.end_pc);
+                    body.u16(e.handler_pc);
+                    body.u16(e.catch_type);
+                }
+                body.u16(c.attributes.len() as u16);
+                for a in &c.attributes {
+                    a.write(&mut body, pool)?;
+                }
+            }
+            Attribute::ConstantValue(idx) => body.u16(*idx),
+            Attribute::Exceptions(v) => {
+                body.u16(v.len() as u16);
+                for idx in v {
+                    body.u16(*idx);
+                }
+            }
+            Attribute::SourceFile(idx) => body.u16(*idx),
+            Attribute::Synthetic | Attribute::Deprecated => {}
+            Attribute::DvmSelfDescribing(members) => {
+                body.u16(members.len() as u16);
+                for m in members {
+                    let n = pool.utf8(&m.name)?;
+                    let d = pool.utf8(&m.descriptor)?;
+                    body.u16(n);
+                    body.u16(d);
+                    body.u16(m.access);
+                    body.u8(if m.is_method { 1 } else { 0 });
+                }
+            }
+            Attribute::Unknown { data, .. } => body.bytes(data),
+        }
+        let bytes = body.into_bytes();
+        w.u32(bytes.len() as u32);
+        w.bytes(&bytes);
+        Ok(())
+    }
+}
+
+/// Parses an attribute list preceded by its `u16` count.
+pub fn parse_attributes(r: &mut Reader<'_>, pool: &ConstPool) -> Result<Vec<Attribute>> {
+    let n = r.u16("attribute count")?;
+    let mut v = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        v.push(Attribute::parse(r, pool)?);
+    }
+    Ok(v)
+}
+
+/// Writes an attribute list preceded by its `u16` count.
+pub fn write_attributes(
+    attrs: &[Attribute],
+    w: &mut Writer,
+    pool: &mut ConstPool,
+) -> Result<()> {
+    w.u16(attrs.len() as u16);
+    for a in attrs {
+        a.write(w, pool)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(attr: Attribute) -> Attribute {
+        let mut pool = ConstPool::new();
+        // Pre-intern so indices in the attribute are resolvable if needed.
+        let mut w = Writer::new();
+        attr.write(&mut w, &mut pool).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        Attribute::parse(&mut r, &pool).unwrap()
+    }
+
+    #[test]
+    fn code_attribute_round_trip() {
+        let code = CodeAttribute {
+            max_stack: 3,
+            max_locals: 2,
+            code: vec![0x03, 0xAC], // iconst_0; ireturn
+            exception_table: vec![ExceptionTableEntry {
+                start_pc: 0,
+                end_pc: 2,
+                handler_pc: 2,
+                catch_type: 0,
+            }],
+            attributes: vec![],
+        };
+        let attr = Attribute::Code(code.clone());
+        match round_trip(attr) {
+            Attribute::Code(c) => assert_eq!(c, code),
+            other => panic!("expected Code, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_describing_round_trip() {
+        let members = vec![
+            ExportedMember {
+                name: "out".into(),
+                descriptor: "Ljava/io/PrintStream;".into(),
+                access: 0x0009,
+                is_method: false,
+            },
+            ExportedMember {
+                name: "println".into(),
+                descriptor: "(Ljava/lang/String;)V".into(),
+                access: 0x0001,
+                is_method: true,
+            },
+        ];
+        let attr = Attribute::DvmSelfDescribing(members.clone());
+        match round_trip(attr) {
+            Attribute::DvmSelfDescribing(m) => assert_eq!(m, members),
+            other => panic!("expected DvmSelfDescribing, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_attribute_preserved_verbatim() {
+        let attr = Attribute::Unknown { name: "Custom".into(), data: vec![1, 2, 3, 4] };
+        assert_eq!(round_trip(attr.clone()), attr);
+    }
+
+    #[test]
+    fn flag_attributes_have_empty_bodies() {
+        assert_eq!(round_trip(Attribute::Synthetic), Attribute::Synthetic);
+        assert_eq!(round_trip(Attribute::Deprecated), Attribute::Deprecated);
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        // Hand-craft a ConstantValue attribute with a 4-byte body.
+        let mut pool = ConstPool::new();
+        let name = pool.utf8("ConstantValue").unwrap();
+        let mut w = Writer::new();
+        w.u16(name);
+        w.u32(4);
+        w.u32(0xAABB_CCDD);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            Attribute::parse(&mut r, &pool),
+            Err(ClassFileError::BadAttributeLength { .. })
+        ));
+    }
+}

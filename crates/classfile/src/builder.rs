@@ -1,0 +1,246 @@
+//! A builder for synthesizing class files programmatically.
+//!
+//! The workload generator and the rewriting services both construct classes
+//! through this API. Method bodies are supplied as raw bytecode; the
+//! `dvm-bytecode` crate layers an instruction-level assembler on top.
+
+use crate::access::AccessFlags;
+use crate::attributes::{Attribute, CodeAttribute};
+use crate::class::{ClassFile, MAJOR_VERSION, MINOR_VERSION};
+use crate::error::Result;
+use crate::member::MemberInfo;
+use crate::pool::ConstPool;
+
+/// Fluent builder producing a [`ClassFile`].
+#[derive(Debug)]
+pub struct ClassBuilder {
+    name: String,
+    super_name: Option<String>,
+    interfaces: Vec<String>,
+    access: AccessFlags,
+    fields: Vec<PendingField>,
+    methods: Vec<PendingMethod>,
+    attributes: Vec<Attribute>,
+}
+
+#[derive(Debug)]
+struct PendingField {
+    access: AccessFlags,
+    name: String,
+    descriptor: String,
+    attributes: Vec<Attribute>,
+}
+
+#[derive(Debug)]
+struct PendingMethod {
+    access: AccessFlags,
+    name: String,
+    descriptor: String,
+    code: Option<CodeAttribute>,
+    attributes: Vec<Attribute>,
+}
+
+impl ClassBuilder {
+    /// Starts a builder for a class with the given internal name.
+    ///
+    /// The superclass defaults to `java/lang/Object` and the access flags to
+    /// `public`.
+    pub fn new(name: &str) -> ClassBuilder {
+        ClassBuilder {
+            name: name.to_owned(),
+            super_name: Some("java/lang/Object".to_owned()),
+            interfaces: Vec::new(),
+            access: AccessFlags::PUBLIC | AccessFlags::SUPER_OR_SYNCHRONIZED,
+            fields: Vec::new(),
+            methods: Vec::new(),
+            attributes: Vec::new(),
+        }
+    }
+
+    /// Sets the superclass by internal name.
+    pub fn super_class(mut self, name: &str) -> Self {
+        self.super_name = Some(name.to_owned());
+        self
+    }
+
+    /// Marks the class as having no superclass (only valid for
+    /// `java/lang/Object`).
+    pub fn no_super_class(mut self) -> Self {
+        self.super_name = None;
+        self
+    }
+
+    /// Replaces the class access flags.
+    pub fn access(mut self, access: AccessFlags) -> Self {
+        self.access = access | AccessFlags::SUPER_OR_SYNCHRONIZED;
+        self
+    }
+
+    /// Adds an implemented interface by internal name.
+    pub fn interface(mut self, name: &str) -> Self {
+        self.interfaces.push(name.to_owned());
+        self
+    }
+
+    /// Adds a field.
+    pub fn field(mut self, access: AccessFlags, name: &str, descriptor: &str) -> Self {
+        self.fields.push(PendingField {
+            access,
+            name: name.to_owned(),
+            descriptor: descriptor.to_owned(),
+            attributes: Vec::new(),
+        });
+        self
+    }
+
+    /// Adds a method with a bytecode body.
+    pub fn method(
+        mut self,
+        access: AccessFlags,
+        name: &str,
+        descriptor: &str,
+        code: CodeAttribute,
+    ) -> Self {
+        self.methods.push(PendingMethod {
+            access,
+            name: name.to_owned(),
+            descriptor: descriptor.to_owned(),
+            code: Some(code),
+            attributes: Vec::new(),
+        });
+        self
+    }
+
+    /// Adds a method without a body (`abstract` or `native`).
+    pub fn bodyless_method(mut self, access: AccessFlags, name: &str, descriptor: &str) -> Self {
+        self.methods.push(PendingMethod {
+            access,
+            name: name.to_owned(),
+            descriptor: descriptor.to_owned(),
+            code: None,
+            attributes: Vec::new(),
+        });
+        self
+    }
+
+    /// Adds a class-level attribute.
+    pub fn attribute(mut self, attr: Attribute) -> Self {
+        self.attributes.push(attr);
+        self
+    }
+
+    /// Builds the [`ClassFile`].
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the class exceeds format limits (more than 65534
+    /// constants), which generated workloads never approach; use
+    /// [`ClassBuilder::try_build`] when synthesizing untrusted sizes.
+    pub fn build(self) -> ClassFile {
+        self.try_build().expect("class exceeds class-file format limits")
+    }
+
+    /// Builds the [`ClassFile`], reporting format-limit overflows as errors.
+    pub fn try_build(self) -> Result<ClassFile> {
+        let mut pool = ConstPool::new();
+        let this_class = pool.class(&self.name)?;
+        let super_class = match &self.super_name {
+            Some(n) => pool.class(n)?,
+            None => 0,
+        };
+        let mut interfaces = Vec::with_capacity(self.interfaces.len());
+        for i in &self.interfaces {
+            interfaces.push(pool.class(i)?);
+        }
+        let mut fields = Vec::with_capacity(self.fields.len());
+        for f in self.fields {
+            let name_index = pool.utf8(&f.name)?;
+            let descriptor_index = pool.utf8(&f.descriptor)?;
+            fields.push(MemberInfo {
+                access: f.access,
+                name_index,
+                descriptor_index,
+                attributes: f.attributes,
+            });
+        }
+        let mut methods = Vec::with_capacity(self.methods.len());
+        for m in self.methods {
+            let name_index = pool.utf8(&m.name)?;
+            let descriptor_index = pool.utf8(&m.descriptor)?;
+            let mut attributes = m.attributes;
+            if let Some(code) = m.code {
+                attributes.push(Attribute::Code(code));
+            }
+            methods.push(MemberInfo {
+                access: m.access,
+                name_index,
+                descriptor_index,
+                attributes,
+            });
+        }
+        Ok(ClassFile {
+            minor_version: MINOR_VERSION,
+            major_version: MAJOR_VERSION,
+            pool,
+            access: self.access,
+            this_class,
+            super_class,
+            interfaces,
+            fields,
+            methods,
+            attributes: self.attributes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_fields_and_methods() {
+        let cf = ClassBuilder::new("demo/Point")
+            .field(AccessFlags::PRIVATE, "x", "I")
+            .field(AccessFlags::PRIVATE, "y", "I")
+            .method(
+                AccessFlags::PUBLIC | AccessFlags::STATIC,
+                "origin",
+                "()Ldemo/Point;",
+                CodeAttribute { max_stack: 1, max_locals: 0, code: vec![0x01, 0xB0], ..Default::default() },
+            )
+            .bodyless_method(AccessFlags::PUBLIC | AccessFlags::NATIVE, "hash", "()I")
+            .build();
+        assert_eq!(cf.fields.len(), 2);
+        assert_eq!(cf.methods.len(), 2);
+        assert!(cf.find_field("x").is_some());
+        assert!(cf.find_method("origin", "()Ldemo/Point;").is_some());
+        assert!(cf.find_method("hash", "()I").unwrap().code().is_none());
+    }
+
+    #[test]
+    fn interfaces_are_recorded() {
+        let cf = ClassBuilder::new("demo/Impl")
+            .interface("demo/IFace")
+            .interface("demo/Other")
+            .build();
+        assert_eq!(cf.interface_names().unwrap(), vec!["demo/IFace", "demo/Other"]);
+    }
+
+    #[test]
+    fn full_round_trip_with_members() {
+        let mut cf = ClassBuilder::new("demo/Rt")
+            .field(AccessFlags::PUBLIC | AccessFlags::STATIC, "count", "J")
+            .method(
+                AccessFlags::PUBLIC | AccessFlags::STATIC,
+                "zero",
+                "()I",
+                CodeAttribute { max_stack: 1, max_locals: 0, code: vec![0x03, 0xAC], ..Default::default() },
+            )
+            .build();
+        let bytes = cf.to_bytes().unwrap();
+        let parsed = crate::class::ClassFile::parse(&bytes).unwrap();
+        assert_eq!(parsed.name().unwrap(), "demo/Rt");
+        let m = parsed.find_method("zero", "()I").unwrap();
+        assert_eq!(m.code().unwrap().code, vec![0x03, 0xAC]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type shared by the class-file parser and serializer.
+
+use std::fmt;
+
+/// Errors produced while reading, validating, or writing a class file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClassFileError {
+    /// The input ended before a complete structure could be read.
+    UnexpectedEof {
+        /// Byte offset at which more input was required.
+        offset: usize,
+        /// What the parser was trying to read.
+        context: &'static str,
+    },
+    /// The leading magic number was not `0xCAFEBABE`.
+    BadMagic(u32),
+    /// The class-file version is outside the supported range.
+    UnsupportedVersion {
+        /// Major version found in the header.
+        major: u16,
+        /// Minor version found in the header.
+        minor: u16,
+    },
+    /// A constant-pool entry had an unknown tag byte.
+    BadConstantTag(u8),
+    /// A constant-pool index was zero, out of range, or pointed at an entry
+    /// of the wrong kind.
+    BadConstantIndex {
+        /// The offending index.
+        index: u16,
+        /// The entry kind that was expected at that index.
+        expected: &'static str,
+    },
+    /// A UTF-8 constant contained invalid byte sequences.
+    BadUtf8 {
+        /// Constant-pool index of the offending entry.
+        index: u16,
+    },
+    /// A field or method descriptor string was malformed.
+    BadDescriptor(String),
+    /// An attribute's declared length did not match its content.
+    BadAttributeLength {
+        /// Attribute name.
+        name: String,
+        /// Declared length in bytes.
+        declared: u32,
+        /// Bytes actually consumed.
+        actual: u32,
+    },
+    /// A structural rule of the format was violated.
+    Malformed(String),
+    /// A value did not fit in the field that must encode it (e.g. more than
+    /// 65535 constants).
+    Overflow(&'static str),
+}
+
+impl fmt::Display for ClassFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClassFileError::UnexpectedEof { offset, context } => {
+                write!(f, "unexpected end of input at byte {offset} while reading {context}")
+            }
+            ClassFileError::BadMagic(m) => write!(f, "bad magic number {m:#010x}"),
+            ClassFileError::UnsupportedVersion { major, minor } => {
+                write!(f, "unsupported class-file version {major}.{minor}")
+            }
+            ClassFileError::BadConstantTag(t) => write!(f, "unknown constant-pool tag {t}"),
+            ClassFileError::BadConstantIndex { index, expected } => {
+                write!(f, "constant-pool index {index} is not a valid {expected}")
+            }
+            ClassFileError::BadUtf8 { index } => {
+                write!(f, "constant-pool entry {index} is not valid UTF-8")
+            }
+            ClassFileError::BadDescriptor(d) => write!(f, "malformed descriptor {d:?}"),
+            ClassFileError::BadAttributeLength { name, declared, actual } => write!(
+                f,
+                "attribute {name:?} declared {declared} bytes but contained {actual}"
+            ),
+            ClassFileError::Malformed(msg) => write!(f, "malformed class file: {msg}"),
+            ClassFileError::Overflow(what) => write!(f, "too many {what} to encode"),
+        }
+    }
+}
+
+impl std::error::Error for ClassFileError {}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, ClassFileError>;

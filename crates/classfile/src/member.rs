@@ -1,0 +1,126 @@
+//! Field and method structures.
+
+use crate::access::AccessFlags;
+use crate::attributes::{parse_attributes, write_attributes, Attribute, CodeAttribute};
+use crate::error::Result;
+use crate::pool::ConstPool;
+use crate::reader::Reader;
+use crate::writer::Writer;
+
+/// A field or method as stored in the class file (they share a layout).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemberInfo {
+    /// Access and property flags.
+    pub access: AccessFlags,
+    /// Constant-pool index of the `Utf8` simple name.
+    pub name_index: u16,
+    /// Constant-pool index of the `Utf8` descriptor.
+    pub descriptor_index: u16,
+    /// Attributes (for methods, usually a `Code` attribute).
+    pub attributes: Vec<Attribute>,
+}
+
+impl MemberInfo {
+    /// Parses one member from `r`.
+    pub fn parse(r: &mut Reader<'_>, pool: &ConstPool) -> Result<MemberInfo> {
+        let access = AccessFlags(r.u16("member access flags")?);
+        let name_index = r.u16("member name index")?;
+        let descriptor_index = r.u16("member descriptor index")?;
+        let attributes = parse_attributes(r, pool)?;
+        Ok(MemberInfo { access, name_index, descriptor_index, attributes })
+    }
+
+    /// Serializes this member to `w`.
+    pub fn write(&self, w: &mut Writer, pool: &mut ConstPool) -> Result<()> {
+        w.u16(self.access.0);
+        w.u16(self.name_index);
+        w.u16(self.descriptor_index);
+        write_attributes(&self.attributes, w, pool)
+    }
+
+    /// Resolves the member's simple name through `pool`.
+    pub fn name<'p>(&self, pool: &'p ConstPool) -> Result<&'p str> {
+        pool.get_utf8(self.name_index)
+    }
+
+    /// Resolves the member's descriptor through `pool`.
+    pub fn descriptor<'p>(&self, pool: &'p ConstPool) -> Result<&'p str> {
+        pool.get_utf8(self.descriptor_index)
+    }
+
+    /// Returns the member's `Code` attribute, if any.
+    pub fn code(&self) -> Option<&CodeAttribute> {
+        self.attributes.iter().find_map(|a| match a {
+            Attribute::Code(c) => Some(c),
+            _ => None,
+        })
+    }
+
+    /// Returns a mutable reference to the member's `Code` attribute, if any.
+    pub fn code_mut(&mut self) -> Option<&mut CodeAttribute> {
+        self.attributes.iter_mut().find_map(|a| match a {
+            Attribute::Code(c) => Some(c),
+            _ => None,
+        })
+    }
+
+    /// Replaces the member's `Code` attribute (or appends one if missing).
+    pub fn set_code(&mut self, code: CodeAttribute) {
+        for a in &mut self.attributes {
+            if matches!(a, Attribute::Code(_)) {
+                *a = Attribute::Code(code);
+                return;
+            }
+        }
+        self.attributes.push(Attribute::Code(code));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn member_round_trip() {
+        let mut pool = ConstPool::new();
+        let name = pool.utf8("compute").unwrap();
+        let desc = pool.utf8("(I)I").unwrap();
+        let member = MemberInfo {
+            access: AccessFlags::PUBLIC | AccessFlags::STATIC,
+            name_index: name,
+            descriptor_index: desc,
+            attributes: vec![Attribute::Code(CodeAttribute {
+                max_stack: 1,
+                max_locals: 1,
+                code: vec![0x1A, 0xAC], // iload_0; ireturn
+                exception_table: vec![],
+                attributes: vec![],
+            })],
+        };
+        let mut w = Writer::new();
+        member.write(&mut w, &mut pool).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let parsed = MemberInfo::parse(&mut r, &pool).unwrap();
+        assert_eq!(parsed, member);
+        assert_eq!(parsed.name(&pool).unwrap(), "compute");
+        assert_eq!(parsed.descriptor(&pool).unwrap(), "(I)I");
+        assert!(parsed.code().is_some());
+    }
+
+    #[test]
+    fn set_code_replaces_existing() {
+        let mut pool = ConstPool::new();
+        let name = pool.utf8("m").unwrap();
+        let desc = pool.utf8("()V").unwrap();
+        let mut member = MemberInfo {
+            access: AccessFlags::PUBLIC,
+            name_index: name,
+            descriptor_index: desc,
+            attributes: vec![Attribute::Code(CodeAttribute::default())],
+        };
+        member.set_code(CodeAttribute { max_stack: 5, ..CodeAttribute::default() });
+        assert_eq!(member.attributes.len(), 1);
+        assert_eq!(member.code().unwrap().max_stack, 5);
+    }
+}

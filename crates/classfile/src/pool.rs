@@ -1,0 +1,591 @@
+//! The class-file constant pool.
+//!
+//! The pool is 1-indexed; `Long` and `Double` entries occupy two slots, with
+//! the second slot unusable (represented here as [`Constant::Unusable`]).
+//! [`ConstPool`] provides deduplicating insertion helpers used by the builder
+//! and by binary-rewriting services when they add references to injected
+//! runtime components.
+
+use std::collections::HashMap;
+
+use crate::error::{ClassFileError, Result};
+use crate::reader::Reader;
+use crate::writer::Writer;
+
+/// Constant-pool tags defined by the JVM specification (Java 1.2 era).
+pub mod tag {
+    /// `CONSTANT_Utf8`.
+    pub const UTF8: u8 = 1;
+    /// `CONSTANT_Integer`.
+    pub const INTEGER: u8 = 3;
+    /// `CONSTANT_Float`.
+    pub const FLOAT: u8 = 4;
+    /// `CONSTANT_Long`.
+    pub const LONG: u8 = 5;
+    /// `CONSTANT_Double`.
+    pub const DOUBLE: u8 = 6;
+    /// `CONSTANT_Class`.
+    pub const CLASS: u8 = 7;
+    /// `CONSTANT_String`.
+    pub const STRING: u8 = 8;
+    /// `CONSTANT_Fieldref`.
+    pub const FIELDREF: u8 = 9;
+    /// `CONSTANT_Methodref`.
+    pub const METHODREF: u8 = 10;
+    /// `CONSTANT_InterfaceMethodref`.
+    pub const INTERFACE_METHODREF: u8 = 11;
+    /// `CONSTANT_NameAndType`.
+    pub const NAME_AND_TYPE: u8 = 12;
+}
+
+/// One constant-pool entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Constant {
+    /// A modified-UTF-8 string (we require valid UTF-8, which covers all
+    /// strings this system generates).
+    Utf8(String),
+    /// A 32-bit integer constant.
+    Integer(i32),
+    /// A 32-bit float constant.
+    Float(f32),
+    /// A 64-bit long constant (occupies two slots).
+    Long(i64),
+    /// A 64-bit double constant (occupies two slots).
+    Double(f64),
+    /// A class reference; the index points at a `Utf8` internal name.
+    Class {
+        /// Index of the `Utf8` entry holding the internal class name.
+        name: u16,
+    },
+    /// A string literal; the index points at a `Utf8` entry.
+    String {
+        /// Index of the `Utf8` entry holding the string's contents.
+        string: u16,
+    },
+    /// A field reference.
+    Fieldref {
+        /// Index of the `Class` entry naming the declaring class.
+        class: u16,
+        /// Index of the `NameAndType` entry.
+        name_and_type: u16,
+    },
+    /// A method reference.
+    Methodref {
+        /// Index of the `Class` entry naming the declaring class.
+        class: u16,
+        /// Index of the `NameAndType` entry.
+        name_and_type: u16,
+    },
+    /// An interface-method reference.
+    InterfaceMethodref {
+        /// Index of the `Class` entry naming the declaring interface.
+        class: u16,
+        /// Index of the `NameAndType` entry.
+        name_and_type: u16,
+    },
+    /// A name-and-descriptor pair.
+    NameAndType {
+        /// Index of the `Utf8` entry holding the simple name.
+        name: u16,
+        /// Index of the `Utf8` entry holding the descriptor.
+        descriptor: u16,
+    },
+    /// The unusable second slot of a `Long` or `Double` entry.
+    Unusable,
+}
+
+impl Constant {
+    /// Returns `true` for entries that occupy two pool slots.
+    pub fn is_wide(&self) -> bool {
+        matches!(self, Constant::Long(_) | Constant::Double(_))
+    }
+
+    /// Returns the short kind name used in diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Constant::Utf8(_) => "Utf8",
+            Constant::Integer(_) => "Integer",
+            Constant::Float(_) => "Float",
+            Constant::Long(_) => "Long",
+            Constant::Double(_) => "Double",
+            Constant::Class { .. } => "Class",
+            Constant::String { .. } => "String",
+            Constant::Fieldref { .. } => "Fieldref",
+            Constant::Methodref { .. } => "Methodref",
+            Constant::InterfaceMethodref { .. } => "InterfaceMethodref",
+            Constant::NameAndType { .. } => "NameAndType",
+            Constant::Unusable => "Unusable",
+        }
+    }
+}
+
+/// Hashable dedup key for constants (floats keyed by bit pattern).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Utf8(String),
+    Integer(i32),
+    Float(u32),
+    Long(i64),
+    Double(u64),
+    Class(u16),
+    String(u16),
+    Fieldref(u16, u16),
+    Methodref(u16, u16),
+    InterfaceMethodref(u16, u16),
+    NameAndType(u16, u16),
+}
+
+impl Key {
+    fn of(c: &Constant) -> Option<Key> {
+        Some(match c {
+            Constant::Utf8(s) => Key::Utf8(s.clone()),
+            Constant::Integer(v) => Key::Integer(*v),
+            Constant::Float(v) => Key::Float(v.to_bits()),
+            Constant::Long(v) => Key::Long(*v),
+            Constant::Double(v) => Key::Double(v.to_bits()),
+            Constant::Class { name } => Key::Class(*name),
+            Constant::String { string } => Key::String(*string),
+            Constant::Fieldref { class, name_and_type } => Key::Fieldref(*class, *name_and_type),
+            Constant::Methodref { class, name_and_type } => Key::Methodref(*class, *name_and_type),
+            Constant::InterfaceMethodref { class, name_and_type } => {
+                Key::InterfaceMethodref(*class, *name_and_type)
+            }
+            Constant::NameAndType { name, descriptor } => Key::NameAndType(*name, *descriptor),
+            Constant::Unusable => return None,
+        })
+    }
+}
+
+/// The constant pool of a class file.
+///
+/// Indices are 1-based as in the on-disk format; index 0 is invalid.
+#[derive(Debug, Clone, Default)]
+pub struct ConstPool {
+    entries: Vec<Constant>,
+    dedup: HashMap<Key, u16>,
+}
+
+impl ConstPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        ConstPool::default()
+    }
+
+    /// Number of pool *slots* plus one; this is the `constant_pool_count`
+    /// value written to the header.
+    pub fn count(&self) -> u16 {
+        self.entries.len() as u16 + 1
+    }
+
+    /// Number of logical entries, counting wide constants once and including
+    /// their unusable slots.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when the pool has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns the entry at 1-based `index`.
+    pub fn get(&self, index: u16) -> Result<&Constant> {
+        if index == 0 || index as usize > self.entries.len() {
+            return Err(ClassFileError::BadConstantIndex { index, expected: "entry" });
+        }
+        Ok(&self.entries[index as usize - 1])
+    }
+
+    /// Iterates `(index, entry)` pairs over usable slots.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, &Constant)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !matches!(c, Constant::Unusable))
+            .map(|(i, c)| (i as u16 + 1, c))
+    }
+
+    /// Appends an entry, returning its index. Deduplicates structurally
+    /// identical entries.
+    pub fn push(&mut self, c: Constant) -> Result<u16> {
+        if let Some(key) = Key::of(&c) {
+            if let Some(&idx) = self.dedup.get(&key) {
+                return Ok(idx);
+            }
+            let wide = c.is_wide();
+            let next = self.entries.len() + 1 + if wide { 1 } else { 0 };
+            if next > u16::MAX as usize - 1 {
+                return Err(ClassFileError::Overflow("constant-pool entries"));
+            }
+            self.entries.push(c);
+            let idx = self.entries.len() as u16;
+            if wide {
+                self.entries.push(Constant::Unusable);
+            }
+            self.dedup.insert(key, idx);
+            Ok(idx)
+        } else {
+            Err(ClassFileError::Malformed("cannot push an Unusable slot".into()))
+        }
+    }
+
+    /// Interns a UTF-8 string, returning its index.
+    pub fn utf8(&mut self, s: &str) -> Result<u16> {
+        self.push(Constant::Utf8(s.to_owned()))
+    }
+
+    /// Interns a `Class` entry for the given internal name.
+    pub fn class(&mut self, internal_name: &str) -> Result<u16> {
+        let name = self.utf8(internal_name)?;
+        self.push(Constant::Class { name })
+    }
+
+    /// Interns a `String` literal entry.
+    pub fn string(&mut self, value: &str) -> Result<u16> {
+        let string = self.utf8(value)?;
+        self.push(Constant::String { string })
+    }
+
+    /// Interns an `Integer` constant.
+    pub fn integer(&mut self, v: i32) -> Result<u16> {
+        self.push(Constant::Integer(v))
+    }
+
+    /// Interns a `Long` constant.
+    pub fn long(&mut self, v: i64) -> Result<u16> {
+        self.push(Constant::Long(v))
+    }
+
+    /// Interns a `Float` constant.
+    pub fn float(&mut self, v: f32) -> Result<u16> {
+        self.push(Constant::Float(v))
+    }
+
+    /// Interns a `Double` constant.
+    pub fn double(&mut self, v: f64) -> Result<u16> {
+        self.push(Constant::Double(v))
+    }
+
+    /// Interns a `NameAndType` entry.
+    pub fn name_and_type(&mut self, name: &str, descriptor: &str) -> Result<u16> {
+        let n = self.utf8(name)?;
+        let d = self.utf8(descriptor)?;
+        self.push(Constant::NameAndType { name: n, descriptor: d })
+    }
+
+    /// Interns a `Fieldref` entry.
+    pub fn fieldref(&mut self, class: &str, name: &str, descriptor: &str) -> Result<u16> {
+        let c = self.class(class)?;
+        let nt = self.name_and_type(name, descriptor)?;
+        self.push(Constant::Fieldref { class: c, name_and_type: nt })
+    }
+
+    /// Interns a `Methodref` entry.
+    pub fn methodref(&mut self, class: &str, name: &str, descriptor: &str) -> Result<u16> {
+        let c = self.class(class)?;
+        let nt = self.name_and_type(name, descriptor)?;
+        self.push(Constant::Methodref { class: c, name_and_type: nt })
+    }
+
+    /// Interns an `InterfaceMethodref` entry.
+    pub fn interface_methodref(
+        &mut self,
+        class: &str,
+        name: &str,
+        descriptor: &str,
+    ) -> Result<u16> {
+        let c = self.class(class)?;
+        let nt = self.name_and_type(name, descriptor)?;
+        self.push(Constant::InterfaceMethodref { class: c, name_and_type: nt })
+    }
+
+    // ---- Typed accessors --------------------------------------------------
+
+    /// Reads the `Utf8` string at `index`.
+    pub fn get_utf8(&self, index: u16) -> Result<&str> {
+        match self.get(index)? {
+            Constant::Utf8(s) => Ok(s),
+            _ => Err(ClassFileError::BadConstantIndex { index, expected: "Utf8" }),
+        }
+    }
+
+    /// Resolves the `Class` entry at `index` to its internal name.
+    pub fn get_class_name(&self, index: u16) -> Result<&str> {
+        match self.get(index)? {
+            Constant::Class { name } => self.get_utf8(*name),
+            _ => Err(ClassFileError::BadConstantIndex { index, expected: "Class" }),
+        }
+    }
+
+    /// Resolves the `String` entry at `index` to its contents.
+    pub fn get_string(&self, index: u16) -> Result<&str> {
+        match self.get(index)? {
+            Constant::String { string } => self.get_utf8(*string),
+            _ => Err(ClassFileError::BadConstantIndex { index, expected: "String" }),
+        }
+    }
+
+    /// Resolves the `NameAndType` entry at `index` to `(name, descriptor)`.
+    pub fn get_name_and_type(&self, index: u16) -> Result<(&str, &str)> {
+        match self.get(index)? {
+            Constant::NameAndType { name, descriptor } => {
+                Ok((self.get_utf8(*name)?, self.get_utf8(*descriptor)?))
+            }
+            _ => Err(ClassFileError::BadConstantIndex { index, expected: "NameAndType" }),
+        }
+    }
+
+    /// Resolves any member reference (field, method, or interface method) at
+    /// `index` to `(class_name, member_name, descriptor)`.
+    pub fn get_member_ref(&self, index: u16) -> Result<(&str, &str, &str)> {
+        let (class, nt) = match self.get(index)? {
+            Constant::Fieldref { class, name_and_type }
+            | Constant::Methodref { class, name_and_type }
+            | Constant::InterfaceMethodref { class, name_and_type } => (*class, *name_and_type),
+            _ => {
+                return Err(ClassFileError::BadConstantIndex { index, expected: "member ref" });
+            }
+        };
+        let cname = self.get_class_name(class)?;
+        let (name, desc) = self.get_name_and_type(nt)?;
+        Ok((cname, name, desc))
+    }
+
+    // ---- Parsing and serialization ----------------------------------------
+
+    /// Parses `constant_pool_count` and the pool entries from `r`.
+    pub fn parse(r: &mut Reader<'_>) -> Result<ConstPool> {
+        let count = r.u16("constant_pool_count")?;
+        let mut pool = ConstPool::new();
+        let mut i = 1u16;
+        while i < count {
+            let tag = r.u8("constant tag")?;
+            let c = match tag {
+                tag::UTF8 => {
+                    let len = r.u16("utf8 length")? as usize;
+                    let bytes = r.bytes(len, "utf8 bytes")?;
+                    let s = std::str::from_utf8(bytes)
+                        .map_err(|_| ClassFileError::BadUtf8 { index: i })?;
+                    Constant::Utf8(s.to_owned())
+                }
+                tag::INTEGER => Constant::Integer(r.u32("integer")? as i32),
+                tag::FLOAT => Constant::Float(f32::from_bits(r.u32("float")?)),
+                tag::LONG => Constant::Long(r.u64("long")? as i64),
+                tag::DOUBLE => Constant::Double(f64::from_bits(r.u64("double")?)),
+                tag::CLASS => Constant::Class { name: r.u16("class name index")? },
+                tag::STRING => Constant::String { string: r.u16("string index")? },
+                tag::FIELDREF => Constant::Fieldref {
+                    class: r.u16("fieldref class")?,
+                    name_and_type: r.u16("fieldref nat")?,
+                },
+                tag::METHODREF => Constant::Methodref {
+                    class: r.u16("methodref class")?,
+                    name_and_type: r.u16("methodref nat")?,
+                },
+                tag::INTERFACE_METHODREF => Constant::InterfaceMethodref {
+                    class: r.u16("imethodref class")?,
+                    name_and_type: r.u16("imethodref nat")?,
+                },
+                tag::NAME_AND_TYPE => Constant::NameAndType {
+                    name: r.u16("nat name")?,
+                    descriptor: r.u16("nat descriptor")?,
+                },
+                other => return Err(ClassFileError::BadConstantTag(other)),
+            };
+            let wide = c.is_wide();
+            // Parsing must preserve indices exactly, so bypass dedup.
+            if let Some(key) = Key::of(&c) {
+                pool.dedup.entry(key).or_insert(pool.entries.len() as u16 + 1);
+            }
+            pool.entries.push(c);
+            if wide {
+                pool.entries.push(Constant::Unusable);
+                i += 1;
+            }
+            i += 1;
+        }
+        Ok(pool)
+    }
+
+    /// Serializes `constant_pool_count` and the entries to `w`.
+    pub fn write(&self, w: &mut Writer) {
+        w.u16(self.count());
+        for entry in &self.entries {
+            match entry {
+                Constant::Utf8(s) => {
+                    w.u8(tag::UTF8);
+                    w.u16(s.len() as u16);
+                    w.bytes(s.as_bytes());
+                }
+                Constant::Integer(v) => {
+                    w.u8(tag::INTEGER);
+                    w.u32(*v as u32);
+                }
+                Constant::Float(v) => {
+                    w.u8(tag::FLOAT);
+                    w.u32(v.to_bits());
+                }
+                Constant::Long(v) => {
+                    w.u8(tag::LONG);
+                    w.u64(*v as u64);
+                }
+                Constant::Double(v) => {
+                    w.u8(tag::DOUBLE);
+                    w.u64(v.to_bits());
+                }
+                Constant::Class { name } => {
+                    w.u8(tag::CLASS);
+                    w.u16(*name);
+                }
+                Constant::String { string } => {
+                    w.u8(tag::STRING);
+                    w.u16(*string);
+                }
+                Constant::Fieldref { class, name_and_type } => {
+                    w.u8(tag::FIELDREF);
+                    w.u16(*class);
+                    w.u16(*name_and_type);
+                }
+                Constant::Methodref { class, name_and_type } => {
+                    w.u8(tag::METHODREF);
+                    w.u16(*class);
+                    w.u16(*name_and_type);
+                }
+                Constant::InterfaceMethodref { class, name_and_type } => {
+                    w.u8(tag::INTERFACE_METHODREF);
+                    w.u16(*class);
+                    w.u16(*name_and_type);
+                }
+                Constant::NameAndType { name, descriptor } => {
+                    w.u8(tag::NAME_AND_TYPE);
+                    w.u16(*name);
+                    w.u16(*descriptor);
+                }
+                Constant::Unusable => {}
+            }
+        }
+    }
+
+    /// Verifies that every cross-reference inside the pool points at an entry
+    /// of the right kind (phase-1 structural checking uses this).
+    pub fn check_structure(&self) -> Result<()> {
+        for (idx, entry) in self.iter() {
+            match entry {
+                Constant::Class { name } => {
+                    self.get_utf8(*name).map_err(|_| ClassFileError::BadConstantIndex {
+                        index: idx,
+                        expected: "Class.name -> Utf8",
+                    })?;
+                }
+                Constant::String { string } => {
+                    self.get_utf8(*string).map_err(|_| ClassFileError::BadConstantIndex {
+                        index: idx,
+                        expected: "String.string -> Utf8",
+                    })?;
+                }
+                Constant::Fieldref { class, name_and_type }
+                | Constant::Methodref { class, name_and_type }
+                | Constant::InterfaceMethodref { class, name_and_type } => {
+                    self.get_class_name(*class).map_err(|_| ClassFileError::BadConstantIndex {
+                        index: idx,
+                        expected: "ref.class -> Class",
+                    })?;
+                    self.get_name_and_type(*name_and_type).map_err(|_| {
+                        ClassFileError::BadConstantIndex {
+                            index: idx,
+                            expected: "ref.name_and_type -> NameAndType",
+                        }
+                    })?;
+                }
+                Constant::NameAndType { name, descriptor } => {
+                    self.get_utf8(*name).map_err(|_| ClassFileError::BadConstantIndex {
+                        index: idx,
+                        expected: "NameAndType.name -> Utf8",
+                    })?;
+                    self.get_utf8(*descriptor).map_err(|_| ClassFileError::BadConstantIndex {
+                        index: idx,
+                        expected: "NameAndType.descriptor -> Utf8",
+                    })?;
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_deduplicates() {
+        let mut p = ConstPool::new();
+        let a = p.utf8("hello").unwrap();
+        let b = p.utf8("hello").unwrap();
+        assert_eq!(a, b);
+        let c = p.class("java/lang/Object").unwrap();
+        let d = p.class("java/lang/Object").unwrap();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn wide_constants_occupy_two_slots() {
+        let mut p = ConstPool::new();
+        let l = p.long(42).unwrap();
+        let next = p.utf8("after").unwrap();
+        assert_eq!(l, 1);
+        assert_eq!(next, 3);
+        assert!(matches!(p.get(2).unwrap(), Constant::Unusable));
+    }
+
+    #[test]
+    fn member_ref_resolution() {
+        let mut p = ConstPool::new();
+        let m = p.methodref("java/io/PrintStream", "println", "(Ljava/lang/String;)V").unwrap();
+        let (c, n, d) = p.get_member_ref(m).unwrap();
+        assert_eq!(c, "java/io/PrintStream");
+        assert_eq!(n, "println");
+        assert_eq!(d, "(Ljava/lang/String;)V");
+    }
+
+    #[test]
+    fn parse_write_round_trip() {
+        let mut p = ConstPool::new();
+        p.utf8("abc").unwrap();
+        p.integer(-7).unwrap();
+        p.float(1.5).unwrap();
+        p.long(1 << 40).unwrap();
+        p.double(-2.25).unwrap();
+        p.class("Foo").unwrap();
+        p.string("bar").unwrap();
+        p.fieldref("Foo", "f", "I").unwrap();
+        p.methodref("Foo", "m", "()V").unwrap();
+        p.interface_methodref("IFoo", "n", "()I").unwrap();
+
+        let mut w = Writer::new();
+        p.write(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let q = ConstPool::parse(&mut r).unwrap();
+        assert_eq!(p.count(), q.count());
+        for (i, c) in p.iter() {
+            assert_eq!(q.get(i).unwrap(), c, "entry {i}");
+        }
+        q.check_structure().unwrap();
+    }
+
+    #[test]
+    fn structural_check_catches_dangling_reference() {
+        let mut p = ConstPool::new();
+        // A Class entry whose name index points past the pool.
+        p.push(Constant::Class { name: 99 }).unwrap();
+        assert!(p.check_structure().is_err());
+    }
+
+    #[test]
+    fn zero_index_is_rejected() {
+        let p = ConstPool::new();
+        assert!(p.get(0).is_err());
+    }
+}

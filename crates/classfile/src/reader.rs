@@ -1,0 +1,121 @@
+//! Big-endian byte-stream reader used by the class-file parser.
+
+use crate::error::{ClassFileError, Result};
+
+/// A cursor over an input byte slice that reads big-endian primitives.
+///
+/// All class-file quantities are big-endian per the JVM specification.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader positioned at the start of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    /// Returns the current byte offset from the start of the input.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Returns the number of bytes remaining to be read.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Returns `true` when the whole input has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn need(&self, n: usize, context: &'static str) -> Result<()> {
+        if self.remaining() < n {
+            Err(ClassFileError::UnexpectedEof { offset: self.pos, context })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads one unsigned byte.
+    pub fn u8(&mut self, context: &'static str) -> Result<u8> {
+        self.need(1, context)?;
+        let b = self.data[self.pos];
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads a big-endian `u16`.
+    pub fn u16(&mut self, context: &'static str) -> Result<u16> {
+        self.need(2, context)?;
+        let v = u16::from_be_bytes([self.data[self.pos], self.data[self.pos + 1]]);
+        self.pos += 2;
+        Ok(v)
+    }
+
+    /// Reads a big-endian `u32`.
+    pub fn u32(&mut self, context: &'static str) -> Result<u32> {
+        self.need(4, context)?;
+        let v = u32::from_be_bytes([
+            self.data[self.pos],
+            self.data[self.pos + 1],
+            self.data[self.pos + 2],
+            self.data[self.pos + 3],
+        ]);
+        self.pos += 4;
+        Ok(v)
+    }
+
+    /// Reads a big-endian `u64`.
+    pub fn u64(&mut self, context: &'static str) -> Result<u64> {
+        let hi = self.u32(context)? as u64;
+        let lo = self.u32(context)? as u64;
+        Ok((hi << 32) | lo)
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize, context: &'static str) -> Result<&'a [u8]> {
+        self.need(n, context)?;
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_primitives_big_endian() {
+        let data = [0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07];
+        let mut r = Reader::new(&data);
+        assert_eq!(r.u8("b").unwrap(), 0x01);
+        assert_eq!(r.u16("h").unwrap(), 0x0203);
+        assert_eq!(r.u32("w").unwrap(), 0x0405_0607);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn eof_reports_offset_and_context() {
+        let mut r = Reader::new(&[0xAA]);
+        r.u8("first").unwrap();
+        let err = r.u16("second").unwrap_err();
+        assert_eq!(
+            err,
+            ClassFileError::UnexpectedEof { offset: 1, context: "second" }
+        );
+    }
+
+    #[test]
+    fn reads_u64_and_slices() {
+        let data = [0, 0, 0, 1, 0, 0, 0, 2, 9, 9];
+        let mut r = Reader::new(&data);
+        assert_eq!(r.u64("l").unwrap(), 0x0000_0001_0000_0002);
+        assert_eq!(r.bytes(2, "tail").unwrap(), &[9, 9]);
+        assert_eq!(r.position(), 10);
+    }
+}

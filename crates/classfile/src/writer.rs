@@ -1,0 +1,79 @@
+//! Big-endian byte-stream writer used by the class-file serializer.
+
+/// An append-only buffer that writes big-endian primitives.
+#[derive(Debug, Default, Clone)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Returns the number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` when nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a big-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Consumes the writer, returning the accumulated bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_big_endian() {
+        let mut w = Writer::new();
+        w.u8(1);
+        w.u16(0x0203);
+        w.u32(0x0405_0607);
+        assert_eq!(w.into_bytes(), vec![1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn round_trips_through_reader() {
+        let mut w = Writer::new();
+        w.u64(0xDEAD_BEEF_0BAD_F00D);
+        w.bytes(b"xy");
+        let bytes = w.into_bytes();
+        let mut r = crate::reader::Reader::new(&bytes);
+        assert_eq!(r.u64("l").unwrap(), 0xDEAD_BEEF_0BAD_F00D);
+        assert_eq!(r.bytes(2, "t").unwrap(), b"xy");
+    }
+}

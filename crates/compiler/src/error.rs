@@ -1,0 +1,54 @@
+//! Compiler error type.
+
+use std::fmt;
+
+use dvm_bytecode::BytecodeError;
+use dvm_classfile::ClassFileError;
+
+/// Errors raised by translation or lowering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// Operand-stack inconsistency (code should have been verified first).
+    BadStack {
+        /// Bytecode instruction index.
+        at: usize,
+        /// Explanation.
+        reason: String,
+    },
+    /// A construct the compiler does not translate.
+    Unsupported(String),
+    /// Underlying class-file error.
+    ClassFile(ClassFileError),
+    /// Underlying bytecode error.
+    Bytecode(BytecodeError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::BadStack { at, reason } => {
+                write!(f, "stack inconsistency at instruction {at}: {reason}")
+            }
+            CompileError::Unsupported(what) => write!(f, "unsupported construct: {what}"),
+            CompileError::ClassFile(e) => write!(f, "{e}"),
+            CompileError::Bytecode(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<ClassFileError> for CompileError {
+    fn from(e: ClassFileError) -> Self {
+        CompileError::ClassFile(e)
+    }
+}
+
+impl From<BytecodeError> for CompileError {
+    fn from(e: BytecodeError) -> Self {
+        CompileError::Bytecode(e)
+    }
+}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, CompileError>;

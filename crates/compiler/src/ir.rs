@@ -1,0 +1,316 @@
+//! The register-based intermediate representation.
+//!
+//! The network compiler translates stack bytecode into this IR, optimizes
+//! it, and then lowers it to a client's native format. Registers are
+//! named after their origin: `l<n>` for local-variable slots and `s<d>`
+//! for operand-stack depths — a standard stack-to-register mapping that
+//! needs no SSA construction.
+
+use std::fmt;
+
+/// A virtual register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Reg {
+    /// A local-variable slot.
+    Local(u16),
+    /// An operand-stack depth.
+    Stack(u16),
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::Local(n) => write!(f, "l{n}"),
+            Reg::Stack(d) => write!(f, "s{d}"),
+        }
+    }
+}
+
+/// A compile-time constant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IrConst {
+    /// Integer (int/long unified at IR level).
+    Int(i64),
+    /// Floating point (float/double unified).
+    Float(f64),
+    /// The null reference.
+    Null,
+    /// A string-pool reference (index into the class pool).
+    Str(u16),
+}
+
+/// Binary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Remainder.
+    Rem,
+    /// Shift left.
+    Shl,
+    /// Arithmetic shift right.
+    Shr,
+    /// Logical shift right.
+    Ushr,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Three-way compare (lcmp/fcmpX/dcmpX).
+    Cmp,
+}
+
+/// Branch conditions against zero or between two registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Greater or equal.
+    Ge,
+    /// Greater than.
+    Gt,
+    /// Less or equal.
+    Le,
+}
+
+/// One IR instruction. `usize` targets are IR instruction indices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrInsn {
+    /// `dst <- constant`.
+    Const {
+        /// Destination register.
+        dst: Reg,
+        /// The constant.
+        value: IrConst,
+    },
+    /// `dst <- src`.
+    Move {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst <- lhs op rhs`.
+    Bin {
+        /// Operation.
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        lhs: Reg,
+        /// Right operand.
+        rhs: Reg,
+    },
+    /// `dst <- -src` (negation).
+    Neg {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst <- convert(src)` (numeric conversion; kinds erased at IR
+    /// level, retained as a cost marker).
+    Convert {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// Conditional branch comparing `lhs` to `rhs`.
+    Branch {
+        /// Condition.
+        cond: Cond,
+        /// Left operand.
+        lhs: Reg,
+        /// Right operand (`None` compares with zero/null).
+        rhs: Option<Reg>,
+        /// Target IR index.
+        target: usize,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Target IR index.
+        target: usize,
+    },
+    /// Multi-way dispatch (from tableswitch/lookupswitch).
+    Switch {
+        /// Scrutinee register.
+        on: Reg,
+        /// `(key, target)` arms.
+        arms: Vec<(i32, usize)>,
+        /// Default target.
+        default: usize,
+    },
+    /// Call a method; `args` are argument registers, `dst` receives the
+    /// result.
+    Call {
+        /// Symbolic callee `class.name:descriptor`.
+        callee: String,
+        /// Argument registers (receiver first for instance calls).
+        args: Vec<Reg>,
+        /// Result register, if the callee returns a value.
+        dst: Option<Reg>,
+    },
+    /// Memory access: field load/store, array element, allocation — kept
+    /// symbolic (the experiments need compilation structure and cost, not
+    /// executable native code).
+    Mem {
+        /// Operation label, e.g. `getfield Foo.x`, `newarray int`.
+        what: String,
+        /// Registers read.
+        reads: Vec<Reg>,
+        /// Register written, if any.
+        writes: Option<Reg>,
+    },
+    /// Return, optionally with a value.
+    Return(Option<Reg>),
+    /// Throw the exception in the register.
+    Throw(Reg),
+}
+
+impl IrInsn {
+    /// Registers this instruction reads.
+    pub fn reads(&self) -> Vec<Reg> {
+        match self {
+            IrInsn::Const { .. } => vec![],
+            IrInsn::Move { src, .. } | IrInsn::Neg { src, .. } | IrInsn::Convert { src, .. } => {
+                vec![*src]
+            }
+            IrInsn::Bin { lhs, rhs, .. } => vec![*lhs, *rhs],
+            IrInsn::Branch { lhs, rhs, .. } => {
+                let mut v = vec![*lhs];
+                if let Some(r) = rhs {
+                    v.push(*r);
+                }
+                v
+            }
+            IrInsn::Jump { .. } => vec![],
+            IrInsn::Switch { on, .. } => vec![*on],
+            IrInsn::Call { args, .. } => args.clone(),
+            IrInsn::Mem { reads, .. } => reads.clone(),
+            IrInsn::Return(r) => r.iter().copied().collect(),
+            IrInsn::Throw(r) => vec![*r],
+        }
+    }
+
+    /// Register this instruction writes, if any.
+    pub fn writes(&self) -> Option<Reg> {
+        match self {
+            IrInsn::Const { dst, .. }
+            | IrInsn::Move { dst, .. }
+            | IrInsn::Bin { dst, .. }
+            | IrInsn::Neg { dst, .. }
+            | IrInsn::Convert { dst, .. } => Some(*dst),
+            IrInsn::Call { dst, .. } => *dst,
+            IrInsn::Mem { writes, .. } => *writes,
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for instructions with side effects beyond their
+    /// destination register (calls, memory, control flow).
+    pub fn has_side_effects(&self) -> bool {
+        matches!(
+            self,
+            IrInsn::Call { .. }
+                | IrInsn::Mem { .. }
+                | IrInsn::Branch { .. }
+                | IrInsn::Jump { .. }
+                | IrInsn::Switch { .. }
+                | IrInsn::Return(_)
+                | IrInsn::Throw(_)
+        )
+    }
+
+    /// Explicit control-flow targets.
+    pub fn targets(&self) -> Vec<usize> {
+        match self {
+            IrInsn::Branch { target, .. } | IrInsn::Jump { target } => vec![*target],
+            IrInsn::Switch { arms, default, .. } => {
+                let mut v: Vec<usize> = arms.iter().map(|(_, t)| *t).collect();
+                v.push(*default);
+                v
+            }
+            _ => vec![],
+        }
+    }
+
+    /// Rewrites control-flow targets through `f`.
+    pub fn map_targets(&mut self, mut f: impl FnMut(usize) -> usize) {
+        match self {
+            IrInsn::Branch { target, .. } | IrInsn::Jump { target } => *target = f(*target),
+            IrInsn::Switch { arms, default, .. } => {
+                for (_, t) in arms {
+                    *t = f(*t);
+                }
+                *default = f(*default);
+            }
+            _ => {}
+        }
+    }
+
+    /// Returns `true` when control can continue to the next instruction.
+    pub fn falls_through(&self) -> bool {
+        !matches!(
+            self,
+            IrInsn::Jump { .. } | IrInsn::Switch { .. } | IrInsn::Return(_) | IrInsn::Throw(_)
+        )
+    }
+}
+
+/// A method's IR body.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IrBody {
+    /// Instructions.
+    pub insns: Vec<IrInsn>,
+    /// Method identity `class.name:descriptor`.
+    pub name: String,
+}
+
+impl IrBody {
+    /// Renders the body for diagnostics.
+    pub fn render(&self) -> String {
+        let mut out = format!("{}:\n", self.name);
+        for (i, insn) in self.insns.iter().enumerate() {
+            out.push_str(&format!("{i:5}: {insn:?}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_writes_and_targets() {
+        let i = IrInsn::Bin {
+            op: BinOp::Add,
+            dst: Reg::Stack(0),
+            lhs: Reg::Local(1),
+            rhs: Reg::Stack(0),
+        };
+        assert_eq!(i.reads(), vec![Reg::Local(1), Reg::Stack(0)]);
+        assert_eq!(i.writes(), Some(Reg::Stack(0)));
+        assert!(!i.has_side_effects());
+
+        let mut b = IrInsn::Branch { cond: Cond::Lt, lhs: Reg::Stack(0), rhs: None, target: 9 };
+        assert_eq!(b.targets(), vec![9]);
+        b.map_targets(|t| t + 1);
+        assert_eq!(b.targets(), vec![10]);
+        assert!(b.falls_through());
+        assert!(!IrInsn::Return(None).falls_through());
+    }
+}

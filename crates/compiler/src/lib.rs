@@ -1,0 +1,25 @@
+//! The DVM's centralized network compiler (§3.4).
+//!
+//! Client-side JIT compilers work under time and memory pressure and
+//! "typically do not perform aggressive optimizations"; the DVM moves
+//! compilation into the network, where it is performed ahead of time per
+//! client native format (learned from the monitoring handshake) and
+//! amortized across the organization via an image cache.
+//!
+//! Pipeline: decode bytecode → [`translate`] to a register IR →
+//! [`opt::optimize`] (constant folding, copy propagation, dead-code
+//! elimination) → [`target::lower`] to a simulated x86 or Alpha image.
+
+pub mod error;
+pub mod ir;
+pub mod opt;
+pub mod service;
+pub mod target;
+pub mod translate;
+
+pub use error::{CompileError, Result};
+pub use ir::{BinOp, Cond, IrBody, IrConst, IrInsn, Reg};
+pub use opt::{optimize, OptStats};
+pub use service::{ClassImage, CompilerStats, NetworkCompiler};
+pub use target::{lower, NativeMethod, Target};
+pub use translate::translate as translate_method;

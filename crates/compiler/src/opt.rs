@@ -1,0 +1,332 @@
+//! IR optimizations: constant folding, copy propagation, and dead-code
+//! elimination.
+//!
+//! The paper's motivation (§3.4): client-side JIT compilers cannot afford
+//! aggressive optimization, but a centralized compiler amortizes its cost
+//! across the whole organization. These passes are deliberately performed
+//! at the *server*.
+
+use std::collections::HashMap;
+
+use crate::ir::{BinOp, IrBody, IrConst, IrInsn, Reg};
+
+/// Statistics from an optimization run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Binary operations folded to constants.
+    pub folded: u64,
+    /// Moves bypassed by copy propagation.
+    pub copies_propagated: u64,
+    /// Dead instructions removed.
+    pub dead_removed: u64,
+}
+
+/// Runs the full pipeline to a fixpoint (bounded).
+pub fn optimize(body: &mut IrBody) -> OptStats {
+    let mut total = OptStats::default();
+    for _ in 0..8 {
+        let s1 = fold_constants(body);
+        let s2 = propagate_copies(body);
+        let s3 = eliminate_dead(body);
+        total.folded += s1.folded;
+        total.copies_propagated += s2.copies_propagated;
+        total.dead_removed += s3.dead_removed;
+        if s1.folded + s2.copies_propagated + s3.dead_removed == 0 {
+            break;
+        }
+    }
+    total
+}
+
+/// Block-local constant folding: `Bin` of two known constants becomes a
+/// `Const`.
+pub fn fold_constants(body: &mut IrBody) -> OptStats {
+    let mut stats = OptStats::default();
+    let leaders = block_leaders(body);
+    let mut known: HashMap<Reg, IrConst> = HashMap::new();
+    for i in 0..body.insns.len() {
+        if leaders.contains(&i) {
+            known.clear();
+        }
+        let replacement = match &body.insns[i] {
+            IrInsn::Bin { op, dst, lhs, rhs } => {
+                match (known.get(lhs), known.get(rhs)) {
+                    (Some(IrConst::Int(a)), Some(IrConst::Int(b))) => {
+                        fold_int(*op, *a, *b).map(|v| IrInsn::Const {
+                            dst: *dst,
+                            value: IrConst::Int(v),
+                        })
+                    }
+                    _ => None,
+                }
+            }
+            IrInsn::Neg { dst, src } => match known.get(src) {
+                Some(IrConst::Int(v)) => Some(IrInsn::Const {
+                    dst: *dst,
+                    value: IrConst::Int(v.wrapping_neg()),
+                }),
+                _ => None,
+            },
+            _ => None,
+        };
+        if let Some(r) = replacement {
+            body.insns[i] = r;
+            stats.folded += 1;
+        }
+        // Update the known-constants map.
+        match &body.insns[i] {
+            IrInsn::Const { dst, value } => {
+                known.insert(*dst, *value);
+            }
+            other => {
+                if let Some(w) = other.writes() {
+                    known.remove(&w);
+                }
+            }
+        }
+    }
+    stats
+}
+
+fn fold_int(op: BinOp, a: i64, b: i64) -> Option<i64> {
+    Some(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                return None; // must trap at run time
+            }
+            a.wrapping_div(b)
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_rem(b)
+        }
+        BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+        BinOp::Shr => a.wrapping_shr((b & 63) as u32),
+        BinOp::Ushr => ((a as u64).wrapping_shr((b & 63) as u32)) as i64,
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Cmp => (a.cmp(&b) as i8) as i64,
+    })
+}
+
+/// Block-local copy propagation: uses of `dst` after `Move{dst, src}` read
+/// `src` directly while neither is overwritten.
+pub fn propagate_copies(body: &mut IrBody) -> OptStats {
+    let mut stats = OptStats::default();
+    let leaders = block_leaders(body);
+    let mut copy_of: HashMap<Reg, Reg> = HashMap::new();
+    for i in 0..body.insns.len() {
+        if leaders.contains(&i) {
+            copy_of.clear();
+        }
+        // Rewrite reads.
+        let mut rewritten = false;
+        let insn = &mut body.insns[i];
+        rewrite_reads(insn, |r| {
+            if let Some(&src) = copy_of.get(&r) {
+                rewritten = true;
+                src
+            } else {
+                r
+            }
+        });
+        if rewritten {
+            stats.copies_propagated += 1;
+        }
+        // Update the copy map.
+        match &body.insns[i] {
+            IrInsn::Move { dst, src } if dst != src => {
+                // Invalidate mappings through dst, then record.
+                copy_of.retain(|_, v| v != dst);
+                copy_of.remove(dst);
+                copy_of.insert(*dst, *src);
+            }
+            other => {
+                if let Some(w) = other.writes() {
+                    copy_of.retain(|_, v| *v != w);
+                    copy_of.remove(&w);
+                }
+            }
+        }
+    }
+    stats
+}
+
+fn rewrite_reads(insn: &mut IrInsn, mut f: impl FnMut(Reg) -> Reg) {
+    match insn {
+        IrInsn::Move { src, .. } | IrInsn::Neg { src, .. } | IrInsn::Convert { src, .. } => {
+            *src = f(*src);
+        }
+        IrInsn::Bin { lhs, rhs, .. } => {
+            *lhs = f(*lhs);
+            *rhs = f(*rhs);
+        }
+        IrInsn::Branch { lhs, rhs, .. } => {
+            *lhs = f(*lhs);
+            if let Some(r) = rhs {
+                *r = f(*r);
+            }
+        }
+        IrInsn::Switch { on, .. } => *on = f(*on),
+        IrInsn::Call { args, .. } => {
+            for a in args {
+                *a = f(*a);
+            }
+        }
+        IrInsn::Mem { reads, .. } => {
+            for r in reads {
+                *r = f(*r);
+            }
+        }
+        IrInsn::Return(Some(r)) | IrInsn::Throw(r) => *r = f(*r),
+        _ => {}
+    }
+}
+
+/// Removes side-effect-free instructions whose destination is never read
+/// before being overwritten (a simple liveness sweep over stack registers).
+pub fn eliminate_dead(body: &mut IrBody) -> OptStats {
+    let mut stats = OptStats::default();
+    // Conservative global liveness: a register is live if *any* later (or
+    // branch-reachable) instruction reads it. We approximate with a
+    // whole-body read set, which is sound (never removes a read value) and
+    // effective for fold/propagation residue.
+    let mut read_anywhere: HashMap<Reg, u64> = HashMap::new();
+    for insn in &body.insns {
+        for r in insn.reads() {
+            *read_anywhere.entry(r).or_insert(0) += 1;
+        }
+    }
+    let before = body.insns.len();
+    let mut kept = Vec::with_capacity(before);
+    let mut index_map = vec![0usize; before + 1];
+    for (i, insn) in body.insns.iter().enumerate() {
+        index_map[i] = kept.len();
+        let removable = !insn.has_side_effects()
+            && insn
+                .writes()
+                .map(|w| !read_anywhere.contains_key(&w))
+                .unwrap_or(false);
+        if removable {
+            stats.dead_removed += 1;
+        } else {
+            kept.push(insn.clone());
+        }
+    }
+    index_map[before] = kept.len();
+    for insn in &mut kept {
+        insn.map_targets(|t| index_map[t.min(before)]);
+    }
+    body.insns = kept;
+    stats
+}
+
+/// Instruction indices that start a basic block (branch targets and
+/// fall-ins after terminators).
+fn block_leaders(body: &IrBody) -> std::collections::HashSet<usize> {
+    let mut leaders = std::collections::HashSet::new();
+    leaders.insert(0);
+    for (i, insn) in body.insns.iter().enumerate() {
+        for t in insn.targets() {
+            leaders.insert(t);
+        }
+        if !insn.falls_through() || !insn.targets().is_empty() {
+            leaders.insert(i + 1);
+        }
+    }
+    leaders
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Cond;
+
+    fn body(insns: Vec<IrInsn>) -> IrBody {
+        IrBody { insns, name: "t".into() }
+    }
+
+    #[test]
+    fn folds_constant_addition() {
+        let mut b = body(vec![
+            IrInsn::Const { dst: Reg::Stack(0), value: IrConst::Int(2) },
+            IrInsn::Const { dst: Reg::Stack(1), value: IrConst::Int(3) },
+            IrInsn::Bin { op: BinOp::Add, dst: Reg::Stack(0), lhs: Reg::Stack(0), rhs: Reg::Stack(1) },
+            IrInsn::Return(Some(Reg::Stack(0))),
+        ]);
+        let stats = optimize(&mut b);
+        assert_eq!(stats.folded, 1);
+        assert!(b
+            .insns
+            .iter()
+            .any(|i| matches!(i, IrInsn::Const { value: IrConst::Int(5), .. })));
+        // The dead source constant is swept.
+        assert!(stats.dead_removed >= 1);
+    }
+
+    #[test]
+    fn does_not_fold_division_by_zero() {
+        let mut b = body(vec![
+            IrInsn::Const { dst: Reg::Stack(0), value: IrConst::Int(1) },
+            IrInsn::Const { dst: Reg::Stack(1), value: IrConst::Int(0) },
+            IrInsn::Bin { op: BinOp::Div, dst: Reg::Stack(0), lhs: Reg::Stack(0), rhs: Reg::Stack(1) },
+            IrInsn::Return(Some(Reg::Stack(0))),
+        ]);
+        let stats = fold_constants(&mut b);
+        assert_eq!(stats.folded, 0);
+    }
+
+    #[test]
+    fn copy_propagation_bypasses_moves() {
+        let mut b = body(vec![
+            IrInsn::Move { dst: Reg::Stack(0), src: Reg::Local(1) },
+            IrInsn::Bin { op: BinOp::Add, dst: Reg::Stack(0), lhs: Reg::Stack(0), rhs: Reg::Stack(0) },
+            IrInsn::Return(Some(Reg::Stack(0))),
+        ]);
+        let stats = propagate_copies(&mut b);
+        assert_eq!(stats.copies_propagated, 1);
+        match &b.insns[1] {
+            IrInsn::Bin { lhs, rhs, .. } => {
+                assert_eq!(*lhs, Reg::Local(1));
+                assert_eq!(*rhs, Reg::Local(1));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn folding_stops_at_block_boundaries() {
+        // The constant in block 0 must not fold into block 1 (reached from
+        // elsewhere too).
+        let mut b = body(vec![
+            IrInsn::Const { dst: Reg::Stack(0), value: IrConst::Int(2) },
+            IrInsn::Branch { cond: Cond::Eq, lhs: Reg::Local(0), rhs: None, target: 3 },
+            IrInsn::Const { dst: Reg::Stack(0), value: IrConst::Int(9) },
+            IrInsn::Const { dst: Reg::Stack(1), value: IrConst::Int(1) },
+            IrInsn::Bin { op: BinOp::Add, dst: Reg::Stack(0), lhs: Reg::Stack(0), rhs: Reg::Stack(1) },
+            IrInsn::Return(Some(Reg::Stack(0))),
+        ]);
+        let stats = fold_constants(&mut b);
+        // s0 is not a known constant at index 4 (merge point at 3).
+        assert_eq!(stats.folded, 0);
+    }
+
+    #[test]
+    fn dead_code_removal_fixes_targets() {
+        let mut b = body(vec![
+            IrInsn::Const { dst: Reg::Stack(5), value: IrConst::Int(1) }, // dead
+            IrInsn::Jump { target: 2 },
+            IrInsn::Return(None),
+        ]);
+        let stats = eliminate_dead(&mut b);
+        assert_eq!(stats.dead_removed, 1);
+        assert_eq!(b.insns.len(), 2);
+        assert_eq!(b.insns[0], IrInsn::Jump { target: 1 });
+    }
+}

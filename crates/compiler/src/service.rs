@@ -1,0 +1,151 @@
+//! The centralized network compiler service.
+//!
+//! §3.4: "A compiler within the network can perform the translation for
+//! that platform ahead of time and thus amortize its startup costs over
+//! larger amounts of code. Resource investments in the compiler then
+//! benefit all clients in an organization." The service compiles whole
+//! classes per target, caches the images, and reports amortization
+//! statistics.
+
+use std::collections::HashMap;
+
+use dvm_bytecode::Code;
+use dvm_classfile::ClassFile;
+
+use crate::error::Result;
+use crate::opt::{optimize, OptStats};
+use crate::target::{lower, NativeMethod, Target};
+use crate::translate::translate;
+
+/// A compiled class: one native image per method.
+#[derive(Debug, Clone)]
+pub struct ClassImage {
+    /// Class internal name.
+    pub class: String,
+    /// Target compiled for.
+    pub target: Target,
+    /// Lowered methods.
+    pub methods: Vec<NativeMethod>,
+    /// Aggregate optimization statistics.
+    pub opt_stats: OptStats,
+    /// Simulated cycles the compilation itself cost (charged to the
+    /// server).
+    pub compile_cycles: u64,
+}
+
+impl ClassImage {
+    /// Total native code size.
+    pub fn total_size(&self) -> u64 {
+        self.methods.iter().map(|m| m.code_size).sum()
+    }
+}
+
+/// Compiler service statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompilerStats {
+    /// Classes compiled (cache misses).
+    pub compilations: u64,
+    /// Requests served from the image cache (the amortization benefit).
+    pub cache_hits: u64,
+    /// Total simulated compile cycles spent.
+    pub cycles_spent: u64,
+}
+
+/// Simulated compile cost per bytecode instruction (aggressive server-side
+/// optimization is ~10× the cost of a client JIT's quick pass).
+pub const COMPILE_CYCLES_PER_INSN: u64 = 2_000;
+
+/// The network compiler.
+#[derive(Debug, Default)]
+pub struct NetworkCompiler {
+    cache: HashMap<(String, Target), ClassImage>,
+    /// Statistics.
+    pub stats: CompilerStats,
+}
+
+impl NetworkCompiler {
+    /// Creates an empty compiler service.
+    pub fn new() -> NetworkCompiler {
+        NetworkCompiler::default()
+    }
+
+    /// Compiles `cf` for `target`, serving repeats from the cache.
+    pub fn compile(&mut self, cf: &ClassFile, target: Target) -> Result<ClassImage> {
+        let class = cf.name()?.to_owned();
+        if let Some(img) = self.cache.get(&(class.clone(), target)) {
+            self.stats.cache_hits += 1;
+            return Ok(img.clone());
+        }
+        let mut methods = Vec::new();
+        let mut opt_total = OptStats::default();
+        let mut compile_cycles = 0u64;
+        for m in &cf.methods {
+            let Some(attr) = m.code() else { continue };
+            let mname = m.name(&cf.pool)?;
+            let mdesc = m.descriptor(&cf.pool)?;
+            let code = Code::decode(attr)?;
+            compile_cycles += code.insns.len() as u64 * COMPILE_CYCLES_PER_INSN;
+            let mut ir = translate(&code, &cf.pool, &format!("{class}.{mname}:{mdesc}"))?;
+            let s = optimize(&mut ir);
+            opt_total.folded += s.folded;
+            opt_total.copies_propagated += s.copies_propagated;
+            opt_total.dead_removed += s.dead_removed;
+            methods.push(lower(&ir, target));
+        }
+        let img = ClassImage { class: class.clone(), target, methods, opt_stats: opt_total, compile_cycles };
+        self.stats.compilations += 1;
+        self.stats.cycles_spent += compile_cycles;
+        self.cache.insert((class, target), img.clone());
+        Ok(img)
+    }
+
+    /// Number of cached images.
+    pub fn cache_size(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvm_bytecode::asm::Asm;
+    use dvm_bytecode::insn::Kind;
+    use dvm_classfile::{AccessFlags, Attribute, ClassBuilder, MemberInfo};
+
+    fn sample_class() -> ClassFile {
+        let mut cf = ClassBuilder::new("t/Calc").build();
+        let mut a = Asm::new(2);
+        a.iconst(2).iconst(3).iadd().iload(0).iadd().ret_val(Kind::Int);
+        let attr = a.finish().unwrap().encode(&cf.pool).unwrap();
+        let n = cf.pool.utf8("f").unwrap();
+        let d = cf.pool.utf8("(I)I").unwrap();
+        cf.methods.push(MemberInfo {
+            access: AccessFlags::PUBLIC | AccessFlags::STATIC,
+            name_index: n,
+            descriptor_index: d,
+            attributes: vec![Attribute::Code(attr)],
+        });
+        cf
+    }
+
+    #[test]
+    fn compiles_and_caches_per_target() {
+        let mut nc = NetworkCompiler::new();
+        let cf = sample_class();
+        let img1 = nc.compile(&cf, Target::X86).unwrap();
+        assert_eq!(img1.methods.len(), 1);
+        assert!(img1.opt_stats.folded >= 1, "2+3 should fold");
+        assert!(img1.compile_cycles > 0);
+
+        // Second client, same target: amortized.
+        let _ = nc.compile(&cf, Target::X86).unwrap();
+        assert_eq!(nc.stats.compilations, 1);
+        assert_eq!(nc.stats.cache_hits, 1);
+
+        // Different target: new image.
+        let img2 = nc.compile(&cf, Target::Alpha).unwrap();
+        assert_eq!(nc.stats.compilations, 2);
+        assert_ne!(img1.total_size(), img2.total_size());
+        assert_eq!(nc.cache_size(), 2);
+    }
+}

@@ -1,0 +1,664 @@
+//! Bytecode → IR translation.
+//!
+//! Stack slots are mapped to registers by depth (`s0`, `s1`, ...); a
+//! dataflow pass first computes the operand-stack *shape* (which slots
+//! hold wide values) at every instruction, then a second pass emits IR.
+//! The code arriving here has passed verification, so shape merges are
+//! required to agree.
+
+use dvm_bytecode::insn::{ArithOp, ICond, Insn, Kind, LogicOp, ShiftOp};
+use dvm_bytecode::Code;
+use dvm_classfile::descriptor::MethodDescriptor;
+use dvm_classfile::pool::{ConstPool, Constant};
+
+use crate::error::{CompileError, Result};
+use crate::ir::{BinOp, Cond, IrBody, IrConst, IrInsn, Reg};
+
+/// Stack-slot tags: a wide value occupies a base slot plus a tail slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tag {
+    /// A one-slot value.
+    Single,
+    /// Base slot of a wide value.
+    WideBase,
+    /// Tail slot of a wide value.
+    WideTail,
+}
+
+type Shape = Vec<Tag>;
+
+fn cond_of(c: ICond) -> Cond {
+    match c {
+        ICond::Eq => Cond::Eq,
+        ICond::Ne => Cond::Ne,
+        ICond::Lt => Cond::Lt,
+        ICond::Ge => Cond::Ge,
+        ICond::Gt => Cond::Gt,
+        ICond::Le => Cond::Le,
+    }
+}
+
+struct Xlate<'a> {
+    pool: &'a ConstPool,
+    ops: Vec<IrInsn>,
+    emit: bool,
+}
+
+impl Xlate<'_> {
+    fn push(&mut self, op: IrInsn) {
+        if self.emit {
+            self.ops.push(op);
+        }
+    }
+
+    fn pop_value(&self, shape: &mut Shape, at: usize) -> Result<(Reg, bool)> {
+        match shape.pop() {
+            Some(Tag::Single) => Ok((Reg::Stack(shape.len() as u16), false)),
+            Some(Tag::WideTail) => {
+                match shape.pop() {
+                    Some(Tag::WideBase) => Ok((Reg::Stack(shape.len() as u16), true)),
+                    _ => Err(CompileError::BadStack { at, reason: "broken wide pair".into() }),
+                }
+            }
+            _ => Err(CompileError::BadStack { at, reason: "stack underflow".into() }),
+        }
+    }
+
+    fn push_value(&self, shape: &mut Shape, wide: bool) -> Reg {
+        let r = Reg::Stack(shape.len() as u16);
+        if wide {
+            shape.push(Tag::WideBase);
+            shape.push(Tag::WideTail);
+        } else {
+            shape.push(Tag::Single);
+        }
+        r
+    }
+
+    fn pop_n_values(&self, shape: &mut Shape, n: usize, at: usize) -> Result<Vec<Reg>> {
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.pop_value(shape, at)?.0);
+        }
+        v.reverse();
+        Ok(v)
+    }
+
+    /// Translates one instruction; mutates `shape` to the exit shape.
+    #[allow(clippy::too_many_lines)]
+    fn transfer(&mut self, at: usize, insn: &Insn, shape: &mut Shape) -> Result<()> {
+        match insn {
+            Insn::Nop => {}
+            Insn::AConstNull => {
+                let dst = self.push_value(shape, false);
+                self.push(IrInsn::Const { dst, value: IrConst::Null });
+            }
+            Insn::IConst(v) => {
+                let dst = self.push_value(shape, false);
+                self.push(IrInsn::Const { dst, value: IrConst::Int(*v as i64) });
+            }
+            Insn::LConst(v) => {
+                let dst = self.push_value(shape, true);
+                self.push(IrInsn::Const { dst, value: IrConst::Int(*v) });
+            }
+            Insn::FConst(v) => {
+                let dst = self.push_value(shape, false);
+                self.push(IrInsn::Const { dst, value: IrConst::Float(*v as f64) });
+            }
+            Insn::DConst(v) => {
+                let dst = self.push_value(shape, true);
+                self.push(IrInsn::Const { dst, value: IrConst::Float(*v) });
+            }
+            Insn::Ldc(idx) => {
+                let value = match self.pool.get(*idx)? {
+                    Constant::Integer(v) => IrConst::Int(*v as i64),
+                    Constant::Float(v) => IrConst::Float(*v as f64),
+                    Constant::String { .. } => IrConst::Str(*idx),
+                    other => {
+                        return Err(CompileError::BadStack {
+                            at,
+                            reason: format!("ldc of {}", other.kind()),
+                        })
+                    }
+                };
+                let dst = self.push_value(shape, false);
+                self.push(IrInsn::Const { dst, value });
+            }
+            Insn::Ldc2(idx) => {
+                let value = match self.pool.get(*idx)? {
+                    Constant::Long(v) => IrConst::Int(*v),
+                    Constant::Double(v) => IrConst::Float(*v),
+                    other => {
+                        return Err(CompileError::BadStack {
+                            at,
+                            reason: format!("ldc2 of {}", other.kind()),
+                        })
+                    }
+                };
+                let dst = self.push_value(shape, true);
+                self.push(IrInsn::Const { dst, value });
+            }
+            Insn::Load(kind, slot) => {
+                let wide = matches!(kind, Kind::Long | Kind::Double);
+                let dst = self.push_value(shape, wide);
+                self.push(IrInsn::Move { dst, src: Reg::Local(*slot) });
+            }
+            Insn::Store(kind, slot) => {
+                let _ = kind;
+                let (src, _) = self.pop_value(shape, at)?;
+                self.push(IrInsn::Move { dst: Reg::Local(*slot), src });
+            }
+            Insn::ArrayLoad(k) => {
+                let (index, _) = self.pop_value(shape, at)?;
+                let (arr, _) = self.pop_value(shape, at)?;
+                let dst = self.push_value(shape, k.width() == 2);
+                self.push(IrInsn::Mem {
+                    what: format!("aload.{k:?}"),
+                    reads: vec![arr, index],
+                    writes: Some(dst),
+                });
+            }
+            Insn::ArrayStore(k) => {
+                let (value, _) = self.pop_value(shape, at)?;
+                let (index, _) = self.pop_value(shape, at)?;
+                let (arr, _) = self.pop_value(shape, at)?;
+                self.push(IrInsn::Mem {
+                    what: format!("astore.{k:?}"),
+                    reads: vec![arr, index, value],
+                    writes: None,
+                });
+            }
+            Insn::Pop => {
+                self.pop_value(shape, at)?;
+            }
+            Insn::Pop2 => {
+                let (_, wide) = self.pop_value(shape, at)?;
+                if !wide {
+                    self.pop_value(shape, at)?;
+                }
+            }
+            Insn::Dup => {
+                let top = Reg::Stack(shape.len() as u16 - 1);
+                let dst = self.push_value(shape, false);
+                self.push(IrInsn::Move { dst, src: top });
+            }
+            Insn::DupX1 | Insn::DupX2 | Insn::Dup2 | Insn::Dup2X1 | Insn::Dup2X2 => {
+                self.dup_form(at, insn, shape)?;
+            }
+            Insn::Swap => {
+                let a = Reg::Stack(shape.len() as u16 - 1);
+                let b = Reg::Stack(shape.len() as u16 - 2);
+                let t = Reg::Stack(shape.len() as u16);
+                self.push(IrInsn::Move { dst: t, src: a });
+                self.push(IrInsn::Move { dst: a, src: b });
+                self.push(IrInsn::Move { dst: b, src: t });
+            }
+            Insn::Arith(_, op) => {
+                if *op == ArithOp::Neg {
+                    let (src, wide) = self.pop_value(shape, at)?;
+                    let dst = self.push_value(shape, wide);
+                    self.push(IrInsn::Neg { dst, src });
+                } else {
+                    let (rhs, _) = self.pop_value(shape, at)?;
+                    let (lhs, wide) = self.pop_value(shape, at)?;
+                    let dst = self.push_value(shape, wide);
+                    let bop = match op {
+                        ArithOp::Add => BinOp::Add,
+                        ArithOp::Sub => BinOp::Sub,
+                        ArithOp::Mul => BinOp::Mul,
+                        ArithOp::Div => BinOp::Div,
+                        ArithOp::Rem => BinOp::Rem,
+                        ArithOp::Neg => unreachable!(),
+                    };
+                    self.push(IrInsn::Bin { op: bop, dst, lhs, rhs });
+                }
+            }
+            Insn::Shift(_, op) => {
+                let (rhs, _) = self.pop_value(shape, at)?;
+                let (lhs, wide) = self.pop_value(shape, at)?;
+                let dst = self.push_value(shape, wide);
+                let bop = match op {
+                    ShiftOp::Shl => BinOp::Shl,
+                    ShiftOp::Shr => BinOp::Shr,
+                    ShiftOp::Ushr => BinOp::Ushr,
+                };
+                self.push(IrInsn::Bin { op: bop, dst, lhs, rhs });
+            }
+            Insn::Logic(_, op) => {
+                let (rhs, _) = self.pop_value(shape, at)?;
+                let (lhs, wide) = self.pop_value(shape, at)?;
+                let dst = self.push_value(shape, wide);
+                let bop = match op {
+                    LogicOp::And => BinOp::And,
+                    LogicOp::Or => BinOp::Or,
+                    LogicOp::Xor => BinOp::Xor,
+                };
+                self.push(IrInsn::Bin { op: bop, dst, lhs, rhs });
+            }
+            Insn::IInc(slot, delta) => {
+                // l<n> += delta, via a scratch stack register.
+                let tmp = Reg::Stack(shape.len() as u16);
+                self.push(IrInsn::Const { dst: tmp, value: IrConst::Int(*delta as i64) });
+                self.push(IrInsn::Bin {
+                    op: BinOp::Add,
+                    dst: Reg::Local(*slot),
+                    lhs: Reg::Local(*slot),
+                    rhs: tmp,
+                });
+            }
+            Insn::Convert(_, to) => {
+                let (src, _) = self.pop_value(shape, at)?;
+                let dst = self.push_value(shape, to.width() == 2);
+                self.push(IrInsn::Convert { dst, src });
+            }
+            Insn::LCmp | Insn::FCmp(_) | Insn::DCmp(_) => {
+                let (rhs, _) = self.pop_value(shape, at)?;
+                let (lhs, _) = self.pop_value(shape, at)?;
+                let dst = self.push_value(shape, false);
+                self.push(IrInsn::Bin { op: BinOp::Cmp, dst, lhs, rhs });
+            }
+            Insn::If(c, t) => {
+                let (lhs, _) = self.pop_value(shape, at)?;
+                self.push(IrInsn::Branch { cond: cond_of(*c), lhs, rhs: None, target: *t });
+            }
+            Insn::IfICmp(c, t) => {
+                let (rhs, _) = self.pop_value(shape, at)?;
+                let (lhs, _) = self.pop_value(shape, at)?;
+                self.push(IrInsn::Branch { cond: cond_of(*c), lhs, rhs: Some(rhs), target: *t });
+            }
+            Insn::IfACmp(eq, t) => {
+                let (rhs, _) = self.pop_value(shape, at)?;
+                let (lhs, _) = self.pop_value(shape, at)?;
+                let cond = if *eq { Cond::Eq } else { Cond::Ne };
+                self.push(IrInsn::Branch { cond, lhs, rhs: Some(rhs), target: *t });
+            }
+            Insn::IfNull(t) => {
+                let (lhs, _) = self.pop_value(shape, at)?;
+                self.push(IrInsn::Branch { cond: Cond::Eq, lhs, rhs: None, target: *t });
+            }
+            Insn::IfNonNull(t) => {
+                let (lhs, _) = self.pop_value(shape, at)?;
+                self.push(IrInsn::Branch { cond: Cond::Ne, lhs, rhs: None, target: *t });
+            }
+            Insn::Goto(t) => self.push(IrInsn::Jump { target: *t }),
+            Insn::Jsr(_) | Insn::Ret(_) => {
+                return Err(CompileError::Unsupported("jsr/ret subroutines".into()));
+            }
+            Insn::TableSwitch { default, low, targets } => {
+                let (on, _) = self.pop_value(shape, at)?;
+                let arms = targets
+                    .iter()
+                    .enumerate()
+                    .map(|(k, t)| (low + k as i32, *t))
+                    .collect();
+                self.push(IrInsn::Switch { on, arms, default: *default });
+            }
+            Insn::LookupSwitch { default, pairs } => {
+                let (on, _) = self.pop_value(shape, at)?;
+                self.push(IrInsn::Switch { on, arms: pairs.clone(), default: *default });
+            }
+            Insn::Return(kind) => {
+                let r = match kind {
+                    Some(_) => Some(self.pop_value(shape, at)?.0),
+                    None => None,
+                };
+                self.push(IrInsn::Return(r));
+            }
+            Insn::GetStatic(idx) => {
+                let (c, n, d) = self.pool.get_member_ref(*idx)?;
+                let wide = matches!(d.as_bytes().first(), Some(b'J' | b'D'));
+                let what = format!("getstatic {c}.{n}");
+                let dst = self.push_value(shape, wide);
+                self.push(IrInsn::Mem { what, reads: vec![], writes: Some(dst) });
+            }
+            Insn::PutStatic(idx) => {
+                let (c, n, _) = self.pool.get_member_ref(*idx)?;
+                let what = format!("putstatic {c}.{n}");
+                let (v, _) = self.pop_value(shape, at)?;
+                self.push(IrInsn::Mem { what, reads: vec![v], writes: None });
+            }
+            Insn::GetField(idx) => {
+                let (c, n, d) = self.pool.get_member_ref(*idx)?;
+                let wide = matches!(d.as_bytes().first(), Some(b'J' | b'D'));
+                let what = format!("getfield {c}.{n}");
+                let (obj, _) = self.pop_value(shape, at)?;
+                let dst = self.push_value(shape, wide);
+                self.push(IrInsn::Mem { what, reads: vec![obj], writes: Some(dst) });
+            }
+            Insn::PutField(idx) => {
+                let (c, n, _) = self.pool.get_member_ref(*idx)?;
+                let what = format!("putfield {c}.{n}");
+                let (v, _) = self.pop_value(shape, at)?;
+                let (obj, _) = self.pop_value(shape, at)?;
+                self.push(IrInsn::Mem { what, reads: vec![obj, v], writes: None });
+            }
+            Insn::InvokeVirtual(idx)
+            | Insn::InvokeSpecial(idx)
+            | Insn::InvokeInterface(idx) => {
+                self.call(at, *idx, shape, true)?;
+            }
+            Insn::InvokeStatic(idx) => {
+                self.call(at, *idx, shape, false)?;
+            }
+            Insn::New(idx) => {
+                let name = self.pool.get_class_name(*idx)?;
+                let what = format!("new {name}");
+                let dst = self.push_value(shape, false);
+                self.push(IrInsn::Mem { what, reads: vec![], writes: Some(dst) });
+            }
+            Insn::NewArray(k) => {
+                let (len, _) = self.pop_value(shape, at)?;
+                let dst = self.push_value(shape, false);
+                self.push(IrInsn::Mem {
+                    what: format!("newarray {k:?}"),
+                    reads: vec![len],
+                    writes: Some(dst),
+                });
+            }
+            Insn::ANewArray(idx) => {
+                let name = self.pool.get_class_name(*idx)?.to_owned();
+                let (len, _) = self.pop_value(shape, at)?;
+                let dst = self.push_value(shape, false);
+                self.push(IrInsn::Mem {
+                    what: format!("anewarray {name}"),
+                    reads: vec![len],
+                    writes: Some(dst),
+                });
+            }
+            Insn::ArrayLength => {
+                let (arr, _) = self.pop_value(shape, at)?;
+                let dst = self.push_value(shape, false);
+                self.push(IrInsn::Mem {
+                    what: "arraylength".into(),
+                    reads: vec![arr],
+                    writes: Some(dst),
+                });
+            }
+            Insn::AThrow => {
+                let (exc, _) = self.pop_value(shape, at)?;
+                self.push(IrInsn::Throw(exc));
+            }
+            Insn::CheckCast(idx) => {
+                let name = self.pool.get_class_name(*idx)?.to_owned();
+                let top = Reg::Stack(shape.len() as u16 - 1);
+                self.push(IrInsn::Mem {
+                    what: format!("checkcast {name}"),
+                    reads: vec![top],
+                    writes: None,
+                });
+            }
+            Insn::InstanceOf(idx) => {
+                let name = self.pool.get_class_name(*idx)?.to_owned();
+                let (obj, _) = self.pop_value(shape, at)?;
+                let dst = self.push_value(shape, false);
+                self.push(IrInsn::Mem {
+                    what: format!("instanceof {name}"),
+                    reads: vec![obj],
+                    writes: Some(dst),
+                });
+            }
+            Insn::MonitorEnter | Insn::MonitorExit => {
+                let (obj, _) = self.pop_value(shape, at)?;
+                self.push(IrInsn::Mem { what: "monitor".into(), reads: vec![obj], writes: None });
+            }
+            Insn::MultiANewArray(idx, dims) => {
+                let name = self.pool.get_class_name(*idx)?.to_owned();
+                let lens = self.pop_n_values(shape, *dims as usize, at)?;
+                let dst = self.push_value(shape, false);
+                self.push(IrInsn::Mem {
+                    what: format!("multianewarray {name}"),
+                    reads: lens,
+                    writes: Some(dst),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn dup_form(&mut self, at: usize, insn: &Insn, shape: &mut Shape) -> Result<()> {
+        // Pop the blocks, then re-push with moves mirroring the
+        // interpreter's semantics. The moves write the final slot layout
+        // bottom-up using a scratch area above the stack.
+        let top_slots: u16 = match insn {
+            Insn::DupX1 | Insn::DupX2 => 1,
+            _ => 2,
+        };
+        let mut block = Vec::new();
+        let mut slots = 0;
+        while slots < top_slots {
+            let (r, wide) = self.pop_value(shape, at)?;
+            slots += if wide { 2 } else { 1 };
+            block.push((r, wide));
+        }
+        let mut skipped = Vec::new();
+        match insn {
+            Insn::Dup2 => {}
+            Insn::DupX1 | Insn::Dup2X1 => {
+                skipped.push(self.pop_value(shape, at)?);
+            }
+            Insn::DupX2 | Insn::Dup2X2 => {
+                let (r, wide) = self.pop_value(shape, at)?;
+                skipped.push((r, wide));
+                if !wide {
+                    skipped.push(self.pop_value(shape, at)?);
+                }
+            }
+            _ => unreachable!(),
+        }
+        // Stage originals into scratch registers above everything.
+        let scratch_base = (shape.len()
+            + block.iter().map(|(_, w)| if *w { 2 } else { 1 }).sum::<usize>() * 2
+            + skipped.iter().map(|(_, w)| if *w { 2 } else { 1 }).sum::<usize>())
+            as u16
+            + 4;
+        let mut staged = Vec::new();
+        for (i, (r, w)) in block.iter().chain(skipped.iter()).enumerate() {
+            let s = Reg::Stack(scratch_base + i as u16 * 2);
+            self.push(IrInsn::Move { dst: s, src: *r });
+            staged.push((s, *w));
+        }
+        let (staged_block, staged_skipped) = staged.split_at(block.len());
+        // Final layout bottom-up: block copy, skipped, block.
+        let emit_group = |group: &[(Reg, bool)], shape: &mut Shape, this: &mut Self| {
+            for (src, wide) in group.iter().rev() {
+                let dst = this.push_value(shape, *wide);
+                this.push(IrInsn::Move { dst, src: *src });
+            }
+        };
+        emit_group(staged_block, shape, self);
+        emit_group(staged_skipped, shape, self);
+        emit_group(staged_block, shape, self);
+        Ok(())
+    }
+
+    fn call(&mut self, at: usize, idx: u16, shape: &mut Shape, has_receiver: bool) -> Result<()> {
+        let (c, n, d) = self.pool.get_member_ref(idx)?;
+        let callee = format!("{c}.{n}:{d}");
+        let desc = MethodDescriptor::parse(d)?;
+        let mut args = Vec::new();
+        for _ in 0..desc.params.len() {
+            args.push(self.pop_value(shape, at)?.0);
+        }
+        if has_receiver {
+            args.push(self.pop_value(shape, at)?.0);
+        }
+        args.reverse();
+        let dst = desc
+            .ret
+            .as_ref()
+            .map(|rt| self.push_value(shape, rt.slot_width() == 2));
+        self.push(IrInsn::Call { callee, args, dst });
+        Ok(())
+    }
+}
+
+/// Translates a decoded method body to IR.
+pub fn translate(code: &Code, pool: &ConstPool, name: &str) -> Result<IrBody> {
+    let n = code.insns.len();
+    // Pass 1: entry shapes by dataflow.
+    let mut shapes: Vec<Option<Shape>> = vec![None; n];
+    let mut work = vec![0usize];
+    shapes[0] = Some(Vec::new());
+    for h in &code.handlers {
+        shapes[h.handler] = Some(vec![Tag::Single]);
+        work.push(h.handler);
+    }
+    let mut probe = Xlate { pool, ops: Vec::new(), emit: false };
+    while let Some(i) = work.pop() {
+        let Some(entry) = shapes[i].clone() else { continue };
+        let insn = &code.insns[i];
+        let mut shape = entry;
+        probe.transfer(i, insn, &mut shape)?;
+        let mut succ = insn.branch_targets();
+        if insn.can_fall_through() {
+            succ.push(i + 1);
+        }
+        for s in succ {
+            if s >= n {
+                return Err(CompileError::BadStack {
+                    at: i,
+                    reason: format!("successor {s} out of range"),
+                });
+            }
+            match &shapes[s] {
+                None => {
+                    shapes[s] = Some(shape.clone());
+                    work.push(s);
+                }
+                Some(existing) => {
+                    if existing != &shape {
+                        return Err(CompileError::BadStack {
+                            at: s,
+                            reason: "stack shape mismatch at merge".into(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass 2: emit IR, recording where each bytecode instruction begins.
+    let mut xl = Xlate { pool, ops: Vec::new(), emit: true };
+    let mut ir_start = vec![usize::MAX; n + 1];
+    for (i, insn) in code.insns.iter().enumerate() {
+        ir_start[i] = xl.ops.len();
+        let Some(entry) = shapes[i].clone() else {
+            // Unreachable bytecode: skip (dead handlers etc.).
+            continue;
+        };
+        let mut shape = entry;
+        xl.transfer(i, insn, &mut shape)?;
+        // A bytecode instruction that emitted nothing (nop/pop) still needs
+        // an IR slot if something branches to it; pad with a structural
+        // no-op move only when required later — use Jump-to-next instead:
+        // simpler: allow empty and resolve targets to the next emitted op.
+    }
+    ir_start[n] = xl.ops.len();
+    // Fix forward: a bytecode index whose translation is empty maps to the
+    // next non-empty start.
+    let mut resolved = ir_start.clone();
+    for i in (0..n).rev() {
+        if resolved[i] == usize::MAX || ir_start[i] == ir_start[i + 1] {
+            resolved[i] = resolved[i + 1];
+        }
+    }
+    let mut ops = xl.ops;
+    for op in &mut ops {
+        op.map_targets(|bc_target| resolved[bc_target]);
+    }
+    Ok(IrBody { insns: ops, name: name.to_owned() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvm_bytecode::asm::Asm;
+    use dvm_bytecode::insn::ICond;
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let pool = ConstPool::new();
+        let mut a = Asm::new(2);
+        a.iload(0).iload(1).iadd().ret_val(Kind::Int);
+        let code = a.finish().unwrap();
+        let ir = translate(&code, &pool, "t.add:(II)I").unwrap();
+        assert_eq!(ir.insns.len(), 4);
+        assert!(matches!(ir.insns[2], IrInsn::Bin { op: BinOp::Add, .. }));
+        assert!(matches!(ir.insns[3], IrInsn::Return(Some(_))));
+    }
+
+    #[test]
+    fn loop_translates_with_correct_targets() {
+        let pool = ConstPool::new();
+        let mut a = Asm::new(2);
+        let top = a.new_label();
+        let done = a.new_label();
+        a.iconst(0).istore(1);
+        a.place(top);
+        a.iload(1).iconst(10).if_icmp(ICond::Ge, done);
+        a.iinc(1, 1).goto(top);
+        a.place(done);
+        a.ret();
+        let code = a.finish().unwrap();
+        let ir = translate(&code, &pool, "t.spin:()V").unwrap();
+        // Find the backward jump and check it targets the loop head's IR
+        // index (the iload after the istore).
+        let jump_targets: Vec<usize> = ir
+            .insns
+            .iter()
+            .filter_map(|op| match op {
+                IrInsn::Jump { target } => Some(*target),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(jump_targets.len(), 1);
+        assert_eq!(jump_targets[0], 2); // const, move, [loop head]
+        let branches: Vec<&IrInsn> =
+            ir.insns.iter().filter(|op| matches!(op, IrInsn::Branch { .. })).collect();
+        assert_eq!(branches.len(), 1);
+    }
+
+    #[test]
+    fn calls_collect_arguments() {
+        let mut pool = ConstPool::new();
+        let m = pool.methodref("F", "f", "(IJ)D").unwrap();
+        let mut a = Asm::new(4);
+        a.iload(0).lload(1);
+        a.invokestatic(m);
+        a.raw(Insn::Pop2);
+        a.ret();
+        let code = a.finish().unwrap();
+        let ir = translate(&code, &pool, "t.c:()V").unwrap();
+        let call = ir
+            .insns
+            .iter()
+            .find_map(|op| match op {
+                IrInsn::Call { callee, args, dst } => Some((callee.clone(), args.len(), dst.is_some())),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(call.0, "F.f:(IJ)D");
+        assert_eq!(call.1, 2);
+        assert!(call.2);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        // Branch target reached with different depths (unverified code).
+        let pool = ConstPool::new();
+        let code = Code {
+            insns: vec![
+                Insn::IConst(1),
+                Insn::If(ICond::Eq, 3),
+                Insn::IConst(7),
+                Insn::Return(None),
+            ],
+            handlers: vec![],
+            max_locals: 0,
+        };
+        assert!(translate(&code, &pool, "t.bad:()V").is_err());
+    }
+
+    use dvm_bytecode::insn::Kind;
+    use dvm_bytecode::Insn;
+}

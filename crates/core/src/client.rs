@@ -1,0 +1,246 @@
+//! The DVM client: a thin VM whose classes arrive through the proxy and
+//! whose dynamic service components are wired to the organization's
+//! servers.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dvm_jvm::{
+    AuditKind, ClassProvider, Completion, DynamicServices, SecurityDecision, Value, Vm,
+};
+use dvm_monitor::{AdminConsole, EventKind, ProfileCollector, SessionId, SiteId};
+use dvm_netsim::SimTime;
+use dvm_proxy::{Proxy, RequestContext, ServedFrom, Signer};
+use dvm_security::{EnforcementManager, PermissionId, SecurityId};
+
+use crate::config::CostModel;
+
+/// One class transfer observed by the client.
+#[derive(Debug, Clone)]
+pub struct TransferRecord {
+    /// Class internal name.
+    pub class: String,
+    /// Bytes received.
+    pub bytes: usize,
+    /// Where the proxy served it from.
+    pub served_from: ServedFrom,
+}
+
+/// The provider that fetches classes through the proxy.
+struct ProxyProvider {
+    proxy: Arc<Proxy>,
+    ctx: RequestContext,
+    signer: Option<Signer>,
+    transfers: Arc<Mutex<Vec<TransferRecord>>>,
+}
+
+impl ClassProvider for ProxyProvider {
+    fn load(&mut self, name: &str) -> Option<Vec<u8>> {
+        let url = format!("class://{name}");
+        let response = self.proxy.handle_request_detailed(&url, &self.ctx).ok()?;
+        let bytes = match &self.signer {
+            // Clients "redirect incorrectly signed or unsigned code to the
+            // centralized services"; in this provider a bad signature
+            // simply fails the load.
+            Some(s) => {
+                let (check, payload) = s.detach(&response.bytes);
+                if check != dvm_proxy::SignatureCheck::Valid {
+                    return None;
+                }
+                payload?.to_vec()
+            }
+            None => response.bytes.clone(),
+        };
+        self.transfers.lock().push(TransferRecord {
+            class: name.to_owned(),
+            bytes: bytes.len(),
+            served_from: response.served_from,
+        });
+        Some(bytes)
+    }
+}
+
+/// The client-resident dynamic service components, adapted to the VM's
+/// hook interface.
+struct ClientServices {
+    enforcement: Option<EnforcementManager>,
+    sid: SecurityId,
+    console: Option<(Arc<Mutex<AdminConsole>>, SessionId)>,
+    profile: Arc<Mutex<ProfileCollector>>,
+}
+
+impl DynamicServices for ClientServices {
+    fn security_check(&mut self, sid: i32, perm: i32) -> SecurityDecision {
+        match &mut self.enforcement {
+            Some(em) => {
+                // Rewritten code carries the SID chosen at rewrite time;
+                // the enforcement manager still verifies it against the
+                // session's SID (they agree in this reproduction).
+                let sid = if sid >= 0 { SecurityId(sid as u32) } else { self.sid };
+                let (allowed, cost) = em.check(sid, PermissionId(perm as u32));
+                if allowed {
+                    SecurityDecision::Allow { cost_cycles: cost }
+                } else {
+                    SecurityDecision::Deny { cost_cycles: cost }
+                }
+            }
+            None => SecurityDecision::Allow { cost_cycles: 0 },
+        }
+    }
+
+    fn audit_event(&mut self, site: i32, kind: AuditKind) {
+        if let Some((console, session)) = &self.console {
+            let kind = match kind {
+                AuditKind::Enter => EventKind::Enter,
+                AuditKind::Exit => EventKind::Exit,
+                AuditKind::Event => EventKind::Event,
+            };
+            console.lock().record(*session, SiteId(site), kind);
+        }
+    }
+
+    fn profile_count(&mut self, site: i32) {
+        self.profile.lock().count(SiteId(site));
+    }
+
+    fn first_use(&mut self, site: i32) {
+        self.profile.lock().first_use(SiteId(site));
+    }
+}
+
+/// Timing breakdown of one application run (all simulated).
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// How the program completed.
+    pub completion: Completion,
+    /// Bytecode instructions executed.
+    pub instructions: u64,
+    /// Client CPU time (execution, including dynamic service components).
+    pub exec_time: SimTime,
+    /// LAN transfer time for all classes fetched.
+    pub network_time: SimTime,
+    /// Proxy processing time (rewrites and cache fetches).
+    pub proxy_time: SimTime,
+    /// End-to-end time.
+    pub total_time: SimTime,
+    /// Per-class transfers.
+    pub transfers: Vec<TransferRecord>,
+    /// Runtime link checks executed (`dvm/rt/RTVerifier`).
+    pub dynamic_verify_checks: u64,
+    /// Time spent in those checks (the DVM side of Figure 7).
+    pub dynamic_verify_time: SimTime,
+    /// Access checks executed.
+    pub security_checks: u64,
+    /// Uncaught-exception description, if any.
+    pub exception: Option<(String, String)>,
+}
+
+/// Cycles one `dvm/rt/RTVerifier` check costs (matches the natives).
+pub const DYNAMIC_CHECK_CYCLES: u64 = 40;
+
+/// A DVM client attached to an organization.
+pub struct DvmClient {
+    /// The underlying engine (exposed for inspection in experiments).
+    pub vm: Vm,
+    profile: Arc<Mutex<ProfileCollector>>,
+    transfers: Arc<Mutex<Vec<TransferRecord>>>,
+    cost: CostModel,
+}
+
+impl DvmClient {
+    /// Builds a client wired to the given organization services.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn wire(
+        proxy: Arc<Proxy>,
+        ctx: RequestContext,
+        signer: Option<Signer>,
+        enforcement: Option<EnforcementManager>,
+        sid: SecurityId,
+        console: Option<(Arc<Mutex<AdminConsole>>, SessionId)>,
+        cost: CostModel,
+    ) -> dvm_jvm::Result<DvmClient> {
+        let transfers = Arc::new(Mutex::new(Vec::new()));
+        let profile = Arc::new(Mutex::new(ProfileCollector::new()));
+        let provider = ProxyProvider {
+            proxy,
+            ctx,
+            signer,
+            transfers: transfers.clone(),
+        };
+        let services = ClientServices {
+            enforcement,
+            sid,
+            console,
+            profile: profile.clone(),
+        };
+        let vm = Vm::with_services(Box::new(provider), Box::new(services))?;
+        Ok(DvmClient { vm, profile, transfers, cost })
+    }
+
+    /// Runs `main` of `class`, producing the timing report.
+    pub fn run_main(&mut self, class: &str) -> dvm_jvm::Result<RunReport> {
+        let cycles_before = self.vm.stats.cycles;
+        let completion = self.vm.run_main(class)?;
+        Ok(self.report(completion, cycles_before))
+    }
+
+    /// Runs an arbitrary static method.
+    pub fn run_static(
+        &mut self,
+        class: &str,
+        method: &str,
+        descriptor: &str,
+        args: Vec<Value>,
+    ) -> dvm_jvm::Result<RunReport> {
+        let cycles_before = self.vm.stats.cycles;
+        let completion = self.vm.run_static(class, method, descriptor, args)?;
+        Ok(self.report(completion, cycles_before))
+    }
+
+    /// Read access to the profile collected so far.
+    pub fn profile(&self) -> Arc<Mutex<ProfileCollector>> {
+        self.profile.clone()
+    }
+
+    fn report(&self, completion: Completion, cycles_before: u64) -> RunReport {
+        let stats = &self.vm.stats;
+        let exec_cycles = stats.cycles - cycles_before;
+        let transfers = self.transfers.lock().clone();
+        let mut network = SimTime::ZERO;
+        let mut proxy = SimTime::ZERO;
+        for t in &transfers {
+            // Request plus response over the LAN.
+            network += self.cost.lan.transfer_time(t.bytes as u64) + self.cost.lan.latency;
+            proxy += match t.served_from {
+                ServedFrom::Rewritten => self
+                    .cost
+                    .cpu
+                    .time_for(t.bytes as u64 * self.cost.proxy_cycles_per_byte),
+                ServedFrom::DiskCache => self.cost.cpu.time_for(self.cost.cache_disk_cycles),
+                ServedFrom::MemoryCache => SimTime::from_micros(200),
+            };
+        }
+        let exec_time = self.cost.cpu.time_for(exec_cycles);
+        let exception = match &completion {
+            Completion::Exception(e) => self.vm.exception_message(*e),
+            Completion::Normal(_) => None,
+        };
+        RunReport {
+            completion,
+            instructions: stats.instructions,
+            exec_time,
+            network_time: network,
+            proxy_time: proxy,
+            total_time: exec_time + network + proxy,
+            transfers,
+            dynamic_verify_checks: stats.dynamic_verify_checks,
+            dynamic_verify_time: self
+                .cost
+                .cpu
+                .time_for(stats.dynamic_verify_checks * DYNAMIC_CHECK_CYCLES),
+            security_checks: stats.security_checks,
+            exception,
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! The monolithic baseline: all virtual-machine services execute on the
+//! client.
+//!
+//! Matches the paper's comparison configuration: the proxy acts as a null
+//! proxy, the client parses and verifies every class locally (all four
+//! phases against its own namespace), and security checks are the ones
+//! hardwired into the library at the sites the JDK developers anticipated
+//! (stack introspection).
+
+use std::collections::HashMap;
+
+use dvm_classfile::ClassFile;
+use dvm_jvm::{BuiltinChecks, Completion, MapProvider, Value, Vm};
+use dvm_netsim::SimTime;
+use dvm_security::introspection::{ProtectionDomain, StackIntrospection};
+use dvm_security::PermissionId;
+use dvm_verifier::{monolithic_verify, MapEnvironment};
+
+use crate::config::CostModel;
+
+/// Timing breakdown of a monolithic run (all simulated).
+#[derive(Debug, Clone)]
+pub struct MonolithicReport {
+    /// How the program completed.
+    pub completion: Completion,
+    /// Bytecode instructions executed.
+    pub instructions: u64,
+    /// Client CPU time for execution.
+    pub exec_time: SimTime,
+    /// Client CPU time for parsing loaded classes.
+    pub parse_time: SimTime,
+    /// Client CPU time for local verification (the monolithic side of
+    /// Figure 7).
+    pub verify_time: SimTime,
+    /// LAN transfer time (classes come straight from the server).
+    pub network_time: SimTime,
+    /// End-to-end time.
+    pub total_time: SimTime,
+    /// Verification checks performed locally.
+    pub verify_checks: u64,
+    /// Built-in (stack-introspection) security checks executed.
+    pub security_checks: u64,
+    /// Uncaught-exception description, if any.
+    pub exception: Option<(String, String)>,
+}
+
+/// A client running the monolithic service architecture.
+pub struct MonolithicClient {
+    /// The underlying engine.
+    pub vm: Vm,
+    classes: HashMap<String, ClassFile>,
+    cost: CostModel,
+}
+
+/// Depth of the protection-domain stack a typical library call runs
+/// under (application frames plus library frames).
+pub const TYPICAL_STACK_DEPTH: usize = 6;
+
+impl MonolithicClient {
+    /// Creates the client over the application's (untransformed) classes.
+    pub fn new(classes: &[ClassFile], cost: CostModel) -> dvm_jvm::Result<MonolithicClient> {
+        let mut provider = MapProvider::new();
+        let mut map = HashMap::new();
+        for cf in classes {
+            let mut cf = cf.clone();
+            let name = cf.name()?.to_owned();
+            provider.insert_class(&mut cf)?;
+            map.insert(name, cf);
+        }
+        let mut vm = Vm::new(Box::new(provider))?;
+        // JDK-style anticipated checks, costed by the stack-introspection
+        // model: property access, file open, thread ops are checked; file
+        // read is not (Figure 9's N/A row).
+        let perm = PermissionId(1);
+        let domain = ProtectionDomain::new([perm]);
+        let stack: Vec<&ProtectionDomain> =
+            std::iter::repeat_n(&domain, TYPICAL_STACK_DEPTH).collect();
+        let sm = StackIntrospection::new([perm]);
+        let (_, base_cost) = sm.check_permission(&stack, perm).expect("anticipated");
+        // Opening a file additionally canonicalizes the path and consults
+        // the policy file, which dominates (the paper's 7.2 ms overhead).
+        let mut open_sm = StackIntrospection::new([perm]);
+        open_sm.set_extra_cost(perm, 1_400_000);
+        let (_, open_cost) = open_sm.check_permission(&stack, perm).expect("anticipated");
+        vm.builtin_checks = BuiltinChecks {
+            get_property: Some(base_cost),
+            open_file: Some(open_cost),
+            set_priority: Some(base_cost / 8),
+            read_file: None,
+        };
+        Ok(MonolithicClient { vm, classes: map, cost })
+    }
+
+    /// Runs `main` of `class` with full local servicing.
+    pub fn run_main(&mut self, class: &str) -> dvm_jvm::Result<MonolithicReport> {
+        let completion = self.vm.run_main(class)?;
+        Ok(self.report(completion))
+    }
+
+    /// Runs an arbitrary static method.
+    pub fn run_static(
+        &mut self,
+        class: &str,
+        method: &str,
+        descriptor: &str,
+        args: Vec<Value>,
+    ) -> dvm_jvm::Result<MonolithicReport> {
+        let completion = self.vm.run_static(class, method, descriptor, args)?;
+        Ok(self.report(completion))
+    }
+
+    fn report(&self, completion: Completion) -> MonolithicReport {
+        let stats = &self.vm.stats;
+        // Local verification of every class the run loaded, against the
+        // client's own full namespace.
+        let mut env = MapEnvironment::with_bootstrap();
+        for cf in self.classes.values() {
+            env.add(cf);
+        }
+        let mut verify_checks = 0u64;
+        let mut parsed_bytes = 0u64;
+        let mut network = SimTime::ZERO;
+        for (name, bytes) in &stats.classes_loaded {
+            parsed_bytes += *bytes as u64;
+            network += self.cost.lan.transfer_time(*bytes as u64) + self.cost.lan.latency;
+            if let Some(cf) = self.classes.get(name) {
+                if let Ok(checks) = monolithic_verify(cf, &env) {
+                    verify_checks += checks;
+                }
+            }
+        }
+        let exec_time = self.cost.cpu.time_for(stats.cycles);
+        let parse_time = self
+            .cost
+            .cpu
+            .time_for(parsed_bytes * self.cost.client_parse_cycles_per_byte);
+        let verify_time = self
+            .cost
+            .cpu
+            .time_for(verify_checks * self.cost.verify_cycles_per_check);
+        let exception = match &completion {
+            Completion::Exception(e) => self.vm.exception_message(*e),
+            Completion::Normal(_) => None,
+        };
+        MonolithicReport {
+            completion,
+            instructions: stats.instructions,
+            exec_time,
+            parse_time,
+            verify_time,
+            network_time: network,
+            total_time: exec_time + parse_time + verify_time + network,
+            verify_checks,
+            security_checks: stats.security_checks,
+            exception,
+        }
+    }
+}

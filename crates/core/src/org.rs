@@ -1,0 +1,185 @@
+//! The organization: one set of centralized services, many clients.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dvm_classfile::ClassFile;
+use dvm_compiler::NetworkCompiler;
+use dvm_monitor::{AdminConsole, ClientDescription, ProfileMode, SiteTable};
+use dvm_proxy::{MapOrigin, Pipeline, Proxy, RequestContext, Signer};
+use dvm_security::{EnforcementManager, Policy, SecurityId, SecurityServer};
+use dvm_verifier::{MapEnvironment, StaticVerifier};
+
+use crate::client::DvmClient;
+use crate::config::{CostModel, ServiceConfig};
+use crate::filters::{AuditFilter, ProfileFilter, SecurityFilter, StaticServiceStats, VerifierFilter};
+
+/// An organization running a distributed virtual machine: centralized
+/// static services on a proxy, a security server, an administration
+/// console, a network compiler, and any number of clients.
+pub struct Organization {
+    /// The code proxy hosting the static service pipeline.
+    pub proxy: Arc<Proxy>,
+    /// The centralized security service.
+    pub security: Arc<Mutex<SecurityServer>>,
+    /// The remote administration console.
+    pub console: Arc<Mutex<AdminConsole>>,
+    /// Instrumentation site table shared by rewriters and clients.
+    pub sites: Arc<Mutex<SiteTable>>,
+    /// The centralized network compiler.
+    pub compiler: Mutex<NetworkCompiler>,
+    /// Aggregated static-service statistics.
+    pub service_stats: Arc<Mutex<StaticServiceStats>>,
+    policy: Arc<Mutex<Policy>>,
+    signer: Option<Signer>,
+    services: ServiceConfig,
+    /// The cost model all timing derives from.
+    pub cost: CostModel,
+}
+
+impl Organization {
+    /// Builds an organization whose origin serves `classes` and whose
+    /// services follow `config`.
+    pub fn new(
+        classes: &[ClassFile],
+        policy: Policy,
+        config: ServiceConfig,
+        cost: CostModel,
+    ) -> dvm_classfile::Result<Organization> {
+        let mut origin = MapOrigin::new();
+        for cf in classes {
+            let mut cf = cf.clone();
+            let name = cf.name()?.to_owned();
+            origin.insert(&format!("class://{name}"), cf.to_bytes()?);
+        }
+        Ok(Self::with_origin(Box::new(origin), policy, config, cost))
+    }
+
+    /// Builds an organization over an arbitrary code origin.
+    pub fn with_origin(
+        origin: Box<dyn dvm_proxy::CodeOrigin>,
+        policy: Policy,
+        config: ServiceConfig,
+        cost: CostModel,
+    ) -> Organization {
+        let service_stats = Arc::new(Mutex::new(StaticServiceStats::default()));
+        let sites = Arc::new(Mutex::new(SiteTable::new()));
+        let policy = Arc::new(Mutex::new(policy));
+        let default_sid = SecurityId(1);
+
+        let mut pipeline = Pipeline::new();
+        if config.verify {
+            let verifier = StaticVerifier::new(MapEnvironment::with_bootstrap());
+            pipeline.push(Box::new(VerifierFilter::new(verifier, service_stats.clone())));
+        }
+        if config.security {
+            pipeline.push(Box::new(SecurityFilter::new(
+                policy.clone(),
+                default_sid,
+                service_stats.clone(),
+            )));
+        }
+        if config.audit {
+            pipeline.push(Box::new(AuditFilter::new(sites.clone(), service_stats.clone())));
+        }
+        if config.profile {
+            pipeline.push(Box::new(ProfileFilter::new(
+                sites.clone(),
+                ProfileMode::Method,
+                service_stats.clone(),
+            )));
+        }
+
+        let signer = if config.signing { Some(Signer::new(b"dvm-org-key")) } else { None };
+        let proxy = Arc::new(Proxy::new(
+            origin,
+            pipeline,
+            8 << 20,
+            config.caching,
+            signer.clone(),
+        ));
+        let security = Arc::new(Mutex::new(SecurityServer::new(policy.lock().clone())));
+        Organization {
+            proxy,
+            security,
+            console: Arc::new(Mutex::new(AdminConsole::new())),
+            sites,
+            compiler: Mutex::new(NetworkCompiler::new()),
+            service_stats,
+            policy,
+            signer,
+            services: config,
+            cost,
+        }
+    }
+
+    /// Read access to the policy.
+    pub fn policy(&self) -> Arc<Mutex<Policy>> {
+        self.policy.clone()
+    }
+
+    /// §3.4 ahead-of-time compilation: translates `classes` for every
+    /// native format that clients have declared in their handshakes,
+    /// returning the number of images now cached. Repeat calls (and
+    /// additional clients with the same format) are served from the image
+    /// cache — the amortization the paper's network compiler exists for.
+    pub fn compile_for_known_formats(
+        &self,
+        classes: &[ClassFile],
+    ) -> dvm_compiler::Result<u64> {
+        let formats = self.console.lock().native_formats();
+        let mut compiler = self.compiler.lock();
+        let mut images = 0;
+        for f in formats {
+            let Some(target) = dvm_compiler::Target::from_format(&f) else {
+                continue;
+            };
+            for cf in classes {
+                compiler.compile(cf, target)?;
+                images += 1;
+            }
+        }
+        Ok(images)
+    }
+
+    /// Creates a new DVM client for `user` running code as `principal`.
+    ///
+    /// The client performs the §3.3 handshake with the administration
+    /// console (credentials, hardware, native format) and registers with
+    /// the security server's invalidation protocol.
+    pub fn client(&self, user: &str, principal: &str) -> dvm_jvm::Result<DvmClient> {
+        let session = self.console.lock().handshake(ClientDescription {
+            user: user.to_owned(),
+            hardware: "x86/200MHz/64MB".to_owned(),
+            native_format: "x86".to_owned(),
+            jvm_version: "dvm-repro-0.1".to_owned(),
+        });
+        let sid = self
+            .policy
+            .lock()
+            .principals
+            .get(principal)
+            .copied()
+            .unwrap_or(SecurityId(1));
+        let enforcement = if self.services.security {
+            Some(EnforcementManager::register(self.security.clone()))
+        } else {
+            None
+        };
+        let ctx = RequestContext {
+            client: user.to_owned(),
+            principal: principal.to_owned(),
+            url: String::new(),
+        };
+        DvmClient::wire(
+            self.proxy.clone(),
+            ctx,
+            self.signer.clone(),
+            enforcement,
+            sid,
+            Some((self.console.clone(), session)),
+            self.cost,
+        )
+    }
+}

@@ -1,0 +1,481 @@
+//! Runtime class representation and the class registry.
+//!
+//! Loaded classes are linked into [`RuntimeClass`] records: field layouts
+//! are flattened (superclass fields first), method tables are indexed by
+//! `(name, descriptor)`, and each class keeps its constant pool for runtime
+//! resolution of `ldc` and member references.
+
+use std::collections::HashMap;
+
+use std::sync::Arc;
+
+use dvm_bytecode::Code;
+use dvm_classfile::descriptor::MethodDescriptor;
+use dvm_classfile::{AccessFlags, ClassFile, ConstPool};
+
+use crate::error::{Result, VmError};
+use crate::heap::ClassId;
+use crate::value::Value;
+
+/// Class-initialization state (`<clinit>` tracking).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitState {
+    /// `<clinit>` has not run.
+    NotInitialized,
+    /// `<clinit>` is on the stack (re-entrant uses see this).
+    InProgress,
+    /// Initialization completed.
+    Initialized,
+}
+
+/// One field slot in a layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldSlot {
+    /// Simple field name.
+    pub name: String,
+    /// Field descriptor.
+    pub descriptor: String,
+    /// Class that declared the field.
+    pub declared_in: String,
+    /// Raw access flags.
+    pub access: AccessFlags,
+}
+
+/// A linked method.
+#[derive(Debug, Clone)]
+pub struct RuntimeMethod {
+    /// Simple name.
+    pub name: String,
+    /// Descriptor string.
+    pub descriptor: String,
+    /// Parsed descriptor.
+    pub desc: MethodDescriptor,
+    /// Access flags.
+    pub access: AccessFlags,
+    /// Decoded body (absent for `native`/`abstract`), shared with frames.
+    pub code: Option<Arc<Code>>,
+    /// Resolved native implementation, cached on first call.
+    pub native_impl: Option<crate::natives::NativeFn>,
+}
+
+/// Cached resolution of an invoke-site constant-pool entry.
+#[derive(Debug, Clone)]
+pub struct InvokeInfo {
+    /// Callee simple name.
+    pub name: Arc<str>,
+    /// Callee descriptor.
+    pub descriptor: Arc<str>,
+    /// The class named by the reference.
+    pub decl_class: ClassId,
+    /// Number of declared parameters (values, not slots).
+    pub param_count: usize,
+    /// Statically resolved target (for `invokestatic`/`invokespecial`).
+    pub static_target: Option<(ClassId, usize)>,
+}
+
+impl RuntimeMethod {
+    /// Returns `true` for native methods.
+    pub fn is_native(&self) -> bool {
+        self.access.is_native()
+    }
+
+    /// Number of local slots the arguments occupy, including `this` for
+    /// instance methods.
+    pub fn arg_slots(&self) -> u16 {
+        self.desc.param_slots() + if self.access.is_static() { 0 } else { 1 }
+    }
+}
+
+/// A linked class.
+#[derive(Debug)]
+pub struct RuntimeClass {
+    /// Internal name.
+    pub name: String,
+    /// Superclass id, `None` for `java/lang/Object`.
+    pub super_class: Option<ClassId>,
+    /// Implemented interfaces.
+    pub interfaces: Vec<ClassId>,
+    /// Class access flags.
+    pub access: AccessFlags,
+    /// Instance field layout, superclass fields first.
+    pub instance_layout: Vec<FieldSlot>,
+    /// Static field layout (this class only).
+    pub static_layout: Vec<FieldSlot>,
+    /// Static field values, parallel to `static_layout`.
+    pub statics: Vec<Value>,
+    /// Methods declared by this class.
+    pub methods: Vec<RuntimeMethod>,
+    /// `(name, descriptor)` to method index.
+    pub method_index: HashMap<(String, String), usize>,
+    /// Instance field name to layout offset.
+    pub field_offset: HashMap<String, usize>,
+    /// Static field name to offset.
+    pub static_offset: HashMap<String, usize>,
+    /// The class's constant pool (for runtime resolution).
+    pub pool: ConstPool,
+    /// Initialization state.
+    pub init_state: InitState,
+    /// Size of the class file this class was loaded from.
+    pub loaded_bytes: usize,
+    /// Lazily-filled invoke-site resolution cache, keyed by pool index.
+    pub invoke_cache: HashMap<u16, InvokeInfo>,
+    /// Lazily-filled virtual-dispatch cache: `(pool index, receiver class)`
+    /// to the resolved `(declaring class, method index)`.
+    pub vcall_cache: HashMap<(u16, ClassId), (ClassId, usize)>,
+    /// Lazily-filled instance-field offset cache, keyed by pool index.
+    pub ifield_cache: HashMap<u16, usize>,
+    /// Lazily-filled static-field cache: pool index to
+    /// `(declaring class, offset)`.
+    pub sfield_cache: HashMap<u16, (ClassId, usize)>,
+}
+
+impl RuntimeClass {
+    /// Finds a method declared by this class.
+    pub fn find_method(&self, name: &str, descriptor: &str) -> Option<usize> {
+        self.method_index.get(&(name.to_owned(), descriptor.to_owned())).copied()
+    }
+}
+
+/// The set of loaded classes.
+#[derive(Debug, Default)]
+pub struct Registry {
+    classes: Vec<RuntimeClass>,
+    by_name: HashMap<String, ClassId>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Number of loaded classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Returns `true` when no classes are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Looks up a loaded class by name.
+    pub fn id_of(&self, name: &str) -> Option<ClassId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Immutable access to a class.
+    pub fn get(&self, id: ClassId) -> &RuntimeClass {
+        &self.classes[id.0 as usize]
+    }
+
+    /// Mutable access to a class.
+    pub fn get_mut(&mut self, id: ClassId) -> &mut RuntimeClass {
+        &mut self.classes[id.0 as usize]
+    }
+
+    /// Iterates all loaded classes with their ids.
+    pub fn iter(&self) -> impl Iterator<Item = (ClassId, &RuntimeClass)> {
+        self.classes.iter().enumerate().map(|(i, c)| (ClassId(i as u32), c))
+    }
+
+    /// Links a parsed class file into the registry.
+    ///
+    /// The superclass and interfaces must already be linked; the caller
+    /// (the VM's loader) guarantees this by loading bottom-up.
+    pub fn link(&mut self, cf: &ClassFile, loaded_bytes: usize) -> Result<ClassId> {
+        let name = cf.name()?.to_owned();
+        if self.by_name.contains_key(&name) {
+            return Err(VmError::LinkError {
+                class: name,
+                reason: "class already linked".into(),
+            });
+        }
+        let super_class = match cf.super_name()? {
+            None => None,
+            Some(s) => Some(self.id_of(s).ok_or_else(|| VmError::LinkError {
+                class: name.clone(),
+                reason: format!("superclass {s} not linked"),
+            })?),
+        };
+        let mut interfaces = Vec::with_capacity(cf.interfaces.len());
+        for iface in cf.interface_names()? {
+            interfaces.push(self.id_of(iface).ok_or_else(|| VmError::LinkError {
+                class: name.clone(),
+                reason: format!("interface {iface} not linked"),
+            })?);
+        }
+
+        // Instance layout: superclass fields first, then this class's.
+        let mut instance_layout = super_class
+            .map(|s| self.get(s).instance_layout.clone())
+            .unwrap_or_default();
+        let mut static_layout = Vec::new();
+        for f in &cf.fields {
+            let slot = FieldSlot {
+                name: f.name(&cf.pool)?.to_owned(),
+                descriptor: f.descriptor(&cf.pool)?.to_owned(),
+                declared_in: name.clone(),
+                access: f.access,
+            };
+            if f.access.is_static() {
+                static_layout.push(slot);
+            } else {
+                instance_layout.push(slot);
+            }
+        }
+        let field_offset = instance_layout
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.name.clone(), i))
+            .collect();
+        let static_offset: HashMap<String, usize> = static_layout
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.name.clone(), i))
+            .collect();
+        let statics = static_layout
+            .iter()
+            .map(|s| Value::default_for(&s.descriptor))
+            .collect();
+
+        let mut methods = Vec::with_capacity(cf.methods.len());
+        let mut method_index = HashMap::new();
+        for m in &cf.methods {
+            let mname = m.name(&cf.pool)?.to_owned();
+            let mdesc = m.descriptor(&cf.pool)?.to_owned();
+            let desc = MethodDescriptor::parse(&mdesc)?;
+            let code = match m.code() {
+                Some(attr) => Some(Arc::new(Code::decode(attr)?)),
+                None => None,
+            };
+            method_index.insert((mname.clone(), mdesc.clone()), methods.len());
+            methods.push(RuntimeMethod {
+                name: mname,
+                descriptor: mdesc,
+                desc,
+                access: m.access,
+                code,
+                native_impl: None,
+            });
+        }
+
+        let id = ClassId(self.classes.len() as u32);
+        self.classes.push(RuntimeClass {
+            name: name.clone(),
+            super_class,
+            interfaces,
+            access: cf.access,
+            instance_layout,
+            static_layout,
+            statics,
+            methods,
+            method_index,
+            field_offset,
+            static_offset,
+            pool: cf.pool.clone(),
+            init_state: InitState::NotInitialized,
+            loaded_bytes,
+            invoke_cache: HashMap::new(),
+            vcall_cache: HashMap::new(),
+            ifield_cache: HashMap::new(),
+            sfield_cache: HashMap::new(),
+        });
+        self.by_name.insert(name, id);
+        Ok(id)
+    }
+
+    /// Resolves a method by walking up the class hierarchy from `class`.
+    pub fn resolve_method(
+        &self,
+        class: ClassId,
+        name: &str,
+        descriptor: &str,
+    ) -> Option<(ClassId, usize)> {
+        let mut cur = Some(class);
+        while let Some(id) = cur {
+            let rc = self.get(id);
+            if let Some(idx) = rc.find_method(name, descriptor) {
+                return Some((id, idx));
+            }
+            cur = rc.super_class;
+        }
+        // Search interfaces (for default-less interface methods resolved on
+        // classes, this only matters for invokeinterface lookups).
+        let mut stack = vec![class];
+        while let Some(id) = stack.pop() {
+            let rc = self.get(id);
+            for &iface in &rc.interfaces {
+                if let Some(idx) = self.get(iface).find_method(name, descriptor) {
+                    return Some((iface, idx));
+                }
+                stack.push(iface);
+            }
+            if let Some(s) = rc.super_class {
+                stack.push(s);
+            }
+        }
+        None
+    }
+
+    /// Resolves an instance field offset by walking up from `class`.
+    pub fn resolve_field(&self, class: ClassId, name: &str) -> Option<usize> {
+        // The flattened layout already contains inherited fields, so a
+        // single lookup on the concrete class suffices.
+        self.get(class).field_offset.get(name).copied()
+    }
+
+    /// Resolves a static field to `(declaring class, offset)` walking up
+    /// from `class`.
+    pub fn resolve_static(&self, class: ClassId, name: &str) -> Option<(ClassId, usize)> {
+        let mut cur = Some(class);
+        while let Some(id) = cur {
+            let rc = self.get(id);
+            if let Some(&off) = rc.static_offset.get(name) {
+                return Some((id, off));
+            }
+            cur = rc.super_class;
+        }
+        None
+    }
+
+    /// Returns `true` when `sub` is `sup` or a subclass/implementor of it.
+    pub fn is_subtype(&self, sub: ClassId, sup: ClassId) -> bool {
+        if sub == sup {
+            return true;
+        }
+        let mut stack = vec![sub];
+        while let Some(id) = stack.pop() {
+            if id == sup {
+                return true;
+            }
+            let rc = self.get(id);
+            if let Some(s) = rc.super_class {
+                stack.push(s);
+            }
+            stack.extend(rc.interfaces.iter().copied());
+        }
+        false
+    }
+}
+
+/// Supplies class bytes by name. Implementations range from an in-memory
+/// map (tests) to the DVM client's network fetch path (in `dvm-core`).
+pub trait ClassProvider: Send {
+    /// Returns the class-file bytes for `name`, or `None` if unknown.
+    fn load(&mut self, name: &str) -> Option<Vec<u8>>;
+}
+
+/// A provider backed by an in-memory map.
+#[derive(Debug, Default)]
+pub struct MapProvider {
+    classes: HashMap<String, Vec<u8>>,
+}
+
+impl MapProvider {
+    /// Creates an empty provider.
+    pub fn new() -> MapProvider {
+        MapProvider::default()
+    }
+
+    /// Adds a class's bytes.
+    pub fn insert(&mut self, name: &str, bytes: Vec<u8>) {
+        self.classes.insert(name.to_owned(), bytes);
+    }
+
+    /// Adds a class file, serializing it.
+    pub fn insert_class(&mut self, cf: &mut ClassFile) -> Result<()> {
+        let name = cf.name()?.to_owned();
+        let bytes = cf.to_bytes()?;
+        self.classes.insert(name, bytes);
+        Ok(())
+    }
+
+    /// Number of classes available.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Returns `true` when the provider is empty.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+}
+
+impl ClassProvider for MapProvider {
+    fn load(&mut self, name: &str) -> Option<Vec<u8>> {
+        self.classes.get(name).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvm_classfile::ClassBuilder;
+
+    fn object() -> ClassFile {
+        ClassBuilder::new("java/lang/Object").no_super_class().build()
+    }
+
+    #[test]
+    fn linking_builds_layouts() {
+        let mut reg = Registry::new();
+        let obj = reg.link(&object(), 100).unwrap();
+        let base = ClassBuilder::new("A")
+            .field(AccessFlags::empty(), "x", "I")
+            .field(AccessFlags::STATIC, "s", "J")
+            .build();
+        let a = reg.link(&base, 200).unwrap();
+        let derived = ClassBuilder::new("B").super_class("A").field(AccessFlags::empty(), "y", "D").build();
+        let b = reg.link(&derived, 300).unwrap();
+
+        assert_eq!(reg.get(a).instance_layout.len(), 1);
+        assert_eq!(reg.get(b).instance_layout.len(), 2);
+        assert_eq!(reg.resolve_field(b, "x"), Some(0));
+        assert_eq!(reg.resolve_field(b, "y"), Some(1));
+        assert_eq!(reg.resolve_static(b, "s"), Some((a, 0)));
+        assert!(reg.is_subtype(b, a));
+        assert!(reg.is_subtype(b, obj));
+        assert!(!reg.is_subtype(a, b));
+    }
+
+    #[test]
+    fn linking_requires_super_first() {
+        let mut reg = Registry::new();
+        let derived = ClassBuilder::new("B").super_class("A").build();
+        assert!(matches!(reg.link(&derived, 0), Err(VmError::LinkError { .. })));
+    }
+
+    #[test]
+    fn duplicate_link_is_rejected() {
+        let mut reg = Registry::new();
+        reg.link(&object(), 0).unwrap();
+        assert!(reg.link(&object(), 0).is_err());
+    }
+
+    #[test]
+    fn method_resolution_walks_hierarchy() {
+        let mut reg = Registry::new();
+        reg.link(&object(), 0).unwrap();
+        let base = ClassBuilder::new("A")
+            .bodyless_method(AccessFlags::PUBLIC | AccessFlags::NATIVE, "f", "()V")
+            .build();
+        let a = reg.link(&base, 0).unwrap();
+        let derived = ClassBuilder::new("B").super_class("A").build();
+        let b = reg.link(&derived, 0).unwrap();
+        let (cls, idx) = reg.resolve_method(b, "f", "()V").unwrap();
+        assert_eq!(cls, a);
+        assert_eq!(reg.get(cls).methods[idx].name, "f");
+    }
+
+    #[test]
+    fn interface_subtyping() {
+        let mut reg = Registry::new();
+        reg.link(&object(), 0).unwrap();
+        let iface = ClassBuilder::new("IFace").access(AccessFlags::PUBLIC | AccessFlags::INTERFACE).build();
+        let i = reg.link(&iface, 0).unwrap();
+        let impl_ = ClassBuilder::new("Impl").interface("IFace").build();
+        let c = reg.link(&impl_, 0).unwrap();
+        assert!(reg.is_subtype(c, i));
+    }
+}

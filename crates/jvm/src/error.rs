@@ -1,0 +1,86 @@
+//! Engine-level error type.
+//!
+//! Java-visible exceptions (`NullPointerException`, `VerifyError`, ...) are
+//! *not* errors of this type: they are heap objects propagated through the
+//! interpreter's completion values. `VmError` covers conditions that mean
+//! the engine itself cannot continue — corrupt bytecode, missing classes
+//! the bootstrap needs, or exhausted resource budgets.
+
+use std::fmt;
+
+use dvm_bytecode::BytecodeError;
+use dvm_classfile::ClassFileError;
+
+/// Fatal engine errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmError {
+    /// A class could not be found by any loader.
+    ClassNotFound(String),
+    /// A class failed to parse or link.
+    LinkError {
+        /// Class being linked.
+        class: String,
+        /// Explanation.
+        reason: String,
+    },
+    /// A member reference did not resolve.
+    NoSuchMember {
+        /// Declaring class searched.
+        class: String,
+        /// Member name.
+        name: String,
+        /// Member descriptor.
+        descriptor: String,
+    },
+    /// The interpreter hit malformed state (bad local index, wrong value
+    /// kind on the stack) — this indicates unverified or corrupt code.
+    BadCode(String),
+    /// A native method was invoked that has no registered implementation.
+    MissingNative(String),
+    /// The configured instruction budget was exhausted.
+    OutOfFuel,
+    /// The heap limit was exceeded even after collection.
+    OutOfMemory,
+    /// The frame stack exceeded its limit.
+    StackOverflow,
+    /// Underlying class-file problem.
+    ClassFile(ClassFileError),
+    /// Underlying bytecode problem.
+    Bytecode(BytecodeError),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::ClassNotFound(c) => write!(f, "class not found: {c}"),
+            VmError::LinkError { class, reason } => write!(f, "link error in {class}: {reason}"),
+            VmError::NoSuchMember { class, name, descriptor } => {
+                write!(f, "no such member: {class}.{name}:{descriptor}")
+            }
+            VmError::BadCode(msg) => write!(f, "bad code: {msg}"),
+            VmError::MissingNative(m) => write!(f, "missing native implementation: {m}"),
+            VmError::OutOfFuel => write!(f, "instruction budget exhausted"),
+            VmError::OutOfMemory => write!(f, "heap limit exceeded"),
+            VmError::StackOverflow => write!(f, "frame stack overflow"),
+            VmError::ClassFile(e) => write!(f, "{e}"),
+            VmError::Bytecode(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+impl From<ClassFileError> for VmError {
+    fn from(e: ClassFileError) -> Self {
+        VmError::ClassFile(e)
+    }
+}
+
+impl From<BytecodeError> for VmError {
+    fn from(e: BytecodeError) -> Self {
+        VmError::Bytecode(e)
+    }
+}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, VmError>;

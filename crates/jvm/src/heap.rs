@@ -1,0 +1,321 @@
+//! Object heap with a mark-sweep garbage collector.
+//!
+//! The paper's DVM client includes "an interpreter, runtime, and garbage
+//! collector" (§4); this module is that collector. Objects live in a slab
+//! indexed by [`HeapRef`]; collection marks from the root set supplied by
+//! the interpreter (frame locals, operand stacks, class statics, interned
+//! strings) and sweeps unmarked slots for reuse.
+
+use crate::error::{Result, VmError};
+use crate::value::Value;
+
+/// Index of a live object in the heap slab.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HeapRef(pub u32);
+
+/// Identifier of a loaded runtime class (index into the class registry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClassId(pub u32);
+
+/// Typed backing store for arrays.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrayData {
+    /// `byte[]` / `boolean[]`.
+    Byte(Vec<i8>),
+    /// `char[]`.
+    Char(Vec<u16>),
+    /// `short[]`.
+    Short(Vec<i16>),
+    /// `int[]`.
+    Int(Vec<i32>),
+    /// `long[]`.
+    Long(Vec<i64>),
+    /// `float[]`.
+    Float(Vec<f32>),
+    /// `double[]`.
+    Double(Vec<f64>),
+    /// Reference arrays, with the element class's internal name.
+    Ref(String, Vec<Option<HeapRef>>),
+}
+
+impl ArrayData {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            ArrayData::Byte(v) => v.len(),
+            ArrayData::Char(v) => v.len(),
+            ArrayData::Short(v) => v.len(),
+            ArrayData::Int(v) => v.len(),
+            ArrayData::Long(v) => v.len(),
+            ArrayData::Float(v) => v.len(),
+            ArrayData::Double(v) => v.len(),
+            ArrayData::Ref(_, v) => v.len(),
+        }
+    }
+
+    /// Returns `true` for zero-length arrays.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate size in bytes (element storage only).
+    pub fn byte_size(&self) -> usize {
+        match self {
+            ArrayData::Byte(v) => v.len(),
+            ArrayData::Char(v) => v.len() * 2,
+            ArrayData::Short(v) => v.len() * 2,
+            ArrayData::Int(v) => v.len() * 4,
+            ArrayData::Long(v) => v.len() * 8,
+            ArrayData::Float(v) => v.len() * 4,
+            ArrayData::Double(v) => v.len() * 8,
+            ArrayData::Ref(_, v) => v.len() * 4,
+        }
+    }
+}
+
+/// One heap object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HeapObject {
+    /// A class instance with its field slots (layout order).
+    Instance {
+        /// The instance's runtime class.
+        class: ClassId,
+        /// Field values in layout order (superclass fields first).
+        fields: Vec<Value>,
+    },
+    /// An array.
+    Array(ArrayData),
+    /// A string (represented natively; `java/lang/String` instances map
+    /// here).
+    Str(String),
+}
+
+impl HeapObject {
+    /// Approximate size in bytes, used for the collection trigger.
+    pub fn byte_size(&self) -> usize {
+        match self {
+            HeapObject::Instance { fields, .. } => 16 + fields.len() * 8,
+            HeapObject::Array(a) => 16 + a.byte_size(),
+            HeapObject::Str(s) => 24 + s.len(),
+        }
+    }
+}
+
+/// Statistics reported by the heap.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Objects currently live (since the last sweep).
+    pub live_objects: usize,
+    /// Approximate live bytes.
+    pub live_bytes: usize,
+    /// Total allocations performed.
+    pub total_allocations: u64,
+    /// Collections run.
+    pub collections: u64,
+    /// Objects reclaimed across all collections.
+    pub reclaimed_objects: u64,
+}
+
+/// The object heap.
+#[derive(Debug)]
+pub struct Heap {
+    slots: Vec<Option<HeapObject>>,
+    free: Vec<u32>,
+    allocated_bytes: usize,
+    limit_bytes: usize,
+    gc_threshold: usize,
+    stats: HeapStats,
+}
+
+impl Heap {
+    /// Creates a heap with the given byte limit.
+    pub fn new(limit_bytes: usize) -> Heap {
+        Heap {
+            slots: Vec::new(),
+            free: Vec::new(),
+            allocated_bytes: 0,
+            limit_bytes,
+            gc_threshold: limit_bytes / 2,
+            stats: HeapStats::default(),
+        }
+    }
+
+    /// Returns heap statistics.
+    pub fn stats(&self) -> HeapStats {
+        HeapStats {
+            live_objects: self.slots.iter().filter(|s| s.is_some()).count(),
+            live_bytes: self.allocated_bytes,
+            ..self.stats
+        }
+    }
+
+    /// Approximate bytes currently allocated.
+    pub fn allocated_bytes(&self) -> usize {
+        self.allocated_bytes
+    }
+
+    /// Returns `true` when an allocation should trigger a collection first.
+    pub fn wants_gc(&self) -> bool {
+        self.allocated_bytes >= self.gc_threshold
+    }
+
+    /// Allocates an object, returning its reference.
+    pub fn alloc(&mut self, obj: HeapObject) -> Result<HeapRef> {
+        let size = obj.byte_size();
+        if self.allocated_bytes + size > self.limit_bytes {
+            return Err(VmError::OutOfMemory);
+        }
+        self.allocated_bytes += size;
+        self.stats.total_allocations += 1;
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Some(obj);
+                i
+            }
+            None => {
+                self.slots.push(Some(obj));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        Ok(HeapRef(idx))
+    }
+
+    /// Immutable access to an object.
+    pub fn get(&self, r: HeapRef) -> Result<&HeapObject> {
+        self.slots
+            .get(r.0 as usize)
+            .and_then(|s| s.as_ref())
+            .ok_or_else(|| VmError::BadCode(format!("dangling heap reference {}", r.0)))
+    }
+
+    /// Mutable access to an object.
+    pub fn get_mut(&mut self, r: HeapRef) -> Result<&mut HeapObject> {
+        self.slots
+            .get_mut(r.0 as usize)
+            .and_then(|s| s.as_mut())
+            .ok_or_else(|| VmError::BadCode(format!("dangling heap reference {}", r.0)))
+    }
+
+    /// Runs a mark-sweep collection from the given roots.
+    ///
+    /// Returns the number of objects reclaimed.
+    pub fn collect(&mut self, roots: impl IntoIterator<Item = HeapRef>) -> usize {
+        let n = self.slots.len();
+        let mut marked = vec![false; n];
+        let mut work: Vec<u32> = roots
+            .into_iter()
+            .map(|r| r.0)
+            .filter(|&i| (i as usize) < n)
+            .collect();
+        while let Some(i) = work.pop() {
+            let idx = i as usize;
+            if marked[idx] {
+                continue;
+            }
+            marked[idx] = true;
+            if let Some(obj) = &self.slots[idx] {
+                match obj {
+                    HeapObject::Instance { fields, .. } => {
+                        for v in fields {
+                            if let Value::Ref(Some(r)) = v {
+                                work.push(r.0);
+                            }
+                        }
+                    }
+                    HeapObject::Array(ArrayData::Ref(_, elems)) => {
+                        for e in elems.iter().flatten() {
+                            work.push(e.0);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut reclaimed = 0usize;
+        for (idx, slot) in self.slots.iter_mut().enumerate() {
+            if slot.is_some() && !marked[idx] {
+                let size = slot.as_ref().map(|o| o.byte_size()).unwrap_or(0);
+                self.allocated_bytes = self.allocated_bytes.saturating_sub(size);
+                *slot = None;
+                self.free.push(idx as u32);
+                reclaimed += 1;
+            }
+        }
+        self.stats.collections += 1;
+        self.stats.reclaimed_objects += reclaimed as u64;
+        reclaimed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instance(class: u32, field_refs: Vec<Option<HeapRef>>) -> HeapObject {
+        HeapObject::Instance {
+            class: ClassId(class),
+            fields: field_refs.into_iter().map(Value::Ref).collect(),
+        }
+    }
+
+    #[test]
+    fn alloc_and_get() {
+        let mut h = Heap::new(1 << 20);
+        let r = h.alloc(HeapObject::Str("hi".into())).unwrap();
+        assert!(matches!(h.get(r).unwrap(), HeapObject::Str(s) if s == "hi"));
+    }
+
+    #[test]
+    fn collect_reclaims_unreachable() {
+        let mut h = Heap::new(1 << 20);
+        let a = h.alloc(instance(0, vec![])).unwrap();
+        let _b = h.alloc(instance(0, vec![])).unwrap();
+        let reclaimed = h.collect([a]);
+        assert_eq!(reclaimed, 1);
+        assert!(h.get(a).is_ok());
+    }
+
+    #[test]
+    fn collect_traces_through_fields_and_arrays() {
+        let mut h = Heap::new(1 << 20);
+        let leaf = h.alloc(HeapObject::Str("leaf".into())).unwrap();
+        let arr = h
+            .alloc(HeapObject::Array(ArrayData::Ref("java/lang/Object".into(), vec![Some(leaf)])))
+            .unwrap();
+        let root = h.alloc(instance(0, vec![Some(arr)])).unwrap();
+        let dead = h.alloc(HeapObject::Str("dead".into())).unwrap();
+        let reclaimed = h.collect([root]);
+        assert_eq!(reclaimed, 1);
+        assert!(h.get(leaf).is_ok());
+        assert!(h.get(arr).is_ok());
+        assert!(h.get(dead).is_err());
+    }
+
+    #[test]
+    fn slots_are_reused_after_collection() {
+        let mut h = Heap::new(1 << 20);
+        let a = h.alloc(HeapObject::Str("x".into())).unwrap();
+        h.collect([]);
+        let b = h.alloc(HeapObject::Str("y".into())).unwrap();
+        assert_eq!(a.0, b.0, "freed slot should be reused");
+    }
+
+    #[test]
+    fn oom_when_limit_exceeded() {
+        let mut h = Heap::new(64);
+        let big = HeapObject::Array(ArrayData::Int(vec![0; 1000]));
+        assert!(matches!(h.alloc(big), Err(VmError::OutOfMemory)));
+    }
+
+    #[test]
+    fn cycles_are_collected() {
+        let mut h = Heap::new(1 << 20);
+        let a = h.alloc(instance(0, vec![None])).unwrap();
+        let b = h.alloc(instance(0, vec![Some(a)])).unwrap();
+        if let HeapObject::Instance { fields, .. } = h.get_mut(a).unwrap() {
+            fields[0] = Value::Ref(Some(b));
+        }
+        let reclaimed = h.collect([]);
+        assert_eq!(reclaimed, 2, "unreachable cycle must be reclaimed");
+    }
+}

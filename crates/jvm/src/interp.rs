@@ -1,0 +1,1412 @@
+//! The bytecode interpreter.
+//!
+//! A single explicit frame stack drives execution; Java exceptions are
+//! ordinary completions (heap references) that unwind through per-method
+//! handler tables, while [`VmError`] is reserved for engine faults. Class
+//! initialization (`<clinit>`) is performed by pushing initializer frames
+//! and re-executing the triggering instruction.
+//!
+//! Every instruction is charged against a simulated cycle budget (see
+//! [`insn_cost`]) so experiment timings are deterministic and
+//! machine-independent.
+
+use std::sync::Arc;
+
+use dvm_bytecode::insn::{ArithOp, ICond, Insn, LogicOp, NumKind, NumType, ShiftOp};
+use dvm_bytecode::Code;
+use dvm_classfile::descriptor::{FieldType, MethodDescriptor};
+use dvm_classfile::pool::Constant;
+
+use crate::classes::{InitState, InvokeInfo};
+use crate::error::{Result, VmError};
+use crate::heap::{ArrayData, ClassId, HeapObject, HeapRef};
+use crate::natives::NativeResult;
+use crate::value::Value;
+use crate::vm::Vm;
+
+/// Maximum frame-stack depth.
+pub const MAX_FRAMES: usize = 2048;
+
+/// How a top-level invocation completed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Completion {
+    /// Normal return with the method's value (if non-void).
+    Normal(Option<Value>),
+    /// An uncaught Java exception.
+    Exception(HeapRef),
+}
+
+/// One activation record.
+#[derive(Debug)]
+struct Frame {
+    class: ClassId,
+    method: usize,
+    code: Arc<Code>,
+    pc: usize,
+    locals: Vec<Value>,
+    stack: Vec<Value>,
+}
+
+impl Frame {
+    fn is_clinit(&self, vm: &Vm) -> bool {
+        vm.registry.get(self.class).methods[self.method].name == "<clinit>"
+    }
+}
+
+/// Simulated cycle cost of one instruction (200 MHz PentiumPro-flavored).
+pub fn insn_cost(insn: &Insn) -> u64 {
+    match insn {
+        Insn::Nop => 1,
+        Insn::New(_) => 24,
+        Insn::NewArray(_) | Insn::ANewArray(_) | Insn::MultiANewArray(_, _) => 20,
+        Insn::InvokeVirtual(_) | Insn::InvokeInterface(_) => 14,
+        Insn::InvokeSpecial(_) | Insn::InvokeStatic(_) => 12,
+        Insn::GetField(_) | Insn::PutField(_) | Insn::GetStatic(_) | Insn::PutStatic(_) => 3,
+        Insn::ArrayLoad(_) | Insn::ArrayStore(_) => 2,
+        Insn::Arith(_, ArithOp::Div) | Insn::Arith(_, ArithOp::Rem) => 8,
+        Insn::Arith(NumKind::Float, _) | Insn::Arith(NumKind::Double, _) => 2,
+        Insn::Ldc(_) | Insn::Ldc2(_) => 2,
+        Insn::TableSwitch { .. } | Insn::LookupSwitch { .. } => 4,
+        Insn::MonitorEnter | Insn::MonitorExit => 8,
+        Insn::AThrow => 30,
+        Insn::CheckCast(_) | Insn::InstanceOf(_) => 4,
+        _ => 1,
+    }
+}
+
+impl Vm {
+    /// Invokes a static method and runs to completion.
+    pub fn run_static(
+        &mut self,
+        class: &str,
+        method: &str,
+        descriptor: &str,
+        args: Vec<Value>,
+    ) -> Result<Completion> {
+        let class_id = self.load_class(class)?;
+        let (decl, idx) = self
+            .registry
+            .resolve_method(class_id, method, descriptor)
+            .ok_or_else(|| VmError::NoSuchMember {
+                class: class.to_owned(),
+                name: method.to_owned(),
+                descriptor: descriptor.to_owned(),
+            })?;
+        let mut frames: Vec<Frame> = Vec::new();
+        // Initialize the class first if needed.
+        if self.push_clinit_frames(&mut frames, decl)? {
+            let done = execute(self, &mut frames)?;
+            if let Completion::Exception(e) = done {
+                return Ok(Completion::Exception(e));
+            }
+        }
+        let m = &self.registry.get(decl).methods[idx];
+        if m.is_native() {
+            let name = m.name.clone();
+            let desc = m.descriptor.clone();
+            let decl_name = self.registry.get(decl).name.clone();
+            return self.call_native_toplevel(&decl_name, &name, &desc, &args);
+        }
+        let code = m
+            .code
+            .clone()
+            .ok_or_else(|| VmError::BadCode(format!("{class}.{method} has no body")))?;
+        let frame = make_frame(decl, idx, code, args);
+        frames.push(frame);
+        execute(self, &mut frames)
+    }
+
+    /// Convenience entry point: runs `class.main()V` or
+    /// `class.main([Ljava/lang/String;)V`.
+    pub fn run_main(&mut self, class: &str) -> Result<Completion> {
+        let id = self.load_class(class)?;
+        if self.registry.resolve_method(id, "main", "()V").is_some() {
+            self.run_static(class, "main", "()V", vec![])
+        } else {
+            self.run_static(class, "main", "([Ljava/lang/String;)V", vec![Value::NULL])
+        }
+    }
+
+    fn call_native_toplevel(
+        &mut self,
+        class: &str,
+        name: &str,
+        desc: &str,
+        args: &[Value],
+    ) -> Result<Completion> {
+        let f = self
+            .natives
+            .lookup(class, name, desc)
+            .ok_or_else(|| VmError::MissingNative(format!("{class}.{name}:{desc}")))?;
+        self.stats.invocations += 1;
+        match f(self, args)? {
+            NativeResult::Return(v) => Ok(Completion::Normal(v)),
+            NativeResult::Throw { class, message } => {
+                let e = self.make_exception(&class, &message)?;
+                Ok(Completion::Exception(e))
+            }
+        }
+    }
+
+    /// Pushes `<clinit>` frames for `class` and its uninitialized
+    /// superclasses. Returns `true` if any frame was pushed.
+    fn push_clinit_frames(&mut self, frames: &mut Vec<Frame>, class: ClassId) -> Result<bool> {
+        // Collect the chain bottom-up, then push sub-first so supers (pushed
+        // last) execute first.
+        let mut chain = Vec::new();
+        let mut cur = Some(class);
+        while let Some(id) = cur {
+            let rc = self.registry.get(id);
+            if rc.init_state == InitState::NotInitialized {
+                chain.push(id);
+            }
+            cur = rc.super_class;
+        }
+        if chain.is_empty() {
+            return Ok(false);
+        }
+        let mut pushed = false;
+        for id in chain {
+            self.set_init_state(id, InitState::InProgress);
+            let rc = self.registry.get(id);
+            if let Some(idx) = rc.find_method("<clinit>", "()V") {
+                if let Some(code) = rc.methods[idx].code.clone() {
+                    frames.push(make_frame(id, idx, code, vec![]));
+                    pushed = true;
+                    continue;
+                }
+            }
+            // No initializer body: initialization completes immediately.
+            self.set_init_state(id, InitState::Initialized);
+        }
+        Ok(pushed)
+    }
+}
+
+fn make_frame(class: ClassId, method: usize, code: Arc<Code>, args: Vec<Value>) -> Frame {
+    let max_locals = code.max_locals as usize;
+    let mut locals = Vec::with_capacity(max_locals.max(args.len()));
+    for v in args {
+        let wide = v.is_wide();
+        locals.push(v);
+        if wide {
+            locals.push(Value::Invalid);
+        }
+    }
+    while locals.len() < max_locals {
+        locals.push(Value::Invalid);
+    }
+    Frame { class, method, code, pc: 0, locals, stack: Vec::new() }
+}
+
+// ---- Stack helpers ----------------------------------------------------------
+
+fn pop(frame: &mut Frame) -> Result<Value> {
+    frame.stack.pop().ok_or_else(|| VmError::BadCode("operand stack underflow".into()))
+}
+
+fn pop_int(frame: &mut Frame) -> Result<i32> {
+    match pop(frame)? {
+        Value::Int(v) => Ok(v),
+        other => Err(VmError::BadCode(format!("expected int, got {other:?}"))),
+    }
+}
+
+fn pop_long(frame: &mut Frame) -> Result<i64> {
+    match pop(frame)? {
+        Value::Long(v) => Ok(v),
+        other => Err(VmError::BadCode(format!("expected long, got {other:?}"))),
+    }
+}
+
+fn pop_float(frame: &mut Frame) -> Result<f32> {
+    match pop(frame)? {
+        Value::Float(v) => Ok(v),
+        other => Err(VmError::BadCode(format!("expected float, got {other:?}"))),
+    }
+}
+
+fn pop_double(frame: &mut Frame) -> Result<f64> {
+    match pop(frame)? {
+        Value::Double(v) => Ok(v),
+        other => Err(VmError::BadCode(format!("expected double, got {other:?}"))),
+    }
+}
+
+fn pop_ref(frame: &mut Frame) -> Result<Option<HeapRef>> {
+    match pop(frame)? {
+        Value::Ref(r) => Ok(r),
+        other => Err(VmError::BadCode(format!("expected reference, got {other:?}"))),
+    }
+}
+
+/// What the main loop should do after a step.
+enum Step {
+    /// Advance to the next instruction.
+    Next,
+    /// `pc` was set explicitly (branch, re-execution, call, return).
+    Jumped,
+    /// Raise a Java exception.
+    Throw(HeapRef),
+    /// The outermost frame returned.
+    Finished(Option<Value>),
+}
+
+/// Runs the frame stack to completion.
+fn execute(vm: &mut Vm, frames: &mut Vec<Frame>) -> Result<Completion> {
+    // The inner loop runs instructions of one activation without re-cloning
+    // the shared code Arc; it re-snapshots whenever the frame stack changes
+    // (call, return, unwinding).
+    while !frames.is_empty() {
+        let (code, depth) = {
+            let f = frames.last().expect("checked non-empty");
+            (f.code.clone(), frames.len())
+        };
+        loop {
+            if frames.len() != depth {
+                break; // frame stack changed: re-snapshot
+            }
+            let Some(frame) = frames.last_mut() else { break };
+            if frame.pc >= code.insns.len() {
+                return Err(VmError::BadCode("fell off the end of a method".into()));
+            }
+            if let Some(fuel) = vm.fuel.as_mut() {
+                if *fuel == 0 {
+                    return Err(VmError::OutOfFuel);
+                }
+                *fuel -= 1;
+            }
+            let insn = &code.insns[frame.pc];
+            vm.stats.instructions += 1;
+            vm.stats.cycles += insn_cost(insn);
+
+            match step(vm, frames, insn)? {
+                Step::Next => {
+                    if let Some(f) = frames.last_mut() {
+                        f.pc += 1;
+                    }
+                }
+                Step::Jumped => {}
+                Step::Throw(exc) => {
+                    if !unwind(vm, frames, exc)? {
+                        return Ok(Completion::Exception(exc));
+                    }
+                    break; // handler may be in a different frame
+                }
+                Step::Finished(v) => return Ok(Completion::Normal(v)),
+            }
+        }
+    }
+    Ok(Completion::Normal(None))
+}
+
+/// Unwinds `frames` looking for a handler for `exc`. Returns `false` when
+/// the exception escapes the outermost frame.
+fn unwind(vm: &mut Vm, frames: &mut Vec<Frame>, exc: HeapRef) -> Result<bool> {
+    let exc_class = vm.class_of(exc)?;
+    while let Some(frame) = frames.last_mut() {
+        let pc = frame.pc;
+        let mut target = None;
+        let handlers = frame.code.handlers.clone();
+        for h in &handlers {
+            if pc < h.start || pc >= h.end {
+                continue;
+            }
+            if h.catch_type == 0 {
+                target = Some(h.handler);
+                break;
+            }
+            let catch_name = {
+                let rc = vm.registry.get(frame.class);
+                rc.pool.get_class_name(h.catch_type)?.to_owned()
+            };
+            let catch_id = vm.load_class(&catch_name)?;
+            if vm.registry.is_subtype(exc_class, catch_id) {
+                target = Some(h.handler);
+                break;
+            }
+        }
+        // Re-borrow: load_class above may not invalidate, but be explicit.
+        let frame = frames.last_mut().expect("frame checked above");
+        if let Some(t) = target {
+            frame.stack.clear();
+            frame.stack.push(Value::Ref(Some(exc)));
+            frame.pc = t;
+            return Ok(true);
+        }
+        let finished_clinit = frame.is_clinit(vm);
+        let class = frame.class;
+        frames.pop();
+        if finished_clinit {
+            // An exception escaping <clinit> leaves the class erroneous; we
+            // model the common path by marking it initialized so execution
+            // can surface the exception.
+            vm.set_init_state(class, InitState::Initialized);
+        }
+    }
+    Ok(false)
+}
+
+/// Helper: the current (top) frame.
+macro_rules! top {
+    ($frames:expr) => {
+        $frames.last_mut().expect("frame stack cannot be empty during step")
+    };
+}
+
+fn throw(vm: &mut Vm, class: &str, msg: String) -> Result<Step> {
+    let e = vm.make_exception(class, &msg)?;
+    Ok(Step::Throw(e))
+}
+
+#[allow(clippy::too_many_lines)]
+fn step(vm: &mut Vm, frames: &mut Vec<Frame>, insn: &Insn) -> Result<Step> {
+    match insn {
+        Insn::Nop => Ok(Step::Next),
+        Insn::AConstNull => {
+            top!(frames).stack.push(Value::NULL);
+            Ok(Step::Next)
+        }
+        Insn::IConst(v) => {
+            top!(frames).stack.push(Value::Int(*v));
+            Ok(Step::Next)
+        }
+        Insn::LConst(v) => {
+            top!(frames).stack.push(Value::Long(*v));
+            Ok(Step::Next)
+        }
+        Insn::FConst(v) => {
+            top!(frames).stack.push(Value::Float(*v));
+            Ok(Step::Next)
+        }
+        Insn::DConst(v) => {
+            top!(frames).stack.push(Value::Double(*v));
+            Ok(Step::Next)
+        }
+        Insn::Ldc(idx) | Insn::Ldc2(idx) => {
+            let constant = {
+                let rc = vm.registry.get(top!(frames).class);
+                rc.pool.get(*idx)?.clone()
+            };
+            let v = match constant {
+                Constant::Integer(v) => Value::Int(v),
+                Constant::Float(v) => Value::Float(v),
+                Constant::Long(v) => Value::Long(v),
+                Constant::Double(v) => Value::Double(v),
+                Constant::String { .. } => {
+                    let s = {
+                        let rc = vm.registry.get(top!(frames).class);
+                        rc.pool.get_string(*idx)?.to_owned()
+                    };
+                    Value::Ref(Some(vm.intern_string(&s)?))
+                }
+                other => {
+                    return Err(VmError::BadCode(format!("ldc of {:?}", other.kind())));
+                }
+            };
+            top!(frames).stack.push(v);
+            Ok(Step::Next)
+        }
+        Insn::Load(_, slot) => { let slot = *slot;
+            let frame = top!(frames);
+            let v = *frame
+                .locals
+                .get(slot as usize)
+                .ok_or_else(|| VmError::BadCode(format!("local {slot} out of range")))?;
+            frame.stack.push(v);
+            Ok(Step::Next)
+        }
+        Insn::Store(_, slot) => { let slot = *slot;
+            let frame = top!(frames);
+            let v = pop(frame)?;
+            let slot = slot as usize;
+            if slot >= frame.locals.len() {
+                return Err(VmError::BadCode(format!("local {slot} out of range")));
+            }
+            let wide = v.is_wide();
+            frame.locals[slot] = v;
+            if wide && slot + 1 < frame.locals.len() {
+                frame.locals[slot + 1] = Value::Invalid;
+            }
+            Ok(Step::Next)
+        }
+        Insn::ArrayLoad(_) => {
+            let frame = top!(frames);
+            let index = pop_int(frame)?;
+            let arr = pop_ref(frame)?;
+            let Some(arr) = arr else {
+                return throw(vm, "java/lang/NullPointerException", "array load".into());
+            };
+            let obj = vm.heap.get(arr)?;
+            let HeapObject::Array(data) = obj else {
+                return Err(VmError::BadCode("array load on non-array".into()));
+            };
+            if index < 0 || index as usize >= data.len() {
+                let len = data.len();
+                return throw(
+                    vm,
+                    "java/lang/ArrayIndexOutOfBoundsException",
+                    format!("index {index}, length {len}"),
+                );
+            }
+            let i = index as usize;
+            let v = match data {
+                ArrayData::Byte(v) => Value::Int(v[i] as i32),
+                ArrayData::Char(v) => Value::Int(v[i] as i32),
+                ArrayData::Short(v) => Value::Int(v[i] as i32),
+                ArrayData::Int(v) => Value::Int(v[i]),
+                ArrayData::Long(v) => Value::Long(v[i]),
+                ArrayData::Float(v) => Value::Float(v[i]),
+                ArrayData::Double(v) => Value::Double(v[i]),
+                ArrayData::Ref(_, v) => Value::Ref(v[i]),
+            };
+            top!(frames).stack.push(v);
+            Ok(Step::Next)
+        }
+        Insn::ArrayStore(_) => {
+            let frame = top!(frames);
+            let value = pop(frame)?;
+            let index = pop_int(frame)?;
+            let arr = pop_ref(frame)?;
+            let Some(arr) = arr else {
+                return throw(vm, "java/lang/NullPointerException", "array store".into());
+            };
+            let len = match vm.heap.get(arr)? {
+                HeapObject::Array(d) => d.len(),
+                _ => return Err(VmError::BadCode("array store on non-array".into())),
+            };
+            if index < 0 || index as usize >= len {
+                return throw(
+                    vm,
+                    "java/lang/ArrayIndexOutOfBoundsException",
+                    format!("index {index}, length {len}"),
+                );
+            }
+            let i = index as usize;
+            let HeapObject::Array(data) = vm.heap.get_mut(arr)? else {
+                unreachable!("checked above");
+            };
+            match (data, value) {
+                (ArrayData::Byte(v), Value::Int(x)) => v[i] = x as i8,
+                (ArrayData::Char(v), Value::Int(x)) => v[i] = x as u16,
+                (ArrayData::Short(v), Value::Int(x)) => v[i] = x as i16,
+                (ArrayData::Int(v), Value::Int(x)) => v[i] = x,
+                (ArrayData::Long(v), Value::Long(x)) => v[i] = x,
+                (ArrayData::Float(v), Value::Float(x)) => v[i] = x,
+                (ArrayData::Double(v), Value::Double(x)) => v[i] = x,
+                (ArrayData::Ref(_, v), Value::Ref(x)) => v[i] = x,
+                (d, v) => {
+                    return Err(VmError::BadCode(format!("array store kind mismatch {d:?} <- {v:?}")))
+                }
+            }
+            Ok(Step::Next)
+        }
+        Insn::Pop => {
+            pop(top!(frames))?;
+            Ok(Step::Next)
+        }
+        Insn::Pop2 => {
+            let frame = top!(frames);
+            let v = pop(frame)?;
+            if !v.is_wide() {
+                pop(frame)?;
+            }
+            Ok(Step::Next)
+        }
+        Insn::Dup => {
+            let frame = top!(frames);
+            let v = *frame
+                .stack
+                .last()
+                .ok_or_else(|| VmError::BadCode("dup on empty stack".into()))?;
+            frame.stack.push(v);
+            Ok(Step::Next)
+        }
+        Insn::DupX1 => dup_block(top!(frames), 1, BlockSel::One),
+        Insn::DupX2 => dup_block(top!(frames), 1, BlockSel::Auto),
+        Insn::Dup2 => dup_block(top!(frames), 2, BlockSel::None),
+        Insn::Dup2X1 => dup_block(top!(frames), 2, BlockSel::One),
+        Insn::Dup2X2 => dup_block(top!(frames), 2, BlockSel::Auto),
+        Insn::Swap => {
+            let frame = top!(frames);
+            let a = pop(frame)?;
+            let b = pop(frame)?;
+            frame.stack.push(a);
+            frame.stack.push(b);
+            Ok(Step::Next)
+        }
+        Insn::Arith(kind, op) => arith(vm, frames, *kind, *op),
+        Insn::Shift(kind, op) => { let (kind, op) = (*kind, *op);
+            let frame = top!(frames);
+            let amount = pop_int(frame)?;
+            match kind {
+                NumKind::Int => {
+                    let v = pop_int(frame)?;
+                    let s = amount & 0x1F;
+                    let r = match op {
+                        ShiftOp::Shl => v.wrapping_shl(s as u32),
+                        ShiftOp::Shr => v.wrapping_shr(s as u32),
+                        ShiftOp::Ushr => ((v as u32).wrapping_shr(s as u32)) as i32,
+                    };
+                    frame.stack.push(Value::Int(r));
+                }
+                NumKind::Long => {
+                    let v = pop_long(frame)?;
+                    let s = amount & 0x3F;
+                    let r = match op {
+                        ShiftOp::Shl => v.wrapping_shl(s as u32),
+                        ShiftOp::Shr => v.wrapping_shr(s as u32),
+                        ShiftOp::Ushr => ((v as u64).wrapping_shr(s as u32)) as i64,
+                    };
+                    frame.stack.push(Value::Long(r));
+                }
+                _ => return Err(VmError::BadCode("shift on float kind".into())),
+            }
+            Ok(Step::Next)
+        }
+        Insn::Logic(kind, op) => { let (kind, op) = (*kind, *op);
+            let frame = top!(frames);
+            match kind {
+                NumKind::Int => {
+                    let b = pop_int(frame)?;
+                    let a = pop_int(frame)?;
+                    let r = match op {
+                        LogicOp::And => a & b,
+                        LogicOp::Or => a | b,
+                        LogicOp::Xor => a ^ b,
+                    };
+                    frame.stack.push(Value::Int(r));
+                }
+                NumKind::Long => {
+                    let b = pop_long(frame)?;
+                    let a = pop_long(frame)?;
+                    let r = match op {
+                        LogicOp::And => a & b,
+                        LogicOp::Or => a | b,
+                        LogicOp::Xor => a ^ b,
+                    };
+                    frame.stack.push(Value::Long(r));
+                }
+                _ => return Err(VmError::BadCode("logic on float kind".into())),
+            }
+            Ok(Step::Next)
+        }
+        Insn::IInc(slot, delta) => { let (slot, delta) = (*slot, *delta);
+            let frame = top!(frames);
+            match frame.locals.get_mut(slot as usize) {
+                Some(Value::Int(v)) => {
+                    *v = v.wrapping_add(delta as i32);
+                    Ok(Step::Next)
+                }
+                other => Err(VmError::BadCode(format!("iinc on {other:?}"))),
+            }
+        }
+        Insn::Convert(from, to) => { let (from, to) = (*from, *to);
+            let frame = top!(frames);
+            let v = match (from, to) {
+                (NumType::Int, NumType::Long) => Value::Long(pop_int(frame)? as i64),
+                (NumType::Int, NumType::Float) => Value::Float(pop_int(frame)? as f32),
+                (NumType::Int, NumType::Double) => Value::Double(pop_int(frame)? as f64),
+                (NumType::Int, NumType::Byte) => Value::Int(pop_int(frame)? as i8 as i32),
+                (NumType::Int, NumType::Char) => Value::Int(pop_int(frame)? as u16 as i32),
+                (NumType::Int, NumType::Short) => Value::Int(pop_int(frame)? as i16 as i32),
+                (NumType::Long, NumType::Int) => Value::Int(pop_long(frame)? as i32),
+                (NumType::Long, NumType::Float) => Value::Float(pop_long(frame)? as f32),
+                (NumType::Long, NumType::Double) => Value::Double(pop_long(frame)? as f64),
+                (NumType::Float, NumType::Int) => Value::Int(f2i(pop_float(frame)? as f64)),
+                (NumType::Float, NumType::Long) => Value::Long(f2l(pop_float(frame)? as f64)),
+                (NumType::Float, NumType::Double) => Value::Double(pop_float(frame)? as f64),
+                (NumType::Double, NumType::Int) => Value::Int(f2i(pop_double(frame)?)),
+                (NumType::Double, NumType::Long) => Value::Long(f2l(pop_double(frame)?)),
+                (NumType::Double, NumType::Float) => Value::Float(pop_double(frame)? as f32),
+                (a, b) => return Err(VmError::BadCode(format!("bad conversion {a:?} -> {b:?}"))),
+            };
+            frame.stack.push(v);
+            Ok(Step::Next)
+        }
+        Insn::LCmp => {
+            let frame = top!(frames);
+            let b = pop_long(frame)?;
+            let a = pop_long(frame)?;
+            frame.stack.push(Value::Int(match a.cmp(&b) {
+                std::cmp::Ordering::Less => -1,
+                std::cmp::Ordering::Equal => 0,
+                std::cmp::Ordering::Greater => 1,
+            }));
+            Ok(Step::Next)
+        }
+        Insn::FCmp(g) => { let g = *g;
+            let frame = top!(frames);
+            let b = pop_float(frame)?;
+            let a = pop_float(frame)?;
+            frame.stack.push(Value::Int(fcmp(a as f64, b as f64, g)));
+            Ok(Step::Next)
+        }
+        Insn::DCmp(g) => { let g = *g;
+            let frame = top!(frames);
+            let b = pop_double(frame)?;
+            let a = pop_double(frame)?;
+            frame.stack.push(Value::Int(fcmp(a, b, g)));
+            Ok(Step::Next)
+        }
+        Insn::If(cond, target) => { let (cond, target) = (*cond, *target);
+            let frame = top!(frames);
+            let v = pop_int(frame)?;
+            branch_if(frame, icond(cond, v, 0), target)
+        }
+        Insn::IfICmp(cond, target) => { let (cond, target) = (*cond, *target);
+            let frame = top!(frames);
+            let b = pop_int(frame)?;
+            let a = pop_int(frame)?;
+            branch_if(frame, icond(cond, a, b), target)
+        }
+        Insn::IfACmp(eq, target) => { let (eq, target) = (*eq, *target);
+            let frame = top!(frames);
+            let b = pop_ref(frame)?;
+            let a = pop_ref(frame)?;
+            branch_if(frame, (a == b) == eq, target)
+        }
+        Insn::IfNull(target) => { let target = *target;
+            let frame = top!(frames);
+            let v = pop_ref(frame)?;
+            branch_if(frame, v.is_none(), target)
+        }
+        Insn::IfNonNull(target) => { let target = *target;
+            let frame = top!(frames);
+            let v = pop_ref(frame)?;
+            branch_if(frame, v.is_some(), target)
+        }
+        Insn::Goto(target) => {
+            top!(frames).pc = *target;
+            Ok(Step::Jumped)
+        }
+        Insn::Jsr(target) => { let target = *target;
+            let frame = top!(frames);
+            frame.stack.push(Value::RetAddr(frame.pc as u32 + 1));
+            frame.pc = target;
+            Ok(Step::Jumped)
+        }
+        Insn::Ret(slot) => { let slot = *slot;
+            let frame = top!(frames);
+            match frame.locals.get(slot as usize) {
+                Some(Value::RetAddr(pc)) => {
+                    frame.pc = *pc as usize;
+                    Ok(Step::Jumped)
+                }
+                other => Err(VmError::BadCode(format!("ret on {other:?}"))),
+            }
+        }
+        Insn::TableSwitch { default, low, targets } => { let (default, low) = (*default, *low);
+            let frame = top!(frames);
+            let v = pop_int(frame)?;
+            let idx = v.wrapping_sub(low);
+            let t = if idx >= 0 && (idx as usize) < targets.len() {
+                targets[idx as usize]
+            } else {
+                default
+            };
+            frame.pc = t;
+            Ok(Step::Jumped)
+        }
+        Insn::LookupSwitch { default, pairs } => { let default = *default;
+            let frame = top!(frames);
+            let v = pop_int(frame)?;
+            let t = pairs
+                .iter()
+                .find(|(k, _)| *k == v)
+                .map(|(_, t)| *t)
+                .unwrap_or(default);
+            frame.pc = t;
+            Ok(Step::Jumped)
+        }
+        Insn::Return(kind) => { let kind = *kind;
+            let frame = top!(frames);
+            let ret = match kind {
+                Some(_) => Some(pop(frame)?),
+                None => None,
+            };
+            let was_clinit = frame.is_clinit(vm);
+            let class = frame.class;
+            frames.pop();
+            if was_clinit {
+                vm.set_init_state(class, InitState::Initialized);
+            }
+            match frames.last_mut() {
+                Some(caller) => {
+                    if let Some(v) = ret {
+                        caller.stack.push(v);
+                    }
+                    Ok(Step::Jumped) // caller.pc already advanced at call
+                }
+                None => Ok(Step::Finished(ret)),
+            }
+        }
+        Insn::GetStatic(idx) => static_field(vm, frames, *idx, false),
+        Insn::PutStatic(idx) => static_field(vm, frames, *idx, true),
+        Insn::GetField(idx) => { let idx = *idx;
+            let caller = top!(frames).class;
+            let obj = pop_ref(top!(frames))?;
+            let Some(obj) = obj else {
+                return throw(vm, "java/lang/NullPointerException", "getfield".into());
+            };
+            let off = instance_field_offset(vm, caller, idx, obj)?;
+            let v = match vm.heap.get(obj)? {
+                HeapObject::Instance { fields, .. } => fields[off],
+                _ => return Err(VmError::BadCode("getfield on non-instance".into())),
+            };
+            top!(frames).stack.push(v);
+            Ok(Step::Next)
+        }
+        Insn::PutField(idx) => { let idx = *idx;
+            let caller = top!(frames).class;
+            let frame = top!(frames);
+            let value = pop(frame)?;
+            let obj = pop_ref(frame)?;
+            let Some(obj) = obj else {
+                return throw(vm, "java/lang/NullPointerException", "putfield".into());
+            };
+            let off = instance_field_offset(vm, caller, idx, obj)?;
+            match vm.heap.get_mut(obj)? {
+                HeapObject::Instance { fields, .. } => fields[off] = value,
+                _ => return Err(VmError::BadCode("putfield on non-instance".into())),
+            }
+            Ok(Step::Next)
+        }
+        Insn::InvokeVirtual(idx) | Insn::InvokeInterface(idx) => {
+            invoke(vm, frames, *idx, Dispatch::Virtual)
+        }
+        Insn::InvokeSpecial(idx) => invoke(vm, frames, *idx, Dispatch::Special),
+        Insn::InvokeStatic(idx) => invoke(vm, frames, *idx, Dispatch::Static),
+        Insn::New(idx) => { let idx = *idx;
+            let class_name = {
+                let rc = vm.registry.get(top!(frames).class);
+                rc.pool.get_class_name(idx)?.to_owned()
+            };
+            let class = vm.load_class(&class_name)?;
+            if vm.registry.get(class).init_state == InitState::NotInitialized {
+                let mut tmp = Vec::new();
+                if vm.push_clinit_frames(&mut tmp, class)? {
+                    frames.extend(tmp);
+                    return Ok(Step::Jumped); // re-execute `new` after clinit
+                }
+            }
+            maybe_gc(vm, frames);
+            let r = vm.alloc_instance(class)?;
+            top!(frames).stack.push(Value::Ref(Some(r)));
+            Ok(Step::Next)
+        }
+        Insn::NewArray(kind) => { let kind = *kind;
+            let frame = top!(frames);
+            let len = pop_int(frame)?;
+            if len < 0 {
+                return throw(vm, "java/lang/NegativeArraySizeException", len.to_string());
+            }
+            maybe_gc(vm, frames);
+            let n = len as usize;
+            let data = match kind {
+                dvm_bytecode::AKind::Byte => ArrayData::Byte(vec![0; n]),
+                dvm_bytecode::AKind::Char => ArrayData::Char(vec![0; n]),
+                dvm_bytecode::AKind::Short => ArrayData::Short(vec![0; n]),
+                dvm_bytecode::AKind::Int => ArrayData::Int(vec![0; n]),
+                dvm_bytecode::AKind::Long => ArrayData::Long(vec![0; n]),
+                dvm_bytecode::AKind::Float => ArrayData::Float(vec![0.0; n]),
+                dvm_bytecode::AKind::Double => ArrayData::Double(vec![0.0; n]),
+                dvm_bytecode::AKind::Ref => {
+                    return Err(VmError::BadCode("newarray of reference kind".into()))
+                }
+            };
+            vm.stats.allocations += 1;
+            let r = vm.heap.alloc(HeapObject::Array(data))?;
+            top!(frames).stack.push(Value::Ref(Some(r)));
+            Ok(Step::Next)
+        }
+        Insn::ANewArray(idx) => { let idx = *idx;
+            let elem = {
+                let rc = vm.registry.get(top!(frames).class);
+                rc.pool.get_class_name(idx)?.to_owned()
+            };
+            let frame = top!(frames);
+            let len = pop_int(frame)?;
+            if len < 0 {
+                return throw(vm, "java/lang/NegativeArraySizeException", len.to_string());
+            }
+            maybe_gc(vm, frames);
+            vm.stats.allocations += 1;
+            let r = vm
+                .heap
+                .alloc(HeapObject::Array(ArrayData::Ref(elem, vec![None; len as usize])))?;
+            top!(frames).stack.push(Value::Ref(Some(r)));
+            Ok(Step::Next)
+        }
+        Insn::ArrayLength => {
+            let frame = top!(frames);
+            let arr = pop_ref(frame)?;
+            let Some(arr) = arr else {
+                return throw(vm, "java/lang/NullPointerException", "arraylength".into());
+            };
+            let len = match vm.heap.get(arr)? {
+                HeapObject::Array(d) => d.len(),
+                HeapObject::Str(s) => s.len(),
+                _ => return Err(VmError::BadCode("arraylength on non-array".into())),
+            };
+            top!(frames).stack.push(Value::Int(len as i32));
+            Ok(Step::Next)
+        }
+        Insn::AThrow => {
+            let frame = top!(frames);
+            let exc = pop_ref(frame)?;
+            match exc {
+                Some(e) => Ok(Step::Throw(e)),
+                None => throw(vm, "java/lang/NullPointerException", "athrow of null".into()),
+            }
+        }
+        Insn::CheckCast(idx) => { let idx = *idx;
+            let target = {
+                let rc = vm.registry.get(top!(frames).class);
+                rc.pool.get_class_name(idx)?.to_owned()
+            };
+            let frame = top!(frames);
+            let v = pop_ref(frame)?;
+            let ok = match v {
+                None => true,
+                Some(r) => reference_instanceof(vm, r, &target)?,
+            };
+            if ok {
+                top!(frames).stack.push(Value::Ref(v));
+                Ok(Step::Next)
+            } else {
+                throw(vm, "java/lang/ClassCastException", target)
+            }
+        }
+        Insn::InstanceOf(idx) => { let idx = *idx;
+            let target = {
+                let rc = vm.registry.get(top!(frames).class);
+                rc.pool.get_class_name(idx)?.to_owned()
+            };
+            let frame = top!(frames);
+            let v = pop_ref(frame)?;
+            let res = match v {
+                None => 0,
+                Some(r) => reference_instanceof(vm, r, &target)? as i32,
+            };
+            top!(frames).stack.push(Value::Int(res));
+            Ok(Step::Next)
+        }
+        Insn::MonitorEnter | Insn::MonitorExit => {
+            // Single-threaded model: monitors are cycle cost only.
+            let frame = top!(frames);
+            let v = pop_ref(frame)?;
+            if v.is_none() {
+                return throw(vm, "java/lang/NullPointerException", "monitor".into());
+            }
+            Ok(Step::Next)
+        }
+        Insn::MultiANewArray(idx, dims) => { let (idx, dims) = (*idx, *dims);
+            let desc = {
+                let rc = vm.registry.get(top!(frames).class);
+                rc.pool.get_class_name(idx)?.to_owned()
+            };
+            let frame = top!(frames);
+            let mut sizes = Vec::with_capacity(dims as usize);
+            for _ in 0..dims {
+                sizes.push(pop_int(frame)?);
+            }
+            sizes.reverse();
+            if sizes.iter().any(|&s| s < 0) {
+                return throw(vm, "java/lang/NegativeArraySizeException", format!("{sizes:?}"));
+            }
+            maybe_gc(vm, frames);
+            let ft = FieldType::parse(&desc)?;
+            let r = alloc_multi(vm, &ft, &sizes)?;
+            top!(frames).stack.push(Value::Ref(Some(r)));
+            Ok(Step::Next)
+        }
+    }
+}
+
+/// Handles `getstatic`/`putstatic`, triggering class initialization.
+#[allow(clippy::ptr_arg)] // clinit frames are pushed onto the live stack
+fn static_field(vm: &mut Vm, frames: &mut Vec<Frame>, idx: u16, is_put: bool) -> Result<Step> {
+    let caller = top!(frames).class;
+    let (decl, off) = match vm.registry.get(caller).sfield_cache.get(&idx) {
+        Some(&t) => t,
+        None => {
+            let (class_name, field_name) = {
+                let rc = vm.registry.get(caller);
+                let (c, n, _) = rc.pool.get_member_ref(idx)?;
+                (c.to_owned(), n.to_owned())
+            };
+            let class = vm.load_class(&class_name)?;
+            let Some(t) = vm.registry.resolve_static(class, &field_name) else {
+                return Err(VmError::NoSuchMember {
+                    class: class_name,
+                    name: field_name,
+                    descriptor: "<static>".into(),
+                });
+            };
+            vm.registry.get_mut(caller).sfield_cache.insert(idx, t);
+            t
+        }
+    };
+    if vm.registry.get(decl).init_state == InitState::NotInitialized {
+        let mut tmp = Vec::new();
+        if vm.push_clinit_frames(&mut tmp, decl)? {
+            frames.extend(tmp);
+            return Ok(Step::Jumped); // re-execute after clinit
+        }
+    }
+    if is_put {
+        let v = pop(top!(frames))?;
+        vm.registry.get_mut(decl).statics[off] = v;
+    } else {
+        let v = vm.registry.get(decl).statics[off];
+        top!(frames).stack.push(v);
+    }
+    Ok(Step::Next)
+}
+
+/// Resolves (and caches) an instance-field offset for `idx` in `caller`'s
+/// pool. Offsets are receiver-independent because subclass layouts share
+/// the superclass prefix.
+fn instance_field_offset(vm: &mut Vm, caller: ClassId, idx: u16, receiver: HeapRef) -> Result<usize> {
+    if let Some(&off) = vm.registry.get(caller).ifield_cache.get(&idx) {
+        return Ok(off);
+    }
+    let field_name = {
+        let rc = vm.registry.get(caller);
+        rc.pool.get_member_ref(idx)?.1.to_owned()
+    };
+    let class = vm.class_of(receiver)?;
+    let Some(off) = vm.registry.resolve_field(class, &field_name) else {
+        return Err(VmError::NoSuchMember {
+            class: vm.registry.get(class).name.clone(),
+            name: field_name,
+            descriptor: "<instance>".into(),
+        });
+    };
+    vm.registry.get_mut(caller).ifield_cache.insert(idx, off);
+    Ok(off)
+}
+
+fn icond(cond: ICond, a: i32, b: i32) -> bool {
+    match cond {
+        ICond::Eq => a == b,
+        ICond::Ne => a != b,
+        ICond::Lt => a < b,
+        ICond::Ge => a >= b,
+        ICond::Gt => a > b,
+        ICond::Le => a <= b,
+    }
+}
+
+fn branch_if(frame: &mut Frame, take: bool, target: usize) -> Result<Step> {
+    if take {
+        frame.pc = target;
+        Ok(Step::Jumped)
+    } else {
+        Ok(Step::Next)
+    }
+}
+
+fn fcmp(a: f64, b: f64, g: bool) -> i32 {
+    if a.is_nan() || b.is_nan() {
+        if g {
+            1
+        } else {
+            -1
+        }
+    } else if a < b {
+        -1
+    } else if a > b {
+        1
+    } else {
+        0
+    }
+}
+
+fn f2i(v: f64) -> i32 {
+    if v.is_nan() {
+        0
+    } else if v >= i32::MAX as f64 {
+        i32::MAX
+    } else if v <= i32::MIN as f64 {
+        i32::MIN
+    } else {
+        v as i32
+    }
+}
+
+fn f2l(v: f64) -> i64 {
+    if v.is_nan() {
+        0
+    } else if v >= i64::MAX as f64 {
+        i64::MAX
+    } else if v <= i64::MIN as f64 {
+        i64::MIN
+    } else {
+        v as i64
+    }
+}
+
+/// Which values form the inserted-below block for dup variants.
+enum BlockSel {
+    /// No insertion: plain duplication (dup2).
+    None,
+    /// Skip exactly one value (x1 forms).
+    One,
+    /// Skip one wide value or two narrow values (x2 forms).
+    Auto,
+}
+
+fn dup_block(frame: &mut Frame, top_slots: u16, below: BlockSel) -> Result<Step> {
+    // Collect the top block (top_slots slots: one wide value or that many
+    // narrow values).
+    let mut block = Vec::new();
+    let mut slots = 0;
+    while slots < top_slots {
+        let v = pop(frame)?;
+        slots += if v.is_wide() { 2 } else { 1 };
+        block.push(v);
+    }
+    let mut skipped = Vec::new();
+    match below {
+        BlockSel::None => {}
+        BlockSel::One => skipped.push(pop(frame)?),
+        BlockSel::Auto => {
+            let v = pop(frame)?;
+            let wide = v.is_wide();
+            skipped.push(v);
+            if !wide {
+                skipped.push(pop(frame)?);
+            }
+        }
+    }
+    // Push: copy of block, then skipped, then block again (all restoring
+    // original order: block/skipped were collected top-first).
+    for v in block.iter().rev() {
+        frame.stack.push(*v);
+    }
+    for v in skipped.iter().rev() {
+        frame.stack.push(*v);
+    }
+    for v in block.iter().rev() {
+        frame.stack.push(*v);
+    }
+    Ok(Step::Next)
+}
+
+fn arith(vm: &mut Vm, frames: &mut [Frame], kind: NumKind, op: ArithOp) -> Result<Step> {
+    let frame = top!(frames);
+    match kind {
+        NumKind::Int => {
+            if op == ArithOp::Neg {
+                let v = pop_int(frame)?;
+                frame.stack.push(Value::Int(v.wrapping_neg()));
+                return Ok(Step::Next);
+            }
+            let b = pop_int(frame)?;
+            let a = pop_int(frame)?;
+            let r = match op {
+                ArithOp::Add => a.wrapping_add(b),
+                ArithOp::Sub => a.wrapping_sub(b),
+                ArithOp::Mul => a.wrapping_mul(b),
+                ArithOp::Div => {
+                    if b == 0 {
+                        return throw(vm, "java/lang/ArithmeticException", "/ by zero".into());
+                    }
+                    a.wrapping_div(b)
+                }
+                ArithOp::Rem => {
+                    if b == 0 {
+                        return throw(vm, "java/lang/ArithmeticException", "% by zero".into());
+                    }
+                    a.wrapping_rem(b)
+                }
+                ArithOp::Neg => unreachable!(),
+            };
+            frame.stack.push(Value::Int(r));
+        }
+        NumKind::Long => {
+            if op == ArithOp::Neg {
+                let v = pop_long(frame)?;
+                frame.stack.push(Value::Long(v.wrapping_neg()));
+                return Ok(Step::Next);
+            }
+            let b = pop_long(frame)?;
+            let a = pop_long(frame)?;
+            let r = match op {
+                ArithOp::Add => a.wrapping_add(b),
+                ArithOp::Sub => a.wrapping_sub(b),
+                ArithOp::Mul => a.wrapping_mul(b),
+                ArithOp::Div => {
+                    if b == 0 {
+                        return throw(vm, "java/lang/ArithmeticException", "/ by zero".into());
+                    }
+                    a.wrapping_div(b)
+                }
+                ArithOp::Rem => {
+                    if b == 0 {
+                        return throw(vm, "java/lang/ArithmeticException", "% by zero".into());
+                    }
+                    a.wrapping_rem(b)
+                }
+                ArithOp::Neg => unreachable!(),
+            };
+            frame.stack.push(Value::Long(r));
+        }
+        NumKind::Float => {
+            if op == ArithOp::Neg {
+                let v = pop_float(frame)?;
+                frame.stack.push(Value::Float(-v));
+                return Ok(Step::Next);
+            }
+            let b = pop_float(frame)?;
+            let a = pop_float(frame)?;
+            let r = match op {
+                ArithOp::Add => a + b,
+                ArithOp::Sub => a - b,
+                ArithOp::Mul => a * b,
+                ArithOp::Div => a / b,
+                ArithOp::Rem => a % b,
+                ArithOp::Neg => unreachable!(),
+            };
+            frame.stack.push(Value::Float(r));
+        }
+        NumKind::Double => {
+            if op == ArithOp::Neg {
+                let v = pop_double(frame)?;
+                frame.stack.push(Value::Double(-v));
+                return Ok(Step::Next);
+            }
+            let b = pop_double(frame)?;
+            let a = pop_double(frame)?;
+            let r = match op {
+                ArithOp::Add => a + b,
+                ArithOp::Sub => a - b,
+                ArithOp::Mul => a * b,
+                ArithOp::Div => a / b,
+                ArithOp::Rem => a % b,
+                ArithOp::Neg => unreachable!(),
+            };
+            frame.stack.push(Value::Double(r));
+        }
+    }
+    Ok(Step::Next)
+}
+
+/// Dispatch style for invocations.
+enum Dispatch {
+    Virtual,
+    Special,
+    Static,
+}
+
+/// Resolves (and caches) the invoke-site information for `idx` in
+/// `caller`'s pool.
+fn invoke_info(vm: &mut Vm, caller: ClassId, idx: u16, is_static: bool) -> Result<InvokeInfo> {
+    if let Some(info) = vm.registry.get(caller).invoke_cache.get(&idx) {
+        return Ok(info.clone());
+    }
+    let (class_name, method_name, method_desc) = {
+        let rc = vm.registry.get(caller);
+        let (c, n, d) = rc.pool.get_member_ref(idx)?;
+        (c.to_owned(), n.to_owned(), d.to_owned())
+    };
+    let decl_class = vm.load_class(&class_name)?;
+    let md = MethodDescriptor::parse(&method_desc)?;
+    // Statically resolve the target for static/special dispatch (the
+    // binding never changes); virtual dispatch caches per receiver class.
+    let static_target = if is_static {
+        vm.registry.resolve_method(decl_class, &method_name, &method_desc)
+    } else {
+        None
+    };
+    let info = InvokeInfo {
+        name: Arc::from(method_name.as_str()),
+        descriptor: Arc::from(method_desc.as_str()),
+        decl_class,
+        param_count: md.params.len(),
+        static_target,
+    };
+    vm.registry.get_mut(caller).invoke_cache.insert(idx, info.clone());
+    Ok(info)
+}
+
+/// Looks up (and caches on the method) the native implementation.
+fn native_fn_of(vm: &mut Vm, class: ClassId, method: usize) -> Result<crate::natives::NativeFn> {
+    if let Some(f) = vm.registry.get(class).methods[method].native_impl {
+        return Ok(f);
+    }
+    let (decl_name, name, desc) = {
+        let rc = vm.registry.get(class);
+        let m = &rc.methods[method];
+        (rc.name.clone(), m.name.clone(), m.descriptor.clone())
+    };
+    let f = vm
+        .natives
+        .lookup(&decl_name, &name, &desc)
+        .ok_or_else(|| VmError::MissingNative(format!("{decl_name}.{name}:{desc}")))?;
+    vm.registry.get_mut(class).methods[method].native_impl = Some(f);
+    Ok(f)
+}
+
+fn invoke(vm: &mut Vm, frames: &mut Vec<Frame>, idx: u16, dispatch: Dispatch) -> Result<Step> {
+    let caller = top!(frames).class;
+    let is_static_dispatch = matches!(dispatch, Dispatch::Static | Dispatch::Special);
+    let info = invoke_info(vm, caller, idx, is_static_dispatch)?;
+    let decl_class = info.decl_class;
+    if matches!(dispatch, Dispatch::Static)
+        && vm.registry.get(decl_class).init_state == InitState::NotInitialized
+    {
+        let mut tmp = Vec::new();
+        if vm.push_clinit_frames(&mut tmp, decl_class)? {
+            frames.extend(tmp);
+            return Ok(Step::Jumped); // re-execute the invoke after clinit
+        }
+    }
+
+    // Pop receiver + arguments into the callee's argument vector.
+    let frame = top!(frames);
+    let is_instance = !matches!(dispatch, Dispatch::Static);
+    let mut full_args = vec![Value::Invalid; info.param_count + usize::from(is_instance)];
+    for slot in (usize::from(is_instance)..full_args.len()).rev() {
+        full_args[slot] = pop(frame)?;
+    }
+    let receiver = if is_instance {
+        match pop_ref(frame)? {
+            Some(r) => {
+                full_args[0] = Value::Ref(Some(r));
+                Some(r)
+            }
+            None => {
+                return throw(
+                    vm,
+                    "java/lang/NullPointerException",
+                    format!("invoke {}", info.name),
+                )
+            }
+        }
+    } else {
+        None
+    };
+
+    // Resolve the target method.
+    let (target_class, target_idx) = match (&dispatch, receiver) {
+        (Dispatch::Virtual, Some(r)) => {
+            let recv_class = vm.class_of(r)?;
+            match vm.registry.get(caller).vcall_cache.get(&(idx, recv_class)) {
+                Some(&t) => t,
+                None => {
+                    let t = vm
+                        .registry
+                        .resolve_method(recv_class, &info.name, &info.descriptor)
+                        .ok_or_else(|| VmError::NoSuchMember {
+                            class: vm.registry.get(recv_class).name.clone(),
+                            name: info.name.to_string(),
+                            descriptor: info.descriptor.to_string(),
+                        })?;
+                    vm.registry.get_mut(caller).vcall_cache.insert((idx, recv_class), t);
+                    t
+                }
+            }
+        }
+        _ => info.static_target.or_else(|| {
+            vm.registry.resolve_method(decl_class, &info.name, &info.descriptor)
+        }).ok_or_else(|| VmError::NoSuchMember {
+            class: vm.registry.get(decl_class).name.clone(),
+            name: info.name.to_string(),
+            descriptor: info.descriptor.to_string(),
+        })?,
+    };
+
+    // Advance caller pc now; the callee's return resumes after the call.
+    top!(frames).pc += 1;
+    vm.stats.invocations += 1;
+
+    let target = &vm.registry.get(target_class).methods[target_idx];
+    if target.is_native() {
+        let f = match target.native_impl {
+            Some(f) => f,
+            None => native_fn_of(vm, target_class, target_idx)?,
+        };
+        match f(vm, &full_args)? {
+            NativeResult::Return(v) => {
+                // The caller frame is still on top.
+                if let Some(v) = v {
+                    top!(frames).stack.push(v);
+                }
+                // Native call completed; pc already advanced.
+                Ok(Step::Jumped)
+            }
+            NativeResult::Throw { class, message } => {
+                // Roll the caller pc back so the handler search sees the
+                // faulting instruction's position.
+                top!(frames).pc -= 1;
+                let e = vm.make_exception(&class, &message)?;
+                Ok(Step::Throw(e))
+            }
+        }
+    } else {
+        if frames.len() >= MAX_FRAMES {
+            return Err(VmError::StackOverflow);
+        }
+        let code = target.code.clone().ok_or_else(|| {
+            VmError::BadCode(format!("{} is abstract", info.name))
+        })?;
+        frames.push(make_frame(target_class, target_idx, code, full_args));
+        Ok(Step::Jumped)
+    }
+}
+
+fn reference_instanceof(vm: &mut Vm, r: HeapRef, target: &str) -> Result<bool> {
+    if target.starts_with('[') {
+        // Array types: match on array-ness only (sufficient for the
+        // workloads this system generates).
+        return Ok(matches!(vm.heap.get(r)?, HeapObject::Array(_)));
+    }
+    let class = vm.class_of(r)?;
+    let target_id = vm.load_class(target)?;
+    Ok(vm.registry.is_subtype(class, target_id))
+}
+
+fn alloc_multi(vm: &mut Vm, ft: &FieldType, sizes: &[i32]) -> Result<HeapRef> {
+    let FieldType::Array(elem) = ft else {
+        return Err(VmError::BadCode("multianewarray of non-array type".into()));
+    };
+    let n = sizes[0] as usize;
+    vm.stats.allocations += 1;
+    if sizes.len() == 1 {
+        let data = match elem.as_ref() {
+            FieldType::Byte | FieldType::Boolean => ArrayData::Byte(vec![0; n]),
+            FieldType::Char => ArrayData::Char(vec![0; n]),
+            FieldType::Short => ArrayData::Short(vec![0; n]),
+            FieldType::Int => ArrayData::Int(vec![0; n]),
+            FieldType::Long => ArrayData::Long(vec![0; n]),
+            FieldType::Float => ArrayData::Float(vec![0.0; n]),
+            FieldType::Double => ArrayData::Double(vec![0.0; n]),
+            FieldType::Object(name) => ArrayData::Ref(name.clone(), vec![None; n]),
+            FieldType::Array(_) => ArrayData::Ref(elem.descriptor(), vec![None; n]),
+        };
+        return vm.heap.alloc(HeapObject::Array(data));
+    }
+    let mut elems = Vec::with_capacity(n);
+    for _ in 0..n {
+        elems.push(Some(alloc_multi(vm, elem, &sizes[1..])?));
+    }
+    vm.heap.alloc(HeapObject::Array(ArrayData::Ref(elem.descriptor(), elems)))
+}
+
+fn maybe_gc(vm: &mut Vm, frames: &[Frame]) {
+    if !vm.heap.wants_gc() {
+        return;
+    }
+    let mut roots = vm.global_roots();
+    for f in frames {
+        for v in f.locals.iter().chain(f.stack.iter()) {
+            if let Value::Ref(Some(r)) = v {
+                roots.push(*r);
+            }
+        }
+    }
+    vm.heap.collect(roots);
+}

@@ -1,0 +1,33 @@
+//! A JVM-subset execution engine: class loading, linking, interpretation,
+//! heap management, and mark-sweep garbage collection.
+//!
+//! This crate is the DVM *client* substrate: the paper's own client VM
+//! ("an interpreter, runtime, and garbage collector", §4) rebuilt in Rust.
+//! It executes the class files produced by `dvm-classfile`/`dvm-bytecode`,
+//! hosts the bootstrap runtime library ([`bootstrap`]), and exposes the
+//! hook points ([`hooks::DynamicServices`]) where the DVM's dynamic service
+//! components — the enforcement manager, audit forwarder, and profiler —
+//! plug in.
+//!
+//! Execution cost is accounted in simulated cycles (see
+//! [`interp::insn_cost`]) so that every experiment in the benchmark harness
+//! is deterministic and machine-independent.
+
+pub mod bootstrap;
+pub mod classes;
+pub mod error;
+pub mod heap;
+pub mod hooks;
+pub mod interp;
+pub mod natives;
+pub mod value;
+pub mod vm;
+
+pub use classes::{ClassProvider, MapProvider, Registry, RuntimeClass, RuntimeMethod};
+pub use error::{Result, VmError};
+pub use heap::{ArrayData, ClassId, Heap, HeapObject, HeapRef};
+pub use hooks::{AuditKind, BuiltinChecks, DynamicServices, NoServices, SecurityDecision};
+pub use interp::Completion;
+pub use natives::{NativeFn, NativeRegistry, NativeResult};
+pub use value::Value;
+pub use vm::{Vm, VmStats};

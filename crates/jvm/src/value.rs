@@ -1,0 +1,110 @@
+//! Runtime values.
+
+use crate::heap::HeapRef;
+
+/// A value on the operand stack or in a local-variable slot.
+///
+/// Wide values (`long`, `double`) are held in a single `Value`; the
+/// interpreter models their two-slot nature where the instruction set
+/// requires it (`pop2`, `dup2`, locals layout).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// `int` (also carries boolean/byte/char/short).
+    Int(i32),
+    /// `long`.
+    Long(i64),
+    /// `float`.
+    Float(f32),
+    /// `double`.
+    Double(f64),
+    /// A reference; `None` is `null`.
+    Ref(Option<HeapRef>),
+    /// A `jsr` return address (instruction index).
+    RetAddr(u32),
+    /// The unusable second slot of a wide local.
+    Invalid,
+}
+
+impl Value {
+    /// The canonical `null` reference.
+    pub const NULL: Value = Value::Ref(None);
+
+    /// Default value for a field of the given descriptor.
+    pub fn default_for(descriptor: &str) -> Value {
+        match descriptor.as_bytes().first() {
+            Some(b'J') => Value::Long(0),
+            Some(b'F') => Value::Float(0.0),
+            Some(b'D') => Value::Double(0.0),
+            Some(b'L') | Some(b'[') => Value::NULL,
+            _ => Value::Int(0),
+        }
+    }
+
+    /// Returns `true` for `long`/`double` values.
+    pub fn is_wide(&self) -> bool {
+        matches!(self, Value::Long(_) | Value::Double(_))
+    }
+
+    /// Extracts an `int`, or `None` for other kinds.
+    pub fn as_int(&self) -> Option<i32> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extracts a `long`.
+    pub fn as_long(&self) -> Option<i64> {
+        match self {
+            Value::Long(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extracts a `float`.
+    pub fn as_float(&self) -> Option<f32> {
+        match self {
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extracts a `double`.
+    pub fn as_double(&self) -> Option<f64> {
+        match self {
+            Value::Double(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extracts a reference (possibly null).
+    pub fn as_ref_val(&self) -> Option<Option<HeapRef>> {
+        match self {
+            Value::Ref(r) => Some(*r),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_descriptors() {
+        assert_eq!(Value::default_for("I"), Value::Int(0));
+        assert_eq!(Value::default_for("Z"), Value::Int(0));
+        assert_eq!(Value::default_for("J"), Value::Long(0));
+        assert_eq!(Value::default_for("D"), Value::Double(0.0));
+        assert_eq!(Value::default_for("Ljava/lang/String;"), Value::NULL);
+        assert_eq!(Value::default_for("[I"), Value::NULL);
+    }
+
+    #[test]
+    fn wideness() {
+        assert!(Value::Long(1).is_wide());
+        assert!(Value::Double(1.0).is_wide());
+        assert!(!Value::Int(1).is_wide());
+        assert!(!Value::NULL.is_wide());
+    }
+}

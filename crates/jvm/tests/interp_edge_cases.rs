@@ -1,0 +1,447 @@
+//! Interpreter edge cases: stack-manipulation forms, numeric semantics
+//! (NaN, shift masking, overflow wrapping), subroutines, and
+//! multi-dimensional arrays.
+
+use dvm_bytecode::insn::{AKind, ArithOp, ICond, Insn, Kind, LogicOp, NumKind, NumType, ShiftOp};
+use dvm_classfile::{AccessFlags, Attribute, ClassBuilder, ClassFile, CodeAttribute, MemberInfo};
+use dvm_jvm::{Completion, MapProvider, Value, Vm};
+
+fn class_with(name: &str, method: &str, desc: &str, insns: Vec<Insn>, max_locals: u16) -> ClassFile {
+    let mut cf = ClassBuilder::new(name).build();
+    let code = dvm_bytecode::Code { insns, handlers: vec![], max_locals };
+    let attr = code.encode(&cf.pool).unwrap();
+    let n = cf.pool.utf8(method).unwrap();
+    let d = cf.pool.utf8(desc).unwrap();
+    cf.methods.push(MemberInfo {
+        access: AccessFlags::PUBLIC | AccessFlags::STATIC,
+        name_index: n,
+        descriptor_index: d,
+        attributes: vec![Attribute::Code(attr)],
+    });
+    cf
+}
+
+fn run(cf: ClassFile, method: &str, desc: &str, args: Vec<Value>) -> Completion {
+    let mut cf = cf;
+    let name = cf.name().unwrap().to_owned();
+    let mut provider = MapProvider::new();
+    provider.insert_class(&mut cf).unwrap();
+    let mut vm = Vm::new(Box::new(provider)).unwrap();
+    vm.run_static(&name, method, desc, args).unwrap()
+}
+
+fn run_int(cf: ClassFile, method: &str, desc: &str, args: Vec<Value>) -> i32 {
+    match run(cf, method, desc, args) {
+        Completion::Normal(Some(Value::Int(v))) => v,
+        other => panic!("expected int, got {other:?}"),
+    }
+}
+
+#[test]
+fn dup_x1_rearranges_stack() {
+    // push 1, 2; dup_x1 -> [2, 1, 2]; sub -> [2, -1]; sub -> 3
+    let v = run_int(
+        class_with(
+            "t/DupX1",
+            "f",
+            "()I",
+            vec![
+                Insn::IConst(1),
+                Insn::IConst(2),
+                Insn::DupX1,
+                Insn::Arith(NumKind::Int, ArithOp::Sub),
+                Insn::Arith(NumKind::Int, ArithOp::Sub),
+                Insn::Return(Some(Kind::Int)),
+            ],
+            0,
+        ),
+        "f",
+        "()I",
+        vec![],
+    );
+    assert_eq!(v, 3); // 2 - (1 - 2)
+}
+
+#[test]
+fn dup2_duplicates_long() {
+    // lconst_1; dup2; ladd -> 2; l2i
+    let v = run_int(
+        class_with(
+            "t/Dup2",
+            "f",
+            "()I",
+            vec![
+                Insn::LConst(1),
+                Insn::Dup2,
+                Insn::Arith(NumKind::Long, ArithOp::Add),
+                Insn::Convert(NumType::Long, NumType::Int),
+                Insn::Return(Some(Kind::Int)),
+            ],
+            0,
+        ),
+        "f",
+        "()I",
+        vec![],
+    );
+    assert_eq!(v, 2);
+}
+
+#[test]
+fn dup2_x2_handles_mixed_categories() {
+    // Stack [long 5, int 1, int 2] -> dup2_x2 -> [1, 2, long 5, 1, 2].
+    // Then: iadd (1+2=3), i2l, ladd (5+3=8), l2i, iadd (wait...) — keep it
+    // simple: pop the duplicated pair and verify the underlying long moved.
+    let v = run_int(
+        class_with(
+            "t/Dup2X2",
+            "f",
+            "()I",
+            vec![
+                Insn::LConst(1),               // [1L]
+                Insn::IConst(2),               // [1L, 2]
+                Insn::IConst(3),               // [1L, 2, 3]
+                Insn::Dup2X2,                  // [2, 3, 1L, 2, 3]
+                Insn::Pop,                     // [2, 3, 1L, 2]
+                Insn::Pop,                     // [2, 3, 1L]
+                Insn::Convert(NumType::Long, NumType::Int), // [2, 3, 1]
+                Insn::Arith(NumKind::Int, ArithOp::Add),    // [2, 4]
+                Insn::Arith(NumKind::Int, ArithOp::Mul),    // [8]
+                Insn::Return(Some(Kind::Int)),
+            ],
+            0,
+        ),
+        "f",
+        "()I",
+        vec![],
+    );
+    assert_eq!(v, 8);
+}
+
+#[test]
+fn shift_amounts_are_masked() {
+    // 1 << 33 == 1 << 1 == 2 for int.
+    let v = run_int(
+        class_with(
+            "t/Shift",
+            "f",
+            "()I",
+            vec![
+                Insn::IConst(1),
+                Insn::IConst(33),
+                Insn::Shift(NumKind::Int, ShiftOp::Shl),
+                Insn::Return(Some(Kind::Int)),
+            ],
+            0,
+        ),
+        "f",
+        "()I",
+        vec![],
+    );
+    assert_eq!(v, 2);
+}
+
+#[test]
+fn ushr_is_logical() {
+    let v = run_int(
+        class_with(
+            "t/Ushr",
+            "f",
+            "()I",
+            vec![
+                Insn::IConst(-1),
+                Insn::IConst(28),
+                Insn::Shift(NumKind::Int, ShiftOp::Ushr),
+                Insn::Return(Some(Kind::Int)),
+            ],
+            0,
+        ),
+        "f",
+        "()I",
+        vec![],
+    );
+    assert_eq!(v, 15);
+}
+
+#[test]
+fn int_overflow_wraps() {
+    let v = run_int(
+        class_with(
+            "t/Wrap",
+            "f",
+            "(I)I",
+            vec![
+                Insn::Load(Kind::Int, 0),
+                Insn::Load(Kind::Int, 0),
+                Insn::Arith(NumKind::Int, ArithOp::Add),
+                Insn::Return(Some(Kind::Int)),
+            ],
+            1,
+        ),
+        "f",
+        "(I)I",
+        vec![Value::Int(i32::MAX)],
+    );
+    assert_eq!(v, -2);
+}
+
+#[test]
+fn fcmpg_and_fcmpl_differ_on_nan() {
+    for (g, expected) in [(true, 1), (false, -1)] {
+        let v = run_int(
+            class_with(
+                "t/NaN",
+                "f",
+                "(F)I",
+                vec![
+                    Insn::Load(Kind::Float, 0),
+                    Insn::Load(Kind::Float, 0),
+                    Insn::Arith(NumKind::Float, ArithOp::Sub), // NaN - stays NaN? No: x - x
+                    Insn::Load(Kind::Float, 0),
+                    Insn::FCmp(g),
+                    Insn::Return(Some(Kind::Int)),
+                ],
+                1,
+            ),
+            "f",
+            "(F)I",
+            vec![Value::Float(f32::NAN)],
+        );
+        assert_eq!(v, expected, "fcmp{}", if g { "g" } else { "l" });
+    }
+}
+
+#[test]
+fn long_division_by_zero_raises() {
+    let out = run(
+        class_with(
+            "t/LDiv",
+            "f",
+            "()V",
+            vec![
+                Insn::LConst(1),
+                Insn::LConst(0),
+                Insn::Arith(NumKind::Long, ArithOp::Div),
+                Insn::Pop2,
+                Insn::Return(None),
+            ],
+            0,
+        ),
+        "f",
+        "()V",
+        vec![],
+    );
+    assert!(matches!(out, Completion::Exception(_)));
+}
+
+#[test]
+fn i2b_sign_extends_and_i2c_zero_extends() {
+    let cases = [
+        (NumType::Byte, 0x1FF, -1),
+        (NumType::Char, -1, 0xFFFF),
+        (NumType::Short, 0x1_8000, -32768),
+    ];
+    for (to, input, expected) in cases {
+        let v = run_int(
+            class_with(
+                "t/Conv",
+                "f",
+                "(I)I",
+                vec![
+                    Insn::Load(Kind::Int, 0),
+                    Insn::Convert(NumType::Int, to),
+                    Insn::Return(Some(Kind::Int)),
+                ],
+                1,
+            ),
+            "f",
+            "(I)I",
+            vec![Value::Int(input)],
+        );
+        assert_eq!(v, expected, "{to:?}");
+    }
+}
+
+#[test]
+fn d2i_saturates() {
+    let cases = [(f64::INFINITY, i32::MAX), (f64::NEG_INFINITY, i32::MIN), (f64::NAN, 0)];
+    for (input, expected) in cases {
+        let v = run_int(
+            class_with(
+                "t/D2I",
+                "f",
+                "(D)I",
+                vec![
+                    Insn::Load(Kind::Double, 0),
+                    Insn::Convert(NumType::Double, NumType::Int),
+                    Insn::Return(Some(Kind::Int)),
+                ],
+                2,
+            ),
+            "f",
+            "(D)I",
+            vec![Value::Double(input)],
+        );
+        assert_eq!(v, expected, "d2i({input})");
+    }
+}
+
+#[test]
+fn ret_returns_to_jsr_successor() {
+    // Proper subroutine: main pushes 5, calls sub twice, sub adds 3.
+    let insns = vec![
+        Insn::IConst(5),           // 0  [5]
+        Insn::Jsr(6),              // 1  -> sub with [5, ra]
+        Insn::Jsr(6),              // 2  -> sub again
+        Insn::IConst(1),           // 3  [11, 1]
+        Insn::Arith(NumKind::Int, ArithOp::Add), // 4 [12]
+        Insn::Return(Some(Kind::Int)), // 5
+        // subroutine:
+        Insn::Store(Kind::Ref, 0), // 6: store return address
+        Insn::IConst(3),           // 7
+        Insn::Arith(NumKind::Int, ArithOp::Add), // 8
+        Insn::Ret(0),              // 9
+    ];
+    let v = run_int(class_with("t/Ret", "f", "()I", insns, 1), "f", "()I", vec![]);
+    assert_eq!(v, 12); // 5 + 3 + 3 + 1
+}
+
+#[test]
+fn multianewarray_allocates_nested() {
+    // int[3][4]: arr[2][3] = 7; return arr[2][3] + arr.length + arr[0].length
+    let mut cf = ClassBuilder::new("t/Multi").build();
+    let arr_cls = cf.pool.class("[[I").unwrap();
+    let insns = vec![
+        Insn::IConst(3),
+        Insn::IConst(4),
+        Insn::MultiANewArray(arr_cls, 2),
+        Insn::Store(Kind::Ref, 0),
+        // arr[2][3] = 7
+        Insn::Load(Kind::Ref, 0),
+        Insn::IConst(2),
+        Insn::ArrayLoad(AKind::Ref),
+        Insn::IConst(3),
+        Insn::IConst(7),
+        Insn::ArrayStore(AKind::Int),
+        // sum
+        Insn::Load(Kind::Ref, 0),
+        Insn::IConst(2),
+        Insn::ArrayLoad(AKind::Ref),
+        Insn::IConst(3),
+        Insn::ArrayLoad(AKind::Int),
+        Insn::Load(Kind::Ref, 0),
+        Insn::ArrayLength,
+        Insn::Arith(NumKind::Int, ArithOp::Add),
+        Insn::Load(Kind::Ref, 0),
+        Insn::IConst(0),
+        Insn::ArrayLoad(AKind::Ref),
+        Insn::ArrayLength,
+        Insn::Arith(NumKind::Int, ArithOp::Add),
+        Insn::Return(Some(Kind::Int)),
+    ];
+    let code = dvm_bytecode::Code { insns, handlers: vec![], max_locals: 1 };
+    let attr = code.encode(&cf.pool).unwrap();
+    let n = cf.pool.utf8("f").unwrap();
+    let d = cf.pool.utf8("()I").unwrap();
+    cf.methods.push(MemberInfo {
+        access: AccessFlags::PUBLIC | AccessFlags::STATIC,
+        name_index: n,
+        descriptor_index: d,
+        attributes: vec![Attribute::Code(attr)],
+    });
+    assert_eq!(run_int(cf, "f", "()I", vec![]), 7 + 3 + 4);
+}
+
+#[test]
+fn lookupswitch_finds_sparse_keys() {
+    let insns = vec![
+        Insn::Load(Kind::Int, 0),
+        Insn::LookupSwitch {
+            default: 6,
+            pairs: vec![(-1000, 2), (0, 4), (99999, 8)],
+        },
+        Insn::IConst(1), // 2
+        Insn::Return(Some(Kind::Int)),
+        Insn::IConst(2), // 4
+        Insn::Return(Some(Kind::Int)),
+        Insn::IConst(3), // 6 (default)
+        Insn::Return(Some(Kind::Int)),
+        Insn::IConst(4), // 8
+        Insn::Return(Some(Kind::Int)),
+    ];
+    let cf = class_with("t/Lookup", "f", "(I)I", insns, 1);
+    assert_eq!(run_int(cf.clone(), "f", "(I)I", vec![Value::Int(-1000)]), 1);
+    assert_eq!(run_int(cf.clone(), "f", "(I)I", vec![Value::Int(0)]), 2);
+    assert_eq!(run_int(cf.clone(), "f", "(I)I", vec![Value::Int(5)]), 3);
+    assert_eq!(run_int(cf, "f", "(I)I", vec![Value::Int(99999)]), 4);
+}
+
+#[test]
+fn logic_ops_on_long() {
+    let mut cf = ClassBuilder::new("t/LongLogic").build();
+    let big = cf.pool.long(0x0F0F_0F0F_0F0F_0F0F).unwrap();
+    let mask = cf.pool.long(0x00FF_00FF_00FF_00FF).unwrap();
+    let insns = vec![
+        Insn::Ldc2(big),
+        Insn::Ldc2(mask),
+        Insn::Logic(NumKind::Long, LogicOp::And),
+        Insn::Convert(NumType::Long, NumType::Int),
+        Insn::Return(Some(Kind::Int)),
+    ];
+    let code = dvm_bytecode::Code { insns, handlers: vec![], max_locals: 0 };
+    let attr = code.encode(&cf.pool).unwrap();
+    let n = cf.pool.utf8("f").unwrap();
+    let d = cf.pool.utf8("()I").unwrap();
+    cf.methods.push(MemberInfo {
+        access: AccessFlags::PUBLIC | AccessFlags::STATIC,
+        name_index: n,
+        descriptor_index: d,
+        attributes: vec![Attribute::Code(attr)],
+    });
+    assert_eq!(run_int(cf, "f", "()I", vec![]), 0x000F_000F);
+}
+
+#[test]
+fn null_monitor_raises_npe() {
+    let out = run(
+        class_with(
+            "t/Mon",
+            "f",
+            "()V",
+            vec![Insn::AConstNull, Insn::MonitorEnter, Insn::Return(None)],
+            0,
+        ),
+        "f",
+        "()V",
+        vec![],
+    );
+    assert!(matches!(out, Completion::Exception(_)));
+}
+
+#[test]
+fn deep_recursion_overflows_cleanly() {
+    let mut cf = ClassBuilder::new("t/Deep").build();
+    let me = cf.pool.methodref("t/Deep", "f", "(I)I").unwrap();
+    let insns = vec![
+        Insn::Load(Kind::Int, 0),
+        Insn::IConst(1),
+        Insn::Arith(NumKind::Int, ArithOp::Add),
+        Insn::InvokeStatic(me),
+        Insn::Return(Some(Kind::Int)),
+    ];
+    let code = dvm_bytecode::Code { insns, handlers: vec![], max_locals: 1 };
+    let attr = code.encode(&cf.pool).unwrap();
+    let n = cf.pool.utf8("f").unwrap();
+    let d = cf.pool.utf8("(I)I").unwrap();
+    cf.methods.push(MemberInfo {
+        access: AccessFlags::PUBLIC | AccessFlags::STATIC,
+        name_index: n,
+        descriptor_index: d,
+        attributes: vec![Attribute::Code(attr)],
+    });
+    let mut provider = MapProvider::new();
+    let mut cf = cf;
+    provider.insert_class(&mut cf).unwrap();
+    let mut vm = Vm::new(Box::new(provider)).unwrap();
+    let out = vm.run_static("t/Deep", "f", "(I)I", vec![Value::Int(0)]);
+    assert!(matches!(out, Err(dvm_jvm::VmError::StackOverflow)));
+}

@@ -1,0 +1,438 @@
+//! End-to-end interpreter tests: assemble real class files, load them
+//! through the provider, and execute them.
+
+use dvm_bytecode::asm::Asm;
+use dvm_bytecode::insn::{AKind, ICond, Kind};
+use dvm_classfile::{AccessFlags, ClassBuilder, ClassFile, CodeAttribute};
+use dvm_jvm::{Completion, MapProvider, Value, Vm};
+
+fn ps() -> AccessFlags {
+    AccessFlags::PUBLIC | AccessFlags::STATIC
+}
+
+fn code(cf: &ClassFile, a: Asm) -> CodeAttribute {
+    a.finish().unwrap().encode(&cf.pool).unwrap()
+}
+
+/// Builds a class around a single static method by letting the caller
+/// populate the pool first, then assemble.
+fn single_method_class(
+    name: &str,
+    method: &str,
+    descriptor: &str,
+    build: impl FnOnce(&mut dvm_classfile::ConstPool, &mut Asm),
+) -> ClassFile {
+    let mut cf = ClassBuilder::new(name).build();
+    let mut a = Asm::new(8);
+    build(&mut cf.pool, &mut a);
+    let attr = code(&cf, a);
+    let name_index = cf.pool.utf8(method).unwrap();
+    let desc_index = cf.pool.utf8(descriptor).unwrap();
+    cf.methods.push(dvm_classfile::MemberInfo {
+        access: ps(),
+        name_index,
+        descriptor_index: desc_index,
+        attributes: vec![dvm_classfile::Attribute::Code(attr)],
+    });
+    cf
+}
+
+fn run_int(cf: ClassFile, method: &str, desc: &str, args: Vec<Value>) -> i32 {
+    let mut cf = cf;
+    let name = cf.name().unwrap().to_owned();
+    let mut provider = MapProvider::new();
+    provider.insert_class(&mut cf).unwrap();
+    let mut vm = Vm::new(Box::new(provider)).unwrap();
+    match vm.run_static(&name, method, desc, args).unwrap() {
+        Completion::Normal(Some(Value::Int(v))) => v,
+        other => panic!("expected int result, got {other:?}"),
+    }
+}
+
+#[test]
+fn loop_sums_integers() {
+    // sum = 0; for i in 0..n { sum += i }; return sum
+    let cf = single_method_class("t/Loop", "sum", "(I)I", |_pool, a| {
+        let top = a.new_label();
+        let done = a.new_label();
+        a.iconst(0).istore(1); // sum
+        a.iconst(0).istore(2); // i
+        a.place(top);
+        a.iload(2).iload(0).if_icmp(ICond::Ge, done);
+        a.iload(1).iload(2).iadd().istore(1);
+        a.iinc(2, 1).goto(top);
+        a.place(done);
+        a.iload(1).ret_val(Kind::Int);
+    });
+    assert_eq!(run_int(cf, "sum", "(I)I", vec![Value::Int(10)]), 45);
+}
+
+#[test]
+fn recursion_computes_fibonacci() {
+    let mut cf = ClassBuilder::new("t/Fib").build();
+    let m = cf.pool.methodref("t/Fib", "fib", "(I)I").unwrap();
+    let mut a = Asm::new(1);
+    let base = a.new_label();
+    a.iload(0).iconst(2).if_icmp(ICond::Lt, base);
+    a.iload(0).iconst(1).isub().invokestatic(m);
+    a.iload(0).iconst(2).isub().invokestatic(m);
+    a.iadd().ret_val(Kind::Int);
+    a.place(base);
+    a.iload(0).ret_val(Kind::Int);
+    let attr = code(&cf, a);
+    let name_index = cf.pool.utf8("fib").unwrap();
+    let desc_index = cf.pool.utf8("(I)I").unwrap();
+    cf.methods.push(dvm_classfile::MemberInfo {
+        access: ps(),
+        name_index,
+        descriptor_index: desc_index,
+        attributes: vec![dvm_classfile::Attribute::Code(attr)],
+    });
+    assert_eq!(run_int(cf, "fib", "(I)I", vec![Value::Int(15)]), 610);
+}
+
+#[test]
+fn division_by_zero_throws_and_is_caught() {
+    // try { return 1/arg } catch (ArithmeticException e) { return -1 }
+    let mut cf = ClassBuilder::new("t/Div").build();
+    let exc = cf.pool.class("java/lang/ArithmeticException").unwrap();
+    let mut a = Asm::new(1);
+    let start = a.new_label();
+    let end = a.new_label();
+    let handler = a.new_label();
+    a.place(start);
+    a.iconst(1).iload(0).arith(dvm_bytecode::NumKind::Int, dvm_bytecode::ArithOp::Div);
+    a.place(end);
+    a.ret_val(Kind::Int);
+    a.place(handler);
+    a.pop(); // discard exception
+    a.iconst(-1).ret_val(Kind::Int);
+    a.handler(start, end, handler, exc);
+    let attr = code(&cf, a);
+    let name_index = cf.pool.utf8("div").unwrap();
+    let desc_index = cf.pool.utf8("(I)I").unwrap();
+    cf.methods.push(dvm_classfile::MemberInfo {
+        access: ps(),
+        name_index,
+        descriptor_index: desc_index,
+        attributes: vec![dvm_classfile::Attribute::Code(attr)],
+    });
+    assert_eq!(run_int(cf.clone(), "div", "(I)I", vec![Value::Int(4)]), 0);
+    assert_eq!(run_int(cf, "div", "(I)I", vec![Value::Int(0)]), -1);
+}
+
+#[test]
+fn uncaught_exception_escapes_with_class_and_message() {
+    let cf = single_method_class("t/Boom", "boom", "()V", |pool, a| {
+        let npe = pool.class("java/lang/NullPointerException").unwrap();
+        let ctor = pool
+            .methodref("java/lang/NullPointerException", "<init>", "(Ljava/lang/String;)V")
+            .unwrap();
+        let msg = pool.string("kaboom").unwrap();
+        a.new_object(npe).dup().ldc(msg).invokespecial(ctor).athrow();
+    });
+    let mut cf = cf;
+    let mut provider = MapProvider::new();
+    provider.insert_class(&mut cf).unwrap();
+    let mut vm = Vm::new(Box::new(provider)).unwrap();
+    match vm.run_static("t/Boom", "boom", "()V", vec![]).unwrap() {
+        Completion::Exception(e) => {
+            let (class, msg) = vm.exception_message(e).unwrap();
+            assert_eq!(class, "java/lang/NullPointerException");
+            assert_eq!(msg, "kaboom");
+        }
+        other => panic!("expected exception, got {other:?}"),
+    }
+}
+
+#[test]
+fn objects_fields_and_virtual_dispatch() {
+    // class Animal { int legs() { return 4; } }
+    // class Bird extends Animal { int legs() { return 2; } }
+    // static test: new Bird() upcast to Animal, call legs() -> 2
+    let mut animal = ClassBuilder::new("t/Animal").build();
+    {
+        let init = animal.pool.methodref("java/lang/Object", "<init>", "()V").unwrap();
+        let mut a = Asm::new(1);
+        a.aload(0).invokespecial(init).ret();
+        let attr = code(&animal, a);
+        let n = animal.pool.utf8("<init>").unwrap();
+        let d = animal.pool.utf8("()V").unwrap();
+        animal.methods.push(dvm_classfile::MemberInfo {
+            access: AccessFlags::PUBLIC,
+            name_index: n,
+            descriptor_index: d,
+            attributes: vec![dvm_classfile::Attribute::Code(attr)],
+        });
+        let mut a = Asm::new(1);
+        a.iconst(4).ret_val(Kind::Int);
+        let attr = code(&animal, a);
+        let n = animal.pool.utf8("legs").unwrap();
+        let d = animal.pool.utf8("()I").unwrap();
+        animal.methods.push(dvm_classfile::MemberInfo {
+            access: AccessFlags::PUBLIC,
+            name_index: n,
+            descriptor_index: d,
+            attributes: vec![dvm_classfile::Attribute::Code(attr)],
+        });
+    }
+    let mut bird = ClassBuilder::new("t/Bird").super_class("t/Animal").build();
+    {
+        let init = bird.pool.methodref("t/Animal", "<init>", "()V").unwrap();
+        let mut a = Asm::new(1);
+        a.aload(0).invokespecial(init).ret();
+        let attr = code(&bird, a);
+        let n = bird.pool.utf8("<init>").unwrap();
+        let d = bird.pool.utf8("()V").unwrap();
+        bird.methods.push(dvm_classfile::MemberInfo {
+            access: AccessFlags::PUBLIC,
+            name_index: n,
+            descriptor_index: d,
+            attributes: vec![dvm_classfile::Attribute::Code(attr)],
+        });
+        let mut a = Asm::new(1);
+        a.iconst(2).ret_val(Kind::Int);
+        let attr = code(&bird, a);
+        let n = bird.pool.utf8("legs").unwrap();
+        let d = bird.pool.utf8("()I").unwrap();
+        bird.methods.push(dvm_classfile::MemberInfo {
+            access: AccessFlags::PUBLIC,
+            name_index: n,
+            descriptor_index: d,
+            attributes: vec![dvm_classfile::Attribute::Code(attr)],
+        });
+    }
+    let mut main = ClassBuilder::new("t/Main").build();
+    {
+        let bird_cls = main.pool.class("t/Bird").unwrap();
+        let bird_init = main.pool.methodref("t/Bird", "<init>", "()V").unwrap();
+        let legs = main.pool.methodref("t/Animal", "legs", "()I").unwrap();
+        let mut a = Asm::new(1);
+        a.new_object(bird_cls).dup().invokespecial(bird_init);
+        a.invokevirtual(legs).ret_val(Kind::Int);
+        let attr = code(&main, a);
+        let n = main.pool.utf8("test").unwrap();
+        let d = main.pool.utf8("()I").unwrap();
+        main.methods.push(dvm_classfile::MemberInfo {
+            access: ps(),
+            name_index: n,
+            descriptor_index: d,
+            attributes: vec![dvm_classfile::Attribute::Code(attr)],
+        });
+    }
+    let mut provider = MapProvider::new();
+    provider.insert_class(&mut animal).unwrap();
+    provider.insert_class(&mut bird).unwrap();
+    provider.insert_class(&mut main).unwrap();
+    let mut vm = Vm::new(Box::new(provider)).unwrap();
+    match vm.run_static("t/Main", "test", "()I", vec![]).unwrap() {
+        Completion::Normal(Some(Value::Int(v))) => assert_eq!(v, 2),
+        other => panic!("expected 2, got {other:?}"),
+    }
+    // Lazy loading: Animal and Bird were fetched on demand.
+    let names: Vec<&str> =
+        vm.stats.classes_loaded.iter().map(|(n, _)| n.as_str()).collect();
+    assert!(names.contains(&"t/Bird"));
+    assert!(names.contains(&"t/Animal"));
+}
+
+#[test]
+fn arrays_store_and_load() {
+    let cf = single_method_class("t/Arr", "test", "()I", |_pool, a| {
+        // int[] v = new int[5]; v[3] = 42; return v[3] + v.length
+        a.iconst(5).newarray(AKind::Int).astore(1);
+        a.aload(1).iconst(3).iconst(42).array_store(AKind::Int);
+        a.aload(1).iconst(3).array_load(AKind::Int);
+        a.aload(1).arraylength();
+        a.iadd().ret_val(Kind::Int);
+    });
+    assert_eq!(run_int(cf, "test", "()I", vec![]), 47);
+}
+
+#[test]
+fn array_bounds_violation_throws() {
+    let cf = single_method_class("t/Oob", "test", "()I", |pool, a| {
+        let exc = pool.class("java/lang/ArrayIndexOutOfBoundsException").unwrap();
+        let start = a.new_label();
+        let end = a.new_label();
+        let handler = a.new_label();
+        a.place(start);
+        a.iconst(2).newarray(AKind::Int).astore(1);
+        a.aload(1).iconst(9).array_load(AKind::Int);
+        a.place(end);
+        a.ret_val(Kind::Int);
+        a.place(handler);
+        a.pop().iconst(-7).ret_val(Kind::Int);
+        a.handler(start, end, handler, exc);
+    });
+    assert_eq!(run_int(cf, "test", "()I", vec![]), -7);
+}
+
+#[test]
+fn static_initializer_runs_once_before_use() {
+    // class S { static int x; static { x = 11; } static int get() { return x; } }
+    let mut cf = ClassBuilder::new("t/S")
+        .field(AccessFlags::STATIC, "x", "I")
+        .build();
+    {
+        let xref = cf.pool.fieldref("t/S", "x", "I").unwrap();
+        let mut a = Asm::new(0);
+        a.iconst(11).putstatic(xref).ret();
+        let attr = code(&cf, a);
+        let n = cf.pool.utf8("<clinit>").unwrap();
+        let d = cf.pool.utf8("()V").unwrap();
+        cf.methods.push(dvm_classfile::MemberInfo {
+            access: AccessFlags::STATIC,
+            name_index: n,
+            descriptor_index: d,
+            attributes: vec![dvm_classfile::Attribute::Code(attr)],
+        });
+        let xref2 = cf.pool.fieldref("t/S", "x", "I").unwrap();
+        let mut a = Asm::new(0);
+        a.getstatic(xref2).ret_val(Kind::Int);
+        let attr = code(&cf, a);
+        let n = cf.pool.utf8("get").unwrap();
+        let d = cf.pool.utf8("()I").unwrap();
+        cf.methods.push(dvm_classfile::MemberInfo {
+            access: ps(),
+            name_index: n,
+            descriptor_index: d,
+            attributes: vec![dvm_classfile::Attribute::Code(attr)],
+        });
+    }
+    assert_eq!(run_int(cf, "get", "()I", vec![]), 11);
+}
+
+#[test]
+fn strings_and_println_via_system_out() {
+    let cf = single_method_class("t/Hello", "main", "()V", |pool, a| {
+        let out = pool.fieldref("java/lang/System", "out", "Ljava/io/PrintStream;").unwrap();
+        let println = pool
+            .methodref("java/io/PrintStream", "println", "(Ljava/lang/String;)V")
+            .unwrap();
+        let msg = pool.string("hello world").unwrap();
+        a.getstatic(out).ldc(msg).invokevirtual(println).ret();
+    });
+    let mut cf = cf;
+    let mut provider = MapProvider::new();
+    provider.insert_class(&mut cf).unwrap();
+    let mut vm = Vm::new(Box::new(provider)).unwrap();
+    let out = vm.run_main("t/Hello").unwrap();
+    assert_eq!(out, Completion::Normal(None));
+    assert_eq!(vm.stdout, vec!["hello world"]);
+}
+
+#[test]
+fn long_arithmetic_and_comparison() {
+    let cf = single_method_class("t/Longs", "test", "()I", |pool, a| {
+        let big = pool.long(1 << 40).unwrap();
+        let yes = a.new_label();
+        a.ldc2(big).ldc2(big).raw(dvm_bytecode::Insn::Arith(
+            dvm_bytecode::NumKind::Long,
+            dvm_bytecode::ArithOp::Add,
+        ));
+        a.lconst(0).raw(dvm_bytecode::Insn::LCmp);
+        a.if_(ICond::Gt, yes);
+        a.iconst(0).ret_val(Kind::Int);
+        a.place(yes);
+        a.iconst(1).ret_val(Kind::Int);
+    });
+    assert_eq!(run_int(cf, "test", "()I", vec![]), 1);
+}
+
+#[test]
+fn gc_reclaims_garbage_during_execution() {
+    // Allocate many dead arrays in a loop; heap must not overflow.
+    let cf = single_method_class("t/Gc", "churn", "(I)I", |_pool, a| {
+        let top = a.new_label();
+        let done = a.new_label();
+        a.iconst(0).istore(1);
+        a.place(top);
+        a.iload(1).iload(0).if_icmp(ICond::Ge, done);
+        // new int[65536], immediately dropped
+        a.iconst(16384).iconst(4).imul().newarray(AKind::Int).pop();
+        a.iinc(1, 1).goto(top);
+        a.place(done);
+        a.iload(1).ret_val(Kind::Int);
+    });
+    let mut cf = cf;
+    let mut provider = MapProvider::new();
+    provider.insert_class(&mut cf).unwrap();
+    let mut vm = Vm::new(Box::new(provider)).unwrap();
+    // 3000 iterations * 256 KiB = ~750 MB allocated; heap limit is 64 MB,
+    // so this passes only if the collector reclaims garbage.
+    match vm.run_static("t/Gc", "churn", "(I)I", vec![Value::Int(3000)]).unwrap() {
+        Completion::Normal(Some(Value::Int(v))) => assert_eq!(v, 3000),
+        other => panic!("unexpected {other:?}"),
+    }
+    assert!(vm.heap.stats().collections > 0, "collector should have run");
+}
+
+#[test]
+fn fuel_limit_stops_runaway_execution() {
+    let cf = single_method_class("t/Spin", "spin", "()V", |_pool, a| {
+        let top = a.new_label();
+        a.place(top);
+        a.goto(top);
+    });
+    let mut cf = cf;
+    let mut provider = MapProvider::new();
+    provider.insert_class(&mut cf).unwrap();
+    let mut vm = Vm::new(Box::new(provider)).unwrap();
+    vm.fuel = Some(10_000);
+    assert!(matches!(
+        vm.run_static("t/Spin", "spin", "()V", vec![]),
+        Err(dvm_jvm::VmError::OutOfFuel)
+    ));
+}
+
+#[test]
+fn instruction_and_cycle_counters_advance() {
+    let cf = single_method_class("t/Count", "f", "()I", |_pool, a| {
+        a.iconst(1).iconst(2).iadd().ret_val(Kind::Int);
+    });
+    let mut cf = cf;
+    let mut provider = MapProvider::new();
+    provider.insert_class(&mut cf).unwrap();
+    let mut vm = Vm::new(Box::new(provider)).unwrap();
+    vm.run_static("t/Count", "f", "()I", vec![]).unwrap();
+    assert_eq!(vm.stats.instructions, 4);
+    assert!(vm.stats.cycles >= 4);
+}
+
+#[test]
+fn checkcast_and_instanceof() {
+    let cf = single_method_class("t/Cast", "test", "()I", |pool, a| {
+        let string_cls = pool.class("java/lang/String").unwrap();
+        let obj_cls = pool.class("java/lang/Object").unwrap();
+        let s = pool.string("x").unwrap();
+        // ("x" instanceof String) + ("x" instanceof Object, via checkcast ok = +0)
+        a.ldc(s).instanceof(string_cls);
+        a.ldc(s).checkcast(obj_cls).pop();
+        a.ret_val(Kind::Int);
+    });
+    assert_eq!(run_int(cf, "test", "()I", vec![]), 1);
+}
+
+#[test]
+fn tableswitch_dispatches() {
+    let cf = single_method_class("t/Sw", "pick", "(I)I", |_pool, a| {
+        let c0 = a.new_label();
+        let c1 = a.new_label();
+        let c2 = a.new_label();
+        let def = a.new_label();
+        a.iload(0);
+        a.tableswitch(0, &[c0, c1, c2], def);
+        a.place(c0);
+        a.iconst(100).ret_val(Kind::Int);
+        a.place(c1);
+        a.iconst(101).ret_val(Kind::Int);
+        a.place(c2);
+        a.iconst(102).ret_val(Kind::Int);
+        a.place(def);
+        a.iconst(-1).ret_val(Kind::Int);
+    });
+    assert_eq!(run_int(cf.clone(), "pick", "(I)I", vec![Value::Int(0)]), 100);
+    assert_eq!(run_int(cf.clone(), "pick", "(I)I", vec![Value::Int(2)]), 102);
+    assert_eq!(run_int(cf, "pick", "(I)I", vec![Value::Int(9)]), -1);
+}

@@ -1,0 +1,19 @@
+//! The DVM remote monitoring, auditing, and profiling services (§3.3).
+//!
+//! The static component ([`rewriter`]) instruments applications to invoke
+//! `dvm/rt/Audit` at method/constructor boundaries and `dvm/rt/Profiler`
+//! at method entries (or every basic block). The dynamic components are
+//! the per-client [`profile::ProfileCollector`] and the forwarding of
+//! audit events — over a handshake-established session — to the central
+//! [`console::AdminConsole`], whose append-only log is isolated from
+//! untrusted application code.
+
+pub mod console;
+pub mod profile;
+pub mod rewriter;
+pub mod sites;
+
+pub use console::{AdminConsole, AuditRecord, ClientDescription, EventKind, SessionId};
+pub use profile::{CallGraph, ProfileCollector};
+pub use rewriter::{audit_class, audit_class_filtered, profile_class, InstrumentStats, ProfileMode};
+pub use sites::{SiteId, SiteTable};

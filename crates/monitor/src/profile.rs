@@ -1,0 +1,162 @@
+//! Client-side profile collection and the dynamic call graph.
+//!
+//! [`ProfileCollector`] is the dynamic component behind the
+//! `dvm/rt/Profiler` hooks: it records execution counts, the first-use
+//! order of methods (driving the §5 repartitioning service), and — by
+//! replaying enter/exit audit events — a gprof-style dynamic call graph.
+
+use std::collections::HashMap;
+
+use crate::console::EventKind;
+use crate::sites::SiteId;
+
+/// Profile data collected on one client.
+#[derive(Debug, Default, Clone)]
+pub struct ProfileCollector {
+    counts: HashMap<SiteId, u64>,
+    first_use: Vec<SiteId>,
+    seen: HashMap<SiteId, usize>,
+}
+
+impl ProfileCollector {
+    /// Creates an empty collector.
+    pub fn new() -> ProfileCollector {
+        ProfileCollector::default()
+    }
+
+    /// Records one execution of `site`.
+    pub fn count(&mut self, site: SiteId) {
+        *self.counts.entry(site).or_insert(0) += 1;
+    }
+
+    /// Records the first use of `site` (idempotent).
+    pub fn first_use(&mut self, site: SiteId) {
+        if !self.seen.contains_key(&site) {
+            self.seen.insert(site, self.first_use.len());
+            self.first_use.push(site);
+        }
+    }
+
+    /// Execution count for a site.
+    pub fn count_of(&self, site: SiteId) -> u64 {
+        self.counts.get(&site).copied().unwrap_or(0)
+    }
+
+    /// The first-use order (the §5 first-use graph's node ordering).
+    pub fn first_use_order(&self) -> &[SiteId] {
+        &self.first_use
+    }
+
+    /// Returns `true` if the site was ever used.
+    pub fn was_used(&self, site: SiteId) -> bool {
+        self.seen.contains_key(&site)
+    }
+
+    /// All counts.
+    pub fn counts(&self) -> &HashMap<SiteId, u64> {
+        &self.counts
+    }
+}
+
+/// A dynamic call graph built from an enter/exit event stream
+/// (gprof-style, §3.3).
+#[derive(Debug, Default, Clone)]
+pub struct CallGraph {
+    /// Edge `(caller, callee)` → call count. The synthetic root caller is
+    /// `None`.
+    pub edges: HashMap<(Option<SiteId>, SiteId), u64>,
+    stack: Vec<SiteId>,
+}
+
+impl CallGraph {
+    /// Creates an empty graph.
+    pub fn new() -> CallGraph {
+        CallGraph::default()
+    }
+
+    /// Feeds one event into the replay.
+    pub fn feed(&mut self, site: SiteId, kind: EventKind) {
+        match kind {
+            EventKind::Enter => {
+                let caller = self.stack.last().copied();
+                *self.edges.entry((caller, site)).or_insert(0) += 1;
+                self.stack.push(site);
+            }
+            EventKind::Exit => {
+                // Tolerate unbalanced streams (a crashed client).
+                if let Some(pos) = self.stack.iter().rposition(|&s| s == site) {
+                    self.stack.truncate(pos);
+                }
+            }
+            EventKind::Event => {}
+        }
+    }
+
+    /// Total calls of `callee` from any caller.
+    pub fn calls_to(&self, callee: SiteId) -> u64 {
+        self.edges
+            .iter()
+            .filter(|((_, c), _)| *c == callee)
+            .map(|(_, n)| *n)
+            .sum()
+    }
+
+    /// Callees invoked by `caller`.
+    pub fn callees_of(&self, caller: SiteId) -> Vec<(SiteId, u64)> {
+        let mut v: Vec<(SiteId, u64)> = self
+            .edges
+            .iter()
+            .filter(|((c, _), _)| *c == Some(caller))
+            .map(|((_, callee), n)| (*callee, *n))
+            .collect();
+        v.sort_by_key(|(s, _)| s.0);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_first_use_order() {
+        let mut p = ProfileCollector::new();
+        p.first_use(SiteId(2));
+        p.count(SiteId(2));
+        p.first_use(SiteId(0));
+        p.count(SiteId(2));
+        p.first_use(SiteId(2)); // duplicate ignored
+        assert_eq!(p.count_of(SiteId(2)), 2);
+        assert_eq!(p.first_use_order(), &[SiteId(2), SiteId(0)]);
+        assert!(p.was_used(SiteId(0)));
+        assert!(!p.was_used(SiteId(5)));
+    }
+
+    #[test]
+    fn call_graph_replay_builds_edges() {
+        let mut g = CallGraph::new();
+        // main -> f -> g, f again from main
+        g.feed(SiteId(0), EventKind::Enter); // main
+        g.feed(SiteId(1), EventKind::Enter); // f
+        g.feed(SiteId(2), EventKind::Enter); // g
+        g.feed(SiteId(2), EventKind::Exit);
+        g.feed(SiteId(1), EventKind::Exit);
+        g.feed(SiteId(1), EventKind::Enter); // f again
+        g.feed(SiteId(1), EventKind::Exit);
+        g.feed(SiteId(0), EventKind::Exit);
+        assert_eq!(g.edges[&(None, SiteId(0))], 1);
+        assert_eq!(g.edges[&(Some(SiteId(0)), SiteId(1))], 2);
+        assert_eq!(g.edges[&(Some(SiteId(1)), SiteId(2))], 1);
+        assert_eq!(g.calls_to(SiteId(1)), 2);
+        assert_eq!(g.callees_of(SiteId(0)), vec![(SiteId(1), 2)]);
+    }
+
+    #[test]
+    fn unbalanced_exit_is_tolerated() {
+        let mut g = CallGraph::new();
+        g.feed(SiteId(0), EventKind::Enter);
+        g.feed(SiteId(9), EventKind::Exit); // never entered
+        g.feed(SiteId(1), EventKind::Enter);
+        assert_eq!(g.edges[&(Some(SiteId(0)), SiteId(1))], 1);
+    }
+}

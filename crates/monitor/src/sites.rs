@@ -1,0 +1,80 @@
+//! Instrumentation sites.
+//!
+//! Rewriters assign each instrumented location a small integer id; the
+//! side table mapping ids back to `(class, method)` travels with the
+//! instrumented application's metadata (established during the client
+//! handshake) so audit events stay compact on the wire.
+
+use std::collections::HashMap;
+
+/// An instrumentation site id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SiteId(pub i32);
+
+/// Maps site ids to their source locations.
+#[derive(Debug, Clone, Default)]
+pub struct SiteTable {
+    names: Vec<(String, String)>,
+    index: HashMap<(String, String), SiteId>,
+}
+
+impl SiteTable {
+    /// Creates an empty table.
+    pub fn new() -> SiteTable {
+        SiteTable::default()
+    }
+
+    /// Interns a `(class, method)` site, returning its id.
+    pub fn intern(&mut self, class: &str, method: &str) -> SiteId {
+        let key = (class.to_owned(), method.to_owned());
+        if let Some(&id) = self.index.get(&key) {
+            return id;
+        }
+        let id = SiteId(self.names.len() as i32);
+        self.names.push(key.clone());
+        self.index.insert(key, id);
+        id
+    }
+
+    /// Resolves a site id.
+    pub fn resolve(&self, id: SiteId) -> Option<(&str, &str)> {
+        self.names
+            .get(id.0 as usize)
+            .map(|(c, m)| (c.as_str(), m.as_str()))
+    }
+
+    /// Number of sites.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` when no sites are interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, class, method)`.
+    pub fn iter(&self) -> impl Iterator<Item = (SiteId, &str, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, (c, m))| (SiteId(i as i32), c.as_str(), m.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let mut t = SiteTable::new();
+        let a = t.intern("A", "f");
+        let b = t.intern("A", "g");
+        let a2 = t.intern("A", "f");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.resolve(a), Some(("A", "f")));
+        assert_eq!(t.len(), 2);
+    }
+}

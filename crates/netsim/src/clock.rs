@@ -1,0 +1,171 @@
+//! Simulated time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in (or span of) simulated time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Hash)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// From nanoseconds.
+    pub const fn from_nanos(ns: u64) -> SimTime {
+        SimTime(ns)
+    }
+
+    /// From microseconds.
+    pub const fn from_micros(us: u64) -> SimTime {
+        SimTime(us * 1_000)
+    }
+
+    /// From milliseconds.
+    pub const fn from_millis(ms: u64) -> SimTime {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// From seconds.
+    pub const fn from_secs(s: u64) -> SimTime {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// As nanoseconds.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// As fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// As fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3} s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3} ms", self.as_millis_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3} µs", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{} ns", self.0)
+        }
+    }
+}
+
+/// A monotonically advancing simulated clock.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SimClock {
+    now: SimTime,
+}
+
+impl SimClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> SimClock {
+        SimClock::default()
+    }
+
+    /// The current time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the clock by `delta`.
+    pub fn advance(&mut self, delta: SimTime) {
+        self.now += delta;
+    }
+
+    /// Advances the clock to `t` if `t` is in the future.
+    pub fn advance_to(&mut self, t: SimTime) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+}
+
+/// Converts CPU cycle counts to simulated time for a given clock rate.
+#[derive(Debug, Clone, Copy)]
+pub struct CycleModel {
+    /// Clock rate in Hz.
+    pub hz: u64,
+}
+
+impl CycleModel {
+    /// The paper's client machines: 200 MHz PentiumPro.
+    pub const PENTIUM_PRO_200: CycleModel = CycleModel { hz: 200_000_000 };
+
+    /// Converts a cycle count to time.
+    pub fn time_for(&self, cycles: u64) -> SimTime {
+        // cycles / hz seconds, computed in u128 to avoid overflow.
+        SimTime(((cycles as u128 * 1_000_000_000) / self.hz as u128) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_millis(2), SimTime(2_000_000));
+        assert_eq!(SimTime::from_secs(1).as_millis_f64(), 1000.0);
+    }
+
+    #[test]
+    fn clock_is_monotonic() {
+        let mut c = SimClock::new();
+        c.advance(SimTime::from_millis(5));
+        c.advance_to(SimTime::from_millis(3)); // in the past: ignored
+        assert_eq!(c.now(), SimTime::from_millis(5));
+        c.advance_to(SimTime::from_millis(9));
+        assert_eq!(c.now(), SimTime::from_millis(9));
+    }
+
+    #[test]
+    fn cycle_model_200mhz() {
+        let m = CycleModel::PENTIUM_PRO_200;
+        // 200 cycles at 200 MHz = 1 µs.
+        assert_eq!(m.time_for(200), SimTime::from_micros(1));
+        // 1M cycles = 5 ms.
+        assert_eq!(m.time_for(1_000_000), SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(SimTime::from_millis(2198).to_string(), "2.198 s");
+        assert_eq!(SimTime::from_micros(265).to_string(), "265.000 µs");
+    }
+}

@@ -1,0 +1,98 @@
+//! A generic discrete-event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::clock::SimTime;
+
+/// A time-ordered event queue over an arbitrary payload type.
+///
+/// Events scheduled for the same instant dequeue in insertion order, which
+/// keeps multi-client simulations deterministic.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+    payloads: Vec<Option<T>>,
+    seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue { heap: BinaryHeap::new(), payloads: Vec::new(), seq: 0 }
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> EventQueue<T> {
+        EventQueue::default()
+    }
+
+    /// Schedules `payload` at time `at`.
+    pub fn schedule(&mut self, at: SimTime, payload: T) {
+        let idx = self.payloads.len();
+        self.payloads.push(Some(payload));
+        self.heap.push(Reverse((at, self.seq, idx)));
+        self.seq += 1;
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        let Reverse((at, _, idx)) = self.heap.pop()?;
+        let payload = self.payloads[idx].take().expect("event payload consumed twice");
+        Some((at, payload))
+    }
+
+    /// The time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_dequeue_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(5), "c");
+        q.schedule(SimTime::from_millis(1), "a");
+        q.schedule(SimTime::from_millis(3), "b");
+        assert_eq!(q.pop(), Some((SimTime::from_millis(1), "a")));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(3), "b")));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(5), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(1);
+        q.schedule(t, 1);
+        q.schedule(t, 2);
+        q.schedule(t, 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(2), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(2)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

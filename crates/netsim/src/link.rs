@@ -1,0 +1,153 @@
+//! Link models.
+
+use crate::clock::SimTime;
+use crate::rng::SimRng;
+
+/// A point-to-point link characterized by bandwidth and latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Link {
+    /// Usable bandwidth in bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way latency.
+    pub latency: SimTime,
+}
+
+impl Link {
+    /// Creates a link.
+    pub fn new(bandwidth_bps: u64, latency: SimTime) -> Link {
+        Link { bandwidth_bps, latency }
+    }
+
+    /// Time to move `bytes` across the link as the only flow.
+    pub fn transfer_time(&self, bytes: u64) -> SimTime {
+        self.latency + self.serialization_time(bytes)
+    }
+
+    /// Time to move `bytes` when `flows` concurrent transfers share the
+    /// link fairly.
+    pub fn shared_transfer_time(&self, bytes: u64, flows: u64) -> SimTime {
+        let flows = flows.max(1);
+        let per_flow = (self.bandwidth_bps / flows).max(1);
+        self.latency + SimTime(((bytes as u128 * 8 * 1_000_000_000) / per_flow as u128) as u64)
+    }
+
+    /// Pure serialization delay for `bytes`.
+    pub fn serialization_time(&self, bytes: u64) -> SimTime {
+        SimTime(((bytes as u128 * 8 * 1_000_000_000) / self.bandwidth_bps as u128) as u64)
+    }
+}
+
+/// The measured wide-area path of §4.1.2: applet fetch latency with mean
+/// 2198 ms and standard deviation 3752 ms. Modeled as a log-normal
+/// distribution (heavy-tailed, strictly positive) calibrated to those two
+/// moments, sampled deterministically from a seeded generator.
+#[derive(Debug, Clone)]
+pub struct InternetPath {
+    mu: f64,
+    sigma: f64,
+    rng: SimRng,
+}
+
+impl InternetPath {
+    /// Mean latency the paper reports, in milliseconds.
+    pub const PAPER_MEAN_MS: f64 = 2198.0;
+    /// Standard deviation the paper reports, in milliseconds.
+    pub const PAPER_SD_MS: f64 = 3752.0;
+
+    /// Creates a path calibrated to the paper's measurements.
+    pub fn paper_calibrated(seed: u64) -> InternetPath {
+        InternetPath::with_moments(Self::PAPER_MEAN_MS, Self::PAPER_SD_MS, seed)
+    }
+
+    /// Creates a path with the given latency mean and standard deviation
+    /// (milliseconds).
+    pub fn with_moments(mean_ms: f64, sd_ms: f64, seed: u64) -> InternetPath {
+        // Log-normal: if X ~ LN(mu, sigma), E[X] = exp(mu + sigma^2/2),
+        // Var[X] = (exp(sigma^2) - 1) exp(2mu + sigma^2).
+        let cv2 = (sd_ms / mean_ms).powi(2);
+        let sigma2 = (1.0 + cv2).ln();
+        let mu = mean_ms.ln() - sigma2 / 2.0;
+        InternetPath { mu, sigma: sigma2.sqrt(), rng: SimRng::new(seed) }
+    }
+
+    /// Samples one fetch latency.
+    pub fn sample_latency(&mut self) -> SimTime {
+        let z = self.rng.next_gaussian();
+        let ms = (self.mu + self.sigma * z).exp();
+        SimTime::from_nanos((ms * 1e6) as u64)
+    }
+}
+
+/// Standard link presets used across the experiments.
+pub mod presets {
+    use super::Link;
+    use crate::clock::SimTime;
+
+    /// The paper's LAN: 10 Mb/s Ethernet.
+    pub fn ethernet_10mbps() -> Link {
+        Link::new(10_000_000, SimTime::from_micros(500))
+    }
+
+    /// The paper's backbone: 100 Mb/s.
+    pub fn backbone_100mbps() -> Link {
+        Link::new(100_000_000, SimTime::from_micros(200))
+    }
+
+    /// §5's slow wireless link: 28.8 Kb/s.
+    pub fn wireless_28_8kbps() -> Link {
+        Link::new(28_800, SimTime::from_millis(100))
+    }
+
+    /// An arbitrary-bandwidth link for the Figure 11/12 sweeps
+    /// (`bytes_per_sec` is the x-axis of those figures).
+    pub fn sweep_link(bytes_per_sec: u64) -> Link {
+        Link::new(bytes_per_sec * 8, SimTime::from_millis(50))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_scales_linearly() {
+        let l = presets::ethernet_10mbps();
+        // 10 Mb/s = 1.25 MB/s, so 1.25 MB takes 1 s + latency.
+        let t = l.transfer_time(1_250_000);
+        assert_eq!(t, SimTime::from_secs(1) + l.latency);
+    }
+
+    #[test]
+    fn fair_sharing_divides_bandwidth() {
+        let l = presets::ethernet_10mbps();
+        let alone = l.shared_transfer_time(125_000, 1);
+        let crowded = l.shared_transfer_time(125_000, 10);
+        let alone_ser = alone.saturating_sub(l.latency);
+        let crowded_ser = crowded.saturating_sub(l.latency);
+        assert_eq!(crowded_ser.as_nanos(), alone_ser.as_nanos() * 10);
+    }
+
+    #[test]
+    fn internet_path_matches_paper_moments() {
+        let mut p = InternetPath::paper_calibrated(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| p.sample_latency().as_millis_f64()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let sd = var.sqrt();
+        // Within 10% of the paper's measured moments.
+        assert!((mean - InternetPath::PAPER_MEAN_MS).abs() < 0.1 * InternetPath::PAPER_MEAN_MS,
+            "mean {mean}");
+        assert!((sd - InternetPath::PAPER_SD_MS).abs() < 0.2 * InternetPath::PAPER_SD_MS,
+            "sd {sd}");
+    }
+
+    #[test]
+    fn internet_path_is_deterministic_per_seed() {
+        let mut a = InternetPath::paper_calibrated(7);
+        let mut b = InternetPath::paper_calibrated(7);
+        for _ in 0..10 {
+            assert_eq!(a.sample_latency(), b.sample_latency());
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Optimizer error type.
+
+use std::fmt;
+
+use dvm_bytecode::BytecodeError;
+use dvm_classfile::ClassFileError;
+
+/// Errors from the repartitioning service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimizerError {
+    /// A class could not be split.
+    Split(String),
+    /// Underlying class-file error.
+    ClassFile(ClassFileError),
+    /// Underlying bytecode error.
+    Bytecode(BytecodeError),
+}
+
+impl fmt::Display for OptimizerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimizerError::Split(msg) => write!(f, "repartitioning failed: {msg}"),
+            OptimizerError::ClassFile(e) => write!(f, "{e}"),
+            OptimizerError::Bytecode(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for OptimizerError {}
+
+impl From<ClassFileError> for OptimizerError {
+    fn from(e: ClassFileError) -> Self {
+        OptimizerError::ClassFile(e)
+    }
+}
+
+impl From<BytecodeError> for OptimizerError {
+    fn from(e: BytecodeError) -> Self {
+        OptimizerError::Bytecode(e)
+    }
+}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, OptimizerError>;

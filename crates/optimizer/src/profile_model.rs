@@ -1,0 +1,181 @@
+//! Application transfer profiles.
+//!
+//! The repartitioning service works from a first-use profile collected by
+//! the monitoring service (§5): which methods an application touches
+//! before it becomes interactive ("startup"), which it touches ever, and
+//! which are dead weight on the wire (the paper: "roughly 10–30% of all
+//! downloaded code is never invoked").
+
+use dvm_monitor::{ProfileCollector, SiteId, SiteTable};
+
+/// One method's transfer profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodProfile {
+    /// Simple method name.
+    pub name: String,
+    /// Encoded size in bytes (code + metadata share).
+    pub size: u64,
+    /// Used before the application becomes interactive.
+    pub used_at_startup: bool,
+    /// Used at any point in the profiled run.
+    pub used_ever: bool,
+}
+
+/// One class's transfer profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassProfile {
+    /// Class internal name.
+    pub name: String,
+    /// Per-method profiles.
+    pub methods: Vec<MethodProfile>,
+    /// Fixed per-class bytes (constant pool, headers) that ship with any
+    /// split unit derived from this class.
+    pub overhead_bytes: u64,
+}
+
+impl ClassProfile {
+    /// Total bytes of the class as a single unit.
+    pub fn total_bytes(&self) -> u64 {
+        self.overhead_bytes + self.methods.iter().map(|m| m.size).sum::<u64>()
+    }
+
+    /// Bytes of methods used at startup.
+    pub fn startup_method_bytes(&self) -> u64 {
+        self.methods.iter().filter(|m| m.used_at_startup).map(|m| m.size).sum()
+    }
+
+    /// Returns `true` when any method is used at startup.
+    pub fn needed_at_startup(&self) -> bool {
+        self.methods.iter().any(|m| m.used_at_startup)
+    }
+}
+
+/// A whole application's transfer profile.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AppProfile {
+    /// Application name.
+    pub name: String,
+    /// Per-class profiles.
+    pub classes: Vec<ClassProfile>,
+}
+
+impl AppProfile {
+    /// Total application size in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.classes.iter().map(ClassProfile::total_bytes).sum()
+    }
+
+    /// Fraction of method bytes never invoked.
+    pub fn dead_fraction(&self) -> f64 {
+        let total: u64 = self.classes.iter().flat_map(|c| &c.methods).map(|m| m.size).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let dead: u64 = self
+            .classes
+            .iter()
+            .flat_map(|c| &c.methods)
+            .filter(|m| !m.used_ever)
+            .map(|m| m.size)
+            .sum();
+        dead as f64 / total as f64
+    }
+
+    /// Builds a profile from collected first-use data: sites used within
+    /// the first `startup_prefix` first-use entries count as startup
+    /// methods.
+    pub fn from_collector(
+        name: &str,
+        sizes: &[(String, String, u64)], // (class, method, bytes)
+        class_overhead: u64,
+        sites: &SiteTable,
+        collector: &ProfileCollector,
+        startup_prefix: usize,
+    ) -> AppProfile {
+        let startup_sites: std::collections::HashSet<SiteId> = collector
+            .first_use_order()
+            .iter()
+            .take(startup_prefix)
+            .copied()
+            .collect();
+        let mut classes: Vec<ClassProfile> = Vec::new();
+        for (class, method, size) in sizes {
+            let site = sites.iter().find(|(_, c, m)| c == class && m == method).map(|(id, _, _)| id);
+            let (used_ever, used_at_startup) = match site {
+                Some(id) => (collector.was_used(id), startup_sites.contains(&id)),
+                None => (false, false),
+            };
+            let mp = MethodProfile {
+                name: method.clone(),
+                size: *size,
+                used_at_startup,
+                used_ever,
+            };
+            match classes.iter_mut().find(|c| &c.name == class) {
+                Some(c) => c.methods.push(mp),
+                None => classes.push(ClassProfile {
+                    name: class.clone(),
+                    methods: vec![mp],
+                    overhead_bytes: class_overhead,
+                }),
+            }
+        }
+        AppProfile { name: name.to_owned(), classes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_app() -> AppProfile {
+        AppProfile {
+            name: "demo".into(),
+            classes: vec![
+                ClassProfile {
+                    name: "a/Main".into(),
+                    overhead_bytes: 500,
+                    methods: vec![
+                        MethodProfile { name: "main".into(), size: 2000, used_at_startup: true, used_ever: true },
+                        MethodProfile { name: "help".into(), size: 3000, used_at_startup: false, used_ever: false },
+                    ],
+                },
+                ClassProfile {
+                    name: "a/Util".into(),
+                    overhead_bytes: 400,
+                    methods: vec![
+                        MethodProfile { name: "fmt".into(), size: 1000, used_at_startup: true, used_ever: true },
+                        MethodProfile { name: "rare".into(), size: 4000, used_at_startup: false, used_ever: true },
+                    ],
+                },
+                ClassProfile {
+                    name: "a/Never".into(),
+                    overhead_bytes: 300,
+                    methods: vec![MethodProfile {
+                        name: "x".into(),
+                        size: 1500,
+                        used_at_startup: false,
+                        used_ever: false,
+                    }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn totals_and_dead_fraction() {
+        let app = sample_app();
+        assert_eq!(app.total_bytes(), 500 + 5000 + 400 + 5000 + 300 + 1500);
+        let dead = app.dead_fraction();
+        // dead = (3000 + 1500) / 11500 methods bytes.
+        assert!((dead - 4500.0 / 11500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn startup_detection() {
+        let app = sample_app();
+        assert!(app.classes[0].needed_at_startup());
+        assert!(!app.classes[2].needed_at_startup());
+        assert_eq!(app.classes[1].startup_method_bytes(), 1000);
+    }
+}

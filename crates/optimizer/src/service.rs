@@ -1,0 +1,147 @@
+//! The repartitioning service: profile in, split classes out.
+//!
+//! "The network proxy collects profile information from the first
+//! execution of an application and uses the profile to generate a
+//! first-use graph of the methods in the application. This graph is then
+//! used to partition unused methods into separate classes that are loaded
+//! only on demand." (§5)
+
+use std::collections::HashSet;
+
+use dvm_classfile::ClassFile;
+use dvm_monitor::{ProfileCollector, SiteTable};
+
+use crate::error::Result;
+use crate::splitter::{split_class, SplitClass};
+
+/// What counts as cold when splitting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColdPolicy {
+    /// Methods never executed in the profiled run.
+    NeverUsed,
+    /// Methods not among the first `n` first-used methods (everything
+    /// outside the startup working set).
+    NotInStartupPrefix(usize),
+}
+
+/// Statistics from repartitioning one application.
+#[derive(Debug, Clone, Default)]
+pub struct RepartitionStats {
+    /// Classes examined.
+    pub classes: u64,
+    /// Classes actually split.
+    pub classes_split: u64,
+    /// Methods moved to overflow units.
+    pub methods_moved: u64,
+}
+
+/// Repartitions every class of an application according to the collected
+/// profile. Returns the rewritten class files (hot classes plus overflow
+/// classes) and statistics.
+pub fn repartition_app(
+    classes: &[ClassFile],
+    sites: &SiteTable,
+    profile: &ProfileCollector,
+    policy: ColdPolicy,
+) -> Result<(Vec<ClassFile>, RepartitionStats)> {
+    // Determine the hot set of (class, method) names.
+    let hot: HashSet<(String, String)> = match policy {
+        ColdPolicy::NeverUsed => sites
+            .iter()
+            .filter(|(id, _, _)| profile.was_used(*id))
+            .map(|(_, c, m)| (c.to_owned(), m.to_owned()))
+            .collect(),
+        ColdPolicy::NotInStartupPrefix(n) => profile
+            .first_use_order()
+            .iter()
+            .take(n)
+            .filter_map(|id| sites.resolve(*id))
+            .map(|(c, m)| (c.to_owned(), m.to_owned()))
+            .collect(),
+    };
+
+    let mut out = Vec::new();
+    let mut stats = RepartitionStats::default();
+    for cf in classes {
+        stats.classes += 1;
+        let class_name = cf.name()?.to_owned();
+        let SplitClass { hot: hot_cf, cold, moved } = split_class(cf, |mname, _| {
+            !hot.contains(&(class_name.clone(), mname.to_owned()))
+        })?;
+        if !moved.is_empty() {
+            stats.classes_split += 1;
+            stats.methods_moved += moved.len() as u64;
+        }
+        out.push(hot_cf);
+        if let Some(c) = cold {
+            out.push(c);
+        }
+    }
+    Ok((out, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvm_bytecode::{Asm, Kind};
+    use dvm_classfile::{AccessFlags, Attribute, ClassBuilder, MemberInfo};
+
+    fn make_class(name: &str, methods: &[&str]) -> ClassFile {
+        let mut cf = ClassBuilder::new(name).build();
+        for m in methods {
+            let mut a = Asm::new(0);
+            a.iconst(1).ret_val(Kind::Int);
+            let attr = a.finish().unwrap().encode(&cf.pool).unwrap();
+            let n = cf.pool.utf8(m).unwrap();
+            let d = cf.pool.utf8("()I").unwrap();
+            cf.methods.push(MemberInfo {
+                access: AccessFlags::PUBLIC | AccessFlags::STATIC,
+                name_index: n,
+                descriptor_index: d,
+                attributes: vec![Attribute::Code(attr)],
+            });
+        }
+        cf
+    }
+
+    #[test]
+    fn never_used_methods_are_factored_out() {
+        let cf = make_class("t/A", &["used", "unused"]);
+        let mut sites = SiteTable::new();
+        let used = sites.intern("t/A", "used");
+        let _unused = sites.intern("t/A", "unused");
+        let mut profile = ProfileCollector::new();
+        profile.first_use(used);
+        profile.count(used);
+
+        let (out, stats) =
+            repartition_app(&[cf], &sites, &profile, ColdPolicy::NeverUsed).unwrap();
+        assert_eq!(stats.methods_moved, 1);
+        assert_eq!(stats.classes_split, 1);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].name().unwrap(), "t/A$Cold");
+        assert!(out[1].find_method("unused", "()I").is_some());
+    }
+
+    #[test]
+    fn startup_prefix_policy_keeps_only_early_methods() {
+        let cf = make_class("t/B", &["first", "second", "third"]);
+        let mut sites = SiteTable::new();
+        let s1 = sites.intern("t/B", "first");
+        let s2 = sites.intern("t/B", "second");
+        let s3 = sites.intern("t/B", "third");
+        let mut profile = ProfileCollector::new();
+        profile.first_use(s1);
+        profile.first_use(s2);
+        profile.first_use(s3);
+
+        let (_, stats) = repartition_app(
+            &[cf],
+            &sites,
+            &profile,
+            ColdPolicy::NotInStartupPrefix(1),
+        )
+        .unwrap();
+        assert_eq!(stats.methods_moved, 2);
+    }
+}

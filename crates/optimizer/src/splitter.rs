@@ -1,0 +1,325 @@
+//! Class-file level repartitioning.
+//!
+//! [`split_class`] performs the §5 transformation on real class files:
+//! cold static methods move to an on-demand overflow class
+//! (`<Name>$Cold`), and the original class keeps forwarding stubs so
+//! "neither the JVM clients nor the web servers ... need to be modified".
+//! Method bodies are transplanted by remapping every constant-pool
+//! reference into the overflow class's own (smaller) pool, so the split
+//! units genuinely shrink on the wire.
+
+use dvm_bytecode::insn::{Insn, Kind};
+use dvm_bytecode::{Asm, Code};
+use dvm_classfile::descriptor::{FieldType, MethodDescriptor};
+use dvm_classfile::pool::{ConstPool, Constant};
+use dvm_classfile::{AccessFlags, Attribute, ClassBuilder, ClassFile, MemberInfo};
+
+use crate::error::{OptimizerError, Result};
+
+/// Outcome of splitting one class.
+#[derive(Debug)]
+pub struct SplitClass {
+    /// The hot class: originals minus cold bodies, plus forwarding stubs.
+    pub hot: ClassFile,
+    /// The overflow class, or `None` when nothing was cold.
+    pub cold: Option<ClassFile>,
+    /// Names of the methods that moved.
+    pub moved: Vec<String>,
+}
+
+/// Remaps a decoded body's pool references from `old` into `new`.
+pub fn remap_code(code: &mut Code, old: &ConstPool, new: &mut ConstPool) -> Result<()> {
+    let remap_class = |idx: u16, new: &mut ConstPool| -> Result<u16> {
+        let name = old.get_class_name(idx)?;
+        Ok(new.class(name)?)
+    };
+    for insn in &mut code.insns {
+        match insn {
+            Insn::Ldc(idx) | Insn::Ldc2(idx) => {
+                let ni = match old.get(*idx)? {
+                    Constant::Integer(v) => new.integer(*v)?,
+                    Constant::Float(v) => new.float(*v)?,
+                    Constant::Long(v) => new.long(*v)?,
+                    Constant::Double(v) => new.double(*v)?,
+                    Constant::String { .. } => new.string(old.get_string(*idx)?)?,
+                    other => {
+                        return Err(OptimizerError::Split(format!(
+                            "ldc of {} cannot be transplanted",
+                            other.kind()
+                        )))
+                    }
+                };
+                *idx = ni;
+            }
+            Insn::GetStatic(idx) | Insn::PutStatic(idx) | Insn::GetField(idx)
+            | Insn::PutField(idx) => {
+                let (c, n, d) = old.get_member_ref(*idx)?;
+                let (c, n, d) = (c.to_owned(), n.to_owned(), d.to_owned());
+                *idx = new.fieldref(&c, &n, &d)?;
+            }
+            Insn::InvokeVirtual(idx) | Insn::InvokeSpecial(idx) | Insn::InvokeStatic(idx) => {
+                let (c, n, d) = old.get_member_ref(*idx)?;
+                let (c, n, d) = (c.to_owned(), n.to_owned(), d.to_owned());
+                *idx = new.methodref(&c, &n, &d)?;
+            }
+            Insn::InvokeInterface(idx) => {
+                let (c, n, d) = old.get_member_ref(*idx)?;
+                let (c, n, d) = (c.to_owned(), n.to_owned(), d.to_owned());
+                *idx = new.interface_methodref(&c, &n, &d)?;
+            }
+            Insn::New(idx)
+            | Insn::ANewArray(idx)
+            | Insn::CheckCast(idx)
+            | Insn::InstanceOf(idx)
+            | Insn::MultiANewArray(idx, _) => {
+                *idx = remap_class(*idx, new)?;
+            }
+            _ => {}
+        }
+    }
+    for h in &mut code.handlers {
+        if h.catch_type != 0 {
+            h.catch_type = remap_class(h.catch_type, new)?;
+        }
+    }
+    Ok(())
+}
+
+fn load_kind(ft: &FieldType) -> Kind {
+    match ft {
+        FieldType::Long => Kind::Long,
+        FieldType::Float => Kind::Float,
+        FieldType::Double => Kind::Double,
+        FieldType::Object(_) | FieldType::Array(_) => Kind::Ref,
+        _ => Kind::Int,
+    }
+}
+
+/// Builds the forwarding stub body for a static method.
+fn forwarding_stub(
+    pool: &mut ConstPool,
+    cold_class: &str,
+    name: &str,
+    descriptor: &str,
+) -> Result<dvm_classfile::CodeAttribute> {
+    let desc = MethodDescriptor::parse(descriptor)?;
+    let target = pool.methodref(cold_class, name, descriptor)?;
+    let mut a = Asm::new(desc.param_slots());
+    let mut slot = 0u16;
+    for p in &desc.params {
+        a.load(load_kind(p), slot);
+        slot += p.slot_width();
+    }
+    a.invokestatic(target);
+    match &desc.ret {
+        None => a.ret(),
+        Some(rt) => a.ret_val(load_kind(rt)),
+    };
+    Ok(a.finish()?.encode(pool)?)
+}
+
+/// Splits `cf`: static methods for which `is_cold(name, descriptor)` holds
+/// move to `<Name>$Cold`.
+pub fn split_class(
+    cf: &ClassFile,
+    is_cold: impl Fn(&str, &str) -> bool,
+) -> Result<SplitClass> {
+    let class_name = cf.name()?.to_owned();
+    let cold_name = format!("{class_name}$Cold");
+    let mut moved = Vec::new();
+
+    let mut cold_cf = ClassBuilder::new(&cold_name)
+        .access(AccessFlags::PUBLIC | AccessFlags::SYNTHETIC)
+        .build();
+    let mut hot_cf = ClassBuilder::new(&class_name).build();
+    hot_cf.access = cf.access;
+    hot_cf.minor_version = cf.minor_version;
+    hot_cf.major_version = cf.major_version;
+    // Rebuild this/super/interfaces in the fresh pool.
+    hot_cf.this_class = hot_cf.pool.class(&class_name)?;
+    if let Some(sup) = cf.super_name()? {
+        hot_cf.super_class = hot_cf.pool.class(sup)?;
+    }
+    for iface in cf.interface_names()? {
+        let idx = hot_cf.pool.class(iface)?;
+        hot_cf.interfaces.push(idx);
+    }
+
+    // Fields stay hot (cold methods refer to them via fieldrefs).
+    for f in &cf.fields {
+        let name_index = hot_cf.pool.utf8(f.name(&cf.pool)?)?;
+        let descriptor_index = hot_cf.pool.utf8(f.descriptor(&cf.pool)?)?;
+        hot_cf.fields.push(MemberInfo {
+            access: f.access,
+            name_index,
+            descriptor_index,
+            attributes: Vec::new(),
+        });
+    }
+
+    for m in &cf.methods {
+        let mname = m.name(&cf.pool)?.to_owned();
+        let mdesc = m.descriptor(&cf.pool)?.to_owned();
+        let splittable = m.access.is_static()
+            && !m.access.is_native()
+            && m.code().is_some()
+            && mname != "<clinit>"
+            && is_cold(&mname, &mdesc);
+        if splittable {
+            // Move the body to the cold class.
+            let mut code = Code::decode(m.code().expect("checked above"))?;
+            remap_code(&mut code, &cf.pool, &mut cold_cf.pool)?;
+            let attr = code.encode(&cold_cf.pool)?;
+            let name_index = cold_cf.pool.utf8(&mname)?;
+            let descriptor_index = cold_cf.pool.utf8(&mdesc)?;
+            cold_cf.methods.push(MemberInfo {
+                access: m.access | AccessFlags::SYNTHETIC,
+                name_index,
+                descriptor_index,
+                attributes: vec![Attribute::Code(attr)],
+            });
+            // Leave a forwarding stub behind.
+            let stub = forwarding_stub(&mut hot_cf.pool, &cold_name, &mname, &mdesc)?;
+            let name_index = hot_cf.pool.utf8(&mname)?;
+            let descriptor_index = hot_cf.pool.utf8(&mdesc)?;
+            hot_cf.methods.push(MemberInfo {
+                access: m.access,
+                name_index,
+                descriptor_index,
+                attributes: vec![Attribute::Code(stub)],
+            });
+            moved.push(mname);
+        } else {
+            // Transplant unchanged into the hot class's fresh pool.
+            let mut attributes = Vec::new();
+            if let Some(code_attr) = m.code() {
+                let mut code = Code::decode(code_attr)?;
+                remap_code(&mut code, &cf.pool, &mut hot_cf.pool)?;
+                attributes.push(Attribute::Code(code.encode(&hot_cf.pool)?));
+            }
+            let name_index = hot_cf.pool.utf8(&mname)?;
+            let descriptor_index = hot_cf.pool.utf8(&mdesc)?;
+            hot_cf.methods.push(MemberInfo {
+                access: m.access,
+                name_index,
+                descriptor_index,
+                attributes,
+            });
+        }
+    }
+
+    let cold = if moved.is_empty() { None } else { Some(cold_cf) };
+    Ok(SplitClass { hot: hot_cf, cold, moved })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvm_bytecode::insn::Kind as BKind;
+
+    fn app_class() -> ClassFile {
+        let mut cf = ClassBuilder::new("t/App").build();
+        // hot(): returns 1. cold(): returns rare() + 41 via a self-call.
+        let mut a = Asm::new(0);
+        a.iconst(1).ret_val(BKind::Int);
+        let hot_attr = a.finish().unwrap().encode(&cf.pool).unwrap();
+        let n = cf.pool.utf8("hot").unwrap();
+        let d = cf.pool.utf8("()I").unwrap();
+        cf.methods.push(MemberInfo {
+            access: AccessFlags::PUBLIC | AccessFlags::STATIC,
+            name_index: n,
+            descriptor_index: d,
+            attributes: vec![Attribute::Code(hot_attr)],
+        });
+        let hot_ref = cf.pool.methodref("t/App", "hot", "()I").unwrap();
+        let mut a = Asm::new(0);
+        a.invokestatic(hot_ref);
+        // Realistic bulk: cold methods carry real code, not one add.
+        for i in 0..40 {
+            a.iconst(i % 7).iadd();
+        }
+        // The 40 additions above contribute 115; balance so the method
+        // returns hot() + 41 = 42.
+        a.iconst(41 - 115).iadd().ret_val(BKind::Int);
+        let cold_attr = a.finish().unwrap().encode(&cf.pool).unwrap();
+        let n = cf.pool.utf8("cold").unwrap();
+        let d = cf.pool.utf8("()I").unwrap();
+        cf.methods.push(MemberInfo {
+            access: AccessFlags::PUBLIC | AccessFlags::STATIC,
+            name_index: n,
+            descriptor_index: d,
+            attributes: vec![Attribute::Code(cold_attr)],
+        });
+        cf
+    }
+
+    #[test]
+    fn split_moves_cold_method_and_leaves_stub() {
+        let cf = app_class();
+        let out = split_class(&cf, |name, _| name == "cold").unwrap();
+        assert_eq!(out.moved, vec!["cold"]);
+        let cold = out.cold.unwrap();
+        assert_eq!(cold.name().unwrap(), "t/App$Cold");
+        assert!(cold.find_method("cold", "()I").is_some());
+        // The hot class still exposes `cold` (as a stub calling the
+        // overflow class).
+        let stub = out.hot.find_method("cold", "()I").unwrap();
+        let code = Code::decode(stub.code().unwrap()).unwrap();
+        assert!(code
+            .insns
+            .iter()
+            .any(|i| matches!(i, Insn::InvokeStatic(_))));
+    }
+
+    #[test]
+    fn split_classes_serialize_and_shrink() {
+        let cf = app_class();
+        let mut original = cf.clone();
+        let original_bytes = original.to_bytes().unwrap().len();
+        let out = split_class(&cf, |name, _| name == "cold").unwrap();
+        let mut hot = out.hot;
+        let hot_bytes = hot.to_bytes().unwrap().len();
+        let mut cold = out.cold.unwrap();
+        let cold_bytes = cold.to_bytes().unwrap().len();
+        // Both halves parse.
+        ClassFile::parse(&hot.to_bytes().unwrap()).unwrap();
+        ClassFile::parse(&cold.to_bytes().unwrap()).unwrap();
+        // And the hot half is smaller than the original (that is the whole
+        // point of the service).
+        assert!(
+            hot_bytes < original_bytes,
+            "hot {hot_bytes} vs original {original_bytes} (cold {cold_bytes})"
+        );
+    }
+
+    #[test]
+    fn nothing_cold_returns_no_overflow() {
+        let cf = app_class();
+        let out = split_class(&cf, |_, _| false).unwrap();
+        assert!(out.cold.is_none());
+        assert!(out.moved.is_empty());
+    }
+
+    #[test]
+    fn executes_identically_after_split() {
+        use dvm_jvm::{Completion, MapProvider, Value, Vm};
+        let cf = app_class();
+        let out = split_class(&cf, |name, _| name == "cold").unwrap();
+        let mut provider = MapProvider::new();
+        let mut hot = out.hot;
+        let mut cold = out.cold.unwrap();
+        provider.insert_class(&mut hot).unwrap();
+        provider.insert_class(&mut cold).unwrap();
+        let mut vm = Vm::new(Box::new(provider)).unwrap();
+        match vm.run_static("t/App", "cold", "()I", vec![]).unwrap() {
+            Completion::Normal(Some(Value::Int(v))) => assert_eq!(v, 42),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The overflow class was fetched lazily.
+        assert!(vm
+            .stats
+            .classes_loaded
+            .iter()
+            .any(|(n, _)| n == "t/App$Cold"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Startup-time modeling under different transfer strategies.
+//!
+//! §5 defines startup time as "the time from initial invocation to the
+//! time when the application can start processing user requests". What
+//! must cross the link before that point depends on the unit of code
+//! distribution:
+//!
+//! - [`Strategy::WholeArchive`]: the whole application ships as one unit
+//!   (Java's JAR mode).
+//! - [`Strategy::LazyClass`]: whole classes ship on first reference
+//!   (Java's class-at-a-time mode).
+//! - [`Strategy::Repartitioned`]: the DVM optimization service regroups
+//!   code at method granularity so only profiled-hot methods ship at
+//!   startup; cold methods are factored into on-demand overflow units.
+
+use dvm_netsim::{Link, SimTime};
+
+use crate::profile_model::AppProfile;
+
+/// A transfer strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Single-archive transfer.
+    WholeArchive,
+    /// Class-granularity lazy loading.
+    LazyClass,
+    /// Profile-driven method-granularity repartitioning (§5).
+    Repartitioned,
+}
+
+/// Bytes that must arrive before startup completes under `strategy`.
+pub fn startup_bytes(app: &AppProfile, strategy: Strategy) -> u64 {
+    match strategy {
+        Strategy::WholeArchive => app.total_bytes(),
+        Strategy::LazyClass => app
+            .classes
+            .iter()
+            .filter(|c| c.needed_at_startup())
+            .map(|c| c.total_bytes())
+            .sum(),
+        Strategy::Repartitioned => app
+            .classes
+            .iter()
+            .filter(|c| c.needed_at_startup())
+            .map(|c| c.overhead_bytes + c.startup_method_bytes())
+            .sum(),
+    }
+}
+
+/// Round trips paid before startup completes under `strategy`.
+pub fn startup_round_trips(app: &AppProfile, strategy: Strategy) -> u64 {
+    match strategy {
+        Strategy::WholeArchive => 1,
+        // One request per startup class.
+        Strategy::LazyClass | Strategy::Repartitioned => {
+            app.classes.iter().filter(|c| c.needed_at_startup()).count() as u64
+        }
+    }
+}
+
+/// Startup time over `link` under `strategy`.
+pub fn startup_time(app: &AppProfile, strategy: Strategy, link: &Link) -> SimTime {
+    let bytes = startup_bytes(app, strategy);
+    let rts = startup_round_trips(app, strategy);
+    let mut t = link.serialization_time(bytes);
+    for _ in 0..rts {
+        t += link.latency;
+    }
+    t
+}
+
+/// Percent improvement of repartitioned over class-lazy startup (the
+/// quantity plotted in Figure 12).
+pub fn improvement_percent(app: &AppProfile, link: &Link) -> f64 {
+    let base = startup_time(app, Strategy::LazyClass, link).as_nanos() as f64;
+    let opt = startup_time(app, Strategy::Repartitioned, link).as_nanos() as f64;
+    if base == 0.0 {
+        return 0.0;
+    }
+    (base - opt) / base * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile_model::{AppProfile, ClassProfile, MethodProfile};
+    use dvm_netsim::presets;
+
+    fn app() -> AppProfile {
+        AppProfile {
+            name: "demo".into(),
+            classes: vec![
+                ClassProfile {
+                    name: "a/Main".into(),
+                    overhead_bytes: 500,
+                    methods: vec![
+                        MethodProfile { name: "main".into(), size: 2000, used_at_startup: true, used_ever: true },
+                        MethodProfile { name: "help".into(), size: 3000, used_at_startup: false, used_ever: false },
+                    ],
+                },
+                ClassProfile {
+                    name: "a/Never".into(),
+                    overhead_bytes: 300,
+                    methods: vec![MethodProfile {
+                        name: "x".into(),
+                        size: 1500,
+                        used_at_startup: false,
+                        used_ever: false,
+                    }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn byte_accounting_per_strategy() {
+        let a = app();
+        assert_eq!(startup_bytes(&a, Strategy::WholeArchive), 7300);
+        assert_eq!(startup_bytes(&a, Strategy::LazyClass), 5500);
+        assert_eq!(startup_bytes(&a, Strategy::Repartitioned), 2500);
+    }
+
+    #[test]
+    fn repartitioning_wins_on_slow_links() {
+        let a = app();
+        let slow = presets::wireless_28_8kbps();
+        let lazy = startup_time(&a, Strategy::LazyClass, &slow);
+        let opt = startup_time(&a, Strategy::Repartitioned, &slow);
+        assert!(opt < lazy);
+        assert!(improvement_percent(&a, &slow) > 10.0);
+    }
+
+    #[test]
+    fn improvement_shrinks_with_bandwidth() {
+        let a = app();
+        let slow = presets::sweep_link(3_600); // 28.8 kb/s
+        let fast = presets::sweep_link(1_000_000); // 1 MB/s
+        let slow_imp = improvement_percent(&a, &slow);
+        let fast_imp = improvement_percent(&a, &fast);
+        assert!(
+            slow_imp > fast_imp,
+            "improvement should decay with bandwidth: {slow_imp} vs {fast_imp}"
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! The DVM proxy infrastructure (§3 of the paper).
+//!
+//! All static service components share one proxy: it "transparently
+//! intercepts code requests from clients, parses JVM bytecodes and
+//! generates the instrumented program in the appropriate binary format",
+//! composing the services as stackable code-transformation [`filter`]s,
+//! caching rewrites ([`cache`]), signing output so injected checks are
+//! inseparable from applications ([`sign`], over a from-scratch RFC 1321
+//! [`md5`]), and keeping an audit trail for the administration console.
+
+pub mod cache;
+pub mod filter;
+pub mod md5;
+pub mod proxy;
+pub mod sign;
+
+pub use cache::{CacheStats, CacheTier, RewriteCache};
+pub use filter::{Filter, FilterError, NullFilter, Pipeline, RequestContext};
+pub use proxy::{CodeOrigin, MapOrigin, Proxy, ProxyAuditRecord, ProxyError, ProxyStats, ServedFrom, ServedResponse};
+pub use sign::{SignatureCheck, Signer, TAG_LEN};

@@ -1,0 +1,387 @@
+//! The proxy engine.
+//!
+//! A transparent proxy at the organization's trust boundary: it intercepts
+//! code requests, serves rewrites from its cache, otherwise fetches from
+//! the origin, parses once, runs the filter pipeline, serializes once,
+//! optionally signs the result, and records an audit-trail entry for the
+//! remote administration console. All state is internally synchronized so
+//! many client sessions can drive one proxy concurrently (the §4.2 scaling
+//! experiment).
+
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use dvm_classfile::ClassFile;
+
+use crate::cache::{CacheStats, CacheTier, RewriteCache};
+use crate::filter::{FilterError, Pipeline, RequestContext};
+use crate::sign::Signer;
+
+/// Supplies original (untransformed) code bytes, keyed by URL.
+pub trait CodeOrigin: Send + Sync {
+    /// Fetches the resource, or `None` if it does not exist.
+    fn fetch(&self, url: &str) -> Option<Vec<u8>>;
+}
+
+/// An origin backed by an in-memory map.
+#[derive(Debug, Default)]
+pub struct MapOrigin {
+    entries: std::collections::HashMap<String, Vec<u8>>,
+}
+
+impl MapOrigin {
+    /// Creates an empty origin.
+    pub fn new() -> MapOrigin {
+        MapOrigin::default()
+    }
+
+    /// Adds a resource.
+    pub fn insert(&mut self, url: &str, bytes: Vec<u8>) {
+        self.entries.insert(url.to_owned(), bytes);
+    }
+}
+
+impl CodeOrigin for MapOrigin {
+    fn fetch(&self, url: &str) -> Option<Vec<u8>> {
+        self.entries.get(url).cloned()
+    }
+}
+
+/// Proxy request failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProxyError {
+    /// Origin had no such resource.
+    NotFound(String),
+    /// The resource is not a parseable class file.
+    Parse(String),
+    /// A pipeline filter failed.
+    Filter(FilterError),
+}
+
+impl std::fmt::Display for ProxyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProxyError::NotFound(u) => write!(f, "not found: {u}"),
+            ProxyError::Parse(e) => write!(f, "parse failed: {e}"),
+            ProxyError::Filter(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProxyError {}
+
+/// How a request was satisfied, for the audit trail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedFrom {
+    /// Rewritten now (origin fetch + pipeline).
+    Rewritten,
+    /// Served from the memory cache tier.
+    MemoryCache,
+    /// Served from the disk cache tier.
+    DiskCache,
+}
+
+/// A served response with provenance.
+#[derive(Debug, Clone)]
+pub struct ServedResponse {
+    /// The (possibly rewritten and signed) class bytes.
+    pub bytes: Vec<u8>,
+    /// How the request was satisfied.
+    pub served_from: ServedFrom,
+    /// Real processing time in nanoseconds (zero for cache hits).
+    pub processing_ns: u64,
+}
+
+/// One audit-trail record.
+#[derive(Debug, Clone)]
+pub struct ProxyAuditRecord {
+    /// Requested URL.
+    pub url: String,
+    /// Requesting client.
+    pub client: String,
+    /// How the request was satisfied.
+    pub served_from: ServedFrom,
+    /// Bytes served.
+    pub bytes: usize,
+    /// Real processing time in nanoseconds (parse + filters + generate;
+    /// zero for cache hits).
+    pub processing_ns: u64,
+}
+
+/// Aggregate proxy statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProxyStats {
+    /// Requests handled.
+    pub requests: u64,
+    /// Bytes fetched from origins.
+    pub bytes_fetched: u64,
+    /// Bytes served to clients.
+    pub bytes_served: u64,
+    /// Classes rewritten (parse + pipeline + generate executed).
+    pub rewrites: u64,
+    /// Total real rewrite time in nanoseconds.
+    pub rewrite_ns: u64,
+}
+
+/// The proxy.
+pub struct Proxy {
+    origin: Box<dyn CodeOrigin>,
+    pipeline: Pipeline,
+    cache: Mutex<RewriteCache>,
+    caching: bool,
+    signer: Option<Signer>,
+    audit: Mutex<Vec<ProxyAuditRecord>>,
+    stats: Mutex<ProxyStats>,
+}
+
+impl std::fmt::Debug for Proxy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Proxy")
+            .field("pipeline", &self.pipeline)
+            .field("caching", &self.caching)
+            .finish()
+    }
+}
+
+impl Proxy {
+    /// Creates a proxy.
+    ///
+    /// `cache_memory_bytes` bounds the memory tier; pass `caching = false`
+    /// to disable the cache entirely (the worst-case configuration of the
+    /// §4.2 scaling experiment).
+    pub fn new(
+        origin: Box<dyn CodeOrigin>,
+        pipeline: Pipeline,
+        cache_memory_bytes: usize,
+        caching: bool,
+        signer: Option<Signer>,
+    ) -> Proxy {
+        Proxy {
+            origin,
+            pipeline,
+            cache: Mutex::new(RewriteCache::new(cache_memory_bytes)),
+            caching,
+            signer,
+            audit: Mutex::new(Vec::new()),
+            stats: Mutex::new(ProxyStats::default()),
+        }
+    }
+
+    /// Handles one code request, returning just the bytes.
+    pub fn handle_request(
+        &self,
+        url: &str,
+        ctx: &RequestContext,
+    ) -> Result<Vec<u8>, ProxyError> {
+        self.handle_request_detailed(url, ctx).map(|r| r.bytes)
+    }
+
+    /// Handles one code request with provenance details (clients use the
+    /// tier and processing time for transfer-latency accounting).
+    pub fn handle_request_detailed(
+        &self,
+        url: &str,
+        ctx: &RequestContext,
+    ) -> Result<ServedResponse, ProxyError> {
+        self.stats.lock().requests += 1;
+        if self.caching {
+            if let Some((bytes, tier)) = self.cache.lock().get(url) {
+                let served_from = match tier {
+                    CacheTier::Memory => ServedFrom::MemoryCache,
+                    CacheTier::Disk => ServedFrom::DiskCache,
+                };
+                self.finish(url, ctx, &bytes, served_from, 0);
+                return Ok(ServedResponse { bytes, served_from, processing_ns: 0 });
+            }
+        }
+
+        let original = self
+            .origin
+            .fetch(url)
+            .ok_or_else(|| ProxyError::NotFound(url.to_owned()))?;
+        self.stats.lock().bytes_fetched += original.len() as u64;
+
+        let start = Instant::now();
+        // Parse once for all static services.
+        let class = ClassFile::parse(&original).map_err(|e| ProxyError::Parse(e.to_string()))?;
+        let mut rewritten = self.pipeline.run(class, ctx).map_err(ProxyError::Filter)?;
+        // Generate once.
+        let mut bytes = rewritten
+            .to_bytes()
+            .map_err(|e| ProxyError::Parse(e.to_string()))?;
+        if let Some(signer) = &self.signer {
+            bytes = signer.attach(bytes);
+        }
+        let elapsed = start.elapsed().as_nanos() as u64;
+        {
+            let mut s = self.stats.lock();
+            s.rewrites += 1;
+            s.rewrite_ns += elapsed;
+        }
+        if self.caching {
+            self.cache.lock().put(url.to_owned(), bytes.clone());
+        }
+        self.finish(url, ctx, &bytes, ServedFrom::Rewritten, elapsed);
+        Ok(ServedResponse { bytes, served_from: ServedFrom::Rewritten, processing_ns: elapsed })
+    }
+
+    fn finish(
+        &self,
+        url: &str,
+        ctx: &RequestContext,
+        bytes: &[u8],
+        served_from: ServedFrom,
+        processing_ns: u64,
+    ) {
+        self.stats.lock().bytes_served += bytes.len() as u64;
+        self.audit.lock().push(ProxyAuditRecord {
+            url: url.to_owned(),
+            client: ctx.client.clone(),
+            served_from,
+            bytes: bytes.len(),
+            processing_ns,
+        });
+    }
+
+    /// Snapshot of the aggregate statistics.
+    pub fn stats(&self) -> ProxyStats {
+        *self.stats.lock()
+    }
+
+    /// Snapshot of the cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().stats
+    }
+
+    /// Snapshot of the audit trail.
+    pub fn audit_trail(&self) -> Vec<ProxyAuditRecord> {
+        self.audit.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::NullFilter;
+    use dvm_classfile::ClassBuilder;
+
+    fn origin_with(name: &str, url: &str) -> MapOrigin {
+        let mut cf = ClassBuilder::new(name).build();
+        let mut o = MapOrigin::new();
+        o.insert(url, cf.to_bytes().unwrap());
+        o
+    }
+
+    fn null_pipeline() -> Pipeline {
+        let mut p = Pipeline::new();
+        p.push(Box::new(NullFilter));
+        p
+    }
+
+    #[test]
+    fn rewrites_then_serves_from_cache() {
+        let proxy = Proxy::new(
+            Box::new(origin_with("t/A", "http://x/A.class")),
+            null_pipeline(),
+            1 << 20,
+            true,
+            None,
+        );
+        let ctx = RequestContext { client: "c1".into(), ..Default::default() };
+        let b1 = proxy.handle_request("http://x/A.class", &ctx).unwrap();
+        let b2 = proxy.handle_request("http://x/A.class", &ctx).unwrap();
+        assert_eq!(b1, b2);
+        let stats = proxy.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.rewrites, 1);
+        let audit = proxy.audit_trail();
+        assert_eq!(audit[0].served_from, ServedFrom::Rewritten);
+        assert_eq!(audit[1].served_from, ServedFrom::MemoryCache);
+    }
+
+    #[test]
+    fn caching_disabled_rewrites_every_time() {
+        let proxy = Proxy::new(
+            Box::new(origin_with("t/A", "u")),
+            null_pipeline(),
+            1 << 20,
+            false,
+            None,
+        );
+        let ctx = RequestContext::default();
+        proxy.handle_request("u", &ctx).unwrap();
+        proxy.handle_request("u", &ctx).unwrap();
+        assert_eq!(proxy.stats().rewrites, 2);
+    }
+
+    #[test]
+    fn missing_resource_errors() {
+        let proxy = Proxy::new(
+            Box::new(MapOrigin::new()),
+            null_pipeline(),
+            1024,
+            true,
+            None,
+        );
+        assert!(matches!(
+            proxy.handle_request("nope", &RequestContext::default()),
+            Err(ProxyError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn signed_output_verifies_and_round_trips() {
+        let signer = Signer::new(b"org");
+        let proxy = Proxy::new(
+            Box::new(origin_with("t/S", "u")),
+            null_pipeline(),
+            1024,
+            false,
+            Some(signer.clone()),
+        );
+        let bytes = proxy.handle_request("u", &RequestContext::default()).unwrap();
+        let (check, payload) = signer.detach(&bytes);
+        assert_eq!(check, crate::sign::SignatureCheck::Valid);
+        let parsed = ClassFile::parse(payload.unwrap()).unwrap();
+        assert_eq!(parsed.name().unwrap(), "t/S");
+    }
+
+    #[test]
+    fn garbage_input_is_a_parse_error() {
+        let mut o = MapOrigin::new();
+        o.insert("junk", vec![1, 2, 3, 4]);
+        let proxy = Proxy::new(Box::new(o), null_pipeline(), 1024, true, None);
+        assert!(matches!(
+            proxy.handle_request("junk", &RequestContext::default()),
+            Err(ProxyError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn concurrent_clients_share_one_proxy() {
+        use std::sync::Arc;
+        let proxy = Arc::new(Proxy::new(
+            Box::new(origin_with("t/C", "u")),
+            null_pipeline(),
+            1 << 20,
+            true,
+            None,
+        ));
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let p = proxy.clone();
+            handles.push(std::thread::spawn(move || {
+                let ctx = RequestContext { client: format!("c{i}"), ..Default::default() };
+                for _ in 0..50 {
+                    p.handle_request("u", &ctx).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(proxy.stats().requests, 400);
+        assert_eq!(proxy.stats().rewrites, 1, "only the first request rewrites");
+    }
+}

@@ -1,0 +1,105 @@
+//! Keyed signatures binding proxy transformations to code.
+//!
+//! In environments where integrity between the proxy and clients cannot be
+//! assumed, "digital signatures attached by the static service components
+//! can ensure that the checks are inseparable from applications" (§2). We
+//! use an HMAC-style nested keyed digest over MD5; clients redirect
+//! incorrectly signed or unsigned code back to the centralized services.
+
+use crate::md5::md5;
+
+/// Length of an attached signature.
+pub const TAG_LEN: usize = 16;
+
+/// Signs and verifies class bytes with a shared organization key.
+#[derive(Debug, Clone)]
+pub struct Signer {
+    key: Vec<u8>,
+}
+
+/// Outcome of checking a possibly-signed blob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignatureCheck {
+    /// Correctly signed by this organization's key.
+    Valid,
+    /// Carries a tag that does not verify.
+    Invalid,
+    /// Too short to carry a tag at all.
+    Unsigned,
+}
+
+impl Signer {
+    /// Creates a signer from the organization key.
+    pub fn new(key: &[u8]) -> Signer {
+        Signer { key: key.to_vec() }
+    }
+
+    /// Computes the tag for `data` (HMAC-style nested construction).
+    pub fn tag(&self, data: &[u8]) -> [u8; TAG_LEN] {
+        let mut inner = self.key.clone();
+        inner.extend_from_slice(data);
+        let inner_digest = md5(&inner);
+        let mut outer = self.key.clone();
+        outer.extend_from_slice(&inner_digest);
+        md5(&outer)
+    }
+
+    /// Appends the tag to `data`, producing the signed wire form.
+    pub fn attach(&self, mut data: Vec<u8>) -> Vec<u8> {
+        let tag = self.tag(&data);
+        data.extend_from_slice(&tag);
+        data
+    }
+
+    /// Checks a signed blob, returning the verdict and (when valid) the
+    /// payload without its tag.
+    pub fn detach<'a>(&self, signed: &'a [u8]) -> (SignatureCheck, Option<&'a [u8]>) {
+        if signed.len() < TAG_LEN {
+            return (SignatureCheck::Unsigned, None);
+        }
+        let (payload, tag) = signed.split_at(signed.len() - TAG_LEN);
+        if self.tag(payload) == tag {
+            (SignatureCheck::Valid, Some(payload))
+        } else {
+            (SignatureCheck::Invalid, None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_verifies() {
+        let s = Signer::new(b"org-key");
+        let signed = s.attach(b"class bytes".to_vec());
+        let (check, payload) = s.detach(&signed);
+        assert_eq!(check, SignatureCheck::Valid);
+        assert_eq!(payload, Some(b"class bytes".as_ref()));
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let s = Signer::new(b"org-key");
+        let mut signed = s.attach(b"class bytes".to_vec());
+        signed[3] ^= 0x40;
+        let (check, payload) = s.detach(&signed);
+        assert_eq!(check, SignatureCheck::Invalid);
+        assert!(payload.is_none());
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let s1 = Signer::new(b"org-key");
+        let s2 = Signer::new(b"other-key");
+        let signed = s1.attach(b"x".to_vec());
+        assert_eq!(s2.detach(&signed).0, SignatureCheck::Invalid);
+    }
+
+    #[test]
+    fn short_input_is_unsigned() {
+        let s = Signer::new(b"k");
+        assert_eq!(s.detach(&[1, 2, 3]).0, SignatureCheck::Unsigned);
+    }
+}

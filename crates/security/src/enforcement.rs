@@ -1,0 +1,225 @@
+//! The security server and the client-side enforcement manager.
+//!
+//! The server holds the organization policy and answers access queries;
+//! each client runs a small enforcement manager that caches results. A
+//! cache-invalidation protocol lets the server propagate policy changes:
+//! every grant/revoke clears the registered client caches (§3.2).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::policy::{PermissionId, Policy, SecurityId};
+
+/// Simulated cycles for downloading the relevant policy portion on the
+/// first check (the paper's "download" column in Figure 9: ~5 ms at
+/// 200 MHz).
+pub const POLICY_DOWNLOAD_CYCLES: u64 = 1_000_000;
+
+/// Simulated cycles for a warm enforcement-manager cache hit (~7 µs).
+pub const CACHE_HIT_CYCLES: u64 = 1_440;
+
+/// Simulated cycles for a post-download cache miss answered by the server
+/// over the LAN.
+pub const SERVER_QUERY_CYCLES: u64 = 36_000;
+
+/// Server-side statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    /// Access queries answered.
+    pub queries: u64,
+    /// Policy updates applied.
+    pub updates: u64,
+    /// Cache invalidations pushed to clients.
+    pub invalidations_sent: u64,
+}
+
+type CacheCell = Mutex<HashMap<(SecurityId, PermissionId), bool>>;
+
+/// The centralized security service.
+#[derive(Debug)]
+pub struct SecurityServer {
+    policy: Policy,
+    clients: Vec<Arc<CacheCell>>,
+    /// Statistics.
+    pub stats: ServerStats,
+}
+
+impl SecurityServer {
+    /// Creates a server around a policy.
+    pub fn new(policy: Policy) -> SecurityServer {
+        SecurityServer { policy, clients: Vec::new(), stats: ServerStats::default() }
+    }
+
+    /// Read access to the policy.
+    pub fn policy(&self) -> &Policy {
+        &self.policy
+    }
+
+    /// Answers one access query.
+    pub fn query(&mut self, sid: SecurityId, perm: PermissionId) -> bool {
+        self.stats.queries += 1;
+        self.policy.allows(sid, perm)
+    }
+
+    /// Grants a permission and invalidates client caches.
+    pub fn grant(&mut self, sid: SecurityId, perm: PermissionId) {
+        self.policy.grant(sid, perm);
+        self.invalidate_clients();
+    }
+
+    /// Revokes a permission and invalidates client caches.
+    pub fn revoke(&mut self, sid: SecurityId, perm: PermissionId) {
+        self.policy.revoke(sid, perm);
+        self.invalidate_clients();
+    }
+
+    fn invalidate_clients(&mut self) {
+        self.stats.updates += 1;
+        for c in &self.clients {
+            c.lock().clear();
+            self.stats.invalidations_sent += 1;
+        }
+    }
+
+    fn register(&mut self) -> Arc<CacheCell> {
+        let cell = Arc::new(Mutex::new(HashMap::new()));
+        self.clients.push(cell.clone());
+        cell
+    }
+}
+
+/// Client-side statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EnforcementStats {
+    /// Checks answered from the local cache.
+    pub cache_hits: u64,
+    /// Checks that queried the server.
+    pub cache_misses: u64,
+    /// Policy-portion downloads performed (first check).
+    pub downloads: u64,
+    /// Checks denied.
+    pub denials: u64,
+}
+
+/// The enforcement manager: the dynamic component of the security service,
+/// resident on each client.
+#[derive(Debug)]
+pub struct EnforcementManager {
+    server: Arc<Mutex<SecurityServer>>,
+    cache: Arc<CacheCell>,
+    downloaded: bool,
+    /// Statistics.
+    pub stats: EnforcementStats,
+}
+
+impl EnforcementManager {
+    /// Registers a new client with `server`.
+    pub fn register(server: Arc<Mutex<SecurityServer>>) -> EnforcementManager {
+        let cache = server.lock().register();
+        EnforcementManager {
+            server,
+            cache,
+            downloaded: false,
+            stats: EnforcementStats::default(),
+        }
+    }
+
+    /// Performs an access check, returning the decision and its simulated
+    /// cycle cost.
+    pub fn check(&mut self, sid: SecurityId, perm: PermissionId) -> (bool, u64) {
+        if let Some(&allowed) = self.cache.lock().get(&(sid, perm)) {
+            self.stats.cache_hits += 1;
+            if !allowed {
+                self.stats.denials += 1;
+            }
+            return (allowed, CACHE_HIT_CYCLES);
+        }
+        let cost = if self.downloaded {
+            self.stats.cache_misses += 1;
+            SERVER_QUERY_CYCLES
+        } else {
+            // First check ever: fetch the relevant portion of the global
+            // policy from the server.
+            self.downloaded = true;
+            self.stats.downloads += 1;
+            POLICY_DOWNLOAD_CYCLES
+        };
+        let allowed = self.server.lock().query(sid, perm);
+        self.cache.lock().insert((sid, perm), allowed);
+        if !allowed {
+            self.stats.denials += 1;
+        }
+        (allowed, cost)
+    }
+
+    /// Returns `true` when the cache currently holds an entry for the pair
+    /// (used by the cache-invalidation tests and ablation bench).
+    pub fn is_cached(&self, sid: SecurityId, perm: PermissionId) -> bool {
+        self.cache.lock().contains_key(&(sid, perm))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::example_policy;
+
+    fn setup() -> (Arc<Mutex<SecurityServer>>, EnforcementManager, SecurityId, PermissionId) {
+        let policy = Policy::parse(example_policy()).unwrap();
+        let sid = policy.principals["applets"];
+        let perm = policy.permissions["file.read"];
+        let server = Arc::new(Mutex::new(SecurityServer::new(policy)));
+        let em = EnforcementManager::register(server.clone());
+        (server, em, sid, perm)
+    }
+
+    #[test]
+    fn first_check_downloads_then_hits_cache() {
+        let (_server, mut em, sid, perm) = setup();
+        let (ok, cost) = em.check(sid, perm);
+        assert!(ok);
+        assert_eq!(cost, POLICY_DOWNLOAD_CYCLES);
+        let (ok, cost) = em.check(sid, perm);
+        assert!(ok);
+        assert_eq!(cost, CACHE_HIT_CYCLES);
+        assert_eq!(em.stats.downloads, 1);
+        assert_eq!(em.stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn revocation_invalidates_client_caches() {
+        let (server, mut em, sid, perm) = setup();
+        em.check(sid, perm);
+        assert!(em.is_cached(sid, perm));
+        server.lock().revoke(sid, perm);
+        assert!(!em.is_cached(sid, perm), "invalidation must clear the cache");
+        let (ok, _) = em.check(sid, perm);
+        assert!(!ok, "revoked permission must now be denied");
+        assert_eq!(em.stats.denials, 1);
+    }
+
+    #[test]
+    fn grant_propagates_to_clients() {
+        let (server, mut em, sid, _) = setup();
+        let new_perm = PermissionId(99);
+        let (ok, _) = em.check(sid, new_perm);
+        assert!(!ok);
+        server.lock().grant(sid, new_perm);
+        let (ok, _) = em.check(sid, new_perm);
+        assert!(ok);
+    }
+
+    #[test]
+    fn multiple_clients_all_invalidate() {
+        let (server, mut em1, sid, perm) = setup();
+        let mut em2 = EnforcementManager::register(server.clone());
+        em1.check(sid, perm);
+        em2.check(sid, perm);
+        server.lock().revoke(sid, perm);
+        assert!(!em1.is_cached(sid, perm));
+        assert!(!em2.is_cached(sid, perm));
+        assert_eq!(server.lock().stats.invalidations_sent, 2);
+    }
+}

@@ -1,0 +1,135 @@
+//! The monolithic baseline: JDK 1.2-style stack-introspection access
+//! control.
+//!
+//! In the Sun JDK 1.2 model every stack frame carries a protection domain;
+//! `checkPermission` walks the call stack and requires every domain to
+//! grant the permission. The cost therefore scales with stack depth, and
+//! checks exist only at the code sites the JDK developers anticipated —
+//! the paper's Figure 9 notes that file *reads* have no check at all
+//! ("N/A"), which is the flexibility gap the DVM security service closes.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::policy::PermissionId;
+
+/// Simulated cycles per stack frame examined during introspection.
+pub const PER_FRAME_CYCLES: u64 = 1_800;
+
+/// Simulated fixed cost of entering the security manager.
+pub const BASE_CHECK_CYCLES: u64 = 1_400;
+
+/// A protection domain: the set of permissions granted to code from one
+/// source.
+#[derive(Debug, Clone, Default)]
+pub struct ProtectionDomain {
+    grants: HashSet<PermissionId>,
+}
+
+impl ProtectionDomain {
+    /// Creates a domain granting the given permissions.
+    pub fn new(grants: impl IntoIterator<Item = PermissionId>) -> ProtectionDomain {
+        ProtectionDomain { grants: grants.into_iter().collect() }
+    }
+
+    /// Returns `true` when this domain grants `perm`.
+    pub fn implies(&self, perm: PermissionId) -> bool {
+        self.grants.contains(&perm)
+    }
+}
+
+/// The monolithic security manager.
+#[derive(Debug, Default)]
+pub struct StackIntrospection {
+    /// Permissions whose checks carry extra constant cost in the JDK
+    /// (e.g. `FilePermission` canonicalizes paths and consults the policy
+    /// file, which dominates the paper's OpenFile row).
+    pub per_permission_extra: HashMap<PermissionId, u64>,
+    /// Set of permissions the JDK actually checks; operations outside this
+    /// set are unprotected (Figure 9's "N/A" row).
+    pub anticipated: HashSet<PermissionId>,
+}
+
+impl StackIntrospection {
+    /// Creates a manager that anticipates the given permissions.
+    pub fn new(anticipated: impl IntoIterator<Item = PermissionId>) -> StackIntrospection {
+        StackIntrospection {
+            per_permission_extra: HashMap::new(),
+            anticipated: anticipated.into_iter().collect(),
+        }
+    }
+
+    /// Declares an extra constant cost for checking `perm`.
+    pub fn set_extra_cost(&mut self, perm: PermissionId, cycles: u64) {
+        self.per_permission_extra.insert(perm, cycles);
+    }
+
+    /// Performs `checkPermission` over the given domain stack.
+    ///
+    /// Returns `None` when the operation has no check at all (not
+    /// anticipated by the system developers), otherwise
+    /// `Some((allowed, cost_cycles))`.
+    pub fn check_permission(
+        &self,
+        stack: &[&ProtectionDomain],
+        perm: PermissionId,
+    ) -> Option<(bool, u64)> {
+        if !self.anticipated.contains(&perm) {
+            return None;
+        }
+        let mut cost = BASE_CHECK_CYCLES + self.per_permission_extra.get(&perm).copied().unwrap_or(0);
+        let mut allowed = true;
+        for d in stack {
+            cost += PER_FRAME_CYCLES;
+            if !d.implies(perm) {
+                allowed = false;
+                break;
+            }
+        }
+        Some((allowed, cost))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_domains_must_grant() {
+        let p = PermissionId(1);
+        let trusted = ProtectionDomain::new([p]);
+        let untrusted = ProtectionDomain::new([]);
+        let sm = StackIntrospection::new([p]);
+        let (ok, _) = sm.check_permission(&[&trusted, &trusted], p).unwrap();
+        assert!(ok);
+        let (ok, _) = sm.check_permission(&[&trusted, &untrusted], p).unwrap();
+        assert!(!ok);
+    }
+
+    #[test]
+    fn cost_scales_with_stack_depth() {
+        let p = PermissionId(1);
+        let d = ProtectionDomain::new([p]);
+        let sm = StackIntrospection::new([p]);
+        let (_, shallow) = sm.check_permission(&[&d], p).unwrap();
+        let stack: Vec<&ProtectionDomain> = std::iter::repeat_n(&d, 10).collect();
+        let (_, deep) = sm.check_permission(&stack, p).unwrap();
+        assert!(deep > shallow);
+        assert_eq!(deep - shallow, 9 * PER_FRAME_CYCLES);
+    }
+
+    #[test]
+    fn unanticipated_operations_have_no_check() {
+        let sm = StackIntrospection::new([PermissionId(1)]);
+        assert!(sm.check_permission(&[], PermissionId(2)).is_none());
+    }
+
+    #[test]
+    fn extra_cost_is_applied() {
+        let p = PermissionId(1);
+        let d = ProtectionDomain::new([p]);
+        let mut sm = StackIntrospection::new([p]);
+        sm.set_extra_cost(p, 1_000_000);
+        let (_, cost) = sm.check_permission(&[&d], p).unwrap();
+        assert!(cost > 1_000_000);
+    }
+}

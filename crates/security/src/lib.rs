@@ -1,0 +1,22 @@
+//! The DVM security service (§3.2 of the paper).
+//!
+//! A DTOS-derived model: security identifiers (protection domains) relate
+//! to permissions through an access matrix specified in an organization-
+//! wide XML policy. The *static* component ([`rewriter::secure_class`])
+//! rewrites incoming applications so every protected call site invokes the
+//! enforcement manager first; the *dynamic* component
+//! ([`enforcement::EnforcementManager`]) resolves those checks against the
+//! centralized [`enforcement::SecurityServer`] with client-side caching and
+//! server-pushed invalidation. [`introspection`] implements the JDK 1.2
+//! stack-introspection baseline the paper compares against in Figure 9.
+
+pub mod enforcement;
+pub mod introspection;
+pub mod policy;
+pub mod rewriter;
+pub mod xml;
+
+pub use enforcement::{EnforcementManager, SecurityServer};
+pub use introspection::{ProtectionDomain, StackIntrospection};
+pub use policy::{OperationSite, PermissionId, Policy, PolicyError, SecurityId};
+pub use rewriter::{secure_class, SecurityRewriteStats};

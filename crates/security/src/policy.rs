@@ -1,0 +1,235 @@
+//! The organization-wide security policy.
+//!
+//! Derived from DTOS (§3.2): security identifiers represent protection
+//! domains, permissions represent the right to perform an operation, and an
+//! access matrix relates the two. The policy also maps named resources to
+//! security identifiers and maps security-relevant operations to the code
+//! sites where checks must be inserted. Policies are written in a
+//! high-level XML language and parsed here.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use crate::xml;
+
+/// A security identifier (protection domain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SecurityId(pub u32);
+
+/// A permission identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PermissionId(pub u32);
+
+/// Where a permission's check is inserted: before calls to
+/// `class.method`, matched on the callee.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OperationSite {
+    /// Callee class internal name (exact match).
+    pub class: String,
+    /// Callee method name (exact match, `*` matches any).
+    pub method: String,
+}
+
+/// Policy load error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyError(pub String);
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "policy error: {}", self.0)
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+/// The parsed organization-wide policy.
+#[derive(Debug, Clone, Default)]
+pub struct Policy {
+    /// Principal name → SID.
+    pub principals: HashMap<String, SecurityId>,
+    /// Permission name → id.
+    pub permissions: HashMap<String, PermissionId>,
+    /// The access matrix: which SIDs hold which permissions.
+    pub matrix: HashSet<(SecurityId, PermissionId)>,
+    /// Resource path prefixes mapped to the SID allowed to use them.
+    pub resources: Vec<(String, SecurityId)>,
+    /// Operation sites mapped to the permission they require.
+    pub operations: Vec<(OperationSite, PermissionId)>,
+    /// Monotonically increasing version, bumped on every change.
+    pub version: u64,
+}
+
+impl Policy {
+    /// Parses a policy from its XML form.
+    pub fn parse(text: &str) -> Result<Policy, PolicyError> {
+        let root = xml::parse(text).map_err(|e| PolicyError(e.to_string()))?;
+        if root.name != "policy" {
+            return Err(PolicyError(format!("root element is <{}>, expected <policy>", root.name)));
+        }
+        let mut p = Policy::default();
+        let need = |e: &xml::Element, a: &str| -> Result<String, PolicyError> {
+            e.attr(a)
+                .map(str::to_owned)
+                .ok_or_else(|| PolicyError(format!("<{}> missing attribute {a:?}", e.name)))
+        };
+        for child in &root.children {
+            match child.name.as_str() {
+                "principal" => {
+                    let name = need(child, "name")?;
+                    let sid: u32 = need(child, "sid")?
+                        .parse()
+                        .map_err(|_| PolicyError("sid must be an integer".into()))?;
+                    p.principals.insert(name, SecurityId(sid));
+                }
+                "permission" => {
+                    let name = need(child, "name")?;
+                    let id: u32 = need(child, "id")?
+                        .parse()
+                        .map_err(|_| PolicyError("permission id must be an integer".into()))?;
+                    p.permissions.insert(name, PermissionId(id));
+                }
+                "allow" => {
+                    let principal = need(child, "principal")?;
+                    let permission = need(child, "permission")?;
+                    let sid = *p
+                        .principals
+                        .get(&principal)
+                        .ok_or_else(|| PolicyError(format!("unknown principal {principal:?}")))?;
+                    let perm = *p
+                        .permissions
+                        .get(&permission)
+                        .ok_or_else(|| PolicyError(format!("unknown permission {permission:?}")))?;
+                    p.matrix.insert((sid, perm));
+                }
+                "resource" => {
+                    let path = need(child, "path")?;
+                    let principal = need(child, "principal")?;
+                    let sid = *p
+                        .principals
+                        .get(&principal)
+                        .ok_or_else(|| PolicyError(format!("unknown principal {principal:?}")))?;
+                    p.resources.push((path, sid));
+                }
+                "operation" => {
+                    let class = need(child, "class")?;
+                    let method = need(child, "method")?;
+                    let permission = need(child, "permission")?;
+                    let perm = *p
+                        .permissions
+                        .get(&permission)
+                        .ok_or_else(|| PolicyError(format!("unknown permission {permission:?}")))?;
+                    p.operations.push((OperationSite { class, method }, perm));
+                }
+                other => {
+                    return Err(PolicyError(format!("unknown policy element <{other}>")));
+                }
+            }
+        }
+        Ok(p)
+    }
+
+    /// Returns `true` when `sid` holds `perm`.
+    pub fn allows(&self, sid: SecurityId, perm: PermissionId) -> bool {
+        self.matrix.contains(&(sid, perm))
+    }
+
+    /// Returns the permission required to invoke `class.method`, if any.
+    pub fn operation_permission(&self, class: &str, method: &str) -> Option<PermissionId> {
+        self.operations
+            .iter()
+            .find(|(site, _)| {
+                site.class == class && (site.method == "*" || site.method == method)
+            })
+            .map(|(_, p)| *p)
+    }
+
+    /// Grants `perm` to `sid`, bumping the version (used by the remote
+    /// administration console).
+    pub fn grant(&mut self, sid: SecurityId, perm: PermissionId) {
+        self.matrix.insert((sid, perm));
+        self.version += 1;
+    }
+
+    /// Revokes `perm` from `sid`, bumping the version.
+    pub fn revoke(&mut self, sid: SecurityId, perm: PermissionId) {
+        self.matrix.remove(&(sid, perm));
+        self.version += 1;
+    }
+}
+
+/// A permissive example policy exercising every feature; used by tests and
+/// the quickstart example.
+pub fn example_policy() -> &'static str {
+    r#"<?xml version="1.0"?>
+<!-- Organization-wide DVM security policy -->
+<policy version="1">
+    <principal name="applets" sid="1"/>
+    <principal name="trusted" sid="2"/>
+    <permission name="prop.read" id="10"/>
+    <permission name="file.open" id="11"/>
+    <permission name="file.read" id="12"/>
+    <permission name="thread.priority" id="13"/>
+    <allow principal="applets" permission="prop.read"/>
+    <allow principal="applets" permission="file.open"/>
+    <allow principal="applets" permission="file.read"/>
+    <allow principal="applets" permission="thread.priority"/>
+    <allow principal="trusted" permission="prop.read"/>
+    <allow principal="trusted" permission="file.open"/>
+    <allow principal="trusted" permission="file.read"/>
+    <allow principal="trusted" permission="thread.priority"/>
+    <resource path="/data/" principal="applets"/>
+    <operation class="java/lang/System" method="getProperty" permission="prop.read"/>
+    <operation class="java/io/FileInputStream" method="&lt;init&gt;" permission="file.open"/>
+    <operation class="java/io/FileInputStream" method="read" permission="file.read"/>
+    <operation class="java/lang/Thread" method="setPriority" permission="thread.priority"/>
+</policy>"#
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_example_policy() {
+        let p = Policy::parse(example_policy()).unwrap();
+        assert_eq!(p.principals.len(), 2);
+        assert_eq!(p.permissions.len(), 4);
+        let applets = p.principals["applets"];
+        let file_read = p.permissions["file.read"];
+        assert!(p.allows(applets, file_read));
+        assert_eq!(
+            p.operation_permission("java/io/FileInputStream", "<init>"),
+            Some(p.permissions["file.open"])
+        );
+        assert_eq!(p.operation_permission("java/io/FileInputStream", "skip"), None);
+    }
+
+    #[test]
+    fn grant_and_revoke_bump_version() {
+        let mut p = Policy::parse(example_policy()).unwrap();
+        let sid = p.principals["applets"];
+        let perm = p.permissions["file.read"];
+        let v0 = p.version;
+        p.revoke(sid, perm);
+        assert!(!p.allows(sid, perm));
+        assert!(p.version > v0);
+        p.grant(sid, perm);
+        assert!(p.allows(sid, perm));
+    }
+
+    #[test]
+    fn unknown_principal_is_rejected() {
+        let bad = r#"<policy><allow principal="ghost" permission="x"/></policy>"#;
+        assert!(Policy::parse(bad).is_err());
+    }
+
+    #[test]
+    fn wildcard_method_matches() {
+        let text = r#"<policy>
+            <permission name="all" id="1"/>
+            <operation class="a/B" method="*" permission="all"/>
+        </policy>"#;
+        let p = Policy::parse(text).unwrap();
+        assert!(p.operation_permission("a/B", "anything").is_some());
+    }
+}

@@ -1,0 +1,276 @@
+//! A from-scratch parser for the XML subset the policy language needs.
+//!
+//! Supports nested elements, attributes with double-quoted values,
+//! self-closing tags, comments, and an optional XML declaration. Text
+//! content is ignored (the policy language is attribute-based), entity
+//! references in attribute values are limited to the five predefined ones.
+
+use std::fmt;
+
+/// A parsed element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Element {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attributes: Vec<(String, String)>,
+    /// Child elements in document order.
+    pub children: Vec<Element>,
+}
+
+impl Element {
+    /// Returns the value of attribute `name`, if present.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Iterates children with the given tag name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+}
+
+/// XML parse error with position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset of the error.
+    pub at: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, XmlError> {
+        Err(XmlError { at: self.pos, message: message.into() })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_misc(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                match find_from(self.input, self.pos + 4, "-->") {
+                    Some(end) => self.pos = end + 3,
+                    None => return self.err("unterminated comment"),
+                }
+            } else if self.starts_with("<?") {
+                match find_from(self.input, self.pos + 2, "?>") {
+                    Some(end) => self.pos = end + 2,
+                    None => return self.err("unterminated declaration"),
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'-' | b'_' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return self.err("expected a name");
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn attr_value(&mut self) -> Result<String, XmlError> {
+        if self.peek() != Some(b'"') {
+            return self.err("expected '\"'");
+        }
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b'"' {
+                let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                self.pos += 1;
+                return Ok(unescape(&raw));
+            }
+            self.pos += 1;
+        }
+        self.err("unterminated attribute value")
+    }
+
+    fn element(&mut self) -> Result<Element, XmlError> {
+        if self.peek() != Some(b'<') {
+            return self.err("expected '<'");
+        }
+        self.pos += 1;
+        let name = self.name()?;
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return self.err("expected '>' after '/'");
+                    }
+                    self.pos += 1;
+                    return Ok(Element { name, attributes, children: Vec::new() });
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let aname = self.name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return self.err("expected '='");
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let value = self.attr_value()?;
+                    attributes.push((aname, value));
+                }
+                None => return self.err("unexpected end of input in tag"),
+            }
+        }
+        // Children until the closing tag.
+        let mut children = Vec::new();
+        loop {
+            // Skip text content and misc.
+            while let Some(c) = self.peek() {
+                if c == b'<' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.peek().is_none() {
+                return self.err(format!("missing closing tag for <{name}>"));
+            }
+            if self.starts_with("<!--") || self.starts_with("<?") {
+                self.skip_misc()?;
+                continue;
+            }
+            if self.starts_with("</") {
+                self.pos += 2;
+                let closing = self.name()?;
+                if closing != name {
+                    return self.err(format!("mismatched closing tag </{closing}> for <{name}>"));
+                }
+                self.skip_ws();
+                if self.peek() != Some(b'>') {
+                    return self.err("expected '>'");
+                }
+                self.pos += 1;
+                return Ok(Element { name, attributes, children });
+            }
+            children.push(self.element()?);
+        }
+    }
+}
+
+fn find_from(haystack: &[u8], from: usize, needle: &str) -> Option<usize> {
+    let n = needle.as_bytes();
+    haystack[from..]
+        .windows(n.len())
+        .position(|w| w == n)
+        .map(|p| p + from)
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+/// Parses a document, returning its root element.
+pub fn parse(input: &str) -> Result<Element, XmlError> {
+    let mut p = Parser { input: input.as_bytes(), pos: 0 };
+    p.skip_misc()?;
+    let root = p.element()?;
+    p.skip_misc()?;
+    if p.pos != p.input.len() {
+        return p.err("trailing content after root element");
+    }
+    Ok(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let doc = r#"<?xml version="1.0"?>
+            <!-- a policy -->
+            <policy version="2">
+                <principal name="applets" sid="1"/>
+                <allow principal="applets" permission="file.read">
+                </allow>
+            </policy>"#;
+        let root = parse(doc).unwrap();
+        assert_eq!(root.name, "policy");
+        assert_eq!(root.attr("version"), Some("2"));
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.children[0].name, "principal");
+        assert_eq!(root.children[0].attr("sid"), Some("1"));
+        assert_eq!(root.children_named("allow").count(), 1);
+    }
+
+    #[test]
+    fn entities_in_attributes() {
+        let root = parse(r#"<op method="&lt;init&gt;" amp="&amp;"/>"#).unwrap();
+        assert_eq!(root.attr("method"), Some("<init>"));
+        assert_eq!(root.attr("amp"), Some("&"));
+    }
+
+    #[test]
+    fn rejects_mismatched_tags() {
+        assert!(parse("<a><b></a></b>").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_attribute() {
+        assert!(parse(r#"<a x="y/>"#).is_err());
+    }
+
+    #[test]
+    fn text_content_is_ignored() {
+        let root = parse("<a>some text <b/> more</a>").unwrap();
+        assert_eq!(root.children.len(), 1);
+    }
+}

@@ -1,0 +1,83 @@
+//! Link-time assumptions collected during static verification.
+//!
+//! Phase 3 runs on one class in isolation; every belief it forms about
+//! *other* classes is recorded as an [`Assumption`] with a [`Scope`]. The
+//! static service discharges the ones it can see in its environment; the
+//! rest are compiled into runtime checks (phase 4's dynamic component, as
+//! in Figure 3 of the paper).
+
+/// How much of the class an assumption's failure would invalidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scope {
+    /// The whole class (e.g. its inheritance relationship).
+    Class,
+    /// One method (e.g. a member reference its code performs).
+    Method,
+}
+
+/// A belief about another class that must hold at link time.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Assumption {
+    /// `class` must export a field `name` of type `descriptor`.
+    FieldExists {
+        /// Declaring class searched.
+        class: String,
+        /// Field name.
+        name: String,
+        /// Field descriptor.
+        descriptor: String,
+    },
+    /// `class` must export a method `name` with `descriptor`.
+    MethodExists {
+        /// Declaring class searched.
+        class: String,
+        /// Method name.
+        name: String,
+        /// Method descriptor.
+        descriptor: String,
+    },
+    /// `class` must be a subtype of `superclass`.
+    Extends {
+        /// The subtype.
+        class: String,
+        /// The required supertype.
+        superclass: String,
+    },
+}
+
+impl Assumption {
+    /// The class this assumption constrains.
+    pub fn subject(&self) -> &str {
+        match self {
+            Assumption::FieldExists { class, .. }
+            | Assumption::MethodExists { class, .. }
+            | Assumption::Extends { class, .. } => class,
+        }
+    }
+}
+
+/// An assumption plus the method that formed it (None = class scope).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ScopedAssumption {
+    /// The assumption.
+    pub assumption: Assumption,
+    /// Scope of invalidation.
+    pub scope: Scope,
+    /// Method `(name, descriptor)` that relies on it, for method scope.
+    pub method: Option<(String, String)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subject_extraction() {
+        let a = Assumption::FieldExists {
+            class: "java/lang/System".into(),
+            name: "out".into(),
+            descriptor: "Ljava/io/PrintStream;".into(),
+        };
+        assert_eq!(a.subject(), "java/lang/System");
+    }
+}

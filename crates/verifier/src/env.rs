@@ -1,0 +1,268 @@
+//! The signature environment a static verifier checks assumptions against.
+//!
+//! On the proxy, this is built from the bootstrap library plus every class
+//! the proxy has already processed (its cache); assumptions about classes
+//! outside the environment are deferred to runtime checks.
+
+use std::collections::HashMap;
+
+use dvm_classfile::ClassFile;
+
+use crate::assumptions::Assumption;
+
+/// Answers signature questions about known classes.
+///
+/// Every method returns `Some(answer)` when the class is known and `None`
+/// when it is outside the environment (forcing a deferred runtime check).
+pub trait SignatureEnvironment {
+    /// Does `class` export field `name` with `descriptor`?
+    fn has_field(&self, class: &str, name: &str, descriptor: &str) -> Option<bool>;
+    /// Does `class` (or a supertype) export method `name` with `descriptor`?
+    fn has_method(&self, class: &str, name: &str, descriptor: &str) -> Option<bool>;
+    /// Is `class` a subtype of `superclass`?
+    fn extends(&self, class: &str, superclass: &str) -> Option<bool>;
+
+    /// Checks an assumption: `Some(true)` = holds, `Some(false)` =
+    /// violated, `None` = unknown (defer to runtime).
+    fn check(&self, a: &Assumption) -> Option<bool> {
+        match a {
+            Assumption::FieldExists { class, name, descriptor } => {
+                self.has_field(class, name, descriptor)
+            }
+            Assumption::MethodExists { class, name, descriptor } => {
+                self.has_method(class, name, descriptor)
+            }
+            Assumption::Extends { class, superclass } => self.extends(class, superclass),
+        }
+    }
+}
+
+/// An environment that knows nothing: every assumption defers to runtime.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EmptyEnvironment;
+
+impl SignatureEnvironment for EmptyEnvironment {
+    fn has_field(&self, _: &str, _: &str, _: &str) -> Option<bool> {
+        None
+    }
+    fn has_method(&self, _: &str, _: &str, _: &str) -> Option<bool> {
+        None
+    }
+    fn extends(&self, _: &str, _: &str) -> Option<bool> {
+        None
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ClassSig {
+    super_name: Option<String>,
+    interfaces: Vec<String>,
+    fields: Vec<(String, String)>,
+    methods: Vec<(String, String)>,
+}
+
+/// An environment built from a set of class files.
+#[derive(Debug, Default, Clone)]
+pub struct MapEnvironment {
+    classes: HashMap<String, ClassSig>,
+}
+
+impl MapEnvironment {
+    /// Creates an empty environment.
+    pub fn new() -> MapEnvironment {
+        MapEnvironment::default()
+    }
+
+    /// Creates an environment seeded with the DVM bootstrap library, which
+    /// every client is guaranteed to have.
+    pub fn with_bootstrap() -> MapEnvironment {
+        let mut env = MapEnvironment::new();
+        for cf in dvm_jvm_bootstrap_classes() {
+            env.add(&cf);
+        }
+        env
+    }
+
+    /// Adds a class's exported signatures.
+    pub fn add(&mut self, cf: &ClassFile) {
+        let Ok(name) = cf.name() else { return };
+        let sig = ClassSig {
+            super_name: cf.super_name().ok().flatten().map(str::to_owned),
+            interfaces: cf
+                .interface_names()
+                .map(|v| v.into_iter().map(str::to_owned).collect())
+                .unwrap_or_default(),
+            fields: cf
+                .fields
+                .iter()
+                .filter_map(|f| {
+                    Some((
+                        f.name(&cf.pool).ok()?.to_owned(),
+                        f.descriptor(&cf.pool).ok()?.to_owned(),
+                    ))
+                })
+                .collect(),
+            methods: cf
+                .methods
+                .iter()
+                .filter_map(|m| {
+                    Some((
+                        m.name(&cf.pool).ok()?.to_owned(),
+                        m.descriptor(&cf.pool).ok()?.to_owned(),
+                    ))
+                })
+                .collect(),
+        };
+        self.classes.insert(name.to_owned(), sig);
+    }
+
+    /// Number of classes known.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Returns `true` when no classes are known.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Returns `true` when `class` is in the environment.
+    pub fn knows(&self, class: &str) -> bool {
+        self.classes.contains_key(class)
+    }
+}
+
+/// The runtime library every client ships; its signatures seed the
+/// environment so references into `java/lang` and `dvm/rt` are discharged
+/// statically rather than deferred.
+fn dvm_jvm_bootstrap_classes() -> Vec<ClassFile> {
+    dvm_jvm::bootstrap::bootstrap_classes()
+}
+
+impl SignatureEnvironment for MapEnvironment {
+    fn has_field(&self, class: &str, name: &str, descriptor: &str) -> Option<bool> {
+        let mut cur = self.classes.get(class)?;
+        loop {
+            if cur.fields.iter().any(|(n, d)| n == name && d == descriptor) {
+                return Some(true);
+            }
+            match &cur.super_name {
+                Some(s) => match self.classes.get(s) {
+                    Some(next) => cur = next,
+                    // Unknown superclass: cannot prove absence.
+                    None => return None,
+                },
+                None => return Some(false),
+            }
+        }
+    }
+
+    fn has_method(&self, class: &str, name: &str, descriptor: &str) -> Option<bool> {
+        let mut cur = self.classes.get(class)?;
+        loop {
+            if cur.methods.iter().any(|(n, d)| n == name && d == descriptor) {
+                return Some(true);
+            }
+            // Interfaces may also declare it.
+            for iface in &cur.interfaces {
+                if let Some(sig) = self.classes.get(iface) {
+                    if sig.methods.iter().any(|(n, d)| n == name && d == descriptor) {
+                        return Some(true);
+                    }
+                }
+            }
+            match &cur.super_name {
+                Some(s) => match self.classes.get(s) {
+                    Some(next) => cur = next,
+                    None => return None,
+                },
+                None => return Some(false),
+            }
+        }
+    }
+
+    fn extends(&self, class: &str, superclass: &str) -> Option<bool> {
+        if class == superclass {
+            return Some(true);
+        }
+        let mut cur = self.classes.get(class)?;
+        loop {
+            if cur.super_name.as_deref() == Some(superclass)
+                || cur.interfaces.iter().any(|i| i == superclass)
+            {
+                return Some(true);
+            }
+            // Walk interfaces transitively.
+            for iface in &cur.interfaces {
+                if let Some(true) = self.extends(iface, superclass) {
+                    return Some(true);
+                }
+            }
+            match &cur.super_name {
+                Some(s) => match self.classes.get(s) {
+                    Some(next) => cur = next,
+                    None => return None,
+                },
+                None => return Some(false),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvm_classfile::{AccessFlags, ClassBuilder};
+
+    fn env() -> MapEnvironment {
+        let mut env = MapEnvironment::new();
+        env.add(&ClassBuilder::new("java/lang/Object").no_super_class().build());
+        env.add(
+            &ClassBuilder::new("A")
+                .field(AccessFlags::PUBLIC, "x", "I")
+                .bodyless_method(AccessFlags::PUBLIC | AccessFlags::NATIVE, "f", "()V")
+                .build(),
+        );
+        env.add(&ClassBuilder::new("B").super_class("A").build());
+        env
+    }
+
+    #[test]
+    fn fields_resolve_through_supers() {
+        let env = env();
+        assert_eq!(env.has_field("A", "x", "I"), Some(true));
+        assert_eq!(env.has_field("B", "x", "I"), Some(true));
+        assert_eq!(env.has_field("B", "y", "I"), Some(false));
+        assert_eq!(env.has_field("Zed", "x", "I"), None);
+    }
+
+    #[test]
+    fn methods_resolve_through_supers() {
+        let env = env();
+        assert_eq!(env.has_method("B", "f", "()V"), Some(true));
+        assert_eq!(env.has_method("B", "g", "()V"), Some(false));
+    }
+
+    #[test]
+    fn extends_walks_chain() {
+        let env = env();
+        assert_eq!(env.extends("B", "A"), Some(true));
+        assert_eq!(env.extends("B", "java/lang/Object"), Some(true));
+        assert_eq!(env.extends("A", "B"), Some(false));
+        assert_eq!(env.extends("Q", "A"), None);
+    }
+
+    #[test]
+    fn bootstrap_environment_knows_the_runtime_library() {
+        let env = MapEnvironment::with_bootstrap();
+        assert_eq!(
+            env.has_field("java/lang/System", "out", "Ljava/io/PrintStream;"),
+            Some(true)
+        );
+        assert_eq!(
+            env.has_method("java/io/PrintStream", "println", "(Ljava/lang/String;)V"),
+            Some(true)
+        );
+        assert_eq!(env.extends("java/lang/VerifyError", "java/lang/Throwable"), Some(true));
+    }
+}

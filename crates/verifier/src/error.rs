@@ -1,0 +1,63 @@
+//! Verification failure type.
+
+use std::fmt;
+
+use dvm_bytecode::BytecodeError;
+use dvm_classfile::ClassFileError;
+
+/// A verification failure: which phase rejected the class and why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyFailure {
+    /// Phase that failed (1–4).
+    pub phase: u8,
+    /// Class being verified.
+    pub class: String,
+    /// Method (if the failure is inside one).
+    pub method: Option<String>,
+    /// Instruction index (if applicable).
+    pub at: Option<usize>,
+    /// Human-readable explanation.
+    pub reason: String,
+}
+
+impl fmt::Display for VerifyFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "phase {} rejected {}", self.phase, self.class)?;
+        if let Some(m) = &self.method {
+            write!(f, ".{m}")?;
+        }
+        if let Some(at) = self.at {
+            write!(f, " at instruction {at}")?;
+        }
+        write!(f, ": {}", self.reason)
+    }
+}
+
+impl std::error::Error for VerifyFailure {}
+
+impl From<ClassFileError> for VerifyFailure {
+    fn from(e: ClassFileError) -> Self {
+        VerifyFailure {
+            phase: 1,
+            class: String::new(),
+            method: None,
+            at: None,
+            reason: e.to_string(),
+        }
+    }
+}
+
+impl From<BytecodeError> for VerifyFailure {
+    fn from(e: BytecodeError) -> Self {
+        VerifyFailure {
+            phase: 2,
+            class: String::new(),
+            method: None,
+            at: None,
+            reason: e.to_string(),
+        }
+    }
+}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, VerifyFailure>;

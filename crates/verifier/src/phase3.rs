@@ -1,0 +1,1037 @@
+//! Phase 3: type-safety verification by abstract interpretation.
+//!
+//! A worklist dataflow simulates every method over the [`VType`] lattice:
+//! operand kinds, local-variable initialization, uninitialized-object
+//! tracking (`new` → `<init>`), constructor discipline, and return-type
+//! agreement. Because this phase sees one class in isolation, every belief
+//! about *another* class (member existence, subtyping) is recorded as a
+//! [`ScopedAssumption`] for phase 4 instead of being resolved here.
+//!
+//! Subroutines (`jsr`/`ret`) are rejected outright — the paper notes that
+//! verifier implementations differ on subroutine constraints, and this
+//! verifier takes the strict position.
+
+use std::collections::HashMap;
+
+use dvm_bytecode::insn::{AKind, Insn, Kind, NumKind, NumType};
+use dvm_bytecode::Code;
+use dvm_classfile::descriptor::{FieldType, MethodDescriptor};
+use dvm_classfile::pool::Constant;
+use dvm_classfile::ClassFile;
+
+use crate::assumptions::{Assumption, Scope, ScopedAssumption};
+use crate::error::{Result, VerifyFailure};
+use crate::types::VType;
+
+/// Output of phase 3.
+#[derive(Debug, Default)]
+pub struct Phase3Output {
+    /// Static checks performed.
+    pub checks: u64,
+    /// Link-time assumptions collected across all methods.
+    pub assumptions: Vec<ScopedAssumption>,
+}
+
+/// Abstract machine state at one program point.
+#[derive(Debug, Clone, PartialEq)]
+struct MState {
+    locals: Vec<VType>,
+    stack: Vec<VType>,
+    this_init: bool,
+}
+
+impl MState {
+    fn merge(&self, other: &MState) -> Option<MState> {
+        if self.stack.len() != other.stack.len() || self.locals.len() != other.locals.len() {
+            return None;
+        }
+        Some(MState {
+            locals: self
+                .locals
+                .iter()
+                .zip(&other.locals)
+                .map(|(a, b)| a.merge(b))
+                .collect(),
+            stack: self
+                .stack
+                .iter()
+                .zip(&other.stack)
+                .map(|(a, b)| a.merge(b))
+                .collect(),
+            this_init: self.this_init && other.this_init,
+        })
+    }
+}
+
+struct Ctx<'a> {
+    cf: &'a ClassFile,
+    class: String,
+    method: String,
+    is_init: bool,
+    ret: Option<FieldType>,
+    checks: u64,
+    assumptions: Vec<ScopedAssumption>,
+}
+
+impl Ctx<'_> {
+    fn fail(&self, at: usize, reason: String) -> VerifyFailure {
+        VerifyFailure {
+            phase: 3,
+            class: self.class.clone(),
+            method: Some(self.method.clone()),
+            at: Some(at),
+            reason,
+        }
+    }
+
+    fn assume(&mut self, a: Assumption, scope: Scope) {
+        // Assumptions about this class itself are checked locally instead.
+        let subject_is_self = a.subject() == self.class;
+        if subject_is_self {
+            return;
+        }
+        let method = match scope {
+            Scope::Class => None,
+            // The descriptor is attached by check() once the method's
+            // verification completes.
+            Scope::Method => Some((self.method.clone(), String::new())),
+        };
+        let sa = ScopedAssumption { assumption: a, scope, method };
+        if !self.assumptions.contains(&sa) {
+            self.assumptions.push(sa);
+        }
+    }
+}
+
+/// Runs phase 3 over the decoded bodies from phase 2.
+pub fn check(cf: &ClassFile, bodies: &[(usize, Code)]) -> Result<Phase3Output> {
+    let class = cf.name()?.to_owned();
+    let mut out = Phase3Output::default();
+
+    // Class-scope assumption: the superclass relationship (the paper's
+    // example of a fundamental assumption affecting the whole class).
+    if let Some(sup) = cf.super_name()? {
+        if sup != "java/lang/Object" {
+            out.assumptions.push(ScopedAssumption {
+                assumption: Assumption::Extends {
+                    class: sup.to_owned(),
+                    superclass: "java/lang/Object".to_owned(),
+                },
+                scope: Scope::Class,
+                method: None,
+            });
+        }
+    }
+
+    for (mi, code) in bodies {
+        let m = &cf.methods[*mi];
+        let mname = m.name(&cf.pool)?.to_owned();
+        let mdesc = m.descriptor(&cf.pool)?.to_owned();
+        let desc = MethodDescriptor::parse(&mdesc)?;
+
+        let mut ctx = Ctx {
+            cf,
+            class: class.clone(),
+            method: mname.clone(),
+            is_init: mname == "<init>",
+            ret: desc.ret.clone(),
+            checks: 0,
+            assumptions: Vec::new(),
+        };
+
+        verify_method(&mut ctx, m.access.is_static(), &desc, code)?;
+
+        out.checks += ctx.checks;
+        for mut sa in ctx.assumptions {
+            if let Some((n, _)) = &sa.method {
+                sa.method = Some((n.clone(), mdesc.clone()));
+            }
+            if !out.assumptions.contains(&sa) {
+                out.assumptions.push(sa);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn initial_state(ctx: &Ctx<'_>, is_static: bool, desc: &MethodDescriptor, code: &Code) -> MState {
+    let mut locals = Vec::new();
+    if !is_static {
+        locals.push(if ctx.is_init {
+            VType::UninitThis
+        } else {
+            VType::Ref(ctx.class.clone())
+        });
+    }
+    for p in &desc.params {
+        let v = VType::of_field_type(p);
+        let wide = v.is_wide();
+        locals.push(v);
+        if wide {
+            locals.push(match p {
+                FieldType::Long => VType::Long2,
+                _ => VType::Double2,
+            });
+        }
+    }
+    while locals.len() < code.max_locals as usize {
+        locals.push(VType::Top);
+    }
+    MState { locals, stack: Vec::new(), this_init: !ctx.is_init }
+}
+
+fn verify_method(
+    ctx: &mut Ctx<'_>,
+    is_static: bool,
+    desc: &MethodDescriptor,
+    code: &Code,
+) -> Result<()> {
+    let n = code.insns.len();
+    let mut states: Vec<Option<MState>> = vec![None; n];
+    let mut work: Vec<usize> = Vec::new();
+
+    let entry = initial_state(ctx, is_static, desc, code);
+    states[0] = Some(entry);
+    work.push(0);
+
+    // Handler catch types, resolved once.
+    let mut handler_types: HashMap<usize, VType> = HashMap::new();
+    for h in &code.handlers {
+        let t = if h.catch_type == 0 {
+            VType::Ref("java/lang/Throwable".to_owned())
+        } else {
+            let name = ctx.cf.pool.get_class_name(h.catch_type)?.to_owned();
+            ctx.assume(
+                Assumption::Extends {
+                    class: name.clone(),
+                    superclass: "java/lang/Throwable".to_owned(),
+                },
+                Scope::Method,
+            );
+            VType::Ref(name)
+        };
+        handler_types.insert(h.handler, t);
+    }
+
+    while let Some(i) = work.pop() {
+        let Some(state) = states[i].clone() else { continue };
+        let insn = &code.insns[i];
+        let mut st = state.clone();
+        let succs = simulate(ctx, i, insn, &mut st)?;
+
+        // Propagate to exception handlers covering this instruction: the
+        // handler sees current locals with a one-element stack.
+        for h in &code.handlers {
+            if i >= h.start && i < h.end {
+                let hstate = MState {
+                    locals: st.locals.clone(),
+                    stack: vec![handler_types
+                        .get(&h.handler)
+                        .cloned()
+                        .unwrap_or(VType::Ref("java/lang/Throwable".to_owned()))],
+                    this_init: st.this_init,
+                };
+                propagate(ctx, &mut states, &mut work, h.handler, hstate, i, n)?;
+            }
+        }
+
+        for s in succs {
+            propagate(ctx, &mut states, &mut work, s, st.clone(), i, n)?;
+        }
+    }
+    Ok(())
+}
+
+fn propagate(
+    ctx: &mut Ctx<'_>,
+    states: &mut [Option<MState>],
+    work: &mut Vec<usize>,
+    target: usize,
+    incoming: MState,
+    from: usize,
+    n: usize,
+) -> Result<()> {
+    if target >= n {
+        return Err(ctx.fail(from, format!("branch target {target} out of range")));
+    }
+    ctx.checks += 1;
+    match &states[target] {
+        None => {
+            states[target] = Some(incoming);
+            work.push(target);
+        }
+        Some(existing) => {
+            let merged = existing.merge(&incoming).ok_or_else(|| {
+                ctx.fail(
+                    target,
+                    format!(
+                        "stack shape mismatch at merge: {} vs {} entries",
+                        existing.stack.len(),
+                        incoming.stack.len()
+                    ),
+                )
+            })?;
+            if &merged != existing {
+                states[target] = Some(merged);
+                work.push(target);
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---- Operand helpers --------------------------------------------------------
+
+fn pop(ctx: &mut Ctx<'_>, st: &mut MState, at: usize) -> Result<VType> {
+    ctx.checks += 1;
+    st.stack.pop().ok_or_else(|| ctx.fail(at, "operand stack underflow".into()))
+}
+
+fn pop_expect(ctx: &mut Ctx<'_>, st: &mut MState, at: usize, want: &VType) -> Result<()> {
+    let got = pop(ctx, st, at)?;
+    if &got != want {
+        return Err(ctx.fail(at, format!("expected {want:?}, found {got:?}")));
+    }
+    Ok(())
+}
+
+fn pop_initialized_ref(ctx: &mut Ctx<'_>, st: &mut MState, at: usize) -> Result<VType> {
+    let got = pop(ctx, st, at)?;
+    if got.is_initialized_reference() {
+        Ok(got)
+    } else {
+        Err(ctx.fail(at, format!("expected initialized reference, found {got:?}")))
+    }
+}
+
+/// Checks assignability of `value` into a slot of declared type `want`,
+/// recording a subtype assumption when the answer depends on another class.
+fn compat(ctx: &mut Ctx<'_>, at: usize, value: &VType, want: &VType) -> Result<()> {
+    ctx.checks += 1;
+    let ok = match (value, want) {
+        (VType::Int, VType::Int)
+        | (VType::Float, VType::Float)
+        | (VType::Long, VType::Long)
+        | (VType::Double, VType::Double)
+        | (VType::Null, VType::Ref(_)) => true,
+        (VType::Ref(a), VType::Ref(b)) => {
+            if a == b || b == "java/lang/Object" {
+                true
+            } else {
+                // Subtyping across classes: defer to the link phase.
+                ctx.assume(
+                    Assumption::Extends { class: a.clone(), superclass: b.clone() },
+                    Scope::Method,
+                );
+                true
+            }
+        }
+        _ => false,
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(ctx.fail(at, format!("cannot use {value:?} where {want:?} is required")))
+    }
+}
+
+fn num_vtype(kind: NumKind) -> VType {
+    match kind {
+        NumKind::Int => VType::Int,
+        NumKind::Long => VType::Long,
+        NumKind::Float => VType::Float,
+        NumKind::Double => VType::Double,
+    }
+}
+
+fn kind_vtype(kind: Kind, class_hint: &str) -> VType {
+    match kind {
+        Kind::Int => VType::Int,
+        Kind::Long => VType::Long,
+        Kind::Float => VType::Float,
+        Kind::Double => VType::Double,
+        Kind::Ref => VType::Ref(class_hint.to_owned()),
+    }
+}
+
+fn akind_elem(kind: AKind) -> VType {
+    match kind {
+        AKind::Int | AKind::Byte | AKind::Char | AKind::Short => VType::Int,
+        AKind::Long => VType::Long,
+        AKind::Float => VType::Float,
+        AKind::Double => VType::Double,
+        AKind::Ref => VType::Ref("java/lang/Object".to_owned()),
+    }
+}
+
+fn akind_array_desc(kind: AKind) -> &'static str {
+    match kind {
+        AKind::Int => "[I",
+        AKind::Long => "[J",
+        AKind::Float => "[F",
+        AKind::Double => "[D",
+        AKind::Byte => "[B",
+        AKind::Char => "[C",
+        AKind::Short => "[S",
+        AKind::Ref => "[",
+    }
+}
+
+fn num_type_vtype(t: NumType) -> VType {
+    match t {
+        NumType::Int | NumType::Byte | NumType::Char | NumType::Short => VType::Int,
+        NumType::Long => VType::Long,
+        NumType::Float => VType::Float,
+        NumType::Double => VType::Double,
+    }
+}
+
+/// Simulates `insn` over `st`, returning explicit successor indices (the
+/// fall-through successor `i + 1` is included when applicable).
+#[allow(clippy::too_many_lines)]
+fn simulate(ctx: &mut Ctx<'_>, i: usize, insn: &Insn, st: &mut MState) -> Result<Vec<usize>> {
+    let mut succs = Vec::new();
+    let mut fall = true;
+    match insn {
+        Insn::Nop => {}
+        Insn::AConstNull => st.stack.push(VType::Null),
+        Insn::IConst(_) => st.stack.push(VType::Int),
+        Insn::LConst(_) => st.stack.push(VType::Long),
+        Insn::FConst(_) => st.stack.push(VType::Float),
+        Insn::DConst(_) => st.stack.push(VType::Double),
+        Insn::Ldc(idx) => {
+            ctx.checks += 1;
+            match ctx.cf.pool.get(*idx) {
+                Ok(Constant::Integer(_)) => st.stack.push(VType::Int),
+                Ok(Constant::Float(_)) => st.stack.push(VType::Float),
+                Ok(Constant::String { .. }) => {
+                    st.stack.push(VType::Ref("java/lang/String".to_owned()))
+                }
+                other => {
+                    return Err(ctx.fail(i, format!("ldc of invalid constant: {other:?}")))
+                }
+            }
+        }
+        Insn::Ldc2(idx) => {
+            ctx.checks += 1;
+            match ctx.cf.pool.get(*idx) {
+                Ok(Constant::Long(_)) => st.stack.push(VType::Long),
+                Ok(Constant::Double(_)) => st.stack.push(VType::Double),
+                other => {
+                    return Err(ctx.fail(i, format!("ldc2_w of invalid constant: {other:?}")))
+                }
+            }
+        }
+        Insn::Load(kind, slot) => {
+            ctx.checks += 1;
+            let slot = *slot as usize;
+            let v = st
+                .locals
+                .get(slot)
+                .cloned()
+                .ok_or_else(|| ctx.fail(i, format!("local {slot} out of range")))?;
+            match kind {
+                Kind::Ref => {
+                    if !v.is_reference() {
+                        return Err(ctx.fail(i, format!("aload of non-reference {v:?}")));
+                    }
+                }
+                _ => {
+                    let want = kind_vtype(*kind, "");
+                    if v != want {
+                        return Err(ctx.fail(i, format!("load expected {want:?}, found {v:?}")));
+                    }
+                    if v.is_wide() {
+                        let tail = st.locals.get(slot + 1).cloned();
+                        let want_tail =
+                            if v == VType::Long { VType::Long2 } else { VType::Double2 };
+                        if tail != Some(want_tail) {
+                            return Err(ctx.fail(i, "broken wide local pair".into()));
+                        }
+                    }
+                }
+            }
+            st.stack.push(v);
+        }
+        Insn::Store(kind, slot) => {
+            let slot = *slot as usize;
+            let v = pop(ctx, st, i)?;
+            match kind {
+                Kind::Ref => {
+                    if !v.is_reference() {
+                        return Err(ctx.fail(i, format!("astore of {v:?}")));
+                    }
+                }
+                _ => {
+                    let want = kind_vtype(*kind, "");
+                    if v != want {
+                        return Err(ctx.fail(i, format!("store expected {want:?}, found {v:?}")));
+                    }
+                }
+            }
+            if slot >= st.locals.len() {
+                return Err(ctx.fail(i, format!("local {slot} out of range")));
+            }
+            // Overwriting half of a wide pair invalidates the other half.
+            if slot > 0 && st.locals[slot - 1].is_wide() {
+                st.locals[slot - 1] = VType::Top;
+            }
+            let wide = v.is_wide();
+            let tail = if v == VType::Long { VType::Long2 } else { VType::Double2 };
+            st.locals[slot] = v;
+            if wide {
+                if slot + 1 >= st.locals.len() {
+                    return Err(ctx.fail(i, "wide store at last local slot".into()));
+                }
+                st.locals[slot + 1] = tail;
+            }
+        }
+        Insn::ArrayLoad(kind) => {
+            pop_expect(ctx, st, i, &VType::Int)?;
+            let arr = pop_initialized_ref(ctx, st, i)?;
+            let elem = check_array_ref(ctx, i, &arr, *kind)?;
+            st.stack.push(elem);
+        }
+        Insn::ArrayStore(kind) => {
+            let value = pop(ctx, st, i)?;
+            pop_expect(ctx, st, i, &VType::Int)?;
+            let arr = pop_initialized_ref(ctx, st, i)?;
+            let elem = check_array_ref(ctx, i, &arr, *kind)?;
+            compat(ctx, i, &value, &elem)?;
+        }
+        Insn::Pop => {
+            let v = pop(ctx, st, i)?;
+            if v.is_wide() {
+                return Err(ctx.fail(i, "pop of category-2 value".into()));
+            }
+        }
+        Insn::Pop2 => {
+            let v = pop(ctx, st, i)?;
+            if !v.is_wide() {
+                let v2 = pop(ctx, st, i)?;
+                if v2.is_wide() {
+                    return Err(ctx.fail(i, "pop2 splitting a category-2 value".into()));
+                }
+            }
+        }
+        Insn::Dup => {
+            let v = st
+                .stack
+                .last()
+                .cloned()
+                .ok_or_else(|| ctx.fail(i, "dup on empty stack".into()))?;
+            if v.is_wide() {
+                return Err(ctx.fail(i, "dup of category-2 value".into()));
+            }
+            st.stack.push(v);
+        }
+        Insn::DupX1 | Insn::DupX2 | Insn::Dup2 | Insn::Dup2X1 | Insn::Dup2X2 => {
+            dup_form(ctx, st, i, insn)?;
+        }
+        Insn::Swap => {
+            let a = pop(ctx, st, i)?;
+            let b = pop(ctx, st, i)?;
+            if a.is_wide() || b.is_wide() {
+                return Err(ctx.fail(i, "swap of category-2 value".into()));
+            }
+            st.stack.push(a);
+            st.stack.push(b);
+        }
+        Insn::Arith(kind, op) => {
+            let t = num_vtype(*kind);
+            pop_expect(ctx, st, i, &t)?;
+            if *op != dvm_bytecode::ArithOp::Neg {
+                pop_expect(ctx, st, i, &t)?;
+            }
+            st.stack.push(t);
+        }
+        Insn::Shift(kind, _) => {
+            let t = num_vtype(*kind);
+            if !matches!(kind, NumKind::Int | NumKind::Long) {
+                return Err(ctx.fail(i, "shift of non-integral kind".into()));
+            }
+            pop_expect(ctx, st, i, &VType::Int)?;
+            pop_expect(ctx, st, i, &t)?;
+            st.stack.push(t);
+        }
+        Insn::Logic(kind, _) => {
+            let t = num_vtype(*kind);
+            if !matches!(kind, NumKind::Int | NumKind::Long) {
+                return Err(ctx.fail(i, "logic of non-integral kind".into()));
+            }
+            pop_expect(ctx, st, i, &t)?;
+            pop_expect(ctx, st, i, &t)?;
+            st.stack.push(t);
+        }
+        Insn::IInc(slot, _) => {
+            ctx.checks += 1;
+            if st.locals.get(*slot as usize) != Some(&VType::Int) {
+                return Err(ctx.fail(i, format!("iinc of non-int local {slot}")));
+            }
+        }
+        Insn::Convert(from, to) => {
+            pop_expect(ctx, st, i, &num_type_vtype(*from))?;
+            st.stack.push(num_type_vtype(*to));
+        }
+        Insn::LCmp => {
+            pop_expect(ctx, st, i, &VType::Long)?;
+            pop_expect(ctx, st, i, &VType::Long)?;
+            st.stack.push(VType::Int);
+        }
+        Insn::FCmp(_) => {
+            pop_expect(ctx, st, i, &VType::Float)?;
+            pop_expect(ctx, st, i, &VType::Float)?;
+            st.stack.push(VType::Int);
+        }
+        Insn::DCmp(_) => {
+            pop_expect(ctx, st, i, &VType::Double)?;
+            pop_expect(ctx, st, i, &VType::Double)?;
+            st.stack.push(VType::Int);
+        }
+        Insn::If(_, t) => {
+            pop_expect(ctx, st, i, &VType::Int)?;
+            succs.push(*t);
+        }
+        Insn::IfICmp(_, t) => {
+            pop_expect(ctx, st, i, &VType::Int)?;
+            pop_expect(ctx, st, i, &VType::Int)?;
+            succs.push(*t);
+        }
+        Insn::IfACmp(_, t) => {
+            pop_initialized_ref(ctx, st, i)?;
+            pop_initialized_ref(ctx, st, i)?;
+            succs.push(*t);
+        }
+        Insn::IfNull(t) | Insn::IfNonNull(t) => {
+            pop_initialized_ref(ctx, st, i)?;
+            succs.push(*t);
+        }
+        Insn::Goto(t) => {
+            succs.push(*t);
+            fall = false;
+        }
+        Insn::Jsr(_) | Insn::Ret(_) => {
+            return Err(ctx.fail(
+                i,
+                "subroutines (jsr/ret) are rejected by this verifier".into(),
+            ));
+        }
+        Insn::TableSwitch { default, targets, .. } => {
+            pop_expect(ctx, st, i, &VType::Int)?;
+            succs.push(*default);
+            succs.extend_from_slice(targets);
+            fall = false;
+        }
+        Insn::LookupSwitch { default, pairs } => {
+            pop_expect(ctx, st, i, &VType::Int)?;
+            succs.push(*default);
+            succs.extend(pairs.iter().map(|(_, t)| *t));
+            fall = false;
+        }
+        Insn::Return(kind) => {
+            ctx.checks += 1;
+            let ret = ctx.ret.clone();
+            match (kind, &ret) {
+                (None, None) => {}
+                (Some(k), Some(rt)) => {
+                    let want = VType::of_field_type(rt);
+                    let v = pop(ctx, st, i)?;
+                    let kind_ok = match k {
+                        Kind::Int => want == VType::Int,
+                        Kind::Long => want == VType::Long,
+                        Kind::Float => want == VType::Float,
+                        Kind::Double => want == VType::Double,
+                        Kind::Ref => matches!(want, VType::Ref(_)),
+                    };
+                    if !kind_ok {
+                        return Err(ctx.fail(i, format!("return kind {k:?} vs {rt}")));
+                    }
+                    compat(ctx, i, &v, &want)?;
+                }
+                (got, want) => {
+                    return Err(ctx.fail(i, format!("return {got:?} from method returning {want:?}")));
+                }
+            }
+            if ctx.is_init && !st.this_init {
+                return Err(ctx.fail(i, "constructor returns before super <init>".into()));
+            }
+            fall = false;
+        }
+        Insn::GetStatic(idx) => {
+            let (c, n, d) = member(ctx, i, *idx)?;
+            field_assumption(ctx, i, &c, &n, &d)?;
+            st.stack.push(VType::of_field_type(&FieldType::parse(&d)?));
+        }
+        Insn::PutStatic(idx) => {
+            let (c, n, d) = member(ctx, i, *idx)?;
+            field_assumption(ctx, i, &c, &n, &d)?;
+            let want = VType::of_field_type(&FieldType::parse(&d)?);
+            let v = pop(ctx, st, i)?;
+            compat(ctx, i, &v, &want)?;
+        }
+        Insn::GetField(idx) => {
+            let (c, n, d) = member(ctx, i, *idx)?;
+            field_assumption(ctx, i, &c, &n, &d)?;
+            pop_initialized_ref(ctx, st, i)?;
+            st.stack.push(VType::of_field_type(&FieldType::parse(&d)?));
+        }
+        Insn::PutField(idx) => {
+            let (c, n, d) = member(ctx, i, *idx)?;
+            field_assumption(ctx, i, &c, &n, &d)?;
+            let want = VType::of_field_type(&FieldType::parse(&d)?);
+            let v = pop(ctx, st, i)?;
+            compat(ctx, i, &v, &want)?;
+            // Receiver: an initialized reference, or `this` inside a
+            // constructor storing to its own fields before super-init.
+            let recv = pop(ctx, st, i)?;
+            let ok = recv.is_initialized_reference()
+                || (recv == VType::UninitThis && c == ctx.class);
+            if !ok {
+                return Err(ctx.fail(i, format!("putfield on {recv:?}")));
+            }
+        }
+        Insn::InvokeVirtual(idx) | Insn::InvokeInterface(idx) => {
+            invoke(ctx, st, i, *idx, InvokeKind::Virtual)?;
+        }
+        Insn::InvokeSpecial(idx) => {
+            invoke(ctx, st, i, *idx, InvokeKind::Special)?;
+        }
+        Insn::InvokeStatic(idx) => {
+            invoke(ctx, st, i, *idx, InvokeKind::Static)?;
+        }
+        Insn::New(idx) => {
+            ctx.checks += 1;
+            ctx.cf
+                .pool
+                .get_class_name(*idx)
+                .map_err(|e| ctx.fail(i, e.to_string()))?;
+            st.stack.push(VType::Uninit(i));
+        }
+        Insn::NewArray(kind) => {
+            pop_expect(ctx, st, i, &VType::Int)?;
+            st.stack.push(VType::Ref(akind_array_desc(*kind).to_owned()));
+        }
+        Insn::ANewArray(idx) => {
+            let name = ctx
+                .cf
+                .pool
+                .get_class_name(*idx)
+                .map_err(|e| ctx.fail(i, e.to_string()))?
+                .to_owned();
+            pop_expect(ctx, st, i, &VType::Int)?;
+            let desc = if name.starts_with('[') {
+                format!("[{name}")
+            } else {
+                format!("[L{name};")
+            };
+            st.stack.push(VType::Ref(desc));
+        }
+        Insn::ArrayLength => {
+            let arr = pop_initialized_ref(ctx, st, i)?;
+            if let VType::Ref(name) = &arr {
+                if !name.starts_with('[') {
+                    return Err(ctx.fail(i, format!("arraylength of {name}")));
+                }
+            }
+            st.stack.push(VType::Int);
+        }
+        Insn::AThrow => {
+            let exc = pop_initialized_ref(ctx, st, i)?;
+            if let VType::Ref(name) = &exc {
+                if name != "java/lang/Throwable" {
+                    ctx.assume(
+                        Assumption::Extends {
+                            class: name.clone(),
+                            superclass: "java/lang/Throwable".to_owned(),
+                        },
+                        Scope::Method,
+                    );
+                }
+            }
+            fall = false;
+        }
+        Insn::CheckCast(idx) => {
+            let name = ctx
+                .cf
+                .pool
+                .get_class_name(*idx)
+                .map_err(|e| ctx.fail(i, e.to_string()))?
+                .to_owned();
+            pop_initialized_ref(ctx, st, i)?;
+            st.stack.push(VType::Ref(name));
+        }
+        Insn::InstanceOf(idx) => {
+            ctx.checks += 1;
+            ctx.cf
+                .pool
+                .get_class_name(*idx)
+                .map_err(|e| ctx.fail(i, e.to_string()))?;
+            pop_initialized_ref(ctx, st, i)?;
+            st.stack.push(VType::Int);
+        }
+        Insn::MonitorEnter | Insn::MonitorExit => {
+            pop_initialized_ref(ctx, st, i)?;
+        }
+        Insn::MultiANewArray(idx, dims) => {
+            let name = ctx
+                .cf
+                .pool
+                .get_class_name(*idx)
+                .map_err(|e| ctx.fail(i, e.to_string()))?
+                .to_owned();
+            for _ in 0..*dims {
+                pop_expect(ctx, st, i, &VType::Int)?;
+            }
+            st.stack.push(VType::Ref(name));
+        }
+    }
+    if fall {
+        succs.push(i + 1);
+    }
+    Ok(succs)
+}
+
+fn check_array_ref(ctx: &mut Ctx<'_>, i: usize, arr: &VType, kind: AKind) -> Result<VType> {
+    ctx.checks += 1;
+    match arr {
+        VType::Null => Ok(akind_elem(kind)),
+        VType::Ref(name) if name.starts_with('[') => {
+            let elem_desc = &name[1..];
+            match kind {
+                AKind::Ref => {
+                    if elem_desc.starts_with('L') || elem_desc.starts_with('[') {
+                        let elem = FieldType::parse(elem_desc)
+                            .map(|ft| VType::of_field_type(&ft))
+                            .unwrap_or(VType::Ref("java/lang/Object".to_owned()));
+                        Ok(elem)
+                    } else {
+                        Err(ctx.fail(i, format!("reference array op on {name}")))
+                    }
+                }
+                prim => {
+                    let want = akind_array_desc(prim);
+                    // boolean arrays share the byte opcodes.
+                    let ok = name == want || (prim == AKind::Byte && name == "[Z");
+                    if ok {
+                        Ok(akind_elem(prim))
+                    } else {
+                        Err(ctx.fail(i, format!("{prim:?} array op on {name}")))
+                    }
+                }
+            }
+        }
+        VType::Ref(name) => Err(ctx.fail(i, format!("array op on non-array {name}"))),
+        other => Err(ctx.fail(i, format!("array op on {other:?}"))),
+    }
+}
+
+fn dup_form(ctx: &mut Ctx<'_>, st: &mut MState, i: usize, insn: &Insn) -> Result<()> {
+    // Generic block duplication mirroring the interpreter's semantics,
+    // with category checks per form.
+    let top_slots: u16 = match insn {
+        Insn::DupX1 | Insn::DupX2 => 1,
+        _ => 2,
+    };
+    let mut block = Vec::new();
+    let mut slots = 0;
+    while slots < top_slots {
+        let v = pop(ctx, st, i)?;
+        slots += if v.is_wide() { 2 } else { 1 };
+        block.push(v);
+    }
+    if matches!(insn, Insn::DupX1 | Insn::DupX2) && block[0].is_wide() {
+        return Err(ctx.fail(i, "dup_x of category-2 value".into()));
+    }
+    let mut skipped = Vec::new();
+    match insn {
+        Insn::Dup2 => {}
+        Insn::DupX1 | Insn::Dup2X1 => {
+            let v = pop(ctx, st, i)?;
+            if v.is_wide() {
+                return Err(ctx.fail(i, "x1 form across category-2 value".into()));
+            }
+            skipped.push(v);
+        }
+        Insn::DupX2 | Insn::Dup2X2 => {
+            let v = pop(ctx, st, i)?;
+            let wide = v.is_wide();
+            skipped.push(v);
+            if !wide {
+                skipped.push(pop(ctx, st, i)?);
+            }
+        }
+        _ => unreachable!(),
+    }
+    for v in block.iter().rev() {
+        st.stack.push(v.clone());
+    }
+    for v in skipped.iter().rev() {
+        st.stack.push(v.clone());
+    }
+    for v in block.iter().rev() {
+        st.stack.push(v.clone());
+    }
+    Ok(())
+}
+
+fn member(ctx: &mut Ctx<'_>, i: usize, idx: u16) -> Result<(String, String, String)> {
+    ctx.checks += 1;
+    let (c, n, d) = ctx
+        .cf
+        .pool
+        .get_member_ref(idx)
+        .map_err(|e| ctx.fail(i, e.to_string()))?;
+    Ok((c.to_owned(), n.to_owned(), d.to_owned()))
+}
+
+/// For references to this class, check the member locally; for others,
+/// record an assumption.
+fn field_assumption(
+    ctx: &mut Ctx<'_>,
+    i: usize,
+    class: &str,
+    name: &str,
+    descriptor: &str,
+) -> Result<()> {
+    if class == ctx.class {
+        ctx.checks += 1;
+        let found = ctx.cf.fields.iter().any(|f| {
+            f.name(&ctx.cf.pool).map(|n| n == name).unwrap_or(false)
+                && f.descriptor(&ctx.cf.pool).map(|d| d == descriptor).unwrap_or(false)
+        });
+        if !found {
+            return Err(ctx.fail(i, format!("no such field {name}:{descriptor} in this class")));
+        }
+    } else {
+        ctx.assume(
+            Assumption::FieldExists {
+                class: class.to_owned(),
+                name: name.to_owned(),
+                descriptor: descriptor.to_owned(),
+            },
+            Scope::Method,
+        );
+    }
+    Ok(())
+}
+
+enum InvokeKind {
+    Virtual,
+    Special,
+    Static,
+}
+
+fn invoke(ctx: &mut Ctx<'_>, st: &mut MState, i: usize, idx: u16, kind: InvokeKind) -> Result<()> {
+    let (class, name, descriptor) = member(ctx, i, idx)?;
+    let desc = MethodDescriptor::parse(&descriptor).map_err(|e| ctx.fail(i, e.to_string()))?;
+
+    // Arguments, right to left.
+    for p in desc.params.iter().rev() {
+        let want = VType::of_field_type(p);
+        let v = pop(ctx, st, i)?;
+        compat(ctx, i, &v, &want)?;
+    }
+
+    let is_ctor = name == "<init>";
+    match kind {
+        InvokeKind::Static => {
+            if is_ctor {
+                return Err(ctx.fail(i, "invokestatic of constructor".into()));
+            }
+        }
+        InvokeKind::Special if is_ctor => {
+            let recv = pop(ctx, st, i)?;
+            match recv {
+                VType::Uninit(site) => {
+                    // The constructed class must match the `new` site's class.
+                    ctx.checks += 1;
+                    // Replace every occurrence with the initialized type.
+                    let init = VType::Ref(class.clone());
+                    for v in st.locals.iter_mut().chain(st.stack.iter_mut()) {
+                        if *v == VType::Uninit(site) {
+                            *v = init.clone();
+                        }
+                    }
+                }
+                VType::UninitThis => {
+                    // Must be a constructor of this class or its direct
+                    // superclass.
+                    ctx.checks += 1;
+                    let sup = ctx.cf.super_name().ok().flatten().unwrap_or("java/lang/Object");
+                    if class != ctx.class && class != sup {
+                        return Err(ctx.fail(
+                            i,
+                            format!("constructor chain calls {class}, expected {sup} or self"),
+                        ));
+                    }
+                    let init = VType::Ref(ctx.class.clone());
+                    for v in st.locals.iter_mut().chain(st.stack.iter_mut()) {
+                        if *v == VType::UninitThis {
+                            *v = init.clone();
+                        }
+                    }
+                    st.this_init = true;
+                }
+                other => {
+                    return Err(ctx.fail(i, format!("<init> on {other:?}")));
+                }
+            }
+        }
+        _ => {
+            if is_ctor {
+                return Err(ctx.fail(i, "constructor invoked non-specially".into()));
+            }
+            let recv = pop_initialized_ref(ctx, st, i)?;
+            if let VType::Ref(rname) = &recv {
+                if rname != &class && class != "java/lang/Object" && !rname.starts_with('[') {
+                    ctx.assume(
+                        Assumption::Extends {
+                            class: rname.clone(),
+                            superclass: class.clone(),
+                        },
+                        Scope::Method,
+                    );
+                }
+            }
+        }
+    }
+
+    // Member-existence assumption or local check.
+    if class == ctx.class {
+        ctx.checks += 1;
+        let found = ctx.cf.methods.iter().any(|m| {
+            m.name(&ctx.cf.pool).map(|n| n == name).unwrap_or(false)
+                && m.descriptor(&ctx.cf.pool).map(|d| d == descriptor).unwrap_or(false)
+        });
+        // Inherited methods invoked via this-class references are legal;
+        // treat a miss as an assumption on the superclass instead of an
+        // error.
+        if !found {
+            if let Ok(Some(sup)) = ctx.cf.super_name() {
+                let sup = sup.to_owned();
+                ctx.assume(
+                    Assumption::MethodExists {
+                        class: sup,
+                        name: name.clone(),
+                        descriptor: descriptor.clone(),
+                    },
+                    Scope::Method,
+                );
+            }
+        }
+    } else {
+        ctx.assume(
+            Assumption::MethodExists {
+                class: class.clone(),
+                name: name.clone(),
+                descriptor: descriptor.clone(),
+            },
+            Scope::Method,
+        );
+    }
+
+    if let Some(rt) = &desc.ret {
+        st.stack.push(VType::of_field_type(rt));
+    }
+    Ok(())
+}

@@ -1,0 +1,117 @@
+//! The reflection service (§4.3 of the paper).
+//!
+//! "We subsequently developed a reflection service that adds
+//! self-describing attributes to classes and modified our verifier to use
+//! this interface rather than the slow library interface in the Sun JDK."
+//! The proxy attaches a `DvmSelfDescribing` attribute enumerating the
+//! class's exported members so that injected service code (and other
+//! DVM components) can answer signature queries without reflective
+//! lookups against the client runtime.
+
+use dvm_classfile::attributes::{Attribute, ExportedMember};
+use dvm_classfile::{ClassFile, Result};
+
+/// Attaches (or refreshes) the `DvmSelfDescribing` attribute on `cf`.
+///
+/// Only non-synthetic members are exported: the attribute describes the
+/// class's public shape, not service-injected plumbing.
+pub fn attach_self_describing(cf: &mut ClassFile) -> Result<usize> {
+    let mut members = Vec::new();
+    for f in &cf.fields {
+        if f.access.is_synthetic() {
+            continue;
+        }
+        members.push(ExportedMember {
+            name: f.name(&cf.pool)?.to_owned(),
+            descriptor: f.descriptor(&cf.pool)?.to_owned(),
+            access: f.access.0,
+            is_method: false,
+        });
+    }
+    for m in &cf.methods {
+        if m.access.is_synthetic() {
+            continue;
+        }
+        members.push(ExportedMember {
+            name: m.name(&cf.pool)?.to_owned(),
+            descriptor: m.descriptor(&cf.pool)?.to_owned(),
+            access: m.access.0,
+            is_method: true,
+        });
+    }
+    let count = members.len();
+    cf.attributes.retain(|a| a.name() != "DvmSelfDescribing");
+    cf.attributes.push(Attribute::DvmSelfDescribing(members));
+    Ok(count)
+}
+
+/// Reads the self-describing digest back, if present.
+pub fn self_description(cf: &ClassFile) -> Option<&[ExportedMember]> {
+    cf.attributes.iter().find_map(|a| match a {
+        Attribute::DvmSelfDescribing(m) => Some(m.as_slice()),
+        _ => None,
+    })
+}
+
+/// Answers a member-existence query from the digest alone (the fast path
+/// the paper's verifier switched to).
+pub fn digest_has_member(
+    cf: &ClassFile,
+    name: &str,
+    descriptor: &str,
+    is_method: bool,
+) -> Option<bool> {
+    self_description(cf).map(|members| {
+        members
+            .iter()
+            .any(|m| m.is_method == is_method && m.name == name && m.descriptor == descriptor)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvm_classfile::{AccessFlags, ClassBuilder};
+
+    fn sample() -> ClassFile {
+        ClassBuilder::new("t/Desc")
+            .field(AccessFlags::PUBLIC, "x", "I")
+            .field(AccessFlags::PUBLIC | AccessFlags::SYNTHETIC, "__hidden", "Z")
+            .bodyless_method(AccessFlags::PUBLIC | AccessFlags::NATIVE, "f", "(I)I")
+            .build()
+    }
+
+    #[test]
+    fn attaches_public_shape_only() {
+        let mut cf = sample();
+        let n = attach_self_describing(&mut cf).unwrap();
+        assert_eq!(n, 2, "synthetic members must be excluded");
+        let d = self_description(&cf).unwrap();
+        assert!(d.iter().any(|m| m.name == "x" && !m.is_method));
+        assert!(d.iter().any(|m| m.name == "f" && m.is_method));
+        assert!(!d.iter().any(|m| m.name == "__hidden"));
+    }
+
+    #[test]
+    fn digest_queries_answer_without_reflection() {
+        let mut cf = sample();
+        attach_self_describing(&mut cf).unwrap();
+        assert_eq!(digest_has_member(&cf, "f", "(I)I", true), Some(true));
+        assert_eq!(digest_has_member(&cf, "g", "()V", true), Some(false));
+        assert_eq!(digest_has_member(&cf, "x", "I", false), Some(true));
+    }
+
+    #[test]
+    fn survives_serialization_and_refresh_is_idempotent() {
+        let mut cf = sample();
+        attach_self_describing(&mut cf).unwrap();
+        attach_self_describing(&mut cf).unwrap();
+        assert_eq!(
+            cf.attributes.iter().filter(|a| a.name() == "DvmSelfDescribing").count(),
+            1
+        );
+        let bytes = cf.to_bytes().unwrap();
+        let parsed = ClassFile::parse(&bytes).unwrap();
+        assert_eq!(digest_has_member(&parsed, "f", "(I)I", true), Some(true));
+    }
+}

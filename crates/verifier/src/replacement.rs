@@ -1,0 +1,128 @@
+//! Replacement classes for verification failures.
+//!
+//! The paper (§3.1): "The distributed verification service propagates any
+//! errors to the client by forwarding a replacement class that raises a
+//! verification exception during its initialization." The replacement
+//! preserves the original's method signatures (as unreachable stubs) so
+//! that resolution succeeds; the first *use* then runs `<clinit>`, which
+//! throws `java/lang/VerifyError` through the ordinary exception
+//! mechanism.
+
+use dvm_bytecode::insn::{Insn, Kind};
+use dvm_bytecode::Code;
+use dvm_classfile::descriptor::{FieldType, MethodDescriptor};
+use dvm_classfile::{AccessFlags, Attribute, ClassBuilder, ClassFile, MemberInfo};
+
+/// Builds a replacement for class `name` whose `<clinit>` throws
+/// `VerifyError` with `message`. When `original` is supplied, its method
+/// signatures are preserved as stubs.
+pub fn replacement_class(name: &str, message: &str, original: Option<&ClassFile>) -> ClassFile {
+    let mut cf = ClassBuilder::new(name).build();
+    let verify_error = cf.pool.class("java/lang/VerifyError").expect("small pool");
+    let ctor = cf
+        .pool
+        .methodref("java/lang/VerifyError", "<init>", "(Ljava/lang/String;)V")
+        .expect("small pool");
+    let msg = cf.pool.string(message).expect("small pool");
+    let clinit = Code {
+        insns: vec![
+            Insn::New(verify_error),
+            Insn::Dup,
+            Insn::Ldc(msg),
+            Insn::InvokeSpecial(ctor),
+            Insn::AThrow,
+        ],
+        handlers: vec![],
+        max_locals: 0,
+    };
+    let attr = clinit.encode(&cf.pool).expect("replacement body encodes");
+    push_method(&mut cf, AccessFlags::STATIC | AccessFlags::SYNTHETIC, "<clinit>", "()V", attr);
+
+    if let Some(orig) = original {
+        for m in &orig.methods {
+            let (Ok(mname), Ok(mdesc)) = (m.name(&orig.pool), m.descriptor(&orig.pool)) else {
+                continue;
+            };
+            if mname == "<clinit>" {
+                continue;
+            }
+            let (mname, mdesc) = (mname.to_owned(), mdesc.to_owned());
+            let Ok(desc) = MethodDescriptor::parse(&mdesc) else { continue };
+            // Unreachable stub: <clinit> throws before any body runs.
+            let body = Code {
+                insns: stub_return(&desc),
+                handlers: vec![],
+                max_locals: desc.param_slots() + if m.access.is_static() { 0 } else { 1 },
+            };
+            let Ok(attr) = body.encode(&cf.pool) else { continue };
+            // Stubs carry bodies, so strip native/abstract from the
+            // original flags.
+            let access = AccessFlags(
+                m.access.0 & !(AccessFlags::NATIVE.0 | AccessFlags::ABSTRACT.0),
+            );
+            push_method(&mut cf, access, &mname, &mdesc, attr);
+        }
+    }
+    cf
+}
+
+fn stub_return(desc: &MethodDescriptor) -> Vec<Insn> {
+    match &desc.ret {
+        None => vec![Insn::Return(None)],
+        Some(FieldType::Long) => vec![Insn::LConst(0), Insn::Return(Some(Kind::Long))],
+        Some(FieldType::Float) => vec![Insn::FConst(0.0), Insn::Return(Some(Kind::Float))],
+        Some(FieldType::Double) => vec![Insn::DConst(0.0), Insn::Return(Some(Kind::Double))],
+        Some(FieldType::Object(_)) | Some(FieldType::Array(_)) => {
+            vec![Insn::AConstNull, Insn::Return(Some(Kind::Ref))]
+        }
+        Some(_) => vec![Insn::IConst(0), Insn::Return(Some(Kind::Int))],
+    }
+}
+
+fn push_method(
+    cf: &mut ClassFile,
+    access: AccessFlags,
+    name: &str,
+    descriptor: &str,
+    code: dvm_classfile::CodeAttribute,
+) {
+    let name_index = cf.pool.utf8(name).expect("small pool");
+    let descriptor_index = cf.pool.utf8(descriptor).expect("small pool");
+    cf.methods.push(MemberInfo {
+        access: access | AccessFlags::SYNTHETIC,
+        name_index,
+        descriptor_index,
+        attributes: vec![Attribute::Code(code)],
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replacement_parses_and_carries_message() {
+        let mut cf = replacement_class("bad/Applet", "phase 3 rejected bad/Applet", None);
+        let bytes = cf.to_bytes().unwrap();
+        let parsed = ClassFile::parse(&bytes).unwrap();
+        assert_eq!(parsed.name().unwrap(), "bad/Applet");
+        assert!(parsed.find_method("<clinit>", "()V").is_some());
+    }
+
+    #[test]
+    fn replacement_preserves_signatures() {
+        let orig = ClassBuilder::new("bad/App")
+            .bodyless_method(AccessFlags::PUBLIC | AccessFlags::NATIVE, "run", "()I")
+            .bodyless_method(
+                AccessFlags::PUBLIC | AccessFlags::STATIC | AccessFlags::NATIVE,
+                "main",
+                "()V",
+            )
+            .build();
+        let rep = replacement_class("bad/App", "bad", Some(&orig));
+        assert!(rep.find_method("run", "()I").is_some());
+        assert!(rep.find_method("main", "()V").is_some());
+        // Stub bodies exist even where the original was native.
+        assert!(rep.find_method("run", "()I").unwrap().code().is_some());
+    }
+}

@@ -1,0 +1,274 @@
+//! Phase-3 discipline tests: uninitialized-object tracking, constructor
+//! rules, category-2 stack hygiene, and local-variable soundness.
+
+use dvm_bytecode::insn::{ArithOp, Insn, Kind, NumKind};
+use dvm_bytecode::{Asm, Code};
+use dvm_classfile::{AccessFlags, Attribute, ClassBuilder, ClassFile, MemberInfo};
+use dvm_verifier::{MapEnvironment, StaticVerifier};
+
+fn class_with_raw(name: &str, method: &str, desc: &str, access: AccessFlags, code: Code) -> ClassFile {
+    let mut cf = ClassBuilder::new(name).build();
+    // Encode without stack verification (we are testing the *verifier*,
+    // and some bodies are deliberately type-broken but depth-sane).
+    let attr = code.encode(&cf.pool).expect("depth-consistent body");
+    let n = cf.pool.utf8(method).unwrap();
+    let d = cf.pool.utf8(desc).unwrap();
+    cf.methods.push(MemberInfo {
+        access,
+        name_index: n,
+        descriptor_index: d,
+        attributes: vec![Attribute::Code(attr)],
+    });
+    cf
+}
+
+fn verifier() -> StaticVerifier {
+    StaticVerifier::new(MapEnvironment::with_bootstrap())
+}
+
+#[test]
+fn using_uninitialized_object_as_argument_is_rejected() {
+    // new Object; invokevirtual hashCode() without calling <init>.
+    let mut cf = ClassBuilder::new("t/Uninit").build();
+    let obj = cf.pool.class("java/lang/Object").unwrap();
+    let hash = cf.pool.methodref("java/lang/Object", "hashCode", "()I").unwrap();
+    let code = Code {
+        insns: vec![
+            Insn::New(obj),
+            Insn::InvokeVirtual(hash),
+            Insn::Return(Some(Kind::Int)),
+        ],
+        handlers: vec![],
+        max_locals: 0,
+    };
+    let attr = code.encode(&cf.pool).unwrap();
+    let n = cf.pool.utf8("f").unwrap();
+    let d = cf.pool.utf8("()I").unwrap();
+    cf.methods.push(MemberInfo {
+        access: AccessFlags::PUBLIC | AccessFlags::STATIC,
+        name_index: n,
+        descriptor_index: d,
+        attributes: vec![Attribute::Code(attr)],
+    });
+    let err = verifier().verify(cf).unwrap_err();
+    assert_eq!(err.phase, 3);
+}
+
+#[test]
+fn properly_initialized_object_is_accepted() {
+    let mut cf = ClassBuilder::new("t/Init").build();
+    let obj = cf.pool.class("java/lang/Object").unwrap();
+    let init = cf.pool.methodref("java/lang/Object", "<init>", "()V").unwrap();
+    let hash = cf.pool.methodref("java/lang/Object", "hashCode", "()I").unwrap();
+    let mut a = Asm::new(0);
+    a.new_object(obj).dup().invokespecial(init).invokevirtual(hash);
+    a.ret_val(Kind::Int);
+    let attr = a.finish().unwrap().encode(&cf.pool).unwrap();
+    let n = cf.pool.utf8("f").unwrap();
+    let d = cf.pool.utf8("()I").unwrap();
+    cf.methods.push(MemberInfo {
+        access: AccessFlags::PUBLIC | AccessFlags::STATIC,
+        name_index: n,
+        descriptor_index: d,
+        attributes: vec![Attribute::Code(attr)],
+    });
+    verifier().verify(cf).unwrap();
+}
+
+#[test]
+fn constructor_must_call_super_before_returning() {
+    let mut cf = ClassBuilder::new("t/BadCtor").build();
+    let code = Code {
+        insns: vec![Insn::Return(None)], // never calls super.<init>
+        handlers: vec![],
+        max_locals: 1,
+    };
+    let attr = code.encode(&cf.pool).unwrap();
+    let n = cf.pool.utf8("<init>").unwrap();
+    let d = cf.pool.utf8("()V").unwrap();
+    cf.methods.push(MemberInfo {
+        access: AccessFlags::PUBLIC,
+        name_index: n,
+        descriptor_index: d,
+        attributes: vec![Attribute::Code(attr)],
+    });
+    let err = verifier().verify(cf).unwrap_err();
+    assert_eq!(err.phase, 3);
+    assert!(err.reason.contains("super"), "{}", err.reason);
+}
+
+#[test]
+fn well_formed_constructor_verifies() {
+    let mut cf = ClassBuilder::new("t/GoodCtor").build();
+    let init = cf.pool.methodref("java/lang/Object", "<init>", "()V").unwrap();
+    let mut a = Asm::new(1);
+    a.aload(0).invokespecial(init).ret();
+    let attr = a.finish().unwrap().encode(&cf.pool).unwrap();
+    let n = cf.pool.utf8("<init>").unwrap();
+    let d = cf.pool.utf8("()V").unwrap();
+    cf.methods.push(MemberInfo {
+        access: AccessFlags::PUBLIC,
+        name_index: n,
+        descriptor_index: d,
+        attributes: vec![Attribute::Code(attr)],
+    });
+    verifier().verify(cf).unwrap();
+}
+
+#[test]
+fn pop_of_long_is_rejected() {
+    let cf = class_with_raw(
+        "t/PopLong",
+        "f",
+        "()V",
+        AccessFlags::PUBLIC | AccessFlags::STATIC,
+        Code {
+            insns: vec![
+                Insn::LConst(0),
+                Insn::Pop, // category-2 violation
+                Insn::Pop,
+                Insn::Return(None),
+            ],
+            handlers: vec![],
+            max_locals: 0,
+        },
+    );
+    let err = verifier().verify(cf).unwrap_err();
+    assert_eq!(err.phase, 3);
+    assert!(err.reason.contains("category-2"), "{}", err.reason);
+}
+
+#[test]
+fn reading_overwritten_wide_local_half_is_rejected() {
+    // Store a long at 0 (occupies 0-1), overwrite slot 0 with an int,
+    // then try to read the long back from 0.
+    let cf = class_with_raw(
+        "t/WideHalf",
+        "f",
+        "()V",
+        AccessFlags::PUBLIC | AccessFlags::STATIC,
+        Code {
+            insns: vec![
+                Insn::LConst(0),
+                Insn::Store(Kind::Long, 0),
+                Insn::IConst(1),
+                Insn::Store(Kind::Int, 1), // clobbers the tail slot
+                Insn::Load(Kind::Long, 0), // broken pair
+                Insn::Pop2,
+                Insn::Return(None),
+            ],
+            handlers: vec![],
+            max_locals: 2,
+        },
+    );
+    let err = verifier().verify(cf).unwrap_err();
+    assert_eq!(err.phase, 3);
+}
+
+#[test]
+fn reading_uninitialized_local_is_rejected() {
+    let cf = class_with_raw(
+        "t/UninitLocal",
+        "f",
+        "()I",
+        AccessFlags::PUBLIC | AccessFlags::STATIC,
+        Code {
+            insns: vec![Insn::Load(Kind::Int, 0), Insn::Return(Some(Kind::Int))],
+            handlers: vec![],
+            max_locals: 1,
+        },
+    );
+    let err = verifier().verify(cf).unwrap_err();
+    assert_eq!(err.phase, 3);
+}
+
+#[test]
+fn arithmetic_on_mismatched_kinds_is_rejected() {
+    let cf = class_with_raw(
+        "t/Mixed",
+        "f",
+        "()I",
+        AccessFlags::PUBLIC | AccessFlags::STATIC,
+        Code {
+            insns: vec![
+                Insn::IConst(1),
+                Insn::FConst(1.0),
+                Insn::Arith(NumKind::Int, ArithOp::Add), // int + float
+                Insn::Return(Some(Kind::Int)),
+            ],
+            handlers: vec![],
+            max_locals: 0,
+        },
+    );
+    let err = verifier().verify(cf).unwrap_err();
+    assert_eq!(err.phase, 3);
+}
+
+#[test]
+fn subroutines_are_rejected_by_the_strict_verifier() {
+    let cf = class_with_raw(
+        "t/Jsr",
+        "f",
+        "()V",
+        AccessFlags::PUBLIC | AccessFlags::STATIC,
+        Code {
+            insns: vec![
+                Insn::Jsr(2),
+                Insn::Return(None),
+                Insn::Store(Kind::Ref, 0),
+                Insn::Ret(0),
+            ],
+            handlers: vec![],
+            max_locals: 1,
+        },
+    );
+    let err = verifier().verify(cf).unwrap_err();
+    assert_eq!(err.phase, 3);
+    assert!(err.reason.contains("subroutines"), "{}", err.reason);
+}
+
+#[test]
+fn exception_handlers_verify_with_thrown_reference() {
+    let mut cf = ClassBuilder::new("t/Handler").build();
+    let exc = cf.pool.class("java/lang/ArithmeticException").unwrap();
+    let mut a = Asm::new(2);
+    let s = a.new_label();
+    let e = a.new_label();
+    let h = a.new_label();
+    a.place(s);
+    a.iconst(1).iload(0).arith(NumKind::Int, ArithOp::Div).istore(1);
+    a.place(e);
+    a.iload(1).ret_val(Kind::Int);
+    a.place(h);
+    a.astore(1); // store the exception; local 1 becomes a reference
+    a.iconst(-1).ret_val(Kind::Int);
+    a.handler(s, e, h, exc);
+    let attr = a.finish().unwrap().encode(&cf.pool).unwrap();
+    let n = cf.pool.utf8("f").unwrap();
+    let d = cf.pool.utf8("(I)I").unwrap();
+    cf.methods.push(MemberInfo {
+        access: AccessFlags::PUBLIC | AccessFlags::STATIC,
+        name_index: n,
+        descriptor_index: d,
+        attributes: vec![Attribute::Code(attr)],
+    });
+    let (_, report) = verifier().verify(cf).unwrap();
+    assert!(report.static_checks > 0);
+}
+
+#[test]
+fn athrow_of_non_reference_is_rejected() {
+    let cf = class_with_raw(
+        "t/ThrowInt",
+        "f",
+        "()V",
+        AccessFlags::PUBLIC | AccessFlags::STATIC,
+        Code {
+            insns: vec![Insn::IConst(1), Insn::AThrow],
+            handlers: vec![],
+            max_locals: 0,
+        },
+    );
+    let err = verifier().verify(cf).unwrap_err();
+    assert_eq!(err.phase, 3);
+}

@@ -1,0 +1,16 @@
+//! Synthetic workload generation.
+//!
+//! The paper's evaluation runs real Java applications (Figure 5) and real
+//! Internet applets; neither is available to this reproduction, so this
+//! crate generates *equivalent synthetic programs*: real class files that
+//! parse, verify, and execute on the `dvm-jvm` engine, sized and
+//! structured to match the paper's published inventories (see DESIGN.md's
+//! substitution table). Generation is deterministic per seed.
+
+pub mod applets;
+pub mod codegen;
+pub mod spec;
+
+pub use applets::{corpus, Applet};
+pub use codegen::{generate, Disposition, GeneratedApp};
+pub use spec::{figure11_apps, figure5_apps, AppSpec, WorkKind};

@@ -1,0 +1,171 @@
+//! Benchmark application specifications.
+//!
+//! Figure 5 of the paper describes the five end-to-end benchmarks by
+//! size and class count; §5's Figure 11/12 use six graphical
+//! applications. The generator reproduces each as a synthetic program
+//! matching the published size/class-count profile, with a workload
+//! kernel shaped like the application's domain.
+
+/// The computational kernel a generated application runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkKind {
+    /// Token scanning over byte buffers (JLex-like).
+    Lexer,
+    /// Table-driven state-machine dispatch (Javacup-like).
+    Parser,
+    /// Call-heavy recursive compilation passes (Pizza-like).
+    Compiler,
+    /// Read–update–write transactions on account arrays (Instantdb's
+    /// TPC-A-like workload).
+    Database,
+    /// Floating-point relaxation over constraint vectors (Cassowary-like).
+    Constraint,
+    /// Event-loop arithmetic typical of GUI applications (§5 apps).
+    Gui,
+}
+
+/// Specification of one generated application.
+#[derive(Debug, Clone)]
+pub struct AppSpec {
+    /// Short name (matches the paper's tables).
+    pub name: String,
+    /// Target total class-file bytes.
+    pub target_bytes: usize,
+    /// Number of classes.
+    pub class_count: usize,
+    /// Kernel shape.
+    pub kind: WorkKind,
+    /// Outer iterations of the main work loop (scales execution time).
+    pub main_iters: i32,
+    /// Iterations of the startup (warm-up) phase.
+    pub warmup_iters: i32,
+    /// Iterations of the post-startup interactive phase.
+    pub interact_iters: i32,
+    /// Deterministic generation seed.
+    pub seed: u64,
+}
+
+impl AppSpec {
+    /// Returns a copy with all execution iterations scaled by
+    /// `num/den` (at least 1). Used by tests to run quickly.
+    pub fn scaled(&self, num: i32, den: i32) -> AppSpec {
+        let f = |v: i32| (v.saturating_mul(num) / den).max(1);
+        AppSpec {
+            main_iters: f(self.main_iters),
+            warmup_iters: f(self.warmup_iters),
+            interact_iters: f(self.interact_iters),
+            ..self.clone()
+        }
+    }
+
+    /// The application's main class internal name.
+    pub fn main_class(&self) -> String {
+        format!("app/{}/Main", self.name)
+    }
+}
+
+/// The five Figure 5 benchmarks: name, size, classes, description.
+pub fn figure5_apps() -> Vec<AppSpec> {
+    vec![
+        AppSpec {
+            name: "jlex".into(),
+            target_bytes: 91 * 1024,
+            class_count: 20,
+            kind: WorkKind::Lexer,
+            main_iters: 2500000,
+            warmup_iters: 40,
+            interact_iters: 200,
+            seed: 0x1EE7_0001,
+        },
+        AppSpec {
+            name: "javacup".into(),
+            target_bytes: 130 * 1024,
+            class_count: 35,
+            kind: WorkKind::Parser,
+            main_iters: 1200000,
+            warmup_iters: 40,
+            interact_iters: 200,
+            seed: 0x1EE7_0002,
+        },
+        AppSpec {
+            name: "pizza".into(),
+            target_bytes: 825 * 1024,
+            class_count: 241,
+            kind: WorkKind::Compiler,
+            main_iters: 3200000,
+            warmup_iters: 40,
+            interact_iters: 200,
+            seed: 0x1EE7_0003,
+        },
+        AppSpec {
+            name: "instantdb".into(),
+            target_bytes: 312 * 1024,
+            class_count: 70,
+            kind: WorkKind::Database,
+            main_iters: 3000000,
+            warmup_iters: 40,
+            interact_iters: 200,
+            seed: 0x1EE7_0004,
+        },
+        AppSpec {
+            name: "cassowary".into(),
+            target_bytes: 85 * 1024,
+            class_count: 34,
+            kind: WorkKind::Constraint,
+            main_iters: 2400000,
+            warmup_iters: 40,
+            interact_iters: 200,
+            seed: 0x1EE7_0005,
+        },
+    ]
+}
+
+/// The six §5 graphical applications plotted in Figures 11 and 12.
+///
+/// The paper does not publish their sizes; these are chosen to span the
+/// range of late-1990s Java GUI applications from a small animated applet
+/// to the HotJava browser, which is what the figures' spread requires.
+pub fn figure11_apps() -> Vec<AppSpec> {
+    let gui = |name: &str, target_bytes, class_count, seed| AppSpec {
+        name: name.to_owned(),
+        target_bytes,
+        class_count,
+        kind: WorkKind::Gui,
+        main_iters: 400,
+        warmup_iters: 60,
+        interact_iters: 300,
+        seed,
+    };
+    vec![
+        gui("workshop", 2_500 * 1024, 180, 0x6001),
+        gui("studio", 1_800 * 1024, 150, 0x6002),
+        gui("hotjava", 3_000 * 1024, 220, 0x6003),
+        gui("netcharts", 600 * 1024, 60, 0x6004),
+        gui("cq", 300 * 1024, 36, 0x6005),
+        gui("animatedui", 150 * 1024, 20, 0x6006),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure5_matches_paper_inventory() {
+        let apps = figure5_apps();
+        assert_eq!(apps.len(), 5);
+        let pizza = apps.iter().find(|a| a.name == "pizza").unwrap();
+        assert_eq!(pizza.class_count, 241);
+        assert_eq!(pizza.target_bytes, 825 * 1024);
+        let jlex = apps.iter().find(|a| a.name == "jlex").unwrap();
+        assert_eq!(jlex.class_count, 20);
+    }
+
+    #[test]
+    fn scaling_reduces_iterations() {
+        let a = figure5_apps().remove(0);
+        let s = a.scaled(1, 100);
+        assert_eq!(s.main_iters, a.main_iters / 100);
+        assert!(s.warmup_iters >= 1);
+    }
+}

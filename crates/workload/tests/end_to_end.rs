@@ -1,0 +1,118 @@
+//! End-to-end validation of generated workloads: every application must
+//! pass the static verifier and execute to completion on the engine.
+
+use dvm_jvm::{Completion, MapProvider, Vm};
+use dvm_verifier::{MapEnvironment, StaticVerifier};
+use dvm_workload::{figure11_apps, figure5_apps, generate};
+
+fn run_app(spec: &dvm_workload::AppSpec) -> (Vec<String>, dvm_jvm::VmStats) {
+    let app = generate(spec);
+    let mut provider = MapProvider::new();
+    for cf in &app.classes {
+        let mut cf = cf.clone();
+        provider.insert_class(&mut cf).unwrap();
+    }
+    let mut vm = Vm::new(Box::new(provider)).unwrap();
+    match vm.run_main(&app.main_class).unwrap() {
+        Completion::Normal(_) => {}
+        Completion::Exception(e) => {
+            let (class, msg) = vm.exception_message(e).unwrap();
+            panic!("{}: uncaught {class}: {msg}", spec.name);
+        }
+    }
+    (vm.stdout.clone(), vm.stats.clone())
+}
+
+#[test]
+fn all_figure5_apps_execute() {
+    for spec in figure5_apps() {
+        let spec = spec.scaled(1, 5000);
+        let (stdout, stats) = run_app(&spec);
+        assert_eq!(stdout.len(), 1, "{} should print once", spec.name);
+        stdout[0].parse::<i64>().unwrap_or_else(|_| {
+            panic!("{}: expected numeric output, got {:?}", spec.name, stdout[0])
+        });
+        assert!(
+            stats.instructions > 10_000,
+            "{} ran only {} instructions",
+            spec.name,
+            stats.instructions
+        );
+    }
+}
+
+#[test]
+fn figure11_apps_execute() {
+    for spec in figure11_apps().into_iter().take(2) {
+        let spec = spec.scaled(1, 200);
+        let (stdout, _) = run_app(&spec);
+        assert_eq!(stdout.len(), 1);
+    }
+}
+
+#[test]
+fn output_is_deterministic() {
+    let spec = figure5_apps().remove(0).scaled(1, 5000);
+    let (a, sa) = run_app(&spec);
+    let (b, sb) = run_app(&spec);
+    assert_eq!(a, b);
+    assert_eq!(sa.instructions, sb.instructions);
+    assert_eq!(sa.cycles, sb.cycles);
+}
+
+#[test]
+fn all_figure5_apps_verify() {
+    for spec in figure5_apps() {
+        let app = generate(&spec.scaled(1, 5000));
+        // The proxy environment: bootstrap plus the application's own
+        // classes (it sees them all as they flow through).
+        let mut env = MapEnvironment::with_bootstrap();
+        for cf in &app.classes {
+            env.add(cf);
+        }
+        let verifier = StaticVerifier::new(env);
+        for cf in &app.classes {
+            let name = cf.name().unwrap().to_owned();
+            let (_, report) = verifier
+                .verify(cf.clone())
+                .unwrap_or_else(|e| panic!("{}: {name}: {e}", spec.name));
+            assert!(report.static_checks > 0);
+            // Full-knowledge environment: nothing should defer to runtime.
+            assert_eq!(
+                report.dynamic_checks_injected, 0,
+                "{name} deferred checks despite a complete environment"
+            );
+        }
+    }
+}
+
+#[test]
+fn verification_defers_without_environment_and_still_executes() {
+    // Verify with an empty environment (everything about other classes is
+    // deferred), then run the rewritten app: the injected RTVerifier
+    // checks must pass at run time.
+    let spec = figure5_apps().remove(0).scaled(1, 10000);
+    let app = generate(&spec);
+    let verifier = StaticVerifier::new(MapEnvironment::new());
+    let mut provider = MapProvider::new();
+    let mut total_injected = 0;
+    for cf in &app.classes {
+        let (rewritten, report) = verifier.verify(cf.clone()).unwrap();
+        total_injected += report.dynamic_checks_injected;
+        let mut rewritten = rewritten;
+        provider.insert_class(&mut rewritten).unwrap();
+    }
+    assert!(total_injected > 0, "empty environment must defer checks");
+    let mut vm = Vm::new(Box::new(provider)).unwrap();
+    match vm.run_main(&app.main_class).unwrap() {
+        Completion::Normal(_) => {}
+        Completion::Exception(e) => {
+            let (class, msg) = vm.exception_message(e).unwrap();
+            panic!("uncaught {class}: {msg}");
+        }
+    }
+    assert!(
+        vm.stats.dynamic_verify_checks > 0,
+        "self-verifying checks should have executed"
+    );
+}

@@ -1,0 +1,80 @@
+//! Quickstart: build a hello-world class, stand up a DVM organization,
+//! and run the program on a client whose code flows through the
+//! centralized service pipeline.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dvm_bytecode::Asm;
+use dvm_classfile::{AccessFlags, Attribute, ClassBuilder, ClassFile, MemberInfo};
+use dvm_core::{CostModel, Organization, ServiceConfig};
+use dvm_security::Policy;
+
+/// Assembles the classic example from the paper's Figure 3: a class whose
+/// `main` prints "hello world" through `System.out`.
+fn hello_world() -> ClassFile {
+    let mut cf = ClassBuilder::new("hello/Hello").build();
+    let out = cf
+        .pool
+        .fieldref("java/lang/System", "out", "Ljava/io/PrintStream;")
+        .unwrap();
+    let println = cf
+        .pool
+        .methodref("java/io/PrintStream", "println", "(Ljava/lang/String;)V")
+        .unwrap();
+    let msg = cf.pool.string("hello world").unwrap();
+
+    let mut a = Asm::new(0);
+    a.getstatic(out).ldc(msg).invokevirtual(println).ret();
+    let code = a.finish().unwrap().encode(&cf.pool).unwrap();
+
+    let name = cf.pool.utf8("main").unwrap();
+    let desc = cf.pool.utf8("()V").unwrap();
+    cf.methods.push(MemberInfo {
+        access: AccessFlags::PUBLIC | AccessFlags::STATIC,
+        name_index: name,
+        descriptor_index: desc,
+        attributes: vec![Attribute::Code(code)],
+    });
+    cf
+}
+
+fn main() {
+    // 1. The organization: a proxy hosting the static services
+    //    (verification, security, auditing), a security server, and an
+    //    administration console.
+    let org = Organization::new(
+        &[hello_world()],
+        Policy::parse(dvm_security::policy::example_policy()).unwrap(),
+        ServiceConfig::dvm(),
+        CostModel::default(),
+    )
+    .unwrap();
+
+    // 2. A client. Its handshake with the console established a session;
+    //    every class it loads is fetched through the proxy and rewritten
+    //    by the service pipeline.
+    let mut client = org.client("alice", "applets").unwrap();
+    let report = client.run_main("hello/Hello").unwrap();
+
+    println!("program output : {:?}", client.vm.stdout);
+    println!("completion     : {:?}", report.completion);
+    println!();
+    println!("-- timing (simulated, 200 MHz client / 10 Mb/s LAN) --");
+    println!("execution      : {}", report.exec_time);
+    println!("network        : {}", report.network_time);
+    println!("proxy rewrite  : {}", report.proxy_time);
+    println!("total          : {}", report.total_time);
+    println!();
+    println!("-- what the services did --");
+    let stats = *org.service_stats.lock();
+    println!("static verifier checks  : {}", stats.static_checks);
+    println!("runtime checks injected : {}", stats.dynamic_checks_injected);
+    println!("audit probes inserted   : {}", stats.audit_probes);
+    println!("audit events recorded   : {}", org.console.lock().total_events());
+    println!(
+        "classes transferred     : {:?}",
+        report.transfers.iter().map(|t| t.class.as_str()).collect::<Vec<_>>()
+    );
+}

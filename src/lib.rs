@@ -1,0 +1,18 @@
+//! Umbrella crate for the DVM reproduction workspace.
+//!
+//! Re-exports the public API of every subsystem crate so that examples and
+//! integration tests can use a single dependency. See `DESIGN.md` at the
+//! repository root for the system inventory and experiment index.
+
+pub use dvm_bytecode as bytecode;
+pub use dvm_classfile as classfile;
+pub use dvm_compiler as compiler;
+pub use dvm_core as core;
+pub use dvm_jvm as jvm;
+pub use dvm_monitor as monitor;
+pub use dvm_netsim as netsim;
+pub use dvm_optimizer as optimizer;
+pub use dvm_proxy as proxy;
+pub use dvm_security as security;
+pub use dvm_verifier as verifier;
+pub use dvm_workload as workload;
