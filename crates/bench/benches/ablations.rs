@@ -45,7 +45,10 @@ fn bench_pipeline(c: &mut Criterion) {
                 SecurityId(1),
                 stats.clone(),
             )),
-            Box::new(dvm_core::filters::AuditFilter::new(sites.clone(), stats.clone())),
+            Box::new(dvm_core::filters::AuditFilter::new(
+                sites.clone(),
+                stats.clone(),
+            )),
         ]
     };
 
@@ -54,8 +57,10 @@ fn bench_pipeline(c: &mut Criterion) {
     // Parse once: one parse, all filters, one generate.
     group.bench_function("parse_once", |b| {
         let filters = make_filters();
-        let bytes: Vec<Vec<u8>> =
-            classes.iter().map(|cf| cf.clone().to_bytes().unwrap()).collect();
+        let bytes: Vec<Vec<u8>> = classes
+            .iter()
+            .map(|cf| cf.clone().to_bytes().unwrap())
+            .collect();
         let ctx = RequestContext::default();
         b.iter(|| {
             for raw in &bytes {
@@ -71,8 +76,10 @@ fn bench_pipeline(c: &mut Criterion) {
     // service decomposition §2 warns about).
     group.bench_function("parse_per_service", |b| {
         let filters = make_filters();
-        let bytes: Vec<Vec<u8>> =
-            classes.iter().map(|cf| cf.clone().to_bytes().unwrap()).collect();
+        let bytes: Vec<Vec<u8>> = classes
+            .iter()
+            .map(|cf| cf.clone().to_bytes().unwrap())
+            .collect();
         let ctx = RequestContext::default();
         b.iter(|| {
             for raw in &bytes {
@@ -94,7 +101,10 @@ fn bench_proxy_cache(c: &mut Criterion) {
     let policy = Policy::parse(dvm_security::policy::example_policy()).unwrap();
     let name = classes[1].name().unwrap().to_owned();
     let url = format!("class://{name}");
-    let ctx = RequestContext { principal: "applets".into(), ..Default::default() };
+    let ctx = RequestContext {
+        principal: "applets".into(),
+        ..Default::default()
+    };
 
     let mut group = c.benchmark_group("proxy");
     group.sample_size(20);

@@ -14,7 +14,10 @@ use dvm_workload::{figure5_apps, generate};
 fn sample() -> (Vec<ClassFile>, Vec<Vec<u8>>) {
     let spec = figure5_apps().remove(0).scaled(1, 20000);
     let classes = generate(&spec).classes;
-    let bytes = classes.iter().map(|c| c.clone().to_bytes().unwrap()).collect();
+    let bytes = classes
+        .iter()
+        .map(|c| c.clone().to_bytes().unwrap())
+        .collect();
     (classes, bytes)
 }
 

@@ -81,10 +81,8 @@ fn simulate(clients: usize, seed: u64) -> Outcome {
                 } else {
                     1.0
                 };
-                let service_cycles =
-                    (bytes as f64 * PROXY_CYCLES_PER_BYTE as f64 * thrash) as u64;
-                let service =
-                    SimTime::from_nanos(service_cycles * 1_000_000_000 / 200_000_000);
+                let service_cycles = (bytes as f64 * PROXY_CYCLES_PER_BYTE as f64 * thrash) as u64;
+                let service = SimTime::from_nanos(service_cycles * 1_000_000_000 / 200_000_000);
                 let start = now.max(cpu_free_at);
                 cpu_free_at = start + service;
                 q.schedule(cpu_free_at, Ev::ServiceDone { client, bytes });
@@ -100,16 +98,25 @@ fn simulate(clients: usize, seed: u64) -> Outcome {
                 sizes[client] = next;
                 started[client] = now;
                 in_flight += 1;
-                let fetch =
-                    SimTime::from_nanos((next as f64 / ORIGIN_BYTES_PER_SEC * 1e9) as u64);
-                q.schedule(now + fetch, Ev::FetchDone { client, bytes: next });
+                let fetch = SimTime::from_nanos((next as f64 / ORIGIN_BYTES_PER_SEC * 1e9) as u64);
+                q.schedule(
+                    now + fetch,
+                    Ev::FetchDone {
+                        client,
+                        bytes: next,
+                    },
+                );
             }
         }
     }
 
     Outcome {
         throughput_bytes_per_sec: delivered_bytes as f64 / DURATION.as_secs_f64(),
-        latency_sec_per_kb: if completed > 0 { latency_accum / completed as f64 } else { 0.0 },
+        latency_sec_per_kb: if completed > 0 {
+            latency_accum / completed as f64
+        } else {
+            0.0
+        },
     }
 }
 

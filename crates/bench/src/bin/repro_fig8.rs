@@ -14,7 +14,12 @@ use dvm_workload::figure5_apps;
 fn main() {
     let scale = ExperimentScale::from_args();
     println!("Figure 8: static vs dynamic verifier checks\n");
-    let mut t = Table::new(&["Benchmark", "Static checks", "Dynamic checks", "Static share"]);
+    let mut t = Table::new(&[
+        "Benchmark",
+        "Static checks",
+        "Dynamic checks",
+        "Static share",
+    ]);
     for spec in figure5_apps() {
         let app = dvm_bench::runners::generate_scaled(&spec, scale);
         let org = Organization::new(

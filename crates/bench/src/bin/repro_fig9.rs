@@ -20,7 +20,9 @@ fn main() {
             op.label().to_string(),
             fmt_ms(row.baseline_ms),
             row.jdk_check_ms.map(fmt_ms).unwrap_or_else(|| "N/A".into()),
-            row.jdk_overhead_ms().map(fmt_ms).unwrap_or_else(|| "N/A".into()),
+            row.jdk_overhead_ms()
+                .map(fmt_ms)
+                .unwrap_or_else(|| "N/A".into()),
             fmt_ms(row.dvm_download_ms),
             fmt_ms(row.dvm_check_ms),
             fmt_ms(row.dvm_overhead_ms()),

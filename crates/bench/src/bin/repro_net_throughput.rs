@@ -1,0 +1,119 @@
+//! Socket throughput: the real-TCP companion to Figure 10.
+//!
+//! Figure 10 proper (`repro_fig10`) is a discrete-event simulation of
+//! proxy scaling on the paper's 1999 hardware. This binary measures the
+//! reproduction's *actual* wire path instead: N concurrent clients
+//! fetch the applet corpus from a `ProxyServer` over loopback TCP with
+//! `CODE_REQUEST`/`CODE_RESPONSE` frames, signatures verified on
+//! receipt. Numbers are wall-clock and machine-dependent — they
+//! characterize the implementation, not the paper's testbed.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dvm_bench::Table;
+use dvm_core::{CostModel, Organization, ServiceConfig};
+use dvm_net::{Hello, NetClassProvider, NetConfig};
+use dvm_proxy::Signer;
+use dvm_security::Policy;
+use dvm_workload::corpus;
+
+fn main() {
+    // A corpus slice large enough to exercise the cache and frame sizes.
+    let applets: Vec<_> = corpus(42).into_iter().take(32).collect();
+    let classes: Vec<_> = applets
+        .iter()
+        .flat_map(|a| a.classes.iter().cloned())
+        .collect();
+    let class_names: Arc<Vec<String>> = Arc::new(
+        classes
+            .iter()
+            .map(|c| c.name().unwrap().to_owned())
+            .collect(),
+    );
+
+    let mut services = ServiceConfig::dvm();
+    services.signing = true;
+    let org = Organization::new(
+        &classes,
+        Policy::parse(dvm_security::policy::example_policy()).unwrap(),
+        services,
+        CostModel::default(),
+    )
+    .unwrap();
+    let server = org.serve("127.0.0.1:0").unwrap();
+    let addr = server.addr();
+
+    println!(
+        "socket throughput vs concurrent clients ({} classes, signed, cached)",
+        class_names.len()
+    );
+    println!("server at {addr}\n");
+
+    let mut t = Table::new(&[
+        "Clients",
+        "Requests",
+        "MB moved",
+        "Wall (ms)",
+        "MB/s",
+        "req/s",
+    ]);
+    for clients in [1usize, 2, 4, 8, 16] {
+        let started = Instant::now();
+        let mut total_requests = 0u64;
+        let mut total_bytes = 0u64;
+        let results: Vec<(u64, u64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let names = class_names.clone();
+                    scope.spawn(move || {
+                        let hello = Hello {
+                            user: format!("bench{c}"),
+                            principal: "applets".into(),
+                            hardware: "bench".into(),
+                            native_format: "x86".into(),
+                            jvm_version: "dvm-repro-0.1".into(),
+                        };
+                        let mut provider = NetClassProvider::new(
+                            addr,
+                            hello,
+                            Some(Signer::new(b"dvm-org-key")),
+                            NetConfig::default(),
+                        )
+                        .unwrap();
+                        let mut requests = 0u64;
+                        let mut bytes = 0u64;
+                        for name in names.iter() {
+                            let (payload, _) = provider.fetch(&format!("class://{name}")).unwrap();
+                            requests += 1;
+                            bytes += payload.len() as u64;
+                        }
+                        (requests, bytes)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let wall = started.elapsed();
+        for (r, b) in results {
+            total_requests += r;
+            total_bytes += b;
+        }
+        let secs = wall.as_secs_f64().max(1e-9);
+        t.row(&[
+            clients.to_string(),
+            total_requests.to_string(),
+            format!("{:.1}", total_bytes as f64 / 1e6),
+            format!("{:.1}", wall.as_secs_f64() * 1e3),
+            format!("{:.1}", total_bytes as f64 / 1e6 / secs),
+            format!("{:.0}", total_requests as f64 / secs),
+        ]);
+    }
+    t.print();
+
+    let stats = server.shutdown();
+    println!(
+        "\nserver: {} connections, {} requests, {} responses, {} errors",
+        stats.connections, stats.requests, stats.responses, stats.errors
+    );
+}

@@ -53,8 +53,9 @@ fn main() {
             let url = format!("class://{name}");
             let r = org.proxy.handle_request_detailed(&url, &ctx).unwrap();
             applet_bytes += r.bytes.len() as u64;
-            applet_rewrite +=
-                cost.cpu.time_for(r.bytes.len() as u64 * cost.proxy_cycles_per_byte);
+            applet_rewrite += cost
+                .cpu
+                .time_for(r.bytes.len() as u64 * cost.proxy_cycles_per_byte);
             applet_real_ns += r.processing_ns;
         }
         bytes_total += applet_bytes;
@@ -98,7 +99,10 @@ fn main() {
     ]);
     t.row(&[
         "Mean applet size".into(),
-        format!("{:.1} KB", bytes_total as f64 / applets.len() as f64 / 1024.0),
+        format!(
+            "{:.1} KB",
+            bytes_total as f64 / applets.len() as f64 / 1024.0
+        ),
         "(not reported)".into(),
     ]);
     t.row(&[

@@ -43,13 +43,18 @@ pub fn app_profile(app: &GeneratedApp) -> AppProfile {
             overhead_bytes: total.saturating_sub(method_bytes),
         });
     }
-    AppProfile { name: app.spec.name.clone(), classes }
+    AppProfile {
+        name: app.spec.name.clone(),
+        classes,
+    }
 }
 
 /// The bandwidth sweep (bytes/second) used by Figures 11 and 12: from the
 /// paper's 28.8 Kb/s wireless links up to 1 MB/s.
 pub fn bandwidth_sweep() -> Vec<u64> {
-    vec![3_600, 7_200, 14_400, 28_800, 57_600, 125_000, 250_000, 500_000, 1_000_000]
+    vec![
+        3_600, 7_200, 14_400, 28_800, 57_600, 125_000, 250_000, 500_000, 1_000_000,
+    ]
 }
 
 #[cfg(test)]
@@ -66,7 +71,10 @@ mod tests {
         let total = profile.total_bytes();
         let actual = app.total_bytes() as u64;
         let ratio = total as f64 / actual as f64;
-        assert!((0.9..1.1).contains(&ratio), "profile {total} vs actual {actual}");
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "profile {total} vs actual {actual}"
+        );
         // The paper's 10-30% dead-code observation holds.
         let dead = profile.dead_fraction();
         assert!((0.05..0.5).contains(&dead), "dead fraction {dead}");

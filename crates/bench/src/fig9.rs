@@ -100,7 +100,10 @@ pub fn microbench_class(op: MicroOp) -> ClassFile {
                 .pool
                 .methodref("java/io/FileInputStream", "<init>", "(Ljava/lang/String;)V")
                 .unwrap();
-            let close = cf.pool.methodref("java/io/FileInputStream", "close", "()V").unwrap();
+            let close = cf
+                .pool
+                .methodref("java/io/FileInputStream", "close", "()V")
+                .unwrap();
             let path = cf.pool.string("/data/bench").unwrap();
             let mut a = Asm::new(1);
             a.new_object(fis).dup().ldc(path).invokespecial(init);
@@ -112,7 +115,10 @@ pub fn microbench_class(op: MicroOp) -> ClassFile {
                 .pool
                 .methodref("java/lang/Thread", "currentThread", "()Ljava/lang/Thread;")
                 .unwrap();
-            let set = cf.pool.methodref("java/lang/Thread", "setPriority", "(I)V").unwrap();
+            let set = cf
+                .pool
+                .methodref("java/lang/Thread", "setPriority", "(I)V")
+                .unwrap();
             let mut a = Asm::new(0);
             a.invokestatic(current).iconst(5).invokevirtual(set).ret();
             push(&mut cf, "op", a);
@@ -139,9 +145,17 @@ pub fn microbench_class(op: MicroOp) -> ClassFile {
                 .unwrap();
             let path = cf.pool.string("/data/bench").unwrap();
             let mut a = Asm::new(0);
-            a.new_object(fis).dup().ldc(path).invokespecial(init).putstatic(field).ret();
+            a.new_object(fis)
+                .dup()
+                .ldc(path)
+                .invokespecial(init)
+                .putstatic(field)
+                .ret();
             push_named(&mut cf, "<clinit>", AccessFlags::STATIC, a);
-            let read = cf.pool.methodref("java/io/FileInputStream", "read", "()I").unwrap();
+            let read = cf
+                .pool
+                .methodref("java/io/FileInputStream", "read", "()I")
+                .unwrap();
             let mut a = Asm::new(0);
             a.getstatic(field).invokevirtual(read).pop().ret();
             push(&mut cf, "op", a);
@@ -222,13 +236,8 @@ pub fn measure(op: MicroOp) -> MicroRow {
 
     // DVM: organization client running the rewritten code.
     let (dvm_download_cycles, dvm_cycles) = {
-        let org = Organization::new(
-            &[cf],
-            experiment_policy(),
-            ServiceConfig::dvm(),
-            cost,
-        )
-        .unwrap();
+        let org =
+            Organization::new(&[cf], experiment_policy(), ServiceConfig::dvm(), cost).unwrap();
         let mut client = org.client("bench", "applets").unwrap();
         client.vm.add_file(BENCH_FILE, vec![7; 4096]);
         // First call: class fetch + rewrite + policy download. Isolate the
@@ -249,7 +258,10 @@ pub fn measure(op: MicroOp) -> MicroRow {
 
 /// Runs the whole table.
 pub fn run_all() -> Vec<(MicroOp, MicroRow)> {
-    MicroOp::all().into_iter().map(|op| (op, measure(op))).collect()
+    MicroOp::all()
+        .into_iter()
+        .map(|op| (op, measure(op)))
+        .collect()
 }
 
 /// Formats milliseconds like the paper (4 significant-ish decimals).
@@ -284,7 +296,10 @@ mod tests {
         assert!(gp.jdk_check_ms.is_some());
         assert!(of.jdk_check_ms.is_some());
         assert!(tp.jdk_check_ms.is_some());
-        assert!(rf.jdk_check_ms.is_none(), "file read must be N/A in the JDK model");
+        assert!(
+            rf.jdk_check_ms.is_none(),
+            "file read must be N/A in the JDK model"
+        );
 
         // The DVM checks everything, including reads.
         assert!(rf.dvm_overhead_ms() > 0.0);

@@ -1,6 +1,8 @@
 //! Standard experiment runners shared by the `repro_*` binaries.
 
-use dvm_core::{CostModel, MonolithicClient, MonolithicReport, Organization, RunReport, ServiceConfig};
+use dvm_core::{
+    CostModel, MonolithicClient, MonolithicReport, Organization, RunReport, ServiceConfig,
+};
 use dvm_security::{policy::example_policy, Policy};
 use dvm_workload::{generate, AppSpec, GeneratedApp};
 

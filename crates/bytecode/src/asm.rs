@@ -49,7 +49,10 @@ pub struct Asm {
 impl Asm {
     /// Creates an assembler for a body with `max_locals` local slots.
     pub fn new(max_locals: u16) -> Asm {
-        Asm { max_locals, ..Asm::default() }
+        Asm {
+            max_locals,
+            ..Asm::default()
+        }
     }
 
     /// Allocates a fresh, unplaced label.
@@ -391,7 +394,10 @@ impl Asm {
             placed
                 .get(&l)
                 .copied()
-                .ok_or(BytecodeError::BadTargetIndex { index: l.0, len: usize::MAX })
+                .ok_or(BytecodeError::BadTargetIndex {
+                    index: l.0,
+                    len: usize::MAX,
+                })
         };
         // Group pending entries per instruction, in insertion order.
         let mut per_insn: HashMap<usize, Vec<Label>> = HashMap::new();
@@ -415,7 +421,11 @@ impl Asm {
                 catch_type: *c,
             });
         }
-        let code = Code { insns: self.insns, handlers, max_locals: self.max_locals };
+        let code = Code {
+            insns: self.insns,
+            handlers,
+            max_locals: self.max_locals,
+        };
         code.validate_targets()?;
         Ok(code)
     }
@@ -468,7 +478,9 @@ mod tests {
         a.iconst(-1).ret_val(Kind::Int);
         let code = a.finish().unwrap();
         match &code.insns[1] {
-            Insn::TableSwitch { default, targets, .. } => {
+            Insn::TableSwitch {
+                default, targets, ..
+            } => {
                 assert_eq!(*default, 6);
                 assert_eq!(targets, &vec![2, 4]);
             }

@@ -41,7 +41,11 @@ pub struct Code {
 impl Code {
     /// Creates an empty body with the given local-variable count.
     pub fn new(max_locals: u16) -> Code {
-        Code { insns: Vec::new(), handlers: Vec::new(), max_locals }
+        Code {
+            insns: Vec::new(),
+            handlers: Vec::new(),
+            max_locals,
+        }
     }
 
     /// Decodes a `Code` attribute into label form.
@@ -90,9 +94,18 @@ impl Code {
                 index_of(e.end_pc as usize, e.end_pc as usize)?
             };
             let handler = index_of(e.handler_pc as usize, e.handler_pc as usize)?;
-            handlers.push(Handler { start, end, handler, catch_type: e.catch_type });
+            handlers.push(Handler {
+                start,
+                end,
+                handler,
+                catch_type: e.catch_type,
+            });
         }
-        Ok(Code { insns, handlers, max_locals: attr.max_locals })
+        Ok(Code {
+            insns,
+            handlers,
+            max_locals: attr.max_locals,
+        })
     }
 
     /// Encodes this body back into a `Code` attribute.
@@ -255,11 +268,17 @@ impl Code {
 // ---- Decoding --------------------------------------------------------------
 
 fn read_u8(bytes: &[u8], pos: usize) -> Result<u8> {
-    bytes.get(pos).copied().ok_or(BytecodeError::TruncatedInstruction { offset: pos })
+    bytes
+        .get(pos)
+        .copied()
+        .ok_or(BytecodeError::TruncatedInstruction { offset: pos })
 }
 
 fn read_u16(bytes: &[u8], pos: usize) -> Result<u16> {
-    Ok(u16::from_be_bytes([read_u8(bytes, pos)?, read_u8(bytes, pos + 1)?]))
+    Ok(u16::from_be_bytes([
+        read_u8(bytes, pos)?,
+        read_u8(bytes, pos + 1)?,
+    ]))
 }
 
 fn read_i16(bytes: &[u8], pos: usize) -> Result<i16> {
@@ -280,7 +299,10 @@ fn read_i32(bytes: &[u8], pos: usize) -> Result<i32> {
 fn branch_target(base: usize, rel: i64) -> Result<usize> {
     let abs = base as i64 + rel;
     if abs < 0 {
-        return Err(BytecodeError::BadBranchTarget { from: base, target: abs });
+        return Err(BytecodeError::BadBranchTarget {
+            from: base,
+            target: abs,
+        });
     }
     Ok(abs as usize)
 }
@@ -296,7 +318,14 @@ const ARRAY_KINDS: [AKind; 8] = [
     AKind::Char,
     AKind::Short,
 ];
-const ICONDS: [ICond; 6] = [ICond::Eq, ICond::Ne, ICond::Lt, ICond::Ge, ICond::Gt, ICond::Le];
+const ICONDS: [ICond; 6] = [
+    ICond::Eq,
+    ICond::Ne,
+    ICond::Lt,
+    ICond::Ge,
+    ICond::Gt,
+    ICond::Le,
+];
 const NUM_KINDS: [crate::insn::NumKind; 4] = [
     crate::insn::NumKind::Int,
     crate::insn::NumKind::Long,
@@ -312,9 +341,7 @@ fn decode_one(bytes: &[u8], pos: usize) -> Result<(Insn, usize)> {
     let insn = match opcode {
         op::NOP => (Insn::Nop, 1),
         op::ACONST_NULL => (Insn::AConstNull, 1),
-        op::ICONST_M1..=op::ICONST_5 => {
-            (Insn::IConst(opcode as i32 - op::ICONST_0 as i32), 1)
-        }
+        op::ICONST_M1..=op::ICONST_5 => (Insn::IConst(opcode as i32 - op::ICONST_0 as i32), 1),
         op::LCONST_0 | op::LCONST_1 => (Insn::LConst((opcode - op::LCONST_0) as i64), 1),
         op::FCONST_0..=op::FCONST_2 => (Insn::FConst((opcode - op::FCONST_0) as f32), 1),
         op::DCONST_0 | op::DCONST_1 => (Insn::DConst((opcode - op::DCONST_0) as f64), 1),
@@ -332,9 +359,10 @@ fn decode_one(bytes: &[u8], pos: usize) -> Result<(Insn, usize)> {
             let kind = LOAD_KINDS[(rel / 4) as usize];
             (Insn::Load(kind, (rel % 4) as u16), 1)
         }
-        op::IALOAD..=op::SALOAD => {
-            (Insn::ArrayLoad(ARRAY_KINDS[(opcode - op::IALOAD) as usize]), 1)
-        }
+        op::IALOAD..=op::SALOAD => (
+            Insn::ArrayLoad(ARRAY_KINDS[(opcode - op::IALOAD) as usize]),
+            1,
+        ),
         op::ISTORE..=op::ASTORE => {
             let kind = LOAD_KINDS[(opcode - op::ISTORE) as usize];
             (Insn::Store(kind, read_u8(bytes, pos + 1)? as u16), 2)
@@ -344,9 +372,10 @@ fn decode_one(bytes: &[u8], pos: usize) -> Result<(Insn, usize)> {
             let kind = LOAD_KINDS[(rel / 4) as usize];
             (Insn::Store(kind, (rel % 4) as u16), 1)
         }
-        op::IASTORE..=op::SASTORE => {
-            (Insn::ArrayStore(ARRAY_KINDS[(opcode - op::IASTORE) as usize]), 1)
-        }
+        op::IASTORE..=op::SASTORE => (
+            Insn::ArrayStore(ARRAY_KINDS[(opcode - op::IASTORE) as usize]),
+            1,
+        ),
         op::POP => (Insn::Pop, 1),
         op::POP2 => (Insn::Pop2, 1),
         op::DUP => (Insn::Dup, 1),
@@ -358,24 +387,46 @@ fn decode_one(bytes: &[u8], pos: usize) -> Result<(Insn, usize)> {
         op::SWAP => (Insn::Swap, 1),
         op::IADD..=0x77 => {
             let rel = opcode - op::IADD;
-            let ops = [ArithOp::Add, ArithOp::Sub, ArithOp::Mul, ArithOp::Div, ArithOp::Rem, ArithOp::Neg];
-            (Insn::Arith(NUM_KINDS[(rel % 4) as usize], ops[(rel / 4) as usize]), 1)
+            let ops = [
+                ArithOp::Add,
+                ArithOp::Sub,
+                ArithOp::Mul,
+                ArithOp::Div,
+                ArithOp::Rem,
+                ArithOp::Neg,
+            ];
+            (
+                Insn::Arith(NUM_KINDS[(rel % 4) as usize], ops[(rel / 4) as usize]),
+                1,
+            )
         }
         op::ISHL..=0x7D => {
             let rel = opcode - op::ISHL;
             let ops = [ShiftOp::Shl, ShiftOp::Shr, ShiftOp::Ushr];
-            let kind = if rel.is_multiple_of(2) { NumKind::Int } else { NumKind::Long };
+            let kind = if rel.is_multiple_of(2) {
+                NumKind::Int
+            } else {
+                NumKind::Long
+            };
             (Insn::Shift(kind, ops[(rel / 2) as usize]), 1)
         }
         op::IAND..=0x83 => {
             let rel = opcode - op::IAND;
             let ops = [LogicOp::And, LogicOp::Or, LogicOp::Xor];
-            let kind = if rel.is_multiple_of(2) { NumKind::Int } else { NumKind::Long };
+            let kind = if rel.is_multiple_of(2) {
+                NumKind::Int
+            } else {
+                NumKind::Long
+            };
             (Insn::Logic(kind, ops[(rel / 2) as usize]), 1)
         }
-        op::IINC => {
-            (Insn::IInc(read_u8(bytes, pos + 1)? as u16, read_u8(bytes, pos + 2)? as i8 as i16), 3)
-        }
+        op::IINC => (
+            Insn::IInc(
+                read_u8(bytes, pos + 1)? as u16,
+                read_u8(bytes, pos + 2)? as i8 as i16,
+            ),
+            3,
+        ),
         op::I2L..=op::D2F => {
             let rel = opcode - op::I2L;
             let (from, all) = (
@@ -387,7 +438,10 @@ fn decode_one(bytes: &[u8], pos: usize) -> Result<(Insn, usize)> {
                     [NumType::Int, NumType::Long, NumType::Float],
                 ],
             );
-            (Insn::Convert(from, all[(rel / 3) as usize][(rel % 3) as usize]), 1)
+            (
+                Insn::Convert(from, all[(rel / 3) as usize][(rel % 3) as usize]),
+                1,
+            )
         }
         op::I2B => (Insn::Convert(NumType::Int, NumType::Byte), 1),
         op::I2C => (Insn::Convert(NumType::Int, NumType::Char), 1),
@@ -411,10 +465,14 @@ fn decode_one(bytes: &[u8], pos: usize) -> Result<(Insn, usize)> {
             let t = branch_target(pos, read_i16(bytes, pos + 1)? as i64)?;
             (Insn::IfACmp(opcode == op::IF_ACMPEQ, t), 3)
         }
-        op::GOTO => {
-            (Insn::Goto(branch_target(pos, read_i16(bytes, pos + 1)? as i64)?), 3)
-        }
-        op::JSR => (Insn::Jsr(branch_target(pos, read_i16(bytes, pos + 1)? as i64)?), 3),
+        op::GOTO => (
+            Insn::Goto(branch_target(pos, read_i16(bytes, pos + 1)? as i64)?),
+            3,
+        ),
+        op::JSR => (
+            Insn::Jsr(branch_target(pos, read_i16(bytes, pos + 1)? as i64)?),
+            3,
+        ),
         op::RET => (Insn::Ret(read_u8(bytes, pos + 1)? as u16), 2),
         op::TABLESWITCH => {
             let pad = (4 - (pos + 1) % 4) % 4;
@@ -427,7 +485,10 @@ fn decode_one(bytes: &[u8], pos: usize) -> Result<(Insn, usize)> {
             // and bound the arm count by what the code array could hold.
             let count_i64 = high as i64 - low as i64 + 1;
             if count_i64 < 1 || count_i64 > (bytes.len() as i64 / 4) + 1 {
-                return Err(BytecodeError::BadBranchTarget { from: pos, target: high as i64 });
+                return Err(BytecodeError::BadBranchTarget {
+                    from: pos,
+                    target: high as i64,
+                });
             }
             let count = count_i64 as usize;
             let mut targets = Vec::with_capacity(count);
@@ -435,7 +496,11 @@ fn decode_one(bytes: &[u8], pos: usize) -> Result<(Insn, usize)> {
                 targets.push(branch_target(pos, read_i32(bytes, p + 4 * k)? as i64)?);
             }
             (
-                Insn::TableSwitch { default, low, targets },
+                Insn::TableSwitch {
+                    default,
+                    low,
+                    targets,
+                },
                 1 + pad + 12 + 4 * count,
             )
         }
@@ -448,7 +513,10 @@ fn decode_one(bytes: &[u8], pos: usize) -> Result<(Insn, usize)> {
             // Bound by what the code array could hold (8 bytes per pair) so
             // hostile counts cannot trigger huge allocations.
             if npairs < 0 || npairs as i64 > (bytes.len() as i64 / 8) + 1 {
-                return Err(BytecodeError::BadBranchTarget { from: pos, target: npairs as i64 });
+                return Err(BytecodeError::BadBranchTarget {
+                    from: pos,
+                    target: npairs as i64,
+                });
             }
             let mut pairs = Vec::with_capacity(npairs as usize);
             for k in 0..npairs as usize {
@@ -461,9 +529,10 @@ fn decode_one(bytes: &[u8], pos: usize) -> Result<(Insn, usize)> {
                 1 + pad + 8 + 8 * npairs as usize,
             )
         }
-        op::IRETURN..=op::ARETURN => {
-            (Insn::Return(Some(LOAD_KINDS[(opcode - op::IRETURN) as usize])), 1)
-        }
+        op::IRETURN..=op::ARETURN => (
+            Insn::Return(Some(LOAD_KINDS[(opcode - op::IRETURN) as usize])),
+            1,
+        ),
         op::RETURN => (Insn::Return(None), 1),
         op::GETSTATIC => (Insn::GetStatic(read_u16(bytes, pos + 1)?), 3),
         op::PUTSTATIC => (Insn::PutStatic(read_u16(bytes, pos + 1)?), 3),
@@ -482,8 +551,10 @@ fn decode_one(bytes: &[u8], pos: usize) -> Result<(Insn, usize)> {
         op::NEW => (Insn::New(read_u16(bytes, pos + 1)?), 3),
         op::NEWARRAY => {
             let code = read_u8(bytes, pos + 1)?;
-            let kind = AKind::from_newarray_code(code)
-                .ok_or(BytecodeError::UnknownOpcode { opcode: code, offset: pos + 1 })?;
+            let kind = AKind::from_newarray_code(code).ok_or(BytecodeError::UnknownOpcode {
+                opcode: code,
+                offset: pos + 1,
+            })?;
             (Insn::NewArray(kind), 2)
         }
         op::ANEWARRAY => (Insn::ANewArray(read_u16(bytes, pos + 1)?), 3),
@@ -505,26 +576,44 @@ fn decode_one(bytes: &[u8], pos: usize) -> Result<(Insn, usize)> {
                     (Insn::Store(kind, read_u16(bytes, pos + 2)?), 4)
                 }
                 op::RET => (Insn::Ret(read_u16(bytes, pos + 2)?), 4),
-                op::IINC => {
-                    (Insn::IInc(read_u16(bytes, pos + 2)?, read_i16(bytes, pos + 4)?), 6)
+                op::IINC => (
+                    Insn::IInc(read_u16(bytes, pos + 2)?, read_i16(bytes, pos + 4)?),
+                    6,
+                ),
+                _ => {
+                    return Err(BytecodeError::UnknownOpcode {
+                        opcode: sub,
+                        offset: pos + 1,
+                    })
                 }
-                _ => return Err(BytecodeError::UnknownOpcode { opcode: sub, offset: pos + 1 }),
             }
         }
-        op::MULTIANEWARRAY => {
-            (Insn::MultiANewArray(read_u16(bytes, pos + 1)?, read_u8(bytes, pos + 3)?), 4)
+        op::MULTIANEWARRAY => (
+            Insn::MultiANewArray(read_u16(bytes, pos + 1)?, read_u8(bytes, pos + 3)?),
+            4,
+        ),
+        op::IFNULL => (
+            Insn::IfNull(branch_target(pos, read_i16(bytes, pos + 1)? as i64)?),
+            3,
+        ),
+        op::IFNONNULL => (
+            Insn::IfNonNull(branch_target(pos, read_i16(bytes, pos + 1)? as i64)?),
+            3,
+        ),
+        op::GOTO_W => (
+            Insn::Goto(branch_target(pos, read_i32(bytes, pos + 1)? as i64)?),
+            5,
+        ),
+        op::JSR_W => (
+            Insn::Jsr(branch_target(pos, read_i32(bytes, pos + 1)? as i64)?),
+            5,
+        ),
+        other => {
+            return Err(BytecodeError::UnknownOpcode {
+                opcode: other,
+                offset: pos,
+            })
         }
-        op::IFNULL => {
-            (Insn::IfNull(branch_target(pos, read_i16(bytes, pos + 1)? as i64)?), 3)
-        }
-        op::IFNONNULL => {
-            (Insn::IfNonNull(branch_target(pos, read_i16(bytes, pos + 1)? as i64)?), 3)
-        }
-        op::GOTO_W => {
-            (Insn::Goto(branch_target(pos, read_i32(bytes, pos + 1)? as i64)?), 5)
-        }
-        op::JSR_W => (Insn::Jsr(branch_target(pos, read_i32(bytes, pos + 1)? as i64)?), 5),
-        other => return Err(BytecodeError::UnknownOpcode { opcode: other, offset: pos }),
     };
     Ok(insn)
 }
@@ -841,7 +930,11 @@ fn encode_one(
                 push_u16(out, *slot);
             }
         }
-        Insn::TableSwitch { default, low, targets } => {
+        Insn::TableSwitch {
+            default,
+            low,
+            targets,
+        } => {
             out.push(op::TABLESWITCH);
             let pad = (4 - (at as usize + 1) % 4) % 4;
             out.extend(std::iter::repeat_n(0, pad));
@@ -1034,7 +1127,11 @@ mod tests {
             });
             insns.push(Insn::Return(None));
             insns.push(Insn::Return(None));
-            let code = Code { insns, handlers: vec![], max_locals: 0 };
+            let code = Code {
+                insns,
+                handlers: vec![],
+                max_locals: 0,
+            };
             assert_eq!(round_trip(code.clone(), &pool), code, "nops={leading_nops}");
         }
     }
@@ -1068,7 +1165,12 @@ mod tests {
                 Insn::Pop, // handler: drop the exception
                 Insn::Return(None),
             ],
-            handlers: vec![Handler { start: 0, end: 2, handler: 3, catch_type: exc }],
+            handlers: vec![Handler {
+                start: 0,
+                end: 2,
+                handler: 3,
+                catch_type: exc,
+            }],
             max_locals: 0,
         };
         let rt = round_trip(code.clone(), &pool);
@@ -1081,9 +1183,9 @@ mod tests {
         // Two paths reach instruction 3 with different depths.
         let code = Code {
             insns: vec![
-                Insn::IConst(1),          // depth 1
-                Insn::If(ICond::Eq, 3),   // branch to 3 with depth 0
-                Insn::IConst(7),          // fall-through: depth 1 at 3
+                Insn::IConst(1),        // depth 1
+                Insn::If(ICond::Eq, 3), // branch to 3 with depth 0
+                Insn::IConst(7),        // fall-through: depth 1 at 3
                 Insn::Return(None),
             ],
             handlers: vec![],
@@ -1131,7 +1233,13 @@ mod tests {
         let pool = ConstPool::new();
         let mut insns = Vec::new();
         for kind in [NumKind::Int, NumKind::Long, NumKind::Float, NumKind::Double] {
-            for a in [ArithOp::Add, ArithOp::Sub, ArithOp::Mul, ArithOp::Div, ArithOp::Rem] {
+            for a in [
+                ArithOp::Add,
+                ArithOp::Sub,
+                ArithOp::Mul,
+                ArithOp::Div,
+                ArithOp::Rem,
+            ] {
                 insns.push(Insn::Load(
                     match kind {
                         NumKind::Int => Kind::Int,
@@ -1151,7 +1259,11 @@ mod tests {
                     2,
                 ));
                 insns.push(Insn::Arith(kind, a));
-                insns.push(if kind.width() == 2 { Insn::Pop2 } else { Insn::Pop });
+                insns.push(if kind.width() == 2 {
+                    Insn::Pop2
+                } else {
+                    Insn::Pop
+                });
             }
         }
         for kind in [NumKind::Int, NumKind::Long] {
@@ -1165,7 +1277,11 @@ mod tests {
         insns.push(Insn::Return(None));
         // Encode without stack computation (shift/logic here lack operands);
         // just check the opcode round trip via a body with no verification.
-        let code = Code { insns: insns.clone(), handlers: vec![], max_locals: 4 };
+        let code = Code {
+            insns: insns.clone(),
+            handlers: vec![],
+            max_locals: 4,
+        };
         let mut bytes = Vec::new();
         let mut offsets = vec![0u32; insns.len() + 1];
         let mut pos = 0u32;
@@ -1222,7 +1338,11 @@ mod tests {
                 insns: vec![
                     Insn::Load(load_kind, 0),
                     Insn::Convert(from, to),
-                    if to.width() == 2 { Insn::Pop2 } else { Insn::Pop },
+                    if to.width() == 2 {
+                        Insn::Pop2
+                    } else {
+                        Insn::Pop
+                    },
                     Insn::Return(None),
                 ],
                 handlers: vec![],

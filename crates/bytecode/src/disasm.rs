@@ -13,7 +13,9 @@ pub fn render_insn(insn: &Insn, pool: &ConstPool) -> String {
             .unwrap_or_else(|_| format!("#{idx}"))
     };
     let class = |idx: u16| -> String {
-        pool.get_class_name(idx).map(str::to_owned).unwrap_or_else(|_| format!("#{idx}"))
+        pool.get_class_name(idx)
+            .map(str::to_owned)
+            .unwrap_or_else(|_| format!("#{idx}"))
     };
     match insn {
         Insn::Ldc(idx) | Insn::Ldc2(idx) => {
@@ -67,7 +69,9 @@ mod tests {
     #[test]
     fn renders_member_references() {
         let mut pool = ConstPool::new();
-        let m = pool.methodref("java/io/PrintStream", "println", "(Ljava/lang/String;)V").unwrap();
+        let m = pool
+            .methodref("java/io/PrintStream", "println", "(Ljava/lang/String;)V")
+            .unwrap();
         let s = render_insn(&Insn::InvokeVirtual(m), &pool);
         assert!(s.contains("println"), "{s}");
     }

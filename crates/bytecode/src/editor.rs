@@ -110,10 +110,7 @@ impl CodeEditor {
     /// Inserts `make` blocks before every return instruction (all forms),
     /// used for method-exit instrumentation.
     pub fn insert_before_returns(&mut self, mut make: impl FnMut() -> Vec<Insn>) {
-        self.insert_before_matching(
-            |i| matches!(i, Insn::Return(_)),
-            |_, _| make(),
-        );
+        self.insert_before_matching(|i| matches!(i, Insn::Return(_)), |_, _| make());
     }
 
     /// Validates the edited body's targets.
@@ -131,16 +128,21 @@ mod tests {
     fn sample() -> Code {
         Code {
             insns: vec![
-                Insn::IConst(0),              // 0
-                Insn::Store(Kind::Int, 1),    // 1
-                Insn::Load(Kind::Int, 1),     // 2  <- loop top
-                Insn::IConst(5),              // 3
-                Insn::IfICmp(ICond::Ge, 7),   // 4
-                Insn::IInc(1, 1),             // 5
-                Insn::Goto(2),                // 6
-                Insn::Return(None),           // 7
+                Insn::IConst(0),            // 0
+                Insn::Store(Kind::Int, 1),  // 1
+                Insn::Load(Kind::Int, 1),   // 2  <- loop top
+                Insn::IConst(5),            // 3
+                Insn::IfICmp(ICond::Ge, 7), // 4
+                Insn::IInc(1, 1),           // 5
+                Insn::Goto(2),              // 6
+                Insn::Return(None),         // 7
             ],
-            handlers: vec![Handler { start: 2, end: 7, handler: 7, catch_type: 0 }],
+            handlers: vec![Handler {
+                start: 2,
+                end: 7,
+                handler: 7,
+                catch_type: 0,
+            }],
             max_locals: 2,
         }
     }
@@ -156,7 +158,15 @@ mod tests {
         // The conditional points at the shifted return.
         assert_eq!(code.insns[6], Insn::IfICmp(ICond::Ge, 9));
         // Handler range shifted wholesale.
-        assert_eq!(code.handlers[0], Handler { start: 4, end: 9, handler: 9, catch_type: 0 });
+        assert_eq!(
+            code.handlers[0],
+            Handler {
+                start: 4,
+                end: 9,
+                handler: 9,
+                catch_type: 0
+            }
+        );
     }
 
     #[test]

@@ -88,15 +88,26 @@ impl fmt::Display for BytecodeError {
                 write!(f, "branch target index {index} out of range (len {len})")
             }
             BytecodeError::BranchOverflow { index } => {
-                write!(f, "branch at instruction {index} does not fit a 16-bit offset")
+                write!(
+                    f,
+                    "branch at instruction {index} does not fit a 16-bit offset"
+                )
             }
-            BytecodeError::BadConstantKind { index, found, context } => {
+            BytecodeError::BadConstantKind {
+                index,
+                found,
+                context,
+            } => {
                 write!(f, "constant {index} is a {found}, invalid for {context}")
             }
             BytecodeError::UnencodableConstant(v) => {
                 write!(f, "constant {v} requires a constant-pool entry")
             }
-            BytecodeError::StackMismatch { index, expected, found } => write!(
+            BytecodeError::StackMismatch {
+                index,
+                expected,
+                found,
+            } => write!(
                 f,
                 "stack depth mismatch at instruction {index}: {expected} vs {found}"
             ),

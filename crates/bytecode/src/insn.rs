@@ -422,7 +422,9 @@ impl Insn {
             | Insn::IfNonNull(t)
             | Insn::Goto(t)
             | Insn::Jsr(t) => vec![*t],
-            Insn::TableSwitch { default, targets, .. } => {
+            Insn::TableSwitch {
+                default, targets, ..
+            } => {
                 let mut v = vec![*default];
                 v.extend_from_slice(targets);
                 v
@@ -446,7 +448,9 @@ impl Insn {
             | Insn::IfNonNull(t)
             | Insn::Goto(t)
             | Insn::Jsr(t) => *t = f(*t),
-            Insn::TableSwitch { default, targets, .. } => {
+            Insn::TableSwitch {
+                default, targets, ..
+            } => {
                 *default = f(*default);
                 for t in targets {
                     *t = f(*t);
@@ -471,7 +475,9 @@ impl Insn {
             AConstNull | IConst(_) | FConst(_) => (0, 1),
             LConst(_) | DConst(_) => (0, 2),
             Ldc(idx) => match pool.get(*idx)? {
-                Constant::Integer(_) | Constant::Float(_) | Constant::String { .. }
+                Constant::Integer(_)
+                | Constant::Float(_)
+                | Constant::String { .. }
                 | Constant::Class { .. } => (0, 1),
                 c => {
                     return Err(BytecodeError::BadConstantKind {
@@ -564,7 +570,11 @@ mod tests {
 
     #[test]
     fn branch_target_collection_and_mapping() {
-        let mut i = Insn::TableSwitch { default: 9, low: 0, targets: vec![1, 2] };
+        let mut i = Insn::TableSwitch {
+            default: 9,
+            low: 0,
+            targets: vec![1, 2],
+        };
         assert_eq!(i.branch_targets(), vec![9, 1, 2]);
         i.map_targets(|t| t + 10);
         assert_eq!(i.branch_targets(), vec![19, 11, 12]);
@@ -598,7 +608,14 @@ mod tests {
 
     #[test]
     fn cond_negation_is_involutive() {
-        for c in [ICond::Eq, ICond::Ne, ICond::Lt, ICond::Ge, ICond::Gt, ICond::Le] {
+        for c in [
+            ICond::Eq,
+            ICond::Ne,
+            ICond::Lt,
+            ICond::Ge,
+            ICond::Gt,
+            ICond::Le,
+        ] {
             assert_eq!(c.negate().negate(), c);
         }
     }

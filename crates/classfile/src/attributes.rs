@@ -159,7 +159,10 @@ impl Attribute {
                 }
                 Attribute::DvmSelfDescribing(members)
             }
-            _ => Attribute::Unknown { name: name.clone(), data: data.to_vec() },
+            _ => Attribute::Unknown {
+                name: name.clone(),
+                data: data.to_vec(),
+            },
         };
         // Unknown attributes keep their payload verbatim and never advance
         // `inner`, so the exact-length check applies only to parsed kinds.
@@ -236,11 +239,7 @@ pub fn parse_attributes(r: &mut Reader<'_>, pool: &ConstPool) -> Result<Vec<Attr
 }
 
 /// Writes an attribute list preceded by its `u16` count.
-pub fn write_attributes(
-    attrs: &[Attribute],
-    w: &mut Writer,
-    pool: &mut ConstPool,
-) -> Result<()> {
+pub fn write_attributes(attrs: &[Attribute], w: &mut Writer, pool: &mut ConstPool) -> Result<()> {
     w.u16(attrs.len() as u16);
     for a in attrs {
         a.write(w, pool)?;
@@ -308,7 +307,10 @@ mod tests {
 
     #[test]
     fn unknown_attribute_preserved_verbatim() {
-        let attr = Attribute::Unknown { name: "Custom".into(), data: vec![1, 2, 3, 4] };
+        let attr = Attribute::Unknown {
+            name: "Custom".into(),
+            data: vec![1, 2, 3, 4],
+        };
         assert_eq!(round_trip(attr.clone()), attr);
     }
 

@@ -137,7 +137,8 @@ impl ClassBuilder {
     /// constants), which generated workloads never approach; use
     /// [`ClassBuilder::try_build`] when synthesizing untrusted sizes.
     pub fn build(self) -> ClassFile {
-        self.try_build().expect("class exceeds class-file format limits")
+        self.try_build()
+            .expect("class exceeds class-file format limits")
     }
 
     /// Builds the [`ClassFile`], reporting format-limit overflows as errors.
@@ -206,7 +207,12 @@ mod tests {
                 AccessFlags::PUBLIC | AccessFlags::STATIC,
                 "origin",
                 "()Ldemo/Point;",
-                CodeAttribute { max_stack: 1, max_locals: 0, code: vec![0x01, 0xB0], ..Default::default() },
+                CodeAttribute {
+                    max_stack: 1,
+                    max_locals: 0,
+                    code: vec![0x01, 0xB0],
+                    ..Default::default()
+                },
             )
             .bodyless_method(AccessFlags::PUBLIC | AccessFlags::NATIVE, "hash", "()I")
             .build();
@@ -223,7 +229,10 @@ mod tests {
             .interface("demo/IFace")
             .interface("demo/Other")
             .build();
-        assert_eq!(cf.interface_names().unwrap(), vec!["demo/IFace", "demo/Other"]);
+        assert_eq!(
+            cf.interface_names().unwrap(),
+            vec!["demo/IFace", "demo/Other"]
+        );
     }
 
     #[test]
@@ -234,7 +243,12 @@ mod tests {
                 AccessFlags::PUBLIC | AccessFlags::STATIC,
                 "zero",
                 "()I",
-                CodeAttribute { max_stack: 1, max_locals: 0, code: vec![0x03, 0xAC], ..Default::default() },
+                CodeAttribute {
+                    max_stack: 1,
+                    max_locals: 0,
+                    code: vec![0x03, 0xAC],
+                    ..Default::default()
+                },
             )
             .build();
         let bytes = cf.to_bytes().unwrap();

@@ -154,14 +154,19 @@ impl ClassFile {
 
     /// Returns the internal names of implemented interfaces.
     pub fn interface_names(&self) -> Result<Vec<&str>> {
-        self.interfaces.iter().map(|&i| self.pool.get_class_name(i)).collect()
+        self.interfaces
+            .iter()
+            .map(|&i| self.pool.get_class_name(i))
+            .collect()
     }
 
     /// Finds a declared method by name and descriptor.
     pub fn find_method(&self, name: &str, descriptor: &str) -> Option<&MemberInfo> {
         self.methods.iter().find(|m| {
             m.name(&self.pool).map(|n| n == name).unwrap_or(false)
-                && m.descriptor(&self.pool).map(|d| d == descriptor).unwrap_or(false)
+                && m.descriptor(&self.pool)
+                    .map(|d| d == descriptor)
+                    .unwrap_or(false)
         })
     }
 
@@ -217,7 +222,10 @@ mod tests {
     #[test]
     fn bad_magic_is_rejected() {
         let bytes = vec![0u8; 16];
-        assert!(matches!(ClassFile::parse(&bytes), Err(ClassFileError::BadMagic(0))));
+        assert!(matches!(
+            ClassFile::parse(&bytes),
+            Err(ClassFileError::BadMagic(0))
+        ));
     }
 
     #[test]
@@ -225,7 +233,10 @@ mod tests {
         let mut cf = ClassBuilder::new("demo/T").build();
         let mut bytes = cf.to_bytes().unwrap();
         bytes.push(0xFF);
-        assert!(matches!(ClassFile::parse(&bytes), Err(ClassFileError::Malformed(_))));
+        assert!(matches!(
+            ClassFile::parse(&bytes),
+            Err(ClassFileError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -58,7 +58,10 @@ impl fmt::Display for ClassFileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClassFileError::UnexpectedEof { offset, context } => {
-                write!(f, "unexpected end of input at byte {offset} while reading {context}")
+                write!(
+                    f,
+                    "unexpected end of input at byte {offset} while reading {context}"
+                )
             }
             ClassFileError::BadMagic(m) => write!(f, "bad magic number {m:#010x}"),
             ClassFileError::UnsupportedVersion { major, minor } => {
@@ -72,7 +75,11 @@ impl fmt::Display for ClassFileError {
                 write!(f, "constant-pool entry {index} is not valid UTF-8")
             }
             ClassFileError::BadDescriptor(d) => write!(f, "malformed descriptor {d:?}"),
-            ClassFileError::BadAttributeLength { name, declared, actual } => write!(
+            ClassFileError::BadAttributeLength {
+                name,
+                declared,
+                actual,
+            } => write!(
                 f,
                 "attribute {name:?} declared {declared} bytes but contained {actual}"
             ),

@@ -51,4 +51,4 @@ pub use class::ClassFile;
 pub use descriptor::{FieldType, MethodDescriptor};
 pub use error::{ClassFileError, Result};
 pub use member::MemberInfo;
-pub use pool::{Constant, ConstPool};
+pub use pool::{ConstPool, Constant};

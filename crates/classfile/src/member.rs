@@ -27,7 +27,12 @@ impl MemberInfo {
         let name_index = r.u16("member name index")?;
         let descriptor_index = r.u16("member descriptor index")?;
         let attributes = parse_attributes(r, pool)?;
-        Ok(MemberInfo { access, name_index, descriptor_index, attributes })
+        Ok(MemberInfo {
+            access,
+            name_index,
+            descriptor_index,
+            attributes,
+        })
     }
 
     /// Serializes this member to `w`.
@@ -119,7 +124,10 @@ mod tests {
             descriptor_index: desc,
             attributes: vec![Attribute::Code(CodeAttribute::default())],
         };
-        member.set_code(CodeAttribute { max_stack: 5, ..CodeAttribute::default() });
+        member.set_code(CodeAttribute {
+            max_stack: 5,
+            ..CodeAttribute::default()
+        });
         assert_eq!(member.attributes.len(), 1);
         assert_eq!(member.code().unwrap().max_stack, 5);
     }

@@ -145,11 +145,18 @@ impl Key {
             Constant::Double(v) => Key::Double(v.to_bits()),
             Constant::Class { name } => Key::Class(*name),
             Constant::String { string } => Key::String(*string),
-            Constant::Fieldref { class, name_and_type } => Key::Fieldref(*class, *name_and_type),
-            Constant::Methodref { class, name_and_type } => Key::Methodref(*class, *name_and_type),
-            Constant::InterfaceMethodref { class, name_and_type } => {
-                Key::InterfaceMethodref(*class, *name_and_type)
-            }
+            Constant::Fieldref {
+                class,
+                name_and_type,
+            } => Key::Fieldref(*class, *name_and_type),
+            Constant::Methodref {
+                class,
+                name_and_type,
+            } => Key::Methodref(*class, *name_and_type),
+            Constant::InterfaceMethodref {
+                class,
+                name_and_type,
+            } => Key::InterfaceMethodref(*class, *name_and_type),
             Constant::NameAndType { name, descriptor } => Key::NameAndType(*name, *descriptor),
             Constant::Unusable => return None,
         })
@@ -191,7 +198,10 @@ impl ConstPool {
     /// Returns the entry at 1-based `index`.
     pub fn get(&self, index: u16) -> Result<&Constant> {
         if index == 0 || index as usize > self.entries.len() {
-            return Err(ClassFileError::BadConstantIndex { index, expected: "entry" });
+            return Err(ClassFileError::BadConstantIndex {
+                index,
+                expected: "entry",
+            });
         }
         Ok(&self.entries[index as usize - 1])
     }
@@ -225,7 +235,9 @@ impl ConstPool {
             self.dedup.insert(key, idx);
             Ok(idx)
         } else {
-            Err(ClassFileError::Malformed("cannot push an Unusable slot".into()))
+            Err(ClassFileError::Malformed(
+                "cannot push an Unusable slot".into(),
+            ))
         }
     }
 
@@ -270,21 +282,30 @@ impl ConstPool {
     pub fn name_and_type(&mut self, name: &str, descriptor: &str) -> Result<u16> {
         let n = self.utf8(name)?;
         let d = self.utf8(descriptor)?;
-        self.push(Constant::NameAndType { name: n, descriptor: d })
+        self.push(Constant::NameAndType {
+            name: n,
+            descriptor: d,
+        })
     }
 
     /// Interns a `Fieldref` entry.
     pub fn fieldref(&mut self, class: &str, name: &str, descriptor: &str) -> Result<u16> {
         let c = self.class(class)?;
         let nt = self.name_and_type(name, descriptor)?;
-        self.push(Constant::Fieldref { class: c, name_and_type: nt })
+        self.push(Constant::Fieldref {
+            class: c,
+            name_and_type: nt,
+        })
     }
 
     /// Interns a `Methodref` entry.
     pub fn methodref(&mut self, class: &str, name: &str, descriptor: &str) -> Result<u16> {
         let c = self.class(class)?;
         let nt = self.name_and_type(name, descriptor)?;
-        self.push(Constant::Methodref { class: c, name_and_type: nt })
+        self.push(Constant::Methodref {
+            class: c,
+            name_and_type: nt,
+        })
     }
 
     /// Interns an `InterfaceMethodref` entry.
@@ -296,7 +317,10 @@ impl ConstPool {
     ) -> Result<u16> {
         let c = self.class(class)?;
         let nt = self.name_and_type(name, descriptor)?;
-        self.push(Constant::InterfaceMethodref { class: c, name_and_type: nt })
+        self.push(Constant::InterfaceMethodref {
+            class: c,
+            name_and_type: nt,
+        })
     }
 
     // ---- Typed accessors --------------------------------------------------
@@ -305,7 +329,10 @@ impl ConstPool {
     pub fn get_utf8(&self, index: u16) -> Result<&str> {
         match self.get(index)? {
             Constant::Utf8(s) => Ok(s),
-            _ => Err(ClassFileError::BadConstantIndex { index, expected: "Utf8" }),
+            _ => Err(ClassFileError::BadConstantIndex {
+                index,
+                expected: "Utf8",
+            }),
         }
     }
 
@@ -313,7 +340,10 @@ impl ConstPool {
     pub fn get_class_name(&self, index: u16) -> Result<&str> {
         match self.get(index)? {
             Constant::Class { name } => self.get_utf8(*name),
-            _ => Err(ClassFileError::BadConstantIndex { index, expected: "Class" }),
+            _ => Err(ClassFileError::BadConstantIndex {
+                index,
+                expected: "Class",
+            }),
         }
     }
 
@@ -321,7 +351,10 @@ impl ConstPool {
     pub fn get_string(&self, index: u16) -> Result<&str> {
         match self.get(index)? {
             Constant::String { string } => self.get_utf8(*string),
-            _ => Err(ClassFileError::BadConstantIndex { index, expected: "String" }),
+            _ => Err(ClassFileError::BadConstantIndex {
+                index,
+                expected: "String",
+            }),
         }
     }
 
@@ -331,7 +364,10 @@ impl ConstPool {
             Constant::NameAndType { name, descriptor } => {
                 Ok((self.get_utf8(*name)?, self.get_utf8(*descriptor)?))
             }
-            _ => Err(ClassFileError::BadConstantIndex { index, expected: "NameAndType" }),
+            _ => Err(ClassFileError::BadConstantIndex {
+                index,
+                expected: "NameAndType",
+            }),
         }
     }
 
@@ -339,11 +375,23 @@ impl ConstPool {
     /// `index` to `(class_name, member_name, descriptor)`.
     pub fn get_member_ref(&self, index: u16) -> Result<(&str, &str, &str)> {
         let (class, nt) = match self.get(index)? {
-            Constant::Fieldref { class, name_and_type }
-            | Constant::Methodref { class, name_and_type }
-            | Constant::InterfaceMethodref { class, name_and_type } => (*class, *name_and_type),
+            Constant::Fieldref {
+                class,
+                name_and_type,
+            }
+            | Constant::Methodref {
+                class,
+                name_and_type,
+            }
+            | Constant::InterfaceMethodref {
+                class,
+                name_and_type,
+            } => (*class, *name_and_type),
             _ => {
-                return Err(ClassFileError::BadConstantIndex { index, expected: "member ref" });
+                return Err(ClassFileError::BadConstantIndex {
+                    index,
+                    expected: "member ref",
+                });
             }
         };
         let cname = self.get_class_name(class)?;
@@ -372,8 +420,12 @@ impl ConstPool {
                 tag::FLOAT => Constant::Float(f32::from_bits(r.u32("float")?)),
                 tag::LONG => Constant::Long(r.u64("long")? as i64),
                 tag::DOUBLE => Constant::Double(f64::from_bits(r.u64("double")?)),
-                tag::CLASS => Constant::Class { name: r.u16("class name index")? },
-                tag::STRING => Constant::String { string: r.u16("string index")? },
+                tag::CLASS => Constant::Class {
+                    name: r.u16("class name index")?,
+                },
+                tag::STRING => Constant::String {
+                    string: r.u16("string index")?,
+                },
                 tag::FIELDREF => Constant::Fieldref {
                     class: r.u16("fieldref class")?,
                     name_and_type: r.u16("fieldref nat")?,
@@ -395,7 +447,9 @@ impl ConstPool {
             let wide = c.is_wide();
             // Parsing must preserve indices exactly, so bypass dedup.
             if let Some(key) = Key::of(&c) {
-                pool.dedup.entry(key).or_insert(pool.entries.len() as u16 + 1);
+                pool.dedup
+                    .entry(key)
+                    .or_insert(pool.entries.len() as u16 + 1);
             }
             pool.entries.push(c);
             if wide {
@@ -441,17 +495,26 @@ impl ConstPool {
                     w.u8(tag::STRING);
                     w.u16(*string);
                 }
-                Constant::Fieldref { class, name_and_type } => {
+                Constant::Fieldref {
+                    class,
+                    name_and_type,
+                } => {
                     w.u8(tag::FIELDREF);
                     w.u16(*class);
                     w.u16(*name_and_type);
                 }
-                Constant::Methodref { class, name_and_type } => {
+                Constant::Methodref {
+                    class,
+                    name_and_type,
+                } => {
                     w.u8(tag::METHODREF);
                     w.u16(*class);
                     w.u16(*name_and_type);
                 }
-                Constant::InterfaceMethodref { class, name_and_type } => {
+                Constant::InterfaceMethodref {
+                    class,
+                    name_and_type,
+                } => {
                     w.u8(tag::INTERFACE_METHODREF);
                     w.u16(*class);
                     w.u16(*name_and_type);
@@ -472,24 +535,36 @@ impl ConstPool {
         for (idx, entry) in self.iter() {
             match entry {
                 Constant::Class { name } => {
-                    self.get_utf8(*name).map_err(|_| ClassFileError::BadConstantIndex {
-                        index: idx,
-                        expected: "Class.name -> Utf8",
-                    })?;
+                    self.get_utf8(*name)
+                        .map_err(|_| ClassFileError::BadConstantIndex {
+                            index: idx,
+                            expected: "Class.name -> Utf8",
+                        })?;
                 }
                 Constant::String { string } => {
-                    self.get_utf8(*string).map_err(|_| ClassFileError::BadConstantIndex {
-                        index: idx,
-                        expected: "String.string -> Utf8",
-                    })?;
+                    self.get_utf8(*string)
+                        .map_err(|_| ClassFileError::BadConstantIndex {
+                            index: idx,
+                            expected: "String.string -> Utf8",
+                        })?;
                 }
-                Constant::Fieldref { class, name_and_type }
-                | Constant::Methodref { class, name_and_type }
-                | Constant::InterfaceMethodref { class, name_and_type } => {
-                    self.get_class_name(*class).map_err(|_| ClassFileError::BadConstantIndex {
-                        index: idx,
-                        expected: "ref.class -> Class",
-                    })?;
+                Constant::Fieldref {
+                    class,
+                    name_and_type,
+                }
+                | Constant::Methodref {
+                    class,
+                    name_and_type,
+                }
+                | Constant::InterfaceMethodref {
+                    class,
+                    name_and_type,
+                } => {
+                    self.get_class_name(*class)
+                        .map_err(|_| ClassFileError::BadConstantIndex {
+                            index: idx,
+                            expected: "ref.class -> Class",
+                        })?;
                     self.get_name_and_type(*name_and_type).map_err(|_| {
                         ClassFileError::BadConstantIndex {
                             index: idx,
@@ -498,14 +573,16 @@ impl ConstPool {
                     })?;
                 }
                 Constant::NameAndType { name, descriptor } => {
-                    self.get_utf8(*name).map_err(|_| ClassFileError::BadConstantIndex {
-                        index: idx,
-                        expected: "NameAndType.name -> Utf8",
-                    })?;
-                    self.get_utf8(*descriptor).map_err(|_| ClassFileError::BadConstantIndex {
-                        index: idx,
-                        expected: "NameAndType.descriptor -> Utf8",
-                    })?;
+                    self.get_utf8(*name)
+                        .map_err(|_| ClassFileError::BadConstantIndex {
+                            index: idx,
+                            expected: "NameAndType.name -> Utf8",
+                        })?;
+                    self.get_utf8(*descriptor)
+                        .map_err(|_| ClassFileError::BadConstantIndex {
+                            index: idx,
+                            expected: "NameAndType.descriptor -> Utf8",
+                        })?;
                 }
                 _ => {}
             }
@@ -542,7 +619,9 @@ mod tests {
     #[test]
     fn member_ref_resolution() {
         let mut p = ConstPool::new();
-        let m = p.methodref("java/io/PrintStream", "println", "(Ljava/lang/String;)V").unwrap();
+        let m = p
+            .methodref("java/io/PrintStream", "println", "(Ljava/lang/String;)V")
+            .unwrap();
         let (c, n, d) = p.get_member_ref(m).unwrap();
         assert_eq!(c, "java/io/PrintStream");
         assert_eq!(n, "println");

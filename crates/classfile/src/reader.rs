@@ -34,7 +34,10 @@ impl<'a> Reader<'a> {
 
     fn need(&self, n: usize, context: &'static str) -> Result<()> {
         if self.remaining() < n {
-            Err(ClassFileError::UnexpectedEof { offset: self.pos, context })
+            Err(ClassFileError::UnexpectedEof {
+                offset: self.pos,
+                context,
+            })
         } else {
             Ok(())
         }
@@ -106,7 +109,10 @@ mod tests {
         let err = r.u16("second").unwrap_err();
         assert_eq!(
             err,
-            ClassFileError::UnexpectedEof { offset: 1, context: "second" }
+            ClassFileError::UnexpectedEof {
+                offset: 1,
+                context: "second"
+            }
         );
     }
 

@@ -306,7 +306,12 @@ mod tests {
         assert_eq!(i.writes(), Some(Reg::Stack(0)));
         assert!(!i.has_side_effects());
 
-        let mut b = IrInsn::Branch { cond: Cond::Lt, lhs: Reg::Stack(0), rhs: None, target: 9 };
+        let mut b = IrInsn::Branch {
+            cond: Cond::Lt,
+            lhs: Reg::Stack(0),
+            rhs: None,
+            target: 9,
+        };
         assert_eq!(b.targets(), vec![9]);
         b.map_targets(|t| t + 1);
         assert_eq!(b.targets(), vec![10]);

@@ -49,17 +49,15 @@ pub fn fold_constants(body: &mut IrBody) -> OptStats {
             known.clear();
         }
         let replacement = match &body.insns[i] {
-            IrInsn::Bin { op, dst, lhs, rhs } => {
-                match (known.get(lhs), known.get(rhs)) {
-                    (Some(IrConst::Int(a)), Some(IrConst::Int(b))) => {
-                        fold_int(*op, *a, *b).map(|v| IrInsn::Const {
-                            dst: *dst,
-                            value: IrConst::Int(v),
-                        })
-                    }
-                    _ => None,
+            IrInsn::Bin { op, dst, lhs, rhs } => match (known.get(lhs), known.get(rhs)) {
+                (Some(IrConst::Int(a)), Some(IrConst::Int(b))) => {
+                    fold_int(*op, *a, *b).map(|v| IrInsn::Const {
+                        dst: *dst,
+                        value: IrConst::Int(v),
+                    })
                 }
-            }
+                _ => None,
+            },
             IrInsn::Neg { dst, src } => match known.get(src) {
                 Some(IrConst::Int(v)) => Some(IrInsn::Const {
                     dst: *dst,
@@ -249,23 +247,40 @@ mod tests {
     use crate::ir::Cond;
 
     fn body(insns: Vec<IrInsn>) -> IrBody {
-        IrBody { insns, name: "t".into() }
+        IrBody {
+            insns,
+            name: "t".into(),
+        }
     }
 
     #[test]
     fn folds_constant_addition() {
         let mut b = body(vec![
-            IrInsn::Const { dst: Reg::Stack(0), value: IrConst::Int(2) },
-            IrInsn::Const { dst: Reg::Stack(1), value: IrConst::Int(3) },
-            IrInsn::Bin { op: BinOp::Add, dst: Reg::Stack(0), lhs: Reg::Stack(0), rhs: Reg::Stack(1) },
+            IrInsn::Const {
+                dst: Reg::Stack(0),
+                value: IrConst::Int(2),
+            },
+            IrInsn::Const {
+                dst: Reg::Stack(1),
+                value: IrConst::Int(3),
+            },
+            IrInsn::Bin {
+                op: BinOp::Add,
+                dst: Reg::Stack(0),
+                lhs: Reg::Stack(0),
+                rhs: Reg::Stack(1),
+            },
             IrInsn::Return(Some(Reg::Stack(0))),
         ]);
         let stats = optimize(&mut b);
         assert_eq!(stats.folded, 1);
-        assert!(b
-            .insns
-            .iter()
-            .any(|i| matches!(i, IrInsn::Const { value: IrConst::Int(5), .. })));
+        assert!(b.insns.iter().any(|i| matches!(
+            i,
+            IrInsn::Const {
+                value: IrConst::Int(5),
+                ..
+            }
+        )));
         // The dead source constant is swept.
         assert!(stats.dead_removed >= 1);
     }
@@ -273,9 +288,20 @@ mod tests {
     #[test]
     fn does_not_fold_division_by_zero() {
         let mut b = body(vec![
-            IrInsn::Const { dst: Reg::Stack(0), value: IrConst::Int(1) },
-            IrInsn::Const { dst: Reg::Stack(1), value: IrConst::Int(0) },
-            IrInsn::Bin { op: BinOp::Div, dst: Reg::Stack(0), lhs: Reg::Stack(0), rhs: Reg::Stack(1) },
+            IrInsn::Const {
+                dst: Reg::Stack(0),
+                value: IrConst::Int(1),
+            },
+            IrInsn::Const {
+                dst: Reg::Stack(1),
+                value: IrConst::Int(0),
+            },
+            IrInsn::Bin {
+                op: BinOp::Div,
+                dst: Reg::Stack(0),
+                lhs: Reg::Stack(0),
+                rhs: Reg::Stack(1),
+            },
             IrInsn::Return(Some(Reg::Stack(0))),
         ]);
         let stats = fold_constants(&mut b);
@@ -285,8 +311,16 @@ mod tests {
     #[test]
     fn copy_propagation_bypasses_moves() {
         let mut b = body(vec![
-            IrInsn::Move { dst: Reg::Stack(0), src: Reg::Local(1) },
-            IrInsn::Bin { op: BinOp::Add, dst: Reg::Stack(0), lhs: Reg::Stack(0), rhs: Reg::Stack(0) },
+            IrInsn::Move {
+                dst: Reg::Stack(0),
+                src: Reg::Local(1),
+            },
+            IrInsn::Bin {
+                op: BinOp::Add,
+                dst: Reg::Stack(0),
+                lhs: Reg::Stack(0),
+                rhs: Reg::Stack(0),
+            },
             IrInsn::Return(Some(Reg::Stack(0))),
         ]);
         let stats = propagate_copies(&mut b);
@@ -305,11 +339,30 @@ mod tests {
         // The constant in block 0 must not fold into block 1 (reached from
         // elsewhere too).
         let mut b = body(vec![
-            IrInsn::Const { dst: Reg::Stack(0), value: IrConst::Int(2) },
-            IrInsn::Branch { cond: Cond::Eq, lhs: Reg::Local(0), rhs: None, target: 3 },
-            IrInsn::Const { dst: Reg::Stack(0), value: IrConst::Int(9) },
-            IrInsn::Const { dst: Reg::Stack(1), value: IrConst::Int(1) },
-            IrInsn::Bin { op: BinOp::Add, dst: Reg::Stack(0), lhs: Reg::Stack(0), rhs: Reg::Stack(1) },
+            IrInsn::Const {
+                dst: Reg::Stack(0),
+                value: IrConst::Int(2),
+            },
+            IrInsn::Branch {
+                cond: Cond::Eq,
+                lhs: Reg::Local(0),
+                rhs: None,
+                target: 3,
+            },
+            IrInsn::Const {
+                dst: Reg::Stack(0),
+                value: IrConst::Int(9),
+            },
+            IrInsn::Const {
+                dst: Reg::Stack(1),
+                value: IrConst::Int(1),
+            },
+            IrInsn::Bin {
+                op: BinOp::Add,
+                dst: Reg::Stack(0),
+                lhs: Reg::Stack(0),
+                rhs: Reg::Stack(1),
+            },
             IrInsn::Return(Some(Reg::Stack(0))),
         ]);
         let stats = fold_constants(&mut b);
@@ -320,7 +373,10 @@ mod tests {
     #[test]
     fn dead_code_removal_fixes_targets() {
         let mut b = body(vec![
-            IrInsn::Const { dst: Reg::Stack(5), value: IrConst::Int(1) }, // dead
+            IrInsn::Const {
+                dst: Reg::Stack(5),
+                value: IrConst::Int(1),
+            }, // dead
             IrInsn::Jump { target: 2 },
             IrInsn::Return(None),
         ]);

@@ -92,7 +92,13 @@ impl NetworkCompiler {
             opt_total.dead_removed += s.dead_removed;
             methods.push(lower(&ir, target));
         }
-        let img = ClassImage { class: class.clone(), target, methods, opt_stats: opt_total, compile_cycles };
+        let img = ClassImage {
+            class: class.clone(),
+            target,
+            methods,
+            opt_stats: opt_total,
+            compile_cycles,
+        };
         self.stats.compilations += 1;
         self.stats.cycles_spent += compile_cycles;
         self.cache.insert((class, target), img.clone());
@@ -115,7 +121,12 @@ mod tests {
     fn sample_class() -> ClassFile {
         let mut cf = ClassBuilder::new("t/Calc").build();
         let mut a = Asm::new(2);
-        a.iconst(2).iconst(3).iadd().iload(0).iadd().ret_val(Kind::Int);
+        a.iconst(2)
+            .iconst(3)
+            .iadd()
+            .iload(0)
+            .iadd()
+            .ret_val(Kind::Int);
         let attr = a.finish().unwrap().encode(&cf.pool).unwrap();
         let n = cf.pool.utf8("f").unwrap();
         let d = cf.pool.utf8("(I)I").unwrap();

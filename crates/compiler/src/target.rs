@@ -128,8 +128,14 @@ mod tests {
         IrBody {
             name: "t.f:()I".into(),
             insns: vec![
-                IrInsn::Const { dst: Reg::Stack(0), value: IrConst::Int(2) },
-                IrInsn::Const { dst: Reg::Stack(1), value: IrConst::Int(3) },
+                IrInsn::Const {
+                    dst: Reg::Stack(0),
+                    value: IrConst::Int(2),
+                },
+                IrInsn::Const {
+                    dst: Reg::Stack(1),
+                    value: IrConst::Int(3),
+                },
                 IrInsn::Bin {
                     op: BinOp::Add,
                     dst: Reg::Stack(0),
@@ -155,7 +161,10 @@ mod tests {
     fn speedup_is_reported_over_interpretation() {
         let m = lower(&sample(), Target::Alpha);
         let s = m.estimated_speedup(4);
-        assert!(s > 1.0, "compiled code should beat the interpreter, got {s}");
+        assert!(
+            s > 1.0,
+            "compiled code should beat the interpreter, got {s}"
+        );
     }
 
     #[test]

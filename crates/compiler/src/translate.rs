@@ -54,13 +54,17 @@ impl Xlate<'_> {
     fn pop_value(&self, shape: &mut Shape, at: usize) -> Result<(Reg, bool)> {
         match shape.pop() {
             Some(Tag::Single) => Ok((Reg::Stack(shape.len() as u16), false)),
-            Some(Tag::WideTail) => {
-                match shape.pop() {
-                    Some(Tag::WideBase) => Ok((Reg::Stack(shape.len() as u16), true)),
-                    _ => Err(CompileError::BadStack { at, reason: "broken wide pair".into() }),
-                }
-            }
-            _ => Err(CompileError::BadStack { at, reason: "stack underflow".into() }),
+            Some(Tag::WideTail) => match shape.pop() {
+                Some(Tag::WideBase) => Ok((Reg::Stack(shape.len() as u16), true)),
+                _ => Err(CompileError::BadStack {
+                    at,
+                    reason: "broken wide pair".into(),
+                }),
+            },
+            _ => Err(CompileError::BadStack {
+                at,
+                reason: "stack underflow".into(),
+            }),
         }
     }
 
@@ -91,23 +95,38 @@ impl Xlate<'_> {
             Insn::Nop => {}
             Insn::AConstNull => {
                 let dst = self.push_value(shape, false);
-                self.push(IrInsn::Const { dst, value: IrConst::Null });
+                self.push(IrInsn::Const {
+                    dst,
+                    value: IrConst::Null,
+                });
             }
             Insn::IConst(v) => {
                 let dst = self.push_value(shape, false);
-                self.push(IrInsn::Const { dst, value: IrConst::Int(*v as i64) });
+                self.push(IrInsn::Const {
+                    dst,
+                    value: IrConst::Int(*v as i64),
+                });
             }
             Insn::LConst(v) => {
                 let dst = self.push_value(shape, true);
-                self.push(IrInsn::Const { dst, value: IrConst::Int(*v) });
+                self.push(IrInsn::Const {
+                    dst,
+                    value: IrConst::Int(*v),
+                });
             }
             Insn::FConst(v) => {
                 let dst = self.push_value(shape, false);
-                self.push(IrInsn::Const { dst, value: IrConst::Float(*v as f64) });
+                self.push(IrInsn::Const {
+                    dst,
+                    value: IrConst::Float(*v as f64),
+                });
             }
             Insn::DConst(v) => {
                 let dst = self.push_value(shape, true);
-                self.push(IrInsn::Const { dst, value: IrConst::Float(*v) });
+                self.push(IrInsn::Const {
+                    dst,
+                    value: IrConst::Float(*v),
+                });
             }
             Insn::Ldc(idx) => {
                 let value = match self.pool.get(*idx)? {
@@ -141,12 +160,18 @@ impl Xlate<'_> {
             Insn::Load(kind, slot) => {
                 let wide = matches!(kind, Kind::Long | Kind::Double);
                 let dst = self.push_value(shape, wide);
-                self.push(IrInsn::Move { dst, src: Reg::Local(*slot) });
+                self.push(IrInsn::Move {
+                    dst,
+                    src: Reg::Local(*slot),
+                });
             }
             Insn::Store(kind, slot) => {
                 let _ = kind;
                 let (src, _) = self.pop_value(shape, at)?;
-                self.push(IrInsn::Move { dst: Reg::Local(*slot), src });
+                self.push(IrInsn::Move {
+                    dst: Reg::Local(*slot),
+                    src,
+                });
             }
             Insn::ArrayLoad(k) => {
                 let (index, _) = self.pop_value(shape, at)?;
@@ -210,7 +235,12 @@ impl Xlate<'_> {
                         ArithOp::Rem => BinOp::Rem,
                         ArithOp::Neg => unreachable!(),
                     };
-                    self.push(IrInsn::Bin { op: bop, dst, lhs, rhs });
+                    self.push(IrInsn::Bin {
+                        op: bop,
+                        dst,
+                        lhs,
+                        rhs,
+                    });
                 }
             }
             Insn::Shift(_, op) => {
@@ -222,7 +252,12 @@ impl Xlate<'_> {
                     ShiftOp::Shr => BinOp::Shr,
                     ShiftOp::Ushr => BinOp::Ushr,
                 };
-                self.push(IrInsn::Bin { op: bop, dst, lhs, rhs });
+                self.push(IrInsn::Bin {
+                    op: bop,
+                    dst,
+                    lhs,
+                    rhs,
+                });
             }
             Insn::Logic(_, op) => {
                 let (rhs, _) = self.pop_value(shape, at)?;
@@ -233,12 +268,20 @@ impl Xlate<'_> {
                     LogicOp::Or => BinOp::Or,
                     LogicOp::Xor => BinOp::Xor,
                 };
-                self.push(IrInsn::Bin { op: bop, dst, lhs, rhs });
+                self.push(IrInsn::Bin {
+                    op: bop,
+                    dst,
+                    lhs,
+                    rhs,
+                });
             }
             Insn::IInc(slot, delta) => {
                 // l<n> += delta, via a scratch stack register.
                 let tmp = Reg::Stack(shape.len() as u16);
-                self.push(IrInsn::Const { dst: tmp, value: IrConst::Int(*delta as i64) });
+                self.push(IrInsn::Const {
+                    dst: tmp,
+                    value: IrConst::Int(*delta as i64),
+                });
                 self.push(IrInsn::Bin {
                     op: BinOp::Add,
                     dst: Reg::Local(*slot),
@@ -255,47 +298,89 @@ impl Xlate<'_> {
                 let (rhs, _) = self.pop_value(shape, at)?;
                 let (lhs, _) = self.pop_value(shape, at)?;
                 let dst = self.push_value(shape, false);
-                self.push(IrInsn::Bin { op: BinOp::Cmp, dst, lhs, rhs });
+                self.push(IrInsn::Bin {
+                    op: BinOp::Cmp,
+                    dst,
+                    lhs,
+                    rhs,
+                });
             }
             Insn::If(c, t) => {
                 let (lhs, _) = self.pop_value(shape, at)?;
-                self.push(IrInsn::Branch { cond: cond_of(*c), lhs, rhs: None, target: *t });
+                self.push(IrInsn::Branch {
+                    cond: cond_of(*c),
+                    lhs,
+                    rhs: None,
+                    target: *t,
+                });
             }
             Insn::IfICmp(c, t) => {
                 let (rhs, _) = self.pop_value(shape, at)?;
                 let (lhs, _) = self.pop_value(shape, at)?;
-                self.push(IrInsn::Branch { cond: cond_of(*c), lhs, rhs: Some(rhs), target: *t });
+                self.push(IrInsn::Branch {
+                    cond: cond_of(*c),
+                    lhs,
+                    rhs: Some(rhs),
+                    target: *t,
+                });
             }
             Insn::IfACmp(eq, t) => {
                 let (rhs, _) = self.pop_value(shape, at)?;
                 let (lhs, _) = self.pop_value(shape, at)?;
                 let cond = if *eq { Cond::Eq } else { Cond::Ne };
-                self.push(IrInsn::Branch { cond, lhs, rhs: Some(rhs), target: *t });
+                self.push(IrInsn::Branch {
+                    cond,
+                    lhs,
+                    rhs: Some(rhs),
+                    target: *t,
+                });
             }
             Insn::IfNull(t) => {
                 let (lhs, _) = self.pop_value(shape, at)?;
-                self.push(IrInsn::Branch { cond: Cond::Eq, lhs, rhs: None, target: *t });
+                self.push(IrInsn::Branch {
+                    cond: Cond::Eq,
+                    lhs,
+                    rhs: None,
+                    target: *t,
+                });
             }
             Insn::IfNonNull(t) => {
                 let (lhs, _) = self.pop_value(shape, at)?;
-                self.push(IrInsn::Branch { cond: Cond::Ne, lhs, rhs: None, target: *t });
+                self.push(IrInsn::Branch {
+                    cond: Cond::Ne,
+                    lhs,
+                    rhs: None,
+                    target: *t,
+                });
             }
             Insn::Goto(t) => self.push(IrInsn::Jump { target: *t }),
             Insn::Jsr(_) | Insn::Ret(_) => {
                 return Err(CompileError::Unsupported("jsr/ret subroutines".into()));
             }
-            Insn::TableSwitch { default, low, targets } => {
+            Insn::TableSwitch {
+                default,
+                low,
+                targets,
+            } => {
                 let (on, _) = self.pop_value(shape, at)?;
                 let arms = targets
                     .iter()
                     .enumerate()
                     .map(|(k, t)| (low + k as i32, *t))
                     .collect();
-                self.push(IrInsn::Switch { on, arms, default: *default });
+                self.push(IrInsn::Switch {
+                    on,
+                    arms,
+                    default: *default,
+                });
             }
             Insn::LookupSwitch { default, pairs } => {
                 let (on, _) = self.pop_value(shape, at)?;
-                self.push(IrInsn::Switch { on, arms: pairs.clone(), default: *default });
+                self.push(IrInsn::Switch {
+                    on,
+                    arms: pairs.clone(),
+                    default: *default,
+                });
             }
             Insn::Return(kind) => {
                 let r = match kind {
@@ -309,13 +394,21 @@ impl Xlate<'_> {
                 let wide = matches!(d.as_bytes().first(), Some(b'J' | b'D'));
                 let what = format!("getstatic {c}.{n}");
                 let dst = self.push_value(shape, wide);
-                self.push(IrInsn::Mem { what, reads: vec![], writes: Some(dst) });
+                self.push(IrInsn::Mem {
+                    what,
+                    reads: vec![],
+                    writes: Some(dst),
+                });
             }
             Insn::PutStatic(idx) => {
                 let (c, n, _) = self.pool.get_member_ref(*idx)?;
                 let what = format!("putstatic {c}.{n}");
                 let (v, _) = self.pop_value(shape, at)?;
-                self.push(IrInsn::Mem { what, reads: vec![v], writes: None });
+                self.push(IrInsn::Mem {
+                    what,
+                    reads: vec![v],
+                    writes: None,
+                });
             }
             Insn::GetField(idx) => {
                 let (c, n, d) = self.pool.get_member_ref(*idx)?;
@@ -323,18 +416,24 @@ impl Xlate<'_> {
                 let what = format!("getfield {c}.{n}");
                 let (obj, _) = self.pop_value(shape, at)?;
                 let dst = self.push_value(shape, wide);
-                self.push(IrInsn::Mem { what, reads: vec![obj], writes: Some(dst) });
+                self.push(IrInsn::Mem {
+                    what,
+                    reads: vec![obj],
+                    writes: Some(dst),
+                });
             }
             Insn::PutField(idx) => {
                 let (c, n, _) = self.pool.get_member_ref(*idx)?;
                 let what = format!("putfield {c}.{n}");
                 let (v, _) = self.pop_value(shape, at)?;
                 let (obj, _) = self.pop_value(shape, at)?;
-                self.push(IrInsn::Mem { what, reads: vec![obj, v], writes: None });
+                self.push(IrInsn::Mem {
+                    what,
+                    reads: vec![obj, v],
+                    writes: None,
+                });
             }
-            Insn::InvokeVirtual(idx)
-            | Insn::InvokeSpecial(idx)
-            | Insn::InvokeInterface(idx) => {
+            Insn::InvokeVirtual(idx) | Insn::InvokeSpecial(idx) | Insn::InvokeInterface(idx) => {
                 self.call(at, *idx, shape, true)?;
             }
             Insn::InvokeStatic(idx) => {
@@ -344,7 +443,11 @@ impl Xlate<'_> {
                 let name = self.pool.get_class_name(*idx)?;
                 let what = format!("new {name}");
                 let dst = self.push_value(shape, false);
-                self.push(IrInsn::Mem { what, reads: vec![], writes: Some(dst) });
+                self.push(IrInsn::Mem {
+                    what,
+                    reads: vec![],
+                    writes: Some(dst),
+                });
             }
             Insn::NewArray(k) => {
                 let (len, _) = self.pop_value(shape, at)?;
@@ -399,7 +502,11 @@ impl Xlate<'_> {
             }
             Insn::MonitorEnter | Insn::MonitorExit => {
                 let (obj, _) = self.pop_value(shape, at)?;
-                self.push(IrInsn::Mem { what: "monitor".into(), reads: vec![obj], writes: None });
+                self.push(IrInsn::Mem {
+                    what: "monitor".into(),
+                    reads: vec![obj],
+                    writes: None,
+                });
             }
             Insn::MultiANewArray(idx, dims) => {
                 let name = self.pool.get_class_name(*idx)?.to_owned();
@@ -447,9 +554,15 @@ impl Xlate<'_> {
         }
         // Stage originals into scratch registers above everything.
         let scratch_base = (shape.len()
-            + block.iter().map(|(_, w)| if *w { 2 } else { 1 }).sum::<usize>() * 2
-            + skipped.iter().map(|(_, w)| if *w { 2 } else { 1 }).sum::<usize>())
-            as u16
+            + block
+                .iter()
+                .map(|(_, w)| if *w { 2 } else { 1 })
+                .sum::<usize>()
+                * 2
+            + skipped
+                .iter()
+                .map(|(_, w)| if *w { 2 } else { 1 })
+                .sum::<usize>()) as u16
             + 4;
         let mut staged = Vec::new();
         for (i, (r, w)) in block.iter().chain(skipped.iter()).enumerate() {
@@ -503,9 +616,15 @@ pub fn translate(code: &Code, pool: &ConstPool, name: &str) -> Result<IrBody> {
         shapes[h.handler] = Some(vec![Tag::Single]);
         work.push(h.handler);
     }
-    let mut probe = Xlate { pool, ops: Vec::new(), emit: false };
+    let mut probe = Xlate {
+        pool,
+        ops: Vec::new(),
+        emit: false,
+    };
     while let Some(i) = work.pop() {
-        let Some(entry) = shapes[i].clone() else { continue };
+        let Some(entry) = shapes[i].clone() else {
+            continue;
+        };
         let insn = &code.insns[i];
         let mut shape = entry;
         probe.transfer(i, insn, &mut shape)?;
@@ -538,7 +657,11 @@ pub fn translate(code: &Code, pool: &ConstPool, name: &str) -> Result<IrBody> {
     }
 
     // Pass 2: emit IR, recording where each bytecode instruction begins.
-    let mut xl = Xlate { pool, ops: Vec::new(), emit: true };
+    let mut xl = Xlate {
+        pool,
+        ops: Vec::new(),
+        emit: true,
+    };
     let mut ir_start = vec![usize::MAX; n + 1];
     for (i, insn) in code.insns.iter().enumerate() {
         ir_start[i] = xl.ops.len();
@@ -566,7 +689,10 @@ pub fn translate(code: &Code, pool: &ConstPool, name: &str) -> Result<IrBody> {
     for op in &mut ops {
         op.map_targets(|bc_target| resolved[bc_target]);
     }
-    Ok(IrBody { insns: ops, name: name.to_owned() })
+    Ok(IrBody {
+        insns: ops,
+        name: name.to_owned(),
+    })
 }
 
 #[cfg(test)]
@@ -613,8 +739,11 @@ mod tests {
             .collect();
         assert_eq!(jump_targets.len(), 1);
         assert_eq!(jump_targets[0], 2); // const, move, [loop head]
-        let branches: Vec<&IrInsn> =
-            ir.insns.iter().filter(|op| matches!(op, IrInsn::Branch { .. })).collect();
+        let branches: Vec<&IrInsn> = ir
+            .insns
+            .iter()
+            .filter(|op| matches!(op, IrInsn::Branch { .. }))
+            .collect();
         assert_eq!(branches.len(), 1);
     }
 
@@ -633,7 +762,9 @@ mod tests {
             .insns
             .iter()
             .find_map(|op| match op {
-                IrInsn::Call { callee, args, dst } => Some((callee.clone(), args.len(), dst.is_some())),
+                IrInsn::Call { callee, args, dst } => {
+                    Some((callee.clone(), args.len(), dst.is_some()))
+                }
                 _ => None,
             })
             .unwrap();

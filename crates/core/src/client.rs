@@ -6,10 +6,9 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use dvm_jvm::{
-    AuditKind, ClassProvider, Completion, DynamicServices, SecurityDecision, Value, Vm,
-};
-use dvm_monitor::{AdminConsole, EventKind, ProfileCollector, SessionId, SiteId};
+use dvm_jvm::{AuditKind, ClassProvider, Completion, DynamicServices, SecurityDecision, Value, Vm};
+use dvm_monitor::{AuditSink, EventKind, ProfileCollector, SiteId};
+use dvm_net::NetClassProvider;
 use dvm_netsim::SimTime;
 use dvm_proxy::{Proxy, RequestContext, ServedFrom, Signer};
 use dvm_security::{EnforcementManager, PermissionId, SecurityId};
@@ -66,7 +65,7 @@ impl ClassProvider for ProxyProvider {
 struct ClientServices {
     enforcement: Option<EnforcementManager>,
     sid: SecurityId,
-    console: Option<(Arc<Mutex<AdminConsole>>, SessionId)>,
+    audit: Option<Box<dyn AuditSink>>,
     profile: Arc<Mutex<ProfileCollector>>,
 }
 
@@ -77,7 +76,11 @@ impl DynamicServices for ClientServices {
                 // Rewritten code carries the SID chosen at rewrite time;
                 // the enforcement manager still verifies it against the
                 // session's SID (they agree in this reproduction).
-                let sid = if sid >= 0 { SecurityId(sid as u32) } else { self.sid };
+                let sid = if sid >= 0 {
+                    SecurityId(sid as u32)
+                } else {
+                    self.sid
+                };
                 let (allowed, cost) = em.check(sid, PermissionId(perm as u32));
                 if allowed {
                     SecurityDecision::Allow { cost_cycles: cost }
@@ -90,13 +93,13 @@ impl DynamicServices for ClientServices {
     }
 
     fn audit_event(&mut self, site: i32, kind: AuditKind) {
-        if let Some((console, session)) = &self.console {
+        if let Some(sink) = &mut self.audit {
             let kind = match kind {
                 AuditKind::Enter => EventKind::Enter,
                 AuditKind::Exit => EventKind::Exit,
                 AuditKind::Event => EventKind::Event,
             };
-            console.lock().record(*session, SiteId(site), kind);
+            sink.record(SiteId(site), kind);
         }
     }
 
@@ -149,7 +152,8 @@ pub struct DvmClient {
 }
 
 impl DvmClient {
-    /// Builds a client wired to the given organization services.
+    /// Builds a client wired to the given in-process organization
+    /// services.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn wire(
         proxy: Arc<Proxy>,
@@ -157,25 +161,66 @@ impl DvmClient {
         signer: Option<Signer>,
         enforcement: Option<EnforcementManager>,
         sid: SecurityId,
-        console: Option<(Arc<Mutex<AdminConsole>>, SessionId)>,
+        audit: Option<Box<dyn AuditSink>>,
         cost: CostModel,
     ) -> dvm_jvm::Result<DvmClient> {
         let transfers = Arc::new(Mutex::new(Vec::new()));
-        let profile = Arc::new(Mutex::new(ProfileCollector::new()));
         let provider = ProxyProvider {
             proxy,
             ctx,
             signer,
             transfers: transfers.clone(),
         };
+        Self::assemble(Box::new(provider), enforcement, sid, audit, transfers, cost)
+    }
+
+    /// Builds a client whose classes arrive over a live socket: the same
+    /// wiring as [`DvmClient::wire`], but the provider is a
+    /// [`NetClassProvider`] talking to a `ProxyServer`. The provider has
+    /// already verified signatures; a transfer hook feeds the same
+    /// [`TransferRecord`] accounting the in-process path uses.
+    pub fn wire_remote(
+        mut provider: NetClassProvider,
+        enforcement: Option<EnforcementManager>,
+        sid: SecurityId,
+        audit: Option<Box<dyn AuditSink>>,
+        cost: CostModel,
+    ) -> dvm_jvm::Result<DvmClient> {
+        let transfers = Arc::new(Mutex::new(Vec::new()));
+        let sink = transfers.clone();
+        provider.set_transfer_hook(Box::new(move |t: &dvm_net::NetTransfer| {
+            let class = t.url.strip_prefix("class://").unwrap_or(&t.url).to_owned();
+            sink.lock().push(TransferRecord {
+                class,
+                bytes: t.bytes,
+                served_from: t.served_from,
+            });
+        }));
+        Self::assemble(Box::new(provider), enforcement, sid, audit, transfers, cost)
+    }
+
+    fn assemble(
+        provider: Box<dyn ClassProvider>,
+        enforcement: Option<EnforcementManager>,
+        sid: SecurityId,
+        audit: Option<Box<dyn AuditSink>>,
+        transfers: Arc<Mutex<Vec<TransferRecord>>>,
+        cost: CostModel,
+    ) -> dvm_jvm::Result<DvmClient> {
+        let profile = Arc::new(Mutex::new(ProfileCollector::new()));
         let services = ClientServices {
             enforcement,
             sid,
-            console,
+            audit,
             profile: profile.clone(),
         };
-        let vm = Vm::with_services(Box::new(provider), Box::new(services))?;
-        Ok(DvmClient { vm, profile, transfers, cost })
+        let vm = Vm::with_services(provider, Box::new(services))?;
+        Ok(DvmClient {
+            vm,
+            profile,
+            transfers,
+            cost,
+        })
     }
 
     /// Runs `main` of `class`, producing the timing report.

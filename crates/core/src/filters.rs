@@ -43,7 +43,10 @@ pub struct VerifierFilter {
 impl VerifierFilter {
     /// Creates the filter around a verifier and a shared stats sink.
     pub fn new(verifier: StaticVerifier, stats: Arc<Mutex<StaticServiceStats>>) -> Self {
-        VerifierFilter { verifier: Mutex::new(verifier), stats }
+        VerifierFilter {
+            verifier: Mutex::new(verifier),
+            stats,
+        }
     }
 }
 
@@ -87,7 +90,11 @@ impl SecurityFilter {
         default_sid: SecurityId,
         stats: Arc<Mutex<StaticServiceStats>>,
     ) -> Self {
-        SecurityFilter { policy, default_sid, stats }
+        SecurityFilter {
+            policy,
+            default_sid,
+            stats,
+        }
     }
 }
 
@@ -103,8 +110,9 @@ impl Filter for SecurityFilter {
             .get(&ctx.principal)
             .copied()
             .unwrap_or(self.default_sid);
-        let rw = dvm_security::secure_class(&mut class, &policy, sid).map_err(|e| {
-            FilterError { filter: "security".into(), reason: e.to_string() }
+        let rw = dvm_security::secure_class(&mut class, &policy, sid).map_err(|e| FilterError {
+            filter: "security".into(),
+            reason: e.to_string(),
         })?;
         let mut s = self.stats.lock();
         s.security_checks_inserted += rw.checks_inserted;
@@ -137,12 +145,12 @@ impl Filter for AuditFilter {
     }
 
     fn apply(&self, mut class: ClassFile, _ctx: &RequestContext) -> Result<ClassFile, FilterError> {
-        let st = dvm_monitor::audit_class_filtered(
-            &mut class,
-            &mut self.sites.lock(),
-            AUDIT_MIN_INSNS,
-        )
-        .map_err(|e| FilterError { filter: "audit".into(), reason: e.to_string() })?;
+        let st =
+            dvm_monitor::audit_class_filtered(&mut class, &mut self.sites.lock(), AUDIT_MIN_INSNS)
+                .map_err(|e| FilterError {
+                    filter: "audit".into(),
+                    reason: e.to_string(),
+                })?;
         let mut s = self.stats.lock();
         s.audit_probes += st.probes;
         s.instructions_examined += st.instructions_examined;
@@ -175,7 +183,10 @@ impl Filter for ProfileFilter {
 
     fn apply(&self, mut class: ClassFile, _ctx: &RequestContext) -> Result<ClassFile, FilterError> {
         let st = dvm_monitor::profile_class(&mut class, &mut self.sites.lock(), self.mode)
-            .map_err(|e| FilterError { filter: "profiler".into(), reason: e.to_string() })?;
+            .map_err(|e| FilterError {
+                filter: "profiler".into(),
+                reason: e.to_string(),
+            })?;
         let mut s = self.stats.lock();
         s.profile_probes += st.probes;
         s.instructions_examined += st.instructions_examined;

@@ -88,7 +88,11 @@ impl MonolithicClient {
             set_priority: Some(base_cost / 8),
             read_file: None,
         };
-        Ok(MonolithicClient { vm, classes: map, cost })
+        Ok(MonolithicClient {
+            vm,
+            classes: map,
+            cost,
+        })
     }
 
     /// Runs `main` of `class` with full local servicing.

@@ -6,14 +6,19 @@ use parking_lot::Mutex;
 
 use dvm_classfile::ClassFile;
 use dvm_compiler::NetworkCompiler;
-use dvm_monitor::{AdminConsole, ClientDescription, ProfileMode, SiteTable};
-use dvm_proxy::{MapOrigin, Pipeline, Proxy, RequestContext, Signer};
+use dvm_monitor::{
+    AdminConsole, AuditSink, ClientDescription, ConsoleSink, ProfileMode, SiteTable,
+};
+use dvm_net::{Hello, NetClassProvider, NetConfig, ProxyServer, RemoteConsole, ServerConfig};
+use dvm_proxy::{MapOrigin, Pipeline, Proxy, RequestContext, RewriteCost, Signer};
 use dvm_security::{EnforcementManager, Policy, SecurityId, SecurityServer};
 use dvm_verifier::{MapEnvironment, StaticVerifier};
 
 use crate::client::DvmClient;
 use crate::config::{CostModel, ServiceConfig};
-use crate::filters::{AuditFilter, ProfileFilter, SecurityFilter, StaticServiceStats, VerifierFilter};
+use crate::filters::{
+    AuditFilter, ProfileFilter, SecurityFilter, StaticServiceStats, VerifierFilter,
+};
 
 /// An organization running a distributed virtual machine: centralized
 /// static services on a proxy, a security server, an administration
@@ -71,7 +76,10 @@ impl Organization {
         let mut pipeline = Pipeline::new();
         if config.verify {
             let verifier = StaticVerifier::new(MapEnvironment::with_bootstrap());
-            pipeline.push(Box::new(VerifierFilter::new(verifier, service_stats.clone())));
+            pipeline.push(Box::new(VerifierFilter::new(
+                verifier,
+                service_stats.clone(),
+            )));
         }
         if config.security {
             pipeline.push(Box::new(SecurityFilter::new(
@@ -81,7 +89,10 @@ impl Organization {
             )));
         }
         if config.audit {
-            pipeline.push(Box::new(AuditFilter::new(sites.clone(), service_stats.clone())));
+            pipeline.push(Box::new(AuditFilter::new(
+                sites.clone(),
+                service_stats.clone(),
+            )));
         }
         if config.profile {
             pipeline.push(Box::new(ProfileFilter::new(
@@ -91,14 +102,18 @@ impl Organization {
             )));
         }
 
-        let signer = if config.signing { Some(Signer::new(b"dvm-org-key")) } else { None };
-        let proxy = Arc::new(Proxy::new(
-            origin,
-            pipeline,
-            8 << 20,
-            config.caching,
-            signer.clone(),
-        ));
+        let signer = if config.signing {
+            Some(Signer::new(b"dvm-org-key"))
+        } else {
+            None
+        };
+        let proxy = Arc::new(
+            Proxy::new(origin, pipeline, 8 << 20, config.caching, signer.clone())
+                .with_rewrite_cost(RewriteCost {
+                    cycles_per_byte: cost.proxy_cycles_per_byte,
+                    cpu: cost.cpu,
+                }),
+        );
         let security = Arc::new(Mutex::new(SecurityServer::new(policy.lock().clone())));
         Organization {
             proxy,
@@ -124,10 +139,7 @@ impl Organization {
     /// returning the number of images now cached. Repeat calls (and
     /// additional clients with the same format) are served from the image
     /// cache — the amortization the paper's network compiler exists for.
-    pub fn compile_for_known_formats(
-        &self,
-        classes: &[ClassFile],
-    ) -> dvm_compiler::Result<u64> {
+    pub fn compile_for_known_formats(&self, classes: &[ClassFile]) -> dvm_compiler::Result<u64> {
         let formats = self.console.lock().native_formats();
         let mut compiler = self.compiler.lock();
         let mut images = 0;
@@ -155,6 +167,25 @@ impl Organization {
             native_format: "x86".to_owned(),
             jvm_version: "dvm-repro-0.1".to_owned(),
         });
+        let (sid, enforcement) = self.principal_wiring(principal);
+        let ctx = RequestContext {
+            client: user.to_owned(),
+            principal: principal.to_owned(),
+            url: String::new(),
+        };
+        let audit: Box<dyn AuditSink> = Box::new(ConsoleSink::new(self.console.clone(), session));
+        DvmClient::wire(
+            self.proxy.clone(),
+            ctx,
+            self.signer.clone(),
+            enforcement,
+            sid,
+            Some(audit),
+            self.cost,
+        )
+    }
+
+    fn principal_wiring(&self, principal: &str) -> (SecurityId, Option<EnforcementManager>) {
         let sid = self
             .policy
             .lock()
@@ -167,19 +198,64 @@ impl Organization {
         } else {
             None
         };
-        let ctx = RequestContext {
-            client: user.to_owned(),
+        (sid, enforcement)
+    }
+
+    /// Puts this organization's proxy and console behind a live TCP
+    /// socket (e.g. `"127.0.0.1:0"` for an ephemeral port). Remote
+    /// clients built with [`Organization::remote_client`] connect to
+    /// [`ProxyServer::addr`].
+    pub fn serve(&self, addr: impl std::net::ToSocketAddrs) -> std::io::Result<ProxyServer> {
+        self.serve_with(addr, ServerConfig::default())
+    }
+
+    /// [`Organization::serve`] with explicit server tuning (connection
+    /// limit, poll interval, fault injection).
+    pub fn serve_with(
+        &self,
+        addr: impl std::net::ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<ProxyServer> {
+        ProxyServer::bind(addr, self.proxy.clone(), Some(self.console.clone()), config)
+    }
+
+    /// Creates a DVM client whose classes arrive over TCP from the
+    /// server at `addr` (see [`Organization::serve`]).
+    ///
+    /// The handshake happens on the wire: the provider connection and
+    /// the audit channel each present credentials and receive their own
+    /// console session. Signature verification uses the organization's
+    /// key, exactly as the in-process client does.
+    pub fn remote_client(
+        &self,
+        addr: std::net::SocketAddr,
+        user: &str,
+        principal: &str,
+    ) -> std::io::Result<DvmClient> {
+        self.remote_client_with(addr, user, principal, NetConfig::default())
+    }
+
+    /// [`Organization::remote_client`] with explicit client tuning
+    /// (timeouts, retry budget, backoff).
+    pub fn remote_client_with(
+        &self,
+        addr: std::net::SocketAddr,
+        user: &str,
+        principal: &str,
+        net: NetConfig,
+    ) -> std::io::Result<DvmClient> {
+        let hello = Hello {
+            user: user.to_owned(),
             principal: principal.to_owned(),
-            url: String::new(),
+            hardware: "x86/200MHz/64MB".to_owned(),
+            native_format: "x86".to_owned(),
+            jvm_version: "dvm-repro-0.1".to_owned(),
         };
-        DvmClient::wire(
-            self.proxy.clone(),
-            ctx,
-            self.signer.clone(),
-            enforcement,
-            sid,
-            Some((self.console.clone(), session)),
-            self.cost,
-        )
+        let provider = NetClassProvider::new(addr, hello.clone(), self.signer.clone(), net)?;
+        let audit: Box<dyn AuditSink> =
+            Box::new(RemoteConsole::connect(addr, hello, net).map_err(std::io::Error::other)?);
+        let (sid, enforcement) = self.principal_wiring(principal);
+        DvmClient::wire_remote(provider, enforcement, sid, Some(audit), self.cost)
+            .map_err(std::io::Error::other)
     }
 }

@@ -4,7 +4,7 @@
 use dvm_core::{CostModel, MonolithicClient, Organization, ServiceConfig};
 use dvm_jvm::Completion;
 use dvm_proxy::ServedFrom;
-use dvm_security::{Policy, policy::example_policy};
+use dvm_security::{policy::example_policy, Policy};
 use dvm_workload::{figure5_apps, generate};
 
 fn small_spec() -> dvm_workload::AppSpec {
@@ -28,7 +28,11 @@ fn dvm_client_runs_rewritten_app_to_completion() {
     let (org, main) = org(ServiceConfig::dvm());
     let mut client = org.client("alice", "applets").unwrap();
     let report = client.run_main(&main).unwrap();
-    assert!(matches!(report.completion, Completion::Normal(_)), "{:?}", report.exception);
+    assert!(
+        matches!(report.completion, Completion::Normal(_)),
+        "{:?}",
+        report.exception
+    );
     assert!(!report.transfers.is_empty());
     // The audit service recorded method activity centrally.
     assert!(org.console.lock().total_events() > 0);
@@ -80,7 +84,10 @@ fn monolithic_and_dvm_compute_identical_results() {
     let mut mono = MonolithicClient::new(&app.classes, CostModel::default()).unwrap();
     let m = mono.run_main(&app.main_class).unwrap();
     assert!(matches!(m.completion, Completion::Normal(_)));
-    assert_eq!(dvm_out, mono.vm.stdout, "architectures must not change results");
+    assert_eq!(
+        dvm_out, mono.vm.stdout,
+        "architectures must not change results"
+    );
 }
 
 #[test]
@@ -99,7 +106,11 @@ fn monolithic_client_verifies_locally_dvm_client_does_not() {
     let m = mono.run_main(&app.main_class).unwrap();
 
     // Figure 7's claim: client verification effort moves to the server.
-    assert!(m.verify_checks > 1_000, "monolithic checks: {}", m.verify_checks);
+    assert!(
+        m.verify_checks > 1_000,
+        "monolithic checks: {}",
+        m.verify_checks
+    );
     assert!(
         r.dynamic_verify_time < m.verify_time,
         "DVM client verification {} must be below monolithic {}",
@@ -116,7 +127,11 @@ fn security_revocation_propagates_to_running_clients() {
     let mut cf = ClassBuilder::new("t/PropReader").build();
     let getprop = cf
         .pool
-        .methodref("java/lang/System", "getProperty", "(Ljava/lang/String;)Ljava/lang/String;")
+        .methodref(
+            "java/lang/System",
+            "getProperty",
+            "(Ljava/lang/String;)Ljava/lang/String;",
+        )
         .unwrap();
     let key = cf.pool.string("os.name").unwrap();
     let mut a = Asm::new(0);
@@ -147,7 +162,11 @@ fn security_revocation_propagates_to_running_clients() {
     // Allowed at first.
     let mut c1 = orgn.client("alice", "applets").unwrap();
     let r1 = c1.run_main("t/PropReader").unwrap();
-    assert!(matches!(r1.completion, Completion::Normal(_)), "{:?}", r1.exception);
+    assert!(
+        matches!(r1.completion, Completion::Normal(_)),
+        "{:?}",
+        r1.exception
+    );
     assert!(r1.security_checks > 0, "the injected check must have run");
 
     // Revoke centrally; a fresh run of the *same rewritten code* is denied.
@@ -210,7 +229,11 @@ fn signed_transport_round_trips() {
     .unwrap();
     let mut client = orgn.client("alice", "applets").unwrap();
     let r = client.run_main(&app.main_class).unwrap();
-    assert!(matches!(r.completion, Completion::Normal(_)), "{:?}", r.exception);
+    assert!(
+        matches!(r.completion, Completion::Normal(_)),
+        "{:?}",
+        r.exception
+    );
 }
 
 #[test]
@@ -243,9 +266,7 @@ fn profiling_service_collects_first_use_graph() {
         .collect();
     assert!(!dead.is_empty());
     for (class, method, _) in dead {
-        if let Some((id, _, _)) =
-            sites.iter().find(|(_, c, m)| c == class && m == method)
-        {
+        if let Some((id, _, _)) = sites.iter().find(|(_, c, m)| c == class && m == method) {
             assert!(!profile.was_used(id), "{class}.{method} should be dead");
         }
     }
@@ -265,14 +286,22 @@ fn network_compiler_serves_handshake_formats_ahead_of_time() {
     let _c1 = orgn.client("alice", "applets").unwrap();
     let _c2 = orgn.client("bob", "applets").unwrap();
     let images = orgn.compile_for_known_formats(&app.classes).unwrap();
-    assert_eq!(images as usize, app.classes.len(), "one image per class per format");
+    assert_eq!(
+        images as usize,
+        app.classes.len(),
+        "one image per class per format"
+    );
     let stats = orgn.compiler.lock().stats;
     assert_eq!(stats.compilations as usize, app.classes.len());
     // A later client with the same format costs nothing: all cache hits.
     let again = orgn.compile_for_known_formats(&app.classes).unwrap();
     assert_eq!(again, images);
     let stats = orgn.compiler.lock().stats;
-    assert_eq!(stats.compilations as usize, app.classes.len(), "no recompilation");
+    assert_eq!(
+        stats.compilations as usize,
+        app.classes.len(),
+        "no recompilation"
+    );
     assert!(stats.cache_hits as usize >= app.classes.len());
 }
 

@@ -87,7 +87,11 @@ pub fn bootstrap_classes() -> Vec<ClassFile> {
         ClassBuilder::new("java/lang/StringBuilder")
             .field(AccessFlags::PRIVATE, "buf", "Ljava/lang/String;")
             .bodyless_method(native(), "<init>", "()V")
-            .bodyless_method(native(), "append", "(Ljava/lang/String;)Ljava/lang/StringBuilder;")
+            .bodyless_method(
+                native(),
+                "append",
+                "(Ljava/lang/String;)Ljava/lang/StringBuilder;",
+            )
             .bodyless_method(native(), "append", "(I)Ljava/lang/StringBuilder;")
             .bodyless_method(native(), "toString", "()Ljava/lang/String;")
             .build(),
@@ -113,9 +117,21 @@ pub fn bootstrap_classes() -> Vec<ClassFile> {
     v.push(
         ClassBuilder::new("java/lang/System")
             .access(AccessFlags::PUBLIC | AccessFlags::FINAL)
-            .field(AccessFlags::PUBLIC | AccessFlags::STATIC, "out", "Ljava/io/PrintStream;")
-            .field(AccessFlags::PUBLIC | AccessFlags::STATIC, "err", "Ljava/io/PrintStream;")
-            .bodyless_method(static_native(), "getProperty", "(Ljava/lang/String;)Ljava/lang/String;")
+            .field(
+                AccessFlags::PUBLIC | AccessFlags::STATIC,
+                "out",
+                "Ljava/io/PrintStream;",
+            )
+            .field(
+                AccessFlags::PUBLIC | AccessFlags::STATIC,
+                "err",
+                "Ljava/io/PrintStream;",
+            )
+            .bodyless_method(
+                static_native(),
+                "getProperty",
+                "(Ljava/lang/String;)Ljava/lang/String;",
+            )
             .bodyless_method(static_native(), "currentTimeMillis", "()J")
             .build(),
     );
@@ -135,18 +151,42 @@ pub fn bootstrap_classes() -> Vec<ClassFile> {
         ("java/lang/Error", "java/lang/Throwable"),
         ("java/lang/Exception", "java/lang/Throwable"),
         ("java/lang/RuntimeException", "java/lang/Exception"),
-        ("java/lang/NullPointerException", "java/lang/RuntimeException"),
-        ("java/lang/ArithmeticException", "java/lang/RuntimeException"),
-        ("java/lang/ArrayIndexOutOfBoundsException", "java/lang/RuntimeException"),
-        ("java/lang/NegativeArraySizeException", "java/lang/RuntimeException"),
+        (
+            "java/lang/NullPointerException",
+            "java/lang/RuntimeException",
+        ),
+        (
+            "java/lang/ArithmeticException",
+            "java/lang/RuntimeException",
+        ),
+        (
+            "java/lang/ArrayIndexOutOfBoundsException",
+            "java/lang/RuntimeException",
+        ),
+        (
+            "java/lang/NegativeArraySizeException",
+            "java/lang/RuntimeException",
+        ),
         ("java/lang/ClassCastException", "java/lang/RuntimeException"),
-        ("java/lang/IllegalArgumentException", "java/lang/RuntimeException"),
+        (
+            "java/lang/IllegalArgumentException",
+            "java/lang/RuntimeException",
+        ),
         ("java/lang/SecurityException", "java/lang/RuntimeException"),
         ("java/lang/LinkageError", "java/lang/Error"),
         ("java/lang/VerifyError", "java/lang/LinkageError"),
-        ("java/lang/NoSuchFieldError", "java/lang/IncompatibleClassChangeError"),
-        ("java/lang/NoSuchMethodError", "java/lang/IncompatibleClassChangeError"),
-        ("java/lang/IncompatibleClassChangeError", "java/lang/LinkageError"),
+        (
+            "java/lang/NoSuchFieldError",
+            "java/lang/IncompatibleClassChangeError",
+        ),
+        (
+            "java/lang/NoSuchMethodError",
+            "java/lang/IncompatibleClassChangeError",
+        ),
+        (
+            "java/lang/IncompatibleClassChangeError",
+            "java/lang/LinkageError",
+        ),
         ("java/lang/OutOfMemoryError", "java/lang/Error"),
         ("java/lang/StackOverflowError", "java/lang/Error"),
     ];
@@ -179,7 +219,11 @@ pub fn bootstrap_classes() -> Vec<ClassFile> {
     v.push(
         ClassBuilder::new("java/lang/Thread")
             .field(AccessFlags::PRIVATE, "priority", "I")
-            .field(AccessFlags::PRIVATE | AccessFlags::STATIC, "current", "Ljava/lang/Thread;")
+            .field(
+                AccessFlags::PRIVATE | AccessFlags::STATIC,
+                "current",
+                "Ljava/lang/Thread;",
+            )
             .bodyless_method(static_native(), "currentThread", "()Ljava/lang/Thread;")
             .bodyless_method(native(), "setPriority", "(I)V")
             .bodyless_method(native(), "getPriority", "()I")
@@ -286,7 +330,11 @@ mod tests {
         let mut seen: HashSet<String> = HashSet::new();
         for cf in &classes {
             if let Some(sup) = cf.super_name().unwrap() {
-                assert!(seen.contains(sup), "{} before its super {sup}", cf.name().unwrap());
+                assert!(
+                    seen.contains(sup),
+                    "{} before its super {sup}",
+                    cf.name().unwrap()
+                );
             }
             seen.insert(cf.name().unwrap().to_owned());
         }
@@ -295,8 +343,10 @@ mod tests {
     #[test]
     fn names_list_matches_built_classes() {
         let classes = bootstrap_classes();
-        let names: Vec<String> =
-            classes.iter().map(|c| c.name().unwrap().to_owned()).collect();
+        let names: Vec<String> = classes
+            .iter()
+            .map(|c| c.name().unwrap().to_owned())
+            .collect();
         for n in bootstrap_class_names() {
             assert!(names.iter().any(|x| x == n), "missing {n}");
         }

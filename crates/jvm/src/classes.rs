@@ -132,7 +132,9 @@ pub struct RuntimeClass {
 impl RuntimeClass {
     /// Finds a method declared by this class.
     pub fn find_method(&self, name: &str, descriptor: &str) -> Option<usize> {
-        self.method_index.get(&(name.to_owned(), descriptor.to_owned())).copied()
+        self.method_index
+            .get(&(name.to_owned(), descriptor.to_owned()))
+            .copied()
     }
 }
 
@@ -176,7 +178,10 @@ impl Registry {
 
     /// Iterates all loaded classes with their ids.
     pub fn iter(&self) -> impl Iterator<Item = (ClassId, &RuntimeClass)> {
-        self.classes.iter().enumerate().map(|(i, c)| (ClassId(i as u32), c))
+        self.classes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ClassId(i as u32), c))
     }
 
     /// Links a parsed class file into the registry.
@@ -414,7 +419,9 @@ mod tests {
     use dvm_classfile::ClassBuilder;
 
     fn object() -> ClassFile {
-        ClassBuilder::new("java/lang/Object").no_super_class().build()
+        ClassBuilder::new("java/lang/Object")
+            .no_super_class()
+            .build()
     }
 
     #[test]
@@ -426,7 +433,10 @@ mod tests {
             .field(AccessFlags::STATIC, "s", "J")
             .build();
         let a = reg.link(&base, 200).unwrap();
-        let derived = ClassBuilder::new("B").super_class("A").field(AccessFlags::empty(), "y", "D").build();
+        let derived = ClassBuilder::new("B")
+            .super_class("A")
+            .field(AccessFlags::empty(), "y", "D")
+            .build();
         let b = reg.link(&derived, 300).unwrap();
 
         assert_eq!(reg.get(a).instance_layout.len(), 1);
@@ -443,7 +453,10 @@ mod tests {
     fn linking_requires_super_first() {
         let mut reg = Registry::new();
         let derived = ClassBuilder::new("B").super_class("A").build();
-        assert!(matches!(reg.link(&derived, 0), Err(VmError::LinkError { .. })));
+        assert!(matches!(
+            reg.link(&derived, 0),
+            Err(VmError::LinkError { .. })
+        ));
     }
 
     #[test]
@@ -472,7 +485,9 @@ mod tests {
     fn interface_subtyping() {
         let mut reg = Registry::new();
         reg.link(&object(), 0).unwrap();
-        let iface = ClassBuilder::new("IFace").access(AccessFlags::PUBLIC | AccessFlags::INTERFACE).build();
+        let iface = ClassBuilder::new("IFace")
+            .access(AccessFlags::PUBLIC | AccessFlags::INTERFACE)
+            .build();
         let i = reg.link(&iface, 0).unwrap();
         let impl_ = ClassBuilder::new("Impl").interface("IFace").build();
         let c = reg.link(&impl_, 0).unwrap();

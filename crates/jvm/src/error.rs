@@ -54,7 +54,11 @@ impl fmt::Display for VmError {
         match self {
             VmError::ClassNotFound(c) => write!(f, "class not found: {c}"),
             VmError::LinkError { class, reason } => write!(f, "link error in {class}: {reason}"),
-            VmError::NoSuchMember { class, name, descriptor } => {
+            VmError::NoSuchMember {
+                class,
+                name,
+                descriptor,
+            } => {
                 write!(f, "no such member: {class}.{name}:{descriptor}")
             }
             VmError::BadCode(msg) => write!(f, "bad code: {msg}"),

@@ -280,7 +280,10 @@ mod tests {
         let mut h = Heap::new(1 << 20);
         let leaf = h.alloc(HeapObject::Str("leaf".into())).unwrap();
         let arr = h
-            .alloc(HeapObject::Array(ArrayData::Ref("java/lang/Object".into(), vec![Some(leaf)])))
+            .alloc(HeapObject::Array(ArrayData::Ref(
+                "java/lang/Object".into(),
+                vec![Some(leaf)],
+            )))
             .unwrap();
         let root = h.alloc(instance(0, vec![Some(arr)])).unwrap();
         let dead = h.alloc(HeapObject::Str("dead".into())).unwrap();

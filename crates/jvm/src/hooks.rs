@@ -90,7 +90,10 @@ mod tests {
     #[test]
     fn defaults_allow_everything() {
         let mut s = NoServices;
-        assert_eq!(s.security_check(1, 2), SecurityDecision::Allow { cost_cycles: 0 });
+        assert_eq!(
+            s.security_check(1, 2),
+            SecurityDecision::Allow { cost_cycles: 0 }
+        );
         s.audit_event(0, AuditKind::Enter);
         s.profile_count(0);
         s.first_use(0);

@@ -196,13 +196,23 @@ fn make_frame(class: ClassId, method: usize, code: Arc<Code>, args: Vec<Value>) 
     while locals.len() < max_locals {
         locals.push(Value::Invalid);
     }
-    Frame { class, method, code, pc: 0, locals, stack: Vec::new() }
+    Frame {
+        class,
+        method,
+        code,
+        pc: 0,
+        locals,
+        stack: Vec::new(),
+    }
 }
 
 // ---- Stack helpers ----------------------------------------------------------
 
 fn pop(frame: &mut Frame) -> Result<Value> {
-    frame.stack.pop().ok_or_else(|| VmError::BadCode("operand stack underflow".into()))
+    frame
+        .stack
+        .pop()
+        .ok_or_else(|| VmError::BadCode("operand stack underflow".into()))
 }
 
 fn pop_int(frame: &mut Frame) -> Result<i32> {
@@ -236,7 +246,9 @@ fn pop_double(frame: &mut Frame) -> Result<f64> {
 fn pop_ref(frame: &mut Frame) -> Result<Option<HeapRef>> {
     match pop(frame)? {
         Value::Ref(r) => Ok(r),
-        other => Err(VmError::BadCode(format!("expected reference, got {other:?}"))),
+        other => Err(VmError::BadCode(format!(
+            "expected reference, got {other:?}"
+        ))),
     }
 }
 
@@ -266,7 +278,9 @@ fn execute(vm: &mut Vm, frames: &mut Vec<Frame>) -> Result<Completion> {
             if frames.len() != depth {
                 break; // frame stack changed: re-snapshot
             }
-            let Some(frame) = frames.last_mut() else { break };
+            let Some(frame) = frames.last_mut() else {
+                break;
+            };
             if frame.pc >= code.insns.len() {
                 return Err(VmError::BadCode("fell off the end of a method".into()));
             }
@@ -350,7 +364,9 @@ fn unwind(vm: &mut Vm, frames: &mut Vec<Frame>, exc: HeapRef) -> Result<bool> {
 /// Helper: the current (top) frame.
 macro_rules! top {
     ($frames:expr) => {
-        $frames.last_mut().expect("frame stack cannot be empty during step")
+        $frames
+            .last_mut()
+            .expect("frame stack cannot be empty during step")
     };
 }
 
@@ -407,7 +423,8 @@ fn step(vm: &mut Vm, frames: &mut Vec<Frame>, insn: &Insn) -> Result<Step> {
             top!(frames).stack.push(v);
             Ok(Step::Next)
         }
-        Insn::Load(_, slot) => { let slot = *slot;
+        Insn::Load(_, slot) => {
+            let slot = *slot;
             let frame = top!(frames);
             let v = *frame
                 .locals
@@ -416,7 +433,8 @@ fn step(vm: &mut Vm, frames: &mut Vec<Frame>, insn: &Insn) -> Result<Step> {
             frame.stack.push(v);
             Ok(Step::Next)
         }
-        Insn::Store(_, slot) => { let slot = *slot;
+        Insn::Store(_, slot) => {
+            let slot = *slot;
             let frame = top!(frames);
             let v = pop(frame)?;
             let slot = slot as usize;
@@ -496,7 +514,9 @@ fn step(vm: &mut Vm, frames: &mut Vec<Frame>, insn: &Insn) -> Result<Step> {
                 (ArrayData::Double(v), Value::Double(x)) => v[i] = x,
                 (ArrayData::Ref(_, v), Value::Ref(x)) => v[i] = x,
                 (d, v) => {
-                    return Err(VmError::BadCode(format!("array store kind mismatch {d:?} <- {v:?}")))
+                    return Err(VmError::BadCode(format!(
+                        "array store kind mismatch {d:?} <- {v:?}"
+                    )))
                 }
             }
             Ok(Step::Next)
@@ -536,7 +556,8 @@ fn step(vm: &mut Vm, frames: &mut Vec<Frame>, insn: &Insn) -> Result<Step> {
             Ok(Step::Next)
         }
         Insn::Arith(kind, op) => arith(vm, frames, *kind, *op),
-        Insn::Shift(kind, op) => { let (kind, op) = (*kind, *op);
+        Insn::Shift(kind, op) => {
+            let (kind, op) = (*kind, *op);
             let frame = top!(frames);
             let amount = pop_int(frame)?;
             match kind {
@@ -564,7 +585,8 @@ fn step(vm: &mut Vm, frames: &mut Vec<Frame>, insn: &Insn) -> Result<Step> {
             }
             Ok(Step::Next)
         }
-        Insn::Logic(kind, op) => { let (kind, op) = (*kind, *op);
+        Insn::Logic(kind, op) => {
+            let (kind, op) = (*kind, *op);
             let frame = top!(frames);
             match kind {
                 NumKind::Int => {
@@ -591,7 +613,8 @@ fn step(vm: &mut Vm, frames: &mut Vec<Frame>, insn: &Insn) -> Result<Step> {
             }
             Ok(Step::Next)
         }
-        Insn::IInc(slot, delta) => { let (slot, delta) = (*slot, *delta);
+        Insn::IInc(slot, delta) => {
+            let (slot, delta) = (*slot, *delta);
             let frame = top!(frames);
             match frame.locals.get_mut(slot as usize) {
                 Some(Value::Int(v)) => {
@@ -601,7 +624,8 @@ fn step(vm: &mut Vm, frames: &mut Vec<Frame>, insn: &Insn) -> Result<Step> {
                 other => Err(VmError::BadCode(format!("iinc on {other:?}"))),
             }
         }
-        Insn::Convert(from, to) => { let (from, to) = (*from, *to);
+        Insn::Convert(from, to) => {
+            let (from, to) = (*from, *to);
             let frame = top!(frames);
             let v = match (from, to) {
                 (NumType::Int, NumType::Long) => Value::Long(pop_int(frame)? as i64),
@@ -635,43 +659,50 @@ fn step(vm: &mut Vm, frames: &mut Vec<Frame>, insn: &Insn) -> Result<Step> {
             }));
             Ok(Step::Next)
         }
-        Insn::FCmp(g) => { let g = *g;
+        Insn::FCmp(g) => {
+            let g = *g;
             let frame = top!(frames);
             let b = pop_float(frame)?;
             let a = pop_float(frame)?;
             frame.stack.push(Value::Int(fcmp(a as f64, b as f64, g)));
             Ok(Step::Next)
         }
-        Insn::DCmp(g) => { let g = *g;
+        Insn::DCmp(g) => {
+            let g = *g;
             let frame = top!(frames);
             let b = pop_double(frame)?;
             let a = pop_double(frame)?;
             frame.stack.push(Value::Int(fcmp(a, b, g)));
             Ok(Step::Next)
         }
-        Insn::If(cond, target) => { let (cond, target) = (*cond, *target);
+        Insn::If(cond, target) => {
+            let (cond, target) = (*cond, *target);
             let frame = top!(frames);
             let v = pop_int(frame)?;
             branch_if(frame, icond(cond, v, 0), target)
         }
-        Insn::IfICmp(cond, target) => { let (cond, target) = (*cond, *target);
+        Insn::IfICmp(cond, target) => {
+            let (cond, target) = (*cond, *target);
             let frame = top!(frames);
             let b = pop_int(frame)?;
             let a = pop_int(frame)?;
             branch_if(frame, icond(cond, a, b), target)
         }
-        Insn::IfACmp(eq, target) => { let (eq, target) = (*eq, *target);
+        Insn::IfACmp(eq, target) => {
+            let (eq, target) = (*eq, *target);
             let frame = top!(frames);
             let b = pop_ref(frame)?;
             let a = pop_ref(frame)?;
             branch_if(frame, (a == b) == eq, target)
         }
-        Insn::IfNull(target) => { let target = *target;
+        Insn::IfNull(target) => {
+            let target = *target;
             let frame = top!(frames);
             let v = pop_ref(frame)?;
             branch_if(frame, v.is_none(), target)
         }
-        Insn::IfNonNull(target) => { let target = *target;
+        Insn::IfNonNull(target) => {
+            let target = *target;
             let frame = top!(frames);
             let v = pop_ref(frame)?;
             branch_if(frame, v.is_some(), target)
@@ -680,13 +711,15 @@ fn step(vm: &mut Vm, frames: &mut Vec<Frame>, insn: &Insn) -> Result<Step> {
             top!(frames).pc = *target;
             Ok(Step::Jumped)
         }
-        Insn::Jsr(target) => { let target = *target;
+        Insn::Jsr(target) => {
+            let target = *target;
             let frame = top!(frames);
             frame.stack.push(Value::RetAddr(frame.pc as u32 + 1));
             frame.pc = target;
             Ok(Step::Jumped)
         }
-        Insn::Ret(slot) => { let slot = *slot;
+        Insn::Ret(slot) => {
+            let slot = *slot;
             let frame = top!(frames);
             match frame.locals.get(slot as usize) {
                 Some(Value::RetAddr(pc)) => {
@@ -696,7 +729,12 @@ fn step(vm: &mut Vm, frames: &mut Vec<Frame>, insn: &Insn) -> Result<Step> {
                 other => Err(VmError::BadCode(format!("ret on {other:?}"))),
             }
         }
-        Insn::TableSwitch { default, low, targets } => { let (default, low) = (*default, *low);
+        Insn::TableSwitch {
+            default,
+            low,
+            targets,
+        } => {
+            let (default, low) = (*default, *low);
             let frame = top!(frames);
             let v = pop_int(frame)?;
             let idx = v.wrapping_sub(low);
@@ -708,7 +746,8 @@ fn step(vm: &mut Vm, frames: &mut Vec<Frame>, insn: &Insn) -> Result<Step> {
             frame.pc = t;
             Ok(Step::Jumped)
         }
-        Insn::LookupSwitch { default, pairs } => { let default = *default;
+        Insn::LookupSwitch { default, pairs } => {
+            let default = *default;
             let frame = top!(frames);
             let v = pop_int(frame)?;
             let t = pairs
@@ -719,7 +758,8 @@ fn step(vm: &mut Vm, frames: &mut Vec<Frame>, insn: &Insn) -> Result<Step> {
             frame.pc = t;
             Ok(Step::Jumped)
         }
-        Insn::Return(kind) => { let kind = *kind;
+        Insn::Return(kind) => {
+            let kind = *kind;
             let frame = top!(frames);
             let ret = match kind {
                 Some(_) => Some(pop(frame)?),
@@ -743,7 +783,8 @@ fn step(vm: &mut Vm, frames: &mut Vec<Frame>, insn: &Insn) -> Result<Step> {
         }
         Insn::GetStatic(idx) => static_field(vm, frames, *idx, false),
         Insn::PutStatic(idx) => static_field(vm, frames, *idx, true),
-        Insn::GetField(idx) => { let idx = *idx;
+        Insn::GetField(idx) => {
+            let idx = *idx;
             let caller = top!(frames).class;
             let obj = pop_ref(top!(frames))?;
             let Some(obj) = obj else {
@@ -757,7 +798,8 @@ fn step(vm: &mut Vm, frames: &mut Vec<Frame>, insn: &Insn) -> Result<Step> {
             top!(frames).stack.push(v);
             Ok(Step::Next)
         }
-        Insn::PutField(idx) => { let idx = *idx;
+        Insn::PutField(idx) => {
+            let idx = *idx;
             let caller = top!(frames).class;
             let frame = top!(frames);
             let value = pop(frame)?;
@@ -777,7 +819,8 @@ fn step(vm: &mut Vm, frames: &mut Vec<Frame>, insn: &Insn) -> Result<Step> {
         }
         Insn::InvokeSpecial(idx) => invoke(vm, frames, *idx, Dispatch::Special),
         Insn::InvokeStatic(idx) => invoke(vm, frames, *idx, Dispatch::Static),
-        Insn::New(idx) => { let idx = *idx;
+        Insn::New(idx) => {
+            let idx = *idx;
             let class_name = {
                 let rc = vm.registry.get(top!(frames).class);
                 rc.pool.get_class_name(idx)?.to_owned()
@@ -795,7 +838,8 @@ fn step(vm: &mut Vm, frames: &mut Vec<Frame>, insn: &Insn) -> Result<Step> {
             top!(frames).stack.push(Value::Ref(Some(r)));
             Ok(Step::Next)
         }
-        Insn::NewArray(kind) => { let kind = *kind;
+        Insn::NewArray(kind) => {
+            let kind = *kind;
             let frame = top!(frames);
             let len = pop_int(frame)?;
             if len < 0 {
@@ -820,7 +864,8 @@ fn step(vm: &mut Vm, frames: &mut Vec<Frame>, insn: &Insn) -> Result<Step> {
             top!(frames).stack.push(Value::Ref(Some(r)));
             Ok(Step::Next)
         }
-        Insn::ANewArray(idx) => { let idx = *idx;
+        Insn::ANewArray(idx) => {
+            let idx = *idx;
             let elem = {
                 let rc = vm.registry.get(top!(frames).class);
                 rc.pool.get_class_name(idx)?.to_owned()
@@ -832,9 +877,10 @@ fn step(vm: &mut Vm, frames: &mut Vec<Frame>, insn: &Insn) -> Result<Step> {
             }
             maybe_gc(vm, frames);
             vm.stats.allocations += 1;
-            let r = vm
-                .heap
-                .alloc(HeapObject::Array(ArrayData::Ref(elem, vec![None; len as usize])))?;
+            let r = vm.heap.alloc(HeapObject::Array(ArrayData::Ref(
+                elem,
+                vec![None; len as usize],
+            )))?;
             top!(frames).stack.push(Value::Ref(Some(r)));
             Ok(Step::Next)
         }
@@ -857,10 +903,15 @@ fn step(vm: &mut Vm, frames: &mut Vec<Frame>, insn: &Insn) -> Result<Step> {
             let exc = pop_ref(frame)?;
             match exc {
                 Some(e) => Ok(Step::Throw(e)),
-                None => throw(vm, "java/lang/NullPointerException", "athrow of null".into()),
+                None => throw(
+                    vm,
+                    "java/lang/NullPointerException",
+                    "athrow of null".into(),
+                ),
             }
         }
-        Insn::CheckCast(idx) => { let idx = *idx;
+        Insn::CheckCast(idx) => {
+            let idx = *idx;
             let target = {
                 let rc = vm.registry.get(top!(frames).class);
                 rc.pool.get_class_name(idx)?.to_owned()
@@ -878,7 +929,8 @@ fn step(vm: &mut Vm, frames: &mut Vec<Frame>, insn: &Insn) -> Result<Step> {
                 throw(vm, "java/lang/ClassCastException", target)
             }
         }
-        Insn::InstanceOf(idx) => { let idx = *idx;
+        Insn::InstanceOf(idx) => {
+            let idx = *idx;
             let target = {
                 let rc = vm.registry.get(top!(frames).class);
                 rc.pool.get_class_name(idx)?.to_owned()
@@ -901,7 +953,8 @@ fn step(vm: &mut Vm, frames: &mut Vec<Frame>, insn: &Insn) -> Result<Step> {
             }
             Ok(Step::Next)
         }
-        Insn::MultiANewArray(idx, dims) => { let (idx, dims) = (*idx, *dims);
+        Insn::MultiANewArray(idx, dims) => {
+            let (idx, dims) = (*idx, *dims);
             let desc = {
                 let rc = vm.registry.get(top!(frames).class);
                 rc.pool.get_class_name(idx)?.to_owned()
@@ -913,7 +966,11 @@ fn step(vm: &mut Vm, frames: &mut Vec<Frame>, insn: &Insn) -> Result<Step> {
             }
             sizes.reverse();
             if sizes.iter().any(|&s| s < 0) {
-                return throw(vm, "java/lang/NegativeArraySizeException", format!("{sizes:?}"));
+                return throw(
+                    vm,
+                    "java/lang/NegativeArraySizeException",
+                    format!("{sizes:?}"),
+                );
             }
             maybe_gc(vm, frames);
             let ft = FieldType::parse(&desc)?;
@@ -968,7 +1025,12 @@ fn static_field(vm: &mut Vm, frames: &mut Vec<Frame>, idx: u16, is_put: bool) ->
 /// Resolves (and caches) an instance-field offset for `idx` in `caller`'s
 /// pool. Offsets are receiver-independent because subclass layouts share
 /// the superclass prefix.
-fn instance_field_offset(vm: &mut Vm, caller: ClassId, idx: u16, receiver: HeapRef) -> Result<usize> {
+fn instance_field_offset(
+    vm: &mut Vm,
+    caller: ClassId,
+    idx: u16,
+    receiver: HeapRef,
+) -> Result<usize> {
     if let Some(&off) = vm.registry.get(caller).ifield_cache.get(&idx) {
         return Ok(off);
     }
@@ -1217,7 +1279,8 @@ fn invoke_info(vm: &mut Vm, caller: ClassId, idx: u16, is_static: bool) -> Resul
     // Statically resolve the target for static/special dispatch (the
     // binding never changes); virtual dispatch caches per receiver class.
     let static_target = if is_static {
-        vm.registry.resolve_method(decl_class, &method_name, &method_desc)
+        vm.registry
+            .resolve_method(decl_class, &method_name, &method_desc)
     } else {
         None
     };
@@ -1228,7 +1291,10 @@ fn invoke_info(vm: &mut Vm, caller: ClassId, idx: u16, is_static: bool) -> Resul
         param_count: md.params.len(),
         static_target,
     };
-    vm.registry.get_mut(caller).invoke_cache.insert(idx, info.clone());
+    vm.registry
+        .get_mut(caller)
+        .invoke_cache
+        .insert(idx, info.clone());
     Ok(info)
 }
 
@@ -1305,18 +1371,25 @@ fn invoke(vm: &mut Vm, frames: &mut Vec<Frame>, idx: u16, dispatch: Dispatch) ->
                             name: info.name.to_string(),
                             descriptor: info.descriptor.to_string(),
                         })?;
-                    vm.registry.get_mut(caller).vcall_cache.insert((idx, recv_class), t);
+                    vm.registry
+                        .get_mut(caller)
+                        .vcall_cache
+                        .insert((idx, recv_class), t);
                     t
                 }
             }
         }
-        _ => info.static_target.or_else(|| {
-            vm.registry.resolve_method(decl_class, &info.name, &info.descriptor)
-        }).ok_or_else(|| VmError::NoSuchMember {
-            class: vm.registry.get(decl_class).name.clone(),
-            name: info.name.to_string(),
-            descriptor: info.descriptor.to_string(),
-        })?,
+        _ => info
+            .static_target
+            .or_else(|| {
+                vm.registry
+                    .resolve_method(decl_class, &info.name, &info.descriptor)
+            })
+            .ok_or_else(|| VmError::NoSuchMember {
+                class: vm.registry.get(decl_class).name.clone(),
+                name: info.name.to_string(),
+                descriptor: info.descriptor.to_string(),
+            })?,
     };
 
     // Advance caller pc now; the callee's return resumes after the call.
@@ -1350,9 +1423,10 @@ fn invoke(vm: &mut Vm, frames: &mut Vec<Frame>, idx: u16, dispatch: Dispatch) ->
         if frames.len() >= MAX_FRAMES {
             return Err(VmError::StackOverflow);
         }
-        let code = target.code.clone().ok_or_else(|| {
-            VmError::BadCode(format!("{} is abstract", info.name))
-        })?;
+        let code = target
+            .code
+            .clone()
+            .ok_or_else(|| VmError::BadCode(format!("{} is abstract", info.name)))?;
         frames.push(make_frame(target_class, target_idx, code, full_args));
         Ok(Step::Jumped)
     }
@@ -1393,7 +1467,8 @@ fn alloc_multi(vm: &mut Vm, ft: &FieldType, sizes: &[i32]) -> Result<HeapRef> {
     for _ in 0..n {
         elems.push(Some(alloc_multi(vm, elem, &sizes[1..])?));
     }
-    vm.heap.alloc(HeapObject::Array(ArrayData::Ref(elem.descriptor(), elems)))
+    vm.heap
+        .alloc(HeapObject::Array(ArrayData::Ref(elem.descriptor(), elems)))
 }
 
 fn maybe_gc(vm: &mut Vm, frames: &[Frame]) {

@@ -33,7 +33,10 @@ impl NativeResult {
     }
 
     fn throw(class: &str, message: impl Into<String>) -> Result<NativeResult> {
-        Ok(NativeResult::Throw { class: class.to_owned(), message: message.into() })
+        Ok(NativeResult::Throw {
+            class: class.to_owned(),
+            message: message.into(),
+        })
     }
 }
 
@@ -56,7 +59,9 @@ impl std::fmt::Debug for NativeRegistry {
 impl NativeRegistry {
     /// Creates an empty registry.
     pub fn new() -> NativeRegistry {
-        NativeRegistry { table: HashMap::new() }
+        NativeRegistry {
+            table: HashMap::new(),
+        }
     }
 
     /// Creates a registry pre-populated with the bootstrap natives.
@@ -68,7 +73,10 @@ impl NativeRegistry {
 
     /// Registers an implementation.
     pub fn register(&mut self, class: &str, name: &str, descriptor: &str, f: NativeFn) {
-        self.table.insert((class.to_owned(), name.to_owned(), descriptor.to_owned()), f);
+        self.table.insert(
+            (class.to_owned(), name.to_owned(), descriptor.to_owned()),
+            f,
+        );
     }
 
     /// Looks up an implementation.
@@ -185,37 +193,49 @@ fn set_instance_field(vm: &mut Vm, obj: HeapRef, offset: usize, v: Value) -> Res
 
 fn register_builtins(r: &mut NativeRegistry) {
     // java/lang/Object
-    r.register("java/lang/Object", "<init>", "()V", |_vm, _args| NativeResult::void());
+    r.register("java/lang/Object", "<init>", "()V", |_vm, _args| {
+        NativeResult::void()
+    });
     r.register("java/lang/Object", "hashCode", "()I", |_vm, args| {
         let this = nonnull!(args, 0);
         NativeResult::ret(Value::Int(this.0 as i32))
     });
-    r.register("java/lang/Object", "equals", "(Ljava/lang/Object;)Z", |vm, args| {
-        let this = nonnull!(args, 0);
-        let other = arg_ref(args, 1)?;
-        let eq = match other {
-            Some(o) => {
-                if o == this {
-                    true
-                } else {
-                    // Strings compare by value even through Object.equals.
-                    matches!(
-                        (vm.heap.get(this)?, vm.heap.get(o)?),
-                        (HeapObject::Str(a), HeapObject::Str(b)) if a == b
-                    )
+    r.register(
+        "java/lang/Object",
+        "equals",
+        "(Ljava/lang/Object;)Z",
+        |vm, args| {
+            let this = nonnull!(args, 0);
+            let other = arg_ref(args, 1)?;
+            let eq = match other {
+                Some(o) => {
+                    if o == this {
+                        true
+                    } else {
+                        // Strings compare by value even through Object.equals.
+                        matches!(
+                            (vm.heap.get(this)?, vm.heap.get(o)?),
+                            (HeapObject::Str(a), HeapObject::Str(b)) if a == b
+                        )
+                    }
                 }
-            }
-            None => false,
-        };
-        NativeResult::ret(Value::Int(eq as i32))
-    });
-    r.register("java/lang/Object", "toString", "()Ljava/lang/String;", |vm, args| {
-        let this = nonnull!(args, 0);
-        let class = vm.class_of(this)?;
-        let name = vm.registry.get(class).name.clone();
-        let s = vm.new_string(format!("{name}@{}", this.0))?;
-        NativeResult::ret(Value::Ref(Some(s)))
-    });
+                None => false,
+            };
+            NativeResult::ret(Value::Int(eq as i32))
+        },
+    );
+    r.register(
+        "java/lang/Object",
+        "toString",
+        "()Ljava/lang/String;",
+        |vm, args| {
+            let this = nonnull!(args, 0);
+            let class = vm.class_of(this)?;
+            let name = vm.registry.get(class).name.clone();
+            let s = vm.new_string(format!("{name}@{}", this.0))?;
+            NativeResult::ret(Value::Ref(Some(s)))
+        },
+    );
 
     // java/lang/String
     r.register("java/lang/String", "length", "()I", |vm, args| {
@@ -244,18 +264,23 @@ fn register_builtins(r: &mut NativeRegistry) {
         }
         NativeResult::ret(Value::Int(h))
     });
-    r.register("java/lang/String", "equals", "(Ljava/lang/Object;)Z", |vm, args| {
-        let this = nonnull!(args, 0);
-        let other = arg_ref(args, 1)?;
-        let eq = match other {
-            Some(o) => matches!(
-                (vm.heap.get(this)?, vm.heap.get(o)?),
-                (HeapObject::Str(a), HeapObject::Str(b)) if a == b
-            ),
-            None => false,
-        };
-        NativeResult::ret(Value::Int(eq as i32))
-    });
+    r.register(
+        "java/lang/String",
+        "equals",
+        "(Ljava/lang/Object;)Z",
+        |vm, args| {
+            let this = nonnull!(args, 0);
+            let other = arg_ref(args, 1)?;
+            let eq = match other {
+                Some(o) => matches!(
+                    (vm.heap.get(this)?, vm.heap.get(o)?),
+                    (HeapObject::Str(a), HeapObject::Str(b)) if a == b
+                ),
+                None => false,
+            };
+            NativeResult::ret(Value::Int(eq as i32))
+        },
+    );
     r.register(
         "java/lang/String",
         "concat",
@@ -268,26 +293,36 @@ fn register_builtins(r: &mut NativeRegistry) {
             NativeResult::ret(Value::Ref(Some(s)))
         },
     );
-    r.register("java/lang/String", "substring", "(II)Ljava/lang/String;", |vm, args| {
-        let this = nonnull!(args, 0);
-        let (from, to) = (arg_int(args, 1)?, arg_int(args, 2)?);
-        let s = vm.get_string(this)?.to_owned();
-        let chars: Vec<char> = s.chars().collect();
-        if from < 0 || to < from || to as usize > chars.len() {
-            return NativeResult::throw(
-                "java/lang/ArrayIndexOutOfBoundsException",
-                format!("substring({from}, {to}) of length {}", chars.len()),
-            );
-        }
-        let sub: String = chars[from as usize..to as usize].iter().collect();
-        let r = vm.new_string(sub)?;
-        NativeResult::ret(Value::Ref(Some(r)))
-    });
-    r.register("java/lang/String", "valueOf", "(I)Ljava/lang/String;", |vm, args| {
-        let v = arg_int(args, 0)?;
-        let s = vm.new_string(v.to_string())?;
-        NativeResult::ret(Value::Ref(Some(s)))
-    });
+    r.register(
+        "java/lang/String",
+        "substring",
+        "(II)Ljava/lang/String;",
+        |vm, args| {
+            let this = nonnull!(args, 0);
+            let (from, to) = (arg_int(args, 1)?, arg_int(args, 2)?);
+            let s = vm.get_string(this)?.to_owned();
+            let chars: Vec<char> = s.chars().collect();
+            if from < 0 || to < from || to as usize > chars.len() {
+                return NativeResult::throw(
+                    "java/lang/ArrayIndexOutOfBoundsException",
+                    format!("substring({from}, {to}) of length {}", chars.len()),
+                );
+            }
+            let sub: String = chars[from as usize..to as usize].iter().collect();
+            let r = vm.new_string(sub)?;
+            NativeResult::ret(Value::Ref(Some(r)))
+        },
+    );
+    r.register(
+        "java/lang/String",
+        "valueOf",
+        "(I)Ljava/lang/String;",
+        |vm, args| {
+            let v = arg_int(args, 0)?;
+            let s = vm.new_string(v.to_string())?;
+            NativeResult::ret(Value::Ref(Some(s)))
+        },
+    );
 
     // java/lang/StringBuilder — `buf` is instance field 0.
     r.register("java/lang/StringBuilder", "<init>", "()V", |vm, args| {
@@ -318,15 +353,24 @@ fn register_builtins(r: &mut NativeRegistry) {
             NativeResult::ret(Value::Ref(Some(this)))
         },
     );
-    r.register("java/lang/StringBuilder", "toString", "()Ljava/lang/String;", |vm, args| {
-        let this = nonnull!(args, 0);
-        let buf = instance_field(vm, this, 0)?;
-        NativeResult::ret(buf)
-    });
+    r.register(
+        "java/lang/StringBuilder",
+        "toString",
+        "()Ljava/lang/String;",
+        |vm, args| {
+            let this = nonnull!(args, 0);
+            let buf = instance_field(vm, this, 0)?;
+            NativeResult::ret(buf)
+        },
+    );
 
     // java/io/OutputStream
-    r.register("java/io/OutputStream", "<init>", "()V", |_vm, _args| NativeResult::void());
-    r.register("java/io/OutputStream", "write", "(I)V", |_vm, _args| NativeResult::void());
+    r.register("java/io/OutputStream", "<init>", "()V", |_vm, _args| {
+        NativeResult::void()
+    });
+    r.register("java/io/OutputStream", "write", "(I)V", |_vm, _args| {
+        NativeResult::void()
+    });
 
     // java/io/PrintStream
     r.register(
@@ -348,14 +392,19 @@ fn register_builtins(r: &mut NativeRegistry) {
         vm.stdout.push(String::new());
         NativeResult::void()
     });
-    r.register("java/io/PrintStream", "print", "(Ljava/lang/String;)V", |vm, args| {
-        let s = string_arg!(vm, args, 1);
-        match vm.stdout.last_mut() {
-            Some(last) => last.push_str(&s),
-            None => vm.stdout.push(s),
-        }
-        NativeResult::void()
-    });
+    r.register(
+        "java/io/PrintStream",
+        "print",
+        "(Ljava/lang/String;)V",
+        |vm, args| {
+            let s = string_arg!(vm, args, 1);
+            match vm.stdout.last_mut() {
+                Some(last) => last.push_str(&s),
+                None => vm.stdout.push(s),
+            }
+            NativeResult::void()
+        },
+    );
 
     // java/lang/System
     r.register(
@@ -377,27 +426,47 @@ fn register_builtins(r: &mut NativeRegistry) {
             }
         },
     );
-    r.register("java/lang/System", "currentTimeMillis", "()J", |vm, _args| {
-        // Simulated wall clock derived from the cycle counter (200 MHz).
-        NativeResult::ret(Value::Long((vm.stats.cycles / 200_000) as i64))
-    });
+    r.register(
+        "java/lang/System",
+        "currentTimeMillis",
+        "()J",
+        |vm, _args| {
+            // Simulated wall clock derived from the cycle counter (200 MHz).
+            NativeResult::ret(Value::Long((vm.stats.cycles / 200_000) as i64))
+        },
+    );
 
     // java/lang/Throwable — `message` is instance field 0.
-    r.register("java/lang/Throwable", "<init>", "()V", |_vm, _args| NativeResult::void());
-    r.register("java/lang/Throwable", "<init>", "(Ljava/lang/String;)V", |vm, args| {
-        let this = nonnull!(args, 0);
-        let msg = arg_ref(args, 1)?;
-        set_instance_field(vm, this, 0, Value::Ref(msg))?;
+    r.register("java/lang/Throwable", "<init>", "()V", |_vm, _args| {
         NativeResult::void()
     });
-    r.register("java/lang/Throwable", "getMessage", "()Ljava/lang/String;", |vm, args| {
-        let this = nonnull!(args, 0);
-        NativeResult::ret(instance_field(vm, this, 0)?)
-    });
+    r.register(
+        "java/lang/Throwable",
+        "<init>",
+        "(Ljava/lang/String;)V",
+        |vm, args| {
+            let this = nonnull!(args, 0);
+            let msg = arg_ref(args, 1)?;
+            set_instance_field(vm, this, 0, Value::Ref(msg))?;
+            NativeResult::void()
+        },
+    );
+    r.register(
+        "java/lang/Throwable",
+        "getMessage",
+        "()Ljava/lang/String;",
+        |vm, args| {
+            let this = nonnull!(args, 0);
+            NativeResult::ret(instance_field(vm, this, 0)?)
+        },
+    );
 
     // java/lang/Thread — instance field 0 = priority, static `current`.
-    r.register("java/lang/Thread", "currentThread", "()Ljava/lang/Thread;", |vm, _args| {
-        match vm.get_static("java/lang/Thread", "current")? {
+    r.register(
+        "java/lang/Thread",
+        "currentThread",
+        "()Ljava/lang/Thread;",
+        |vm, _args| match vm.get_static("java/lang/Thread", "current")? {
             Value::Ref(Some(t)) => NativeResult::ret(Value::Ref(Some(t))),
             _ => {
                 let class = vm
@@ -409,8 +478,8 @@ fn register_builtins(r: &mut NativeRegistry) {
                 vm.set_static("java/lang/Thread", "current", Value::Ref(Some(t)))?;
                 NativeResult::ret(Value::Ref(Some(t)))
             }
-        }
-    });
+        },
+    );
     r.register("java/lang/Thread", "setPriority", "(I)V", |vm, args| {
         if let Some(c) = vm.builtin_checks.set_priority {
             vm.stats.cycles += c;
@@ -447,17 +516,27 @@ fn register_builtins(r: &mut NativeRegistry) {
     });
 
     // java/lang/Integer
-    r.register("java/lang/Integer", "toString", "(I)Ljava/lang/String;", |vm, args| {
-        let s = vm.new_string(arg_int(args, 0)?.to_string())?;
-        NativeResult::ret(Value::Ref(Some(s)))
-    });
-    r.register("java/lang/Integer", "parseInt", "(Ljava/lang/String;)I", |vm, args| {
-        let s = string_arg!(vm, args, 0);
-        match s.trim().parse::<i32>() {
-            Ok(v) => NativeResult::ret(Value::Int(v)),
-            Err(_) => NativeResult::throw("java/lang/IllegalArgumentException", s),
-        }
-    });
+    r.register(
+        "java/lang/Integer",
+        "toString",
+        "(I)Ljava/lang/String;",
+        |vm, args| {
+            let s = vm.new_string(arg_int(args, 0)?.to_string())?;
+            NativeResult::ret(Value::Ref(Some(s)))
+        },
+    );
+    r.register(
+        "java/lang/Integer",
+        "parseInt",
+        "(Ljava/lang/String;)I",
+        |vm, args| {
+            let s = string_arg!(vm, args, 0);
+            match s.trim().parse::<i32>() {
+                Ok(v) => NativeResult::ret(Value::Int(v)),
+                Err(_) => NativeResult::throw("java/lang/IllegalArgumentException", s),
+            }
+        },
+    );
 
     // java/io/FileInputStream — instance field 0 = fd.
     r.register(
@@ -561,7 +640,10 @@ fn register_builtins(r: &mut NativeRegistry) {
                         let mut cur = Some(sup);
                         while let Some(c) = cur {
                             let rc = vm.registry.get(c);
-                            if rc.static_layout.iter().any(|s| s.name == field && s.descriptor == desc)
+                            if rc
+                                .static_layout
+                                .iter()
+                                .any(|s| s.name == field && s.descriptor == desc)
                             {
                                 return true;
                             }
@@ -711,7 +793,11 @@ mod tests {
         let r = NativeRegistry::with_builtins();
         assert!(r.lookup("java/lang/Object", "hashCode", "()I").is_some());
         assert!(r
-            .lookup("dvm/rt/RTVerifier", "checkMethod", "(Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;)V")
+            .lookup(
+                "dvm/rt/RTVerifier",
+                "checkMethod",
+                "(Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;)V"
+            )
             .is_some());
         assert!(r.lookup("java/lang/Object", "nope", "()V").is_none());
     }
@@ -720,7 +806,10 @@ mod tests {
     fn string_natives_work() {
         let mut vm = vm();
         let s = vm.intern_string("hello").unwrap();
-        let f = vm.natives.lookup("java/lang/String", "length", "()I").unwrap();
+        let f = vm
+            .natives
+            .lookup("java/lang/String", "length", "()I")
+            .unwrap();
         let out = f(&mut vm, &[Value::Ref(Some(s))]).unwrap();
         assert_eq!(out, NativeResult::Return(Some(Value::Int(5))));
     }
@@ -753,10 +842,16 @@ mod tests {
             .unwrap();
         let out = f(
             &mut vm,
-            &[Value::Ref(Some(c)), Value::Ref(Some(m)), Value::Ref(Some(d))],
+            &[
+                Value::Ref(Some(c)),
+                Value::Ref(Some(m)),
+                Value::Ref(Some(d)),
+            ],
         )
         .unwrap();
-        assert!(matches!(out, NativeResult::Throw { class, .. } if class == "java/lang/NoSuchMethodError"));
+        assert!(
+            matches!(out, NativeResult::Throw { class, .. } if class == "java/lang/NoSuchMethodError")
+        );
         assert_eq!(vm.stats.dynamic_verify_checks, 1);
     }
 
@@ -772,7 +867,10 @@ mod tests {
             .lookup("java/io/FileInputStream", "<init>", "(Ljava/lang/String;)V")
             .unwrap();
         init(&mut vm, &[Value::Ref(Some(fis)), Value::Ref(Some(path))]).unwrap();
-        let read = vm.natives.lookup("java/io/FileInputStream", "read", "()I").unwrap();
+        let read = vm
+            .natives
+            .lookup("java/io/FileInputStream", "read", "()I")
+            .unwrap();
         assert_eq!(
             read(&mut vm, &[Value::Ref(Some(fis))]).unwrap(),
             NativeResult::Return(Some(Value::Int(7)))

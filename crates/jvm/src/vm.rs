@@ -180,8 +180,11 @@ impl Vm {
                 let sup = sup.to_owned();
                 self.load_class(&sup)?;
             }
-            let ifaces: Vec<String> =
-                cf.interface_names()?.into_iter().map(str::to_owned).collect();
+            let ifaces: Vec<String> = cf
+                .interface_names()?
+                .into_iter()
+                .map(str::to_owned)
+                .collect();
             for iface in ifaces {
                 self.load_class(&iface)?;
             }
@@ -254,11 +257,13 @@ impl Vm {
             .id_of(class)
             .ok_or_else(|| VmError::ClassNotFound(class.to_owned()))?;
         let (decl, off) =
-            self.registry.resolve_static(id, field).ok_or_else(|| VmError::NoSuchMember {
-                class: class.to_owned(),
-                name: field.to_owned(),
-                descriptor: "<static>".to_owned(),
-            })?;
+            self.registry
+                .resolve_static(id, field)
+                .ok_or_else(|| VmError::NoSuchMember {
+                    class: class.to_owned(),
+                    name: field.to_owned(),
+                    descriptor: "<static>".to_owned(),
+                })?;
         self.registry.get_mut(decl).statics[off] = value;
         Ok(())
     }
@@ -270,11 +275,13 @@ impl Vm {
             .id_of(class)
             .ok_or_else(|| VmError::ClassNotFound(class.to_owned()))?;
         let (decl, off) =
-            self.registry.resolve_static(id, field).ok_or_else(|| VmError::NoSuchMember {
-                class: class.to_owned(),
-                name: field.to_owned(),
-                descriptor: "<static>".to_owned(),
-            })?;
+            self.registry
+                .resolve_static(id, field)
+                .ok_or_else(|| VmError::NoSuchMember {
+                    class: class.to_owned(),
+                    name: field.to_owned(),
+                    descriptor: "<static>".to_owned(),
+                })?;
         Ok(self.registry.get(decl).statics[off])
     }
 
@@ -374,7 +381,9 @@ mod tests {
     #[test]
     fn exceptions_carry_class_and_message() {
         let mut vm = Vm::new(Box::new(MapProvider::new())).unwrap();
-        let e = vm.make_exception("java/lang/NullPointerException", "boom").unwrap();
+        let e = vm
+            .make_exception("java/lang/NullPointerException", "boom")
+            .unwrap();
         let (class, msg) = vm.exception_message(e).unwrap();
         assert_eq!(class, "java/lang/NullPointerException");
         assert_eq!(msg, "boom");

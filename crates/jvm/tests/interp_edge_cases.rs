@@ -2,13 +2,23 @@
 //! (NaN, shift masking, overflow wrapping), subroutines, and
 //! multi-dimensional arrays.
 
-use dvm_bytecode::insn::{AKind, ArithOp, ICond, Insn, Kind, LogicOp, NumKind, NumType, ShiftOp};
-use dvm_classfile::{AccessFlags, Attribute, ClassBuilder, ClassFile, CodeAttribute, MemberInfo};
+use dvm_bytecode::insn::{AKind, ArithOp, Insn, Kind, LogicOp, NumKind, NumType, ShiftOp};
+use dvm_classfile::{AccessFlags, Attribute, ClassBuilder, ClassFile, MemberInfo};
 use dvm_jvm::{Completion, MapProvider, Value, Vm};
 
-fn class_with(name: &str, method: &str, desc: &str, insns: Vec<Insn>, max_locals: u16) -> ClassFile {
+fn class_with(
+    name: &str,
+    method: &str,
+    desc: &str,
+    insns: Vec<Insn>,
+    max_locals: u16,
+) -> ClassFile {
     let mut cf = ClassBuilder::new(name).build();
-    let code = dvm_bytecode::Code { insns, handlers: vec![], max_locals };
+    let code = dvm_bytecode::Code {
+        insns,
+        handlers: vec![],
+        max_locals,
+    };
     let attr = code.encode(&cf.pool).unwrap();
     let n = cf.pool.utf8(method).unwrap();
     let d = cf.pool.utf8(desc).unwrap();
@@ -97,12 +107,12 @@ fn dup2_x2_handles_mixed_categories() {
             "f",
             "()I",
             vec![
-                Insn::LConst(1),               // [1L]
-                Insn::IConst(2),               // [1L, 2]
-                Insn::IConst(3),               // [1L, 2, 3]
-                Insn::Dup2X2,                  // [2, 3, 1L, 2, 3]
-                Insn::Pop,                     // [2, 3, 1L, 2]
-                Insn::Pop,                     // [2, 3, 1L]
+                Insn::LConst(1),                            // [1L]
+                Insn::IConst(2),                            // [1L, 2]
+                Insn::IConst(3),                            // [1L, 2, 3]
+                Insn::Dup2X2,                               // [2, 3, 1L, 2, 3]
+                Insn::Pop,                                  // [2, 3, 1L, 2]
+                Insn::Pop,                                  // [2, 3, 1L]
                 Insn::Convert(NumType::Long, NumType::Int), // [2, 3, 1]
                 Insn::Arith(NumKind::Int, ArithOp::Add),    // [2, 4]
                 Insn::Arith(NumKind::Int, ArithOp::Mul),    // [8]
@@ -263,7 +273,11 @@ fn i2b_sign_extends_and_i2c_zero_extends() {
 
 #[test]
 fn d2i_saturates() {
-    let cases = [(f64::INFINITY, i32::MAX), (f64::NEG_INFINITY, i32::MIN), (f64::NAN, 0)];
+    let cases = [
+        (f64::INFINITY, i32::MAX),
+        (f64::NEG_INFINITY, i32::MIN),
+        (f64::NAN, 0),
+    ];
     for (input, expected) in cases {
         let v = run_int(
             class_with(
@@ -289,19 +303,24 @@ fn d2i_saturates() {
 fn ret_returns_to_jsr_successor() {
     // Proper subroutine: main pushes 5, calls sub twice, sub adds 3.
     let insns = vec![
-        Insn::IConst(5),           // 0  [5]
-        Insn::Jsr(6),              // 1  -> sub with [5, ra]
-        Insn::Jsr(6),              // 2  -> sub again
-        Insn::IConst(1),           // 3  [11, 1]
+        Insn::IConst(5),                         // 0  [5]
+        Insn::Jsr(6),                            // 1  -> sub with [5, ra]
+        Insn::Jsr(6),                            // 2  -> sub again
+        Insn::IConst(1),                         // 3  [11, 1]
         Insn::Arith(NumKind::Int, ArithOp::Add), // 4 [12]
-        Insn::Return(Some(Kind::Int)), // 5
+        Insn::Return(Some(Kind::Int)),           // 5
         // subroutine:
-        Insn::Store(Kind::Ref, 0), // 6: store return address
-        Insn::IConst(3),           // 7
+        Insn::Store(Kind::Ref, 0),               // 6: store return address
+        Insn::IConst(3),                         // 7
         Insn::Arith(NumKind::Int, ArithOp::Add), // 8
-        Insn::Ret(0),              // 9
+        Insn::Ret(0),                            // 9
     ];
-    let v = run_int(class_with("t/Ret", "f", "()I", insns, 1), "f", "()I", vec![]);
+    let v = run_int(
+        class_with("t/Ret", "f", "()I", insns, 1),
+        "f",
+        "()I",
+        vec![],
+    );
     assert_eq!(v, 12); // 5 + 3 + 3 + 1
 }
 
@@ -338,7 +357,11 @@ fn multianewarray_allocates_nested() {
         Insn::Arith(NumKind::Int, ArithOp::Add),
         Insn::Return(Some(Kind::Int)),
     ];
-    let code = dvm_bytecode::Code { insns, handlers: vec![], max_locals: 1 };
+    let code = dvm_bytecode::Code {
+        insns,
+        handlers: vec![],
+        max_locals: 1,
+    };
     let attr = code.encode(&cf.pool).unwrap();
     let n = cf.pool.utf8("f").unwrap();
     let d = cf.pool.utf8("()I").unwrap();
@@ -387,7 +410,11 @@ fn logic_ops_on_long() {
         Insn::Convert(NumType::Long, NumType::Int),
         Insn::Return(Some(Kind::Int)),
     ];
-    let code = dvm_bytecode::Code { insns, handlers: vec![], max_locals: 0 };
+    let code = dvm_bytecode::Code {
+        insns,
+        handlers: vec![],
+        max_locals: 0,
+    };
     let attr = code.encode(&cf.pool).unwrap();
     let n = cf.pool.utf8("f").unwrap();
     let d = cf.pool.utf8("()I").unwrap();
@@ -428,7 +455,11 @@ fn deep_recursion_overflows_cleanly() {
         Insn::InvokeStatic(me),
         Insn::Return(Some(Kind::Int)),
     ];
-    let code = dvm_bytecode::Code { insns, handlers: vec![], max_locals: 1 };
+    let code = dvm_bytecode::Code {
+        insns,
+        handlers: vec![],
+        max_locals: 1,
+    };
     let attr = code.encode(&cf.pool).unwrap();
     let n = cf.pool.utf8("f").unwrap();
     let d = cf.pool.utf8("(I)I").unwrap();
@@ -439,7 +470,6 @@ fn deep_recursion_overflows_cleanly() {
         attributes: vec![Attribute::Code(attr)],
     });
     let mut provider = MapProvider::new();
-    let mut cf = cf;
     provider.insert_class(&mut cf).unwrap();
     let mut vm = Vm::new(Box::new(provider)).unwrap();
     let out = vm.run_static("t/Deep", "f", "(I)I", vec![Value::Int(0)]);

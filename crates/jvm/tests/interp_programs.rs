@@ -101,7 +101,9 @@ fn division_by_zero_throws_and_is_caught() {
     let end = a.new_label();
     let handler = a.new_label();
     a.place(start);
-    a.iconst(1).iload(0).arith(dvm_bytecode::NumKind::Int, dvm_bytecode::ArithOp::Div);
+    a.iconst(1)
+        .iload(0)
+        .arith(dvm_bytecode::NumKind::Int, dvm_bytecode::ArithOp::Div);
     a.place(end);
     a.ret_val(Kind::Int);
     a.place(handler);
@@ -126,10 +128,18 @@ fn uncaught_exception_escapes_with_class_and_message() {
     let cf = single_method_class("t/Boom", "boom", "()V", |pool, a| {
         let npe = pool.class("java/lang/NullPointerException").unwrap();
         let ctor = pool
-            .methodref("java/lang/NullPointerException", "<init>", "(Ljava/lang/String;)V")
+            .methodref(
+                "java/lang/NullPointerException",
+                "<init>",
+                "(Ljava/lang/String;)V",
+            )
             .unwrap();
         let msg = pool.string("kaboom").unwrap();
-        a.new_object(npe).dup().ldc(msg).invokespecial(ctor).athrow();
+        a.new_object(npe)
+            .dup()
+            .ldc(msg)
+            .invokespecial(ctor)
+            .athrow();
     });
     let mut cf = cf;
     let mut provider = MapProvider::new();
@@ -152,7 +162,10 @@ fn objects_fields_and_virtual_dispatch() {
     // static test: new Bird() upcast to Animal, call legs() -> 2
     let mut animal = ClassBuilder::new("t/Animal").build();
     {
-        let init = animal.pool.methodref("java/lang/Object", "<init>", "()V").unwrap();
+        let init = animal
+            .pool
+            .methodref("java/lang/Object", "<init>", "()V")
+            .unwrap();
         let mut a = Asm::new(1);
         a.aload(0).invokespecial(init).ret();
         let attr = code(&animal, a);
@@ -230,8 +243,12 @@ fn objects_fields_and_virtual_dispatch() {
         other => panic!("expected 2, got {other:?}"),
     }
     // Lazy loading: Animal and Bird were fetched on demand.
-    let names: Vec<&str> =
-        vm.stats.classes_loaded.iter().map(|(n, _)| n.as_str()).collect();
+    let names: Vec<&str> = vm
+        .stats
+        .classes_loaded
+        .iter()
+        .map(|(n, _)| n.as_str())
+        .collect();
     assert!(names.contains(&"t/Bird"));
     assert!(names.contains(&"t/Animal"));
 }
@@ -252,7 +269,9 @@ fn arrays_store_and_load() {
 #[test]
 fn array_bounds_violation_throws() {
     let cf = single_method_class("t/Oob", "test", "()I", |pool, a| {
-        let exc = pool.class("java/lang/ArrayIndexOutOfBoundsException").unwrap();
+        let exc = pool
+            .class("java/lang/ArrayIndexOutOfBoundsException")
+            .unwrap();
         let start = a.new_label();
         let end = a.new_label();
         let handler = a.new_label();
@@ -306,7 +325,9 @@ fn static_initializer_runs_once_before_use() {
 #[test]
 fn strings_and_println_via_system_out() {
     let cf = single_method_class("t/Hello", "main", "()V", |pool, a| {
-        let out = pool.fieldref("java/lang/System", "out", "Ljava/io/PrintStream;").unwrap();
+        let out = pool
+            .fieldref("java/lang/System", "out", "Ljava/io/PrintStream;")
+            .unwrap();
         let println = pool
             .methodref("java/io/PrintStream", "println", "(Ljava/lang/String;)V")
             .unwrap();
@@ -361,7 +382,10 @@ fn gc_reclaims_garbage_during_execution() {
     let mut vm = Vm::new(Box::new(provider)).unwrap();
     // 3000 iterations * 256 KiB = ~750 MB allocated; heap limit is 64 MB,
     // so this passes only if the collector reclaims garbage.
-    match vm.run_static("t/Gc", "churn", "(I)I", vec![Value::Int(3000)]).unwrap() {
+    match vm
+        .run_static("t/Gc", "churn", "(I)I", vec![Value::Int(3000)])
+        .unwrap()
+    {
         Completion::Normal(Some(Value::Int(v))) => assert_eq!(v, 3000),
         other => panic!("unexpected {other:?}"),
     }
@@ -432,7 +456,13 @@ fn tableswitch_dispatches() {
         a.place(def);
         a.iconst(-1).ret_val(Kind::Int);
     });
-    assert_eq!(run_int(cf.clone(), "pick", "(I)I", vec![Value::Int(0)]), 100);
-    assert_eq!(run_int(cf.clone(), "pick", "(I)I", vec![Value::Int(2)]), 102);
+    assert_eq!(
+        run_int(cf.clone(), "pick", "(I)I", vec![Value::Int(0)]),
+        100
+    );
+    assert_eq!(
+        run_int(cf.clone(), "pick", "(I)I", vec![Value::Int(2)]),
+        102
+    );
     assert_eq!(run_int(cf, "pick", "(I)I", vec![Value::Int(9)]), -1);
 }

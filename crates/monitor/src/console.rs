@@ -14,6 +14,9 @@
 //! memory).
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use crate::sites::SiteId;
 
@@ -123,7 +126,12 @@ impl AdminConsole {
         if self.recent.len() == self.retained_capacity {
             self.recent.pop_front();
         }
-        self.recent.push_back(AuditRecord { session, site, kind, seq });
+        self.recent.push_back(AuditRecord {
+            session,
+            site,
+            kind,
+            seq,
+        });
     }
 
     /// Number of active sessions.
@@ -171,11 +179,53 @@ impl AdminConsole {
     /// Distinct native formats across sessions (drives ahead-of-time
     /// compilation targets, §3.4).
     pub fn native_formats(&self) -> Vec<String> {
-        let mut v: Vec<String> =
-            self.sessions.values().map(|d| d.native_format.clone()).collect();
+        let mut v: Vec<String> = self
+            .sessions
+            .values()
+            .map(|d| d.native_format.clone())
+            .collect();
         v.sort();
         v.dedup();
         v
+    }
+}
+
+/// Where a client's audit events go.
+///
+/// The client-resident audit component reports upstream through this
+/// trait; the console may sit in the same process ([`ConsoleSink`]) or
+/// behind a socket (the net crate's `RemoteConsole`), and the client
+/// does not care which.
+pub trait AuditSink: Send {
+    /// Reports one audit event for this sink's session.
+    fn record(&mut self, site: SiteId, kind: EventKind);
+
+    /// Flushes any buffered events; default is a no-op for unbuffered
+    /// sinks.
+    fn flush(&mut self) {}
+}
+
+/// An [`AuditSink`] writing directly into a shared in-process console.
+pub struct ConsoleSink {
+    console: Arc<Mutex<AdminConsole>>,
+    session: SessionId,
+}
+
+impl ConsoleSink {
+    /// Binds a sink to `console` under `session`.
+    pub fn new(console: Arc<Mutex<AdminConsole>>, session: SessionId) -> ConsoleSink {
+        ConsoleSink { console, session }
+    }
+
+    /// The session this sink reports under.
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+}
+
+impl AuditSink for ConsoleSink {
+    fn record(&mut self, site: SiteId, kind: EventKind) {
+        self.console.lock().record(self.session, site, kind);
     }
 }
 

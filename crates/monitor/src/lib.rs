@@ -13,7 +13,11 @@ pub mod profile;
 pub mod rewriter;
 pub mod sites;
 
-pub use console::{AdminConsole, AuditRecord, ClientDescription, EventKind, SessionId};
+pub use console::{
+    AdminConsole, AuditRecord, AuditSink, ClientDescription, ConsoleSink, EventKind, SessionId,
+};
 pub use profile::{CallGraph, ProfileCollector};
-pub use rewriter::{audit_class, audit_class_filtered, profile_class, InstrumentStats, ProfileMode};
+pub use rewriter::{
+    audit_class, audit_class_filtered, profile_class, InstrumentStats, ProfileMode,
+};
 pub use sites::{SiteId, SiteTable};

@@ -70,17 +70,14 @@ pub fn audit_class_filtered(
         let Some(attr) = m.code() else { continue };
         let code = Code::decode(attr)?;
         stats.instructions_examined += code.insns.len() as u64;
-        let significant =
-            code.insns.len() >= min_insns || mname == "<init>" || mname == "<clinit>";
+        let significant = code.insns.len() >= min_insns || mname == "<init>" || mname == "<clinit>";
         if !significant {
             continue;
         }
         let site = sites.intern(&class_name, &mname);
         let mut ed = CodeEditor::new(code);
         // Exit probes first (so entry insertion indexes stay simple).
-        ed.insert_before_returns(|| {
-            vec![Insn::IConst(site.0), Insn::InvokeStatic(exit)]
-        });
+        ed.insert_before_returns(|| vec![Insn::IConst(site.0), Insn::InvokeStatic(exit)]);
         ed.insert_prologue(vec![Insn::IConst(site.0), Insn::InvokeStatic(enter)]);
         stats.probes += 2;
         stats.methods += 1;
@@ -124,7 +121,10 @@ pub fn profile_class(
             targets.dedup();
             for &t in targets.iter().rev() {
                 let block_site = sites.intern(&class_name, &format!("{mname}@{t}"));
-                ed.insert(t, vec![Insn::IConst(block_site.0), Insn::InvokeStatic(count)]);
+                ed.insert(
+                    t,
+                    vec![Insn::IConst(block_site.0), Insn::InvokeStatic(count)],
+                );
                 probes += 1;
             }
         }

@@ -1,0 +1,489 @@
+//! The client side of the wire: `NetClassProvider` and `RemoteConsole`.
+//!
+//! `NetClassProvider` implements `dvm_jvm::ClassProvider` over a live
+//! TCP connection to a [`crate::ProxyServer`], with connect/read
+//! timeouts, bounded retries with exponential backoff, and signature
+//! verification on receipt — so a `DvmClient` runs against an
+//! in-process proxy or a socket with one constructor change.
+//!
+//! `RemoteConsole` is the audit side: a second connection streaming
+//! `AUDIT_EVENT` frames to the console, fire-and-forget with a single
+//! reconnect attempt, since audit delivery must never block execution.
+
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use dvm_jvm::ClassProvider;
+use dvm_monitor::{AuditSink, EventKind, SiteId};
+use dvm_proxy::{ServedFrom, SignatureCheck, Signer};
+
+use crate::frame::{kind_to_u8, ErrorCode, Frame, FrameError, Hello};
+
+/// Client networking knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Deadline for establishing the TCP connection.
+    pub connect_timeout: Duration,
+    /// Deadline for reading one response.
+    pub read_timeout: Duration,
+    /// Deadline for writing one request.
+    pub write_timeout: Duration,
+    /// Total attempts per fetch (first try plus retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub backoff_base: Duration,
+    /// Cap on the per-retry backoff.
+    pub backoff_max: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_attempts: 4,
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(200),
+        }
+    }
+}
+
+impl NetConfig {
+    fn backoff_for(&self, retry: u32) -> Duration {
+        let exp = self.backoff_base.saturating_mul(1u32 << retry.min(16));
+        exp.min(self.backoff_max)
+    }
+}
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum NetError {
+    /// Transport failure (connect, read, or write).
+    Io(std::io::ErrorKind, String),
+    /// The peer sent bytes that do not parse as a frame.
+    Frame(FrameError),
+    /// The peer sent a well-formed frame that violates the protocol
+    /// state machine (e.g. a response for a different request).
+    Protocol(String),
+    /// The server answered with a typed error frame.
+    Remote {
+        /// Failure category.
+        code: ErrorCode,
+        /// Server-side detail.
+        message: String,
+    },
+    /// The payload's keyed signature did not verify.
+    BadSignature,
+    /// All attempts exhausted; wraps the last error.
+    Exhausted(Box<NetError>),
+}
+
+impl NetError {
+    fn is_transport(&self) -> bool {
+        match self {
+            NetError::Io(..) => true,
+            NetError::Frame(e) => e.is_transport(),
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(kind, e) => write!(f, "transport ({kind:?}): {e}"),
+            NetError::Frame(e) => write!(f, "{e}"),
+            NetError::Protocol(d) => write!(f, "protocol violation: {d}"),
+            NetError::Remote { code, message } => write!(f, "server error {code:?}: {message}"),
+            NetError::BadSignature => write!(f, "signature verification failed"),
+            NetError::Exhausted(e) => write!(f, "retries exhausted: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> NetError {
+        NetError::Io(e.kind(), e.to_string())
+    }
+}
+
+impl From<FrameError> for NetError {
+    fn from(e: FrameError) -> NetError {
+        NetError::Frame(e)
+    }
+}
+
+/// One successful code transfer, as observed by the client.
+#[derive(Debug, Clone)]
+pub struct NetTransfer {
+    /// The URL that was fetched.
+    pub url: String,
+    /// Payload size after signature removal.
+    pub bytes: usize,
+    /// Which proxy tier satisfied the request.
+    pub served_from: ServedFrom,
+    /// Simulated proxy processing time in nanoseconds.
+    pub processing_ns: u64,
+}
+
+/// Counters for one provider's lifetime.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NetClientStats {
+    /// Fetches attempted (one per `fetch` call).
+    pub requests: u64,
+    /// Individual retry attempts after a transport failure.
+    pub retries: u64,
+    /// Fresh connections established (first connect included).
+    pub reconnects: u64,
+    /// Payloads whose signature failed to verify.
+    pub signature_failures: u64,
+    /// Payload bytes received (after signature removal).
+    pub bytes_received: u64,
+}
+
+struct Conn {
+    stream: TcpStream,
+    session: u64,
+}
+
+/// Observer invoked once per successful transfer.
+pub type TransferHook = Box<dyn FnMut(&NetTransfer) + Send>;
+
+/// A `ClassProvider` fetching rewritten classes over TCP.
+pub struct NetClassProvider {
+    addr: SocketAddr,
+    hello: Hello,
+    config: NetConfig,
+    signer: Option<Signer>,
+    conn: Option<Conn>,
+    next_request: u32,
+    stats: NetClientStats,
+    hook: Option<TransferHook>,
+}
+
+impl std::fmt::Debug for NetClassProvider {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetClassProvider")
+            .field("addr", &self.addr)
+            .field("user", &self.hello.user)
+            .field("connected", &self.conn.is_some())
+            .finish()
+    }
+}
+
+impl NetClassProvider {
+    /// Creates a provider for the server at `addr`; the connection is
+    /// established lazily on first use.
+    ///
+    /// `signer` holds the organization's key: when present, every
+    /// payload must carry a valid signature or the fetch fails with
+    /// [`NetError::BadSignature`].
+    pub fn new(
+        addr: impl ToSocketAddrs,
+        hello: Hello,
+        signer: Option<Signer>,
+        config: NetConfig,
+    ) -> std::io::Result<NetClassProvider> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::AddrNotAvailable, "no address resolved")
+        })?;
+        Ok(NetClassProvider {
+            addr,
+            hello,
+            config,
+            signer,
+            conn: None,
+            next_request: 1,
+            stats: NetClientStats::default(),
+            hook: None,
+        })
+    }
+
+    /// Installs an observer called once per successful transfer (used by
+    /// `DvmClient` to account network costs).
+    pub fn set_transfer_hook(&mut self, hook: TransferHook) {
+        self.hook = Some(hook);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> NetClientStats {
+        self.stats
+    }
+
+    /// The session id from the most recent handshake, if connected.
+    pub fn session(&self) -> Option<u64> {
+        self.conn.as_ref().map(|c| c.session)
+    }
+
+    /// Sends an orderly `BYE` and closes the connection.
+    pub fn close(&mut self) {
+        if let Some(mut conn) = self.conn.take() {
+            let _ = Frame::Bye.write_to(&mut conn.stream);
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    fn connect(&mut self) -> Result<(), NetError> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)?;
+        stream.set_read_timeout(Some(self.config.read_timeout))?;
+        stream.set_write_timeout(Some(self.config.write_timeout))?;
+        let _ = stream.set_nodelay(true);
+        let mut conn = Conn { stream, session: 0 };
+        Frame::Hello(self.hello.clone()).write_to(&mut conn.stream)?;
+        match Frame::read_from(&mut conn.stream)? {
+            Frame::Welcome { session } => conn.session = session,
+            Frame::Error { code, message, .. } => return Err(NetError::Remote { code, message }),
+            other => {
+                return Err(NetError::Protocol(format!(
+                    "expected WELCOME, got {other:?}"
+                )))
+            }
+        }
+        self.stats.reconnects += 1;
+        self.conn = Some(conn);
+        Ok(())
+    }
+
+    /// Fetches `url` through the proxy, retrying transport failures with
+    /// exponential backoff, and returns the verified payload.
+    pub fn fetch(&mut self, url: &str) -> Result<(Vec<u8>, NetTransfer), NetError> {
+        self.stats.requests += 1;
+        let mut last: Option<NetError> = None;
+        for retry in 0..self.config.max_attempts.max(1) {
+            if retry > 0 {
+                self.stats.retries += 1;
+                std::thread::sleep(self.config.backoff_for(retry - 1));
+            }
+            match self.fetch_once(url) {
+                Ok(ok) => return Ok(ok),
+                Err(e) if e.is_transport() => {
+                    // The connection is suspect; rebuild it next attempt.
+                    self.conn = None;
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(NetError::Exhausted(Box::new(
+            last.unwrap_or(NetError::Protocol("no attempts made".into())),
+        )))
+    }
+
+    fn fetch_once(&mut self, url: &str) -> Result<(Vec<u8>, NetTransfer), NetError> {
+        if self.conn.is_none() {
+            self.connect()?;
+        }
+        let request_id = self.next_request;
+        self.next_request = self.next_request.wrapping_add(1).max(1);
+        let native_format = self.hello.native_format.clone();
+        let conn = self.conn.as_mut().expect("connected above");
+        Frame::CodeRequest {
+            request_id,
+            session: conn.session,
+            url: url.to_owned(),
+            native_format,
+        }
+        .write_to(&mut conn.stream)?;
+        match Frame::read_from(&mut conn.stream)? {
+            Frame::CodeResponse {
+                request_id: rid,
+                served_from,
+                processing_ns,
+                bytes,
+            } => {
+                if rid != request_id {
+                    return Err(NetError::Protocol(format!(
+                        "response id {rid} for request {request_id}"
+                    )));
+                }
+                let payload = match &self.signer {
+                    Some(signer) => match signer.detach(&bytes) {
+                        (SignatureCheck::Valid, Some(payload)) => payload.to_vec(),
+                        _ => {
+                            self.stats.signature_failures += 1;
+                            return Err(NetError::BadSignature);
+                        }
+                    },
+                    None => bytes,
+                };
+                self.stats.bytes_received += payload.len() as u64;
+                let transfer = NetTransfer {
+                    url: url.to_owned(),
+                    bytes: payload.len(),
+                    served_from,
+                    processing_ns,
+                };
+                if let Some(hook) = &mut self.hook {
+                    hook(&transfer);
+                }
+                Ok((payload, transfer))
+            }
+            Frame::Error {
+                request_id: rid,
+                code,
+                message,
+            } => {
+                if rid != 0 && rid != request_id {
+                    return Err(NetError::Protocol(format!(
+                        "error for request {rid}, expected {request_id}"
+                    )));
+                }
+                Err(NetError::Remote { code, message })
+            }
+            other => Err(NetError::Protocol(format!(
+                "expected CODE_RESPONSE, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl ClassProvider for NetClassProvider {
+    fn load(&mut self, name: &str) -> Option<Vec<u8>> {
+        let url = format!("class://{name}");
+        self.fetch(&url).ok().map(|(bytes, _)| bytes)
+    }
+}
+
+impl Drop for NetClassProvider {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// An [`AuditSink`] streaming events to the console over its own
+/// connection.
+///
+/// Delivery is fire-and-forget: a failed send triggers one reconnect
+/// attempt and otherwise increments [`RemoteConsole::dropped`], because
+/// auditing must never stall the mutator.
+pub struct RemoteConsole {
+    addr: SocketAddr,
+    hello: Hello,
+    config: NetConfig,
+    conn: Option<Conn>,
+    sent: u64,
+    dropped: u64,
+}
+
+impl std::fmt::Debug for RemoteConsole {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteConsole")
+            .field("addr", &self.addr)
+            .field("sent", &self.sent)
+            .field("dropped", &self.dropped)
+            .finish()
+    }
+}
+
+impl RemoteConsole {
+    /// Connects an audit channel to the server at `addr`, performing the
+    /// handshake immediately so the session exists before any event.
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        hello: Hello,
+        config: NetConfig,
+    ) -> Result<RemoteConsole, NetError> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(NetError::from)?
+            .next()
+            .ok_or_else(|| {
+                NetError::Io(
+                    std::io::ErrorKind::AddrNotAvailable,
+                    "no address resolved".into(),
+                )
+            })?;
+        let mut console = RemoteConsole {
+            addr,
+            hello,
+            config,
+            conn: None,
+            sent: 0,
+            dropped: 0,
+        };
+        console.reconnect()?;
+        Ok(console)
+    }
+
+    fn reconnect(&mut self) -> Result<(), NetError> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)?;
+        stream.set_read_timeout(Some(self.config.read_timeout))?;
+        stream.set_write_timeout(Some(self.config.write_timeout))?;
+        let _ = stream.set_nodelay(true);
+        let mut conn = Conn { stream, session: 0 };
+        Frame::Hello(self.hello.clone()).write_to(&mut conn.stream)?;
+        match Frame::read_from(&mut conn.stream)? {
+            Frame::Welcome { session } => conn.session = session,
+            other => {
+                return Err(NetError::Protocol(format!(
+                    "expected WELCOME, got {other:?}"
+                )))
+            }
+        }
+        self.conn = Some(conn);
+        Ok(())
+    }
+
+    /// The audit session id, if connected.
+    pub fn session(&self) -> Option<u64> {
+        self.conn.as_ref().map(|c| c.session)
+    }
+
+    /// Events successfully written to the socket.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Events abandoned after a failed send and reconnect.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Sends an orderly `BYE` and closes the channel.
+    pub fn close(&mut self) {
+        if let Some(mut conn) = self.conn.take() {
+            let _ = Frame::Bye.write_to(&mut conn.stream);
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    fn try_send(&mut self, site: SiteId, kind: EventKind) -> bool {
+        let Some(conn) = self.conn.as_mut() else {
+            return false;
+        };
+        let frame = Frame::AuditEvent {
+            session: conn.session,
+            site: site.0,
+            kind: kind_to_u8(kind),
+        };
+        if frame.write_to(&mut conn.stream).is_err() {
+            self.conn = None;
+            return false;
+        }
+        true
+    }
+}
+
+impl AuditSink for RemoteConsole {
+    fn record(&mut self, site: SiteId, kind: EventKind) {
+        if self.try_send(site, kind) {
+            self.sent += 1;
+            return;
+        }
+        // One reconnect attempt, then drop the event.
+        if self.reconnect().is_ok() && self.try_send(site, kind) {
+            self.sent += 1;
+        } else {
+            self.dropped += 1;
+        }
+    }
+}
+
+impl Drop for RemoteConsole {
+    fn drop(&mut self) {
+        self.close();
+    }
+}

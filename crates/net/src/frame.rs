@@ -1,0 +1,631 @@
+//! The DVM wire protocol: length-prefixed binary frames.
+//!
+//! Layout on the wire (all integers big-endian):
+//!
+//! ```text
+//! +----------------+---------+------------------+
+//! | len: u32       | tag: u8 | payload          |
+//! +----------------+---------+------------------+
+//! ```
+//!
+//! `len` counts the tag byte plus the payload and is bounded by
+//! [`MAX_FRAME_LEN`]; a violated bound, an unknown tag, or a payload that
+//! does not parse to its declared end is a [`FrameError`] — never a
+//! panic. Strings are `u16`-length-prefixed UTF-8; byte blobs are
+//! `u32`-length-prefixed.
+//!
+//! The protocol is deliberately from scratch in pure std: building the
+//! substrate rather than importing it is this reproduction's style, and
+//! the frame grammar is small enough to verify exhaustively (see the
+//! round-trip property tests).
+
+use std::io::{self, Read, Write};
+
+use dvm_monitor::EventKind;
+use dvm_proxy::ServedFrom;
+
+/// Upper bound on `len` (tag + payload): 16 MiB, comfortably above the
+/// largest signed applet while rejecting nonsense lengths early.
+pub const MAX_FRAME_LEN: usize = 16 << 20;
+
+/// Frame tags (the `u8` after the length prefix).
+mod tag {
+    pub const HELLO: u8 = 0x01;
+    pub const WELCOME: u8 = 0x02;
+    pub const CODE_REQUEST: u8 = 0x03;
+    pub const CODE_RESPONSE: u8 = 0x04;
+    pub const ERROR: u8 = 0x05;
+    pub const AUDIT_EVENT: u8 = 0x06;
+    pub const BYE: u8 = 0x07;
+}
+
+/// Typed error codes carried by [`Frame::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The origin has no such resource.
+    NotFound,
+    /// The resource is not a parseable class file.
+    Parse,
+    /// A static-service filter rejected the class.
+    Filter,
+    /// The peer sent a frame this endpoint cannot understand.
+    Malformed,
+    /// The server is at its connection or load limit.
+    Overloaded,
+    /// Any other server-side failure.
+    Internal,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::NotFound => 0,
+            ErrorCode::Parse => 1,
+            ErrorCode::Filter => 2,
+            ErrorCode::Malformed => 3,
+            ErrorCode::Overloaded => 4,
+            ErrorCode::Internal => 5,
+        }
+    }
+
+    fn from_u8(b: u8) -> Result<ErrorCode, FrameError> {
+        Ok(match b {
+            0 => ErrorCode::NotFound,
+            1 => ErrorCode::Parse,
+            2 => ErrorCode::Filter,
+            3 => ErrorCode::Malformed,
+            4 => ErrorCode::Overloaded,
+            5 => ErrorCode::Internal,
+            other => return Err(FrameError::malformed(format!("error code {other}"))),
+        })
+    }
+}
+
+/// Wire encoding of an audit [`EventKind`]: 0 = Enter, 1 = Exit,
+/// 2 = Event.
+pub fn kind_to_u8(kind: EventKind) -> u8 {
+    match kind {
+        EventKind::Enter => 0,
+        EventKind::Exit => 1,
+        EventKind::Event => 2,
+    }
+}
+
+/// Inverse of [`kind_to_u8`]; `None` for bytes outside the mapping.
+pub fn kind_from_u8(b: u8) -> Option<EventKind> {
+    match b {
+        0 => Some(EventKind::Enter),
+        1 => Some(EventKind::Exit),
+        2 => Some(EventKind::Event),
+        _ => None,
+    }
+}
+
+/// The client handshake payload: who is connecting and what native
+/// format it wants (the §3.3 handshake, on the wire).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Hello {
+    /// User credentials (authenticated upstream).
+    pub user: String,
+    /// Principal the fetched code will run as.
+    pub principal: String,
+    /// Hardware description, e.g. `"x86/200MHz/64MB"`.
+    pub hardware: String,
+    /// Native code format for the network compiler.
+    pub native_format: String,
+    /// JVM implementation version string.
+    pub jvm_version: String,
+}
+
+/// One protocol frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → server: open a session.
+    Hello(Hello),
+    /// Server → client: session granted.
+    Welcome {
+        /// Monitoring session id assigned by the console.
+        session: u64,
+    },
+    /// Client → server: fetch (and rewrite) the code at `url`.
+    CodeRequest {
+        /// Client-chosen id echoed in the response.
+        request_id: u32,
+        /// Session from the handshake.
+        session: u64,
+        /// Resource URL.
+        url: String,
+        /// Native-format descriptor (ahead-of-time compilation hint).
+        native_format: String,
+    },
+    /// Server → client: the rewritten (and possibly signed) bytes.
+    CodeResponse {
+        /// Echo of the request id.
+        request_id: u32,
+        /// Which proxy tier satisfied the request.
+        served_from: ServedFrom,
+        /// Simulated proxy processing time in nanoseconds.
+        processing_ns: u64,
+        /// Class bytes, signature attached when the proxy signs.
+        bytes: Vec<u8>,
+    },
+    /// Server → client: typed failure (`request_id` zero when the error
+    /// is not tied to one request).
+    Error {
+        /// Echo of the request id, or zero.
+        request_id: u32,
+        /// Failure category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Client → server: one monitor event for the console's audit log.
+    AuditEvent {
+        /// Session from the handshake.
+        session: u64,
+        /// Instrumentation site.
+        site: i32,
+        /// Event kind: 0 enter, 1 exit, 2 generic.
+        kind: u8,
+    },
+    /// Either direction: orderly shutdown of the connection.
+    Bye,
+}
+
+/// A frame that could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Length prefix outside `1..=MAX_FRAME_LEN`.
+    BadLength(u64),
+    /// Unknown frame tag.
+    UnknownTag(u8),
+    /// Payload failed structural validation.
+    Malformed(String),
+    /// The underlying transport failed (includes clean EOF mid-frame).
+    Io(io::ErrorKind, String),
+}
+
+impl FrameError {
+    fn malformed(detail: impl Into<String>) -> FrameError {
+        FrameError::Malformed(detail.into())
+    }
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadLength(n) => write!(f, "frame length {n} out of bounds"),
+            FrameError::UnknownTag(t) => write!(f, "unknown frame tag {t:#04x}"),
+            FrameError::Malformed(d) => write!(f, "malformed frame: {d}"),
+            FrameError::Io(kind, e) => write!(f, "transport ({kind:?}): {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> FrameError {
+        FrameError::Io(e.kind(), e.to_string())
+    }
+}
+
+impl FrameError {
+    /// True when the failure came from the transport rather than the
+    /// frame grammar — the class of error a client may retry.
+    pub fn is_transport(&self) -> bool {
+        matches!(self, FrameError::Io(..))
+    }
+}
+
+fn served_from_to_u8(s: ServedFrom) -> u8 {
+    match s {
+        ServedFrom::Rewritten => 0,
+        ServedFrom::MemoryCache => 1,
+        ServedFrom::DiskCache => 2,
+    }
+}
+
+fn served_from_from_u8(b: u8) -> Result<ServedFrom, FrameError> {
+    Ok(match b {
+        0 => ServedFrom::Rewritten,
+        1 => ServedFrom::MemoryCache,
+        2 => ServedFrom::DiskCache,
+        other => return Err(FrameError::malformed(format!("served-from tier {other}"))),
+    })
+}
+
+// ---- payload encoding helpers ----------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize, "string field too long");
+    put_u16(out, s.len().min(u16::MAX as usize) as u16);
+    out.extend_from_slice(&s.as_bytes()[..s.len().min(u16::MAX as usize)]);
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+/// Bounds-checked payload cursor.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| FrameError::malformed("payload truncated"))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i32(&mut self) -> Result<i32, FrameError> {
+        Ok(i32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, FrameError> {
+        let len = self.u16()? as usize;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| FrameError::malformed("invalid UTF-8"))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, FrameError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn finish(&self) -> Result<(), FrameError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(FrameError::malformed("trailing bytes after payload"))
+        }
+    }
+}
+
+impl Frame {
+    /// Serializes the frame, length prefix included.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        match self {
+            Frame::Hello(h) => {
+                body.push(tag::HELLO);
+                put_str(&mut body, &h.user);
+                put_str(&mut body, &h.principal);
+                put_str(&mut body, &h.hardware);
+                put_str(&mut body, &h.native_format);
+                put_str(&mut body, &h.jvm_version);
+            }
+            Frame::Welcome { session } => {
+                body.push(tag::WELCOME);
+                put_u64(&mut body, *session);
+            }
+            Frame::CodeRequest {
+                request_id,
+                session,
+                url,
+                native_format,
+            } => {
+                body.push(tag::CODE_REQUEST);
+                put_u32(&mut body, *request_id);
+                put_u64(&mut body, *session);
+                put_str(&mut body, url);
+                put_str(&mut body, native_format);
+            }
+            Frame::CodeResponse {
+                request_id,
+                served_from,
+                processing_ns,
+                bytes,
+            } => {
+                body.push(tag::CODE_RESPONSE);
+                put_u32(&mut body, *request_id);
+                body.push(served_from_to_u8(*served_from));
+                put_u64(&mut body, *processing_ns);
+                put_bytes(&mut body, bytes);
+            }
+            Frame::Error {
+                request_id,
+                code,
+                message,
+            } => {
+                body.push(tag::ERROR);
+                put_u32(&mut body, *request_id);
+                body.push(code.to_u8());
+                put_str(&mut body, message);
+            }
+            Frame::AuditEvent {
+                session,
+                site,
+                kind,
+            } => {
+                body.push(tag::AUDIT_EVENT);
+                put_u64(&mut body, *session);
+                body.extend_from_slice(&site.to_be_bytes());
+                body.push(*kind);
+            }
+            Frame::Bye => body.push(tag::BYE),
+        }
+        debug_assert!(body.len() <= MAX_FRAME_LEN);
+        let mut out = Vec::with_capacity(4 + body.len());
+        put_u32(&mut out, body.len() as u32);
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decodes one frame body (tag + payload, the length prefix already
+    /// consumed and validated).
+    pub fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
+        let mut c = Cursor::new(body);
+        let frame = match c.u8()? {
+            tag::HELLO => Frame::Hello(Hello {
+                user: c.string()?,
+                principal: c.string()?,
+                hardware: c.string()?,
+                native_format: c.string()?,
+                jvm_version: c.string()?,
+            }),
+            tag::WELCOME => Frame::Welcome { session: c.u64()? },
+            tag::CODE_REQUEST => Frame::CodeRequest {
+                request_id: c.u32()?,
+                session: c.u64()?,
+                url: c.string()?,
+                native_format: c.string()?,
+            },
+            tag::CODE_RESPONSE => Frame::CodeResponse {
+                request_id: c.u32()?,
+                served_from: served_from_from_u8(c.u8()?)?,
+                processing_ns: c.u64()?,
+                bytes: c.bytes()?,
+            },
+            tag::ERROR => Frame::Error {
+                request_id: c.u32()?,
+                code: ErrorCode::from_u8(c.u8()?)?,
+                message: c.string()?,
+            },
+            tag::AUDIT_EVENT => {
+                let session = c.u64()?;
+                let site = c.i32()?;
+                let kind = c.u8()?;
+                if kind > 2 {
+                    return Err(FrameError::malformed(format!("audit kind {kind}")));
+                }
+                Frame::AuditEvent {
+                    session,
+                    site,
+                    kind,
+                }
+            }
+            tag::BYE => Frame::Bye,
+            other => return Err(FrameError::UnknownTag(other)),
+        };
+        c.finish()?;
+        Ok(frame)
+    }
+
+    /// Decodes one frame from a complete encoded buffer (prefix
+    /// included), returning the frame and the bytes consumed.
+    pub fn decode(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
+        if buf.len() < 4 {
+            return Err(FrameError::malformed("short length prefix"));
+        }
+        let len = u32::from_be_bytes(buf[..4].try_into().unwrap()) as usize;
+        if len == 0 || len > MAX_FRAME_LEN {
+            return Err(FrameError::BadLength(len as u64));
+        }
+        if buf.len() < 4 + len {
+            return Err(FrameError::malformed("payload truncated"));
+        }
+        Ok((Frame::decode_body(&buf[4..4 + len])?, 4 + len))
+    }
+
+    /// Attempts to decode one frame from the front of a growing buffer.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed (the streaming case
+    /// a buffered reader polls), `Ok(Some((frame, consumed)))` when a
+    /// full frame is present, and an error only for actual protocol
+    /// violations.
+    pub fn try_decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, FrameError> {
+        if buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes(buf[..4].try_into().unwrap()) as usize;
+        if len == 0 || len > MAX_FRAME_LEN {
+            return Err(FrameError::BadLength(len as u64));
+        }
+        if buf.len() < 4 + len {
+            return Ok(None);
+        }
+        Ok(Some((Frame::decode_body(&buf[4..4 + len])?, 4 + len)))
+    }
+
+    /// Writes the frame to a stream.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<(), FrameError> {
+        w.write_all(&self.encode())?;
+        Ok(())
+    }
+
+    /// Reads one frame from a stream, enforcing the length bound before
+    /// allocating.
+    pub fn read_from(r: &mut impl Read) -> Result<Frame, FrameError> {
+        let mut prefix = [0u8; 4];
+        r.read_exact(&mut prefix)?;
+        let len = u32::from_be_bytes(prefix) as usize;
+        if len == 0 || len > MAX_FRAME_LEN {
+            return Err(FrameError::BadLength(len as u64));
+        }
+        let mut body = vec![0u8; len];
+        r.read_exact(&mut body)?;
+        Frame::decode_body(&body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello(Hello {
+                user: "alice".into(),
+                principal: "applets".into(),
+                hardware: "x86/200MHz/64MB".into(),
+                native_format: "x86".into(),
+                jvm_version: "dvm-repro-0.1".into(),
+            }),
+            Frame::Welcome { session: 42 },
+            Frame::CodeRequest {
+                request_id: 7,
+                session: 42,
+                url: "class://demo/App".into(),
+                native_format: "x86".into(),
+            },
+            Frame::CodeResponse {
+                request_id: 7,
+                served_from: ServedFrom::MemoryCache,
+                processing_ns: 123_456,
+                bytes: vec![0xCA, 0xFE, 0xBA, 0xBE],
+            },
+            Frame::Error {
+                request_id: 7,
+                code: ErrorCode::NotFound,
+                message: "no such class".into(),
+            },
+            Frame::AuditEvent {
+                session: 42,
+                site: -3,
+                kind: 1,
+            },
+            Frame::Bye,
+        ]
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        for frame in sample_frames() {
+            let encoded = frame.encode();
+            let (decoded, consumed) = Frame::decode(&encoded).unwrap();
+            assert_eq!(consumed, encoded.len());
+            assert_eq!(decoded, frame);
+        }
+    }
+
+    #[test]
+    fn stream_round_trip() {
+        let mut wire = Vec::new();
+        for frame in sample_frames() {
+            frame.write_to(&mut wire).unwrap();
+        }
+        let mut r = &wire[..];
+        for frame in sample_frames() {
+            assert_eq!(Frame::read_from(&mut r).unwrap(), frame);
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        for frame in sample_frames() {
+            let encoded = frame.encode();
+            for cut in 0..encoded.len() {
+                assert!(Frame::decode(&encoded[..cut]).is_err(), "cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        buf.push(0x01);
+        assert!(matches!(Frame::decode(&buf), Err(FrameError::BadLength(_))));
+        let mut r = &buf[..];
+        assert!(matches!(
+            Frame::read_from(&mut r),
+            Err(FrameError::BadLength(_))
+        ));
+    }
+
+    #[test]
+    fn zero_length_rejected() {
+        let buf = 0u32.to_be_bytes().to_vec();
+        assert!(matches!(Frame::decode(&buf), Err(FrameError::BadLength(0))));
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1u32.to_be_bytes());
+        buf.push(0x7F);
+        assert!(matches!(
+            Frame::decode(&buf),
+            Err(FrameError::UnknownTag(0x7F))
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_in_payload_rejected() {
+        let mut encoded = Frame::Bye.encode();
+        // Grow the payload without updating the tag's grammar.
+        encoded.splice(0..4, 3u32.to_be_bytes());
+        encoded.extend_from_slice(&[0xAA, 0xBB]);
+        assert!(matches!(
+            Frame::decode(&encoded),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        // CodeRequest with a string field containing invalid UTF-8.
+        let mut body = vec![super::tag::CODE_REQUEST];
+        body.extend_from_slice(&7u32.to_be_bytes());
+        body.extend_from_slice(&1u64.to_be_bytes());
+        body.extend_from_slice(&2u16.to_be_bytes());
+        body.extend_from_slice(&[0xFF, 0xFE]);
+        body.extend_from_slice(&0u16.to_be_bytes());
+        assert!(matches!(
+            Frame::decode_body(&body),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+}

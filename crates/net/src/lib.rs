@@ -1,0 +1,34 @@
+//! `dvm-net`: the DVM's network substrate — a real wire protocol and TCP
+//! proxy server.
+//!
+//! The paper places every static service behind a proxy *at the network
+//! trust boundary*; until this crate, the reproduction ran the proxy
+//! in-process and only simulated transfer timing with `dvm-netsim`. Here
+//! the boundary becomes an actual socket:
+//!
+//! - [`frame`] — a from-scratch length-prefixed binary protocol
+//!   (`CODE_REQUEST`/`CODE_RESPONSE`, typed error frames, and
+//!   `AUDIT_EVENT` frames streaming monitor events to the console),
+//!   encoded in pure std;
+//! - [`server`] — [`ProxyServer`], a concurrent thread-per-connection TCP
+//!   server bounded by a connection-limit semaphore, wrapping the
+//!   existing `dvm_proxy::Proxy` filter pipeline, cache, and signer;
+//! - [`client`] — [`NetClassProvider`], a `ClassProvider` connector with
+//!   connect/read timeouts, bounded retries with exponential backoff, and
+//!   signature verification on receipt, plus [`RemoteConsole`], an audit
+//!   sink that streams events to the server over the same protocol.
+//!
+//! Real sockets and `dvm-netsim` coexist deliberately: sockets move the
+//! bytes, while the simulated cost model continues to price them for
+//! machine-independent experiment output.
+
+pub mod client;
+pub mod frame;
+pub mod sema;
+pub mod server;
+
+pub use client::{
+    NetClassProvider, NetClientStats, NetConfig, NetError, NetTransfer, RemoteConsole,
+};
+pub use frame::{kind_from_u8, kind_to_u8, ErrorCode, Frame, FrameError, Hello, MAX_FRAME_LEN};
+pub use server::{FaultPlan, ProxyServer, ServerConfig, ServerStats};

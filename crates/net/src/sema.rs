@@ -1,0 +1,134 @@
+//! A counting semaphore over std primitives.
+//!
+//! std has no semaphore and the workspace vendors no dependency that
+//! provides one, so the connection limit gets its own: a `Mutex<usize>`
+//! of available permits and a `Condvar` to park waiters. RAII guards
+//! release on drop so a panicking connection thread can never leak its
+//! permit.
+
+use std::sync::{Condvar, Mutex};
+
+/// A counting semaphore bounding concurrent holders.
+#[derive(Debug)]
+pub struct Semaphore {
+    permits: Mutex<usize>,
+    available: Condvar,
+}
+
+/// RAII permit; releases on drop.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    sema: &'a Semaphore,
+}
+
+impl Semaphore {
+    /// Creates a semaphore with `permits` available.
+    pub fn new(permits: usize) -> Semaphore {
+        Semaphore {
+            permits: Mutex::new(permits),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a permit is available, then takes it.
+    pub fn acquire(&self) -> Permit<'_> {
+        let mut permits = self.permits.lock().unwrap();
+        while *permits == 0 {
+            permits = self.available.wait(permits).unwrap();
+        }
+        *permits -= 1;
+        Permit { sema: self }
+    }
+
+    /// Takes a permit if one is free.
+    pub fn try_acquire(&self) -> Option<Permit<'_>> {
+        let mut permits = self.permits.lock().unwrap();
+        if *permits == 0 {
+            return None;
+        }
+        *permits -= 1;
+        Some(Permit { sema: self })
+    }
+
+    /// Currently available permits (racy; diagnostics only).
+    pub fn available(&self) -> usize {
+        *self.permits.lock().unwrap()
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        *self.sema.permits.lock().unwrap() += 1;
+        self.sema.available.notify_one();
+    }
+}
+
+/// An owned permit that can move across threads; releases on drop.
+#[derive(Debug)]
+pub struct OwnedPermit {
+    sema: std::sync::Arc<Semaphore>,
+}
+
+impl Semaphore {
+    /// Blocks until a permit is available, taking it as an owned guard
+    /// suitable for handing to a worker thread.
+    pub fn acquire_owned(self: &std::sync::Arc<Self>) -> OwnedPermit {
+        let mut permits = self.permits.lock().unwrap();
+        while *permits == 0 {
+            permits = self.available.wait(permits).unwrap();
+        }
+        *permits -= 1;
+        OwnedPermit { sema: self.clone() }
+    }
+}
+
+impl Drop for OwnedPermit {
+    fn drop(&mut self) {
+        *self.sema.permits.lock().unwrap() += 1;
+        self.sema.available.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn try_acquire_respects_limit() {
+        let s = Semaphore::new(2);
+        let a = s.try_acquire().unwrap();
+        let _b = s.try_acquire().unwrap();
+        assert!(s.try_acquire().is_none());
+        drop(a);
+        assert!(s.try_acquire().is_some());
+    }
+
+    #[test]
+    fn concurrency_never_exceeds_permits() {
+        const PERMITS: usize = 3;
+        let sema = Arc::new(Semaphore::new(PERMITS));
+        let live = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..16)
+            .map(|_| {
+                let (sema, live, peak) = (sema.clone(), live.clone(), peak.clone());
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let _permit = sema.acquire();
+                        let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        std::thread::yield_now();
+                        live.fetch_sub(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= PERMITS);
+        assert_eq!(sema.available(), PERMITS);
+    }
+}

@@ -1,0 +1,405 @@
+//! `ProxyServer`: the organization's proxy on a real TCP socket.
+//!
+//! A thread-per-connection server (bounded by a connection-limit
+//! [`Semaphore`]) wrapping the existing `dvm_proxy::Proxy` — its filter
+//! pipeline, rewrite cache, and signer all run unchanged behind the
+//! socket. `AUDIT_EVENT` frames from clients are ingested straight into
+//! the shared `AdminConsole`, so the paper's remote administration
+//! console keeps working when the trust boundary becomes a network hop.
+//!
+//! Connection threads poll with a short read timeout so a shutdown
+//! request is observed promptly; [`ProxyServer::shutdown`] joins every
+//! thread before returning — no leaked connections.
+
+use std::io::Read;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use dvm_monitor::{AdminConsole, ClientDescription, SessionId, SiteId};
+use dvm_proxy::{Proxy, ProxyError, RequestContext};
+
+use crate::frame::{kind_from_u8, ErrorCode, Frame, FrameError, Hello};
+use crate::sema::Semaphore;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Maximum concurrently served connections; further accepts wait.
+    pub max_connections: usize,
+    /// Idle-poll granularity for connection threads (bounds shutdown
+    /// latency; not a client-visible deadline).
+    pub poll_interval: Duration,
+    /// Optional fault injection for resilience tests.
+    pub fault: Option<FaultPlan>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+            poll_interval: Duration::from_millis(50),
+            fault: None,
+        }
+    }
+}
+
+/// Deliberate failure injection, for exercising client retry paths.
+#[derive(Debug, Clone, Copy)]
+pub enum FaultPlan {
+    /// Abruptly drop the connection instead of answering every `n`-th
+    /// code request (counted across all connections, 1-based).
+    DropEveryNthRequest(u64),
+}
+
+/// Aggregate server statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Code requests received.
+    pub requests: u64,
+    /// Successful code responses sent.
+    pub responses: u64,
+    /// Typed error frames sent.
+    pub errors: u64,
+    /// Audit events ingested into the console.
+    pub audit_events: u64,
+    /// Malformed or unparseable frames received.
+    pub malformed: u64,
+    /// Connections dropped by fault injection.
+    pub faults_injected: u64,
+}
+
+struct Inner {
+    proxy: Arc<Proxy>,
+    console: Option<Arc<Mutex<AdminConsole>>>,
+    config: ServerConfig,
+    running: AtomicBool,
+    sema: Arc<Semaphore>,
+    stats: Mutex<ServerStats>,
+    request_counter: AtomicU64,
+    anon_sessions: AtomicU64,
+    live: AtomicUsize,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// The DVM proxy behind a live TCP socket.
+pub struct ProxyServer {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ProxyServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProxyServer")
+            .field("addr", &self.addr)
+            .field("live", &self.inner.live.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl ProxyServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts accepting.
+    ///
+    /// When a console is supplied, client handshakes and `AUDIT_EVENT`
+    /// frames flow into it; without one, sessions are numbered locally.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        proxy: Arc<Proxy>,
+        console: Option<Arc<Mutex<AdminConsole>>>,
+        config: ServerConfig,
+    ) -> std::io::Result<ProxyServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            proxy,
+            console,
+            config,
+            running: AtomicBool::new(true),
+            sema: Arc::new(Semaphore::new(config.max_connections.max(1))),
+            stats: Mutex::new(ServerStats::default()),
+            request_counter: AtomicU64::new(0),
+            anon_sessions: AtomicU64::new(1),
+            live: AtomicUsize::new(0),
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept_inner = inner.clone();
+        let accept = std::thread::Builder::new()
+            .name("dvm-net-accept".into())
+            .spawn(move || accept_loop(listener, accept_inner))?;
+        Ok(ProxyServer {
+            inner,
+            addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the aggregate statistics.
+    pub fn stats(&self) -> ServerStats {
+        *self.inner.stats.lock()
+    }
+
+    /// Connections currently being served.
+    pub fn live_connections(&self) -> usize {
+        self.inner.live.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting, waits for every connection thread to exit, and
+    /// returns the final statistics. Idempotent via [`Drop`].
+    pub fn shutdown(mut self) -> ServerStats {
+        self.shutdown_in_place();
+        self.stats()
+    }
+
+    fn shutdown_in_place(&mut self) {
+        if !self.inner.running.swap(false, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Connection threads observe `running == false` within one poll
+        // interval; join them all.
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.inner.conns.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+        debug_assert_eq!(self.inner.live.load(Ordering::SeqCst), 0);
+    }
+}
+
+impl Drop for ProxyServer {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => {
+                if !inner.running.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if !inner.running.load(Ordering::SeqCst) {
+            break;
+        }
+        // Bounded concurrency: hold accepts until a permit frees up (the
+        // TCP backlog is the waiting room).
+        let permit = inner.sema.acquire_owned();
+        if !inner.running.load(Ordering::SeqCst) {
+            break;
+        }
+        inner.stats.lock().connections += 1;
+        inner.live.fetch_add(1, Ordering::SeqCst);
+        let conn_inner = inner.clone();
+        let handle = std::thread::Builder::new()
+            .name("dvm-net-conn".into())
+            .spawn(move || {
+                serve_connection(stream, &conn_inner);
+                conn_inner.live.fetch_sub(1, Ordering::SeqCst);
+                drop(permit);
+            });
+        match handle {
+            Ok(h) => {
+                let mut conns = inner.conns.lock();
+                // Reap finished threads occasionally so the handle list
+                // doesn't grow without bound on long-lived servers.
+                if conns.len() >= 2 * inner.config.max_connections {
+                    let (done, pending): (Vec<_>, Vec<_>) =
+                        conns.drain(..).partition(|h| h.is_finished());
+                    for d in done {
+                        let _ = d.join();
+                    }
+                    *conns = pending;
+                }
+                conns.push(h);
+            }
+            Err(_) => {
+                inner.live.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+/// Accumulates stream bytes and yields whole frames, tolerating idle
+/// timeouts between frames without losing partial reads.
+struct FrameReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    fn poll_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        loop {
+            if let Some((frame, consumed)) = Frame::try_decode(&self.buf)? {
+                self.buf.drain(..consumed);
+                return Ok(Some(frame));
+            }
+            let mut chunk = [0u8; 8192];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(FrameError::Io(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed".into(),
+                    ))
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(None)
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, inner: &Inner) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(inner.config.poll_interval));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = FrameReader {
+        stream,
+        buf: Vec::new(),
+    };
+    let mut hello: Option<Hello> = None;
+
+    while inner.running.load(Ordering::SeqCst) {
+        let frame = match reader.poll_frame() {
+            Ok(Some(frame)) => frame,
+            Ok(None) => continue,
+            Err(FrameError::Io(..)) => break,
+            Err(e) => {
+                inner.stats.lock().malformed += 1;
+                let _ = Frame::Error {
+                    request_id: 0,
+                    code: ErrorCode::Malformed,
+                    message: e.to_string(),
+                }
+                .write_to(&mut writer);
+                break;
+            }
+        };
+        match frame {
+            Frame::Hello(h) => {
+                let session = match &inner.console {
+                    Some(console) => {
+                        console
+                            .lock()
+                            .handshake(ClientDescription {
+                                user: h.user.clone(),
+                                hardware: h.hardware.clone(),
+                                native_format: h.native_format.clone(),
+                                jvm_version: h.jvm_version.clone(),
+                            })
+                            .0
+                    }
+                    None => inner.anon_sessions.fetch_add(1, Ordering::SeqCst),
+                };
+                hello = Some(h);
+                if (Frame::Welcome { session }).write_to(&mut writer).is_err() {
+                    break;
+                }
+            }
+            Frame::CodeRequest {
+                request_id, url, ..
+            } => {
+                inner.stats.lock().requests += 1;
+                if let Some(FaultPlan::DropEveryNthRequest(n)) = inner.config.fault {
+                    let seq = inner.request_counter.fetch_add(1, Ordering::SeqCst) + 1;
+                    if n > 0 && seq.is_multiple_of(n) {
+                        inner.stats.lock().faults_injected += 1;
+                        let _ = reader.stream.shutdown(Shutdown::Both);
+                        break;
+                    }
+                }
+                let ctx = RequestContext {
+                    client: hello.as_ref().map(|h| h.user.clone()).unwrap_or_default(),
+                    principal: hello
+                        .as_ref()
+                        .map(|h| h.principal.clone())
+                        .unwrap_or_default(),
+                    url: url.clone(),
+                };
+                let reply = match inner.proxy.handle_request_detailed(&url, &ctx) {
+                    Ok(response) => {
+                        inner.stats.lock().responses += 1;
+                        Frame::CodeResponse {
+                            request_id,
+                            served_from: response.served_from,
+                            processing_ns: response.processing_ns,
+                            bytes: response.bytes,
+                        }
+                    }
+                    Err(e) => {
+                        inner.stats.lock().errors += 1;
+                        let code = match &e {
+                            ProxyError::NotFound(_) => ErrorCode::NotFound,
+                            ProxyError::Parse(_) => ErrorCode::Parse,
+                            ProxyError::Filter(_) => ErrorCode::Filter,
+                        };
+                        Frame::Error {
+                            request_id,
+                            code,
+                            message: e.to_string(),
+                        }
+                    }
+                };
+                if reply.write_to(&mut writer).is_err() {
+                    break;
+                }
+            }
+            Frame::AuditEvent {
+                session,
+                site,
+                kind,
+            } => {
+                // Console ingest: the wire form of the client-resident
+                // audit service component reporting upstream.
+                if let (Some(console), Some(kind)) = (&inner.console, kind_from_u8(kind)) {
+                    console
+                        .lock()
+                        .record(SessionId(session), SiteId(site), kind);
+                    inner.stats.lock().audit_events += 1;
+                }
+            }
+            Frame::Bye => break,
+            Frame::Welcome { .. } | Frame::CodeResponse { .. } | Frame::Error { .. } => {
+                // Server-to-client frames arriving at the server.
+                inner.stats.lock().malformed += 1;
+                let _ = Frame::Error {
+                    request_id: 0,
+                    code: ErrorCode::Malformed,
+                    message: "unexpected frame direction".into(),
+                }
+                .write_to(&mut writer);
+                break;
+            }
+        }
+    }
+    let _ = reader.stream.shutdown(Shutdown::Both);
+}

@@ -18,7 +18,11 @@ pub struct EventQueue<T> {
 
 impl<T> Default for EventQueue<T> {
     fn default() -> Self {
-        EventQueue { heap: BinaryHeap::new(), payloads: Vec::new(), seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            payloads: Vec::new(),
+            seq: 0,
+        }
     }
 }
 
@@ -39,7 +43,9 @@ impl<T> EventQueue<T> {
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
         let Reverse((at, _, idx)) = self.heap.pop()?;
-        let payload = self.payloads[idx].take().expect("event payload consumed twice");
+        let payload = self.payloads[idx]
+            .take()
+            .expect("event payload consumed twice");
         Some((at, payload))
     }
 

@@ -15,7 +15,10 @@ pub struct Link {
 impl Link {
     /// Creates a link.
     pub fn new(bandwidth_bps: u64, latency: SimTime) -> Link {
-        Link { bandwidth_bps, latency }
+        Link {
+            bandwidth_bps,
+            latency,
+        }
     }
 
     /// Time to move `bytes` across the link as the only flow.
@@ -67,7 +70,11 @@ impl InternetPath {
         let cv2 = (sd_ms / mean_ms).powi(2);
         let sigma2 = (1.0 + cv2).ln();
         let mu = mean_ms.ln() - sigma2 / 2.0;
-        InternetPath { mu, sigma: sigma2.sqrt(), rng: SimRng::new(seed) }
+        InternetPath {
+            mu,
+            sigma: sigma2.sqrt(),
+            rng: SimRng::new(seed),
+        }
     }
 
     /// Samples one fetch latency.
@@ -136,10 +143,14 @@ mod tests {
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         let sd = var.sqrt();
         // Within 10% of the paper's measured moments.
-        assert!((mean - InternetPath::PAPER_MEAN_MS).abs() < 0.1 * InternetPath::PAPER_MEAN_MS,
-            "mean {mean}");
-        assert!((sd - InternetPath::PAPER_SD_MS).abs() < 0.2 * InternetPath::PAPER_SD_MS,
-            "sd {sd}");
+        assert!(
+            (mean - InternetPath::PAPER_MEAN_MS).abs() < 0.1 * InternetPath::PAPER_MEAN_MS,
+            "mean {mean}"
+        );
+        assert!(
+            (sd - InternetPath::PAPER_SD_MS).abs() < 0.2 * InternetPath::PAPER_SD_MS,
+            "sd {sd}"
+        );
     }
 
     #[test]

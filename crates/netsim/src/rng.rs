@@ -14,7 +14,10 @@ pub struct SimRng {
 impl SimRng {
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> SimRng {
-        SimRng { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15), spare_gaussian: None }
+        SimRng {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+            spare_gaussian: None,
+        }
     }
 
     /// Next raw 64-bit value.

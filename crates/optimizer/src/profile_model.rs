@@ -41,7 +41,11 @@ impl ClassProfile {
 
     /// Bytes of methods used at startup.
     pub fn startup_method_bytes(&self) -> u64 {
-        self.methods.iter().filter(|m| m.used_at_startup).map(|m| m.size).sum()
+        self.methods
+            .iter()
+            .filter(|m| m.used_at_startup)
+            .map(|m| m.size)
+            .sum()
     }
 
     /// Returns `true` when any method is used at startup.
@@ -67,7 +71,12 @@ impl AppProfile {
 
     /// Fraction of method bytes never invoked.
     pub fn dead_fraction(&self) -> f64 {
-        let total: u64 = self.classes.iter().flat_map(|c| &c.methods).map(|m| m.size).sum();
+        let total: u64 = self
+            .classes
+            .iter()
+            .flat_map(|c| &c.methods)
+            .map(|m| m.size)
+            .sum();
         if total == 0 {
             return 0.0;
         }
@@ -100,7 +109,10 @@ impl AppProfile {
             .collect();
         let mut classes: Vec<ClassProfile> = Vec::new();
         for (class, method, size) in sizes {
-            let site = sites.iter().find(|(_, c, m)| c == class && m == method).map(|(id, _, _)| id);
+            let site = sites
+                .iter()
+                .find(|(_, c, m)| c == class && m == method)
+                .map(|(id, _, _)| id);
             let (used_ever, used_at_startup) = match site {
                 Some(id) => (collector.was_used(id), startup_sites.contains(&id)),
                 None => (false, false),
@@ -120,7 +132,10 @@ impl AppProfile {
                 }),
             }
         }
-        AppProfile { name: name.to_owned(), classes }
+        AppProfile {
+            name: name.to_owned(),
+            classes,
+        }
     }
 }
 
@@ -136,16 +151,36 @@ mod tests {
                     name: "a/Main".into(),
                     overhead_bytes: 500,
                     methods: vec![
-                        MethodProfile { name: "main".into(), size: 2000, used_at_startup: true, used_ever: true },
-                        MethodProfile { name: "help".into(), size: 3000, used_at_startup: false, used_ever: false },
+                        MethodProfile {
+                            name: "main".into(),
+                            size: 2000,
+                            used_at_startup: true,
+                            used_ever: true,
+                        },
+                        MethodProfile {
+                            name: "help".into(),
+                            size: 3000,
+                            used_at_startup: false,
+                            used_ever: false,
+                        },
                     ],
                 },
                 ClassProfile {
                     name: "a/Util".into(),
                     overhead_bytes: 400,
                     methods: vec![
-                        MethodProfile { name: "fmt".into(), size: 1000, used_at_startup: true, used_ever: true },
-                        MethodProfile { name: "rare".into(), size: 4000, used_at_startup: false, used_ever: true },
+                        MethodProfile {
+                            name: "fmt".into(),
+                            size: 1000,
+                            used_at_startup: true,
+                            used_ever: true,
+                        },
+                        MethodProfile {
+                            name: "rare".into(),
+                            size: 4000,
+                            used_at_startup: false,
+                            used_ever: true,
+                        },
                     ],
                 },
                 ClassProfile {

@@ -65,7 +65,11 @@ pub fn repartition_app(
     for cf in classes {
         stats.classes += 1;
         let class_name = cf.name()?.to_owned();
-        let SplitClass { hot: hot_cf, cold, moved } = split_class(cf, |mname, _| {
+        let SplitClass {
+            hot: hot_cf,
+            cold,
+            moved,
+        } = split_class(cf, |mname, _| {
             !hot.contains(&(class_name.clone(), mname.to_owned()))
         })?;
         if !moved.is_empty() {
@@ -114,8 +118,7 @@ mod tests {
         profile.first_use(used);
         profile.count(used);
 
-        let (out, stats) =
-            repartition_app(&[cf], &sites, &profile, ColdPolicy::NeverUsed).unwrap();
+        let (out, stats) = repartition_app(&[cf], &sites, &profile, ColdPolicy::NeverUsed).unwrap();
         assert_eq!(stats.methods_moved, 1);
         assert_eq!(stats.classes_split, 1);
         assert_eq!(out.len(), 2);
@@ -135,13 +138,8 @@ mod tests {
         profile.first_use(s2);
         profile.first_use(s3);
 
-        let (_, stats) = repartition_app(
-            &[cf],
-            &sites,
-            &profile,
-            ColdPolicy::NotInStartupPrefix(1),
-        )
-        .unwrap();
+        let (_, stats) =
+            repartition_app(&[cf], &sites, &profile, ColdPolicy::NotInStartupPrefix(1)).unwrap();
         assert_eq!(stats.methods_moved, 2);
     }
 }

@@ -51,7 +51,9 @@ pub fn remap_code(code: &mut Code, old: &ConstPool, new: &mut ConstPool) -> Resu
                 };
                 *idx = ni;
             }
-            Insn::GetStatic(idx) | Insn::PutStatic(idx) | Insn::GetField(idx)
+            Insn::GetStatic(idx)
+            | Insn::PutStatic(idx)
+            | Insn::GetField(idx)
             | Insn::PutField(idx) => {
                 let (c, n, d) = old.get_member_ref(*idx)?;
                 let (c, n, d) = (c.to_owned(), n.to_owned(), d.to_owned());
@@ -120,10 +122,7 @@ fn forwarding_stub(
 
 /// Splits `cf`: static methods for which `is_cold(name, descriptor)` holds
 /// move to `<Name>$Cold`.
-pub fn split_class(
-    cf: &ClassFile,
-    is_cold: impl Fn(&str, &str) -> bool,
-) -> Result<SplitClass> {
+pub fn split_class(cf: &ClassFile, is_cold: impl Fn(&str, &str) -> bool) -> Result<SplitClass> {
     let class_name = cf.name()?.to_owned();
     let cold_name = format!("{class_name}$Cold");
     let mut moved = Vec::new();
@@ -208,8 +207,16 @@ pub fn split_class(
         }
     }
 
-    let cold = if moved.is_empty() { None } else { Some(cold_cf) };
-    Ok(SplitClass { hot: hot_cf, cold, moved })
+    let cold = if moved.is_empty() {
+        None
+    } else {
+        Some(cold_cf)
+    };
+    Ok(SplitClass {
+        hot: hot_cf,
+        cold,
+        moved,
+    })
 }
 
 #[cfg(test)]

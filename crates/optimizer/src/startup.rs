@@ -94,8 +94,18 @@ mod tests {
                     name: "a/Main".into(),
                     overhead_bytes: 500,
                     methods: vec![
-                        MethodProfile { name: "main".into(), size: 2000, used_at_startup: true, used_ever: true },
-                        MethodProfile { name: "help".into(), size: 3000, used_at_startup: false, used_ever: false },
+                        MethodProfile {
+                            name: "main".into(),
+                            size: 2000,
+                            used_at_startup: true,
+                            used_ever: true,
+                        },
+                        MethodProfile {
+                            name: "help".into(),
+                            size: 3000,
+                            used_at_startup: false,
+                            used_ever: false,
+                        },
                     ],
                 },
                 ClassProfile {

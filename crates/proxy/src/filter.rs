@@ -88,7 +88,9 @@ impl Default for Pipeline {
 impl Pipeline {
     /// Creates an empty pipeline.
     pub fn new() -> Pipeline {
-        Pipeline { filters: Vec::new() }
+        Pipeline {
+            filters: Vec::new(),
+        }
     }
 
     /// Appends a filter (site-specific stacking order).
@@ -112,7 +114,11 @@ impl Pipeline {
     }
 
     /// Runs the class through every filter.
-    pub fn run(&self, mut class: ClassFile, ctx: &RequestContext) -> Result<ClassFile, FilterError> {
+    pub fn run(
+        &self,
+        mut class: ClassFile,
+        ctx: &RequestContext,
+    ) -> Result<ClassFile, FilterError> {
         for f in &self.filters {
             class = f.apply(class, ctx)?;
         }
@@ -131,7 +137,11 @@ mod tests {
         fn name(&self) -> &str {
             self.0
         }
-        fn apply(&self, mut class: ClassFile, _: &RequestContext) -> Result<ClassFile, FilterError> {
+        fn apply(
+            &self,
+            mut class: ClassFile,
+            _: &RequestContext,
+        ) -> Result<ClassFile, FilterError> {
             // Record application order via synthetic fields.
             let order = class.fields.len();
             let name = format!("__{}_{order}", self.0);

@@ -8,26 +8,30 @@
 //! many client sessions can drive one proxy concurrently (the §4.2 scaling
 //! experiment).
 
-use std::time::Instant;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use dvm_classfile::ClassFile;
+use dvm_netsim::CycleModel;
 
 use crate::cache::{CacheStats, CacheTier, RewriteCache};
 use crate::filter::{FilterError, Pipeline, RequestContext};
 use crate::sign::Signer;
 
 /// Supplies original (untransformed) code bytes, keyed by URL.
+///
+/// Bytes come back as `Arc<[u8]>` so cache hits and concurrent fetches
+/// share one allocation instead of copying class files per request.
 pub trait CodeOrigin: Send + Sync {
     /// Fetches the resource, or `None` if it does not exist.
-    fn fetch(&self, url: &str) -> Option<Vec<u8>>;
+    fn fetch(&self, url: &str) -> Option<Arc<[u8]>>;
 }
 
 /// An origin backed by an in-memory map.
 #[derive(Debug, Default)]
 pub struct MapOrigin {
-    entries: std::collections::HashMap<String, Vec<u8>>,
+    entries: std::collections::HashMap<String, Arc<[u8]>>,
 }
 
 impl MapOrigin {
@@ -38,13 +42,48 @@ impl MapOrigin {
 
     /// Adds a resource.
     pub fn insert(&mut self, url: &str, bytes: Vec<u8>) {
-        self.entries.insert(url.to_owned(), bytes);
+        self.entries.insert(url.to_owned(), bytes.into());
     }
 }
 
 impl CodeOrigin for MapOrigin {
-    fn fetch(&self, url: &str) -> Option<Vec<u8>> {
+    fn fetch(&self, url: &str) -> Option<Arc<[u8]>> {
         self.entries.get(url).cloned()
+    }
+}
+
+/// Deterministic rewrite-cost model.
+///
+/// The proxy used to time rewrites with `std::time::Instant`, which made
+/// experiment output depend on the machine running it. Processing time is
+/// now *charged* rather than measured: a fixed number of CPU cycles per
+/// input byte, converted through the simulated clock — identical output
+/// everywhere, matching the rest of the simulated-time system.
+#[derive(Debug, Clone, Copy)]
+pub struct RewriteCost {
+    /// Proxy-side cycles to parse + instrument + regenerate one byte.
+    pub cycles_per_byte: u64,
+    /// The proxy host's CPU model.
+    pub cpu: CycleModel,
+}
+
+impl Default for RewriteCost {
+    fn default() -> Self {
+        // Matches `dvm_core::CostModel::default()`: ~265 ms for a mean
+        // ~40 KB applet on the paper's 200 MHz PentiumPro.
+        RewriteCost {
+            cycles_per_byte: 1_300,
+            cpu: CycleModel::PENTIUM_PRO_200,
+        }
+    }
+}
+
+impl RewriteCost {
+    /// Simulated nanoseconds charged for rewriting `input_bytes`.
+    pub fn charge_ns(&self, input_bytes: u64) -> u64 {
+        self.cpu
+            .time_for(input_bytes * self.cycles_per_byte)
+            .as_nanos()
     }
 }
 
@@ -89,7 +128,8 @@ pub struct ServedResponse {
     pub bytes: Vec<u8>,
     /// How the request was satisfied.
     pub served_from: ServedFrom,
-    /// Real processing time in nanoseconds (zero for cache hits).
+    /// Simulated processing time in nanoseconds, charged by the
+    /// [`RewriteCost`] model (zero for cache hits).
     pub processing_ns: u64,
 }
 
@@ -104,8 +144,9 @@ pub struct ProxyAuditRecord {
     pub served_from: ServedFrom,
     /// Bytes served.
     pub bytes: usize,
-    /// Real processing time in nanoseconds (parse + filters + generate;
-    /// zero for cache hits).
+    /// Simulated processing time in nanoseconds (parse + filters +
+    /// generate, charged by the [`RewriteCost`] model; zero for cache
+    /// hits).
     pub processing_ns: u64,
 }
 
@@ -120,7 +161,7 @@ pub struct ProxyStats {
     pub bytes_served: u64,
     /// Classes rewritten (parse + pipeline + generate executed).
     pub rewrites: u64,
-    /// Total real rewrite time in nanoseconds.
+    /// Total simulated rewrite time in nanoseconds.
     pub rewrite_ns: u64,
 }
 
@@ -131,6 +172,7 @@ pub struct Proxy {
     cache: Mutex<RewriteCache>,
     caching: bool,
     signer: Option<Signer>,
+    rewrite_cost: RewriteCost,
     audit: Mutex<Vec<ProxyAuditRecord>>,
     stats: Mutex<ProxyStats>,
 }
@@ -163,17 +205,30 @@ impl Proxy {
             cache: Mutex::new(RewriteCache::new(cache_memory_bytes)),
             caching,
             signer,
+            rewrite_cost: RewriteCost::default(),
             audit: Mutex::new(Vec::new()),
             stats: Mutex::new(ProxyStats::default()),
         }
     }
 
+    /// Replaces the rewrite-cost model (builder style).
+    pub fn with_rewrite_cost(mut self, cost: RewriteCost) -> Proxy {
+        self.rewrite_cost = cost;
+        self
+    }
+
+    /// The active rewrite-cost model.
+    pub fn rewrite_cost(&self) -> RewriteCost {
+        self.rewrite_cost
+    }
+
+    /// Whether this proxy signs served code.
+    pub fn signs(&self) -> bool {
+        self.signer.is_some()
+    }
+
     /// Handles one code request, returning just the bytes.
-    pub fn handle_request(
-        &self,
-        url: &str,
-        ctx: &RequestContext,
-    ) -> Result<Vec<u8>, ProxyError> {
+    pub fn handle_request(&self, url: &str, ctx: &RequestContext) -> Result<Vec<u8>, ProxyError> {
         self.handle_request_detailed(url, ctx).map(|r| r.bytes)
     }
 
@@ -192,7 +247,11 @@ impl Proxy {
                     CacheTier::Disk => ServedFrom::DiskCache,
                 };
                 self.finish(url, ctx, &bytes, served_from, 0);
-                return Ok(ServedResponse { bytes, served_from, processing_ns: 0 });
+                return Ok(ServedResponse {
+                    bytes,
+                    served_from,
+                    processing_ns: 0,
+                });
             }
         }
 
@@ -202,7 +261,6 @@ impl Proxy {
             .ok_or_else(|| ProxyError::NotFound(url.to_owned()))?;
         self.stats.lock().bytes_fetched += original.len() as u64;
 
-        let start = Instant::now();
         // Parse once for all static services.
         let class = ClassFile::parse(&original).map_err(|e| ProxyError::Parse(e.to_string()))?;
         let mut rewritten = self.pipeline.run(class, ctx).map_err(ProxyError::Filter)?;
@@ -213,7 +271,8 @@ impl Proxy {
         if let Some(signer) = &self.signer {
             bytes = signer.attach(bytes);
         }
-        let elapsed = start.elapsed().as_nanos() as u64;
+        // Charge deterministic, machine-independent processing time.
+        let elapsed = self.rewrite_cost.charge_ns(original.len() as u64);
         {
             let mut s = self.stats.lock();
             s.rewrites += 1;
@@ -223,7 +282,11 @@ impl Proxy {
             self.cache.lock().put(url.to_owned(), bytes.clone());
         }
         self.finish(url, ctx, &bytes, ServedFrom::Rewritten, elapsed);
-        Ok(ServedResponse { bytes, served_from: ServedFrom::Rewritten, processing_ns: elapsed })
+        Ok(ServedResponse {
+            bytes,
+            served_from: ServedFrom::Rewritten,
+            processing_ns: elapsed,
+        })
     }
 
     fn finish(
@@ -288,7 +351,10 @@ mod tests {
             true,
             None,
         );
-        let ctx = RequestContext { client: "c1".into(), ..Default::default() };
+        let ctx = RequestContext {
+            client: "c1".into(),
+            ..Default::default()
+        };
         let b1 = proxy.handle_request("http://x/A.class", &ctx).unwrap();
         let b2 = proxy.handle_request("http://x/A.class", &ctx).unwrap();
         assert_eq!(b1, b2);
@@ -340,7 +406,9 @@ mod tests {
             false,
             Some(signer.clone()),
         );
-        let bytes = proxy.handle_request("u", &RequestContext::default()).unwrap();
+        let bytes = proxy
+            .handle_request("u", &RequestContext::default())
+            .unwrap();
         let (check, payload) = signer.detach(&bytes);
         assert_eq!(check, crate::sign::SignatureCheck::Valid);
         let parsed = ClassFile::parse(payload.unwrap()).unwrap();
@@ -359,6 +427,42 @@ mod tests {
     }
 
     #[test]
+    fn rewrite_time_is_deterministic_not_wall_clock() {
+        let make = || {
+            Proxy::new(
+                Box::new(origin_with("t/D", "u")),
+                null_pipeline(),
+                1 << 20,
+                false,
+                None,
+            )
+        };
+        let ctx = RequestContext::default();
+        let a = make().handle_request_detailed("u", &ctx).unwrap();
+        let b = make().handle_request_detailed("u", &ctx).unwrap();
+        assert_eq!(
+            a.processing_ns, b.processing_ns,
+            "identical inputs, identical charge"
+        );
+        assert!(a.processing_ns > 0);
+        // The charge follows the cost model exactly.
+        let origin = origin_with("t/D", "u");
+        let original_len = origin.fetch("u").unwrap().len() as u64;
+        assert_eq!(
+            a.processing_ns,
+            RewriteCost::default().charge_ns(original_len)
+        );
+    }
+
+    #[test]
+    fn origin_fetches_share_one_allocation() {
+        let origin = origin_with("t/A", "u");
+        let a = origin.fetch("u").unwrap();
+        let b = origin.fetch("u").unwrap();
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
     fn concurrent_clients_share_one_proxy() {
         use std::sync::Arc;
         let proxy = Arc::new(Proxy::new(
@@ -372,7 +476,10 @@ mod tests {
         for i in 0..8 {
             let p = proxy.clone();
             handles.push(std::thread::spawn(move || {
-                let ctx = RequestContext { client: format!("c{i}"), ..Default::default() };
+                let ctx = RequestContext {
+                    client: format!("c{i}"),
+                    ..Default::default()
+                };
                 for _ in 0..50 {
                     p.handle_request("u", &ctx).unwrap();
                 }

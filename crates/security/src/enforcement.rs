@@ -49,7 +49,11 @@ pub struct SecurityServer {
 impl SecurityServer {
     /// Creates a server around a policy.
     pub fn new(policy: Policy) -> SecurityServer {
-        SecurityServer { policy, clients: Vec::new(), stats: ServerStats::default() }
+        SecurityServer {
+            policy,
+            clients: Vec::new(),
+            stats: ServerStats::default(),
+        }
     }
 
     /// Read access to the policy.
@@ -166,7 +170,12 @@ mod tests {
     use super::*;
     use crate::policy::example_policy;
 
-    fn setup() -> (Arc<Mutex<SecurityServer>>, EnforcementManager, SecurityId, PermissionId) {
+    fn setup() -> (
+        Arc<Mutex<SecurityServer>>,
+        EnforcementManager,
+        SecurityId,
+        PermissionId,
+    ) {
         let policy = Policy::parse(example_policy()).unwrap();
         let sid = policy.principals["applets"];
         let perm = policy.permissions["file.read"];
@@ -194,7 +203,10 @@ mod tests {
         em.check(sid, perm);
         assert!(em.is_cached(sid, perm));
         server.lock().revoke(sid, perm);
-        assert!(!em.is_cached(sid, perm), "invalidation must clear the cache");
+        assert!(
+            !em.is_cached(sid, perm),
+            "invalidation must clear the cache"
+        );
         let (ok, _) = em.check(sid, perm);
         assert!(!ok, "revoked permission must now be denied");
         assert_eq!(em.stats.denials, 1);

@@ -28,7 +28,9 @@ pub struct ProtectionDomain {
 impl ProtectionDomain {
     /// Creates a domain granting the given permissions.
     pub fn new(grants: impl IntoIterator<Item = PermissionId>) -> ProtectionDomain {
-        ProtectionDomain { grants: grants.into_iter().collect() }
+        ProtectionDomain {
+            grants: grants.into_iter().collect(),
+        }
     }
 
     /// Returns `true` when this domain grants `perm`.
@@ -76,7 +78,8 @@ impl StackIntrospection {
         if !self.anticipated.contains(&perm) {
             return None;
         }
-        let mut cost = BASE_CHECK_CYCLES + self.per_permission_extra.get(&perm).copied().unwrap_or(0);
+        let mut cost =
+            BASE_CHECK_CYCLES + self.per_permission_extra.get(&perm).copied().unwrap_or(0);
         let mut allowed = true;
         for d in stack {
             cost += PER_FRAME_CYCLES;

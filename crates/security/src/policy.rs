@@ -64,7 +64,10 @@ impl Policy {
     pub fn parse(text: &str) -> Result<Policy, PolicyError> {
         let root = xml::parse(text).map_err(|e| PolicyError(e.to_string()))?;
         if root.name != "policy" {
-            return Err(PolicyError(format!("root element is <{}>, expected <policy>", root.name)));
+            return Err(PolicyError(format!(
+                "root element is <{}>, expected <policy>",
+                root.name
+            )));
         }
         let mut p = Policy::default();
         let need = |e: &xml::Element, a: &str| -> Result<String, PolicyError> {
@@ -137,9 +140,7 @@ impl Policy {
     pub fn operation_permission(&self, class: &str, method: &str) -> Option<PermissionId> {
         self.operations
             .iter()
-            .find(|(site, _)| {
-                site.class == class && (site.method == "*" || site.method == method)
-            })
+            .find(|(site, _)| site.class == class && (site.method == "*" || site.method == method))
             .map(|(_, p)| *p)
     }
 
@@ -201,7 +202,10 @@ mod tests {
             p.operation_permission("java/io/FileInputStream", "<init>"),
             Some(p.permissions["file.open"])
         );
-        assert_eq!(p.operation_permission("java/io/FileInputStream", "skip"), None);
+        assert_eq!(
+            p.operation_permission("java/io/FileInputStream", "skip"),
+            None
+        );
     }
 
     #[test]

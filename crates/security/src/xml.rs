@@ -57,7 +57,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err<T>(&self, message: impl Into<String>) -> Result<T, XmlError> {
-        Err(XmlError { at: self.pos, message: message.into() })
+        Err(XmlError {
+            at: self.pos,
+            message: message.into(),
+        })
     }
 
     fn peek(&self) -> Option<u8> {
@@ -141,7 +144,11 @@ impl<'a> Parser<'a> {
                         return self.err("expected '>' after '/'");
                     }
                     self.pos += 1;
-                    return Ok(Element { name, attributes, children: Vec::new() });
+                    return Ok(Element {
+                        name,
+                        attributes,
+                        children: Vec::new(),
+                    });
                 }
                 Some(b'>') => {
                     self.pos += 1;
@@ -189,7 +196,11 @@ impl<'a> Parser<'a> {
                     return self.err("expected '>'");
                 }
                 self.pos += 1;
-                return Ok(Element { name, attributes, children });
+                return Ok(Element {
+                    name,
+                    attributes,
+                    children,
+                });
             }
             children.push(self.element()?);
         }
@@ -214,7 +225,10 @@ fn unescape(s: &str) -> String {
 
 /// Parses a document, returning its root element.
 pub fn parse(input: &str) -> Result<Element, XmlError> {
-    let mut p = Parser { input: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
     p.skip_misc()?;
     let root = p.element()?;
     p.skip_misc()?;

@@ -26,12 +26,16 @@ pub trait SignatureEnvironment {
     /// violated, `None` = unknown (defer to runtime).
     fn check(&self, a: &Assumption) -> Option<bool> {
         match a {
-            Assumption::FieldExists { class, name, descriptor } => {
-                self.has_field(class, name, descriptor)
-            }
-            Assumption::MethodExists { class, name, descriptor } => {
-                self.has_method(class, name, descriptor)
-            }
+            Assumption::FieldExists {
+                class,
+                name,
+                descriptor,
+            } => self.has_field(class, name, descriptor),
+            Assumption::MethodExists {
+                class,
+                name,
+                descriptor,
+            } => self.has_method(class, name, descriptor),
             Assumption::Extends { class, superclass } => self.extends(class, superclass),
         }
     }
@@ -160,13 +164,21 @@ impl SignatureEnvironment for MapEnvironment {
     fn has_method(&self, class: &str, name: &str, descriptor: &str) -> Option<bool> {
         let mut cur = self.classes.get(class)?;
         loop {
-            if cur.methods.iter().any(|(n, d)| n == name && d == descriptor) {
+            if cur
+                .methods
+                .iter()
+                .any(|(n, d)| n == name && d == descriptor)
+            {
                 return Some(true);
             }
             // Interfaces may also declare it.
             for iface in &cur.interfaces {
                 if let Some(sig) = self.classes.get(iface) {
-                    if sig.methods.iter().any(|(n, d)| n == name && d == descriptor) {
+                    if sig
+                        .methods
+                        .iter()
+                        .any(|(n, d)| n == name && d == descriptor)
+                    {
                         return Some(true);
                     }
                 }
@@ -216,7 +228,11 @@ mod tests {
 
     fn env() -> MapEnvironment {
         let mut env = MapEnvironment::new();
-        env.add(&ClassBuilder::new("java/lang/Object").no_super_class().build());
+        env.add(
+            &ClassBuilder::new("java/lang/Object")
+                .no_super_class()
+                .build(),
+        );
         env.add(
             &ClassBuilder::new("A")
                 .field(AccessFlags::PUBLIC, "x", "I")
@@ -263,6 +279,9 @@ mod tests {
             env.has_method("java/io/PrintStream", "println", "(Ljava/lang/String;)V"),
             Some(true)
         );
-        assert_eq!(env.extends("java/lang/VerifyError", "java/lang/Throwable"), Some(true));
+        assert_eq!(
+            env.extends("java/lang/VerifyError", "java/lang/Throwable"),
+            Some(true)
+        );
     }
 }

@@ -142,7 +142,10 @@ mod tests {
 
     fn hello() -> ClassFile {
         let mut cf = ClassBuilder::new("t/Hello").build();
-        let out = cf.pool.fieldref("java/lang/System", "out", "Ljava/io/PrintStream;").unwrap();
+        let out = cf
+            .pool
+            .fieldref("java/lang/System", "out", "Ljava/io/PrintStream;")
+            .unwrap();
         let println = cf
             .pool
             .methodref("java/io/PrintStream", "println", "(Ljava/lang/String;)V")

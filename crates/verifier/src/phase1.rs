@@ -12,7 +12,13 @@ use dvm_classfile::{AccessFlags, ClassFile};
 use crate::error::{Result, VerifyFailure};
 
 fn fail(class: &str, reason: String) -> VerifyFailure {
-    VerifyFailure { phase: 1, class: class.to_owned(), method: None, at: None, reason }
+    VerifyFailure {
+        phase: 1,
+        class: class.to_owned(),
+        method: None,
+        at: None,
+        reason,
+    }
 }
 
 /// Runs phase 1, returning the number of checks performed.
@@ -21,21 +27,32 @@ pub fn check(cf: &ClassFile) -> Result<u64> {
     let name = cf.name().map_err(|e| fail("?", e.to_string()))?.to_owned();
 
     // Pool cross-reference integrity.
-    cf.pool.check_structure().map_err(|e| fail(&name, e.to_string()))?;
+    cf.pool
+        .check_structure()
+        .map_err(|e| fail(&name, e.to_string()))?;
     checks += cf.pool.len() as u64;
 
     // this/super/interfaces resolve to Class entries.
     checks += 1;
-    cf.pool.get_class_name(cf.this_class).map_err(|e| fail(&name, e.to_string()))?;
+    cf.pool
+        .get_class_name(cf.this_class)
+        .map_err(|e| fail(&name, e.to_string()))?;
     if cf.super_class != 0 {
         checks += 1;
-        cf.pool.get_class_name(cf.super_class).map_err(|e| fail(&name, e.to_string()))?;
+        cf.pool
+            .get_class_name(cf.super_class)
+            .map_err(|e| fail(&name, e.to_string()))?;
     } else if name != "java/lang/Object" {
-        return Err(fail(&name, "only java/lang/Object may omit a superclass".into()));
+        return Err(fail(
+            &name,
+            "only java/lang/Object may omit a superclass".into(),
+        ));
     }
     for &i in &cf.interfaces {
         checks += 1;
-        cf.pool.get_class_name(i).map_err(|e| fail(&name, e.to_string()))?;
+        cf.pool
+            .get_class_name(i)
+            .map_err(|e| fail(&name, e.to_string()))?;
     }
 
     // Class flags coherence.
@@ -45,29 +62,41 @@ pub fn check(cf: &ClassFile) -> Result<u64> {
     }
     checks += 1;
     if cf.access.is_final() && cf.access.is_abstract() {
-        return Err(fail(&name, "class cannot be both final and abstract".into()));
+        return Err(fail(
+            &name,
+            "class cannot be both final and abstract".into(),
+        ));
     }
 
     // Field names/descriptors and flags.
     for f in &cf.fields {
         let fname = f.name(&cf.pool).map_err(|e| fail(&name, e.to_string()))?;
-        let fdesc = f.descriptor(&cf.pool).map_err(|e| fail(&name, e.to_string()))?;
+        let fdesc = f
+            .descriptor(&cf.pool)
+            .map_err(|e| fail(&name, e.to_string()))?;
         checks += 1;
-        FieldType::parse(fdesc)
-            .map_err(|e| fail(&name, format!("field {fname}: {e}")))?;
+        FieldType::parse(fdesc).map_err(|e| fail(&name, format!("field {fname}: {e}")))?;
         checks += 1;
-        if f.access.contains(AccessFlags::PUBLIC | AccessFlags::PRIVATE)
-            || f.access.contains(AccessFlags::PUBLIC | AccessFlags::PROTECTED)
-            || f.access.contains(AccessFlags::PRIVATE | AccessFlags::PROTECTED)
+        if f.access
+            .contains(AccessFlags::PUBLIC | AccessFlags::PRIVATE)
+            || f.access
+                .contains(AccessFlags::PUBLIC | AccessFlags::PROTECTED)
+            || f.access
+                .contains(AccessFlags::PRIVATE | AccessFlags::PROTECTED)
         {
-            return Err(fail(&name, format!("field {fname}: conflicting visibility")));
+            return Err(fail(
+                &name,
+                format!("field {fname}: conflicting visibility"),
+            ));
         }
     }
 
     // Method names/descriptors, flags, and body presence.
     for m in &cf.methods {
         let mname = m.name(&cf.pool).map_err(|e| fail(&name, e.to_string()))?;
-        let mdesc = m.descriptor(&cf.pool).map_err(|e| fail(&name, e.to_string()))?;
+        let mdesc = m
+            .descriptor(&cf.pool)
+            .map_err(|e| fail(&name, e.to_string()))?;
         checks += 1;
         let parsed = MethodDescriptor::parse(mdesc)
             .map_err(|e| fail(&name, format!("method {mname}: {e}")))?;
@@ -79,10 +108,16 @@ pub fn check(cf: &ClassFile) -> Result<u64> {
         let has_body = m.code().is_some();
         let must_be_bodyless = m.access.is_native() || m.access.is_abstract();
         if has_body && must_be_bodyless {
-            return Err(fail(&name, format!("method {mname}: native/abstract with body")));
+            return Err(fail(
+                &name,
+                format!("method {mname}: native/abstract with body"),
+            ));
         }
         if !has_body && !must_be_bodyless {
-            return Err(fail(&name, format!("method {mname}: missing Code attribute")));
+            return Err(fail(
+                &name,
+                format!("method {mname}: missing Code attribute"),
+            ));
         }
         checks += 1;
         if m.access.is_abstract() && m.access.is_final() {
@@ -96,14 +131,20 @@ pub fn check(cf: &ClassFile) -> Result<u64> {
     for (_, c) in cf.pool.iter() {
         if let Constant::NameAndType { descriptor, .. } = c {
             checks += 1;
-            let d = cf.pool.get_utf8(*descriptor).map_err(|e| fail(&name, e.to_string()))?;
+            let d = cf
+                .pool
+                .get_utf8(*descriptor)
+                .map_err(|e| fail(&name, e.to_string()))?;
             let ok = if d.starts_with('(') {
                 MethodDescriptor::parse(d).is_ok()
             } else {
                 FieldType::parse(d).is_ok()
             };
             if !ok {
-                return Err(fail(&name, format!("NameAndType descriptor {d:?} is malformed")));
+                return Err(fail(
+                    &name,
+                    format!("NameAndType descriptor {d:?} is malformed"),
+                ));
             }
         }
     }
@@ -125,7 +166,11 @@ mod tests {
                 AccessFlags::PUBLIC | AccessFlags::STATIC,
                 "f",
                 "()I",
-                CodeAttribute { max_stack: 1, code: vec![0x03, 0xAC], ..Default::default() },
+                CodeAttribute {
+                    max_stack: 1,
+                    code: vec![0x03, 0xAC],
+                    ..Default::default()
+                },
             )
             .build();
         assert!(check(&cf).unwrap() > 0);

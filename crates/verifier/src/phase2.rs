@@ -34,9 +34,7 @@ pub fn check(cf: &ClassFile) -> Result<(u64, Vec<(usize, Code)>)> {
         let mname = m.name(&cf.pool)?.to_owned();
 
         // Decode validates opcodes, operand lengths, branch alignment.
-        let code = Code::decode(attr).map_err(|e| {
-            fail(&class, &mname, None, e.to_string())
-        })?;
+        let code = Code::decode(attr).map_err(|e| fail(&class, &mname, None, e.to_string()))?;
         checks += code.insns.len() as u64;
 
         // Per-instruction operand validation.
@@ -68,11 +66,8 @@ pub fn check(cf: &ClassFile) -> Result<(u64, Vec<(usize, Code)>)> {
                 Insn::Ldc(idx) => {
                     checks += 1;
                     match cf.pool.get(*idx) {
-                        Ok(
-                            Constant::Integer(_)
-                            | Constant::Float(_)
-                            | Constant::String { .. },
-                        ) => {}
+                        Ok(Constant::Integer(_) | Constant::Float(_) | Constant::String { .. }) => {
+                        }
                         Ok(other) => {
                             return Err(fail(
                                 &class,
@@ -219,7 +214,11 @@ mod tests {
                 ps(),
                 "f",
                 "()I",
-                CodeAttribute { max_stack: 1, code: vec![0x03, 0xAC], ..Default::default() },
+                CodeAttribute {
+                    max_stack: 1,
+                    code: vec![0x03, 0xAC],
+                    ..Default::default()
+                },
             )
             .build();
         let (checks, bodies) = check(&cf).unwrap();
@@ -274,7 +273,11 @@ mod tests {
                 ps(),
                 "f",
                 "()V",
-                CodeAttribute { max_stack: 1, code: vec![0x03, 0x57], ..Default::default() },
+                CodeAttribute {
+                    max_stack: 1,
+                    code: vec![0x03, 0x57],
+                    ..Default::default()
+                },
             )
             .build();
         let err = check(&cf).unwrap_err();
@@ -288,7 +291,11 @@ mod tests {
                 ps(),
                 "f",
                 "()V",
-                CodeAttribute { max_stack: 1, code: vec![0x10], ..Default::default() },
+                CodeAttribute {
+                    max_stack: 1,
+                    code: vec![0x10],
+                    ..Default::default()
+                },
             )
             .build();
         let err = check(&cf).unwrap_err();
@@ -302,7 +309,12 @@ mod tests {
         let mut code = vec![0xB6]; // invokevirtual
         code.extend_from_slice(&m.to_be_bytes());
         code.push(0xB1); // return
-        let attr = CodeAttribute { max_stack: 1, max_locals: 1, code, ..Default::default() };
+        let attr = CodeAttribute {
+            max_stack: 1,
+            max_locals: 1,
+            code,
+            ..Default::default()
+        };
         let n = cf.pool.utf8("f").unwrap();
         let d = cf.pool.utf8("()V").unwrap();
         cf.methods.push(dvm_classfile::MemberInfo {

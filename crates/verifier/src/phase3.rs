@@ -96,7 +96,11 @@ impl Ctx<'_> {
             // verification completes.
             Scope::Method => Some((self.method.clone(), String::new())),
         };
-        let sa = ScopedAssumption { assumption: a, scope, method };
+        let sa = ScopedAssumption {
+            assumption: a,
+            scope,
+            method,
+        };
         if !self.assumptions.contains(&sa) {
             self.assumptions.push(sa);
         }
@@ -177,7 +181,11 @@ fn initial_state(ctx: &Ctx<'_>, is_static: bool, desc: &MethodDescriptor, code: 
     while locals.len() < code.max_locals as usize {
         locals.push(VType::Top);
     }
-    MState { locals, stack: Vec::new(), this_init: !ctx.is_init }
+    MState {
+        locals,
+        stack: Vec::new(),
+        this_init: !ctx.is_init,
+    }
 }
 
 fn verify_method(
@@ -214,7 +222,9 @@ fn verify_method(
     }
 
     while let Some(i) = work.pop() {
-        let Some(state) = states[i].clone() else { continue };
+        let Some(state) = states[i].clone() else {
+            continue;
+        };
         let insn = &code.insns[i];
         let mut st = state.clone();
         let succs = simulate(ctx, i, insn, &mut st)?;
@@ -284,7 +294,9 @@ fn propagate(
 
 fn pop(ctx: &mut Ctx<'_>, st: &mut MState, at: usize) -> Result<VType> {
     ctx.checks += 1;
-    st.stack.pop().ok_or_else(|| ctx.fail(at, "operand stack underflow".into()))
+    st.stack
+        .pop()
+        .ok_or_else(|| ctx.fail(at, "operand stack underflow".into()))
 }
 
 fn pop_expect(ctx: &mut Ctx<'_>, st: &mut MState, at: usize, want: &VType) -> Result<()> {
@@ -320,7 +332,10 @@ fn compat(ctx: &mut Ctx<'_>, at: usize, value: &VType, want: &VType) -> Result<(
             } else {
                 // Subtyping across classes: defer to the link phase.
                 ctx.assume(
-                    Assumption::Extends { class: a.clone(), superclass: b.clone() },
+                    Assumption::Extends {
+                        class: a.clone(),
+                        superclass: b.clone(),
+                    },
                     Scope::Method,
                 );
                 true
@@ -331,7 +346,10 @@ fn compat(ctx: &mut Ctx<'_>, at: usize, value: &VType, want: &VType) -> Result<(
     if ok {
         Ok(())
     } else {
-        Err(ctx.fail(at, format!("cannot use {value:?} where {want:?} is required")))
+        Err(ctx.fail(
+            at,
+            format!("cannot use {value:?} where {want:?} is required"),
+        ))
     }
 }
 
@@ -407,9 +425,7 @@ fn simulate(ctx: &mut Ctx<'_>, i: usize, insn: &Insn, st: &mut MState) -> Result
                 Ok(Constant::String { .. }) => {
                     st.stack.push(VType::Ref("java/lang/String".to_owned()))
                 }
-                other => {
-                    return Err(ctx.fail(i, format!("ldc of invalid constant: {other:?}")))
-                }
+                other => return Err(ctx.fail(i, format!("ldc of invalid constant: {other:?}"))),
             }
         }
         Insn::Ldc2(idx) => {
@@ -417,9 +433,7 @@ fn simulate(ctx: &mut Ctx<'_>, i: usize, insn: &Insn, st: &mut MState) -> Result
             match ctx.cf.pool.get(*idx) {
                 Ok(Constant::Long(_)) => st.stack.push(VType::Long),
                 Ok(Constant::Double(_)) => st.stack.push(VType::Double),
-                other => {
-                    return Err(ctx.fail(i, format!("ldc2_w of invalid constant: {other:?}")))
-                }
+                other => return Err(ctx.fail(i, format!("ldc2_w of invalid constant: {other:?}"))),
             }
         }
         Insn::Load(kind, slot) => {
@@ -443,8 +457,11 @@ fn simulate(ctx: &mut Ctx<'_>, i: usize, insn: &Insn, st: &mut MState) -> Result
                     }
                     if v.is_wide() {
                         let tail = st.locals.get(slot + 1).cloned();
-                        let want_tail =
-                            if v == VType::Long { VType::Long2 } else { VType::Double2 };
+                        let want_tail = if v == VType::Long {
+                            VType::Long2
+                        } else {
+                            VType::Double2
+                        };
                         if tail != Some(want_tail) {
                             return Err(ctx.fail(i, "broken wide local pair".into()));
                         }
@@ -477,7 +494,11 @@ fn simulate(ctx: &mut Ctx<'_>, i: usize, insn: &Insn, st: &mut MState) -> Result
                 st.locals[slot - 1] = VType::Top;
             }
             let wide = v.is_wide();
-            let tail = if v == VType::Long { VType::Long2 } else { VType::Double2 };
+            let tail = if v == VType::Long {
+                VType::Long2
+            } else {
+                VType::Double2
+            };
             st.locals[slot] = v;
             if wide {
                 if slot + 1 >= st.locals.len() {
@@ -616,7 +637,9 @@ fn simulate(ctx: &mut Ctx<'_>, i: usize, insn: &Insn, st: &mut MState) -> Result
                 "subroutines (jsr/ret) are rejected by this verifier".into(),
             ));
         }
-        Insn::TableSwitch { default, targets, .. } => {
+        Insn::TableSwitch {
+            default, targets, ..
+        } => {
             pop_expect(ctx, st, i, &VType::Int)?;
             succs.push(*default);
             succs.extend_from_slice(targets);
@@ -649,7 +672,9 @@ fn simulate(ctx: &mut Ctx<'_>, i: usize, insn: &Insn, st: &mut MState) -> Result
                     compat(ctx, i, &v, &want)?;
                 }
                 (got, want) => {
-                    return Err(ctx.fail(i, format!("return {got:?} from method returning {want:?}")));
+                    return Err(
+                        ctx.fail(i, format!("return {got:?} from method returning {want:?}"))
+                    );
                 }
             }
             if ctx.is_init && !st.this_init {
@@ -684,8 +709,8 @@ fn simulate(ctx: &mut Ctx<'_>, i: usize, insn: &Insn, st: &mut MState) -> Result
             // Receiver: an initialized reference, or `this` inside a
             // constructor storing to its own fields before super-init.
             let recv = pop(ctx, st, i)?;
-            let ok = recv.is_initialized_reference()
-                || (recv == VType::UninitThis && c == ctx.class);
+            let ok =
+                recv.is_initialized_reference() || (recv == VType::UninitThis && c == ctx.class);
             if !ok {
                 return Err(ctx.fail(i, format!("putfield on {recv:?}")));
             }
@@ -709,7 +734,8 @@ fn simulate(ctx: &mut Ctx<'_>, i: usize, insn: &Insn, st: &mut MState) -> Result
         }
         Insn::NewArray(kind) => {
             pop_expect(ctx, st, i, &VType::Int)?;
-            st.stack.push(VType::Ref(akind_array_desc(*kind).to_owned()));
+            st.stack
+                .push(VType::Ref(akind_array_desc(*kind).to_owned()));
         }
         Insn::ANewArray(idx) => {
             let name = ctx
@@ -897,10 +923,15 @@ fn field_assumption(
         ctx.checks += 1;
         let found = ctx.cf.fields.iter().any(|f| {
             f.name(&ctx.cf.pool).map(|n| n == name).unwrap_or(false)
-                && f.descriptor(&ctx.cf.pool).map(|d| d == descriptor).unwrap_or(false)
+                && f.descriptor(&ctx.cf.pool)
+                    .map(|d| d == descriptor)
+                    .unwrap_or(false)
         });
         if !found {
-            return Err(ctx.fail(i, format!("no such field {name}:{descriptor} in this class")));
+            return Err(ctx.fail(
+                i,
+                format!("no such field {name}:{descriptor} in this class"),
+            ));
         }
     } else {
         ctx.assume(
@@ -957,7 +988,12 @@ fn invoke(ctx: &mut Ctx<'_>, st: &mut MState, i: usize, idx: u16, kind: InvokeKi
                     // Must be a constructor of this class or its direct
                     // superclass.
                     ctx.checks += 1;
-                    let sup = ctx.cf.super_name().ok().flatten().unwrap_or("java/lang/Object");
+                    let sup = ctx
+                        .cf
+                        .super_name()
+                        .ok()
+                        .flatten()
+                        .unwrap_or("java/lang/Object");
                     if class != ctx.class && class != sup {
                         return Err(ctx.fail(
                             i,
@@ -1001,7 +1037,9 @@ fn invoke(ctx: &mut Ctx<'_>, st: &mut MState, i: usize, idx: u16, kind: InvokeKi
         ctx.checks += 1;
         let found = ctx.cf.methods.iter().any(|m| {
             m.name(&ctx.cf.pool).map(|n| n == name).unwrap_or(false)
-                && m.descriptor(&ctx.cf.pool).map(|d| d == descriptor).unwrap_or(false)
+                && m.descriptor(&ctx.cf.pool)
+                    .map(|d| d == descriptor)
+                    .unwrap_or(false)
         });
         // Inherited methods invoked via this-class references are legal;
         // treat a miss as an assumption on the superclass instead of an

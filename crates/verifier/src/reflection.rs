@@ -76,7 +76,11 @@ mod tests {
     fn sample() -> ClassFile {
         ClassBuilder::new("t/Desc")
             .field(AccessFlags::PUBLIC, "x", "I")
-            .field(AccessFlags::PUBLIC | AccessFlags::SYNTHETIC, "__hidden", "Z")
+            .field(
+                AccessFlags::PUBLIC | AccessFlags::SYNTHETIC,
+                "__hidden",
+                "Z",
+            )
             .bodyless_method(AccessFlags::PUBLIC | AccessFlags::NATIVE, "f", "(I)I")
             .build()
     }
@@ -107,7 +111,10 @@ mod tests {
         attach_self_describing(&mut cf).unwrap();
         attach_self_describing(&mut cf).unwrap();
         assert_eq!(
-            cf.attributes.iter().filter(|a| a.name() == "DvmSelfDescribing").count(),
+            cf.attributes
+                .iter()
+                .filter(|a| a.name() == "DvmSelfDescribing")
+                .count(),
             1
         );
         let bytes = cf.to_bytes().unwrap();

@@ -36,7 +36,13 @@ pub fn replacement_class(name: &str, message: &str, original: Option<&ClassFile>
         max_locals: 0,
     };
     let attr = clinit.encode(&cf.pool).expect("replacement body encodes");
-    push_method(&mut cf, AccessFlags::STATIC | AccessFlags::SYNTHETIC, "<clinit>", "()V", attr);
+    push_method(
+        &mut cf,
+        AccessFlags::STATIC | AccessFlags::SYNTHETIC,
+        "<clinit>",
+        "()V",
+        attr,
+    );
 
     if let Some(orig) = original {
         for m in &orig.methods {
@@ -47,19 +53,22 @@ pub fn replacement_class(name: &str, message: &str, original: Option<&ClassFile>
                 continue;
             }
             let (mname, mdesc) = (mname.to_owned(), mdesc.to_owned());
-            let Ok(desc) = MethodDescriptor::parse(&mdesc) else { continue };
+            let Ok(desc) = MethodDescriptor::parse(&mdesc) else {
+                continue;
+            };
             // Unreachable stub: <clinit> throws before any body runs.
             let body = Code {
                 insns: stub_return(&desc),
                 handlers: vec![],
                 max_locals: desc.param_slots() + if m.access.is_static() { 0 } else { 1 },
             };
-            let Ok(attr) = body.encode(&cf.pool) else { continue };
+            let Ok(attr) = body.encode(&cf.pool) else {
+                continue;
+            };
             // Stubs carry bodies, so strip native/abstract from the
             // original flags.
-            let access = AccessFlags(
-                m.access.0 & !(AccessFlags::NATIVE.0 | AccessFlags::ABSTRACT.0),
-            );
+            let access =
+                AccessFlags(m.access.0 & !(AccessFlags::NATIVE.0 | AccessFlags::ABSTRACT.0));
             push_method(&mut cf, access, &mname, &mdesc, attr);
         }
     }

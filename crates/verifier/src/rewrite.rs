@@ -76,7 +76,10 @@ pub fn split_and_rewrite(
     // Group assumptions per method.
     let mut grouped: Vec<((String, String), Vec<Assumption>)> = Vec::new();
     for (n, d, a) in deferred_method {
-        match grouped.iter_mut().find(|((gn, gd), _)| gn == &n && gd == &d) {
+        match grouped
+            .iter_mut()
+            .find(|((gn, gd), _)| gn == &n && gd == &d)
+        {
             Some((_, v)) => v.push(a),
             None => grouped.push(((n, d), vec![a])),
         }
@@ -86,7 +89,11 @@ pub fn split_and_rewrite(
         inject_method_checks(&mut cf, &mname, &mdesc, &checks, &mut flag_counter)?;
     }
 
-    Ok(RewriteOutput { class: cf, injected_checks: injected, discharged })
+    Ok(RewriteOutput {
+        class: cf,
+        injected_checks: injected,
+        discharged,
+    })
 }
 
 /// Builds the instruction block performing `checks`, with pool interning.
@@ -97,19 +104,37 @@ fn check_block(cf: &mut ClassFile, checks: &[Assumption]) -> Result<Vec<Insn>> {
     let mut insns = Vec::new();
     for a in checks {
         match a {
-            Assumption::FieldExists { class, name, descriptor } => {
+            Assumption::FieldExists {
+                class,
+                name,
+                descriptor,
+            } => {
                 let c = cf.pool.string(class)?;
                 let n = cf.pool.string(name)?;
                 let d = cf.pool.string(descriptor)?;
                 let m = check_member(cf, "checkField")?;
-                insns.extend([Insn::Ldc(c), Insn::Ldc(n), Insn::Ldc(d), Insn::InvokeStatic(m)]);
+                insns.extend([
+                    Insn::Ldc(c),
+                    Insn::Ldc(n),
+                    Insn::Ldc(d),
+                    Insn::InvokeStatic(m),
+                ]);
             }
-            Assumption::MethodExists { class, name, descriptor } => {
+            Assumption::MethodExists {
+                class,
+                name,
+                descriptor,
+            } => {
                 let c = cf.pool.string(class)?;
                 let n = cf.pool.string(name)?;
                 let d = cf.pool.string(descriptor)?;
                 let m = check_member(cf, "checkMethod")?;
-                insns.extend([Insn::Ldc(c), Insn::Ldc(n), Insn::Ldc(d), Insn::InvokeStatic(m)]);
+                insns.extend([
+                    Insn::Ldc(c),
+                    Insn::Ldc(n),
+                    Insn::Ldc(d),
+                    Insn::InvokeStatic(m),
+                ]);
             }
             Assumption::Extends { class, superclass } => {
                 let c = cf.pool.string(class)?;
@@ -127,7 +152,9 @@ fn inject_clinit_checks(cf: &mut ClassFile, checks: &[Assumption]) -> Result<()>
     let existing = cf.find_method("<clinit>", "()V").is_some();
     if existing {
         let pool_snapshot = cf.pool.clone();
-        let m = cf.find_method_mut("<clinit>", "()V").expect("checked above");
+        let m = cf
+            .find_method_mut("<clinit>", "()V")
+            .expect("checked above");
         let attr = m.code().ok_or_else(|| VerifyFailure {
             phase: 4,
             class: String::new(),
@@ -143,9 +170,19 @@ fn inject_clinit_checks(cf: &mut ClassFile, checks: &[Assumption]) -> Result<()>
     } else {
         let mut insns = block;
         insns.push(Insn::Return(None));
-        let code = Code { insns, handlers: vec![], max_locals: 0 };
+        let code = Code {
+            insns,
+            handlers: vec![],
+            max_locals: 0,
+        };
         let attr = code.encode(&cf.pool)?;
-        push_method(cf, AccessFlags::STATIC | AccessFlags::SYNTHETIC, "<clinit>", "()V", attr)?;
+        push_method(
+            cf,
+            AccessFlags::STATIC | AccessFlags::SYNTHETIC,
+            "<clinit>",
+            "()V",
+            attr,
+        )?;
     }
     Ok(())
 }
@@ -161,7 +198,12 @@ fn inject_method_checks(
     let flag_name = format!("__dvmChecked${flag_counter}");
     *flag_counter += 1;
     let class_name = cf.name()?.to_owned();
-    push_field(cf, AccessFlags::STATIC | AccessFlags::SYNTHETIC, &flag_name, "Z")?;
+    push_field(
+        cf,
+        AccessFlags::STATIC | AccessFlags::SYNTHETIC,
+        &flag_name,
+        "Z",
+    )?;
     let flag_ref = cf.pool.fieldref(&class_name, &flag_name, "Z")?;
 
     let mut block = vec![Insn::GetStatic(flag_ref), Insn::If(ICond::Ne, 0)];
@@ -176,13 +218,15 @@ fn inject_method_checks(
     }
 
     let pool_snapshot = cf.pool.clone();
-    let m = cf.find_method_mut(mname, mdesc).ok_or_else(|| VerifyFailure {
-        phase: 4,
-        class: class_name.clone(),
-        method: Some(mname.to_owned()),
-        at: None,
-        reason: "instrumented method disappeared".into(),
-    })?;
+    let m = cf
+        .find_method_mut(mname, mdesc)
+        .ok_or_else(|| VerifyFailure {
+            phase: 4,
+            class: class_name.clone(),
+            method: Some(mname.to_owned()),
+            at: None,
+            reason: "instrumented method disappeared".into(),
+        })?;
     let attr = m.code().ok_or_else(|| VerifyFailure {
         phase: 4,
         class: class_name,
@@ -198,12 +242,7 @@ fn inject_method_checks(
     Ok(())
 }
 
-fn push_field(
-    cf: &mut ClassFile,
-    access: AccessFlags,
-    name: &str,
-    descriptor: &str,
-) -> Result<()> {
+fn push_field(cf: &mut ClassFile, access: AccessFlags, name: &str, descriptor: &str) -> Result<()> {
     let name_index = cf.pool.utf8(name)?;
     let descriptor_index = cf.pool.utf8(descriptor)?;
     cf.fields.push(MemberInfo {
@@ -241,7 +280,10 @@ mod tests {
     fn sample_class() -> ClassFile {
         use dvm_bytecode::asm::Asm;
         let mut cf = dvm_classfile::ClassBuilder::new("t/Hello").build();
-        let out = cf.pool.fieldref("java/lang/System", "out", "Ljava/io/PrintStream;").unwrap();
+        let out = cf
+            .pool
+            .fieldref("java/lang/System", "out", "Ljava/io/PrintStream;")
+            .unwrap();
         let println = cf
             .pool
             .methodref("java/io/PrintStream", "println", "(Ljava/lang/String;)V")

@@ -6,7 +6,13 @@ use dvm_bytecode::{Asm, Code};
 use dvm_classfile::{AccessFlags, Attribute, ClassBuilder, ClassFile, MemberInfo};
 use dvm_verifier::{MapEnvironment, StaticVerifier};
 
-fn class_with_raw(name: &str, method: &str, desc: &str, access: AccessFlags, code: Code) -> ClassFile {
+fn class_with_raw(
+    name: &str,
+    method: &str,
+    desc: &str,
+    access: AccessFlags,
+    code: Code,
+) -> ClassFile {
     let mut cf = ClassBuilder::new(name).build();
     // Encode without stack verification (we are testing the *verifier*,
     // and some bodies are deliberately type-broken but depth-sane).
@@ -31,7 +37,10 @@ fn using_uninitialized_object_as_argument_is_rejected() {
     // new Object; invokevirtual hashCode() without calling <init>.
     let mut cf = ClassBuilder::new("t/Uninit").build();
     let obj = cf.pool.class("java/lang/Object").unwrap();
-    let hash = cf.pool.methodref("java/lang/Object", "hashCode", "()I").unwrap();
+    let hash = cf
+        .pool
+        .methodref("java/lang/Object", "hashCode", "()I")
+        .unwrap();
     let code = Code {
         insns: vec![
             Insn::New(obj),
@@ -58,10 +67,19 @@ fn using_uninitialized_object_as_argument_is_rejected() {
 fn properly_initialized_object_is_accepted() {
     let mut cf = ClassBuilder::new("t/Init").build();
     let obj = cf.pool.class("java/lang/Object").unwrap();
-    let init = cf.pool.methodref("java/lang/Object", "<init>", "()V").unwrap();
-    let hash = cf.pool.methodref("java/lang/Object", "hashCode", "()I").unwrap();
+    let init = cf
+        .pool
+        .methodref("java/lang/Object", "<init>", "()V")
+        .unwrap();
+    let hash = cf
+        .pool
+        .methodref("java/lang/Object", "hashCode", "()I")
+        .unwrap();
     let mut a = Asm::new(0);
-    a.new_object(obj).dup().invokespecial(init).invokevirtual(hash);
+    a.new_object(obj)
+        .dup()
+        .invokespecial(init)
+        .invokevirtual(hash);
     a.ret_val(Kind::Int);
     let attr = a.finish().unwrap().encode(&cf.pool).unwrap();
     let n = cf.pool.utf8("f").unwrap();
@@ -100,7 +118,10 @@ fn constructor_must_call_super_before_returning() {
 #[test]
 fn well_formed_constructor_verifies() {
     let mut cf = ClassBuilder::new("t/GoodCtor").build();
-    let init = cf.pool.methodref("java/lang/Object", "<init>", "()V").unwrap();
+    let init = cf
+        .pool
+        .methodref("java/lang/Object", "<init>", "()V")
+        .unwrap();
     let mut a = Asm::new(1);
     a.aload(0).invokespecial(init).ret();
     let attr = a.finish().unwrap().encode(&cf.pool).unwrap();
@@ -236,7 +257,10 @@ fn exception_handlers_verify_with_thrown_reference() {
     let e = a.new_label();
     let h = a.new_label();
     a.place(s);
-    a.iconst(1).iload(0).arith(NumKind::Int, ArithOp::Div).istore(1);
+    a.iconst(1)
+        .iload(0)
+        .arith(NumKind::Int, ArithOp::Div)
+        .istore(1);
     a.place(e);
     a.iload(1).ret_val(Kind::Int);
     a.place(h);

@@ -85,7 +85,10 @@ mod tests {
         let max = *sizes.iter().max().unwrap();
         let min = *sizes.iter().min().unwrap();
         assert!(mean > 20_000.0 && mean < 90_000.0, "mean {mean}");
-        assert!(max > 2 * mean as usize, "tail too thin: max {max}, mean {mean}");
+        assert!(
+            max > 2 * mean as usize,
+            "tail too thin: max {max}, mean {mean}"
+        );
         assert!(min >= 2_000);
     }
 

@@ -18,7 +18,7 @@ use rand::{Rng, SeedableRng};
 
 use dvm_bytecode::insn::{AKind, ICond, Kind, LogicOp, NumKind, NumType};
 use dvm_bytecode::Asm;
-use dvm_classfile::{AccessFlags, Attribute, ClassFile, ClassBuilder, CodeAttribute, MemberInfo};
+use dvm_classfile::{AccessFlags, Attribute, ClassBuilder, ClassFile, CodeAttribute, MemberInfo};
 
 use crate::spec::{AppSpec, WorkKind};
 
@@ -63,7 +63,9 @@ impl GeneratedApp {
 
     /// Total serialized size in bytes.
     pub fn total_bytes(&self) -> usize {
-        self.serialize().map(|v| v.iter().map(|(_, b)| b.len()).sum()).unwrap_or(0)
+        self.serialize()
+            .map(|v| v.iter().map(|(_, b)| b.len()).sum())
+            .unwrap_or(0)
     }
 }
 
@@ -71,7 +73,13 @@ fn ps() -> AccessFlags {
     AccessFlags::PUBLIC | AccessFlags::STATIC
 }
 
-fn add_method(cf: &mut ClassFile, access: AccessFlags, name: &str, desc: &str, code: CodeAttribute) {
+fn add_method(
+    cf: &mut ClassFile,
+    access: AccessFlags,
+    name: &str,
+    desc: &str,
+    code: CodeAttribute,
+) {
     let name_index = cf.pool.utf8(name).expect("pool");
     let descriptor_index = cf.pool.utf8(desc).expect("pool");
     cf.methods.push(MemberInfo {
@@ -112,8 +120,8 @@ fn generate_with_budget(spec: &AppSpec, per_class: Option<usize>) -> GeneratedAp
     let mut truth = Vec::new();
 
     // Budget per chain class, reserving ~2 KB for Main.
-    let per_class = per_class
-        .unwrap_or((spec.target_bytes.saturating_sub(2048)) / spec.class_count.max(1));
+    let per_class =
+        per_class.unwrap_or((spec.target_bytes.saturating_sub(2048)) / spec.class_count.max(1));
 
     for i in 0..spec.class_count {
         let (cf, class_truth) = generate_chain_class(spec, i, per_class, &mut rng);
@@ -142,7 +150,10 @@ fn generate_main(spec: &AppSpec) -> ClassFile {
         .pool
         .fieldref("java/lang/System", "out", "Ljava/io/PrintStream;")
         .expect("pool");
-    let println = cf.pool.methodref("java/io/PrintStream", "println", "(I)V").expect("pool");
+    let println = cf
+        .pool
+        .methodref("java/io/PrintStream", "println", "(I)V")
+        .expect("pool");
 
     // locals: 0 = k, 1 = acc
     let mut a = Asm::new(2);
@@ -169,7 +180,11 @@ fn generate_main(spec: &AppSpec) -> ClassFile {
         a.place(done);
     }
     a.getstatic(out_field).iload(1).invokevirtual(println).ret();
-    let attr = a.finish().expect("main assembles").encode(&cf.pool).expect("main encodes");
+    let attr = a
+        .finish()
+        .expect("main assembles")
+        .encode(&cf.pool)
+        .expect("main encodes");
     add_method(&mut cf, ps(), "main", "()V", attr);
     cf
 }
@@ -182,7 +197,11 @@ fn generate_chain_class(
     rng: &mut StdRng,
 ) -> (ClassFile, Vec<(String, String, Disposition)>) {
     let name = class_name(spec, i);
-    let next = if i + 1 < spec.class_count { Some(class_name(spec, i + 1)) } else { None };
+    let next = if i + 1 < spec.class_count {
+        Some(class_name(spec, i + 1))
+    } else {
+        None
+    };
     let mut cf = ClassBuilder::new(&name).build();
     let mut truth = Vec::new();
     let core = |m: &str| (name.clone(), m.to_owned(), Disposition::Core);
@@ -241,9 +260,10 @@ fn generate_chain_class(
     }
 
     // warmup / interact: run the phase's fillers, then chain onward.
-    for (mname, fillers) in
-        [("warmup", &startup_fillers), ("interact", &interactive_fillers)]
-    {
+    for (mname, fillers) in [
+        ("warmup", &startup_fillers),
+        ("interact", &interactive_fillers),
+    ] {
         let chain = next
             .as_ref()
             .map(|n| cf.pool.methodref(n, mname, "(I)I").expect("pool"));
@@ -300,24 +320,38 @@ fn generate_data(cf: &mut ClassFile, kind: WorkKind, class: &str) {
     match akind {
         AKind::Long => {
             // arr[i] = (long)(i * 37)
-            a.iload(1).iconst(37).imul().convert(NumType::Int, NumType::Long);
+            a.iload(1)
+                .iconst(37)
+                .imul()
+                .convert(NumType::Int, NumType::Long);
             a.array_store(AKind::Long);
         }
         AKind::Double => {
             // arr[i] = (double)(i + 1)
-            a.iload(1).iconst(1).iadd().convert(NumType::Int, NumType::Double);
+            a.iload(1)
+                .iconst(1)
+                .iadd()
+                .convert(NumType::Int, NumType::Double);
             a.array_store(AKind::Double);
         }
         _ => {
             // arr[i] = (i * 7) & 0xFF
-            a.iload(1).iconst(7).imul().iconst(255).logic(NumKind::Int, LogicOp::And);
+            a.iload(1)
+                .iconst(7)
+                .imul()
+                .iconst(255)
+                .logic(NumKind::Int, LogicOp::And);
             a.array_store(AKind::Int);
         }
     }
     a.iinc(1, 1).goto(top);
     a.place(done);
     a.aload(0).putstatic(field).ret();
-    let attr = a.finish().expect("clinit").encode(&cf.pool).expect("clinit");
+    let attr = a
+        .finish()
+        .expect("clinit")
+        .encode(&cf.pool)
+        .expect("clinit");
     add_method(cf, AccessFlags::STATIC, "<clinit>", "()V", attr);
 }
 
@@ -359,12 +393,20 @@ fn hot_scanner(cf: &mut ClassFile, class: &str, kind: WorkKind) {
     a.iload(2).iload(0).iadd().istore(2);
     a.goto(cont);
     a.place(c2);
-    a.iload(2).iload(1).logic(NumKind::Int, LogicOp::Xor).istore(2);
+    a.iload(2)
+        .iload(1)
+        .logic(NumKind::Int, LogicOp::Xor)
+        .istore(2);
     a.goto(cont);
     a.place(def);
     if kind == WorkKind::Parser {
         // Parsers do an extra state transition on the default arm.
-        a.iload(2).iconst(5).imul().iconst(0x7FFF).logic(NumKind::Int, LogicOp::And).istore(2);
+        a.iload(2)
+            .iconst(5)
+            .imul()
+            .iconst(0x7FFF)
+            .logic(NumKind::Int, LogicOp::And)
+            .istore(2);
     } else {
         a.iinc(2, 2);
     }
@@ -396,7 +438,11 @@ fn hot_compiler(cf: &mut ClassFile, class: &str) {
     // hot(x): rec((x & 3) + 7) ^ x
     {
         let mut a = Asm::new(1);
-        a.iload(0).iconst(3).logic(NumKind::Int, LogicOp::And).iconst(7).iadd();
+        a.iload(0)
+            .iconst(3)
+            .logic(NumKind::Int, LogicOp::And)
+            .iconst(7)
+            .iadd();
         a.invokestatic(rec);
         a.iload(0).logic(NumKind::Int, LogicOp::Xor);
         a.ret_val(Kind::Int);
@@ -418,7 +464,12 @@ fn hot_database(cf: &mut ClassFile, class: &str) {
     a.place(top);
     a.iload(1).iconst(32).if_icmp(ICond::Ge, done);
     // idx = (x + j) & 31
-    a.iload(0).iload(1).iadd().iconst(31).logic(NumKind::Int, LogicOp::And).istore(4);
+    a.iload(0)
+        .iload(1)
+        .iadd()
+        .iconst(31)
+        .logic(NumKind::Int, LogicOp::And)
+        .istore(4);
     // arr[idx] = arr[idx] + (long)j   (the balance update)
     a.aload(3).iload(4);
     a.aload(3).iload(4).array_load(AKind::Long);
@@ -453,7 +504,11 @@ fn hot_constraint(cf: &mut ClassFile, class: &str) {
     // arr[j] = (arr[j] + arr[j+1]) * 0.5
     a.aload(2).iload(1);
     a.aload(2).iload(1).array_load(AKind::Double);
-    a.aload(2).iload(1).iconst(1).iadd().array_load(AKind::Double);
+    a.aload(2)
+        .iload(1)
+        .iconst(1)
+        .iadd()
+        .array_load(AKind::Double);
     a.arith(NumKind::Double, dvm_bytecode::ArithOp::Add);
     a.ldc2(half);
     a.arith(NumKind::Double, dvm_bytecode::ArithOp::Mul);
@@ -462,7 +517,11 @@ fn hot_constraint(cf: &mut ClassFile, class: &str) {
     a.place(done);
     // return x + (int)arr[x & 31]
     a.iload(0);
-    a.aload(2).iload(0).iconst(31).logic(NumKind::Int, LogicOp::And).array_load(AKind::Double);
+    a.aload(2)
+        .iload(0)
+        .iconst(31)
+        .logic(NumKind::Int, LogicOp::And)
+        .array_load(AKind::Double);
     a.convert(NumType::Double, NumType::Int);
     a.iadd().ret_val(Kind::Int);
     let attr = a.finish().expect("hot").encode(&cf.pool).expect("hot");
@@ -471,7 +530,10 @@ fn hot_constraint(cf: &mut ClassFile, class: &str) {
 
 /// GUI kernel: event-loop arithmetic with library calls.
 fn hot_gui(cf: &mut ClassFile) {
-    let max = cf.pool.methodref("java/lang/Math", "max", "(II)I").expect("pool");
+    let max = cf
+        .pool
+        .methodref("java/lang/Math", "max", "(II)I")
+        .expect("pool");
     // locals: 0 = x, 1 = j, 2 = acc
     let mut a = Asm::new(3);
     a.iload(0).istore(2);
@@ -481,7 +543,11 @@ fn hot_gui(cf: &mut ClassFile) {
     a.place(top);
     a.iload(1).iconst(16).if_icmp(ICond::Ge, done);
     a.iload(2);
-    a.iload(0).iload(1).imul().iload(2).logic(NumKind::Int, LogicOp::Xor);
+    a.iload(0)
+        .iload(1)
+        .imul()
+        .iload(2)
+        .logic(NumKind::Int, LogicOp::Xor);
     a.invokestatic(max).istore(2);
     a.iinc(1, 1).goto(top);
     a.place(done);
@@ -508,7 +574,11 @@ fn generate_filler(cf: &mut ClassFile, name: &str, bytes: usize, rng: &mut StdRn
         };
     }
     a.ret_val(Kind::Int);
-    let attr = a.finish().expect("filler").encode(&cf.pool).expect("filler");
+    let attr = a
+        .finish()
+        .expect("filler")
+        .encode(&cf.pool)
+        .expect("filler");
     add_method(cf, ps(), name, "(I)I", attr);
 }
 
@@ -548,8 +618,16 @@ mod tests {
     fn ground_truth_has_all_dispositions() {
         let spec = figure5_apps().remove(2); // pizza: plenty of classes
         let app = generate(&spec);
-        let dead = app.truth.iter().filter(|(_, _, d)| *d == Disposition::Dead).count();
-        let startup = app.truth.iter().filter(|(_, _, d)| *d == Disposition::Startup).count();
+        let dead = app
+            .truth
+            .iter()
+            .filter(|(_, _, d)| *d == Disposition::Dead)
+            .count();
+        let startup = app
+            .truth
+            .iter()
+            .filter(|(_, _, d)| *d == Disposition::Startup)
+            .count();
         let inter = app
             .truth
             .iter()

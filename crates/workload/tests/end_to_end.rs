@@ -30,7 +30,10 @@ fn all_figure5_apps_execute() {
         let (stdout, stats) = run_app(&spec);
         assert_eq!(stdout.len(), 1, "{} should print once", spec.name);
         stdout[0].parse::<i64>().unwrap_or_else(|_| {
-            panic!("{}: expected numeric output, got {:?}", spec.name, stdout[0])
+            panic!(
+                "{}: expected numeric output, got {:?}",
+                spec.name, stdout[0]
+            )
         });
         assert!(
             stats.instructions > 10_000,

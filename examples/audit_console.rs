@@ -36,12 +36,20 @@ fn main() {
     let console = org.console.lock();
     println!("== administration console ==");
     println!("sessions     : {}", console.session_count());
-    println!("audit events : {} (retained {})", console.total_events(), console.retained_len());
+    println!(
+        "audit events : {} (retained {})",
+        console.total_events(),
+        console.retained_len()
+    );
     println!("client formats: {:?}", console.native_formats());
 
     // Network-wide usage by site: the top-5 hottest methods.
     let sites = org.sites.lock();
-    let mut usage: Vec<_> = console.usage_by_site().iter().map(|(s, n)| (*s, *n)).collect();
+    let mut usage: Vec<_> = console
+        .usage_by_site()
+        .iter()
+        .map(|(s, n)| (*s, *n))
+        .collect();
     usage.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
     println!("\ntop methods across the network:");
     for (site, count) in usage.iter().take(5) {

@@ -19,8 +19,12 @@ fn main() {
     // The smallest §5 app (animatedui), execution-scaled for a quick demo.
     let spec = figure11_apps().pop().unwrap().scaled(1, 20);
     let app = generate(&spec);
-    println!("application    : {} ({} classes, {} KB)", spec.name, app.classes.len(),
-        app.total_bytes() / 1024);
+    println!(
+        "application    : {} ({} classes, {} KB)",
+        spec.name,
+        app.classes.len(),
+        app.total_bytes() / 1024
+    );
 
     // 1. Profile the first execution with the monitoring service's
     //    instrumentation (first-use graph).
@@ -40,9 +44,7 @@ fn main() {
             self.0.lock().unwrap().first_use(dvm_monitor::SiteId(site));
         }
     }
-    let profile = std::sync::Arc::new(std::sync::Mutex::new(
-        dvm_monitor::ProfileCollector::new(),
-    ));
+    let profile = std::sync::Arc::new(std::sync::Mutex::new(dvm_monitor::ProfileCollector::new()));
     let mut vm =
         Vm::with_services(Box::new(provider), Box::new(Collector(profile.clone()))).unwrap();
     let baseline_out = match vm.run_main(&app.main_class).unwrap() {
@@ -50,7 +52,10 @@ fn main() {
         Completion::Exception(e) => panic!("profiling run failed: {:?}", vm.exception_message(e)),
     };
     let profile = profile.lock().unwrap().clone();
-    println!("profiled       : {} methods used (first-use graph)", profile.first_use_order().len());
+    println!(
+        "profiled       : {} methods used (first-use graph)",
+        profile.first_use_order().len()
+    );
 
     // 2. Repartition: never-used methods move to overflow classes.
     let (split_classes, stats) =
@@ -110,7 +115,10 @@ fn main() {
                 overhead_bytes: total.saturating_sub(mbytes),
             });
         }
-        AppProfile { name: spec.name.clone(), classes }
+        AppProfile {
+            name: spec.name.clone(),
+            classes,
+        }
     };
 
     println!("\nstartup time by link (class-lazy vs repartitioned):");

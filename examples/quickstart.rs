@@ -70,11 +70,21 @@ fn main() {
     println!("-- what the services did --");
     let stats = *org.service_stats.lock();
     println!("static verifier checks  : {}", stats.static_checks);
-    println!("runtime checks injected : {}", stats.dynamic_checks_injected);
+    println!(
+        "runtime checks injected : {}",
+        stats.dynamic_checks_injected
+    );
     println!("audit probes inserted   : {}", stats.audit_probes);
-    println!("audit events recorded   : {}", org.console.lock().total_events());
+    println!(
+        "audit events recorded   : {}",
+        org.console.lock().total_events()
+    );
     println!(
         "classes transferred     : {:?}",
-        report.transfers.iter().map(|t| t.class.as_str()).collect::<Vec<_>>()
+        report
+            .transfers
+            .iter()
+            .map(|t| t.class.as_str())
+            .collect::<Vec<_>>()
     );
 }

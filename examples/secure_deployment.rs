@@ -25,14 +25,30 @@ fn file_reader() -> ClassFile {
         .pool
         .methodref("java/io/FileInputStream", "<init>", "(Ljava/lang/String;)V")
         .unwrap();
-    let read = cf.pool.methodref("java/io/FileInputStream", "read", "()I").unwrap();
-    let out = cf.pool.fieldref("java/lang/System", "out", "Ljava/io/PrintStream;").unwrap();
-    let println = cf.pool.methodref("java/io/PrintStream", "println", "(I)V").unwrap();
+    let read = cf
+        .pool
+        .methodref("java/io/FileInputStream", "read", "()I")
+        .unwrap();
+    let out = cf
+        .pool
+        .fieldref("java/lang/System", "out", "Ljava/io/PrintStream;")
+        .unwrap();
+    let println = cf
+        .pool
+        .methodref("java/io/PrintStream", "println", "(I)V")
+        .unwrap();
     let path = cf.pool.string("/data/report.txt").unwrap();
 
     let mut a = Asm::new(1);
-    a.new_object(fis).dup().ldc(path).invokespecial(init).astore(0);
-    a.getstatic(out).aload(0).invokevirtual(read).invokevirtual(println);
+    a.new_object(fis)
+        .dup()
+        .ldc(path)
+        .invokespecial(init)
+        .astore(0);
+    a.getstatic(out)
+        .aload(0)
+        .invokevirtual(read)
+        .invokevirtual(println);
     a.ret();
     let code = a.finish().unwrap().encode(&cf.pool).unwrap();
     let name = cf.pool.utf8("main").unwrap();

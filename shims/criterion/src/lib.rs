@@ -1,0 +1,169 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the benchmark-harness surface its benches use. Measurements
+//! are real (median of wall-clock samples) but intentionally simple: no
+//! statistical analysis, HTML reports, or baselines — run times print to
+//! stdout and that is all. Good enough to keep `cargo bench` compiling
+//! and giving ballpark numbers offline.
+
+use std::time::{Duration, Instant};
+
+/// Declared throughput, used to derive a rate alongside the time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting `sample_count` samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate the per-sample iteration count to ~2 ms.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let one = start.elapsed().max(Duration::from_nanos(50));
+        let iters = (Duration::from_millis(2).as_nanos() / one.as_nanos()).clamp(1, 100_000) as u64;
+        self.iters_per_sample = iters;
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares the work done per iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_count: self.sample_size,
+        };
+        f(&mut b);
+        report(&self.name, id, &b, self.throughput);
+        self
+    }
+
+    /// Ends the group (report already printed incrementally).
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &str, b: &Bencher, throughput: Option<Throughput>) {
+    if b.samples.is_empty() {
+        println!("{group}/{id}: no samples");
+        return;
+    }
+    let mut per_iter: Vec<u128> = b
+        .samples
+        .iter()
+        .map(|d| d.as_nanos() / b.iters_per_sample as u128)
+        .collect();
+    per_iter.sort_unstable();
+    let median = per_iter[per_iter.len() / 2];
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if median > 0 => {
+            format!(
+                " ({:.1} MiB/s)",
+                n as f64 * 1e9 / median as f64 / (1 << 20) as f64
+            )
+        }
+        Some(Throughput::Elements(n)) if median > 0 => {
+            format!(" ({:.0} elem/s)", n as f64 * 1e9 / median as f64)
+        }
+        _ => String::new(),
+    };
+    println!("{group}/{id}: median {}{rate}", fmt_ns(median));
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// The harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Prevents the optimizer from eliding a value (std passthrough).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

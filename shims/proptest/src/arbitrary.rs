@@ -1,0 +1,92 @@
+//! `any::<T>()` strategies over primitive types.
+
+use std::marker::PhantomData;
+
+use crate::strategy::{Strategy, TestRng};
+
+/// Strategy over the full domain of `T` (see [`any`]).
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+/// Returns a strategy generating arbitrary values of `T`.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any(PhantomData)
+}
+
+macro_rules! any_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+// Floats come from raw bit patterns so NaNs, infinities, and subnormals
+// all occur — matching real proptest's any::<f32/f64>() coverage intent.
+impl Strategy for Any<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Strategy for Any<char> {
+    type Value = char;
+
+    fn generate(&self, rng: &mut TestRng) -> char {
+        loop {
+            if let Some(c) = char::from_u32((rng.next_u64() % 0x11_0000) as u32) {
+                return c;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ints_cover_negatives() {
+        let mut rng = TestRng::new(9);
+        let mut saw_negative = false;
+        for _ in 0..100 {
+            if any::<i32>().generate(&mut rng) < 0 {
+                saw_negative = true;
+            }
+        }
+        assert!(saw_negative);
+    }
+
+    #[test]
+    fn chars_are_valid() {
+        let mut rng = TestRng::new(10);
+        for _ in 0..1000 {
+            let _ = any::<char>().generate(&mut rng);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Option strategies.
+
+use crate::strategy::{Strategy, TestRng};
+
+/// Generates `Some(value)` most of the time and `None` occasionally.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// Strategy returned by [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        // 1 in 4 None, matching real proptest's default Some-bias spirit.
+        if rng.next_u64().is_multiple_of(4) {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Just;
+
+    #[test]
+    fn produces_both_variants() {
+        let s = of(Just(1u8));
+        let mut rng = TestRng::new(6);
+        let (mut some, mut none) = (false, false);
+        for _ in 0..100 {
+            match s.generate(&mut rng) {
+                Some(_) => some = true,
+                None => none = true,
+            }
+        }
+        assert!(some && none);
+    }
+}

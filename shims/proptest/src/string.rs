@@ -1,0 +1,312 @@
+//! String generation from a regex subset.
+//!
+//! Supported syntax (the subset the workspace's patterns use):
+//! - literal characters and escapes (`\\.`, `\\\\`, …)
+//! - character classes `[a-zA-Z0-9/$_]` with ranges and literals
+//! - groups `(...)` with alternation `|`
+//! - quantifiers `{n}`, `{m,n}`, `{m,}`, `*`, `+`, `?`
+//!   (unbounded repetition is capped at 8 extra repeats)
+//! - `\d`, `\w`, `\s` shorthand classes, and `\PC` (any non-control
+//!   character, approximated by printable ASCII plus a few code points
+//!   outside ASCII)
+//!
+//! Unsupported syntax panics with a clear message — a pattern the shim
+//! cannot generate is a bug in the test, not a case to silently skip.
+
+use crate::strategy::TestRng;
+
+const UNBOUNDED_EXTRA: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Lit(char),
+    /// Inclusive character ranges to choose among.
+    Class(Vec<(char, char)>),
+    /// Alternative sequences.
+    Group(Vec<Seq>),
+}
+
+type Seq = Vec<(Atom, u32, u32)>;
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let alts = Parser::new(pattern).parse_alternatives(true);
+    let mut out = String::new();
+    gen_alts(&alts, rng, &mut out);
+    out
+}
+
+fn gen_alts(alts: &[Seq], rng: &mut TestRng, out: &mut String) {
+    let seq = &alts[rng.usize_in(0, alts.len() - 1)];
+    for (atom, lo, hi) in seq {
+        let n = rng.usize_in(*lo as usize, *hi as usize);
+        for _ in 0..n {
+            match atom {
+                Atom::Lit(c) => out.push(*c),
+                Atom::Class(ranges) => out.push(pick_from_class(ranges, rng)),
+                Atom::Group(inner) => gen_alts(inner, rng, out),
+            }
+        }
+    }
+}
+
+fn pick_from_class(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    // Weight ranges by their width so classes are roughly uniform.
+    let total: u64 = ranges
+        .iter()
+        .map(|(a, b)| (*b as u64) - (*a as u64) + 1)
+        .sum();
+    let mut pick = rng.next_u64() % total;
+    for (a, b) in ranges {
+        let width = (*b as u64) - (*a as u64) + 1;
+        if pick < width {
+            return char::from_u32(*a as u32 + pick as u32).unwrap_or(*a);
+        }
+        pick -= width;
+    }
+    ranges[0].0
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+    pattern: String,
+}
+
+impl Parser {
+    fn new(pattern: &str) -> Parser {
+        Parser {
+            chars: pattern.chars().collect(),
+            pos: 0,
+            pattern: pattern.to_owned(),
+        }
+    }
+
+    fn unsupported(&self, what: &str) -> ! {
+        panic!("string strategy {:?}: unsupported {what}", self.pattern);
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<char> {
+        let c = self.peek();
+        self.pos += c.is_some() as usize;
+        c
+    }
+
+    fn parse_alternatives(&mut self, top: bool) -> Vec<Seq> {
+        let mut alts = vec![self.parse_seq()];
+        while self.peek() == Some('|') {
+            self.next();
+            alts.push(self.parse_seq());
+        }
+        if top && self.pos != self.chars.len() {
+            self.unsupported("trailing syntax");
+        }
+        alts
+    }
+
+    fn parse_seq(&mut self) -> Seq {
+        let mut seq = Seq::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom();
+            let (lo, hi) = self.parse_quantifier();
+            seq.push((atom, lo, hi));
+        }
+        seq
+    }
+
+    fn parse_atom(&mut self) -> Atom {
+        match self.next().expect("parse_atom at end") {
+            '[' => self.parse_class(),
+            '(' => {
+                let alts = self.parse_alternatives(false);
+                if self.next() != Some(')') {
+                    self.unsupported("unterminated group");
+                }
+                Atom::Group(alts)
+            }
+            '\\' => self.parse_escape(),
+            '.' => Atom::Class(vec![(' ', '~')]),
+            c @ ('*' | '+' | '?' | '{' | '}' | ']') => {
+                self.unsupported(&format!("bare metacharacter {c:?}"))
+            }
+            c => Atom::Lit(c),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Atom {
+        match self.next() {
+            Some('d') => Atom::Class(vec![('0', '9')]),
+            Some('w') => Atom::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+            Some('s') => Atom::Class(vec![(' ', ' '), ('\t', '\t')]),
+            Some('n') => Atom::Lit('\n'),
+            Some('t') => Atom::Lit('\t'),
+            // \PC: any character not in Unicode category C (control/other).
+            // Approximated by printable ASCII plus a couple of non-ASCII
+            // ranges so multi-byte UTF-8 still occurs.
+            Some('P') => match self.next() {
+                Some('C') => Atom::Class(vec![(' ', '~'), ('¡', 'ÿ'), ('А', 'я')]),
+                other => self.unsupported(&format!("escape \\P{other:?}")),
+            },
+            Some(c) if !c.is_alphanumeric() => Atom::Lit(c),
+            other => self.unsupported(&format!("escape {other:?}")),
+        }
+    }
+
+    fn parse_class(&mut self) -> Atom {
+        let mut ranges = Vec::new();
+        if self.peek() == Some('^') {
+            self.unsupported("negated class");
+        }
+        loop {
+            let c = match self.next() {
+                None => self.unsupported("unterminated class"),
+                Some(']') => break,
+                Some('\\') => match self.next() {
+                    Some(e) if !e.is_alphanumeric() => e,
+                    Some('n') => '\n',
+                    Some('t') => '\t',
+                    other => self.unsupported(&format!("class escape {other:?}")),
+                },
+                Some(c) => c,
+            };
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.next(); // '-'
+                let end = match self.next() {
+                    Some('\\') => self
+                        .next()
+                        .unwrap_or_else(|| self.unsupported("class escape")),
+                    Some(e) => e,
+                    None => self.unsupported("unterminated class range"),
+                };
+                if end < c {
+                    self.unsupported("inverted class range");
+                }
+                ranges.push((c, end));
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        if ranges.is_empty() {
+            self.unsupported("empty class");
+        }
+        Atom::Class(ranges)
+    }
+
+    fn parse_quantifier(&mut self) -> (u32, u32) {
+        match self.peek() {
+            Some('*') => {
+                self.next();
+                (0, UNBOUNDED_EXTRA)
+            }
+            Some('+') => {
+                self.next();
+                (1, 1 + UNBOUNDED_EXTRA)
+            }
+            Some('?') => {
+                self.next();
+                (0, 1)
+            }
+            Some('{') => {
+                self.next();
+                let lo = self.parse_number();
+                let hi = match self.next() {
+                    Some('}') => lo,
+                    Some(',') => match self.peek() {
+                        Some('}') => lo + UNBOUNDED_EXTRA,
+                        _ => self.parse_number(),
+                    },
+                    other => self.unsupported(&format!("quantifier token {other:?}")),
+                };
+                if self.peek() == Some('}') {
+                    self.next();
+                } else if hi != lo && self.chars.get(self.pos - 1) != Some(&'}') {
+                    self.unsupported("unterminated quantifier");
+                }
+                if hi < lo {
+                    self.unsupported("inverted quantifier");
+                }
+                (lo, hi)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn parse_number(&mut self) -> u32 {
+        let mut n: u32 = 0;
+        let mut any = false;
+        while let Some(c) = self.peek() {
+            if let Some(d) = c.to_digit(10) {
+                n = n * 10 + d;
+                any = true;
+                self.next();
+            } else {
+                break;
+            }
+        }
+        if !any {
+            self.unsupported("quantifier without digits");
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, seed: u64) -> String {
+        let mut rng = TestRng::new(seed);
+        generate(pattern, &mut rng)
+    }
+
+    #[test]
+    fn classes_and_counts() {
+        for seed in 0..200 {
+            let s = gen("[a-zA-Z0-9/$_]{1,40}", seed);
+            assert!((1..=40).contains(&s.chars().count()), "{s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "/$_".contains(c)));
+        }
+    }
+
+    #[test]
+    fn groups_with_quantifiers() {
+        for seed in 0..200 {
+            let s = gen("[a-z][a-z0-9]{0,10}(/[A-Z][a-zA-Z0-9]{0,10}){1,3}", seed);
+            let segments: Vec<&str> = s.split('/').collect();
+            assert!((2..=4).contains(&segments.len()), "{s:?}");
+            assert!(segments[0].starts_with(|c: char| c.is_ascii_lowercase()));
+            for seg in &segments[1..] {
+                assert!(seg.starts_with(|c: char| c.is_ascii_uppercase()), "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn escapes() {
+        for seed in 0..50 {
+            let s = gen("[a-z]{1,8}\\.[a-z]{1,8}", seed);
+            assert_eq!(s.matches('.').count(), 1, "{s:?}");
+            let p = gen("\\PC{0,300}", seed);
+            assert!(p.chars().count() <= 300);
+            assert!(p.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn exact_count_and_alternation() {
+        for seed in 0..50 {
+            assert_eq!(gen("[0-9]{3}", seed).len(), 3);
+            let s = gen("(ab|cd)", seed);
+            assert!(s == "ab" || s == "cd");
+        }
+    }
+}

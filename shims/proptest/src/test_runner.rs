@@ -1,0 +1,142 @@
+//! Test-case execution: config, error type, and the case loop.
+
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::strategy::{Strategy, TestRng};
+
+/// Per-test configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Failure of a single test case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property does not hold.
+    Fail(String),
+    /// The input was rejected (case is skipped, not failed).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Constructs a failure.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Constructs a rejection.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+        }
+    }
+}
+
+/// Result of one test case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+fn seed_for(name: &str) -> u64 {
+    // FNV-1a: deterministic per test name, so failures reproduce.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `config.cases` generated cases of `test` (used by [`proptest!`]).
+///
+/// Panics on the first failing case, reporting the generated input. There
+/// is no shrinking; seeding is deterministic per test name.
+///
+/// [`proptest!`]: crate::proptest
+pub fn run_cases<S, F>(config: ProptestConfig, strategy: &S, name: &str, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> TestCaseResult,
+{
+    let mut rng = TestRng::new(seed_for(name));
+    for case in 0..config.cases {
+        let value = strategy.generate(&mut rng);
+        let input = format!("{value:?}");
+        match catch_unwind(AssertUnwindSafe(|| test(value))) {
+            Ok(Ok(())) | Ok(Err(TestCaseError::Reject(_))) => {}
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!(
+                    "proptest {name}: case {case}/{} failed: {msg}\n  input: {input}",
+                    config.cases
+                )
+            }
+            Err(payload) => {
+                eprintln!(
+                    "proptest {name}: case {case}/{} panicked\n  input: {input}",
+                    config.cases
+                );
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_inputs_per_name() {
+        let s = crate::collection::vec(any::<u8>(), 0..10);
+        let mut a = TestRng::new(seed_for("x"));
+        let mut b = TestRng::new(seed_for("x"));
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn failures_panic_with_input() {
+        run_cases(
+            ProptestConfig::with_cases(50),
+            &(0u32..100),
+            "always_small",
+            |v| {
+                prop_assert!(v < 5, "saw {v}");
+                Ok(())
+            },
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn macro_end_to_end(mut v in crate::collection::vec(any::<u8>(), 0..20), x in 0u16..50) {
+            v.push(x as u8);
+            prop_assert!(!v.is_empty());
+            prop_assert_eq!(*v.last().unwrap(), x as u8);
+            prop_assert_ne!(v.len(), 0);
+        }
+    }
+}

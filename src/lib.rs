@@ -10,6 +10,7 @@ pub use dvm_compiler as compiler;
 pub use dvm_core as core;
 pub use dvm_jvm as jvm;
 pub use dvm_monitor as monitor;
+pub use dvm_net as net;
 pub use dvm_netsim as netsim;
 pub use dvm_optimizer as optimizer;
 pub use dvm_proxy as proxy;

@@ -73,10 +73,16 @@ fn profile_guided_repartition_preserves_behavior_end_to_end() {
     struct Collector(std::sync::Arc<std::sync::Mutex<dvm_repro::monitor::ProfileCollector>>);
     impl dvm_repro::jvm::DynamicServices for Collector {
         fn profile_count(&mut self, site: i32) {
-            self.0.lock().unwrap().count(dvm_repro::monitor::SiteId(site));
+            self.0
+                .lock()
+                .unwrap()
+                .count(dvm_repro::monitor::SiteId(site));
         }
         fn first_use(&mut self, site: i32) {
-            self.0.lock().unwrap().first_use(dvm_repro::monitor::SiteId(site));
+            self.0
+                .lock()
+                .unwrap()
+                .first_use(dvm_repro::monitor::SiteId(site));
         }
     }
     let collected = std::sync::Arc::new(std::sync::Mutex::new(
@@ -109,7 +115,10 @@ fn profile_guided_repartition_preserves_behavior_end_to_end() {
         "{:?}",
         report.exception
     );
-    assert_eq!(client.vm.stdout, expected, "repartitioning changed program output");
+    assert_eq!(
+        client.vm.stdout, expected,
+        "repartitioning changed program output"
+    );
 
     // Overflow classes were fetched lazily only when needed: cold units
     // are NOT in the transfer log unless a stub fired (NeverUsed policy
@@ -119,7 +128,10 @@ fn profile_guided_repartition_preserves_behavior_end_to_end() {
         .iter()
         .filter(|t| t.class.ends_with("$Cold"))
         .count();
-    assert_eq!(cold_fetched, 0, "cold overflow units must not ship at startup");
+    assert_eq!(
+        cold_fetched, 0,
+        "cold overflow units must not ship at startup"
+    );
 
     // And the bytes actually transferred shrank versus the unsplit app
     // pushed through the *same* pipeline (both sides carry the pipeline's

@@ -1,0 +1,149 @@
+//! Property-based tests for the dvm-net wire protocol: every frame that
+//! is encoded decodes back identically, and truncated, oversized, or
+//! garbage inputs are rejected without panicking.
+
+use proptest::prelude::*;
+
+use dvm_repro::net::{Frame, FrameError, Hello, MAX_FRAME_LEN};
+use dvm_repro::proxy::ServedFrom;
+
+fn arb_string() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9/$_.:-]{0,40}"
+}
+
+fn arb_served_from() -> impl Strategy<Value = ServedFrom> {
+    prop_oneof![
+        Just(ServedFrom::Rewritten),
+        Just(ServedFrom::MemoryCache),
+        Just(ServedFrom::DiskCache),
+    ]
+}
+
+fn arb_error_code() -> impl Strategy<Value = dvm_repro::net::ErrorCode> {
+    use dvm_repro::net::ErrorCode;
+    prop_oneof![
+        Just(ErrorCode::NotFound),
+        Just(ErrorCode::Parse),
+        Just(ErrorCode::Filter),
+        Just(ErrorCode::Malformed),
+        Just(ErrorCode::Overloaded),
+        Just(ErrorCode::Internal),
+    ]
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        (
+            arb_string(),
+            arb_string(),
+            arb_string(),
+            arb_string(),
+            arb_string()
+        )
+            .prop_map(|(user, principal, hardware, native_format, jvm_version)| {
+                Frame::Hello(Hello {
+                    user,
+                    principal,
+                    hardware,
+                    native_format,
+                    jvm_version,
+                })
+            }),
+        any::<u64>().prop_map(|session| Frame::Welcome { session }),
+        (any::<u32>(), any::<u64>(), arb_string(), arb_string()).prop_map(
+            |(request_id, session, url, native_format)| Frame::CodeRequest {
+                request_id,
+                session,
+                url,
+                native_format,
+            }
+        ),
+        (
+            any::<u32>(),
+            arb_served_from(),
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..2048)
+        )
+            .prop_map(|(request_id, served_from, processing_ns, bytes)| {
+                Frame::CodeResponse {
+                    request_id,
+                    served_from,
+                    processing_ns,
+                    bytes,
+                }
+            }),
+        (any::<u32>(), arb_error_code(), arb_string()).prop_map(|(request_id, code, message)| {
+            Frame::Error {
+                request_id,
+                code,
+                message,
+            }
+        }),
+        (any::<u64>(), any::<i32>(), 0u8..3).prop_map(|(session, site, kind)| {
+            Frame::AuditEvent {
+                session,
+                site,
+                kind,
+            }
+        }),
+        Just(Frame::Bye),
+    ]
+}
+
+proptest! {
+    /// Encode → decode is the identity, consuming exactly the encoding.
+    #[test]
+    fn frame_round_trips(frame in arb_frame()) {
+        let encoded = frame.encode();
+        let (decoded, consumed) = Frame::decode(&encoded).unwrap();
+        prop_assert_eq!(&decoded, &frame);
+        prop_assert_eq!(consumed, encoded.len());
+        // The streaming decoder agrees.
+        let (streamed, n) = Frame::try_decode(&encoded).unwrap().unwrap();
+        prop_assert_eq!(&streamed, &frame);
+        prop_assert_eq!(n, encoded.len());
+    }
+
+    /// Every strict prefix of an encoding is incomplete, not a panic: the
+    /// strict decoder errors, the streaming decoder asks for more bytes.
+    #[test]
+    fn truncation_is_rejected(frame in arb_frame(), cut in any::<u16>()) {
+        let encoded = frame.encode();
+        let cut = cut as usize % encoded.len();
+        let prefix = &encoded[..cut];
+        prop_assert!(Frame::decode(prefix).is_err());
+        prop_assert!(matches!(Frame::try_decode(prefix), Ok(None)));
+    }
+
+    /// Arbitrary bytes never panic either decoder.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let _ = Frame::decode(&bytes);
+        let _ = Frame::try_decode(&bytes);
+    }
+
+    /// A length prefix beyond the bound is rejected before any
+    /// allocation, whatever follows it.
+    #[test]
+    fn oversized_lengths_are_rejected(
+        extra in 1u32..1000,
+        tail in proptest::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let len = (MAX_FRAME_LEN as u32).saturating_add(extra);
+        let mut buf = len.to_be_bytes().to_vec();
+        buf.extend_from_slice(&tail);
+        prop_assert!(matches!(Frame::decode(&buf), Err(FrameError::BadLength(_))));
+        prop_assert!(matches!(Frame::try_decode(&buf), Err(FrameError::BadLength(_))));
+    }
+
+    /// Trailing bytes after a complete frame are left unconsumed.
+    #[test]
+    fn trailing_bytes_are_not_consumed(frame in arb_frame(), tail in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let encoded = frame.encode();
+        let mut buf = encoded.clone();
+        buf.extend_from_slice(&tail);
+        let (decoded, consumed) = Frame::decode(&buf).unwrap();
+        prop_assert_eq!(decoded, frame);
+        prop_assert_eq!(consumed, encoded.len());
+    }
+}
