@@ -1,0 +1,287 @@
+//! `ClusterClassProvider`: ring-routed fetches with failover and
+//! quarantine.
+//!
+//! The client resolves each URL on its own copy of the [`HashRing`] and
+//! walks the resulting shard order: home shard first, then each replica.
+//! A retryable failure — transport drop or a typed `Overloaded`
+//! rejection — fails over to the next shard *immediately* (no
+//! same-endpoint backoff loop: that is [`dvm_net::NetClassProvider`]'s
+//! single-server behaviour, deliberately not replicated here). Shards
+//! that keep failing are quarantined behind a circuit breaker and
+//! skipped without paying their connect timeout; a half-open probe
+//! readmits them when they recover.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use dvm_jvm::ClassProvider;
+use dvm_net::{Hello, NetClassProvider, NetClientStats, NetConfig, NetError, NetTransfer};
+use dvm_proxy::Signer;
+
+use crate::health::{HealthConfig, HealthTracker};
+use crate::ring::HashRing;
+
+/// Observer invoked once per successful transfer (shared across every
+/// per-shard connection).
+pub type TransferHook = Box<dyn FnMut(&NetTransfer) + Send>;
+
+/// Cluster-client tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterClientConfig {
+    /// Per-shard networking knobs (timeouts, jitter seed).
+    pub net: NetConfig,
+    /// Circuit-breaker tuning for shard quarantine.
+    pub health: HealthConfig,
+    /// Full passes over the failover order before giving up.
+    pub rounds: u32,
+    /// Pause between passes (lets a briefly-overloaded cluster drain).
+    pub round_backoff: Duration,
+}
+
+impl Default for ClusterClientConfig {
+    fn default() -> Self {
+        ClusterClientConfig {
+            net: NetConfig::default(),
+            health: HealthConfig::default(),
+            rounds: 3,
+            round_backoff: Duration::from_millis(20),
+        }
+    }
+}
+
+/// Counters for one cluster client's lifetime.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClusterClientStats {
+    /// Fetches attempted (one per `fetch` call).
+    pub requests: u64,
+    /// Fetches answered by a shard other than the URL's home.
+    pub non_home_serves: u64,
+    /// Individual failovers (a retryable failure moving on to the next
+    /// shard or round).
+    pub failovers: u64,
+    /// Shards skipped because their circuit was open.
+    pub quarantine_skips: u64,
+    /// Rounds where every shard was quarantined and one was force-probed.
+    pub desperation_probes: u64,
+}
+
+/// A cluster fetch failure.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// The ring has no shards.
+    NoShards,
+    /// Every shard failed retryably in every round; wraps the last error.
+    Exhausted(Box<NetError>),
+    /// A shard answered with a non-retryable failure (`NotFound`, a
+    /// filter rejection, a bad signature): failing over cannot help,
+    /// because every shard would give the same answer.
+    Fatal(NetError),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::NoShards => write!(f, "cluster has no shards"),
+            ClusterError::Exhausted(e) => write!(f, "every shard failed: {e}"),
+            ClusterError::Fatal(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// A `ClassProvider` spreading fetches over a shard cluster.
+pub struct ClusterClassProvider {
+    addrs: Vec<SocketAddr>,
+    ring: HashRing,
+    hello: Hello,
+    signer: Option<Signer>,
+    config: ClusterClientConfig,
+    providers: Vec<Option<NetClassProvider>>,
+    health: HealthTracker,
+    stats: ClusterClientStats,
+    hook: Arc<Mutex<Option<TransferHook>>>,
+}
+
+impl std::fmt::Debug for ClusterClassProvider {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterClassProvider")
+            .field("shards", &self.addrs.len())
+            .field("user", &self.hello.user)
+            .finish()
+    }
+}
+
+impl ClusterClassProvider {
+    /// Creates a provider over `addrs` (indexed by shard id) routed by
+    /// `ring`. The ring must cover exactly the shard ids `0..addrs.len()`
+    /// — clone it from [`crate::ProxyCluster::ring`] or rebuild it from
+    /// the same `(shards, vnodes, seed)` triple.
+    ///
+    /// Per-shard connections are lazy: a client whose working set homes
+    /// onto one shard never touches the others.
+    pub fn new(
+        addrs: Vec<SocketAddr>,
+        ring: HashRing,
+        hello: Hello,
+        signer: Option<Signer>,
+        config: ClusterClientConfig,
+    ) -> ClusterClassProvider {
+        let providers = (0..addrs.len()).map(|_| None).collect();
+        ClusterClassProvider {
+            addrs,
+            ring,
+            hello,
+            signer,
+            config,
+            providers,
+            health: HealthTracker::new(config.health),
+            stats: ClusterClientStats::default(),
+            hook: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// Installs an observer called once per successful transfer,
+    /// whichever shard served it.
+    pub fn set_transfer_hook(&mut self, hook: TransferHook) {
+        *self.hook.lock() = Some(hook);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ClusterClientStats {
+        self.stats
+    }
+
+    /// Aggregated per-shard connection counters (zeros for shards this
+    /// client never contacted).
+    pub fn net_stats(&self) -> NetClientStats {
+        let mut total = NetClientStats::default();
+        for p in self.providers.iter().flatten() {
+            let s = p.stats();
+            total.requests += s.requests;
+            total.retries += s.retries;
+            total.reconnects += s.reconnects;
+            total.signature_failures += s.signature_failures;
+            total.bytes_received += s.bytes_received;
+        }
+        total
+    }
+
+    /// The failover order the ring assigns to `url` (for tests and
+    /// diagnostics).
+    pub fn route(&self, url: &str) -> Vec<u32> {
+        self.ring.route(url)
+    }
+
+    fn provider(&mut self, shard: u32) -> Result<&mut NetClassProvider, NetError> {
+        let slot = &mut self.providers[shard as usize];
+        if slot.is_none() {
+            // Decorrelate each shard connection's backoff jitter while
+            // keeping the whole client replayable from one seed.
+            let mut net = self.config.net;
+            net.jitter_seed ^= (shard as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut p = NetClassProvider::new(
+                self.addrs[shard as usize],
+                self.hello.clone(),
+                self.signer.clone(),
+                net,
+            )?;
+            let hook = self.hook.clone();
+            p.set_transfer_hook(Box::new(move |t| {
+                if let Some(h) = hook.lock().as_mut() {
+                    h(t);
+                }
+            }));
+            *slot = Some(p);
+        }
+        Ok(slot.as_mut().expect("installed above"))
+    }
+
+    fn attempt(&mut self, shard: u32, url: &str) -> Result<(Vec<u8>, NetTransfer), NetError> {
+        let outcome = match self.provider(shard) {
+            Ok(p) => p.fetch_attempt(url),
+            Err(e) => Err(e),
+        };
+        match &outcome {
+            Ok(_) => self.health.record_success(shard),
+            Err(e) if e.is_retryable() => self.health.record_failure(shard),
+            // Non-retryable answers (NotFound, Filter, BadSignature)
+            // prove the shard is *healthy* — it answered.
+            Err(_) => self.health.record_success(shard),
+        }
+        outcome
+    }
+
+    /// Fetches `url`, failing over across shards and rounds.
+    pub fn fetch(&mut self, url: &str) -> Result<(Vec<u8>, NetTransfer), ClusterError> {
+        self.stats.requests += 1;
+        let order = self.ring.route(url);
+        if order.is_empty() {
+            return Err(ClusterError::NoShards);
+        }
+        let mut last: Option<NetError> = None;
+        for round in 0..self.config.rounds.max(1) {
+            if round > 0 {
+                std::thread::sleep(self.config.round_backoff);
+            }
+            let mut attempted = 0u32;
+            for (i, &shard) in order.iter().enumerate() {
+                if !self.health.allow(shard) {
+                    self.stats.quarantine_skips += 1;
+                    continue;
+                }
+                attempted += 1;
+                match self.attempt(shard, url) {
+                    Ok(ok) => {
+                        if i > 0 {
+                            self.stats.non_home_serves += 1;
+                        }
+                        return Ok(ok);
+                    }
+                    Err(e) if e.is_retryable() => {
+                        self.stats.failovers += 1;
+                        last = Some(e);
+                    }
+                    Err(e) => return Err(ClusterError::Fatal(e)),
+                }
+            }
+            if attempted == 0 {
+                // Every circuit is open. Refusing to try anything would
+                // turn a transient full-cluster brownout into a
+                // permanent client failure, so force one probe of the
+                // home shard; its outcome re-arms or closes the breaker.
+                self.stats.desperation_probes += 1;
+                let home = order[0];
+                self.health.force_probe(home);
+                match self.attempt(home, url) {
+                    Ok(ok) => return Ok(ok),
+                    Err(e) if e.is_retryable() => {
+                        self.stats.failovers += 1;
+                        last = Some(e);
+                    }
+                    Err(e) => return Err(ClusterError::Fatal(e)),
+                }
+            }
+        }
+        Err(ClusterError::Exhausted(Box::new(last.unwrap_or(
+            NetError::Protocol("no shard could be attempted".into()),
+        ))))
+    }
+
+    /// Closes every per-shard connection (re-established lazily).
+    pub fn close(&mut self) {
+        for p in self.providers.iter_mut().flatten() {
+            p.close();
+        }
+    }
+}
+
+impl ClassProvider for ClusterClassProvider {
+    fn load(&mut self, name: &str) -> Option<Vec<u8>> {
+        let url = format!("class://{name}");
+        self.fetch(&url).ok().map(|(bytes, _)| bytes)
+    }
+}

@@ -1,0 +1,210 @@
+//! `ProxyCluster`: N proxy shards behind N sockets, acting as one proxy.
+//!
+//! The paper's organization-wide proxy is a single chokepoint; this
+//! module scales it out. Each shard is a full [`dvm_net::ProxyServer`]
+//! wrapping its own `Proxy` (filters, cache, signer); a shared seeded
+//! [`HashRing`] gives every participant — client or shard — the same
+//! URL→shard map with zero coordination traffic. When peer cache-fill is
+//! enabled, every shard gets a [`ClusterPeer`] wired into its proxy so a
+//! local cache miss probes the URL's home shard before rewriting.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dvm_monitor::AdminConsole;
+use dvm_net::{Hello, NetConfig, ProxyServer, ServerConfig, ServerStats};
+use dvm_proxy::Proxy;
+
+use crate::peer::{ClusterPeer, PeerLink, PeerStats};
+use crate::ring::HashRing;
+
+/// Cluster construction knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterOptions {
+    /// Virtual nodes per shard on the ring.
+    pub vnodes: u32,
+    /// Ring seed; every client of this cluster must use the same seed.
+    pub seed: u64,
+    /// Per-shard server configuration (connection limits, faults).
+    pub server: ServerConfig,
+    /// Networking knobs for shard-to-shard peer links.
+    pub peer_net: NetConfig,
+    /// Whether shards probe the home shard's cache before rewriting.
+    pub peer_fill: bool,
+}
+
+impl Default for ClusterOptions {
+    fn default() -> Self {
+        ClusterOptions {
+            vnodes: 128,
+            seed: 0,
+            server: ServerConfig::default(),
+            peer_net: NetConfig::default(),
+            peer_fill: true,
+        }
+    }
+}
+
+/// A running cluster of proxy shards on loopback sockets.
+pub struct ProxyCluster {
+    servers: Vec<Option<ProxyServer>>,
+    proxies: Vec<Arc<Proxy>>,
+    peers: Vec<Option<Arc<ClusterPeer>>>,
+    addrs: Vec<SocketAddr>,
+    ring: HashRing,
+}
+
+impl std::fmt::Debug for ProxyCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProxyCluster")
+            .field("shards", &self.addrs.len())
+            .field("addrs", &self.addrs)
+            .finish()
+    }
+}
+
+impl ProxyCluster {
+    /// Binds one server per proxy on `127.0.0.1:0`, builds the ring for
+    /// exactly those shards, and (when enabled) wires peer cache-fill
+    /// links between them. All shards share the optional console, so the
+    /// administrator sees one organization regardless of shard count.
+    pub fn start(
+        proxies: Vec<Arc<Proxy>>,
+        console: Option<Arc<Mutex<AdminConsole>>>,
+        opts: ClusterOptions,
+    ) -> std::io::Result<ProxyCluster> {
+        if proxies.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "a cluster needs at least one shard",
+            ));
+        }
+        let mut servers = Vec::with_capacity(proxies.len());
+        let mut addrs = Vec::with_capacity(proxies.len());
+        for proxy in &proxies {
+            let server =
+                ProxyServer::bind("127.0.0.1:0", proxy.clone(), console.clone(), opts.server)?;
+            addrs.push(server.addr());
+            servers.push(Some(server));
+        }
+        let ring = HashRing::with_shards(proxies.len() as u32, opts.vnodes, opts.seed);
+
+        // Peer links can only be wired once every shard has a bound
+        // address, hence the second pass.
+        let mut peers = Vec::with_capacity(proxies.len());
+        for (i, proxy) in proxies.iter().enumerate() {
+            if !opts.peer_fill || proxies.len() < 2 {
+                peers.push(None);
+                continue;
+            }
+            let peer = Arc::new(ClusterPeer::new(i as u32, ring.clone()));
+            let links: HashMap<u32, Arc<PeerLink>> = addrs
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(j, &addr)| {
+                    let hello = Hello {
+                        user: format!("shard{i}"),
+                        principal: "cluster-peer".into(),
+                        ..Hello::default()
+                    };
+                    (
+                        j as u32,
+                        Arc::new(PeerLink::new(addr, hello, opts.peer_net)),
+                    )
+                })
+                .collect();
+            peer.set_links(links);
+            proxy.set_peer_cache(peer.clone());
+            peers.push(Some(peer));
+        }
+
+        Ok(ProxyCluster {
+            servers,
+            proxies,
+            peers,
+            addrs,
+            ring,
+        })
+    }
+
+    /// Number of shards (including killed ones — slots keep their ids).
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// True when the cluster has no shards (never, post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Every shard's bound address, indexed by shard id.
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// The shared ring. Clients clone this (or rebuild it from the same
+    /// `(shards, vnodes, seed)` triple) to agree on routing.
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// Shard `i`'s proxy (for stats inspection).
+    pub fn proxy(&self, i: usize) -> &Arc<Proxy> {
+        &self.proxies[i]
+    }
+
+    /// Shard `i`'s live server statistics (`None` once killed).
+    pub fn shard_stats(&self, i: usize) -> Option<ServerStats> {
+        self.servers
+            .get(i)
+            .and_then(|s| s.as_ref())
+            .map(|s| s.stats())
+    }
+
+    /// Shard `i`'s outbound peer-traffic counters, when peer fill is on.
+    pub fn peer_stats(&self, i: usize) -> Option<PeerStats> {
+        self.peers
+            .get(i)
+            .and_then(|p| p.as_ref())
+            .map(|p| p.stats())
+    }
+
+    /// Abruptly stops shard `i` (its socket closes; in-flight
+    /// connections die), simulating a shard failure. The ring is left
+    /// unchanged — surviving the loss is the *client's* job, which is
+    /// exactly what the failover tests exercise. Returns the dead
+    /// shard's final statistics, or `None` if already killed.
+    pub fn kill_shard(&mut self, i: usize) -> Option<ServerStats> {
+        // The dead shard must stop probing peers (and peers will fail
+        // open when probing it).
+        if let Some(Some(_peer)) = self.peers.get(i) {
+            self.proxies[i].clear_peer_cache();
+        }
+        self.servers.get_mut(i)?.take().map(|s| s.shutdown())
+    }
+
+    /// True when shard `i` is still serving.
+    pub fn is_alive(&self, i: usize) -> bool {
+        self.servers.get(i).is_some_and(|s| s.is_some())
+    }
+
+    /// Stops every remaining shard and returns their final statistics,
+    /// indexed by shard id (`None` for shards killed earlier).
+    pub fn shutdown(mut self) -> Vec<Option<ServerStats>> {
+        // Unwire peer caches first so no shard's request path touches a
+        // dying sibling, and close the links' sockets.
+        for (i, peer) in self.peers.iter().enumerate() {
+            if peer.is_some() {
+                self.proxies[i].clear_peer_cache();
+            }
+        }
+        self.servers
+            .iter_mut()
+            .map(|slot| slot.take().map(|s| s.shutdown()))
+            .collect()
+    }
+}

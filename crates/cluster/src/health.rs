@@ -1,0 +1,196 @@
+//! Per-shard circuit breaker: quarantine unhealthy shards, probe them
+//! half-open.
+//!
+//! A shard that keeps failing wastes every client's connect timeout on
+//! each request it appears in the failover order for. The tracker moves
+//! such a shard through the classic breaker states: *closed* (healthy,
+//! requests flow), *open* (quarantined — skipped outright until the
+//! quarantine expires), and *half-open* (exactly one probe request is
+//! admitted; its outcome closes the circuit again or re-arms the
+//! quarantine). Time comes from a caller-supplied clock only through
+//! `Instant::now()` at the call sites, so the tracker itself stays a
+//! pure state machine over the instants it is handed.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct HealthConfig {
+    /// Consecutive failures (while closed) that open the circuit.
+    pub failure_threshold: u32,
+    /// How long an opened circuit refuses traffic before admitting a
+    /// half-open probe.
+    pub quarantine: Duration,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            failure_threshold: 2,
+            quarantine: Duration::from_millis(500),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum State {
+    /// Healthy; counts consecutive failures toward the threshold.
+    Closed { failures: u32 },
+    /// Quarantined until the deadline.
+    Open { until: Instant },
+    /// One probe is in flight; the next record_* call resolves it.
+    Probing,
+}
+
+/// Tracks one circuit breaker per shard id.
+#[derive(Debug)]
+pub struct HealthTracker {
+    config: HealthConfig,
+    states: HashMap<u32, State>,
+}
+
+impl HealthTracker {
+    /// Creates a tracker; every shard starts closed (healthy).
+    pub fn new(config: HealthConfig) -> HealthTracker {
+        HealthTracker {
+            config,
+            states: HashMap::new(),
+        }
+    }
+
+    /// Whether a request may be sent to `shard` right now. An expired
+    /// quarantine admits exactly one half-open probe; further calls
+    /// refuse until that probe's outcome is recorded.
+    pub fn allow(&mut self, shard: u32) -> bool {
+        match self.states.get(&shard).copied() {
+            None | Some(State::Closed { .. }) => true,
+            Some(State::Open { until }) => {
+                if Instant::now() >= until {
+                    self.states.insert(shard, State::Probing);
+                    true
+                } else {
+                    false
+                }
+            }
+            Some(State::Probing) => false,
+        }
+    }
+
+    /// Forces `shard` into the half-open probing state regardless of its
+    /// quarantine deadline — the desperation path when every shard is
+    /// quarantined and the client must try *something*.
+    pub fn force_probe(&mut self, shard: u32) {
+        self.states.insert(shard, State::Probing);
+    }
+
+    /// Records a successful request: the circuit closes and the failure
+    /// count resets.
+    pub fn record_success(&mut self, shard: u32) {
+        self.states.insert(shard, State::Closed { failures: 0 });
+    }
+
+    /// Records a failed request: a failed probe (or crossing the
+    /// threshold while closed) opens the circuit for one quarantine
+    /// period.
+    pub fn record_failure(&mut self, shard: u32) {
+        let next = match self.states.get(&shard).copied() {
+            Some(State::Probing) | Some(State::Open { .. }) => State::Open {
+                until: Instant::now() + self.config.quarantine,
+            },
+            Some(State::Closed { failures }) => {
+                let failures = failures + 1;
+                if failures >= self.config.failure_threshold.max(1) {
+                    State::Open {
+                        until: Instant::now() + self.config.quarantine,
+                    }
+                } else {
+                    State::Closed { failures }
+                }
+            }
+            None => {
+                if self.config.failure_threshold.max(1) == 1 {
+                    State::Open {
+                        until: Instant::now() + self.config.quarantine,
+                    }
+                } else {
+                    State::Closed { failures: 1 }
+                }
+            }
+        };
+        self.states.insert(shard, next);
+    }
+
+    /// True while `shard`'s circuit is open and its quarantine has not
+    /// yet expired.
+    pub fn is_quarantined(&self, shard: u32) -> bool {
+        matches!(
+            self.states.get(&shard),
+            Some(State::Open { until }) if Instant::now() < *until
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(threshold: u32, quarantine_ms: u64) -> HealthTracker {
+        HealthTracker::new(HealthConfig {
+            failure_threshold: threshold,
+            quarantine: Duration::from_millis(quarantine_ms),
+        })
+    }
+
+    #[test]
+    fn threshold_failures_open_the_circuit() {
+        let mut t = tracker(2, 10_000);
+        assert!(t.allow(0));
+        t.record_failure(0);
+        assert!(t.allow(0), "one failure is below the threshold");
+        t.record_failure(0);
+        assert!(!t.allow(0), "threshold reached: quarantined");
+        assert!(t.is_quarantined(0));
+    }
+
+    #[test]
+    fn success_resets_the_failure_count() {
+        let mut t = tracker(2, 10_000);
+        t.record_failure(0);
+        t.record_success(0);
+        t.record_failure(0);
+        assert!(t.allow(0), "count restarted after a success");
+    }
+
+    #[test]
+    fn expired_quarantine_admits_exactly_one_probe() {
+        let mut t = tracker(1, 0); // zero quarantine: expires immediately
+        t.record_failure(0);
+        assert!(t.allow(0), "half-open probe admitted");
+        assert!(!t.allow(0), "second request refused while probing");
+        t.record_failure(0);
+        // Failed probe re-armed the (zero-length) quarantine.
+        assert!(t.allow(0), "next probe admitted after re-quarantine");
+        t.record_success(0);
+        assert!(t.allow(0), "successful probe closes the circuit");
+        assert!(t.allow(0));
+    }
+
+    #[test]
+    fn shards_are_independent() {
+        let mut t = tracker(1, 10_000);
+        t.record_failure(3);
+        assert!(!t.allow(3));
+        assert!(t.allow(4));
+    }
+
+    #[test]
+    fn force_probe_overrides_quarantine() {
+        let mut t = tracker(1, 10_000);
+        t.record_failure(0);
+        assert!(!t.allow(0));
+        t.force_probe(0);
+        t.record_success(0);
+        assert!(t.allow(0));
+    }
+}

@@ -1,0 +1,254 @@
+//! Peer cache-fill: shard-to-shard traffic over the same wire protocol.
+//!
+//! When a shard misses its local rewrite cache, the class may already be
+//! rewritten on the URL's *home shard* (the one the ring sends most
+//! clients to). Rather than pay the full rewrite cost, the shard probes
+//! the home shard with a `PEER_GET`; and after it does rewrite a class
+//! it does not own, it pushes the result home with a fire-and-forget
+//! `PEER_PUT` so the next asker finds it there.
+//!
+//! Both paths are strictly fail-open: any transport trouble, overload
+//! rejection, or cache miss simply falls back to the local rewrite. A
+//! peer probe must never be worse than not probing at all.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use dvm_net::{ErrorCode, Frame, Hello, NetConfig};
+use dvm_proxy::PeerCache;
+
+use crate::ring::HashRing;
+
+/// Counters for one shard's outbound peer traffic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PeerStats {
+    /// `PEER_GET` probes sent.
+    pub gets: u64,
+    /// Probes answered with bytes.
+    pub hits: u64,
+    /// `PEER_PUT` offers delivered.
+    pub puts: u64,
+    /// Probes or offers abandoned to a transport failure, overload
+    /// rejection, or remote miss.
+    pub failures: u64,
+}
+
+struct LinkConn {
+    stream: TcpStream,
+    next_request: u32,
+}
+
+/// One shard's persistent connection to a single peer shard.
+///
+/// The connection is lazy, serialized by a mutex (peer traffic is rare
+/// enough that head-of-line blocking is irrelevant), and rebuilt at most
+/// once per operation before failing open.
+pub struct PeerLink {
+    addr: SocketAddr,
+    hello: Hello,
+    net: NetConfig,
+    conn: Mutex<Option<LinkConn>>,
+}
+
+impl std::fmt::Debug for PeerLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PeerLink")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl PeerLink {
+    /// Creates a lazy link to the peer at `addr`, identifying itself
+    /// with `hello` (conventionally user `shard<N>`).
+    pub fn new(addr: SocketAddr, hello: Hello, net: NetConfig) -> PeerLink {
+        PeerLink {
+            addr,
+            hello,
+            net,
+            conn: Mutex::new(None),
+        }
+    }
+
+    fn connect(&self) -> Option<LinkConn> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.net.connect_timeout).ok()?;
+        stream.set_read_timeout(Some(self.net.read_timeout)).ok()?;
+        stream
+            .set_write_timeout(Some(self.net.write_timeout))
+            .ok()?;
+        let _ = stream.set_nodelay(true);
+        let mut conn = LinkConn {
+            stream,
+            next_request: 1,
+        };
+        Frame::Hello(self.hello.clone())
+            .write_to(&mut conn.stream)
+            .ok()?;
+        match Frame::read_from(&mut conn.stream) {
+            Ok(Frame::Welcome { .. }) => Some(conn),
+            // Anything else — including a typed Overloaded rejection —
+            // means this peer cannot help right now; fail open.
+            _ => None,
+        }
+    }
+
+    /// The probe outcome distinguishes "no bytes, connection fine" from
+    /// "connection is broken, retry on a fresh one".
+    fn get_once(&self, conn: &mut LinkConn, url: &str) -> Result<Option<Vec<u8>>, ()> {
+        let request_id = conn.next_request;
+        conn.next_request = conn.next_request.wrapping_add(1).max(1);
+        Frame::PeerGet {
+            request_id,
+            url: url.to_owned(),
+        }
+        .write_to(&mut conn.stream)
+        .map_err(|_| ())?;
+        match Frame::read_from(&mut conn.stream) {
+            Ok(Frame::CodeResponse {
+                request_id: rid,
+                bytes,
+                ..
+            }) if rid == request_id => Ok(Some(bytes)),
+            Ok(Frame::Error {
+                code: ErrorCode::CacheMiss,
+                ..
+            }) => Ok(None),
+            // Wrong id, other error codes, or transport failure: treat
+            // the connection as suspect.
+            _ => Err(()),
+        }
+    }
+
+    /// Asks the peer for its cached copy of `url`. `None` on miss or any
+    /// failure (after one reconnect attempt).
+    pub fn get(&self, url: &str) -> Option<Vec<u8>> {
+        let mut guard = self.conn.lock();
+        for fresh in [false, true] {
+            if guard.is_none() || fresh {
+                *guard = self.connect();
+            }
+            let conn = guard.as_mut()?;
+            match self.get_once(conn, url) {
+                Ok(answer) => return answer,
+                Err(()) => *guard = None,
+            }
+        }
+        None
+    }
+
+    /// Offers `bytes` for `url` to the peer, fire-and-forget. Returns
+    /// `true` when the frame was written (after at most one reconnect).
+    pub fn put(&self, url: &str, bytes: &[u8]) -> bool {
+        let frame = Frame::PeerPut {
+            url: url.to_owned(),
+            bytes: bytes.to_vec(),
+        };
+        let mut guard = self.conn.lock();
+        for fresh in [false, true] {
+            if guard.is_none() || fresh {
+                *guard = self.connect();
+            }
+            let Some(conn) = guard.as_mut() else {
+                return false;
+            };
+            if frame.write_to(&mut conn.stream).is_ok() {
+                return true;
+            }
+            *guard = None;
+        }
+        false
+    }
+
+    /// Closes the link (re-established lazily on next use).
+    pub fn close(&self) {
+        if let Some(mut conn) = self.conn.lock().take() {
+            let _ = Frame::Bye.write_to(&mut conn.stream);
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+/// One shard's view of its peers: the ring for home lookup plus a link
+/// per other shard. Installed into the shard's `Proxy` via
+/// [`dvm_proxy::Proxy::set_peer_cache`].
+pub struct ClusterPeer {
+    shard: u32,
+    ring: HashRing,
+    links: RwLock<HashMap<u32, Arc<PeerLink>>>,
+    stats: Mutex<PeerStats>,
+}
+
+impl std::fmt::Debug for ClusterPeer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterPeer")
+            .field("shard", &self.shard)
+            .field("links", &self.links.read().len())
+            .finish()
+    }
+}
+
+impl ClusterPeer {
+    /// Creates a peer table for `shard`; links are installed afterwards
+    /// with [`ClusterPeer::set_links`] once every shard's server has a
+    /// bound address.
+    pub fn new(shard: u32, ring: HashRing) -> ClusterPeer {
+        ClusterPeer {
+            shard,
+            ring,
+            links: RwLock::new(HashMap::new()),
+            stats: Mutex::new(PeerStats::default()),
+        }
+    }
+
+    /// Installs the link table (shard id → link).
+    pub fn set_links(&self, links: HashMap<u32, Arc<PeerLink>>) {
+        *self.links.write() = links;
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PeerStats {
+        *self.stats.lock()
+    }
+
+    fn link_for_home(&self, url: &str) -> Option<Arc<PeerLink>> {
+        let home = self.ring.home(url)?;
+        if home == self.shard {
+            // This shard *is* the home: nothing to ask, nowhere to push.
+            return None;
+        }
+        self.links.read().get(&home).cloned()
+    }
+}
+
+impl PeerCache for ClusterPeer {
+    fn fetch_from_home(&self, url: &str) -> Option<Vec<u8>> {
+        let link = self.link_for_home(url)?;
+        self.stats.lock().gets += 1;
+        match link.get(url) {
+            Some(bytes) => {
+                self.stats.lock().hits += 1;
+                Some(bytes)
+            }
+            None => {
+                self.stats.lock().failures += 1;
+                None
+            }
+        }
+    }
+
+    fn offer_to_home(&self, url: &str, bytes: &[u8]) -> bool {
+        let Some(link) = self.link_for_home(url) else {
+            return false;
+        };
+        if link.put(url, bytes) {
+            self.stats.lock().puts += 1;
+            true
+        } else {
+            self.stats.lock().failures += 1;
+            false
+        }
+    }
+}

@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use dvm_cluster::ClusterClassProvider;
 use dvm_jvm::{AuditKind, ClassProvider, Completion, DynamicServices, SecurityDecision, Value, Vm};
 use dvm_monitor::{AuditSink, EventKind, ProfileCollector, SiteId};
 use dvm_net::NetClassProvider;
@@ -199,6 +200,30 @@ impl DvmClient {
         Self::assemble(Box::new(provider), enforcement, sid, audit, transfers, cost)
     }
 
+    /// Builds a client over a shard cluster: the same wiring as
+    /// [`DvmClient::wire_remote`], but the provider is a
+    /// [`ClusterClassProvider`] that routes each fetch on the shared
+    /// consistent-hash ring and fails over across shards.
+    pub fn wire_cluster(
+        mut provider: ClusterClassProvider,
+        enforcement: Option<EnforcementManager>,
+        sid: SecurityId,
+        audit: Option<Box<dyn AuditSink>>,
+        cost: CostModel,
+    ) -> dvm_jvm::Result<DvmClient> {
+        let transfers = Arc::new(Mutex::new(Vec::new()));
+        let sink = transfers.clone();
+        provider.set_transfer_hook(Box::new(move |t: &dvm_net::NetTransfer| {
+            let class = t.url.strip_prefix("class://").unwrap_or(&t.url).to_owned();
+            sink.lock().push(TransferRecord {
+                class,
+                bytes: t.bytes,
+                served_from: t.served_from,
+            });
+        }));
+        Self::assemble(Box::new(provider), enforcement, sid, audit, transfers, cost)
+    }
+
     fn assemble(
         provider: Box<dyn ClassProvider>,
         enforcement: Option<EnforcementManager>,
@@ -264,6 +289,11 @@ impl DvmClient {
                     .time_for(t.bytes as u64 * self.cost.proxy_cycles_per_byte),
                 ServedFrom::DiskCache => self.cost.cpu.time_for(self.cost.cache_disk_cycles),
                 ServedFrom::MemoryCache => SimTime::from_micros(200),
+                // Filled from a peer shard's cache: a disk-cache-grade
+                // fetch plus one extra LAN hop between shards.
+                ServedFrom::Peer => {
+                    self.cost.cpu.time_for(self.cost.cache_disk_cycles) + self.cost.lan.latency
+                }
             };
         }
         let exec_time = self.cost.cpu.time_for(exec_cycles);

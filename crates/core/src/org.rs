@@ -5,12 +5,13 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use dvm_classfile::ClassFile;
+use dvm_cluster::{ClusterClassProvider, ClusterClientConfig, ClusterOptions, ProxyCluster};
 use dvm_compiler::NetworkCompiler;
 use dvm_monitor::{
     AdminConsole, AuditSink, ClientDescription, ConsoleSink, ProfileMode, SiteTable,
 };
 use dvm_net::{Hello, NetClassProvider, NetConfig, ProxyServer, RemoteConsole, ServerConfig};
-use dvm_proxy::{MapOrigin, Pipeline, Proxy, RequestContext, RewriteCost, Signer};
+use dvm_proxy::{CodeOrigin, MapOrigin, Pipeline, Proxy, RequestContext, RewriteCost, Signer};
 use dvm_security::{EnforcementManager, Policy, SecurityId, SecurityServer};
 use dvm_verifier::{MapEnvironment, StaticVerifier};
 
@@ -39,8 +40,52 @@ pub struct Organization {
     policy: Arc<Mutex<Policy>>,
     signer: Option<Signer>,
     services: ServiceConfig,
+    // Shared by the primary proxy and any cluster shards built later.
+    origin: Arc<dyn CodeOrigin>,
     /// The cost model all timing derives from.
     pub cost: CostModel,
+}
+
+/// Builds one static-service filter pipeline per `config`. Filters hold
+/// `Box`es, so a pipeline cannot be shared — each proxy shard gets its
+/// own, but all pipelines share the same policy, site table, and
+/// statistics sinks, which is what makes N shards one logical service.
+fn build_pipeline(
+    config: &ServiceConfig,
+    policy: &Arc<Mutex<Policy>>,
+    sites: &Arc<Mutex<SiteTable>>,
+    service_stats: &Arc<Mutex<StaticServiceStats>>,
+) -> Pipeline {
+    let default_sid = SecurityId(1);
+    let mut pipeline = Pipeline::new();
+    if config.verify {
+        let verifier = StaticVerifier::new(MapEnvironment::with_bootstrap());
+        pipeline.push(Box::new(VerifierFilter::new(
+            verifier,
+            service_stats.clone(),
+        )));
+    }
+    if config.security {
+        pipeline.push(Box::new(SecurityFilter::new(
+            policy.clone(),
+            default_sid,
+            service_stats.clone(),
+        )));
+    }
+    if config.audit {
+        pipeline.push(Box::new(AuditFilter::new(
+            sites.clone(),
+            service_stats.clone(),
+        )));
+    }
+    if config.profile {
+        pipeline.push(Box::new(ProfileFilter::new(
+            sites.clone(),
+            ProfileMode::Method,
+            service_stats.clone(),
+        )));
+    }
+    pipeline
 }
 
 impl Organization {
@@ -71,48 +116,26 @@ impl Organization {
         let service_stats = Arc::new(Mutex::new(StaticServiceStats::default()));
         let sites = Arc::new(Mutex::new(SiteTable::new()));
         let policy = Arc::new(Mutex::new(policy));
-        let default_sid = SecurityId(1);
+        let origin: Arc<dyn CodeOrigin> = Arc::from(origin);
 
-        let mut pipeline = Pipeline::new();
-        if config.verify {
-            let verifier = StaticVerifier::new(MapEnvironment::with_bootstrap());
-            pipeline.push(Box::new(VerifierFilter::new(
-                verifier,
-                service_stats.clone(),
-            )));
-        }
-        if config.security {
-            pipeline.push(Box::new(SecurityFilter::new(
-                policy.clone(),
-                default_sid,
-                service_stats.clone(),
-            )));
-        }
-        if config.audit {
-            pipeline.push(Box::new(AuditFilter::new(
-                sites.clone(),
-                service_stats.clone(),
-            )));
-        }
-        if config.profile {
-            pipeline.push(Box::new(ProfileFilter::new(
-                sites.clone(),
-                ProfileMode::Method,
-                service_stats.clone(),
-            )));
-        }
-
+        let pipeline = build_pipeline(&config, &policy, &sites, &service_stats);
         let signer = if config.signing {
             Some(Signer::new(b"dvm-org-key"))
         } else {
             None
         };
         let proxy = Arc::new(
-            Proxy::new(origin, pipeline, 8 << 20, config.caching, signer.clone())
-                .with_rewrite_cost(RewriteCost {
-                    cycles_per_byte: cost.proxy_cycles_per_byte,
-                    cpu: cost.cpu,
-                }),
+            Proxy::new(
+                Box::new(origin.clone()),
+                pipeline,
+                8 << 20,
+                config.caching,
+                signer.clone(),
+            )
+            .with_rewrite_cost(RewriteCost {
+                cycles_per_byte: cost.proxy_cycles_per_byte,
+                cpu: cost.cpu,
+            }),
         );
         let security = Arc::new(Mutex::new(SecurityServer::new(policy.lock().clone())));
         Organization {
@@ -125,8 +148,36 @@ impl Organization {
             policy,
             signer,
             services: config,
+            origin,
             cost,
         }
+    }
+
+    /// Builds one additional proxy shard: its own pipeline and rewrite
+    /// cache over the same origin, signer, policy, site table, and
+    /// statistics sinks as the primary proxy. N shards built this way
+    /// are the paper's proxy scaled out — byte-identical (and
+    /// identically signed) responses from every shard.
+    pub fn shard_proxy(&self) -> Arc<Proxy> {
+        let pipeline = build_pipeline(
+            &self.services,
+            &self.policy,
+            &self.sites,
+            &self.service_stats,
+        );
+        Arc::new(
+            Proxy::new(
+                Box::new(self.origin.clone()),
+                pipeline,
+                8 << 20,
+                self.services.caching,
+                self.signer.clone(),
+            )
+            .with_rewrite_cost(RewriteCost {
+                cycles_per_byte: self.cost.proxy_cycles_per_byte,
+                cpu: self.cost.cpu,
+            }),
+        )
     }
 
     /// Read access to the policy.
@@ -256,6 +307,94 @@ impl Organization {
             Box::new(RemoteConsole::connect(addr, hello, net).map_err(std::io::Error::other)?);
         let (sid, enforcement) = self.principal_wiring(principal);
         DvmClient::wire_remote(provider, enforcement, sid, Some(audit), self.cost)
+            .map_err(std::io::Error::other)
+    }
+
+    /// Scales this organization's proxy out to `shards` socket-backed
+    /// shards acting as one logical proxy (consistent-hash routed, with
+    /// peer cache-fill between shards). Every shard reports into this
+    /// organization's console. Clients come from
+    /// [`Organization::cluster_client`].
+    pub fn serve_cluster(&self, shards: usize) -> std::io::Result<ProxyCluster> {
+        self.serve_cluster_with(shards, ClusterOptions::default())
+    }
+
+    /// [`Organization::serve_cluster`] with explicit cluster tuning
+    /// (ring seed and vnodes, per-shard server config, peer-fill toggle).
+    pub fn serve_cluster_with(
+        &self,
+        shards: usize,
+        opts: ClusterOptions,
+    ) -> std::io::Result<ProxyCluster> {
+        let proxies = (0..shards).map(|_| self.shard_proxy()).collect();
+        ProxyCluster::start(proxies, Some(self.console.clone()), opts)
+    }
+
+    /// Creates a DVM client whose classes arrive from the shard cluster:
+    /// each fetch is routed by the shared ring and fails over to replica
+    /// shards on transport failures or typed overload rejections.
+    pub fn cluster_client(
+        &self,
+        cluster: &ProxyCluster,
+        user: &str,
+        principal: &str,
+    ) -> std::io::Result<DvmClient> {
+        self.cluster_client_with(cluster, user, principal, ClusterClientConfig::default())
+    }
+
+    /// [`Organization::cluster_client`] with explicit client tuning
+    /// (per-shard net config, circuit-breaker thresholds, rounds).
+    pub fn cluster_client_with(
+        &self,
+        cluster: &ProxyCluster,
+        user: &str,
+        principal: &str,
+        config: ClusterClientConfig,
+    ) -> std::io::Result<DvmClient> {
+        let hello = Hello {
+            user: user.to_owned(),
+            principal: principal.to_owned(),
+            hardware: "x86/200MHz/64MB".to_owned(),
+            native_format: "x86".to_owned(),
+            jvm_version: "dvm-repro-0.1".to_owned(),
+        };
+        let provider = ClusterClassProvider::new(
+            cluster.addrs().to_vec(),
+            cluster.ring().clone(),
+            hello.clone(),
+            self.signer.clone(),
+            config,
+        );
+        // The audit channel is fire-and-forget, so it pins one shard
+        // (spread across clients by user name) rather than failing over
+        // per event; all shards ingest into the same console. Connecting
+        // does walk the shards, though — a client must still come up
+        // when its preferred audit shard is down.
+        let preferred = {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for &b in user.as_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            (h % cluster.addrs().len() as u64) as usize
+        };
+        let mut console = None;
+        let mut last_err = None;
+        for i in 0..cluster.addrs().len() {
+            let shard = (preferred + i) % cluster.addrs().len();
+            match RemoteConsole::connect(cluster.addrs()[shard], hello.clone(), config.net) {
+                Ok(c) => {
+                    console = Some(c);
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let audit: Box<dyn AuditSink> = Box::new(console.ok_or_else(|| {
+            std::io::Error::other(last_err.expect("cluster has at least one shard"))
+        })?);
+        let (sid, enforcement) = self.principal_wiring(principal);
+        DvmClient::wire_cluster(provider, enforcement, sid, Some(audit), self.cost)
             .map_err(std::io::Error::other)
     }
 }

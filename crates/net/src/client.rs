@@ -13,6 +13,9 @@
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
 use dvm_jvm::ClassProvider;
 use dvm_monitor::{AuditSink, EventKind, SiteId};
 use dvm_proxy::{ServedFrom, SignatureCheck, Signer};
@@ -34,6 +37,11 @@ pub struct NetConfig {
     pub backoff_base: Duration,
     /// Cap on the per-retry backoff.
     pub backoff_max: Duration,
+    /// Seed for the deterministic backoff jitter. Each provider mixes
+    /// this with a hash of its user name, so a fleet of clients kicked
+    /// off by the same fault retries decorrelated rather than in
+    /// lockstep — yet any given (seed, user) pair replays identically.
+    pub jitter_seed: u64,
 }
 
 impl Default for NetConfig {
@@ -45,6 +53,7 @@ impl Default for NetConfig {
             max_attempts: 4,
             backoff_base: Duration::from_millis(10),
             backoff_max: Duration::from_millis(200),
+            jitter_seed: 0,
         }
     }
 }
@@ -54,6 +63,16 @@ impl NetConfig {
         let exp = self.backoff_base.saturating_mul(1u32 << retry.min(16));
         exp.min(self.backoff_max)
     }
+}
+
+/// FNV-1a over `bytes`: mixes the user name into the jitter seed.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// A client-side failure.
@@ -86,6 +105,23 @@ impl NetError {
             NetError::Frame(e) => e.is_transport(),
             _ => false,
         }
+    }
+
+    /// True when the server rejected the connection or request because
+    /// it is at capacity — retryable here (with backoff), and the signal
+    /// a cluster client uses to fail over to another shard immediately.
+    pub fn is_overload(&self) -> bool {
+        match self {
+            NetError::Remote { code, .. } => *code == ErrorCode::Overloaded,
+            NetError::Exhausted(inner) => inner.is_overload(),
+            _ => false,
+        }
+    }
+
+    /// True for failures worth retrying on the *same* endpoint:
+    /// transport errors and typed overload rejections.
+    pub fn is_retryable(&self) -> bool {
+        self.is_transport() || self.is_overload()
     }
 }
 
@@ -162,6 +198,7 @@ pub struct NetClassProvider {
     next_request: u32,
     stats: NetClientStats,
     hook: Option<TransferHook>,
+    jitter: StdRng,
 }
 
 impl std::fmt::Debug for NetClassProvider {
@@ -190,6 +227,7 @@ impl NetClassProvider {
         let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::AddrNotAvailable, "no address resolved")
         })?;
+        let jitter = StdRng::seed_from_u64(config.jitter_seed ^ fnv1a(hello.user.as_bytes()));
         Ok(NetClassProvider {
             addr,
             hello,
@@ -199,7 +237,23 @@ impl NetClassProvider {
             next_request: 1,
             stats: NetClientStats::default(),
             hook: None,
+            jitter,
         })
+    }
+
+    /// The deterministic jittered backoff before retry number `retry`:
+    /// uniform in `[d/2, d]` where `d` is the capped exponential delay,
+    /// drawn from this provider's seeded generator. Jitter breaks the
+    /// lockstep a shared fault would otherwise impose on every client
+    /// retrying with identical exponential schedules.
+    fn jittered_backoff(&mut self, retry: u32) -> Duration {
+        let full = self.config.backoff_for(retry);
+        let ns = full.as_nanos() as u64;
+        if ns == 0 {
+            return full;
+        }
+        let low = ns / 2;
+        Duration::from_nanos(low + self.jitter.gen_range(0..=(ns - low)))
     }
 
     /// Installs an observer called once per successful transfer (used by
@@ -247,20 +301,23 @@ impl NetClassProvider {
         Ok(())
     }
 
-    /// Fetches `url` through the proxy, retrying transport failures with
-    /// exponential backoff, and returns the verified payload.
+    /// Fetches `url` through the proxy, retrying transport failures and
+    /// typed overload rejections with jittered exponential backoff, and
+    /// returns the verified payload.
     pub fn fetch(&mut self, url: &str) -> Result<(Vec<u8>, NetTransfer), NetError> {
         self.stats.requests += 1;
         let mut last: Option<NetError> = None;
         for retry in 0..self.config.max_attempts.max(1) {
             if retry > 0 {
                 self.stats.retries += 1;
-                std::thread::sleep(self.config.backoff_for(retry - 1));
+                let delay = self.jittered_backoff(retry - 1);
+                std::thread::sleep(delay);
             }
             match self.fetch_once(url) {
                 Ok(ok) => return Ok(ok),
-                Err(e) if e.is_transport() => {
-                    // The connection is suspect; rebuild it next attempt.
+                Err(e) if e.is_retryable() => {
+                    // The connection is suspect (dropped, or the server
+                    // turned us away at the door); rebuild it next try.
                     self.conn = None;
                     last = Some(e);
                 }
@@ -270,6 +327,24 @@ impl NetClassProvider {
         Err(NetError::Exhausted(Box::new(
             last.unwrap_or(NetError::Protocol("no attempts made".into())),
         )))
+    }
+
+    /// One fetch attempt, no retries and no backoff: the building block
+    /// a cluster client uses so a retryable failure (transport drop or
+    /// typed overload) triggers immediate failover to another shard
+    /// instead of a same-endpoint retry loop. The suspect connection is
+    /// discarded so a later attempt reconnects cleanly.
+    pub fn fetch_attempt(&mut self, url: &str) -> Result<(Vec<u8>, NetTransfer), NetError> {
+        self.stats.requests += 1;
+        match self.fetch_once(url) {
+            Ok(ok) => Ok(ok),
+            Err(e) => {
+                if e.is_retryable() {
+                    self.conn = None;
+                }
+                Err(e)
+            }
+        }
     }
 
     fn fetch_once(&mut self, url: &str) -> Result<(Vec<u8>, NetTransfer), NetError> {
@@ -485,5 +560,67 @@ impl AuditSink for RemoteConsole {
 impl Drop for RemoteConsole {
     fn drop(&mut self) {
         self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn provider(user: &str, seed: u64) -> NetClassProvider {
+        let hello = Hello {
+            user: user.to_owned(),
+            ..Hello::default()
+        };
+        let config = NetConfig {
+            jitter_seed: seed,
+            ..NetConfig::default()
+        };
+        // 127.0.0.1:1 never answers; the connection is lazy, so a
+        // provider can be built without a live server.
+        NetClassProvider::new("127.0.0.1:1", hello, None, config).unwrap()
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_user_and_bounded() {
+        let schedule = |user: &str, seed: u64| -> Vec<Duration> {
+            let mut p = provider(user, seed);
+            (0..6).map(|r| p.jittered_backoff(r)).collect()
+        };
+        // Same (seed, user): identical replay.
+        assert_eq!(schedule("alice", 7), schedule("alice", 7));
+        // Different users (or seeds) decorrelate.
+        assert_ne!(schedule("alice", 7), schedule("bob", 7));
+        assert_ne!(schedule("alice", 7), schedule("alice", 8));
+        // Every delay stays within [d/2, d] of the exponential schedule.
+        let mut p = provider("carol", 42);
+        let config = p.config;
+        for r in 0..8 {
+            let d = config.backoff_for(r);
+            let j = p.jittered_backoff(r);
+            assert!(
+                j >= d / 2 && j <= d,
+                "retry {r}: {j:?} outside [{:?}, {d:?}]",
+                d / 2
+            );
+        }
+    }
+
+    #[test]
+    fn overload_errors_are_retryable_but_not_transport() {
+        let e = NetError::Remote {
+            code: ErrorCode::Overloaded,
+            message: "full".into(),
+        };
+        assert!(e.is_overload());
+        assert!(e.is_retryable());
+        assert!(!e.is_transport());
+        let wrapped = NetError::Exhausted(Box::new(e));
+        assert!(wrapped.is_overload());
+        let not = NetError::Remote {
+            code: ErrorCode::NotFound,
+            message: "nope".into(),
+        };
+        assert!(!not.is_retryable());
     }
 }

@@ -37,6 +37,8 @@ mod tag {
     pub const ERROR: u8 = 0x05;
     pub const AUDIT_EVENT: u8 = 0x06;
     pub const BYE: u8 = 0x07;
+    pub const PEER_GET: u8 = 0x08;
+    pub const PEER_PUT: u8 = 0x09;
 }
 
 /// Typed error codes carried by [`Frame::Error`].
@@ -54,6 +56,10 @@ pub enum ErrorCode {
     Overloaded,
     /// Any other server-side failure.
     Internal,
+    /// A `PEER_GET` probe found nothing in this shard's cache (not a
+    /// client-visible failure: the asking shard falls back to its own
+    /// rewrite).
+    CacheMiss,
 }
 
 impl ErrorCode {
@@ -65,6 +71,7 @@ impl ErrorCode {
             ErrorCode::Malformed => 3,
             ErrorCode::Overloaded => 4,
             ErrorCode::Internal => 5,
+            ErrorCode::CacheMiss => 6,
         }
     }
 
@@ -76,6 +83,7 @@ impl ErrorCode {
             3 => ErrorCode::Malformed,
             4 => ErrorCode::Overloaded,
             5 => ErrorCode::Internal,
+            6 => ErrorCode::CacheMiss,
             other => return Err(FrameError::malformed(format!("error code {other}"))),
         })
     }
@@ -168,6 +176,23 @@ pub enum Frame {
         /// Event kind: 0 enter, 1 exit, 2 generic.
         kind: u8,
     },
+    /// Shard → shard: probe the receiving shard's rewrite cache for
+    /// `url` (the cluster cache-fill protocol; answered with
+    /// `CODE_RESPONSE` on a hit, `ERROR`/`CacheMiss` on a miss).
+    PeerGet {
+        /// Sender-chosen id echoed in the response.
+        request_id: u32,
+        /// Resource URL being probed.
+        url: String,
+    },
+    /// Shard → shard: offer freshly rewritten (signed) bytes to the
+    /// url's home shard. Fire-and-forget; never answered.
+    PeerPut {
+        /// Resource URL the bytes rewrite.
+        url: String,
+        /// The signed rewrite output.
+        bytes: Vec<u8>,
+    },
     /// Either direction: orderly shutdown of the connection.
     Bye,
 }
@@ -223,6 +248,7 @@ fn served_from_to_u8(s: ServedFrom) -> u8 {
         ServedFrom::Rewritten => 0,
         ServedFrom::MemoryCache => 1,
         ServedFrom::DiskCache => 2,
+        ServedFrom::Peer => 3,
     }
 }
 
@@ -231,6 +257,7 @@ fn served_from_from_u8(b: u8) -> Result<ServedFrom, FrameError> {
         0 => ServedFrom::Rewritten,
         1 => ServedFrom::MemoryCache,
         2 => ServedFrom::DiskCache,
+        3 => ServedFrom::Peer,
         other => return Err(FrameError::malformed(format!("served-from tier {other}"))),
     })
 }
@@ -383,6 +410,16 @@ impl Frame {
                 body.extend_from_slice(&site.to_be_bytes());
                 body.push(*kind);
             }
+            Frame::PeerGet { request_id, url } => {
+                body.push(tag::PEER_GET);
+                put_u32(&mut body, *request_id);
+                put_str(&mut body, url);
+            }
+            Frame::PeerPut { url, bytes } => {
+                body.push(tag::PEER_PUT);
+                put_str(&mut body, url);
+                put_bytes(&mut body, bytes);
+            }
             Frame::Bye => body.push(tag::BYE),
         }
         debug_assert!(body.len() <= MAX_FRAME_LEN);
@@ -435,6 +472,14 @@ impl Frame {
                     kind,
                 }
             }
+            tag::PEER_GET => Frame::PeerGet {
+                request_id: c.u32()?,
+                url: c.string()?,
+            },
+            tag::PEER_PUT => Frame::PeerPut {
+                url: c.string()?,
+                bytes: c.bytes()?,
+            },
             tag::BYE => Frame::Bye,
             other => return Err(FrameError::UnknownTag(other)),
         };
@@ -534,6 +579,25 @@ mod tests {
                 session: 42,
                 site: -3,
                 kind: 1,
+            },
+            Frame::PeerGet {
+                request_id: 9,
+                url: "class://demo/App".into(),
+            },
+            Frame::PeerPut {
+                url: "class://demo/App".into(),
+                bytes: vec![0xCA, 0xFE, 0xBA, 0xBE, 0x00],
+            },
+            Frame::Error {
+                request_id: 9,
+                code: ErrorCode::CacheMiss,
+                message: String::new(),
+            },
+            Frame::CodeResponse {
+                request_id: 9,
+                served_from: ServedFrom::Peer,
+                processing_ns: 0,
+                bytes: vec![1],
             },
             Frame::Bye,
         ]

@@ -80,6 +80,18 @@ impl Semaphore {
         *permits -= 1;
         OwnedPermit { sema: self.clone() }
     }
+
+    /// Takes an owned permit if one is free, without blocking — the
+    /// admission-control path: callers turn `None` into a typed
+    /// `Overloaded` rejection instead of queueing the connection.
+    pub fn try_acquire_owned(self: &std::sync::Arc<Self>) -> Option<OwnedPermit> {
+        let mut permits = self.permits.lock().unwrap();
+        if *permits == 0 {
+            return None;
+        }
+        *permits -= 1;
+        Some(OwnedPermit { sema: self.clone() })
+    }
 }
 
 impl Drop for OwnedPermit {

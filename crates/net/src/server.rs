@@ -21,7 +21,7 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use dvm_monitor::{AdminConsole, ClientDescription, SessionId, SiteId};
-use dvm_proxy::{Proxy, ProxyError, RequestContext};
+use dvm_proxy::{CacheTier, Proxy, ProxyError, RequestContext, ServedFrom};
 
 use crate::frame::{kind_from_u8, ErrorCode, Frame, FrameError, Hello};
 use crate::sema::Semaphore;
@@ -29,7 +29,10 @@ use crate::sema::Semaphore;
 /// Server tuning knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
-    /// Maximum concurrently served connections; further accepts wait.
+    /// Maximum concurrently served connections. Connections beyond the
+    /// limit are *rejected* with a typed `Overloaded` error frame rather
+    /// than queued indefinitely — clients back off and retry, and a
+    /// cluster client fails over to another shard immediately.
     pub max_connections: usize,
     /// Idle-poll granularity for connection threads (bounds shutdown
     /// latency; not a client-visible deadline).
@@ -73,6 +76,14 @@ pub struct ServerStats {
     pub malformed: u64,
     /// Connections dropped by fault injection.
     pub faults_injected: u64,
+    /// Connections rejected with `Overloaded` at the admission gate.
+    pub overload_rejects: u64,
+    /// `PEER_GET` probes received from peer shards.
+    pub peer_gets: u64,
+    /// `PEER_GET` probes answered from the local cache.
+    pub peer_hits: u64,
+    /// `PEER_PUT` offers ingested into the local cache.
+    pub peer_puts: u64,
 }
 
 struct Inner {
@@ -201,9 +212,20 @@ fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
         if !inner.running.load(Ordering::SeqCst) {
             break;
         }
-        // Bounded concurrency: hold accepts until a permit frees up (the
-        // TCP backlog is the waiting room).
-        let permit = inner.sema.acquire_owned();
+        // Bounded concurrency with admission control: at capacity, the
+        // connection is told so with a typed `Overloaded` frame instead
+        // of queueing indefinitely (clients back off; cluster clients
+        // fail over to another shard).
+        let Some(permit) = inner.sema.try_acquire_owned() else {
+            inner.stats.lock().overload_rejects += 1;
+            // A short-lived detached thread drains the handshake and
+            // delivers the rejection so the accept loop never stalls on
+            // a slow peer.
+            let _ = std::thread::Builder::new()
+                .name("dvm-net-reject".into())
+                .spawn(move || reject_overloaded(stream));
+            continue;
+        };
         if !inner.running.load(Ordering::SeqCst) {
             break;
         }
@@ -237,6 +259,30 @@ fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
             }
         }
     }
+}
+
+/// Tells a connection the server is at capacity: read its opening frame
+/// (so the error is not lost to a reset racing the client's write), send
+/// the typed rejection, close.
+fn reject_overloaded(stream: TcpStream) {
+    let mut stream = stream;
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let mut reader = FrameReader {
+        stream: match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        },
+        buf: Vec::new(),
+    };
+    let _ = reader.poll_frame();
+    let _ = Frame::Error {
+        request_id: 0,
+        code: ErrorCode::Overloaded,
+        message: "server at connection capacity".into(),
+    }
+    .write_to(&mut stream);
+    let _ = stream.shutdown(Shutdown::Both);
 }
 
 /// Accumulates stream bytes and yields whole frames, tolerating idle
@@ -386,6 +432,41 @@ fn serve_connection(stream: TcpStream, inner: &Inner) {
                         .record(SessionId(session), SiteId(site), kind);
                     inner.stats.lock().audit_events += 1;
                 }
+            }
+            Frame::PeerGet { request_id, url } => {
+                // Cache-fill probe from a peer shard: answer from the
+                // local cache only — a peer probe must never trigger a
+                // rewrite here (the asking shard owns that fallback).
+                inner.stats.lock().peer_gets += 1;
+                let reply = match inner.proxy.cache_peek(&url) {
+                    Some((bytes, tier)) => {
+                        inner.stats.lock().peer_hits += 1;
+                        Frame::CodeResponse {
+                            request_id,
+                            served_from: match tier {
+                                CacheTier::Memory => ServedFrom::MemoryCache,
+                                CacheTier::Disk => ServedFrom::DiskCache,
+                            },
+                            processing_ns: 0,
+                            bytes,
+                        }
+                    }
+                    None => Frame::Error {
+                        request_id,
+                        code: ErrorCode::CacheMiss,
+                        message: String::new(),
+                    },
+                };
+                if reply.write_to(&mut writer).is_err() {
+                    break;
+                }
+            }
+            Frame::PeerPut { url, bytes } => {
+                // Unsolicited offer from the shard that just rewrote the
+                // url we own: land it on the disk tier so it cannot
+                // evict our hot set, and send nothing back.
+                inner.stats.lock().peer_puts += 1;
+                inner.proxy.cache_fill(&url, bytes, CacheTier::Disk);
             }
             Frame::Bye => break,
             Frame::Welcome { .. } | Frame::CodeResponse { .. } | Frame::Error { .. } => {

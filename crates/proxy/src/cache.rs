@@ -78,6 +78,32 @@ impl RewriteCache {
         self.insert_memory(key, value);
     }
 
+    /// Inserts into a chosen tier: `Memory` behaves like [`put`]
+    /// (resident in both tiers), `Disk` stores on disk only without
+    /// disturbing the memory tier's working set. Peer cache-fill uses
+    /// the disk tier for unsolicited offers so a remote shard's rewrite
+    /// cannot evict this shard's hot classes.
+    ///
+    /// [`put`]: RewriteCache::put
+    pub fn put_tier(&mut self, key: String, value: Vec<u8>, tier: CacheTier) {
+        match tier {
+            CacheTier::Memory => self.put(key, value),
+            CacheTier::Disk => {
+                self.disk.insert(key, value);
+            }
+        }
+    }
+
+    /// Looks up `key` without counting a miss (and without promoting
+    /// disk hits): the peer-protocol probe, which must not skew the
+    /// local hit/miss accounting that the cache ablations report.
+    pub fn peek(&self, key: &str) -> Option<(Vec<u8>, CacheTier)> {
+        if let Some(v) = self.memory.get(key) {
+            return Some((v.clone(), CacheTier::Memory));
+        }
+        self.disk.get(key).map(|v| (v.clone(), CacheTier::Disk))
+    }
+
     fn insert_memory(&mut self, key: String, value: Vec<u8>) {
         if self.memory.contains_key(&key) {
             return;
@@ -133,6 +159,30 @@ mod tests {
         assert!(c.get("nope").is_none());
         assert_eq!(c.stats.misses, 1);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn put_tier_disk_keeps_memory_working_set() {
+        let mut c = RewriteCache::new(100);
+        c.put("hot".into(), vec![0; 90]);
+        c.put_tier("offer".into(), vec![0; 90], CacheTier::Disk);
+        // The unsolicited offer must not evict the hot entry.
+        assert_eq!(c.get("hot").unwrap().1, CacheTier::Memory);
+        assert_eq!(c.stats.evictions, 0);
+        // The offer is present, on disk (a later get may promote it).
+        assert_eq!(c.peek("offer").unwrap().1, CacheTier::Disk);
+    }
+
+    #[test]
+    fn peek_counts_nothing_and_promotes_nothing() {
+        let mut c = RewriteCache::new(4);
+        c.put("a".into(), vec![0; 8]); // immediately evicted to disk
+        let before = c.stats;
+        assert_eq!(c.peek("a").unwrap().1, CacheTier::Disk);
+        assert!(c.peek("nope").is_none());
+        assert_eq!(c.stats, before);
+        // Still on disk only: peek did not promote.
+        assert_eq!(c.peek("a").unwrap().1, CacheTier::Disk);
     }
 
     #[test]

@@ -17,7 +17,7 @@ pub mod sign;
 pub use cache::{CacheStats, CacheTier, RewriteCache};
 pub use filter::{Filter, FilterError, NullFilter, Pipeline, RequestContext};
 pub use proxy::{
-    CodeOrigin, MapOrigin, Proxy, ProxyAuditRecord, ProxyError, ProxyStats, RewriteCost,
+    CodeOrigin, MapOrigin, PeerCache, Proxy, ProxyAuditRecord, ProxyError, ProxyStats, RewriteCost,
     ServedFrom, ServedResponse,
 };
 pub use sign::{SignatureCheck, Signer, TAG_LEN};

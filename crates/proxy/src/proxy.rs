@@ -28,6 +28,12 @@ pub trait CodeOrigin: Send + Sync {
     fn fetch(&self, url: &str) -> Option<Arc<[u8]>>;
 }
 
+impl<T: CodeOrigin + ?Sized> CodeOrigin for Arc<T> {
+    fn fetch(&self, url: &str) -> Option<Arc<[u8]>> {
+        (**self).fetch(url)
+    }
+}
+
 /// An origin backed by an in-memory map.
 #[derive(Debug, Default)]
 pub struct MapOrigin {
@@ -119,6 +125,29 @@ pub enum ServedFrom {
     MemoryCache,
     /// Served from the disk cache tier.
     DiskCache,
+    /// Filled from a peer shard's cache (cluster cache-fill protocol):
+    /// the rewrite happened elsewhere in the fleet, this proxy only
+    /// paid a peer round trip.
+    Peer,
+}
+
+/// A peer shard's rewrite cache, consulted on a local miss before the
+/// full rewrite cost is paid and offered results after a local rewrite.
+///
+/// Implementations live above this crate (e.g. `dvm-cluster` speaks the
+/// wire protocol's `PEER_GET`/`PEER_PUT` frames); the proxy only knows
+/// that some fleet may exist. Both methods are best-effort: a `None` or
+/// ignored offer degrades to the stand-alone behavior.
+pub trait PeerCache: Send + Sync {
+    /// Fetches the cached (signed) bytes for `url` from the url's home
+    /// shard, or `None` when this proxy *is* the home shard, the peer
+    /// misses, or the peer is unreachable.
+    fn fetch_from_home(&self, url: &str) -> Option<Vec<u8>>;
+
+    /// Offers freshly rewritten bytes to the url's home shard so one
+    /// organization-wide rewrite populates the fleet. Returns `true`
+    /// when an offer was actually sent (i.e. some other shard is home).
+    fn offer_to_home(&self, url: &str, bytes: &[u8]) -> bool;
 }
 
 /// A served response with provenance.
@@ -163,6 +192,10 @@ pub struct ProxyStats {
     pub rewrites: u64,
     /// Total simulated rewrite time in nanoseconds.
     pub rewrite_ns: u64,
+    /// Requests satisfied by a peer shard's cache instead of a rewrite.
+    pub peer_fills: u64,
+    /// Rewrites offered to their home shard after completing locally.
+    pub peer_offers: u64,
 }
 
 /// The proxy.
@@ -173,6 +206,7 @@ pub struct Proxy {
     caching: bool,
     signer: Option<Signer>,
     rewrite_cost: RewriteCost,
+    peer: parking_lot::RwLock<Option<Arc<dyn PeerCache>>>,
     audit: Mutex<Vec<ProxyAuditRecord>>,
     stats: Mutex<ProxyStats>,
 }
@@ -206,9 +240,23 @@ impl Proxy {
             caching,
             signer,
             rewrite_cost: RewriteCost::default(),
+            peer: parking_lot::RwLock::new(None),
             audit: Mutex::new(Vec::new()),
             stats: Mutex::new(ProxyStats::default()),
         }
+    }
+
+    /// Joins this proxy to a fleet: on local cache misses it consults
+    /// `peer` before rewriting and offers finished rewrites back.
+    /// Installable after construction because peer links need this
+    /// proxy's own server address, which exists only once it is bound.
+    pub fn set_peer_cache(&self, peer: Arc<dyn PeerCache>) {
+        *self.peer.write() = Some(peer);
+    }
+
+    /// Detaches the proxy from its fleet (used at shard shutdown).
+    pub fn clear_peer_cache(&self) {
+        *self.peer.write() = None;
     }
 
     /// Replaces the rewrite-cost model (builder style).
@@ -255,6 +303,28 @@ impl Proxy {
             }
         }
 
+        // Local miss: before paying the rewrite cost, ask the url's home
+        // shard whether the fleet already rewrote it.
+        if self.caching {
+            let peer = self.peer.read().clone();
+            if let Some(peer) = peer {
+                if let Some(bytes) = peer.fetch_from_home(url) {
+                    self.stats.lock().peer_fills += 1;
+                    // Hot here (a client just asked), so fill the memory
+                    // tier — unlike unsolicited offers, which land on disk.
+                    self.cache
+                        .lock()
+                        .put_tier(url.to_owned(), bytes.clone(), CacheTier::Memory);
+                    self.finish(url, ctx, &bytes, ServedFrom::Peer, 0);
+                    return Ok(ServedResponse {
+                        bytes,
+                        served_from: ServedFrom::Peer,
+                        processing_ns: 0,
+                    });
+                }
+            }
+        }
+
         let original = self
             .origin
             .fetch(url)
@@ -280,6 +350,14 @@ impl Proxy {
         }
         if self.caching {
             self.cache.lock().put(url.to_owned(), bytes.clone());
+            let peer = self.peer.read().clone();
+            if let Some(peer) = peer {
+                // One organization-wide rewrite should populate the fleet:
+                // push the result to the url's home shard.
+                if peer.offer_to_home(url, &bytes) {
+                    self.stats.lock().peer_offers += 1;
+                }
+            }
         }
         self.finish(url, ctx, &bytes, ServedFrom::Rewritten, elapsed);
         Ok(ServedResponse {
@@ -315,6 +393,26 @@ impl Proxy {
     /// Snapshot of the cache statistics.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.lock().stats
+    }
+
+    /// Probes the rewrite cache without touching hit/miss accounting or
+    /// tier promotion: how a shard answers a peer's `PEER_GET`. Returns
+    /// `None` when caching is disabled.
+    pub fn cache_peek(&self, url: &str) -> Option<(Vec<u8>, CacheTier)> {
+        if !self.caching {
+            return None;
+        }
+        self.cache.lock().peek(url)
+    }
+
+    /// Inserts already-rewritten (signed) bytes into the given cache
+    /// tier: how a shard ingests a peer's `PEER_PUT`. A no-op when
+    /// caching is disabled.
+    pub fn cache_fill(&self, url: &str, bytes: Vec<u8>, tier: CacheTier) {
+        if !self.caching {
+            return;
+        }
+        self.cache.lock().put_tier(url.to_owned(), bytes, tier);
     }
 
     /// Snapshot of the audit trail.
@@ -452,6 +550,96 @@ mod tests {
             a.processing_ns,
             RewriteCost::default().charge_ns(original_len)
         );
+    }
+
+    struct FakePeer {
+        hit: Option<Vec<u8>>,
+        fills: std::sync::atomic::AtomicU64,
+        offers: Mutex<Vec<String>>,
+    }
+
+    impl PeerCache for FakePeer {
+        fn fetch_from_home(&self, _url: &str) -> Option<Vec<u8>> {
+            if self.hit.is_some() {
+                self.fills.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            }
+            self.hit.clone()
+        }
+        fn offer_to_home(&self, url: &str, _bytes: &[u8]) -> bool {
+            self.offers.lock().push(url.to_owned());
+            true
+        }
+    }
+
+    #[test]
+    fn peer_hit_skips_the_rewrite_and_fills_the_local_cache() {
+        let proxy = Proxy::new(
+            Box::new(origin_with("t/P", "u")),
+            null_pipeline(),
+            1 << 20,
+            true,
+            None,
+        );
+        let canned = b"peer-rewritten".to_vec();
+        let peer = Arc::new(FakePeer {
+            hit: Some(canned.clone()),
+            fills: Default::default(),
+            offers: Mutex::new(Vec::new()),
+        });
+        proxy.set_peer_cache(peer.clone());
+        let ctx = RequestContext::default();
+        let r = proxy.handle_request_detailed("u", &ctx).unwrap();
+        assert_eq!(r.served_from, ServedFrom::Peer);
+        assert_eq!(r.bytes, canned);
+        assert_eq!(r.processing_ns, 0, "no rewrite was paid");
+        assert_eq!(proxy.stats().rewrites, 0);
+        assert_eq!(proxy.stats().peer_fills, 1);
+        // The fill landed in the local cache: the next request is a plain
+        // memory hit, no second peer round trip.
+        let r2 = proxy.handle_request_detailed("u", &ctx).unwrap();
+        assert_eq!(r2.served_from, ServedFrom::MemoryCache);
+        assert_eq!(peer.fills.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn peer_miss_rewrites_and_offers_to_home() {
+        let proxy = Proxy::new(
+            Box::new(origin_with("t/Q", "u")),
+            null_pipeline(),
+            1 << 20,
+            true,
+            None,
+        );
+        let peer = Arc::new(FakePeer {
+            hit: None,
+            fills: Default::default(),
+            offers: Mutex::new(Vec::new()),
+        });
+        proxy.set_peer_cache(peer.clone());
+        proxy
+            .handle_request_detailed("u", &RequestContext::default())
+            .unwrap();
+        assert_eq!(proxy.stats().rewrites, 1);
+        assert_eq!(proxy.stats().peer_offers, 1);
+        assert_eq!(*peer.offers.lock(), vec!["u".to_owned()]);
+    }
+
+    #[test]
+    fn cache_peek_and_fill_round_trip() {
+        let proxy = Proxy::new(
+            Box::new(MapOrigin::new()),
+            null_pipeline(),
+            1 << 20,
+            true,
+            None,
+        );
+        assert!(proxy.cache_peek("u").is_none());
+        proxy.cache_fill("u", vec![1, 2, 3], crate::cache::CacheTier::Disk);
+        let (bytes, tier) = proxy.cache_peek("u").unwrap();
+        assert_eq!(bytes, vec![1, 2, 3]);
+        assert_eq!(tier, crate::cache::CacheTier::Disk);
+        // Peer traffic leaves the local hit/miss accounting untouched.
+        assert_eq!(proxy.cache_stats(), crate::cache::CacheStats::default());
     }
 
     #[test]

@@ -68,6 +68,10 @@ macro_rules! prop_assert_ne {
         let (left, right) = (&$left, &$right);
         $crate::prop_assert!(*left != *right, "prop_assert_ne! failed: both `{:?}`", left);
     }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left != *right, $($fmt)*);
+    }};
 }
 
 /// Chooses uniformly between strategies producing the same value type.

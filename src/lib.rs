@@ -6,6 +6,7 @@
 
 pub use dvm_bytecode as bytecode;
 pub use dvm_classfile as classfile;
+pub use dvm_cluster as cluster;
 pub use dvm_compiler as compiler;
 pub use dvm_core as core;
 pub use dvm_jvm as jvm;

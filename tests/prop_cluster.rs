@@ -1,0 +1,105 @@
+//! Property-based tests for the dvm-cluster consistent-hash ring: load
+//! balance within ±25% of fair share, minimal remapping on shard
+//! removal, deterministic agreement between independently built rings,
+//! and failover orders that are true permutations.
+
+use proptest::prelude::*;
+
+use dvm_repro::cluster::HashRing;
+
+/// A workload of distinct class-URL-shaped keys.
+fn keys(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| format!("class://pkg{}/Class{i}", i % 37))
+        .collect()
+}
+
+proptest! {
+    /// Every shard's key count stays within ±25% of fair share at >= 64
+    /// vnodes, for any seed and any shard count — claim-style placement
+    /// gives every shard exactly `vnodes` equal arcs, so the only noise
+    /// left is the key hash's multinomial spread.
+    #[test]
+    fn balance_is_within_a_quarter_of_fair_share(
+        shards in 2u32..=8,
+        vnodes in 64u32..=256,
+        seed in any::<u64>(),
+    ) {
+        let ring = HashRing::with_shards(shards, vnodes, seed);
+        let keys = keys(2000);
+        let mut counts = vec![0u64; shards as usize];
+        for k in &keys {
+            counts[ring.home(k).unwrap() as usize] += 1;
+        }
+        let fair = keys.len() as f64 / shards as f64;
+        for (s, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - fair).abs() / fair;
+            prop_assert!(
+                dev <= 0.25,
+                "shard {}/{}: {} keys vs fair {:.0} (deviation {:.3}, vnodes {}, seed {})",
+                s, shards, c, fair, dev, vnodes, seed
+            );
+        }
+    }
+
+    /// Removing one shard remaps only that shard's keys: every key homed
+    /// elsewhere keeps its home, and every key homed on the victim moves
+    /// to a survivor.
+    #[test]
+    fn removal_remaps_only_the_removed_shards_keys(
+        shards in 2u32..=8,
+        vnodes in 64u32..=128,
+        seed in any::<u64>(),
+        victim_pick in any::<u32>(),
+    ) {
+        let mut ring = HashRing::with_shards(shards, vnodes, seed);
+        let victim = victim_pick % shards;
+        let keys = keys(1500);
+        let before: Vec<u32> = keys.iter().map(|k| ring.home(k).unwrap()).collect();
+        ring.remove_shard(victim);
+        for (k, &was) in keys.iter().zip(&before) {
+            let now = ring.home(k).unwrap();
+            if was == victim {
+                prop_assert_ne!(now, victim, "{} still maps to the removed shard", k);
+            } else {
+                prop_assert_eq!(now, was, "{} moved although its home survived", k);
+            }
+        }
+    }
+
+    /// Two rings built independently from the same (shards, vnodes,
+    /// seed) agree on every key — the zero-coordination contract between
+    /// clients and shards.
+    #[test]
+    fn independently_built_rings_agree(
+        shards in 1u32..=8,
+        vnodes in 1u32..=256,
+        seed in any::<u64>(),
+    ) {
+        let a = HashRing::with_shards(shards, vnodes, seed);
+        let b = HashRing::with_shards(shards, vnodes, seed);
+        for k in keys(300) {
+            prop_assert_eq!(a.home(&k), b.home(&k));
+            prop_assert_eq!(a.route(&k), b.route(&k));
+        }
+    }
+
+    /// The failover order is a permutation of the shard set starting at
+    /// the key's home shard.
+    #[test]
+    fn route_is_a_permutation_starting_at_home(
+        shards in 1u32..=8,
+        vnodes in 1u32..=128,
+        seed in any::<u64>(),
+        key_pick in 0usize..1000,
+    ) {
+        let ring = HashRing::with_shards(shards, vnodes, seed);
+        let key = format!("class://route/K{key_pick}");
+        let order = ring.route(&key);
+        prop_assert_eq!(order.len(), shards as usize);
+        prop_assert_eq!(order[0], ring.home(&key).unwrap());
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, ring.shards().to_vec());
+    }
+}

@@ -16,6 +16,7 @@ fn arb_served_from() -> impl Strategy<Value = ServedFrom> {
         Just(ServedFrom::Rewritten),
         Just(ServedFrom::MemoryCache),
         Just(ServedFrom::DiskCache),
+        Just(ServedFrom::Peer),
     ]
 }
 
@@ -28,6 +29,7 @@ fn arb_error_code() -> impl Strategy<Value = dvm_repro::net::ErrorCode> {
         Just(ErrorCode::Malformed),
         Just(ErrorCode::Overloaded),
         Just(ErrorCode::Internal),
+        Just(ErrorCode::CacheMiss),
     ]
 }
 
@@ -86,6 +88,13 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                 kind,
             }
         }),
+        (any::<u32>(), arb_string())
+            .prop_map(|(request_id, url)| Frame::PeerGet { request_id, url }),
+        (
+            arb_string(),
+            proptest::collection::vec(any::<u8>(), 0..2048)
+        )
+            .prop_map(|(url, bytes)| Frame::PeerPut { url, bytes }),
         Just(Frame::Bye),
     ]
 }
