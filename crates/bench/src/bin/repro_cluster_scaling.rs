@@ -150,6 +150,7 @@ fn bench_workload(
         ]);
     }
     t.print();
+    dvm_bench::emit_json("cluster_scaling", &[("results", &t)], &[]);
     println!();
     series
 }

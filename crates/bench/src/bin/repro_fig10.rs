@@ -135,6 +135,7 @@ fn main() {
         ]);
     }
     t.print();
+    dvm_bench::emit_json("fig10", &[("results", &t)], &[]);
 
     // Shape verdicts.
     let at = |n: usize| series.iter().find(|(x, _)| *x == n).unwrap().1;

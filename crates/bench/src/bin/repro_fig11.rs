@@ -39,6 +39,7 @@ fn main() {
         t.row(&row);
     }
     t.print();
+    dvm_bench::emit_json("fig11", &[("results", &t)], &[]);
     println!("\nShape: startup is transfer-dominated below ~1 Mb/s; the largest");
     println!("application (hotjava) takes minutes at 28.8 Kb/s (paper Figure 11).");
 }

@@ -40,6 +40,7 @@ fn main() {
         t.row(&row);
     }
     t.print();
+    dvm_bench::emit_json("fig12", &[("results", &t)], &[]);
     println!("\nPeak improvement: {peak:.1}% (paper: up to ~28% at 28.8 Kb/s).");
     println!("Improvement decays with bandwidth as latency begins to dominate.");
 }

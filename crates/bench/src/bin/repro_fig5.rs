@@ -39,4 +39,5 @@ fn main() {
         ]);
     }
     t.print();
+    dvm_bench::emit_json("fig5", &[("results", &t)], &[]);
 }

@@ -42,6 +42,7 @@ fn main() {
         ]);
     }
     t.print();
+    dvm_bench::emit_json("fig6", &[("results", &t)], &[]);
     println!(
         "\nMean uncached DVM overhead: {:.1}% (paper: ~11% of total running time)",
         overhead_sum / n * 100.0

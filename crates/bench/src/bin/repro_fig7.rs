@@ -27,6 +27,7 @@ fn main() {
         ]);
     }
     t.print();
+    dvm_bench::emit_json("fig7", &[("results", &t)], &[]);
     println!("\nDVM clients spend dramatically less time verifying: the static");
     println!("phases moved to the network server (paper Figure 7 shows the same).");
 }

@@ -43,6 +43,7 @@ fn main() {
         ]);
     }
     t.print();
+    dvm_bench::emit_json("fig8", &[("results", &t)], &[]);
     println!("\nPaper's Figure 8 (for reference): jlex 291679/371, javacup 415825/806,");
     println!("pizza 289495/541, instantdb 1066944/3426, cassowary 1965538/2346.");
 }

@@ -29,6 +29,7 @@ fn main() {
         ]);
     }
     t.print();
+    dvm_bench::emit_json("fig9", &[("results", &t)], &[]);
     println!("\nShape notes (paper): the first DVM check downloads the policy (~5 ms);");
     println!("subsequent checks are comparable to or faster than the JDK; the JDK has");
     println!("no check at all on file reads (N/A row) while the DVM protects them.");

@@ -110,6 +110,26 @@ fn main() {
         ]);
     }
     t.print();
+    // Pre-telemetry measurements on the reference container, kept so the
+    // JSON records current-vs-baseline in one artifact (the telemetry
+    // instrumentation is required to stay within 5% of these).
+    let baseline = dvm_bench::Json::Obj(
+        [
+            (1u64, 675u64),
+            (2, 30369),
+            (4, 28364),
+            (8, 29993),
+            (16, 29799),
+        ]
+        .iter()
+        .map(|&(c, r)| (c.to_string(), dvm_bench::Json::Num(r as f64)))
+        .collect(),
+    );
+    dvm_bench::emit_json(
+        "net_throughput",
+        &[("results", &t)],
+        &[("baseline_req_per_s", baseline)],
+    );
 
     let stats = server.shutdown();
     println!(

@@ -36,6 +36,7 @@ fn main() {
         client: "measure".into(),
         principal: "applets".into(),
         url: String::new(),
+        trace: None,
     };
 
     let mut internet_ms = Vec::new();
@@ -111,4 +112,5 @@ fn main() {
         "n/a (2026 hardware)".into(),
     ]);
     t.print();
+    dvm_bench::emit_json("proxy_overhead", &[("results", &t)], &[]);
 }

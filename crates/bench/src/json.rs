@@ -1,0 +1,192 @@
+//! Machine-readable experiment output: a minimal JSON emitter.
+//!
+//! Every `repro_*` binary prints human-aligned tables; passing `--json`
+//! additionally writes `BENCH_<name>.json` next to the working
+//! directory so harnesses (CI, regression tracking) can parse the same
+//! numbers without screen-scraping. The emitter is deliberately tiny
+//! and from scratch — the reproduction takes no serialization
+//! dependency for this.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use crate::table::Table;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite values render as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    // Integral values print without a fraction so counts
+                    // stay counts.
+                    if n.fract() == 0.0 && n.abs() < 9e15 {
+                        out.push_str(&format!("{}", *n as i64));
+                    } else {
+                        out.push_str(&format!("{n}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => escape_into(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// A cell parsed the way a table consumer would want it: numbers as
+    /// numbers, everything else as strings.
+    pub fn cell(s: &str) -> Json {
+        match s.parse::<f64>() {
+            Ok(n) if n.is_finite() => Json::Num(n),
+            _ => Json::Str(s.to_owned()),
+        }
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Table {
+    /// The table as a JSON array: one object per row, keyed by header,
+    /// numeric-looking cells as numbers.
+    pub fn to_json(&self) -> Json {
+        let rows = self
+            .rows()
+            .iter()
+            .map(|row| {
+                Json::Obj(
+                    self.headers()
+                        .iter()
+                        .zip(row.iter())
+                        .map(|(h, c)| (h.clone(), Json::cell(c)))
+                        .collect(),
+                )
+            })
+            .collect();
+        Json::Arr(rows)
+    }
+}
+
+/// True when the process was invoked with `--json`.
+pub fn json_flag() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// Writes `BENCH_<name>.json` containing `{"bench": name, "tables":
+/// {label: rows...}, ...extra}` — but only when [`json_flag`] is set, so
+/// binaries can call it unconditionally after printing their tables.
+/// `extra` carries bench-specific scalars (baselines, configuration).
+pub fn emit_json(name: &str, tables: &[(&str, &Table)], extra: &[(&str, Json)]) {
+    if !json_flag() {
+        return;
+    }
+    let mut obj = vec![("bench".to_owned(), Json::Str(name.to_owned()))];
+    obj.push((
+        "tables".to_owned(),
+        Json::Obj(
+            tables
+                .iter()
+                .map(|(label, t)| ((*label).to_owned(), t.to_json()))
+                .collect(),
+        ),
+    ));
+    for (k, v) in extra {
+        obj.push(((*k).to_owned(), v.clone()));
+    }
+    let path = PathBuf::from(format!("BENCH_{name}.json"));
+    let rendered = Json::Obj(obj).render();
+    match std::fs::File::create(&path).and_then(|mut f| writeln!(f, "{rendered}")) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_values_with_escaping() {
+        let j = Json::Obj(vec![
+            ("name".into(), Json::Str("a \"b\"\n".into())),
+            ("n".into(), Json::Num(3.0)),
+            ("frac".into(), Json::Num(0.5)),
+            ("list".into(), Json::Arr(vec![Json::Bool(true), Json::Null])),
+        ]);
+        assert_eq!(
+            j.render(),
+            r#"{"name":"a \"b\"\n","n":3,"frac":0.5,"list":[true,null]}"#
+        );
+    }
+
+    #[test]
+    fn table_rows_become_objects_with_numeric_cells() {
+        let mut t = Table::new(&["Clients", "req/s"]);
+        t.row(&["1".into(), "675".into()]);
+        t.row(&["all".into(), "30369.5".into()]);
+        assert_eq!(
+            t.to_json().render(),
+            r#"[{"Clients":1,"req/s":675},{"Clients":"all","req/s":30369.5}]"#
+        );
+    }
+}

@@ -7,8 +7,10 @@
 
 pub mod fig11;
 pub mod fig9;
+pub mod json;
 pub mod runners;
 pub mod table;
 
+pub use json::{emit_json, json_flag, Json};
 pub use runners::{run_dvm, run_dvm_cached_pair, run_monolithic, ExperimentScale};
 pub use table::Table;

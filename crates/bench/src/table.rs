@@ -21,6 +21,16 @@ impl Table {
         self.rows.push(cells.to_vec());
     }
 
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The rows appended so far.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Renders the table.
     pub fn render(&self) -> String {
         let cols = self.headers.len();

@@ -20,6 +20,7 @@ use parking_lot::Mutex;
 use dvm_jvm::ClassProvider;
 use dvm_net::{Hello, NetClassProvider, NetClientStats, NetConfig, NetError, NetTransfer};
 use dvm_proxy::Signer;
+use dvm_telemetry::{Counter, Histogram, Registry, SpanId, Telemetry, TraceContext, TraceId};
 
 use crate::health::{HealthConfig, HealthTracker};
 use crate::ring::HashRing;
@@ -93,6 +94,30 @@ impl std::fmt::Display for ClusterError {
 
 impl std::error::Error for ClusterError {}
 
+/// Pre-registered telemetry handles for the cluster client's hot path.
+#[derive(Debug, Clone)]
+struct ClusterMetrics {
+    requests: Arc<Counter>,
+    failovers: Arc<Counter>,
+    quarantine_skips: Arc<Counter>,
+    non_home_serves: Arc<Counter>,
+    desperation_probes: Arc<Counter>,
+    fetch_ns: Arc<Histogram>,
+}
+
+impl ClusterMetrics {
+    fn register(registry: &Registry) -> ClusterMetrics {
+        ClusterMetrics {
+            requests: registry.counter("cluster.requests"),
+            failovers: registry.counter("cluster.failovers"),
+            quarantine_skips: registry.counter("cluster.quarantine.skips"),
+            non_home_serves: registry.counter("cluster.non_home_serves"),
+            desperation_probes: registry.counter("cluster.desperation_probes"),
+            fetch_ns: registry.histogram("cluster.fetch_ns"),
+        }
+    }
+}
+
 /// A `ClassProvider` spreading fetches over a shard cluster.
 pub struct ClusterClassProvider {
     addrs: Vec<SocketAddr>,
@@ -104,6 +129,8 @@ pub struct ClusterClassProvider {
     health: HealthTracker,
     stats: ClusterClientStats,
     hook: Arc<Mutex<Option<TransferHook>>>,
+    telemetry: Arc<Telemetry>,
+    metrics: ClusterMetrics,
 }
 
 impl std::fmt::Debug for ClusterClassProvider {
@@ -131,6 +158,10 @@ impl ClusterClassProvider {
         config: ClusterClientConfig,
     ) -> ClusterClassProvider {
         let providers = (0..addrs.len()).map(|_| None).collect();
+        let telemetry = Arc::new(Telemetry::new(&format!("cluster:{}", hello.user)));
+        let metrics = ClusterMetrics::register(telemetry.registry());
+        let mut health = HealthTracker::new(config.health);
+        health.attach_metrics(telemetry.registry());
         ClusterClassProvider {
             addrs,
             ring,
@@ -138,10 +169,30 @@ impl ClusterClassProvider {
             signer,
             config,
             providers,
-            health: HealthTracker::new(config.health),
+            health,
             stats: ClusterClientStats::default(),
             hook: Arc::new(Mutex::new(None)),
+            telemetry,
+            metrics,
         }
+    }
+
+    /// This client's telemetry plane. Per-shard connections share it, so
+    /// `net.client.*` counters and breaker transitions for the whole
+    /// cluster accumulate under one node.
+    pub fn telemetry(&self) -> Arc<Telemetry> {
+        self.telemetry.clone()
+    }
+
+    /// Shares an externally owned telemetry plane (e.g. the DVM client's
+    /// own node). Re-registers every handle, so call before fetching.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.metrics = ClusterMetrics::register(telemetry.registry());
+        self.health.attach_metrics(telemetry.registry());
+        for p in self.providers.iter_mut().flatten() {
+            p.set_telemetry(telemetry.clone());
+        }
+        self.telemetry = telemetry;
     }
 
     /// Installs an observer called once per successful transfer,
@@ -195,14 +246,21 @@ impl ClusterClassProvider {
                     h(t);
                 }
             }));
+            p.set_telemetry(self.telemetry.clone());
             *slot = Some(p);
         }
         Ok(slot.as_mut().expect("installed above"))
     }
 
-    fn attempt(&mut self, shard: u32, url: &str) -> Result<(Vec<u8>, NetTransfer), NetError> {
+    fn attempt(
+        &mut self,
+        shard: u32,
+        url: &str,
+        trace: TraceContext,
+    ) -> Result<(Vec<u8>, NetTransfer), NetError> {
+        let start = self.telemetry.recorder().now_ns();
         let outcome = match self.provider(shard) {
-            Ok(p) => p.fetch_attempt(url),
+            Ok(p) => p.fetch_attempt_traced(url, Some(trace)),
             Err(e) => Err(e),
         };
         match &outcome {
@@ -212,12 +270,52 @@ impl ClusterClassProvider {
             // prove the shard is *healthy* — it answered.
             Err(_) => self.health.record_success(shard),
         }
+        let end = self.telemetry.recorder().now_ns();
+        self.telemetry.recorder().record_span(
+            trace.trace,
+            SpanId::generate(),
+            trace.parent,
+            &format!("cluster.attempt.shard{shard}"),
+            start,
+            end.saturating_sub(start),
+        );
         outcome
     }
 
-    /// Fetches `url`, failing over across shards and rounds.
+    /// Fetches `url`, failing over across shards and rounds. The fetch
+    /// roots a new trace; every shard attempt (and the serving shard's
+    /// whole pipeline) records spans under it.
     pub fn fetch(&mut self, url: &str) -> Result<(Vec<u8>, NetTransfer), ClusterError> {
         self.stats.requests += 1;
+        self.metrics.requests.inc();
+        let trace = TraceId::generate();
+        let root = SpanId::generate();
+        let start = self.telemetry.recorder().now_ns();
+        let result = self.fetch_traced(
+            url,
+            TraceContext {
+                trace,
+                parent: root,
+            },
+        );
+        let end = self.telemetry.recorder().now_ns();
+        self.metrics.fetch_ns.record(end.saturating_sub(start));
+        self.telemetry.recorder().record_span(
+            trace,
+            root,
+            SpanId::NONE,
+            "cluster.fetch",
+            start,
+            end.saturating_sub(start),
+        );
+        result
+    }
+
+    fn fetch_traced(
+        &mut self,
+        url: &str,
+        ctx: TraceContext,
+    ) -> Result<(Vec<u8>, NetTransfer), ClusterError> {
         let order = self.ring.route(url);
         if order.is_empty() {
             return Err(ClusterError::NoShards);
@@ -231,18 +329,21 @@ impl ClusterClassProvider {
             for (i, &shard) in order.iter().enumerate() {
                 if !self.health.allow(shard) {
                     self.stats.quarantine_skips += 1;
+                    self.metrics.quarantine_skips.inc();
                     continue;
                 }
                 attempted += 1;
-                match self.attempt(shard, url) {
+                match self.attempt(shard, url, ctx) {
                     Ok(ok) => {
                         if i > 0 {
                             self.stats.non_home_serves += 1;
+                            self.metrics.non_home_serves.inc();
                         }
                         return Ok(ok);
                     }
                     Err(e) if e.is_retryable() => {
                         self.stats.failovers += 1;
+                        self.metrics.failovers.inc();
                         last = Some(e);
                     }
                     Err(e) => return Err(ClusterError::Fatal(e)),
@@ -254,12 +355,14 @@ impl ClusterClassProvider {
                 // permanent client failure, so force one probe of the
                 // home shard; its outcome re-arms or closes the breaker.
                 self.stats.desperation_probes += 1;
+                self.metrics.desperation_probes.inc();
                 let home = order[0];
                 self.health.force_probe(home);
-                match self.attempt(home, url) {
+                match self.attempt(home, url, ctx) {
                     Ok(ok) => return Ok(ok),
                     Err(e) if e.is_retryable() => {
                         self.stats.failovers += 1;
+                        self.metrics.failovers.inc();
                         last = Some(e);
                     }
                     Err(e) => return Err(ClusterError::Fatal(e)),

@@ -17,6 +17,7 @@ use parking_lot::Mutex;
 use dvm_monitor::AdminConsole;
 use dvm_net::{Hello, NetConfig, ProxyServer, ServerConfig, ServerStats};
 use dvm_proxy::Proxy;
+use dvm_telemetry::{MetricsSnapshot, StatsReport, Telemetry};
 
 use crate::peer::{ClusterPeer, PeerLink, PeerStats};
 use crate::ring::HashRing;
@@ -163,6 +164,41 @@ impl ProxyCluster {
             .get(i)
             .and_then(|s| s.as_ref())
             .map(|s| s.stats())
+    }
+
+    /// Shard `i`'s telemetry plane (shared between its server and its
+    /// proxy), `None` once the shard is killed.
+    pub fn shard_telemetry(&self, i: usize) -> Option<Arc<Telemetry>> {
+        self.servers
+            .get(i)
+            .and_then(|s| s.as_ref())
+            .map(|s| s.telemetry())
+    }
+
+    /// Every live shard's stats report, indexed by shard id (`None` for
+    /// killed shards). With `include_spans` the reports carry each
+    /// shard's retained span window.
+    pub fn stats_reports(&self, include_spans: bool) -> Vec<Option<StatsReport>> {
+        self.servers
+            .iter()
+            .map(|slot| {
+                slot.as_ref().map(|s| {
+                    let t = s.telemetry();
+                    if include_spans {
+                        t.report()
+                    } else {
+                        t.report_metrics_only()
+                    }
+                })
+            })
+            .collect()
+    }
+
+    /// Fleet-wide metrics: every live shard's snapshot merged into one,
+    /// as if the cluster were a single proxy.
+    pub fn merged_metrics(&self) -> MetricsSnapshot {
+        let reports = self.stats_reports(false);
+        StatsReport::merge_metrics(reports.iter().flatten())
     }
 
     /// Shard `i`'s outbound peer-traffic counters, when peer fill is on.

@@ -12,7 +12,10 @@
 //! pure state machine over the instants it is handed.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use dvm_telemetry::{Counter, Gauge, Registry};
 
 /// Breaker tuning.
 #[derive(Debug, Clone, Copy)]
@@ -43,11 +46,36 @@ enum State {
     Probing,
 }
 
+/// Pre-registered handles for breaker state-transition telemetry.
+#[derive(Debug, Clone)]
+struct BreakerMetrics {
+    /// Circuits armed (closed/half-open → open).
+    opened: Arc<Counter>,
+    /// Expired quarantines admitting a half-open probe (incl. forced).
+    half_open: Arc<Counter>,
+    /// Circuits closing again after a successful probe.
+    closed: Arc<Counter>,
+    /// Circuits currently open (quarantining a shard).
+    open_now: Arc<Gauge>,
+}
+
+impl BreakerMetrics {
+    fn register(registry: &Registry) -> BreakerMetrics {
+        BreakerMetrics {
+            opened: registry.counter("cluster.breaker.opened"),
+            half_open: registry.counter("cluster.breaker.half_open"),
+            closed: registry.counter("cluster.breaker.closed"),
+            open_now: registry.gauge("cluster.breaker.open_now"),
+        }
+    }
+}
+
 /// Tracks one circuit breaker per shard id.
 #[derive(Debug)]
 pub struct HealthTracker {
     config: HealthConfig,
     states: HashMap<u32, State>,
+    metrics: Option<BreakerMetrics>,
 }
 
 impl HealthTracker {
@@ -56,6 +84,43 @@ impl HealthTracker {
         HealthTracker {
             config,
             states: HashMap::new(),
+            metrics: None,
+        }
+    }
+
+    /// Registers breaker transition counters (`cluster.breaker.*`) into
+    /// `registry`; without this the tracker stays a pure state machine.
+    pub fn attach_metrics(&mut self, registry: &Registry) {
+        self.metrics = Some(BreakerMetrics::register(registry));
+    }
+
+    /// Moves `shard` to `next`, counting the state transition.
+    fn transition(&mut self, shard: u32, next: State) {
+        let prev = self.states.insert(shard, next);
+        let Some(m) = &self.metrics else { return };
+        let was_open = matches!(prev, Some(State::Open { .. }));
+        match next {
+            State::Open { .. } if !was_open => {
+                m.opened.inc();
+                m.open_now.add(1);
+            }
+            State::Probing => {
+                if was_open {
+                    m.open_now.add(-1);
+                }
+                if !matches!(prev, Some(State::Probing)) {
+                    m.half_open.inc();
+                }
+            }
+            State::Closed { .. } => {
+                if was_open {
+                    m.open_now.add(-1);
+                }
+                if matches!(prev, Some(State::Open { .. }) | Some(State::Probing)) {
+                    m.closed.inc();
+                }
+            }
+            _ => {}
         }
     }
 
@@ -67,7 +132,7 @@ impl HealthTracker {
             None | Some(State::Closed { .. }) => true,
             Some(State::Open { until }) => {
                 if Instant::now() >= until {
-                    self.states.insert(shard, State::Probing);
+                    self.transition(shard, State::Probing);
                     true
                 } else {
                     false
@@ -81,13 +146,13 @@ impl HealthTracker {
     /// quarantine deadline — the desperation path when every shard is
     /// quarantined and the client must try *something*.
     pub fn force_probe(&mut self, shard: u32) {
-        self.states.insert(shard, State::Probing);
+        self.transition(shard, State::Probing);
     }
 
     /// Records a successful request: the circuit closes and the failure
     /// count resets.
     pub fn record_success(&mut self, shard: u32) {
-        self.states.insert(shard, State::Closed { failures: 0 });
+        self.transition(shard, State::Closed { failures: 0 });
     }
 
     /// Records a failed request: a failed probe (or crossing the
@@ -118,7 +183,7 @@ impl HealthTracker {
                 }
             }
         };
-        self.states.insert(shard, next);
+        self.transition(shard, next);
     }
 
     /// True while `shard`'s circuit is open and its quarantine has not
@@ -182,6 +247,26 @@ mod tests {
         t.record_failure(3);
         assert!(!t.allow(3));
         assert!(t.allow(4));
+    }
+
+    #[test]
+    fn breaker_transitions_are_counted() {
+        let registry = Registry::new();
+        let mut t = tracker(1, 0); // zero quarantine: expires immediately
+        t.attach_metrics(&registry);
+        t.record_failure(0); // closed -> open
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["cluster.breaker.opened"], 1);
+        assert_eq!(snap.gauges["cluster.breaker.open_now"], 1);
+        assert!(t.allow(0)); // open -> half-open probe
+        t.record_failure(0); // probe failed -> open again
+        assert!(t.allow(0)); // open -> half-open probe
+        t.record_success(0); // probe ok -> closed
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["cluster.breaker.opened"], 2);
+        assert_eq!(snap.counters["cluster.breaker.half_open"], 2);
+        assert_eq!(snap.counters["cluster.breaker.closed"], 1);
+        assert_eq!(snap.gauges["cluster.breaker.open_now"], 0);
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!   `Overloaded` rejection moves immediately to the next replica, and
 //!   persistently failing shards are quarantined behind the circuit
 //!   breaker in [`health`] (closed → open → half-open probe).
+//! - [`stats`] — the pull side of the stats plane:
+//!   [`collect_fleet_stats`] asks every shard for its
+//!   `STATS_RESPONSE` over the wire and merges the answers into one
+//!   fleet-wide metrics snapshot, tolerating dead shards.
 //! - [`peer`] — peer cache-fill over the wire protocol's
 //!   `PEER_GET`/`PEER_PUT` frames: on a local rewrite-cache miss a
 //!   shard asks the URL's home shard for its cached copy before paying
@@ -33,6 +37,7 @@ pub mod cluster;
 pub mod health;
 pub mod peer;
 pub mod ring;
+pub mod stats;
 
 pub use client::{
     ClusterClassProvider, ClusterClientConfig, ClusterClientStats, ClusterError, TransferHook,
@@ -41,3 +46,4 @@ pub use cluster::{ClusterOptions, ProxyCluster};
 pub use health::{HealthConfig, HealthTracker};
 pub use peer::{ClusterPeer, PeerLink, PeerStats};
 pub use ring::HashRing;
+pub use stats::{collect_fleet_stats, FleetStats, ShardReport};

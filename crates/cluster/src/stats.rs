@@ -1,0 +1,76 @@
+//! Fleet-wide stats collection over the wire.
+//!
+//! [`collect_fleet_stats`] is the pull side of the stats plane: it walks
+//! a shard address list, asks each live server for its
+//! `STATS_RESPONSE`, and merges the per-shard metrics into one
+//! fleet-wide snapshot. Unreachable shards are reported as such rather
+//! than failing the whole collection — an operator asking "how is the
+//! cluster doing" most needs an answer when part of it is down.
+
+use std::net::SocketAddr;
+
+use dvm_net::{fetch_stats, Hello, NetConfig};
+use dvm_telemetry::{MetricsSnapshot, StatsReport};
+
+/// One shard's answer to a stats pull.
+#[derive(Debug)]
+pub struct ShardReport {
+    /// The shard's address, as given to the collector.
+    pub addr: SocketAddr,
+    /// Its report, when the pull succeeded.
+    pub report: Option<StatsReport>,
+    /// The failure rendered for display, when it did not.
+    pub error: Option<String>,
+}
+
+impl ShardReport {
+    /// True when this shard answered the pull.
+    pub fn reachable(&self) -> bool {
+        self.report.is_some()
+    }
+}
+
+/// Every shard's report plus the fleet-wide merge.
+#[derive(Debug)]
+pub struct FleetStats {
+    /// Per-shard outcomes, indexed like the input address list.
+    pub shards: Vec<ShardReport>,
+    /// All reachable shards' metrics merged into one snapshot.
+    pub merged: MetricsSnapshot,
+}
+
+impl FleetStats {
+    /// How many shards answered.
+    pub fn reachable(&self) -> usize {
+        self.shards.iter().filter(|s| s.reachable()).count()
+    }
+}
+
+/// Pulls a [`StatsReport`] from every address in `addrs` (serially — the
+/// collector is an operator tool, not a hot path) and merges the
+/// reachable ones. `include_spans` asks each shard for its span window
+/// too; leave it off for cheap periodic polling.
+pub fn collect_fleet_stats(
+    addrs: &[SocketAddr],
+    hello: &Hello,
+    config: NetConfig,
+    include_spans: bool,
+) -> FleetStats {
+    let mut shards = Vec::with_capacity(addrs.len());
+    for &addr in addrs {
+        match fetch_stats(addr, hello.clone(), config, include_spans) {
+            Ok(report) => shards.push(ShardReport {
+                addr,
+                report: Some(report),
+                error: None,
+            }),
+            Err(e) => shards.push(ShardReport {
+                addr,
+                report: None,
+                error: Some(e.to_string()),
+            }),
+        }
+    }
+    let merged = StatsReport::merge_metrics(shards.iter().filter_map(|s| s.report.as_ref()));
+    FleetStats { shards, merged }
+}

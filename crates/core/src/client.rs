@@ -13,6 +13,7 @@ use dvm_net::NetClassProvider;
 use dvm_netsim::SimTime;
 use dvm_proxy::{Proxy, RequestContext, ServedFrom, Signer};
 use dvm_security::{EnforcementManager, PermissionId, SecurityId};
+use dvm_telemetry::{Histogram, SpanId, Telemetry, TraceContext, TraceId};
 
 use crate::config::CostModel;
 
@@ -33,12 +34,35 @@ struct ProxyProvider {
     ctx: RequestContext,
     signer: Option<Signer>,
     transfers: Arc<Mutex<Vec<TransferRecord>>>,
+    telemetry: Arc<Telemetry>,
+    fetch_ns: Arc<Histogram>,
 }
 
 impl ClassProvider for ProxyProvider {
     fn load(&mut self, name: &str) -> Option<Vec<u8>> {
         let url = format!("class://{name}");
-        let response = self.proxy.handle_request_detailed(&url, &self.ctx).ok()?;
+        // Root a trace per fetch; the in-process proxy records its spans
+        // (handle, stages, origin) into its own recorder, exactly as a
+        // remote shard would.
+        let trace = TraceId::generate();
+        let root = SpanId::generate();
+        self.ctx.trace = Some(TraceContext {
+            trace,
+            parent: root,
+        });
+        let start = self.telemetry.recorder().now_ns();
+        let response = self.proxy.handle_request_detailed(&url, &self.ctx);
+        let end = self.telemetry.recorder().now_ns();
+        self.fetch_ns.record(end.saturating_sub(start));
+        self.telemetry.recorder().record_span(
+            trace,
+            root,
+            SpanId::NONE,
+            "client.fetch",
+            start,
+            end.saturating_sub(start),
+        );
+        let response = response.ok()?;
         let bytes = match &self.signer {
             // Clients "redirect incorrectly signed or unsigned code to the
             // centralized services"; in this provider a bad signature
@@ -150,6 +174,7 @@ pub struct DvmClient {
     profile: Arc<Mutex<ProfileCollector>>,
     transfers: Arc<Mutex<Vec<TransferRecord>>>,
     cost: CostModel,
+    telemetry: Arc<Telemetry>,
 }
 
 impl DvmClient {
@@ -166,13 +191,25 @@ impl DvmClient {
         cost: CostModel,
     ) -> dvm_jvm::Result<DvmClient> {
         let transfers = Arc::new(Mutex::new(Vec::new()));
+        let telemetry = Arc::new(Telemetry::new(&format!("client:{}", ctx.client)));
+        let fetch_ns = telemetry.registry().histogram("client.fetch_ns");
         let provider = ProxyProvider {
             proxy,
             ctx,
             signer,
             transfers: transfers.clone(),
+            telemetry: telemetry.clone(),
+            fetch_ns,
         };
-        Self::assemble(Box::new(provider), enforcement, sid, audit, transfers, cost)
+        Self::assemble(
+            Box::new(provider),
+            enforcement,
+            sid,
+            audit,
+            transfers,
+            cost,
+            telemetry,
+        )
     }
 
     /// Builds a client whose classes arrive over a live socket: the same
@@ -197,7 +234,16 @@ impl DvmClient {
                 served_from: t.served_from,
             });
         }));
-        Self::assemble(Box::new(provider), enforcement, sid, audit, transfers, cost)
+        let telemetry = provider.telemetry();
+        Self::assemble(
+            Box::new(provider),
+            enforcement,
+            sid,
+            audit,
+            transfers,
+            cost,
+            telemetry,
+        )
     }
 
     /// Builds a client over a shard cluster: the same wiring as
@@ -221,9 +267,19 @@ impl DvmClient {
                 served_from: t.served_from,
             });
         }));
-        Self::assemble(Box::new(provider), enforcement, sid, audit, transfers, cost)
+        let telemetry = provider.telemetry();
+        Self::assemble(
+            Box::new(provider),
+            enforcement,
+            sid,
+            audit,
+            transfers,
+            cost,
+            telemetry,
+        )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn assemble(
         provider: Box<dyn ClassProvider>,
         enforcement: Option<EnforcementManager>,
@@ -231,6 +287,7 @@ impl DvmClient {
         audit: Option<Box<dyn AuditSink>>,
         transfers: Arc<Mutex<Vec<TransferRecord>>>,
         cost: CostModel,
+        telemetry: Arc<Telemetry>,
     ) -> dvm_jvm::Result<DvmClient> {
         let profile = Arc::new(Mutex::new(ProfileCollector::new()));
         let services = ClientServices {
@@ -245,7 +302,15 @@ impl DvmClient {
             profile,
             transfers,
             cost,
+            telemetry,
         })
+    }
+
+    /// This client's telemetry plane: its fetch latency histogram and
+    /// the root spans of every trace it started (shared with the
+    /// provider — a cluster client's failover counters live here too).
+    pub fn telemetry(&self) -> Arc<Telemetry> {
+        self.telemetry.clone()
     }
 
     /// Runs `main` of `class`, producing the timing report.

@@ -13,6 +13,7 @@ use dvm_monitor::{
 use dvm_net::{Hello, NetClassProvider, NetConfig, ProxyServer, RemoteConsole, ServerConfig};
 use dvm_proxy::{CodeOrigin, MapOrigin, Pipeline, Proxy, RequestContext, RewriteCost, Signer};
 use dvm_security::{EnforcementManager, Policy, SecurityId, SecurityServer};
+use dvm_telemetry::{StatsReport, Telemetry};
 use dvm_verifier::{MapEnvironment, StaticVerifier};
 
 use crate::client::DvmClient;
@@ -159,6 +160,13 @@ impl Organization {
     /// are the paper's proxy scaled out — byte-identical (and
     /// identically signed) responses from every shard.
     pub fn shard_proxy(&self) -> Arc<Proxy> {
+        self.shard_proxy_named("proxy")
+    }
+
+    /// [`Organization::shard_proxy`] with the shard's telemetry plane
+    /// named `node` (e.g. `"shard2"`), so stats pulled from a fleet stay
+    /// attributable to the shard that produced them.
+    pub fn shard_proxy_named(&self, node: &str) -> Arc<Proxy> {
         let pipeline = build_pipeline(
             &self.services,
             &self.policy,
@@ -176,8 +184,17 @@ impl Organization {
             .with_rewrite_cost(RewriteCost {
                 cycles_per_byte: self.cost.proxy_cycles_per_byte,
                 cpu: self.cost.cpu,
-            }),
+            })
+            .with_telemetry(Arc::new(Telemetry::new(node))),
         )
+    }
+
+    /// The primary proxy's observable state: its metrics snapshot plus
+    /// its recent spans. Cluster deployments aggregate instead via
+    /// [`ProxyCluster::stats_reports`] (in-process) or
+    /// [`dvm_cluster::collect_fleet_stats`] (over the wire).
+    pub fn stats(&self) -> StatsReport {
+        self.proxy.telemetry().report()
     }
 
     /// Read access to the policy.
@@ -223,6 +240,7 @@ impl Organization {
             client: user.to_owned(),
             principal: principal.to_owned(),
             url: String::new(),
+            trace: None,
         };
         let audit: Box<dyn AuditSink> = Box::new(ConsoleSink::new(self.console.clone(), session));
         DvmClient::wire(
@@ -326,7 +344,9 @@ impl Organization {
         shards: usize,
         opts: ClusterOptions,
     ) -> std::io::Result<ProxyCluster> {
-        let proxies = (0..shards).map(|_| self.shard_proxy()).collect();
+        let proxies = (0..shards)
+            .map(|i| self.shard_proxy_named(&format!("shard{i}")))
+            .collect();
         ProxyCluster::start(proxies, Some(self.console.clone()), opts)
     }
 

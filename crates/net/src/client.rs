@@ -11,6 +11,7 @@
 //! reconnect attempt, since audit delivery must never block execution.
 
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
 use std::time::Duration;
 
 use rand::rngs::StdRng;
@@ -19,6 +20,7 @@ use rand::{Rng, SeedableRng};
 use dvm_jvm::ClassProvider;
 use dvm_monitor::{AuditSink, EventKind, SiteId};
 use dvm_proxy::{ServedFrom, SignatureCheck, Signer};
+use dvm_telemetry::{SpanId, StatsReport, Telemetry, TraceContext, TraceId};
 
 use crate::frame::{kind_to_u8, ErrorCode, Frame, FrameError, Hello};
 
@@ -199,6 +201,7 @@ pub struct NetClassProvider {
     stats: NetClientStats,
     hook: Option<TransferHook>,
     jitter: StdRng,
+    telemetry: Arc<Telemetry>,
 }
 
 impl std::fmt::Debug for NetClassProvider {
@@ -228,6 +231,7 @@ impl NetClassProvider {
             std::io::Error::new(std::io::ErrorKind::AddrNotAvailable, "no address resolved")
         })?;
         let jitter = StdRng::seed_from_u64(config.jitter_seed ^ fnv1a(hello.user.as_bytes()));
+        let telemetry = Arc::new(Telemetry::new(&format!("client:{}", hello.user)));
         Ok(NetClassProvider {
             addr,
             hello,
@@ -238,7 +242,21 @@ impl NetClassProvider {
             stats: NetClientStats::default(),
             hook: None,
             jitter,
+            telemetry,
         })
+    }
+
+    /// This provider's telemetry plane (traces root here; counters for
+    /// requests, retries, and backoffs land here).
+    pub fn telemetry(&self) -> Arc<Telemetry> {
+        self.telemetry.clone()
+    }
+
+    /// Shares an externally owned telemetry plane (a cluster client
+    /// passes one plane to every per-shard provider so the client side
+    /// reports as one node).
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.telemetry = telemetry;
     }
 
     /// The deterministic jittered backoff before retry number `retry`:
@@ -304,26 +322,76 @@ impl NetClassProvider {
     /// Fetches `url` through the proxy, retrying transport failures and
     /// typed overload rejections with jittered exponential backoff, and
     /// returns the verified payload.
+    ///
+    /// Every fetch is the root of a fresh distributed trace: a
+    /// `client.fetch` span is recorded here and its context rides the
+    /// `CODE_REQUEST` so the server's spans stitch under it.
     pub fn fetch(&mut self, url: &str) -> Result<(Vec<u8>, NetTransfer), NetError> {
         self.stats.requests += 1;
+        self.telemetry
+            .registry()
+            .counter("net.client.requests")
+            .inc();
+        let trace = TraceId::generate();
+        let root = SpanId::generate();
+        let recorder = self.telemetry.recorder();
+        let start = recorder.now_ns();
+        let ctx = TraceContext {
+            trace,
+            parent: root,
+        };
+        let result = self.fetch_with_retries(url, Some(ctx));
+        let recorder = self.telemetry.recorder();
+        let duration = recorder.now_ns().saturating_sub(start);
+        recorder.record_span(trace, root, SpanId::NONE, "client.fetch", start, duration);
+        self.telemetry
+            .registry()
+            .histogram("net.client.fetch_ns")
+            .record(duration);
+        result
+    }
+
+    fn fetch_with_retries(
+        &mut self,
+        url: &str,
+        trace: Option<TraceContext>,
+    ) -> Result<(Vec<u8>, NetTransfer), NetError> {
         let mut last: Option<NetError> = None;
         for retry in 0..self.config.max_attempts.max(1) {
             if retry > 0 {
                 self.stats.retries += 1;
+                self.telemetry
+                    .registry()
+                    .counter("net.client.retries")
+                    .inc();
                 let delay = self.jittered_backoff(retry - 1);
+                self.telemetry
+                    .registry()
+                    .counter("net.client.backoff_ns")
+                    .add(delay.as_nanos() as u64);
                 std::thread::sleep(delay);
             }
-            match self.fetch_once(url) {
+            match self.fetch_once(url, trace) {
                 Ok(ok) => return Ok(ok),
                 Err(e) if e.is_retryable() => {
                     // The connection is suspect (dropped, or the server
                     // turned us away at the door); rebuild it next try.
                     self.conn = None;
+                    if e.is_overload() {
+                        self.telemetry
+                            .registry()
+                            .counter("net.client.overloads")
+                            .inc();
+                    }
                     last = Some(e);
                 }
                 Err(e) => return Err(e),
             }
         }
+        self.telemetry
+            .registry()
+            .counter("net.client.exhausted")
+            .inc();
         Err(NetError::Exhausted(Box::new(
             last.unwrap_or(NetError::Protocol("no attempts made".into())),
         )))
@@ -335,8 +403,23 @@ impl NetClassProvider {
     /// instead of a same-endpoint retry loop. The suspect connection is
     /// discarded so a later attempt reconnects cleanly.
     pub fn fetch_attempt(&mut self, url: &str) -> Result<(Vec<u8>, NetTransfer), NetError> {
+        self.fetch_attempt_traced(url, None)
+    }
+
+    /// [`NetClassProvider::fetch_attempt`] carrying an existing trace
+    /// context (the cluster client roots the trace itself so failover
+    /// hops across shards stay in one trace).
+    pub fn fetch_attempt_traced(
+        &mut self,
+        url: &str,
+        trace: Option<TraceContext>,
+    ) -> Result<(Vec<u8>, NetTransfer), NetError> {
         self.stats.requests += 1;
-        match self.fetch_once(url) {
+        self.telemetry
+            .registry()
+            .counter("net.client.requests")
+            .inc();
+        match self.fetch_once(url, trace) {
             Ok(ok) => Ok(ok),
             Err(e) => {
                 if e.is_retryable() {
@@ -347,7 +430,11 @@ impl NetClassProvider {
         }
     }
 
-    fn fetch_once(&mut self, url: &str) -> Result<(Vec<u8>, NetTransfer), NetError> {
+    fn fetch_once(
+        &mut self,
+        url: &str,
+        trace: Option<TraceContext>,
+    ) -> Result<(Vec<u8>, NetTransfer), NetError> {
         if self.conn.is_none() {
             self.connect()?;
         }
@@ -360,6 +447,7 @@ impl NetClassProvider {
             session: conn.session,
             url: url.to_owned(),
             native_format,
+            trace,
         }
         .write_to(&mut conn.stream)?;
         match Frame::read_from(&mut conn.stream)? {
@@ -422,6 +510,69 @@ impl ClassProvider for NetClassProvider {
     }
 }
 
+/// Pulls a live server's telemetry over the stats plane: connect,
+/// handshake, send one `STATS_REQUEST`, decode the `STATS_RESPONSE`.
+///
+/// Any client of the wire protocol can do this against any
+/// `ProxyServer` — it is how the fleet console and the cluster's
+/// aggregation observe shards they did not start.
+pub fn fetch_stats(
+    addr: impl ToSocketAddrs,
+    hello: Hello,
+    config: NetConfig,
+    include_spans: bool,
+) -> Result<StatsReport, NetError> {
+    let addr = addr
+        .to_socket_addrs()
+        .map_err(NetError::from)?
+        .next()
+        .ok_or_else(|| {
+            NetError::Io(
+                std::io::ErrorKind::AddrNotAvailable,
+                "no address resolved".into(),
+            )
+        })?;
+    let mut stream = TcpStream::connect_timeout(&addr, config.connect_timeout)?;
+    stream.set_read_timeout(Some(config.read_timeout))?;
+    stream.set_write_timeout(Some(config.write_timeout))?;
+    let _ = stream.set_nodelay(true);
+    Frame::Hello(hello).write_to(&mut stream)?;
+    match Frame::read_from(&mut stream)? {
+        Frame::Welcome { .. } => {}
+        Frame::Error { code, message, .. } => return Err(NetError::Remote { code, message }),
+        other => {
+            return Err(NetError::Protocol(format!(
+                "expected WELCOME, got {other:?}"
+            )))
+        }
+    }
+    Frame::StatsRequest {
+        request_id: 1,
+        include_spans,
+    }
+    .write_to(&mut stream)?;
+    let report = match Frame::read_from(&mut stream)? {
+        Frame::StatsResponse { request_id, report } => {
+            if request_id != 1 {
+                return Err(NetError::Protocol(format!(
+                    "stats response id {request_id}, expected 1"
+                )));
+            }
+            StatsReport::decode(&report)
+                .map_err(|e| NetError::Protocol(format!("undecodable stats report: {e}")))?
+        }
+        Frame::Error { code, message, .. } => return Err(NetError::Remote { code, message }),
+        other => {
+            return Err(NetError::Protocol(format!(
+                "expected STATS_RESPONSE, got {other:?}"
+            )))
+        }
+    };
+    let _ = Frame::Bye.write_to(&mut stream);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    Ok(report)
+}
+
 impl Drop for NetClassProvider {
     fn drop(&mut self) {
         self.close();
@@ -433,7 +584,10 @@ impl Drop for NetClassProvider {
 ///
 /// Delivery is fire-and-forget: a failed send triggers one reconnect
 /// attempt and otherwise increments [`RemoteConsole::dropped`], because
-/// auditing must never stall the mutator.
+/// auditing must never stall the mutator. Drops are *not* silent: each
+/// one counts into the `audit_dropped_total` telemetry counter, and the
+/// first failure on any given connection is logged to stderr so an
+/// operator learns the audit trail has a hole without grepping metrics.
 pub struct RemoteConsole {
     addr: SocketAddr,
     hello: Hello,
@@ -441,6 +595,10 @@ pub struct RemoteConsole {
     conn: Option<Conn>,
     sent: u64,
     dropped: u64,
+    telemetry: Arc<Telemetry>,
+    /// True once this connection's first delivery failure was logged
+    /// (reset on reconnect, so each connection logs at most once).
+    failure_logged: bool,
 }
 
 impl std::fmt::Debug for RemoteConsole {
@@ -471,6 +629,7 @@ impl RemoteConsole {
                     "no address resolved".into(),
                 )
             })?;
+        let telemetry = Arc::new(Telemetry::new(&format!("audit:{}", hello.user)));
         let mut console = RemoteConsole {
             addr,
             hello,
@@ -478,9 +637,23 @@ impl RemoteConsole {
             conn: None,
             sent: 0,
             dropped: 0,
+            telemetry,
+            failure_logged: false,
         };
         console.reconnect()?;
         Ok(console)
+    }
+
+    /// This console's telemetry plane (`audit_dropped_total` lives
+    /// here).
+    pub fn telemetry(&self) -> Arc<Telemetry> {
+        self.telemetry.clone()
+    }
+
+    /// Shares an externally owned telemetry plane so audit-drop counts
+    /// land beside the owning client's other metrics.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.telemetry = telemetry;
     }
 
     fn reconnect(&mut self) -> Result<(), NetError> {
@@ -499,6 +672,7 @@ impl RemoteConsole {
             }
         }
         self.conn = Some(conn);
+        self.failure_logged = false;
         Ok(())
     }
 
@@ -548,11 +722,25 @@ impl AuditSink for RemoteConsole {
             self.sent += 1;
             return;
         }
-        // One reconnect attempt, then drop the event.
+        // One reconnect attempt, then drop the event — but never
+        // silently: the drop is counted where the stats plane can see
+        // it, and the first failure per connection reaches stderr.
         if self.reconnect().is_ok() && self.try_send(site, kind) {
             self.sent += 1;
         } else {
             self.dropped += 1;
+            self.telemetry
+                .registry()
+                .counter("audit_dropped_total")
+                .inc();
+            if !self.failure_logged {
+                self.failure_logged = true;
+                eprintln!(
+                    "dvm-net: audit event dropped (site {}, console {} unreachable); \
+                     further drops on this connection are counted silently",
+                    site.0, self.addr
+                );
+            }
         }
     }
 }
@@ -579,6 +767,42 @@ mod tests {
         // 127.0.0.1:1 never answers; the connection is lazy, so a
         // provider can be built without a live server.
         NetClassProvider::new("127.0.0.1:1", hello, None, config).unwrap()
+    }
+
+    #[test]
+    fn audit_drops_are_counted_not_silent() {
+        // A one-shot console: handshakes once, then disappears.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            match Frame::read_from(&mut s).unwrap() {
+                Frame::Hello(_) => {}
+                other => panic!("expected HELLO, got {other:?}"),
+            }
+            Frame::Welcome { session: 7 }.write_to(&mut s).unwrap();
+            s
+        });
+        let mut console =
+            RemoteConsole::connect(addr, Hello::default(), NetConfig::default()).unwrap();
+        assert_eq!(console.session(), Some(7));
+        drop(server.join().unwrap()); // server stream AND listener gone
+
+        // TCP death is detected lazily: early sends may land in the
+        // socket buffer. Keep recording until the failed send (and the
+        // failed reconnect behind it) registers as a drop.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while console.dropped() == 0 && std::time::Instant::now() < deadline {
+            console.record(SiteId(1), EventKind::Enter);
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(console.dropped() >= 1, "drop never registered");
+        let snap = console.telemetry().registry().snapshot();
+        assert_eq!(
+            snap.counters.get("audit_dropped_total").copied(),
+            Some(console.dropped()),
+            "counter disagrees with the console's own accounting"
+        );
     }
 
     #[test]

@@ -23,6 +23,7 @@ use std::io::{self, Read, Write};
 
 use dvm_monitor::EventKind;
 use dvm_proxy::ServedFrom;
+use dvm_telemetry::{SpanId, TraceContext, TraceId};
 
 /// Upper bound on `len` (tag + payload): 16 MiB, comfortably above the
 /// largest signed applet while rejecting nonsense lengths early.
@@ -39,6 +40,8 @@ mod tag {
     pub const BYE: u8 = 0x07;
     pub const PEER_GET: u8 = 0x08;
     pub const PEER_PUT: u8 = 0x09;
+    pub const STATS_REQUEST: u8 = 0x0A;
+    pub const STATS_RESPONSE: u8 = 0x0B;
 }
 
 /// Typed error codes carried by [`Frame::Error`].
@@ -145,6 +148,10 @@ pub enum Frame {
         url: String,
         /// Native-format descriptor (ahead-of-time compilation hint).
         native_format: String,
+        /// Distributed-trace context: present when the client wants the
+        /// server's spans stitched into its trace. Optional on the wire
+        /// (a flag byte), so untraced requests cost two extra bytes.
+        trace: Option<TraceContext>,
     },
     /// Server → client: the rewritten (and possibly signed) bytes.
     CodeResponse {
@@ -192,6 +199,24 @@ pub enum Frame {
         url: String,
         /// The signed rewrite output.
         bytes: Vec<u8>,
+    },
+    /// Any client → server: pull the server's live telemetry (the stats
+    /// plane). Answered with `STATS_RESPONSE`.
+    StatsRequest {
+        /// Sender-chosen id echoed in the response.
+        request_id: u32,
+        /// When false, the server omits the span dump (metrics only) —
+        /// cheap enough to poll.
+        include_spans: bool,
+    },
+    /// Server → client: the serialized `dvm_telemetry::StatsReport` for
+    /// this server's node. Opaque bytes at the frame layer so the wire
+    /// protocol does not re-state the report grammar.
+    StatsResponse {
+        /// Echo of the request id.
+        request_id: u32,
+        /// `StatsReport::encode()` output.
+        report: Vec<u8>,
     },
     /// Either direction: orderly shutdown of the connection.
     Bye,
@@ -371,12 +396,21 @@ impl Frame {
                 session,
                 url,
                 native_format,
+                trace,
             } => {
                 body.push(tag::CODE_REQUEST);
                 put_u32(&mut body, *request_id);
                 put_u64(&mut body, *session);
                 put_str(&mut body, url);
                 put_str(&mut body, native_format);
+                match trace {
+                    Some(t) => {
+                        body.push(1);
+                        put_u64(&mut body, t.trace.0);
+                        put_u64(&mut body, t.parent.0);
+                    }
+                    None => body.push(0),
+                }
             }
             Frame::CodeResponse {
                 request_id,
@@ -420,6 +454,19 @@ impl Frame {
                 put_str(&mut body, url);
                 put_bytes(&mut body, bytes);
             }
+            Frame::StatsRequest {
+                request_id,
+                include_spans,
+            } => {
+                body.push(tag::STATS_REQUEST);
+                put_u32(&mut body, *request_id);
+                body.push(u8::from(*include_spans));
+            }
+            Frame::StatsResponse { request_id, report } => {
+                body.push(tag::STATS_RESPONSE);
+                put_u32(&mut body, *request_id);
+                put_bytes(&mut body, report);
+            }
             Frame::Bye => body.push(tag::BYE),
         }
         debug_assert!(body.len() <= MAX_FRAME_LEN);
@@ -442,12 +489,27 @@ impl Frame {
                 jvm_version: c.string()?,
             }),
             tag::WELCOME => Frame::Welcome { session: c.u64()? },
-            tag::CODE_REQUEST => Frame::CodeRequest {
-                request_id: c.u32()?,
-                session: c.u64()?,
-                url: c.string()?,
-                native_format: c.string()?,
-            },
+            tag::CODE_REQUEST => {
+                let request_id = c.u32()?;
+                let session = c.u64()?;
+                let url = c.string()?;
+                let native_format = c.string()?;
+                let trace = match c.u8()? {
+                    0 => None,
+                    1 => Some(TraceContext {
+                        trace: TraceId(c.u64()?),
+                        parent: SpanId(c.u64()?),
+                    }),
+                    other => return Err(FrameError::malformed(format!("trace flag {other}"))),
+                };
+                Frame::CodeRequest {
+                    request_id,
+                    session,
+                    url,
+                    native_format,
+                    trace,
+                }
+            }
             tag::CODE_RESPONSE => Frame::CodeResponse {
                 request_id: c.u32()?,
                 served_from: served_from_from_u8(c.u8()?)?,
@@ -479,6 +541,22 @@ impl Frame {
             tag::PEER_PUT => Frame::PeerPut {
                 url: c.string()?,
                 bytes: c.bytes()?,
+            },
+            tag::STATS_REQUEST => {
+                let request_id = c.u32()?;
+                let include_spans = match c.u8()? {
+                    0 => false,
+                    1 => true,
+                    other => return Err(FrameError::malformed(format!("stats flag {other}"))),
+                };
+                Frame::StatsRequest {
+                    request_id,
+                    include_spans,
+                }
+            }
+            tag::STATS_RESPONSE => Frame::StatsResponse {
+                request_id: c.u32()?,
+                report: c.bytes()?,
             },
             tag::BYE => Frame::Bye,
             other => return Err(FrameError::UnknownTag(other)),
@@ -563,6 +641,17 @@ mod tests {
                 session: 42,
                 url: "class://demo/App".into(),
                 native_format: "x86".into(),
+                trace: None,
+            },
+            Frame::CodeRequest {
+                request_id: 8,
+                session: 42,
+                url: "class://demo/App".into(),
+                native_format: "x86".into(),
+                trace: Some(TraceContext {
+                    trace: TraceId(0xDEAD_BEEF),
+                    parent: SpanId(0x1234),
+                }),
             },
             Frame::CodeResponse {
                 request_id: 7,
@@ -598,6 +687,18 @@ mod tests {
                 served_from: ServedFrom::Peer,
                 processing_ns: 0,
                 bytes: vec![1],
+            },
+            Frame::StatsRequest {
+                request_id: 11,
+                include_spans: true,
+            },
+            Frame::StatsRequest {
+                request_id: 12,
+                include_spans: false,
+            },
+            Frame::StatsResponse {
+                request_id: 11,
+                report: vec![1, 0, 0, 0, 0, 0],
             },
             Frame::Bye,
         ]

@@ -11,7 +11,7 @@
 //! request is observed promptly; [`ProxyServer::shutdown`] joins every
 //! thread before returning — no leaked connections.
 
-use std::io::Read;
+use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -22,6 +22,7 @@ use parking_lot::Mutex;
 
 use dvm_monitor::{AdminConsole, ClientDescription, SessionId, SiteId};
 use dvm_proxy::{CacheTier, Proxy, ProxyError, RequestContext, ServedFrom};
+use dvm_telemetry::{Counter, Gauge, Histogram, SpanId, Telemetry, TraceContext};
 
 use crate::frame::{kind_from_u8, ErrorCode, Frame, FrameError, Hello};
 use crate::sema::Semaphore;
@@ -86,6 +87,39 @@ pub struct ServerStats {
     pub peer_puts: u64,
 }
 
+/// Pre-registered wire-layer telemetry handles (the proxy's plane is
+/// shared: server and proxy report as one node).
+struct ServerMetrics {
+    frames_in: Arc<Counter>,
+    frames_out: Arc<Counter>,
+    bytes_in: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+    live_connections: Arc<Gauge>,
+    overload_rejects: Arc<Counter>,
+    malformed: Arc<Counter>,
+    audit_events: Arc<Counter>,
+    stats_requests: Arc<Counter>,
+    serve_ns: Arc<Histogram>,
+}
+
+impl ServerMetrics {
+    fn register(telemetry: &Telemetry) -> ServerMetrics {
+        let r = telemetry.registry();
+        ServerMetrics {
+            frames_in: r.counter("net.server.frames_in"),
+            frames_out: r.counter("net.server.frames_out"),
+            bytes_in: r.counter("net.server.bytes_in"),
+            bytes_out: r.counter("net.server.bytes_out"),
+            live_connections: r.gauge("net.server.live_connections"),
+            overload_rejects: r.counter("net.server.overload_rejects"),
+            malformed: r.counter("net.server.malformed"),
+            audit_events: r.counter("net.server.audit_events"),
+            stats_requests: r.counter("net.server.stats_requests"),
+            serve_ns: r.histogram("net.server.serve_ns"),
+        }
+    }
+}
+
 struct Inner {
     proxy: Arc<Proxy>,
     console: Option<Arc<Mutex<AdminConsole>>>,
@@ -97,6 +131,18 @@ struct Inner {
     anon_sessions: AtomicU64,
     live: AtomicUsize,
     conns: Mutex<Vec<JoinHandle<()>>>,
+    telemetry: Arc<Telemetry>,
+    metrics: ServerMetrics,
+}
+
+impl Inner {
+    /// Writes `frame`, counting it and its bytes on the wire.
+    fn send(&self, writer: &mut TcpStream, frame: &Frame) -> bool {
+        let encoded = frame.encode();
+        self.metrics.frames_out.inc();
+        self.metrics.bytes_out.add(encoded.len() as u64);
+        writer.write_all(&encoded).is_ok()
+    }
 }
 
 /// The DVM proxy behind a live TCP socket.
@@ -128,6 +174,8 @@ impl ProxyServer {
     ) -> std::io::Result<ProxyServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let telemetry = proxy.telemetry();
+        let metrics = ServerMetrics::register(&telemetry);
         let inner = Arc::new(Inner {
             proxy,
             console,
@@ -139,6 +187,8 @@ impl ProxyServer {
             anon_sessions: AtomicU64::new(1),
             live: AtomicUsize::new(0),
             conns: Mutex::new(Vec::new()),
+            telemetry,
+            metrics,
         });
         let accept_inner = inner.clone();
         let accept = std::thread::Builder::new()
@@ -159,6 +209,12 @@ impl ProxyServer {
     /// Snapshot of the aggregate statistics.
     pub fn stats(&self) -> ServerStats {
         *self.inner.stats.lock()
+    }
+
+    /// The telemetry plane this server reports into (shared with its
+    /// proxy, so proxy and wire metrics land in one `StatsReport`).
+    pub fn telemetry(&self) -> Arc<Telemetry> {
+        self.inner.telemetry.clone()
     }
 
     /// Connections currently being served.
@@ -218,6 +274,7 @@ fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
         // fail over to another shard).
         let Some(permit) = inner.sema.try_acquire_owned() else {
             inner.stats.lock().overload_rejects += 1;
+            inner.metrics.overload_rejects.inc();
             // A short-lived detached thread drains the handshake and
             // delivers the rejection so the accept loop never stalls on
             // a slow peer.
@@ -231,12 +288,14 @@ fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
         }
         inner.stats.lock().connections += 1;
         inner.live.fetch_add(1, Ordering::SeqCst);
+        inner.metrics.live_connections.add(1);
         let conn_inner = inner.clone();
         let handle = std::thread::Builder::new()
             .name("dvm-net-conn".into())
             .spawn(move || {
                 serve_connection(stream, &conn_inner);
                 conn_inner.live.fetch_sub(1, Ordering::SeqCst);
+                conn_inner.metrics.live_connections.add(-1);
                 drop(permit);
             });
         match handle {
@@ -256,6 +315,7 @@ fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
             }
             Err(_) => {
                 inner.live.fetch_sub(1, Ordering::SeqCst);
+                inner.metrics.live_connections.add(-1);
             }
         }
     }
@@ -274,6 +334,7 @@ fn reject_overloaded(stream: TcpStream) {
             Err(_) => return,
         },
         buf: Vec::new(),
+        bytes_in: None,
     };
     let _ = reader.poll_frame();
     let _ = Frame::Error {
@@ -290,6 +351,8 @@ fn reject_overloaded(stream: TcpStream) {
 struct FrameReader {
     stream: TcpStream,
     buf: Vec<u8>,
+    /// When set, every byte read off the socket is counted here.
+    bytes_in: Option<Arc<Counter>>,
 }
 
 impl FrameReader {
@@ -307,7 +370,12 @@ impl FrameReader {
                         "connection closed".into(),
                     ))
                 }
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Ok(n) => {
+                    if let Some(c) = &self.bytes_in {
+                        c.add(n as u64);
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
                 Err(e)
                     if e.kind() == std::io::ErrorKind::WouldBlock
                         || e.kind() == std::io::ErrorKind::TimedOut =>
@@ -331,6 +399,7 @@ fn serve_connection(stream: TcpStream, inner: &Inner) {
     let mut reader = FrameReader {
         stream,
         buf: Vec::new(),
+        bytes_in: Some(inner.metrics.bytes_in.clone()),
     };
     let mut hello: Option<Hello> = None;
 
@@ -341,15 +410,19 @@ fn serve_connection(stream: TcpStream, inner: &Inner) {
             Err(FrameError::Io(..)) => break,
             Err(e) => {
                 inner.stats.lock().malformed += 1;
-                let _ = Frame::Error {
-                    request_id: 0,
-                    code: ErrorCode::Malformed,
-                    message: e.to_string(),
-                }
-                .write_to(&mut writer);
+                inner.metrics.malformed.inc();
+                let _ = inner.send(
+                    &mut writer,
+                    &Frame::Error {
+                        request_id: 0,
+                        code: ErrorCode::Malformed,
+                        message: e.to_string(),
+                    },
+                );
                 break;
             }
         };
+        inner.metrics.frames_in.inc();
         match frame {
             Frame::Hello(h) => {
                 let session = match &inner.console {
@@ -367,12 +440,15 @@ fn serve_connection(stream: TcpStream, inner: &Inner) {
                     None => inner.anon_sessions.fetch_add(1, Ordering::SeqCst),
                 };
                 hello = Some(h);
-                if (Frame::Welcome { session }).write_to(&mut writer).is_err() {
+                if !inner.send(&mut writer, &Frame::Welcome { session }) {
                     break;
                 }
             }
             Frame::CodeRequest {
-                request_id, url, ..
+                request_id,
+                url,
+                trace,
+                ..
             } => {
                 inner.stats.lock().requests += 1;
                 if let Some(FaultPlan::DropEveryNthRequest(n)) = inner.config.fault {
@@ -383,6 +459,12 @@ fn serve_connection(stream: TcpStream, inner: &Inner) {
                         break;
                     }
                 }
+                // A traced request gets a "shard.serve" span covering
+                // the whole server-side handling; its id is allocated
+                // now so the proxy's spans parent under it.
+                let recorder = inner.telemetry.recorder();
+                let serve_start = recorder.now_ns();
+                let serve_span = trace.map(|t| (t, SpanId::generate()));
                 let ctx = RequestContext {
                     client: hello.as_ref().map(|h| h.user.clone()).unwrap_or_default(),
                     principal: hello
@@ -390,6 +472,10 @@ fn serve_connection(stream: TcpStream, inner: &Inner) {
                         .map(|h| h.principal.clone())
                         .unwrap_or_default(),
                     url: url.clone(),
+                    trace: serve_span.map(|(t, id)| TraceContext {
+                        trace: t.trace,
+                        parent: id,
+                    }),
                 };
                 let reply = match inner.proxy.handle_request_detailed(&url, &ctx) {
                     Ok(response) => {
@@ -415,7 +501,19 @@ fn serve_connection(stream: TcpStream, inner: &Inner) {
                         }
                     }
                 };
-                if reply.write_to(&mut writer).is_err() {
+                let serve_duration = recorder.now_ns().saturating_sub(serve_start);
+                inner.metrics.serve_ns.record(serve_duration);
+                if let Some((t, id)) = serve_span {
+                    recorder.record_span(
+                        t.trace,
+                        id,
+                        t.parent,
+                        "shard.serve",
+                        serve_start,
+                        serve_duration,
+                    );
+                }
+                if !inner.send(&mut writer, &reply) {
                     break;
                 }
             }
@@ -431,6 +529,7 @@ fn serve_connection(stream: TcpStream, inner: &Inner) {
                         .lock()
                         .record(SessionId(session), SiteId(site), kind);
                     inner.stats.lock().audit_events += 1;
+                    inner.metrics.audit_events.inc();
                 }
             }
             Frame::PeerGet { request_id, url } => {
@@ -457,7 +556,7 @@ fn serve_connection(stream: TcpStream, inner: &Inner) {
                         message: String::new(),
                     },
                 };
-                if reply.write_to(&mut writer).is_err() {
+                if !inner.send(&mut writer, &reply) {
                     break;
                 }
             }
@@ -468,16 +567,43 @@ fn serve_connection(stream: TcpStream, inner: &Inner) {
                 inner.stats.lock().peer_puts += 1;
                 inner.proxy.cache_fill(&url, bytes, CacheTier::Disk);
             }
+            Frame::StatsRequest {
+                request_id,
+                include_spans,
+            } => {
+                // The stats plane: serialize this node's live telemetry
+                // and hand it back. Reading the plane is itself counted,
+                // so pollers are visible in what they poll.
+                inner.metrics.stats_requests.inc();
+                let report = if include_spans {
+                    inner.telemetry.report()
+                } else {
+                    inner.telemetry.report_metrics_only()
+                };
+                let reply = Frame::StatsResponse {
+                    request_id,
+                    report: report.encode(),
+                };
+                if !inner.send(&mut writer, &reply) {
+                    break;
+                }
+            }
             Frame::Bye => break,
-            Frame::Welcome { .. } | Frame::CodeResponse { .. } | Frame::Error { .. } => {
+            Frame::Welcome { .. }
+            | Frame::CodeResponse { .. }
+            | Frame::Error { .. }
+            | Frame::StatsResponse { .. } => {
                 // Server-to-client frames arriving at the server.
                 inner.stats.lock().malformed += 1;
-                let _ = Frame::Error {
-                    request_id: 0,
-                    code: ErrorCode::Malformed,
-                    message: "unexpected frame direction".into(),
-                }
-                .write_to(&mut writer);
+                inner.metrics.malformed.inc();
+                let _ = inner.send(
+                    &mut writer,
+                    &Frame::Error {
+                        request_id: 0,
+                        code: ErrorCode::Malformed,
+                        message: "unexpected frame direction".into(),
+                    },
+                );
                 break;
             }
         }

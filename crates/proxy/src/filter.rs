@@ -12,6 +12,7 @@
 use std::fmt;
 
 use dvm_classfile::ClassFile;
+use dvm_telemetry::TraceContext;
 
 /// Per-request context threaded through the pipeline.
 #[derive(Debug, Clone, Default)]
@@ -22,6 +23,9 @@ pub struct RequestContext {
     pub principal: String,
     /// Source URL of the code.
     pub url: String,
+    /// Distributed-trace context, when the request arrived with one
+    /// (spans recorded while serving it parent under `trace.parent`).
+    pub trace: Option<TraceContext>,
 }
 
 /// A filter failure (converted from service errors).
@@ -114,13 +118,25 @@ impl Pipeline {
     }
 
     /// Runs the class through every filter.
-    pub fn run(
+    pub fn run(&self, class: ClassFile, ctx: &RequestContext) -> Result<ClassFile, FilterError> {
+        self.run_traced(class, ctx, &mut |_, _| {})
+    }
+
+    /// [`Pipeline::run`] with a per-stage observer: after each filter
+    /// completes, `observe(name, elapsed_ns)` is called with its
+    /// wall-clock duration. The proxy uses this to feed per-stage
+    /// latency histograms and trace spans without the pipeline knowing
+    /// anything about telemetry.
+    pub fn run_traced(
         &self,
         mut class: ClassFile,
         ctx: &RequestContext,
+        observe: &mut dyn FnMut(&str, u64),
     ) -> Result<ClassFile, FilterError> {
         for f in &self.filters {
+            let t0 = std::time::Instant::now();
             class = f.apply(class, ctx)?;
+            observe(f.name(), t0.elapsed().as_nanos() as u64);
         }
         Ok(class)
     }

@@ -9,11 +9,13 @@
 //! experiment).
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::Mutex;
 
 use dvm_classfile::ClassFile;
 use dvm_netsim::CycleModel;
+use dvm_telemetry::{Counter, Histogram, SpanId, Telemetry};
 
 use crate::cache::{CacheStats, CacheTier, RewriteCache};
 use crate::filter::{FilterError, Pipeline, RequestContext};
@@ -198,6 +200,44 @@ pub struct ProxyStats {
     pub peer_offers: u64,
 }
 
+/// Pre-registered telemetry handles for the request hot path: resolved
+/// once at wiring so recording is a relaxed atomic op, never a registry
+/// lookup.
+struct ProxyMetrics {
+    requests: Arc<Counter>,
+    errors: Arc<Counter>,
+    cache_hit_memory: Arc<Counter>,
+    cache_hit_disk: Arc<Counter>,
+    cache_miss: Arc<Counter>,
+    peer_fills: Arc<Counter>,
+    peer_offers: Arc<Counter>,
+    rewrites: Arc<Counter>,
+    rewrite_bytes_in: Arc<Counter>,
+    rewrite_bytes_out: Arc<Counter>,
+    request_ns: Arc<Histogram>,
+    origin_fetch_ns: Arc<Histogram>,
+}
+
+impl ProxyMetrics {
+    fn register(telemetry: &Telemetry) -> ProxyMetrics {
+        let r = telemetry.registry();
+        ProxyMetrics {
+            requests: r.counter("proxy.requests"),
+            errors: r.counter("proxy.errors"),
+            cache_hit_memory: r.counter("proxy.cache.hit.memory"),
+            cache_hit_disk: r.counter("proxy.cache.hit.disk"),
+            cache_miss: r.counter("proxy.cache.miss"),
+            peer_fills: r.counter("proxy.peer.fills"),
+            peer_offers: r.counter("proxy.peer.offers"),
+            rewrites: r.counter("proxy.rewrites"),
+            rewrite_bytes_in: r.counter("proxy.rewrite.bytes_in"),
+            rewrite_bytes_out: r.counter("proxy.rewrite.bytes_out"),
+            request_ns: r.histogram("proxy.request_ns"),
+            origin_fetch_ns: r.histogram("proxy.origin.fetch_ns"),
+        }
+    }
+}
+
 /// The proxy.
 pub struct Proxy {
     origin: Box<dyn CodeOrigin>,
@@ -209,6 +249,8 @@ pub struct Proxy {
     peer: parking_lot::RwLock<Option<Arc<dyn PeerCache>>>,
     audit: Mutex<Vec<ProxyAuditRecord>>,
     stats: Mutex<ProxyStats>,
+    telemetry: Arc<Telemetry>,
+    metrics: ProxyMetrics,
 }
 
 impl std::fmt::Debug for Proxy {
@@ -233,6 +275,9 @@ impl Proxy {
         caching: bool,
         signer: Option<Signer>,
     ) -> Proxy {
+        let telemetry = Arc::new(Telemetry::new("proxy"));
+        telemetry.recorder().set_node("proxy");
+        let metrics = ProxyMetrics::register(&telemetry);
         Proxy {
             origin,
             pipeline,
@@ -243,6 +288,8 @@ impl Proxy {
             peer: parking_lot::RwLock::new(None),
             audit: Mutex::new(Vec::new()),
             stats: Mutex::new(ProxyStats::default()),
+            telemetry,
+            metrics,
         }
     }
 
@@ -263,6 +310,22 @@ impl Proxy {
     pub fn with_rewrite_cost(mut self, cost: RewriteCost) -> Proxy {
         self.rewrite_cost = cost;
         self
+    }
+
+    /// Replaces the telemetry plane (builder style). Used to rename a
+    /// shard's plane (`"shard0"`, `"shard1"`, …) or to share one plane
+    /// between components that should report as one node.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Proxy {
+        telemetry.recorder().set_node(telemetry.node());
+        self.metrics = ProxyMetrics::register(&telemetry);
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// This proxy's telemetry plane (servers answer `STATS_REQUEST`
+    /// frames from it).
+    pub fn telemetry(&self) -> Arc<Telemetry> {
+        self.telemetry.clone()
     }
 
     /// The active rewrite-cost model.
@@ -287,12 +350,49 @@ impl Proxy {
         url: &str,
         ctx: &RequestContext,
     ) -> Result<ServedResponse, ProxyError> {
+        let wall = Instant::now();
+        self.metrics.requests.inc();
+        // When the request carries a trace, the whole serve is one
+        // "proxy.handle" span; its id is allocated up front so the
+        // per-stage and origin-fetch child spans can parent under it.
+        let handle = ctx
+            .trace
+            .map(|t| (t, SpanId::generate(), self.telemetry.recorder().now_ns()));
+        let result = self.serve(url, ctx, handle.map(|(t, id, _)| (t.trace, id)));
+        if result.is_err() {
+            self.metrics.errors.inc();
+        }
+        self.metrics
+            .request_ns
+            .record(wall.elapsed().as_nanos() as u64);
+        if let Some((t, id, start)) = handle {
+            let rec = self.telemetry.recorder();
+            let duration = rec.now_ns().saturating_sub(start);
+            rec.record_span(t.trace, id, t.parent, "proxy.handle", start, duration);
+        }
+        result
+    }
+
+    /// The serve path proper; `span` is `(trace, parent-for-children)`
+    /// when the request is traced.
+    fn serve(
+        &self,
+        url: &str,
+        ctx: &RequestContext,
+        span: Option<(dvm_telemetry::TraceId, SpanId)>,
+    ) -> Result<ServedResponse, ProxyError> {
         self.stats.lock().requests += 1;
         if self.caching {
             if let Some((bytes, tier)) = self.cache.lock().get(url) {
                 let served_from = match tier {
-                    CacheTier::Memory => ServedFrom::MemoryCache,
-                    CacheTier::Disk => ServedFrom::DiskCache,
+                    CacheTier::Memory => {
+                        self.metrics.cache_hit_memory.inc();
+                        ServedFrom::MemoryCache
+                    }
+                    CacheTier::Disk => {
+                        self.metrics.cache_hit_disk.inc();
+                        ServedFrom::DiskCache
+                    }
                 };
                 self.finish(url, ctx, &bytes, served_from, 0);
                 return Ok(ServedResponse {
@@ -301,6 +401,7 @@ impl Proxy {
                     processing_ns: 0,
                 });
             }
+            self.metrics.cache_miss.inc();
         }
 
         // Local miss: before paying the rewrite cost, ask the url's home
@@ -310,6 +411,7 @@ impl Proxy {
             if let Some(peer) = peer {
                 if let Some(bytes) = peer.fetch_from_home(url) {
                     self.stats.lock().peer_fills += 1;
+                    self.metrics.peer_fills.inc();
                     // Hot here (a client just asked), so fill the memory
                     // tier — unlike unsolicited offers, which land on disk.
                     self.cache
@@ -325,15 +427,49 @@ impl Proxy {
             }
         }
 
+        let recorder = self.telemetry.recorder();
+        let fetch_start = recorder.now_ns();
         let original = self
             .origin
             .fetch(url)
             .ok_or_else(|| ProxyError::NotFound(url.to_owned()))?;
+        let fetch_ns = recorder.now_ns().saturating_sub(fetch_start);
+        self.metrics.origin_fetch_ns.record(fetch_ns);
+        if let Some((trace, parent)) = span {
+            recorder.record_span(
+                trace,
+                SpanId::generate(),
+                parent,
+                "origin.fetch",
+                fetch_start,
+                fetch_ns,
+            );
+        }
         self.stats.lock().bytes_fetched += original.len() as u64;
+        self.metrics.rewrite_bytes_in.add(original.len() as u64);
 
         // Parse once for all static services.
         let class = ClassFile::parse(&original).map_err(|e| ProxyError::Parse(e.to_string()))?;
-        let mut rewritten = self.pipeline.run(class, ctx).map_err(ProxyError::Filter)?;
+        let registry = self.telemetry.registry();
+        let mut rewritten = self
+            .pipeline
+            .run_traced(class, ctx, &mut |stage, elapsed_ns| {
+                registry
+                    .histogram(&format!("proxy.stage.{stage}_ns"))
+                    .record(elapsed_ns);
+                if let Some((trace, parent)) = span {
+                    let end = recorder.now_ns();
+                    recorder.record_span(
+                        trace,
+                        SpanId::generate(),
+                        parent,
+                        &format!("stage.{stage}"),
+                        end.saturating_sub(elapsed_ns),
+                        elapsed_ns,
+                    );
+                }
+            })
+            .map_err(ProxyError::Filter)?;
         // Generate once.
         let mut bytes = rewritten
             .to_bytes()
@@ -348,6 +484,8 @@ impl Proxy {
             s.rewrites += 1;
             s.rewrite_ns += elapsed;
         }
+        self.metrics.rewrites.inc();
+        self.metrics.rewrite_bytes_out.add(bytes.len() as u64);
         if self.caching {
             self.cache.lock().put(url.to_owned(), bytes.clone());
             let peer = self.peer.read().clone();
@@ -356,6 +494,7 @@ impl Proxy {
                 // push the result to the url's home shard.
                 if peer.offer_to_home(url, &bytes) {
                     self.stats.lock().peer_offers += 1;
+                    self.metrics.peer_offers.inc();
                 }
             }
         }
@@ -640,6 +779,49 @@ mod tests {
         assert_eq!(tier, crate::cache::CacheTier::Disk);
         // Peer traffic leaves the local hit/miss accounting untouched.
         assert_eq!(proxy.cache_stats(), crate::cache::CacheStats::default());
+    }
+
+    #[test]
+    fn traced_request_records_spans_and_counters() {
+        use dvm_telemetry::{TraceContext, TraceId};
+        let proxy = Proxy::new(
+            Box::new(origin_with("t/T", "u")),
+            null_pipeline(),
+            1 << 20,
+            true,
+            None,
+        );
+        let trace = TraceId::generate();
+        let ctx = RequestContext {
+            trace: Some(TraceContext {
+                trace,
+                parent: SpanId::NONE,
+            }),
+            ..Default::default()
+        };
+        proxy.handle_request("u", &ctx).unwrap();
+        proxy.handle_request("u", &ctx).unwrap();
+
+        let spans = proxy.telemetry().recorder().for_trace(trace);
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        // Rewrite: origin fetch + one stage + the handle wrapper; the
+        // cache hit adds a second handle span.
+        assert!(names.contains(&"origin.fetch"), "{names:?}");
+        assert!(names.contains(&"stage.null"), "{names:?}");
+        assert_eq!(names.iter().filter(|n| **n == "proxy.handle").count(), 2);
+        // Children parent under the handle span of the same trace.
+        let handle = spans.iter().find(|s| s.name == "proxy.handle").unwrap();
+        let stage = spans.iter().find(|s| s.name == "stage.null").unwrap();
+        assert_eq!(stage.parent, handle.id);
+
+        let snap = proxy.telemetry().registry().snapshot();
+        assert_eq!(snap.counter("proxy.requests"), 2);
+        assert_eq!(snap.counter("proxy.rewrites"), 1);
+        assert_eq!(snap.counter("proxy.cache.miss"), 1);
+        assert_eq!(snap.counter("proxy.cache.hit.memory"), 1);
+        assert!(snap.counter("proxy.rewrite.bytes_in") > 0);
+        assert_eq!(snap.histograms["proxy.request_ns"].count, 2);
+        assert_eq!(snap.histograms["proxy.stage.null_ns"].count, 1);
     }
 
     #[test]

@@ -1,0 +1,277 @@
+//! Distributed request tracing: ids, spans, and the flight recorder.
+//!
+//! A trace is born at the client (one [`TraceId`] per logical fetch),
+//! carried across the wire in the frame protocol's optional trace field,
+//! and materialized as [`Span`]s recorded wherever work happens — the
+//! client's fetch, the cluster client's ring route, the shard's serve
+//! loop, each proxy pipeline stage, the origin fetch. Every process
+//! keeps its recent spans in a fixed-size [`FlightRecorder`] ring
+//! buffer; the stats plane dumps them on demand and a reader joins the
+//! per-node dumps on `TraceId` to reconstruct end-to-end request
+//! anatomy.
+//!
+//! Span timestamps are nanoseconds on the recorder's own monotonic
+//! clock ([`FlightRecorder::now_ns`]). Clocks are *not* synchronized
+//! across processes — within one node spans nest exactly; across nodes
+//! only durations and parent/child edges are meaningful. That is the
+//! honest contract of real distributed tracing, reproduced here.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// Default flight-recorder capacity, in spans.
+pub const DEFAULT_RECORDER_CAPACITY: usize = 4096;
+
+/// SplitMix64: the id mixer (also used by the cluster's hash ring).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Process-global id source: a counter mixed through SplitMix64, seeded
+/// once from the wall clock so two processes on one host do not collide.
+fn next_id() -> u64 {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    static SEED: AtomicU64 = AtomicU64::new(0);
+    let mut seed = SEED.load(Ordering::Relaxed);
+    if seed == 0 {
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5EED);
+        // A stack address contributes per-process entropy beyond clock
+        // resolution; the race on first store is benign (either wins).
+        let local = 0u8;
+        seed = (t ^ ((&local as *const u8 as u64) << 16)) | 1;
+        SEED.store(seed, Ordering::Relaxed);
+    }
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    // Never produce the reserved 0.
+    splitmix64(seed.wrapping_add(n)) | 1
+}
+
+/// Identifies one end-to-end request across every process it touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// Generates a fresh, non-zero trace id.
+    pub fn generate() -> TraceId {
+        TraceId(next_id())
+    }
+}
+
+/// Identifies one span within a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The reserved "no parent" id (roots carry it as their parent).
+    pub const NONE: SpanId = SpanId(0);
+
+    /// Generates a fresh, non-zero span id.
+    pub fn generate() -> SpanId {
+        SpanId(next_id())
+    }
+}
+
+/// The propagated context: which trace a request belongs to and which
+/// span caused it. This is the payload of the wire protocol's optional
+/// trace field; receivers parent their spans under `parent`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The end-to-end request id.
+    pub trace: TraceId,
+    /// The span on the sending side that caused this request.
+    pub parent: SpanId,
+}
+
+/// One completed unit of traced work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Trace this span belongs to.
+    pub trace: TraceId,
+    /// This span's id.
+    pub id: SpanId,
+    /// Causal parent ([`SpanId::NONE`] for roots).
+    pub parent: SpanId,
+    /// Operation name, e.g. `"proxy.stage.verify"`.
+    pub name: String,
+    /// Node that recorded the span (stamped by the recorder).
+    pub node: String,
+    /// Start, in nanoseconds on the recording node's monotonic clock.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub duration_ns: u64,
+}
+
+/// A fixed-size ring buffer of recent spans: always-on tracing whose
+/// memory is bounded no matter how long the process runs. When full, the
+/// oldest span is evicted and counted in [`FlightRecorder::dropped`].
+#[derive(Debug)]
+pub struct FlightRecorder {
+    node: Mutex<String>,
+    epoch: Instant,
+    ring: Mutex<VecDeque<Span>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder retaining up to `capacity` spans.
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            node: Mutex::new(String::new()),
+            epoch: Instant::now(),
+            ring: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 1 << 16))),
+            capacity: capacity.max(1),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Names the node stamped on recorded spans (set once at wiring).
+    pub fn set_node(&self, node: &str) {
+        *self.node.lock() = node.to_owned();
+    }
+
+    /// Nanoseconds since this recorder's epoch (monotonic). Span starts
+    /// and the durations derived from them use this clock.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Records a completed span with an explicit id (allocate the id
+    /// first with [`SpanId::generate`] when children must reference it
+    /// before the parent finishes).
+    pub fn record_span(
+        &self,
+        trace: TraceId,
+        id: SpanId,
+        parent: SpanId,
+        name: &str,
+        start_ns: u64,
+        duration_ns: u64,
+    ) {
+        let span = Span {
+            trace,
+            id,
+            parent,
+            name: name.to_owned(),
+            node: self.node.lock().clone(),
+            start_ns,
+            duration_ns,
+        };
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(span);
+    }
+
+    /// Convenience: records a span that started at `start_ns` and ends
+    /// now, under a fresh id, returning that id.
+    pub fn finish_span(&self, trace: TraceId, parent: SpanId, name: &str, start_ns: u64) -> SpanId {
+        let id = SpanId::generate();
+        let duration = self.now_ns().saturating_sub(start_ns);
+        self.record_span(trace, id, parent, name, start_ns, duration);
+        id
+    }
+
+    /// The retained window, oldest first.
+    pub fn dump(&self) -> Vec<Span> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    /// Retained spans belonging to `trace`, oldest first.
+    pub fn for_trace(&self, trace: TraceId) -> Vec<Span> {
+        self.ring
+            .lock()
+            .iter()
+            .filter(|s| s.trace == trace)
+            .cloned()
+            .collect()
+    }
+
+    /// Spans evicted to the capacity bound since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Retained span count.
+    pub fn len(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    /// True when nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.ring.lock().is_empty()
+    }
+
+    /// The recorder's capacity, in spans.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let id = TraceId::generate().0;
+            assert_ne!(id, 0);
+            assert!(seen.insert(id), "duplicate id {id}");
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let rec = FlightRecorder::new(3);
+        let t = TraceId::generate();
+        for i in 0..5u64 {
+            rec.record_span(t, SpanId(i + 1), SpanId::NONE, &format!("s{i}"), i, 1);
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.dropped(), 2);
+        let names: Vec<String> = rec.dump().into_iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["s2", "s3", "s4"]);
+    }
+
+    #[test]
+    fn for_trace_filters_and_preserves_order() {
+        let rec = FlightRecorder::new(16);
+        let a = TraceId::generate();
+        let b = TraceId::generate();
+        rec.record_span(a, SpanId(1), SpanId::NONE, "a1", 0, 1);
+        rec.record_span(b, SpanId(2), SpanId::NONE, "b1", 1, 1);
+        rec.record_span(a, SpanId(3), SpanId(1), "a2", 2, 1);
+        let spans = rec.for_trace(a);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "a1");
+        assert_eq!(spans[1].name, "a2");
+        assert_eq!(spans[1].parent, SpanId(1));
+    }
+
+    #[test]
+    fn finish_span_measures_a_nonnegative_duration() {
+        let rec = FlightRecorder::new(4);
+        rec.set_node("n");
+        let t0 = rec.now_ns();
+        let t = TraceId::generate();
+        let id = rec.finish_span(t, SpanId::NONE, "work", t0);
+        let spans = rec.dump();
+        assert_eq!(spans[0].id, id);
+        assert_eq!(spans[0].node, "n");
+        assert_eq!(spans[0].start_ns, t0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Fleet health console: the stats plane end to end.
+//!
+//! Stands up a three-shard `ProxyCluster`, drives a fleet of DVM
+//! clients through it, then plays operator: pulls every shard's
+//! `STATS_RESPONSE` over the wire, renders a fleet health table
+//! (per-shard requests, cache tiers, wire traffic, latency quantiles),
+//! prints one distributed trace as a span tree, kills a shard, and
+//! pulls again to show the collector marking it unreachable while the
+//! merged view keeps answering.
+//!
+//! ```sh
+//! cargo run --release --example stats_console
+//! ```
+
+use dvm_cluster::{collect_fleet_stats, FleetStats};
+use dvm_core::{CostModel, Organization, ServiceConfig};
+use dvm_net::{Hello, NetConfig};
+use dvm_security::Policy;
+use dvm_telemetry::{Span, SpanId};
+use dvm_workload::corpus;
+
+fn hello(user: &str) -> Hello {
+    Hello {
+        user: user.to_owned(),
+        principal: "applets".to_owned(),
+        hardware: "x86/200MHz/64MB".to_owned(),
+        native_format: "x86".to_owned(),
+        jvm_version: "dvm-repro-0.1".to_owned(),
+    }
+}
+
+/// One histogram quantile rendered in microseconds.
+fn quantile_us(report: &dvm_telemetry::StatsReport, name: &str, q: f64) -> String {
+    match report.metrics.histograms.get(name) {
+        Some(h) if h.count > 0 => format!("{:.0}", h.quantile(q) as f64 / 1_000.0),
+        _ => "-".into(),
+    }
+}
+
+fn counter(report: &dvm_telemetry::StatsReport, name: &str) -> u64 {
+    report.metrics.counters.get(name).copied().unwrap_or(0)
+}
+
+fn health_table(fleet: &FleetStats) {
+    println!(
+        "{:<8} {:<11} {:>8} {:>7} {:>7} {:>9} {:>10} {:>9} {:>9}",
+        "shard",
+        "status",
+        "requests",
+        "mem-hit",
+        "rewrite",
+        "frames-in",
+        "frames-out",
+        "p50(us)",
+        "p99(us)"
+    );
+    println!("{}", "-".repeat(88));
+    for (i, shard) in fleet.shards.iter().enumerate() {
+        match &shard.report {
+            Some(r) => println!(
+                "{:<8} {:<11} {:>8} {:>7} {:>7} {:>9} {:>10} {:>9} {:>9}",
+                format!("{} ({})", i, r.node),
+                "up",
+                counter(r, "proxy.requests"),
+                counter(r, "proxy.cache.hit.memory"),
+                counter(r, "proxy.rewrites"),
+                counter(r, "net.server.frames_in"),
+                counter(r, "net.server.frames_out"),
+                quantile_us(r, "net.server.serve_ns", 0.5),
+                quantile_us(r, "net.server.serve_ns", 0.99),
+            ),
+            None => println!(
+                "{:<8} {:<11} {}",
+                i,
+                "UNREACHABLE",
+                shard.error.as_deref().unwrap_or("?")
+            ),
+        }
+    }
+    println!(
+        "fleet:   {} shards up; merged: {} requests, {} rewrites, {} cache hits (mem+disk)\n",
+        fleet.reachable(),
+        fleet.merged.counters.get("proxy.requests").unwrap_or(&0),
+        fleet.merged.counters.get("proxy.rewrites").unwrap_or(&0),
+        fleet
+            .merged
+            .counters
+            .get("proxy.cache.hit.memory")
+            .unwrap_or(&0)
+            + fleet
+                .merged
+                .counters
+                .get("proxy.cache.hit.disk")
+                .unwrap_or(&0),
+    );
+}
+
+/// Prints `span` and its descendants as an indented tree.
+fn print_tree(spans: &[Span], parent: SpanId, depth: usize) {
+    let mut children: Vec<&Span> = spans.iter().filter(|s| s.parent == parent).collect();
+    children.sort_by_key(|s| s.start_ns);
+    for s in children {
+        println!(
+            "{:indent$}{:<28} [{}] {:.1}us",
+            "",
+            s.name,
+            s.node,
+            s.duration_ns as f64 / 1_000.0,
+            indent = depth * 2
+        );
+        print_tree(spans, s.id, depth + 1);
+    }
+}
+
+fn main() {
+    let mut applets = corpus(7);
+    applets.truncate(4);
+    let classes: Vec<_> = applets
+        .iter()
+        .flat_map(|a| a.classes.iter().cloned())
+        .collect();
+    let mut services = ServiceConfig::dvm();
+    services.signing = true;
+    let org = Organization::new(
+        &classes,
+        Policy::parse(dvm_security::policy::example_policy()).unwrap(),
+        services,
+        CostModel::default(),
+    )
+    .unwrap();
+
+    let mut cluster = org.serve_cluster(3).unwrap();
+    println!("cluster of {} shards up\n", cluster.len());
+
+    // Drive a fleet through the cluster; keep one client's telemetry so
+    // the console can show a trace rooted at the client.
+    let mut clients: Vec<_> = (0..4)
+        .map(|i| {
+            org.cluster_client(&cluster, &format!("user{i}"), "applets")
+                .unwrap()
+        })
+        .collect();
+    for (i, client) in clients.iter_mut().enumerate() {
+        client
+            .run_main(&applets[i % applets.len()].main_class)
+            .unwrap();
+    }
+
+    println!("-- fleet health (pulled over STATS_REQUEST) --");
+    let fleet = collect_fleet_stats(
+        cluster.addrs(),
+        &hello("operator"),
+        NetConfig::default(),
+        true,
+    );
+    health_table(&fleet);
+
+    // One distributed trace: the client's root span plus whatever the
+    // shards recorded under the same trace id.
+    let client_telemetry = clients[0].telemetry();
+    let client_spans = client_telemetry.recorder().dump();
+    if let Some(root) = client_spans.iter().find(|s| s.name == "cluster.fetch") {
+        let mut spans: Vec<Span> = client_spans
+            .iter()
+            .filter(|s| s.trace == root.trace)
+            .cloned()
+            .collect();
+        for shard in &fleet.shards {
+            if let Some(r) = &shard.report {
+                spans.extend(r.spans.iter().filter(|s| s.trace == root.trace).cloned());
+            }
+        }
+        println!("-- one trace ({} spans) --", spans.len());
+        print_tree(&spans, SpanId::NONE, 0);
+        println!();
+    }
+
+    // Operator's bad day: a shard dies. Fresh clients (cold VM class
+    // caches, so they really fetch) fail over to the survivors; the
+    // collector says which shard is gone.
+    cluster.kill_shard(1).unwrap();
+    for (i, a) in applets.iter().enumerate() {
+        let mut late = org
+            .cluster_client(&cluster, &format!("late{i}"), "applets")
+            .unwrap();
+        late.run_main(&a.main_class).unwrap();
+        clients.push(late);
+    }
+    println!("-- after killing shard 1 --");
+    let fleet = collect_fleet_stats(
+        cluster.addrs(),
+        &hello("operator"),
+        NetConfig {
+            connect_timeout: std::time::Duration::from_millis(300),
+            ..NetConfig::default()
+        },
+        false,
+    );
+    health_table(&fleet);
+
+    // The client-side breaker state is part of the same plane.
+    let report = clients.last().unwrap().telemetry().report();
+    println!(
+        "late client: {} fetches, {} failovers, breaker opened {} time(s), {} circuit(s) open now",
+        counter(&report, "cluster.requests"),
+        counter(&report, "cluster.failovers"),
+        counter(&report, "cluster.breaker.opened"),
+        report
+            .metrics
+            .gauges
+            .get("cluster.breaker.open_now")
+            .copied()
+            .unwrap_or(0),
+    );
+    cluster.shutdown();
+}

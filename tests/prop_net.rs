@@ -6,6 +6,7 @@ use proptest::prelude::*;
 
 use dvm_repro::net::{Frame, FrameError, Hello, MAX_FRAME_LEN};
 use dvm_repro::proxy::ServedFrom;
+use dvm_repro::telemetry::{SpanId, TraceContext, TraceId};
 
 fn arb_string() -> impl Strategy<Value = String> {
     "[a-zA-Z0-9/$_.:-]{0,40}"
@@ -33,6 +34,16 @@ fn arb_error_code() -> impl Strategy<Value = dvm_repro::net::ErrorCode> {
     ]
 }
 
+fn arb_trace() -> impl Strategy<Value = Option<TraceContext>> {
+    prop_oneof![
+        Just(None),
+        (1u64..u64::MAX, 1u64..u64::MAX).prop_map(|(trace, parent)| Some(TraceContext {
+            trace: TraceId(trace),
+            parent: SpanId(parent),
+        })),
+    ]
+}
+
 fn arb_frame() -> impl Strategy<Value = Frame> {
     prop_oneof![
         (
@@ -52,14 +63,22 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                 })
             }),
         any::<u64>().prop_map(|session| Frame::Welcome { session }),
-        (any::<u32>(), any::<u64>(), arb_string(), arb_string()).prop_map(
-            |(request_id, session, url, native_format)| Frame::CodeRequest {
-                request_id,
-                session,
-                url,
-                native_format,
-            }
-        ),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            arb_string(),
+            arb_string(),
+            arb_trace()
+        )
+            .prop_map(|(request_id, session, url, native_format, trace)| {
+                Frame::CodeRequest {
+                    request_id,
+                    session,
+                    url,
+                    native_format,
+                    trace,
+                }
+            }),
         (
             any::<u32>(),
             arb_served_from(),
@@ -95,6 +114,17 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
             proptest::collection::vec(any::<u8>(), 0..2048)
         )
             .prop_map(|(url, bytes)| Frame::PeerPut { url, bytes }),
+        (any::<u32>(), any::<bool>()).prop_map(|(request_id, include_spans)| {
+            Frame::StatsRequest {
+                request_id,
+                include_spans,
+            }
+        }),
+        (
+            any::<u32>(),
+            proptest::collection::vec(any::<u8>(), 0..2048)
+        )
+            .prop_map(|(request_id, report)| Frame::StatsResponse { request_id, report }),
         Just(Frame::Bye),
     ]
 }

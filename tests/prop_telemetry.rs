@@ -1,0 +1,140 @@
+//! Property-based tests for the dvm-telemetry metrics plane: bucket
+//! boundaries really bound, quantiles track a sorted reference to
+//! within one bucket, snapshot merging is associative and commutative,
+//! and the lock-free hot path survives concurrent writers.
+
+use proptest::prelude::*;
+
+use dvm_repro::telemetry::metrics::{bucket_lower, bucket_upper, BUCKETS};
+use dvm_repro::telemetry::{Histogram, HistogramSnapshot, Registry};
+
+/// The bucket a value lands in, recovered from the public bounds alone
+/// (`bucket_index` itself is private): the unique `i` with
+/// `lower(i) <= v < upper(i)`.
+fn bucket_of(v: u64) -> usize {
+    let mut lo = 0usize;
+    let mut hi = BUCKETS - 1;
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        if bucket_lower(mid) <= v {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo
+}
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    /// Every value is bounded by its own bucket: `lower <= v < upper`,
+    /// and recording it increments exactly that bucket.
+    #[test]
+    fn bucket_bounds_contain_the_value(v in any::<u64>()) {
+        let i = bucket_of(v);
+        prop_assert!(bucket_lower(i) <= v);
+        prop_assert!(v < bucket_upper(i) || bucket_upper(i) == u64::MAX);
+        let snap = snapshot_of(&[v]);
+        prop_assert_eq!(snap.buckets.len(), 1);
+        prop_assert_eq!(snap.buckets[0], (i as u32, 1));
+    }
+
+    /// The estimated quantile lands in the same bucket as the exact
+    /// quantile of a sorted reference — the error bound the log-linear
+    /// layout promises (<= 1/16 relative) — and the extremes are exact.
+    #[test]
+    fn quantile_tracks_a_sorted_reference(
+        mut values in proptest::collection::vec(0u64..1_000_000_000_000, 1..200),
+        q_millis in 0u64..=1000,
+    ) {
+        let q = q_millis as f64 / 1000.0;
+        let snap = snapshot_of(&values);
+        values.sort_unstable();
+        prop_assert_eq!(snap.quantile(0.0), values[0]);
+        prop_assert_eq!(snap.quantile(1.0), *values.last().unwrap());
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let reference = values[rank - 1];
+        let estimate = snap.quantile(q);
+        if q > 0.0 && q < 1.0 {
+            let i = bucket_of(reference);
+            prop_assert!(
+                bucket_lower(i) <= estimate && estimate < bucket_upper(i),
+                "q={} estimate {} outside reference {}'s bucket [{}, {})",
+                q, estimate, reference, bucket_lower(i), bucket_upper(i)
+            );
+        }
+    }
+
+    /// Merging snapshots is associative and commutative, so shard
+    /// reports can be folded in any order and yield one fleet view.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in proptest::collection::vec(0u64..1_000_000_000_000, 0..60),
+        b in proptest::collection::vec(0u64..1_000_000_000_000, 0..60),
+        c in proptest::collection::vec(0u64..1_000_000_000_000, 0..60),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+
+        let mut right_inner = sb.clone();
+        right_inner.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&right_inner);
+        prop_assert_eq!(&left, &right);
+
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+
+        // The merge is also the histogram of the concatenation.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        if !all.is_empty() {
+            prop_assert_eq!(&left, &snapshot_of(&all));
+        }
+    }
+}
+
+/// The hot path is relaxed atomics on shared handles: 8 threads
+/// hammering one counter and one histogram lose nothing.
+#[test]
+fn concurrent_increments_from_eight_threads_lose_nothing() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    let registry = Registry::new();
+    let counter = registry.counter("hits");
+    let histogram = registry.histogram("lat_ns");
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let counter = counter.clone();
+            let histogram = histogram.clone();
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    histogram.record(t as u64 * 1000 + i);
+                }
+            });
+        }
+    });
+    assert_eq!(counter.get(), THREADS as u64 * PER_THREAD);
+    let snap = registry.snapshot();
+    assert_eq!(snap.counters["hits"], THREADS as u64 * PER_THREAD);
+    let h = &snap.histograms["lat_ns"];
+    assert_eq!(h.count, THREADS as u64 * PER_THREAD);
+    assert_eq!(h.min, 0);
+    assert_eq!(h.max, 7 * 1000 + PER_THREAD - 1);
+    assert_eq!(h.buckets.iter().map(|&(_, n)| n).sum::<u64>(), h.count);
+}
