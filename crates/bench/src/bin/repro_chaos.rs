@@ -1,0 +1,231 @@
+//! Chaos resilience: fetch success rate and tail latency per fault class.
+//!
+//! The paper's proxy sits between every client and its code; the chaos
+//! harness (`dvm-chaos`) answers "what does the client stack actually
+//! deliver when that path misbehaves?". This bench drives the full
+//! [`ChaosRunner`] — concurrent clients, a real sharded cluster, every
+//! byte through a fault-injecting interposer — once per fault class,
+//! and reports the success rate and p50/p99 fetch latency each class
+//! leaves behind. Every run also checks the harness invariants
+//! (oracle byte-equivalence, typed failures, audit and telemetry
+//! conservation, breaker consistency); a violation fails the bench and
+//! prints the `CHAOS REPLAY:` line that reproduces it.
+//!
+//! Fault placement is a pure function of `SEED` and the schedule, so
+//! the numbers are comparable across runs and machines (wall-clock
+//! latency still varies; placements do not).
+//!
+//! `--quick` shrinks clients/fetches (CI smoke); `--json` additionally
+//! writes `BENCH_chaos.json`.
+
+use std::time::Duration;
+
+use dvm_bench::{Json, Table};
+use dvm_chaos::{ChaosRunner, ChaosSchedule, RunnerConfig};
+use dvm_cluster::{ClusterClientConfig, ClusterOptions, HealthConfig};
+use dvm_core::{CostModel, Organization, ServiceConfig};
+use dvm_net::NetConfig;
+use dvm_proxy::Signer;
+use dvm_security::Policy;
+use dvm_workload::corpus;
+
+/// Master seed: link fault placement, client URL shuffles, and backoff
+/// jitter all derive from it (per class it is mixed with the class
+/// index so the classes don't share placements).
+const SEED: u64 = 0xC0FFEE;
+
+/// Shards behind the chaos links in every run.
+const SHARDS: usize = 2;
+
+/// One fault class: a name, the schedule that induces it, and what the
+/// schedule means.
+struct FaultClass {
+    name: &'static str,
+    schedule: &'static str,
+    note: &'static str,
+}
+
+const CLASSES: &[FaultClass] = &[
+    FaultClass {
+        name: "baseline",
+        schedule: "",
+        note: "no faults: the floor every class is read against",
+    },
+    FaultClass {
+        name: "drop",
+        schedule: "reset@p0.04",
+        note: "TCP resets mid-conversation",
+    },
+    FaultClass {
+        name: "corrupt",
+        schedule: "<corrupt@p0.08",
+        note: "flipped payload bytes, caught by signature verification",
+    },
+    FaultClass {
+        name: "stall",
+        schedule: "stall:25ms@p0.05",
+        note: "frames held for 25ms",
+    },
+    FaultClass {
+        name: "truncate",
+        schedule: "<trunc:9@p0.03",
+        note: "responses cut mid-frame, then the connection dies",
+    },
+    FaultClass {
+        name: "throttle",
+        schedule: "throttle:200000",
+        note: "every frame squeezed through 200 kB/s",
+    },
+];
+
+fn client_config() -> ClusterClientConfig {
+    ClusterClientConfig {
+        net: NetConfig {
+            connect_timeout: Duration::from_millis(250),
+            read_timeout: Duration::from_millis(2_000),
+            write_timeout: Duration::from_millis(2_000),
+            backoff_base: Duration::from_millis(2),
+            backoff_max: Duration::from_millis(20),
+            ..NetConfig::default()
+        },
+        health: HealthConfig {
+            failure_threshold: 2,
+            quarantine: Duration::from_millis(150),
+        },
+        rounds: 4,
+        round_backoff: Duration::from_millis(15),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (clients, fetches, applet_count) = if quick { (2, 5, 3) } else { (4, 10, 4) };
+
+    // Smallest applets first: the bench measures the transport, not the
+    // rewrite pipeline, so payload size is kept modest.
+    let mut applets = corpus(11);
+    applets.sort_by_key(|a| {
+        a.classes
+            .iter()
+            .map(|c| c.clone().to_bytes().unwrap().len())
+            .sum::<usize>()
+    });
+    applets.truncate(applet_count);
+    let classes: Vec<_> = applets
+        .iter()
+        .flat_map(|a| a.classes.iter().cloned())
+        .collect();
+    let urls: Vec<String> = classes
+        .iter()
+        .map(|c| format!("class://{}", c.name().unwrap()))
+        .collect();
+
+    let mut services = ServiceConfig::dvm();
+    services.signing = true;
+    let org = Organization::new(
+        &classes,
+        Policy::parse(dvm_security::policy::example_policy()).unwrap(),
+        services,
+        CostModel::default(),
+    )
+    .unwrap();
+
+    println!(
+        "chaos resilience: success rate and tail latency per fault class ({} urls, {} clients x {} fetches, {} shards{})",
+        urls.len(),
+        clients,
+        fetches,
+        SHARDS,
+        if quick { ", --quick" } else { "" }
+    );
+    println!("(every byte crosses a fault-injecting loopback interposer; placements are seeded)\n");
+
+    let mut t = Table::new(&[
+        "Class",
+        "Schedule",
+        "Fetches",
+        "OK",
+        "Success %",
+        "Faults",
+        "p50 (ms)",
+        "p99 (ms)",
+    ]);
+    let mut replay_lines = Vec::new();
+    let mut violations = 0usize;
+    for (i, class) in CLASSES.iter().enumerate() {
+        let schedule = ChaosSchedule::parse(class.schedule).unwrap();
+        let mut cluster = org
+            .serve_cluster_with(
+                SHARDS,
+                ClusterOptions {
+                    seed: SEED,
+                    ..ClusterOptions::default()
+                },
+            )
+            .unwrap();
+        let cfg = RunnerConfig {
+            seed: SEED ^ ((i as u64) << 32),
+            clients,
+            fetches_per_client: fetches,
+            schedule,
+            client_config: client_config(),
+            signer: Some(Signer::new(b"dvm-org-key")),
+            kills: Vec::new(),
+            audit: true,
+            ..RunnerConfig::default()
+        };
+        let report = ChaosRunner::run(&mut cluster, &urls, &cfg);
+        cluster.shutdown();
+
+        let success = if report.fetches_attempted > 0 {
+            report.fetches_ok as f64 / report.fetches_attempted as f64 * 100.0
+        } else {
+            0.0
+        };
+        t.row(&[
+            class.name.to_string(),
+            if class.schedule.is_empty() {
+                "(none)".to_string()
+            } else {
+                class.schedule.to_string()
+            },
+            report.fetches_attempted.to_string(),
+            report.fetches_ok.to_string(),
+            format!("{success:.1}"),
+            report.faults_injected().to_string(),
+            format!("{:.2}", report.fetch_p50_ns as f64 / 1e6),
+            format!("{:.2}", report.fetch_p99_ns as f64 / 1e6),
+        ]);
+        println!("{:<9} {}", class.name, class.note);
+        if !report.ok() {
+            violations += report.violations.len();
+            for v in &report.violations {
+                eprintln!("  VIOLATION {v}");
+            }
+            replay_lines.push(report.replay_line());
+        }
+    }
+    println!();
+    t.print();
+
+    dvm_bench::emit_json(
+        "chaos",
+        &[("fault_classes", &t)],
+        &[
+            ("seed", Json::Num(SEED as f64)),
+            ("shards", Json::Num(SHARDS as f64)),
+            ("clients", Json::Num(clients as f64)),
+            ("fetches_per_client", Json::Num(fetches as f64)),
+            ("violations", Json::Num(violations as f64)),
+        ],
+    );
+
+    for line in &replay_lines {
+        eprintln!("{line}");
+    }
+    assert!(
+        violations == 0,
+        "{violations} invariant violations across fault classes (replay lines above)"
+    );
+    println!("\nall invariants held across every fault class");
+}

@@ -1,0 +1,613 @@
+//! `ChaosRunner`: M concurrent clients against a K-shard cluster, every
+//! byte funneled through per-shard [`ChaosLink`]s, with the run's
+//! outcome checked against a fault-free oracle and a set of named
+//! invariants.
+//!
+//! The runner's contract is the paper's safety argument under hostile
+//! networks: whatever the transport does — resets, stalls, corruption,
+//! truncation — a client either receives the exact bytes the organization
+//! proxy would serve on a perfect network, or a *typed* error. Nothing
+//! in between. A failed invariant produces a [`Violation`] carrying
+//! enough context to replay the run from its seed.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use dvm_cluster::{ClusterClassProvider, ClusterClientConfig, ProxyCluster};
+use dvm_monitor::{AuditSink, EventKind, SiteId};
+use dvm_net::{Hello, ServerStats};
+use dvm_netsim::SimRng;
+use dvm_proxy::{Proxy, RequestContext, SignatureCheck, Signer};
+use dvm_telemetry::MetricsSnapshot;
+
+use crate::link::{ChaosLink, LinkStats};
+use crate::schedule::ChaosSchedule;
+
+/// Kill shard `shard` roughly `after` into the run.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardKill {
+    /// Shard id to kill.
+    pub shard: usize,
+    /// Delay from run start.
+    pub after: Duration,
+}
+
+/// Everything a chaos run needs besides the cluster itself.
+#[derive(Clone)]
+pub struct RunnerConfig {
+    /// Master seed: link fault placement, client URL orders, and (via
+    /// the jitter seeds) client backoff all derive from it.
+    pub seed: u64,
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Fetches each client performs.
+    pub fetches_per_client: usize,
+    /// The fault schedule every link runs (per-link streams are
+    /// decorrelated by shard id).
+    pub schedule: ChaosSchedule,
+    /// Cluster-client tuning shared by every client.
+    pub client_config: ClusterClientConfig,
+    /// Signature verification key; `None` disables verification (used
+    /// deliberately to prove the harness catches corrupt deliveries).
+    pub signer: Option<Signer>,
+    /// Identity template; each client gets `user = "<user><i>"`.
+    pub hello: Hello,
+    /// Scheduled shard kills.
+    pub kills: Vec<ShardKill>,
+    /// Whether clients stream audit events through their link.
+    pub audit: bool,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            seed: 0,
+            clients: 4,
+            fetches_per_client: 8,
+            schedule: ChaosSchedule::default(),
+            client_config: ClusterClientConfig::default(),
+            signer: None,
+            hello: Hello {
+                user: "chaos".into(),
+                principal: "applets".into(),
+                ..Hello::default()
+            },
+            kills: Vec::new(),
+            audit: true,
+        }
+    }
+}
+
+/// One failed invariant.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The invariant's stable name (e.g. `payload-matches-oracle`).
+    pub invariant: &'static str,
+    /// What was observed.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.invariant, self.detail)
+    }
+}
+
+/// The outcome of one chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Master seed of the run.
+    pub seed: u64,
+    /// The schedule, in replayable grammar form.
+    pub schedule: String,
+    /// Client count.
+    pub clients: usize,
+    /// Shard count.
+    pub shards: usize,
+    /// Fetches attempted across all clients.
+    pub fetches_attempted: u64,
+    /// Fetches that delivered verified bytes.
+    pub fetches_ok: u64,
+    /// Fetches that failed with a typed error.
+    pub fetches_failed: u64,
+    /// Median successful-fetch latency in nanoseconds.
+    pub fetch_p50_ns: u64,
+    /// 99th-percentile successful-fetch latency in nanoseconds.
+    pub fetch_p99_ns: u64,
+    /// Per-link (== per-shard) interposer stats.
+    pub link_stats: Vec<LinkStats>,
+    /// Audit events the clients emitted / delivered / dropped.
+    pub audit_emitted: u64,
+    /// Audit events written to a socket.
+    pub audit_sent: u64,
+    /// Audit events abandoned after reconnect failure.
+    pub audit_dropped: u64,
+    /// Every invariant failure (empty on a clean run).
+    pub violations: Vec<Violation>,
+}
+
+impl ChaosReport {
+    /// True when every invariant held.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Total faults the links injected.
+    pub fn faults_injected(&self) -> u64 {
+        self.link_stats.iter().map(|s| s.faults_total()).sum()
+    }
+
+    /// The one line to paste into a replay: everything that determines
+    /// fault placement.
+    pub fn replay_line(&self) -> String {
+        format!(
+            "CHAOS REPLAY: seed={} schedule={:?} clients={} shards={}",
+            self.seed, self.schedule, self.clients, self.shards
+        )
+    }
+
+    /// A human summary; violations come with the replay line attached.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "chaos run: {}/{} fetches ok ({} typed failures), {} faults injected, p50 {:.2}ms p99 {:.2}ms\n",
+            self.fetches_ok,
+            self.fetches_attempted,
+            self.fetches_failed,
+            self.faults_injected(),
+            self.fetch_p50_ns as f64 / 1e6,
+            self.fetch_p99_ns as f64 / 1e6,
+        );
+        out.push_str(&format!(
+            "audit: {} emitted, {} sent, {} dropped\n",
+            self.audit_emitted, self.audit_sent, self.audit_dropped
+        ));
+        if self.violations.is_empty() {
+            out.push_str("all invariants held\n");
+        } else {
+            for v in &self.violations {
+                out.push_str(&format!("VIOLATION {v}\n"));
+            }
+            out.push_str(&self.replay_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// What one client thread brings home.
+struct ClientOutcome {
+    ok: u64,
+    failed: u64,
+    latencies_ns: Vec<u64>,
+    payload_mismatches: Vec<String>,
+    audit_emitted: u64,
+    audit_sent: u64,
+    audit_dropped: u64,
+    snapshot: MetricsSnapshot,
+}
+
+/// The fault-free reference: what the organization's proxy serves for
+/// each URL on a perfect network, post-verification. Any payload a
+/// client accepts during the chaos run must be byte-identical to this.
+pub fn oracle_payloads(
+    proxy: &Proxy,
+    signer: &Option<Signer>,
+    hello: &Hello,
+    urls: &[String],
+) -> Result<HashMap<String, Vec<u8>>, String> {
+    let mut oracle = HashMap::new();
+    for url in urls {
+        let ctx = RequestContext {
+            client: "chaos-oracle".into(),
+            principal: hello.principal.clone(),
+            url: url.clone(),
+            trace: None,
+        };
+        let served = proxy
+            .handle_request_detailed(url, &ctx)
+            .map_err(|e| format!("oracle fetch of {url} failed: {e}"))?;
+        let payload = match signer {
+            Some(s) => match s.detach(&served.bytes) {
+                (SignatureCheck::Valid, Some(p)) => p.to_vec(),
+                other => return Err(format!("oracle signature on {url}: {:?}", other.0)),
+            },
+            None => served.bytes,
+        };
+        oracle.insert(url.clone(), payload);
+    }
+    Ok(oracle)
+}
+
+/// The harness. See the module docs; [`ChaosRunner::run`] is the whole
+/// API.
+pub struct ChaosRunner;
+
+impl ChaosRunner {
+    /// Runs `cfg.clients` concurrent clients fetching `urls` through
+    /// per-shard [`ChaosLink`]s under `cfg.schedule`, applying scheduled
+    /// shard kills, then checks every invariant and reports.
+    pub fn run(cluster: &mut ProxyCluster, urls: &[String], cfg: &RunnerConfig) -> ChaosReport {
+        let shards = cluster.len();
+        assert!(!urls.is_empty(), "a chaos run needs at least one URL");
+
+        let mut violations: Vec<Violation> = Vec::new();
+
+        // The oracle is computed before any fault can fire, straight off
+        // shard 0's proxy (rewriting is deterministic and signing uses
+        // the organization key, so every shard serves these exact bytes).
+        let oracle = match oracle_payloads(cluster.proxy(0), &cfg.signer, &cfg.hello, urls) {
+            Ok(o) => o,
+            Err(e) => {
+                return ChaosReport {
+                    seed: cfg.seed,
+                    schedule: cfg.schedule.to_string(),
+                    clients: cfg.clients,
+                    shards,
+                    fetches_attempted: 0,
+                    fetches_ok: 0,
+                    fetches_failed: 0,
+                    fetch_p50_ns: 0,
+                    fetch_p99_ns: 0,
+                    link_stats: Vec::new(),
+                    audit_emitted: 0,
+                    audit_sent: 0,
+                    audit_dropped: 0,
+                    violations: vec![Violation {
+                        invariant: "oracle",
+                        detail: e,
+                    }],
+                }
+            }
+        };
+
+        // Hold every shard's telemetry plane now: the Arcs stay valid
+        // after a kill, so conservation can still be checked for shards
+        // that died mid-run.
+        let shard_telemetry: Vec<_> = (0..shards)
+            .map(|i| {
+                cluster
+                    .shard_telemetry(i)
+                    .expect("all shards alive at start")
+            })
+            .collect();
+
+        // One interposer per shard, each with a decorrelated seed.
+        let mut links = Vec::with_capacity(shards);
+        let mut link_addrs: Vec<SocketAddr> = Vec::with_capacity(shards);
+        for (i, &upstream) in cluster.addrs().to_vec().iter().enumerate() {
+            let link_seed = SimRng::derive(cfg.seed, 0x1000 + i as u64).next_u64();
+            let link = ChaosLink::start(upstream, cfg.schedule.clone(), link_seed)
+                .expect("bind chaos link");
+            link_addrs.push(link.addr());
+            links.push(link);
+        }
+
+        let ring = cluster.ring().clone();
+        let killed_stats: Mutex<Vec<(usize, ServerStats)>> = Mutex::new(Vec::new());
+        let cluster_mx = Mutex::new(cluster);
+
+        let mut outcomes: Vec<Option<ClientOutcome>> = Vec::with_capacity(cfg.clients);
+        let mut panics: Vec<String> = Vec::new();
+
+        std::thread::scope(|scope| {
+            let killer = scope.spawn(|| {
+                let start = Instant::now();
+                let mut kills = cfg.kills.clone();
+                kills.sort_by_key(|k| k.after);
+                for kill in kills {
+                    let elapsed = start.elapsed();
+                    if kill.after > elapsed {
+                        std::thread::sleep(kill.after - elapsed);
+                    }
+                    if let Some(stats) = cluster_mx.lock().kill_shard(kill.shard) {
+                        killed_stats.lock().push((kill.shard, stats));
+                    }
+                }
+            });
+
+            let handles: Vec<_> = (0..cfg.clients)
+                .map(|c| {
+                    let link_addrs = link_addrs.clone();
+                    let ring = ring.clone();
+                    let oracle = &oracle;
+                    scope.spawn(move || run_client(c, cfg, urls, oracle, link_addrs, ring, shards))
+                })
+                .collect();
+            for (c, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(outcome) => outcomes.push(Some(outcome)),
+                    Err(panic) => {
+                        outcomes.push(None);
+                        panics.push(format!("client {c} panicked: {}", panic_message(&panic)));
+                    }
+                }
+            }
+            let _ = killer.join();
+        });
+
+        // --- failures-are-typed -----------------------------------------
+        // Every failure a client observes must be a typed error surfaced
+        // through Result; a panic anywhere in the client stack under
+        // network faults is itself the bug this harness exists to catch.
+        for p in panics {
+            violations.push(Violation {
+                invariant: "failures-are-typed",
+                detail: p,
+            });
+        }
+
+        // --- payload-matches-oracle -------------------------------------
+        for outcome in outcomes.iter().flatten() {
+            for m in &outcome.payload_mismatches {
+                violations.push(Violation {
+                    invariant: "payload-matches-oracle",
+                    detail: m.clone(),
+                });
+            }
+        }
+
+        // --- audit-conservation -----------------------------------------
+        // Per client: every emitted event was either written to a socket
+        // or counted as dropped, and the drop count is mirrored into the
+        // client's telemetry plane. (In-flight loss after a successful
+        // write is the server's side of the ledger: received ≤ sent.)
+        let mut audit_emitted = 0u64;
+        let mut audit_sent = 0u64;
+        let mut audit_dropped = 0u64;
+        for (c, outcome) in outcomes.iter().enumerate() {
+            let Some(o) = outcome else { continue };
+            audit_emitted += o.audit_emitted;
+            audit_sent += o.audit_sent;
+            audit_dropped += o.audit_dropped;
+            if o.audit_emitted != o.audit_sent + o.audit_dropped {
+                violations.push(Violation {
+                    invariant: "audit-conservation",
+                    detail: format!(
+                        "client {c}: emitted {} != sent {} + dropped {}",
+                        o.audit_emitted, o.audit_sent, o.audit_dropped
+                    ),
+                });
+            }
+            let counted = o.snapshot.counter("audit_dropped_total");
+            if counted != o.audit_dropped {
+                violations.push(Violation {
+                    invariant: "audit-conservation",
+                    detail: format!(
+                        "client {c}: audit_dropped_total {} != dropped {}",
+                        counted, o.audit_dropped
+                    ),
+                });
+            }
+        }
+
+        // --- breaker-consistency ----------------------------------------
+        // Per client: the breaker's transition counters must describe a
+        // realizable history — a circuit still open was opened; every
+        // opened-and-no-longer-open circuit left through half-open or a
+        // direct close; never more circuits open than shards exist.
+        for (c, outcome) in outcomes.iter().enumerate() {
+            let Some(o) = outcome else { continue };
+            let opened = o.snapshot.counter("cluster.breaker.opened");
+            let half_open = o.snapshot.counter("cluster.breaker.half_open");
+            let closed = o.snapshot.counter("cluster.breaker.closed");
+            let open_now = o.snapshot.gauge("cluster.breaker.open_now");
+            if open_now < 0 || open_now as u64 > shards as u64 {
+                violations.push(Violation {
+                    invariant: "breaker-consistency",
+                    detail: format!("client {c}: open_now {open_now} outside [0, {shards}]"),
+                });
+            }
+            let open_now = open_now.max(0) as u64;
+            if open_now > opened {
+                violations.push(Violation {
+                    invariant: "breaker-consistency",
+                    detail: format!("client {c}: open_now {open_now} > opened {opened}"),
+                });
+            }
+            if opened - open_now > half_open + closed {
+                violations.push(Violation {
+                    invariant: "breaker-consistency",
+                    detail: format!(
+                        "client {c}: {} circuits left open state but only {} exits recorded",
+                        opened - open_now,
+                        half_open + closed
+                    ),
+                });
+            }
+        }
+
+        // --- telemetry-conservation -------------------------------------
+        // Per shard: every served request arrived in at least one frame,
+        // whether the shard survived the run or was killed mid-way.
+        let cluster = cluster_mx.into_inner();
+        let killed: HashMap<usize, ServerStats> = killed_stats.into_inner().into_iter().collect();
+        let mut server_audit_received = 0u64;
+        for (i, telemetry) in shard_telemetry.iter().enumerate() {
+            let stats = match killed.get(&i) {
+                Some(s) => *s,
+                None => match cluster.shard_stats(i) {
+                    Some(s) => s,
+                    None => continue,
+                },
+            };
+            server_audit_received += stats.audit_events;
+            let snap = telemetry.registry().snapshot();
+            let frames_in = snap.counter("net.server.frames_in");
+            if frames_in < stats.requests {
+                violations.push(Violation {
+                    invariant: "telemetry-conservation",
+                    detail: format!(
+                        "shard {i}: frames_in {} < requests served {}",
+                        frames_in, stats.requests
+                    ),
+                });
+            }
+            if frames_in > 0 && snap.counter("net.server.bytes_in") == 0 {
+                violations.push(Violation {
+                    invariant: "telemetry-conservation",
+                    detail: format!("shard {i}: {frames_in} frames but zero bytes counted"),
+                });
+            }
+        }
+        if server_audit_received > audit_sent {
+            violations.push(Violation {
+                invariant: "audit-conservation",
+                detail: format!(
+                    "servers received {server_audit_received} audit events but clients only sent {audit_sent}"
+                ),
+            });
+        }
+
+        let link_stats: Vec<LinkStats> = links.into_iter().map(|l| l.shutdown()).collect();
+
+        let mut latencies: Vec<u64> = outcomes
+            .iter()
+            .flatten()
+            .flat_map(|o| o.latencies_ns.iter().copied())
+            .collect();
+        latencies.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            if latencies.is_empty() {
+                return 0;
+            }
+            let idx = ((latencies.len() - 1) as f64 * p).round() as usize;
+            latencies[idx]
+        };
+
+        let fetches_ok: u64 = outcomes.iter().flatten().map(|o| o.ok).sum();
+        let fetches_failed: u64 = outcomes.iter().flatten().map(|o| o.failed).sum();
+
+        ChaosReport {
+            seed: cfg.seed,
+            schedule: cfg.schedule.to_string(),
+            clients: cfg.clients,
+            shards,
+            fetches_attempted: fetches_ok + fetches_failed,
+            fetches_ok,
+            fetches_failed,
+            fetch_p50_ns: pct(0.50),
+            fetch_p99_ns: pct(0.99),
+            link_stats,
+            audit_emitted,
+            audit_sent,
+            audit_dropped,
+            violations,
+        }
+    }
+}
+
+/// One client's whole life: connect through the links, fetch a seeded
+/// shuffle of the URL list, verify each payload against the oracle,
+/// stream audit events, and account for everything.
+fn run_client(
+    c: usize,
+    cfg: &RunnerConfig,
+    urls: &[String],
+    oracle: &HashMap<String, Vec<u8>>,
+    link_addrs: Vec<SocketAddr>,
+    ring: dvm_cluster::HashRing,
+    shards: usize,
+) -> ClientOutcome {
+    let hello = Hello {
+        user: format!("{}{c}", cfg.hello.user),
+        ..cfg.hello.clone()
+    };
+    let mut provider = ClusterClassProvider::new(
+        link_addrs.clone(),
+        ring,
+        hello.clone(),
+        cfg.signer.clone(),
+        cfg.client_config,
+    );
+    let telemetry = provider.telemetry();
+
+    // The audit channel rides a link too (shard chosen round-robin), so
+    // faults hit the fire-and-forget path as hard as the request path.
+    let mut console = if cfg.audit {
+        let mut net = cfg.client_config.net;
+        net.jitter_seed = SimRng::derive(cfg.seed, 0x3000 + c as u64).next_u64();
+        dvm_net::RemoteConsole::connect(link_addrs[c % shards], hello, net)
+            .ok()
+            .map(|mut con| {
+                con.set_telemetry(telemetry.clone());
+                con
+            })
+    } else {
+        None
+    };
+
+    // Each client walks its own seeded shuffle of the URL list, so the
+    // cluster sees interleaved, non-identical access patterns that are
+    // still a pure function of the master seed.
+    let mut order: Vec<usize> = (0..urls.len()).collect();
+    let mut rng = SimRng::derive(cfg.seed, 0x2000 + c as u64);
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.next_below(i as u64 + 1) as usize);
+    }
+
+    let mut outcome = ClientOutcome {
+        ok: 0,
+        failed: 0,
+        latencies_ns: Vec::new(),
+        payload_mismatches: Vec::new(),
+        audit_emitted: 0,
+        audit_sent: 0,
+        audit_dropped: 0,
+        snapshot: telemetry.registry().snapshot(),
+    };
+
+    for j in 0..cfg.fetches_per_client {
+        let url = &urls[order[j % order.len()]];
+        let started = Instant::now();
+        match provider.fetch(url) {
+            Ok((bytes, _)) => {
+                outcome.ok += 1;
+                outcome
+                    .latencies_ns
+                    .push(started.elapsed().as_nanos() as u64);
+                let expected = &oracle[url];
+                if &bytes != expected {
+                    outcome.payload_mismatches.push(format!(
+                        "client {c} fetch {j} of {url}: {} bytes delivered, oracle has {} ({} bytes differ)",
+                        bytes.len(),
+                        expected.len(),
+                        bytes
+                            .iter()
+                            .zip(expected.iter())
+                            .filter(|(a, b)| a != b)
+                            .count(),
+                    ));
+                }
+                if let Some(con) = console.as_mut() {
+                    con.record(SiteId(j as i32), EventKind::Event);
+                    outcome.audit_emitted += 1;
+                }
+            }
+            // Any Err here is by definition typed (it came through
+            // Result); panics are caught at join instead.
+            Err(_) => outcome.failed += 1,
+        }
+    }
+
+    if let Some(mut con) = console.take() {
+        outcome.audit_sent = con.sent();
+        outcome.audit_dropped = con.dropped();
+        con.close();
+    }
+    provider.close();
+    outcome.snapshot = telemetry.registry().snapshot();
+    outcome
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}

@@ -1,0 +1,489 @@
+//! Chaos schedules: which faults hit which frames, as a pure function
+//! of one `u64` seed.
+//!
+//! A [`ChaosSchedule`] is an ordered list of [`ChaosRule`]s, each pairing
+//! a [`ChaosFault`] with a [`Trigger`] and a [`Dir`]ection filter. The
+//! schedule has a textual grammar (see [`ChaosSchedule::parse`]) that
+//! round-trips through `Display`, so a failing run can print the exact
+//! schedule needed to replay it.
+//!
+//! Determinism is the whole point: every probabilistic trigger draws
+//! from a [`SimRng`] stream derived from `(seed, connection, direction)`
+//! and advanced exactly once per `(frame, rule)` pair, so fault
+//! placement is a pure function of the seed and the per-connection frame
+//! sequence — independent of thread scheduling, socket timing, or how
+//! other connections interleave.
+
+use std::fmt;
+use std::time::Duration;
+
+use dvm_netsim::SimRng;
+
+/// One injectable fault at the byte/frame level of the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosFault {
+    /// Abruptly close both directions of the connection (the frame being
+    /// processed is discarded, not forwarded).
+    Reset,
+    /// Forward the frame, then shut down the write side toward the
+    /// receiver — the TCP half-close case.
+    HalfClose,
+    /// Freeze this direction of the link for the given milliseconds
+    /// before forwarding (read/write stall).
+    Stall(u64),
+    /// Bounded extra latency: sleep this many milliseconds, then forward
+    /// normally.
+    Delay(u64),
+    /// Flip one byte of the frame body before forwarding. The offset is
+    /// drawn deterministically and biased into the payload region, so
+    /// corruption exercises signature verification rather than only the
+    /// frame grammar.
+    Corrupt,
+    /// Forward only the first `n` bytes of the encoded frame, then
+    /// reset: a truncation mid-frame.
+    Truncate(usize),
+    /// Cap this direction's bandwidth at the given bytes/second while
+    /// forwarding this frame (a pacing sleep sized to the frame).
+    Throttle(u64),
+}
+
+impl ChaosFault {
+    /// A short stable name for stats and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosFault::Reset => "reset",
+            ChaosFault::HalfClose => "halfclose",
+            ChaosFault::Stall(_) => "stall",
+            ChaosFault::Delay(_) => "delay",
+            ChaosFault::Corrupt => "corrupt",
+            ChaosFault::Truncate(_) => "trunc",
+            ChaosFault::Throttle(_) => "throttle",
+        }
+    }
+}
+
+/// When a rule fires, as a function of the 1-based frame index on one
+/// `(connection, direction)` stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trigger {
+    /// Every frame.
+    Always,
+    /// Every `n`-th frame.
+    EveryNth(u64),
+    /// Exactly the `n`-th frame.
+    Once(u64),
+    /// With probability `p`, drawn from the stream's seeded generator
+    /// (one draw per frame per rule, fired or not).
+    Prob(f64),
+}
+
+/// Which direction of the link a rule applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Client → server bytes only.
+    ToServer,
+    /// Server → client bytes only.
+    ToClient,
+    /// Both directions.
+    Both,
+}
+
+impl Dir {
+    fn matches(self, concrete: Dir) -> bool {
+        self == Dir::Both || self == concrete
+    }
+}
+
+/// One schedule entry: a fault, when it fires, and on which direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosRule {
+    /// The fault to inject.
+    pub fault: ChaosFault,
+    /// When it fires.
+    pub trigger: Trigger,
+    /// Which direction it applies to.
+    pub dir: Dir,
+}
+
+/// An ordered fault schedule. See the module docs for semantics and
+/// [`ChaosSchedule::parse`] for the grammar.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChaosSchedule {
+    /// The rules, applied in order to every frame.
+    pub rules: Vec<ChaosRule>,
+}
+
+/// A schedule string that did not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// The offending token.
+    pub token: String,
+    /// What was wrong with it.
+    pub detail: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad schedule token {:?}: {}", self.token, self.detail)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(token: &str, detail: impl Into<String>) -> ParseError {
+    ParseError {
+        token: token.to_owned(),
+        detail: detail.into(),
+    }
+}
+
+impl ChaosSchedule {
+    /// Parses the schedule grammar: whitespace-separated rules, each
+    ///
+    /// ```text
+    /// rule    := [dir] fault ['@' trigger]
+    /// dir     := '>'              client→server only
+    ///          | '<'              server→client only      (default: both)
+    /// fault   := 'reset' | 'halfclose' | 'corrupt'
+    ///          | 'stall:'  ms 'ms'
+    ///          | 'delay:'  ms 'ms'
+    ///          | 'trunc:'  bytes
+    ///          | 'throttle:' bytes_per_sec
+    /// trigger := 'p' probability   e.g. p0.05  (per frame)
+    ///          | 'n' k             every k-th frame
+    ///          | 'once' k          exactly frame k         (default: always)
+    /// ```
+    ///
+    /// Example: `"<corrupt@p0.05 reset@n40 stall:200ms@once3"`.
+    pub fn parse(text: &str) -> Result<ChaosSchedule, ParseError> {
+        let mut rules = Vec::new();
+        for token in text.split_whitespace() {
+            rules.push(parse_rule(token)?);
+        }
+        Ok(ChaosSchedule { rules })
+    }
+
+    /// Builder: appends a rule.
+    pub fn with(mut self, fault: ChaosFault, trigger: Trigger, dir: Dir) -> Self {
+        self.rules.push(ChaosRule {
+            fault,
+            trigger,
+            dir,
+        });
+        self
+    }
+
+    /// The complete fault placement for `conns` connections of
+    /// `frames` frames each, in both directions, under `seed` — a pure
+    /// function, used both to preview a run and to assert that two runs
+    /// of the same `(seed, schedule)` place every fault identically.
+    pub fn placements(&self, seed: u64, conns: u64, frames: u64) -> Vec<Placement> {
+        let mut out = Vec::new();
+        for conn in 0..conns {
+            for dir in [Dir::ToServer, Dir::ToClient] {
+                let mut state = FaultState::new(self, seed, conn, dir);
+                for frame in 1..=frames {
+                    for fault in state.decide(frame) {
+                        out.push(Placement {
+                            conn,
+                            dir,
+                            frame,
+                            fault,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for ChaosSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, r) in self.rules.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            match r.dir {
+                Dir::ToServer => f.write_str(">")?,
+                Dir::ToClient => f.write_str("<")?,
+                Dir::Both => {}
+            }
+            match r.fault {
+                ChaosFault::Reset => f.write_str("reset")?,
+                ChaosFault::HalfClose => f.write_str("halfclose")?,
+                ChaosFault::Corrupt => f.write_str("corrupt")?,
+                ChaosFault::Stall(ms) => write!(f, "stall:{ms}ms")?,
+                ChaosFault::Delay(ms) => write!(f, "delay:{ms}ms")?,
+                ChaosFault::Truncate(n) => write!(f, "trunc:{n}")?,
+                ChaosFault::Throttle(bps) => write!(f, "throttle:{bps}")?,
+            }
+            match r.trigger {
+                Trigger::Always => {}
+                Trigger::EveryNth(n) => write!(f, "@n{n}")?,
+                Trigger::Once(n) => write!(f, "@once{n}")?,
+                Trigger::Prob(p) => write!(f, "@p{p}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_rule(token: &str) -> Result<ChaosRule, ParseError> {
+    let (dir, rest) = match token.as_bytes().first() {
+        Some(b'>') => (Dir::ToServer, &token[1..]),
+        Some(b'<') => (Dir::ToClient, &token[1..]),
+        _ => (Dir::Both, token),
+    };
+    let (fault_text, trigger_text) = match rest.split_once('@') {
+        Some((f, t)) => (f, Some(t)),
+        None => (rest, None),
+    };
+    let fault = parse_fault(token, fault_text)?;
+    let trigger = match trigger_text {
+        None => Trigger::Always,
+        Some(t) => parse_trigger(token, t)?,
+    };
+    Ok(ChaosRule {
+        fault,
+        trigger,
+        dir,
+    })
+}
+
+fn parse_fault(token: &str, text: &str) -> Result<ChaosFault, ParseError> {
+    if let Some((name, arg)) = text.split_once(':') {
+        return match name {
+            "stall" | "delay" => {
+                let ms = arg
+                    .strip_suffix("ms")
+                    .ok_or_else(|| err(token, "duration must end in `ms`"))?
+                    .parse::<u64>()
+                    .map_err(|_| err(token, "bad millisecond count"))?;
+                Ok(if name == "stall" {
+                    ChaosFault::Stall(ms)
+                } else {
+                    ChaosFault::Delay(ms)
+                })
+            }
+            "trunc" => {
+                let n = arg
+                    .parse::<usize>()
+                    .map_err(|_| err(token, "bad byte count"))?;
+                Ok(ChaosFault::Truncate(n))
+            }
+            "throttle" => {
+                let bps = arg
+                    .parse::<u64>()
+                    .map_err(|_| err(token, "bad bytes/sec"))?;
+                if bps == 0 {
+                    return Err(err(token, "throttle needs a non-zero rate"));
+                }
+                Ok(ChaosFault::Throttle(bps))
+            }
+            other => Err(err(token, format!("unknown fault `{other}`"))),
+        };
+    }
+    match text {
+        "reset" => Ok(ChaosFault::Reset),
+        "halfclose" => Ok(ChaosFault::HalfClose),
+        "corrupt" => Ok(ChaosFault::Corrupt),
+        other => Err(err(token, format!("unknown fault `{other}`"))),
+    }
+}
+
+fn parse_trigger(token: &str, text: &str) -> Result<Trigger, ParseError> {
+    if let Some(k) = text.strip_prefix("once") {
+        let n = k
+            .parse::<u64>()
+            .map_err(|_| err(token, "bad frame index"))?;
+        if n == 0 {
+            return Err(err(token, "frame indices are 1-based"));
+        }
+        return Ok(Trigger::Once(n));
+    }
+    if let Some(k) = text.strip_prefix('n') {
+        let n = k
+            .parse::<u64>()
+            .map_err(|_| err(token, "bad frame stride"))?;
+        if n == 0 {
+            return Err(err(token, "stride must be non-zero"));
+        }
+        return Ok(Trigger::EveryNth(n));
+    }
+    if let Some(p) = text.strip_prefix('p') {
+        let p = p
+            .parse::<f64>()
+            .map_err(|_| err(token, "bad probability"))?;
+        if !(0.0..=1.0).contains(&p) {
+            return Err(err(token, "probability outside [0, 1]"));
+        }
+        return Ok(Trigger::Prob(p));
+    }
+    Err(err(token, format!("unknown trigger `{text}`")))
+}
+
+/// One placed fault: connection `conn`, direction `dir`, frame `frame`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// 0-based connection index on the link.
+    pub conn: u64,
+    /// Concrete direction (never [`Dir::Both`]).
+    pub dir: Dir,
+    /// 1-based frame index on that `(conn, dir)` stream.
+    pub frame: u64,
+    /// The fault that fires there.
+    pub fault: ChaosFault,
+}
+
+/// The per-`(connection, direction)` decision engine: owns the stream's
+/// seeded generator and answers "which faults hit frame `i`?". The
+/// runtime interposer and [`ChaosSchedule::placements`] share this type,
+/// so what a run *does* and what the pure preview *says* cannot drift.
+#[derive(Debug, Clone)]
+pub struct FaultState {
+    rules: Vec<ChaosRule>,
+    rng: SimRng,
+    /// Auxiliary draws (corruption offsets) come from their own stream
+    /// so they cannot shift the trigger stream: `decide` must agree with
+    /// [`ChaosSchedule::placements`] whether or not any fault's payload
+    /// parameters were drawn.
+    aux: SimRng,
+}
+
+/// Stream-index encoding for [`SimRng::derive`]: connection index in the
+/// high bits, direction in bit 0.
+fn stream_index(conn: u64, dir: Dir) -> u64 {
+    (conn << 1) | u64::from(dir == Dir::ToClient)
+}
+
+impl FaultState {
+    /// The decision stream for connection `conn`, direction `dir`, under
+    /// `seed`. Rules not matching `dir` are dropped up front (they must
+    /// not consume random draws meant for the other direction).
+    pub fn new(schedule: &ChaosSchedule, seed: u64, conn: u64, dir: Dir) -> FaultState {
+        assert!(dir != Dir::Both, "a stream has a concrete direction");
+        FaultState {
+            rules: schedule
+                .rules
+                .iter()
+                .copied()
+                .filter(|r| r.dir.matches(dir))
+                .collect(),
+            rng: SimRng::derive(seed, stream_index(conn, dir)),
+            aux: SimRng::derive(seed, stream_index(conn, dir) | (1 << 63)),
+        }
+    }
+
+    /// All faults firing on 1-based frame `frame_idx`, in rule order.
+    /// Probabilistic rules draw exactly once per call whether or not
+    /// they fire, keeping the stream aligned with frame indices.
+    pub fn decide(&mut self, frame_idx: u64) -> Vec<ChaosFault> {
+        let mut fired = Vec::new();
+        for rule in &self.rules {
+            let fires = match rule.trigger {
+                Trigger::Always => true,
+                Trigger::EveryNth(n) => frame_idx.is_multiple_of(n),
+                Trigger::Once(n) => frame_idx == n,
+                Trigger::Prob(p) => self.rng.next_f64() < p,
+            };
+            if fires {
+                fired.push(rule.fault);
+            }
+        }
+        fired
+    }
+
+    /// A deterministic draw in `[0, n)` from the auxiliary stream (used
+    /// for corruption offsets, so the flipped byte replays too without
+    /// perturbing the trigger stream).
+    pub fn draw_below(&mut self, n: u64) -> u64 {
+        self.aux.next_below(n)
+    }
+}
+
+/// Convenience: a [`Duration`] from a schedule's millisecond argument.
+pub fn ms(ms: u64) -> Duration {
+    Duration::from_millis(ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grammar_round_trips() {
+        let text = "<corrupt@p0.05 reset@n40 stall:200ms@once3 >delay:5ms trunc:12@p0.5 throttle:65536 halfclose@once9";
+        let parsed = ChaosSchedule::parse(text).unwrap();
+        assert_eq!(parsed.rules.len(), 7);
+        let printed = parsed.to_string();
+        assert_eq!(ChaosSchedule::parse(&printed).unwrap(), parsed);
+        assert_eq!(printed, text);
+    }
+
+    #[test]
+    fn bad_tokens_are_rejected_with_detail() {
+        for bad in [
+            "explode",
+            "stall:20",        // missing ms suffix
+            "trunc:x",         // not a number
+            "corrupt@q5",      // unknown trigger
+            "corrupt@p1.5",    // probability out of range
+            "reset@n0",        // zero stride
+            "delay:3ms@once0", // 1-based frames
+            "throttle:0",      // zero rate
+        ] {
+            let e = ChaosSchedule::parse(bad).unwrap_err();
+            assert_eq!(e.token, bad);
+        }
+    }
+
+    #[test]
+    fn placements_are_a_pure_function_of_the_seed() {
+        let schedule = ChaosSchedule::parse("<corrupt@p0.2 reset@p0.1 stall:10ms@n7").unwrap();
+        let a = schedule.placements(99, 4, 50);
+        let b = schedule.placements(99, 4, 50);
+        assert_eq!(a, b, "same seed must place identically");
+        assert!(!a.is_empty(), "this schedule places faults at these sizes");
+        let c = schedule.placements(100, 4, 50);
+        assert_ne!(a, c, "different seed must place differently");
+    }
+
+    #[test]
+    fn directions_have_independent_streams() {
+        let schedule = ChaosSchedule::parse("corrupt@p0.5").unwrap();
+        let mut to_server = FaultState::new(&schedule, 1, 0, Dir::ToServer);
+        let mut to_client = FaultState::new(&schedule, 1, 0, Dir::ToClient);
+        let a: Vec<bool> = (1..=64).map(|i| !to_server.decide(i).is_empty()).collect();
+        let b: Vec<bool> = (1..=64).map(|i| !to_client.decide(i).is_empty()).collect();
+        assert_ne!(a, b, "directions must not share a stream");
+    }
+
+    #[test]
+    fn direction_filter_drops_rules_without_consuming_draws() {
+        // A ToServer-only probabilistic rule ahead of a shared one must
+        // not shift the shared rule's draws on the ToClient stream.
+        let with_filtered = ChaosSchedule::parse(">reset@p0.5 corrupt@p0.3").unwrap();
+        let alone = ChaosSchedule::parse("corrupt@p0.3").unwrap();
+        let mut a = FaultState::new(&with_filtered, 7, 2, Dir::ToClient);
+        let mut b = FaultState::new(&alone, 7, 2, Dir::ToClient);
+        for i in 1..=128 {
+            assert_eq!(a.decide(i), b.decide(i), "frame {i}");
+        }
+    }
+
+    #[test]
+    fn deterministic_triggers_fire_exactly_where_declared() {
+        let schedule = ChaosSchedule::parse("reset@once5 corrupt@n3").unwrap();
+        let mut s = FaultState::new(&schedule, 0, 0, Dir::ToServer);
+        for i in 1..=12 {
+            let fired = s.decide(i);
+            assert_eq!(fired.contains(&ChaosFault::Reset), i == 5, "frame {i}");
+            assert_eq!(
+                fired.contains(&ChaosFault::Corrupt),
+                i % 3 == 0,
+                "frame {i}"
+            );
+        }
+    }
+}

@@ -23,7 +23,7 @@ use crate::peer::{ClusterPeer, PeerLink, PeerStats};
 use crate::ring::HashRing;
 
 /// Cluster construction knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ClusterOptions {
     /// Virtual nodes per shard on the ring.
     pub vnodes: u32,
@@ -86,8 +86,12 @@ impl ProxyCluster {
         let mut servers = Vec::with_capacity(proxies.len());
         let mut addrs = Vec::with_capacity(proxies.len());
         for proxy in &proxies {
-            let server =
-                ProxyServer::bind("127.0.0.1:0", proxy.clone(), console.clone(), opts.server)?;
+            let server = ProxyServer::bind(
+                "127.0.0.1:0",
+                proxy.clone(),
+                console.clone(),
+                opts.server.clone(),
+            )?;
             addrs.push(server.addr());
             servers.push(Some(server));
         }

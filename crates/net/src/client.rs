@@ -82,6 +82,16 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 pub enum NetError {
     /// Transport failure (connect, read, or write).
     Io(std::io::ErrorKind, String),
+    /// The connection died mid-frame: part of a response arrived and the
+    /// stream then closed. Distinct from a clean close (`Io`) because it
+    /// proves a message was cut in half — retryable, but never
+    /// confusable with an orderly EOF.
+    Truncated {
+        /// Bytes of the frame that arrived before the cut.
+        got: usize,
+        /// Declared frame size, when the length prefix survived.
+        expected: Option<usize>,
+    },
     /// The peer sent bytes that do not parse as a frame.
     Frame(FrameError),
     /// The peer sent a well-formed frame that violates the protocol
@@ -101,9 +111,11 @@ pub enum NetError {
 }
 
 impl NetError {
-    fn is_transport(&self) -> bool {
+    /// True when the failure came from the transport (socket errors and
+    /// mid-frame truncations) rather than from what the peer said.
+    pub fn is_transport(&self) -> bool {
         match self {
-            NetError::Io(..) => true,
+            NetError::Io(..) | NetError::Truncated { .. } => true,
             NetError::Frame(e) => e.is_transport(),
             _ => false,
         }
@@ -120,10 +132,26 @@ impl NetError {
         }
     }
 
+    /// True when the *stream itself* can no longer be trusted: the peer's
+    /// bytes failed to parse, violated the protocol state machine, or
+    /// carried an invalid signature. Any of these means the connection is
+    /// desynchronized or the link corrupted what crossed it — the only
+    /// safe response is to discard the connection and retry on a fresh
+    /// one, where signature verification again gates what is delivered.
+    pub fn is_integrity(&self) -> bool {
+        match self {
+            NetError::BadSignature | NetError::Protocol(_) => true,
+            NetError::Frame(e) => !e.is_transport(),
+            _ => false,
+        }
+    }
+
     /// True for failures worth retrying on the *same* endpoint:
-    /// transport errors and typed overload rejections.
+    /// transport errors, typed overload rejections, and integrity
+    /// failures (corrupted or desynchronized streams, retried on a
+    /// fresh connection).
     pub fn is_retryable(&self) -> bool {
-        self.is_transport() || self.is_overload()
+        self.is_transport() || self.is_overload() || self.is_integrity()
     }
 }
 
@@ -131,6 +159,13 @@ impl std::fmt::Display for NetError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             NetError::Io(kind, e) => write!(f, "transport ({kind:?}): {e}"),
+            NetError::Truncated { got, expected } => match expected {
+                Some(want) => write!(f, "response truncated mid-frame: {got} of {want} bytes"),
+                None => write!(
+                    f,
+                    "response truncated inside the length prefix: {got} bytes"
+                ),
+            },
             NetError::Frame(e) => write!(f, "{e}"),
             NetError::Protocol(d) => write!(f, "protocol violation: {d}"),
             NetError::Remote { code, message } => write!(f, "server error {code:?}: {message}"),
@@ -150,7 +185,10 @@ impl From<std::io::Error> for NetError {
 
 impl From<FrameError> for NetError {
     fn from(e: FrameError) -> NetError {
-        NetError::Frame(e)
+        match e {
+            FrameError::Truncated { got, expected } => NetError::Truncated { got, expected },
+            other => NetError::Frame(other),
+        }
     }
 }
 
@@ -846,5 +884,34 @@ mod tests {
             message: "nope".into(),
         };
         assert!(!not.is_retryable());
+    }
+
+    #[test]
+    fn integrity_failures_are_retryable_but_not_transport() {
+        // A corrupted or desynchronized stream: retry on a fresh
+        // connection, where verification gates delivery again.
+        for e in [
+            NetError::BadSignature,
+            NetError::Protocol("response id 9 for request 3".into()),
+            NetError::Frame(FrameError::Malformed("trailing bytes".into())),
+            NetError::Frame(FrameError::UnknownTag(0x7F)),
+            NetError::Frame(FrameError::BadLength(u32::MAX as u64)),
+        ] {
+            assert!(e.is_integrity(), "{e}");
+            assert!(e.is_retryable(), "{e}");
+            assert!(!e.is_transport(), "{e}");
+        }
+        // Mid-frame truncation is transport-class, not integrity.
+        let t = NetError::Truncated {
+            got: 7,
+            expected: Some(64),
+        };
+        assert!(t.is_transport() && t.is_retryable() && !t.is_integrity());
+        // Typed remote answers are neither.
+        let remote = NetError::Remote {
+            code: ErrorCode::Filter,
+            message: "rejected".into(),
+        };
+        assert!(!remote.is_integrity() && !remote.is_retryable());
     }
 }

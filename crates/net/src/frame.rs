@@ -231,7 +231,21 @@ pub enum FrameError {
     UnknownTag(u8),
     /// Payload failed structural validation.
     Malformed(String),
-    /// The underlying transport failed (includes clean EOF mid-frame).
+    /// The stream ended *inside* a frame: some of the length prefix or
+    /// body arrived and then the connection closed. Distinct from
+    /// [`FrameError::Io`] with a clean EOF between frames — a truncation
+    /// means the peer (or the link) died mid-message, and whatever was
+    /// received must not be mistaken for a complete answer.
+    Truncated {
+        /// Bytes of the frame that did arrive (prefix included).
+        got: usize,
+        /// Bytes the frame declared (prefix included), when the length
+        /// prefix itself arrived intact; `None` when the cut fell inside
+        /// the prefix.
+        expected: Option<usize>,
+    },
+    /// The underlying transport failed (includes clean EOF between
+    /// frames).
     Io(io::ErrorKind, String),
 }
 
@@ -247,6 +261,10 @@ impl std::fmt::Display for FrameError {
             FrameError::BadLength(n) => write!(f, "frame length {n} out of bounds"),
             FrameError::UnknownTag(t) => write!(f, "unknown frame tag {t:#04x}"),
             FrameError::Malformed(d) => write!(f, "malformed frame: {d}"),
+            FrameError::Truncated { got, expected } => match expected {
+                Some(want) => write!(f, "frame truncated mid-stream: {got} of {want} bytes"),
+                None => write!(f, "frame truncated inside the length prefix: {got} bytes"),
+            },
             FrameError::Io(kind, e) => write!(f, "transport ({kind:?}): {e}"),
         }
     }
@@ -262,9 +280,11 @@ impl From<io::Error> for FrameError {
 
 impl FrameError {
     /// True when the failure came from the transport rather than the
-    /// frame grammar — the class of error a client may retry.
+    /// frame grammar — the class of error a client may retry. A mid-frame
+    /// truncation is transport-class: the message was cut by the link,
+    /// not malformed by the sender.
     pub fn is_transport(&self) -> bool {
-        matches!(self, FrameError::Io(..))
+        matches!(self, FrameError::Io(..) | FrameError::Truncated { .. })
     }
 }
 
@@ -609,17 +629,60 @@ impl Frame {
 
     /// Reads one frame from a stream, enforcing the length bound before
     /// allocating.
+    ///
+    /// A stream that ends *between* frames (zero bytes of the next
+    /// frame read) is a clean EOF and surfaces as [`FrameError::Io`];
+    /// a stream that ends after delivering part of a frame surfaces as
+    /// [`FrameError::Truncated`], so callers can tell a peer that hung
+    /// up from a link that cut a message in half.
     pub fn read_from(r: &mut impl Read) -> Result<Frame, FrameError> {
         let mut prefix = [0u8; 4];
-        r.read_exact(&mut prefix)?;
+        match fill(r, &mut prefix)? {
+            0 => {
+                return Err(FrameError::Io(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed".into(),
+                ))
+            }
+            4 => {}
+            got => {
+                return Err(FrameError::Truncated {
+                    got,
+                    expected: None,
+                })
+            }
+        }
         let len = u32::from_be_bytes(prefix) as usize;
         if len == 0 || len > MAX_FRAME_LEN {
             return Err(FrameError::BadLength(len as u64));
         }
         let mut body = vec![0u8; len];
-        r.read_exact(&mut body)?;
+        let got = fill(r, &mut body)?;
+        if got < len {
+            return Err(FrameError::Truncated {
+                got: 4 + got,
+                expected: Some(4 + len),
+            });
+        }
         Frame::decode_body(&body)
     }
+}
+
+/// Reads until `buf` is full or EOF, returning the bytes read. Unlike
+/// `read_exact`, a short read is reported with its exact count instead
+/// of an opaque `UnexpectedEof`, which is what lets [`Frame::read_from`]
+/// tell clean EOF (0 bytes) from mid-frame truncation (some bytes).
+fn fill(r: &mut impl Read, buf: &mut [u8]) -> Result<usize, FrameError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => break,
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(got)
 }
 
 #[cfg(test)]
@@ -735,6 +798,37 @@ mod tests {
                 assert!(Frame::decode(&encoded[..cut]).is_err(), "cut at {cut}");
             }
         }
+    }
+
+    #[test]
+    fn clean_eof_and_mid_frame_truncation_are_distinct() {
+        // Zero bytes: the peer hung up between frames.
+        let mut empty: &[u8] = &[];
+        assert!(matches!(
+            Frame::read_from(&mut empty),
+            Err(FrameError::Io(io::ErrorKind::UnexpectedEof, _))
+        ));
+        // Any strict prefix of a real frame: the link died mid-message.
+        let encoded = Frame::Welcome { session: 9 }.encode();
+        for cut in 1..encoded.len() {
+            let mut r = &encoded[..cut];
+            match Frame::read_from(&mut r) {
+                Err(FrameError::Truncated { got, expected }) => {
+                    assert_eq!(got, cut, "cut at {cut}");
+                    if cut >= 4 {
+                        assert_eq!(expected, Some(encoded.len()));
+                    } else {
+                        assert_eq!(expected, None);
+                    }
+                }
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+        assert!(FrameError::Truncated {
+            got: 1,
+            expected: None
+        }
+        .is_transport());
     }
 
     #[test]

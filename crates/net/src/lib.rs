@@ -31,4 +31,7 @@ pub use client::{
     fetch_stats, NetClassProvider, NetClientStats, NetConfig, NetError, NetTransfer, RemoteConsole,
 };
 pub use frame::{kind_from_u8, kind_to_u8, ErrorCode, Frame, FrameError, Hello, MAX_FRAME_LEN};
-pub use server::{FaultPlan, ProxyServer, ServerConfig, ServerStats};
+pub use server::{
+    FaultAction, FaultPlan, FaultRule, FaultScope, FaultTrigger, ProxyServer, ServerConfig,
+    ServerStats,
+};

@@ -21,6 +21,7 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use dvm_monitor::{AdminConsole, ClientDescription, SessionId, SiteId};
+use dvm_netsim::SimRng;
 use dvm_proxy::{CacheTier, Proxy, ProxyError, RequestContext, ServedFrom};
 use dvm_telemetry::{Counter, Gauge, Histogram, SpanId, Telemetry, TraceContext};
 
@@ -28,7 +29,7 @@ use crate::frame::{kind_from_u8, ErrorCode, Frame, FrameError, Hello};
 use crate::sema::Semaphore;
 
 /// Server tuning knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Maximum concurrently served connections. Connections beyond the
     /// limit are *rejected* with a typed `Overloaded` error frame rather
@@ -52,12 +53,123 @@ impl Default for ServerConfig {
     }
 }
 
-/// Deliberate failure injection, for exercising client retry paths.
+/// Deliberate failure injection: a schedule of [`FaultRule`]s evaluated
+/// against every code request. The first rule whose trigger fires
+/// supplies the [`FaultAction`]; rules that do not fire leave the
+/// request untouched. The same plan is shared by a standalone
+/// [`ProxyServer`] and every shard of a `ProxyCluster`, so one schedule
+/// describes an organization-wide failure mode.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Rules, evaluated in order; the first firing rule wins.
+    pub rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// The classic single-fault plan: abruptly drop the connection
+    /// instead of answering every `n`-th code request (counted across
+    /// all connections, 1-based).
+    pub fn drop_every_nth(n: u64) -> FaultPlan {
+        FaultPlan {
+            rules: vec![FaultRule {
+                action: FaultAction::Drop,
+                trigger: FaultTrigger::EveryNth(n),
+                scope: FaultScope::PerServer,
+            }],
+        }
+    }
+
+    /// Appends a rule (builder style).
+    pub fn with(mut self, action: FaultAction, trigger: FaultTrigger, scope: FaultScope) -> Self {
+        self.rules.push(FaultRule {
+            action,
+            trigger,
+            scope,
+        });
+        self
+    }
+
+    /// The action to apply to a request, given its 1-based sequence
+    /// numbers on the whole server and on its connection. Pure: the same
+    /// `(plan, server_seq, conn_seq)` always answers the same, which is
+    /// what makes seeded schedules replayable.
+    pub fn decide(&self, server_seq: u64, conn_seq: u64) -> Option<FaultAction> {
+        self.rules.iter().find_map(|r| {
+            let seq = match r.scope {
+                FaultScope::PerServer => server_seq,
+                FaultScope::PerConnection => conn_seq,
+            };
+            r.trigger.fires(seq).then_some(r.action)
+        })
+    }
+}
+
+/// One fault-injection rule: what to do, when, counted against what.
 #[derive(Debug, Clone, Copy)]
-pub enum FaultPlan {
-    /// Abruptly drop the connection instead of answering every `n`-th
-    /// code request (counted across all connections, 1-based).
-    DropEveryNthRequest(u64),
+pub struct FaultRule {
+    /// The failure to inject.
+    pub action: FaultAction,
+    /// When the failure fires.
+    pub trigger: FaultTrigger,
+    /// Which request counter the trigger is evaluated against.
+    pub scope: FaultScope,
+}
+
+/// The injectable failure modes on the server side of the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Abruptly close the connection instead of answering.
+    Drop,
+    /// Answer, but only after sleeping this long (client read-timeout
+    /// territory).
+    Delay(Duration),
+    /// Answer with the payload's bytes corrupted (one byte flipped), so
+    /// the client's signature verification must catch it.
+    Corrupt,
+    /// Send only the first `n` bytes of the encoded response, then close
+    /// — a mid-frame truncation as seen by the client.
+    Truncate(usize),
+}
+
+/// When a [`FaultRule`] fires, as a function of a request sequence
+/// number (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTrigger {
+    /// Every `n`-th request (`seq % n == 0`); never for `n == 0`.
+    EveryNth(u64),
+    /// Exactly the `n`-th request.
+    Once(u64),
+    /// Pseudo-randomly with probability `per_mille`/1000, decided by a
+    /// pure function of `(seed, seq)` — deterministic replay without any
+    /// shared generator state across connection threads.
+    Seeded {
+        /// Experiment seed.
+        seed: u64,
+        /// Firing probability in thousandths.
+        per_mille: u16,
+    },
+}
+
+impl FaultTrigger {
+    /// Whether the trigger fires for 1-based request number `seq`.
+    pub fn fires(self, seq: u64) -> bool {
+        match self {
+            FaultTrigger::EveryNth(n) => n > 0 && seq.is_multiple_of(n),
+            FaultTrigger::Once(n) => seq == n,
+            FaultTrigger::Seeded { seed, per_mille } => {
+                SimRng::derive(seed, seq).next_f64() < f64::from(per_mille) / 1000.0
+            }
+        }
+    }
+}
+
+/// Which request counter a [`FaultTrigger`] is evaluated against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultScope {
+    /// The server-wide request counter (across all connections).
+    PerServer,
+    /// The connection's own request counter.
+    PerConnection,
 }
 
 /// Aggregate server statistics.
@@ -176,12 +288,13 @@ impl ProxyServer {
         let addr = listener.local_addr()?;
         let telemetry = proxy.telemetry();
         let metrics = ServerMetrics::register(&telemetry);
+        let max_connections = config.max_connections.max(1);
         let inner = Arc::new(Inner {
             proxy,
             console,
             config,
             running: AtomicBool::new(true),
-            sema: Arc::new(Semaphore::new(config.max_connections.max(1))),
+            sema: Arc::new(Semaphore::new(max_connections)),
             stats: Mutex::new(ServerStats::default()),
             request_counter: AtomicU64::new(0),
             anon_sessions: AtomicU64::new(1),
@@ -402,12 +515,17 @@ fn serve_connection(stream: TcpStream, inner: &Inner) {
         bytes_in: Some(inner.metrics.bytes_in.clone()),
     };
     let mut hello: Option<Hello> = None;
+    // 1-based count of code requests on *this* connection, for
+    // per-connection fault triggers.
+    let mut conn_requests: u64 = 0;
 
     while inner.running.load(Ordering::SeqCst) {
         let frame = match reader.poll_frame() {
             Ok(Some(frame)) => frame,
             Ok(None) => continue,
-            Err(FrameError::Io(..)) => break,
+            // Transport-class failures (including a client that died
+            // mid-frame) have no one left to answer.
+            Err(e) if e.is_transport() => break,
             Err(e) => {
                 inner.stats.lock().malformed += 1;
                 inner.metrics.malformed.inc();
@@ -451,12 +569,23 @@ fn serve_connection(stream: TcpStream, inner: &Inner) {
                 ..
             } => {
                 inner.stats.lock().requests += 1;
-                if let Some(FaultPlan::DropEveryNthRequest(n)) = inner.config.fault {
-                    let seq = inner.request_counter.fetch_add(1, Ordering::SeqCst) + 1;
-                    if n > 0 && seq.is_multiple_of(n) {
-                        inner.stats.lock().faults_injected += 1;
-                        let _ = reader.stream.shutdown(Shutdown::Both);
-                        break;
+                conn_requests += 1;
+                let fault = inner.config.fault.as_ref().and_then(|plan| {
+                    let server_seq = inner.request_counter.fetch_add(1, Ordering::SeqCst) + 1;
+                    plan.decide(server_seq, conn_requests)
+                });
+                if let Some(action) = fault {
+                    inner.stats.lock().faults_injected += 1;
+                    match action {
+                        FaultAction::Drop => {
+                            let _ = reader.stream.shutdown(Shutdown::Both);
+                            break;
+                        }
+                        // Delay, Corrupt, and Truncate still serve the
+                        // request (the fault lands on the response path
+                        // below).
+                        FaultAction::Delay(d) => std::thread::sleep(d),
+                        FaultAction::Corrupt | FaultAction::Truncate(_) => {}
                     }
                 }
                 // A traced request gets a "shard.serve" span covering
@@ -477,7 +606,7 @@ fn serve_connection(stream: TcpStream, inner: &Inner) {
                         parent: id,
                     }),
                 };
-                let reply = match inner.proxy.handle_request_detailed(&url, &ctx) {
+                let mut reply = match inner.proxy.handle_request_detailed(&url, &ctx) {
                     Ok(response) => {
                         inner.stats.lock().responses += 1;
                         Frame::CodeResponse {
@@ -513,8 +642,39 @@ fn serve_connection(stream: TcpStream, inner: &Inner) {
                         serve_duration,
                     );
                 }
-                if !inner.send(&mut writer, &reply) {
-                    break;
+                match fault {
+                    Some(FaultAction::Corrupt) => {
+                        // Flip one byte in the middle of the payload: the
+                        // frame still parses, so only the client's
+                        // signature check can catch the damage.
+                        if let Frame::CodeResponse { bytes, .. } = &mut reply {
+                            if !bytes.is_empty() {
+                                let mid = bytes.len() / 2;
+                                bytes[mid] ^= 0xFF;
+                            }
+                        }
+                        if !inner.send(&mut writer, &reply) {
+                            break;
+                        }
+                    }
+                    Some(FaultAction::Truncate(n)) => {
+                        // Deliver a strict prefix of the encoded frame,
+                        // then die: the client must see a mid-frame
+                        // truncation, never a short-but-clean close.
+                        let encoded = reply.encode();
+                        let cut = n.clamp(1, encoded.len().saturating_sub(1));
+                        inner.metrics.frames_out.inc();
+                        inner.metrics.bytes_out.add(cut as u64);
+                        let _ = writer.write_all(&encoded[..cut]);
+                        let _ = writer.flush();
+                        let _ = reader.stream.shutdown(Shutdown::Both);
+                        break;
+                    }
+                    _ => {
+                        if !inner.send(&mut writer, &reply) {
+                            break;
+                        }
+                    }
                 }
             }
             Frame::AuditEvent {

@@ -5,6 +5,7 @@
 //! repository root for the system inventory and experiment index.
 
 pub use dvm_bytecode as bytecode;
+pub use dvm_chaos as chaos;
 pub use dvm_classfile as classfile;
 pub use dvm_cluster as cluster;
 pub use dvm_compiler as compiler;

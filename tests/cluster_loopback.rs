@@ -90,7 +90,7 @@ fn killing_one_of_three_shards_mid_run_loses_no_client() {
                 // Transient drops on top of the hard kill: failover and
                 // same-shard retry coexist.
                 server: ServerConfig {
-                    fault: Some(FaultPlan::DropEveryNthRequest(17)),
+                    fault: Some(FaultPlan::drop_every_nth(17)),
                     ..ServerConfig::default()
                 },
                 ..ClusterOptions::default()

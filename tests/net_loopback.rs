@@ -155,19 +155,33 @@ fn cache_tiers_and_signatures_are_reported_correctly() {
     assert_eq!(first.stats().signature_failures, 0);
     assert_eq!(second.stats().signature_failures, 0);
 
-    // A client verifying with the wrong key must reject the payload.
+    // A client verifying with the wrong key must reject the payload. An
+    // integrity failure is retried on a fresh connection (the stream
+    // cannot be trusted), so a *persistent* bad key exhausts the retry
+    // budget — every attempt rejected, nothing ever delivered.
+    let wrong_config = NetConfig {
+        backoff_base: Duration::from_millis(1),
+        backoff_max: Duration::from_millis(2),
+        ..NetConfig::default()
+    };
     let mut wrong_key = NetClassProvider::new(
         addr,
         hello("mallory"),
         Some(Signer::new(b"not-the-org-key")),
-        NetConfig::default(),
+        wrong_config,
     )
     .unwrap();
     match wrong_key.fetch(&url) {
-        Err(NetError::BadSignature) => {}
-        other => panic!("expected BadSignature, got {other:?}"),
+        Err(NetError::Exhausted(inner)) => {
+            assert!(matches!(*inner, NetError::BadSignature), "got {inner:?}")
+        }
+        other => panic!("expected exhausted BadSignature retries, got {other:?}"),
     }
-    assert_eq!(wrong_key.stats().signature_failures, 1);
+    assert_eq!(
+        wrong_key.stats().signature_failures,
+        u64::from(wrong_config.max_attempts),
+        "every attempt must have been verified and rejected"
+    );
 
     // Typed error frames: an unknown URL is a remote NotFound, not a
     // transport failure.
@@ -191,7 +205,7 @@ fn injected_connection_drops_are_recovered_by_retry() {
         .serve_with(
             "127.0.0.1:0",
             ServerConfig {
-                fault: Some(FaultPlan::DropEveryNthRequest(4)),
+                fault: Some(FaultPlan::drop_every_nth(4)),
                 ..ServerConfig::default()
             },
         )

@@ -1,6 +1,9 @@
 //! Property-based tests for the dvm-net wire protocol: every frame that
 //! is encoded decodes back identically, and truncated, oversized, or
-//! garbage inputs are rejected without panicking.
+//! garbage inputs are rejected without panicking — plus a deterministic
+//! replay of the hostile-bytes corpus in `tests/corpus/`.
+
+use std::path::PathBuf;
 
 use proptest::prelude::*;
 
@@ -185,4 +188,76 @@ proptest! {
         prop_assert_eq!(decoded, frame);
         prop_assert_eq!(consumed, encoded.len());
     }
+}
+
+/// Parses one corpus `.hex` file: `#` comments, whitespace-separated or
+/// contiguous hex digits.
+fn parse_hex_corpus(text: &str) -> Vec<u8> {
+    let digits: String = text
+        .lines()
+        .map(|line| line.split('#').next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join(" ")
+        .chars()
+        .filter(|c| c.is_ascii_hexdigit())
+        .collect();
+    assert!(
+        digits.len().is_multiple_of(2),
+        "corpus file holds an odd number of hex digits"
+    );
+    digits
+        .as_bytes()
+        .chunks(2)
+        .map(|pair| u8::from_str_radix(std::str::from_utf8(pair).unwrap(), 16).unwrap())
+        .collect()
+}
+
+/// Replays every hostile input in `tests/corpus/` against both
+/// decoders. Each must be rejected with a typed `FrameError` by the
+/// strict decoder — never accepted, never a panic. The streaming
+/// decoder may additionally answer `Ok(None)` (incomplete), which the
+/// connection-level reader later converts to `FrameError::Truncated`.
+#[test]
+fn corpus_inputs_are_rejected_without_panicking() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut cases = 0usize;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("tests/corpus exists")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "hex"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "corpus directory has no .hex entries");
+    for path in entries {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let bytes = parse_hex_corpus(&std::fs::read_to_string(&path).unwrap());
+        cases += 1;
+
+        let strict = Frame::decode(&bytes);
+        assert!(
+            strict.is_err(),
+            "{name}: strict decoder accepted hostile bytes: {strict:?}"
+        );
+
+        match Frame::try_decode(&bytes) {
+            Err(_) => {}
+            Ok(None) => {
+                // Only legitimate for inputs shorter than their declared
+                // frame — the decoder is still waiting for bytes.
+                let declared = if bytes.len() >= 4 {
+                    4 + u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize
+                } else {
+                    usize::MAX
+                };
+                assert!(
+                    bytes.len() < declared,
+                    "{name}: streaming decoder withheld judgment on a complete frame"
+                );
+            }
+            Ok(Some((frame, _))) => {
+                panic!("{name}: streaming decoder accepted hostile bytes as {frame:?}")
+            }
+        }
+    }
+    assert!(cases >= 10, "corpus shrank to {cases} entries");
 }
