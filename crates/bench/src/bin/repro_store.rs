@@ -1,0 +1,305 @@
+//! Persistence: cold-vs-warm restart makespan and store recovery curves.
+//!
+//! The paper's proxy pays the rewrite cost once per class and amortizes
+//! it across every client in the organization — but only for as long as
+//! the proxy process lives. `dvm-store` extends the amortization across
+//! process lifetimes: a restarted shard reopens its append-only log and
+//! serves previous rewrites from the disk tier instead of re-rewriting.
+//! This bench measures what that buys and what it costs:
+//!
+//! - **restart** — the same fetch workload over sockets against a fresh
+//!   (cold) persistent shard and against a restarted (warm) one: rewrite
+//!   counts, simulated processing makespan, and wall time. The warm run
+//!   must report zero rewrites — that is the entire point of the store.
+//! - **throughput** — raw `Store` append and lookup rates per
+//!   durability policy (`always` fsyncs every append, `batch` every
+//!   16th, `never` leaves it to the OS).
+//! - **recovery** — `Store::open` wall time against log size: the price
+//!   of a warm start grows with the log it replays.
+//!
+//! `--quick` shrinks every dimension (CI smoke); `--json` additionally
+//! writes `BENCH_store.json`.
+
+use std::time::Instant;
+
+use dvm_bench::{Json, Table};
+use dvm_cluster::ClusterOptions;
+use dvm_core::{CostModel, Organization, ServiceConfig};
+use dvm_net::{Hello, NetClassProvider, NetConfig};
+use dvm_proxy::Signer;
+use dvm_security::Policy;
+use dvm_store::{Durability, Store, StoreConfig};
+use dvm_workload::corpus;
+
+const SEED: u64 = 0x5709;
+
+/// A scratch directory removed on drop, so aborted runs don't litter.
+struct Scratch(std::path::PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir =
+            std::env::temp_dir().join(format!("dvm-repro-store-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn hello(user: &str) -> Hello {
+    Hello {
+        user: user.to_owned(),
+        principal: "applets".to_owned(),
+        hardware: "x86/200MHz/64MB".to_owned(),
+        native_format: "x86".to_owned(),
+        jvm_version: "dvm-repro-0.1".to_owned(),
+    }
+}
+
+/// One life of the restart experiment: a single persistent shard over
+/// `dir`, every URL fetched `reps` times over a real socket. Returns
+/// (rewrites, disk serves, simulated processing ns, wall ms).
+fn restart_life(
+    org: &Organization,
+    urls: &[String],
+    dir: &std::path::Path,
+    reps: usize,
+) -> (u64, u64, u64, f64) {
+    let cluster = org
+        .serve_cluster_persistent(
+            1,
+            ClusterOptions {
+                seed: SEED,
+                ..ClusterOptions::default()
+            },
+            dir,
+        )
+        .expect("persistent shard");
+    let mut provider = NetClassProvider::new(
+        cluster.addrs()[0],
+        hello("store-bench"),
+        Some(Signer::new(b"dvm-org-key")),
+        NetConfig::default(),
+    )
+    .expect("connect");
+
+    let started = Instant::now();
+    let mut processing_ns = 0u64;
+    let mut disk_serves = 0u64;
+    for _ in 0..reps {
+        for url in urls {
+            let (_, transfer) = provider.fetch(url).expect("fetch");
+            processing_ns += transfer.processing_ns;
+            if transfer.served_from == dvm_proxy::ServedFrom::DiskCache {
+                disk_serves += 1;
+            }
+        }
+    }
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let rewrites = cluster.proxy(0).stats().rewrites;
+    provider.close();
+    cluster.shutdown();
+    (rewrites, disk_serves, processing_ns, wall_ms)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (applet_count, reps, ops, recovery_sizes): (usize, usize, usize, &[usize]) = if quick {
+        (3, 2, 400, &[50, 200, 500])
+    } else {
+        (4, 3, 4_000, &[100, 500, 2_000, 8_000])
+    };
+
+    let mut applets = corpus(11);
+    applets.sort_by_key(|a| {
+        a.classes
+            .iter()
+            .map(|c| c.clone().to_bytes().unwrap().len())
+            .sum::<usize>()
+    });
+    applets.truncate(applet_count);
+    let classes: Vec<_> = applets
+        .iter()
+        .flat_map(|a| a.classes.iter().cloned())
+        .collect();
+    let urls: Vec<String> = classes
+        .iter()
+        .map(|c| format!("class://{}", c.name().unwrap()))
+        .collect();
+
+    let mut services = ServiceConfig::dvm();
+    services.signing = true;
+    let org = Organization::new(
+        &classes,
+        Policy::parse(dvm_security::policy::example_policy()).unwrap(),
+        services,
+        CostModel::default(),
+    )
+    .unwrap();
+
+    println!(
+        "persistent store: restart makespan, append/lookup throughput, recovery curve ({} urls x {} reps{})",
+        urls.len(),
+        reps,
+        if quick { ", --quick" } else { "" }
+    );
+    println!("(one persistent shard over loopback; the store is the proxy's disk cache tier)\n");
+
+    // ---- restart: cold vs warm over sockets ----------------------------
+    let scratch = Scratch::new("restart");
+    let (cold_rw, cold_disk, cold_ns, cold_ms) = restart_life(&org, &urls, &scratch.0, reps);
+    let (warm_rw, warm_disk, warm_ns, warm_ms) = restart_life(&org, &urls, &scratch.0, reps);
+
+    let mut restart = Table::new(&[
+        "Life",
+        "Fetches",
+        "Rewrites",
+        "Disk serves",
+        "Sim makespan (ms)",
+        "Wall (ms)",
+    ]);
+    let fetches = (urls.len() * reps) as u64;
+    restart.row(&[
+        "cold (fresh dir)".into(),
+        fetches.to_string(),
+        cold_rw.to_string(),
+        cold_disk.to_string(),
+        format!("{:.3}", cold_ns as f64 / 1e6),
+        format!("{cold_ms:.2}"),
+    ]);
+    restart.row(&[
+        "warm (restart)".into(),
+        fetches.to_string(),
+        warm_rw.to_string(),
+        warm_disk.to_string(),
+        format!("{:.3}", warm_ns as f64 / 1e6),
+        format!("{warm_ms:.2}"),
+    ]);
+    restart.print();
+    assert_eq!(
+        warm_rw, 0,
+        "a warm restart re-rewrote classes: the disk tier did not survive"
+    );
+    assert!(
+        warm_disk > 0,
+        "a warm restart never touched the disk tier: nothing was recovered"
+    );
+    drop(scratch);
+
+    // ---- throughput: append / lookup rate per durability ---------------
+    println!();
+    let mut throughput = Table::new(&["Durability", "Appends", "Append/s", "Fsyncs", "Lookup/s"]);
+    for (name, durability) in [
+        ("always", Durability::Always),
+        ("batch(16)", Durability::Batch(16)),
+        ("never", Durability::Never),
+    ] {
+        let scratch = Scratch::new(&format!("tp-{name}"));
+        let mut store = Store::open(
+            &scratch.0,
+            StoreConfig {
+                durability,
+                ..StoreConfig::default()
+            },
+        )
+        .expect("open");
+        let value = vec![0xA5u8; 1024];
+        // `always` pays a real fsync per append; keep its op count sane.
+        let n = if matches!(durability, Durability::Always) {
+            (ops / 10).max(50)
+        } else {
+            ops
+        };
+        let started = Instant::now();
+        for i in 0..n {
+            store
+                .put(&format!("class://bench/Cls{:06}", i % 512), &value)
+                .expect("put");
+        }
+        let append_s = n as f64 / started.elapsed().as_secs_f64();
+        let fsyncs = store.stats().fsyncs;
+        let started = Instant::now();
+        for i in 0..n {
+            store
+                .get(&format!("class://bench/Cls{:06}", i % 512))
+                .expect("get")
+                .expect("present");
+        }
+        let lookup_s = n as f64 / started.elapsed().as_secs_f64();
+        throughput.row(&[
+            name.into(),
+            n.to_string(),
+            format!("{append_s:.0}"),
+            fsyncs.to_string(),
+            format!("{lookup_s:.0}"),
+        ]);
+    }
+    throughput.print();
+
+    // ---- recovery: open time vs log size -------------------------------
+    println!();
+    let mut recovery = Table::new(&[
+        "Records",
+        "Live keys",
+        "Log (KiB)",
+        "Open (ms)",
+        "Recovered",
+    ]);
+    for &records in recovery_sizes {
+        let scratch = Scratch::new(&format!("rec-{records}"));
+        {
+            let mut store = Store::open(&scratch.0, StoreConfig::default()).expect("open");
+            let value = vec![0x5Au8; 512];
+            for i in 0..records {
+                // Half the keyspace is overwritten repeatedly, so the log
+                // is longer than the live set — the realistic shape.
+                store
+                    .put(
+                        &format!("class://rec/Cls{:06}", i % (records / 2 + 1)),
+                        &value,
+                    )
+                    .expect("put");
+            }
+            store.flush().expect("flush");
+        }
+        let log_bytes: u64 = std::fs::read_dir(&scratch.0)
+            .expect("dir")
+            .flatten()
+            .filter_map(|e| e.metadata().ok())
+            .map(|m| m.len())
+            .sum();
+        let started = Instant::now();
+        let store = Store::open(&scratch.0, StoreConfig::default()).expect("reopen");
+        let open_ms = started.elapsed().as_secs_f64() * 1e3;
+        recovery.row(&[
+            records.to_string(),
+            store.len().to_string(),
+            format!("{:.1}", log_bytes as f64 / 1024.0),
+            format!("{open_ms:.3}"),
+            store.stats().recovered_records.to_string(),
+        ]);
+    }
+    recovery.print();
+
+    dvm_bench::emit_json(
+        "store",
+        &[
+            ("restart", &restart),
+            ("throughput", &throughput),
+            ("recovery", &recovery),
+        ],
+        &[
+            ("seed", Json::Num(SEED as f64)),
+            ("urls", Json::Num(urls.len() as f64)),
+            ("reps", Json::Num(reps as f64)),
+            ("quick", Json::Bool(quick)),
+        ],
+    );
+
+    println!("\nwarm restart served every class without a single re-rewrite");
+}

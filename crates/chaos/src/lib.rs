@@ -23,6 +23,11 @@
 //!   telemetry counters conserve, and circuit-breaker transition
 //!   counters describe a realizable history. A failing run prints one
 //!   `CHAOS REPLAY:` line with everything needed to reproduce it.
+//!   [`ChaosRunner::run_restart`] extends the harness across a process
+//!   lifetime: a faulted life over persistent shards, an unflushed
+//!   "crash", and a warm second life checked against two more
+//!   invariants (`warm-restart-serves-without-re-rewrite`,
+//!   `no-post-recovery-corruption`).
 //!
 //! The in-server [`dvm_net::FaultPlan`] and this crate compose: the
 //! plan injects faults *inside* the server (drops, delays, corrupt or
@@ -34,7 +39,9 @@ pub mod runner;
 pub mod schedule;
 
 pub use link::{ChaosLink, FaultEvent, LinkStats};
-pub use runner::{oracle_payloads, ChaosReport, ChaosRunner, RunnerConfig, ShardKill, Violation};
+pub use runner::{
+    oracle_payloads, ChaosReport, ChaosRunner, RestartReport, RunnerConfig, ShardKill, Violation,
+};
 pub use schedule::{
     ChaosFault, ChaosRule, ChaosSchedule, Dir, FaultState, ParseError, Placement, Trigger,
 };

@@ -20,7 +20,7 @@ use dvm_cluster::{ClusterClassProvider, ClusterClientConfig, ProxyCluster};
 use dvm_monitor::{AuditSink, EventKind, SiteId};
 use dvm_net::{Hello, ServerStats};
 use dvm_netsim::SimRng;
-use dvm_proxy::{Proxy, RequestContext, SignatureCheck, Signer};
+use dvm_proxy::{Proxy, RequestContext, ServedFrom, SignatureCheck, Signer};
 use dvm_telemetry::MetricsSnapshot;
 
 use crate::link::{ChaosLink, LinkStats};
@@ -125,6 +125,14 @@ pub struct ChaosReport {
     pub audit_sent: u64,
     /// Audit events abandoned after reconnect failure.
     pub audit_dropped: u64,
+    /// Successful fetches the proxies satisfied by rewriting.
+    pub serves_rewritten: u64,
+    /// Successful fetches served from a shard's memory cache tier.
+    pub serves_memory: u64,
+    /// Successful fetches served from a shard's disk cache tier.
+    pub serves_disk: u64,
+    /// Successful fetches served via peer cache-fill.
+    pub serves_peer: u64,
     /// Every invariant failure (empty on a clean run).
     pub violations: Vec<Violation>,
 }
@@ -164,6 +172,10 @@ impl ChaosReport {
             "audit: {} emitted, {} sent, {} dropped\n",
             self.audit_emitted, self.audit_sent, self.audit_dropped
         ));
+        out.push_str(&format!(
+            "served: {} rewritten, {} memory, {} disk, {} peer\n",
+            self.serves_rewritten, self.serves_memory, self.serves_disk, self.serves_peer
+        ));
         if self.violations.is_empty() {
             out.push_str("all invariants held\n");
         } else {
@@ -186,6 +198,10 @@ struct ClientOutcome {
     audit_emitted: u64,
     audit_sent: u64,
     audit_dropped: u64,
+    serves_rewritten: u64,
+    serves_memory: u64,
+    serves_disk: u64,
+    serves_peer: u64,
     snapshot: MetricsSnapshot,
 }
 
@@ -214,22 +230,104 @@ pub fn oracle_payloads(
                 (SignatureCheck::Valid, Some(p)) => p.to_vec(),
                 other => return Err(format!("oracle signature on {url}: {:?}", other.0)),
             },
-            None => served.bytes,
+            None => served.bytes.to_vec(),
         };
         oracle.insert(url.clone(), payload);
     }
     Ok(oracle)
 }
 
+/// The outcome of a kill-then-restart scenario: one faulted run, a
+/// simulated crash (servers die, stores are *not* flushed), a rebuild
+/// over the same data directories, and one clean run that must be
+/// served warm.
+#[derive(Debug, Clone)]
+pub struct RestartReport {
+    /// The faulted first life.
+    pub first: ChaosReport,
+    /// The clean second life over the recovered stores.
+    pub second: ChaosReport,
+    /// Records the restarted shards recovered from their logs.
+    pub recovered_records: u64,
+    /// Restart-specific invariant failures (the per-phase reports carry
+    /// their own).
+    pub violations: Vec<Violation>,
+}
+
+impl RestartReport {
+    /// True when both phases and every restart invariant held.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty() && self.first.ok() && self.second.ok()
+    }
+
+    /// A human summary of both lives and the restart verdict.
+    pub fn render(&self) -> String {
+        let mut out = String::from("--- first life (faulted) ---\n");
+        out.push_str(&self.first.render());
+        out.push_str(&format!(
+            "--- restart: {} records recovered ---\n",
+            self.recovered_records
+        ));
+        out.push_str("--- second life (clean, warm) ---\n");
+        out.push_str(&self.second.render());
+        if self.violations.is_empty() {
+            out.push_str("restart invariants held\n");
+        } else {
+            for v in &self.violations {
+                out.push_str(&format!("VIOLATION {v}\n"));
+            }
+        }
+        out
+    }
+}
+
 /// The harness. See the module docs; [`ChaosRunner::run`] is the whole
-/// API.
+/// API for single-life runs, [`ChaosRunner::run_restart`] for
+/// crash-recovery scenarios.
 pub struct ChaosRunner;
+
+/// A report for a run that never got off the ground.
+fn empty_report(cfg: &RunnerConfig, shards: usize, violations: Vec<Violation>) -> ChaosReport {
+    ChaosReport {
+        seed: cfg.seed,
+        schedule: cfg.schedule.to_string(),
+        clients: cfg.clients,
+        shards,
+        fetches_attempted: 0,
+        fetches_ok: 0,
+        fetches_failed: 0,
+        fetch_p50_ns: 0,
+        fetch_p99_ns: 0,
+        link_stats: Vec::new(),
+        audit_emitted: 0,
+        audit_sent: 0,
+        audit_dropped: 0,
+        serves_rewritten: 0,
+        serves_memory: 0,
+        serves_disk: 0,
+        serves_peer: 0,
+        violations,
+    }
+}
 
 impl ChaosRunner {
     /// Runs `cfg.clients` concurrent clients fetching `urls` through
     /// per-shard [`ChaosLink`]s under `cfg.schedule`, applying scheduled
     /// shard kills, then checks every invariant and reports.
     pub fn run(cluster: &mut ProxyCluster, urls: &[String], cfg: &RunnerConfig) -> ChaosReport {
+        Self::run_inner(cluster, urls, cfg, None)
+    }
+
+    /// A full chaos run, optionally against a pre-computed oracle. The
+    /// restart scenario passes one in so the second life's proxies see
+    /// no traffic besides the clients' — their rewrite counters then
+    /// measure exactly what the warm-restart invariant asserts on.
+    fn run_inner(
+        cluster: &mut ProxyCluster,
+        urls: &[String],
+        cfg: &RunnerConfig,
+        oracle_override: Option<&HashMap<String, Vec<u8>>>,
+    ) -> ChaosReport {
         let shards = cluster.len();
         assert!(!urls.is_empty(), "a chaos run needs at least one URL");
 
@@ -238,29 +336,25 @@ impl ChaosRunner {
         // The oracle is computed before any fault can fire, straight off
         // shard 0's proxy (rewriting is deterministic and signing uses
         // the organization key, so every shard serves these exact bytes).
-        let oracle = match oracle_payloads(cluster.proxy(0), &cfg.signer, &cfg.hello, urls) {
-            Ok(o) => o,
-            Err(e) => {
-                return ChaosReport {
-                    seed: cfg.seed,
-                    schedule: cfg.schedule.to_string(),
-                    clients: cfg.clients,
-                    shards,
-                    fetches_attempted: 0,
-                    fetches_ok: 0,
-                    fetches_failed: 0,
-                    fetch_p50_ns: 0,
-                    fetch_p99_ns: 0,
-                    link_stats: Vec::new(),
-                    audit_emitted: 0,
-                    audit_sent: 0,
-                    audit_dropped: 0,
-                    violations: vec![Violation {
-                        invariant: "oracle",
-                        detail: e,
-                    }],
+        let oracle_owned;
+        let oracle: &HashMap<String, Vec<u8>> = match oracle_override {
+            Some(o) => o,
+            None => match oracle_payloads(cluster.proxy(0), &cfg.signer, &cfg.hello, urls) {
+                Ok(o) => {
+                    oracle_owned = o;
+                    &oracle_owned
                 }
-            }
+                Err(e) => {
+                    return empty_report(
+                        cfg,
+                        shards,
+                        vec![Violation {
+                            invariant: "oracle",
+                            detail: e,
+                        }],
+                    )
+                }
+            },
         };
 
         // Hold every shard's telemetry plane now: the Arcs stay valid
@@ -312,7 +406,6 @@ impl ChaosRunner {
                 .map(|c| {
                     let link_addrs = link_addrs.clone();
                     let ring = ring.clone();
-                    let oracle = &oracle;
                     scope.spawn(move || run_client(c, cfg, urls, oracle, link_addrs, ring, shards))
                 })
                 .collect();
@@ -494,6 +587,180 @@ impl ChaosRunner {
             audit_emitted,
             audit_sent,
             audit_dropped,
+            serves_rewritten: outcomes.iter().flatten().map(|o| o.serves_rewritten).sum(),
+            serves_memory: outcomes.iter().flatten().map(|o| o.serves_memory).sum(),
+            serves_disk: outcomes.iter().flatten().map(|o| o.serves_disk).sum(),
+            serves_peer: outcomes.iter().flatten().map(|o| o.serves_peer).sum(),
+            violations,
+        }
+    }
+
+    /// The kill-then-restart scenario. `make_cluster` must build a
+    /// cluster over a *persistent* data directory and is called twice:
+    /// once for the faulted first life, once — over the same
+    /// directories — for the clean second life.
+    ///
+    /// Before any fault fires, every URL is served once in-process on
+    /// its home shard, so each home shard's store durably holds the
+    /// rewrite (the settle pass also yields the oracle both lives are
+    /// checked against). The first life then runs under `cfg` — faults,
+    /// kills and all — and "crashes": its servers are shut down and no
+    /// store is flushed, so recovery sees exactly what the append path
+    /// already made durable. The second life must prove two invariants:
+    ///
+    /// * `warm-restart-serves-without-re-rewrite` — the restarted
+    ///   shards recovered records, at least one client fetch is served
+    ///   from the disk tier, and **zero** rewrites happen cluster-wide.
+    /// * `no-post-recovery-corruption` — every second-life fetch
+    ///   succeeds byte-identical to the oracle, and no shard's store
+    ///   reports a rejected disk load or a corrupt read.
+    pub fn run_restart<F>(mut make_cluster: F, urls: &[String], cfg: &RunnerConfig) -> RestartReport
+    where
+        F: FnMut() -> ProxyCluster,
+    {
+        let mut first_cluster = make_cluster();
+        let shards = first_cluster.len();
+        let mut violations: Vec<Violation> = Vec::new();
+
+        // Settle pass: deterministic persistence. Routing in-process via
+        // the ring puts each rewrite in its home shard's store exactly
+        // where ring-routed clients will look for it after the restart.
+        let mut oracle: HashMap<String, Vec<u8>> = HashMap::new();
+        for url in urls {
+            let home = first_cluster.ring().home(url).unwrap_or(0) as usize;
+            let ctx = RequestContext {
+                client: "chaos-restart-settle".into(),
+                principal: cfg.hello.principal.clone(),
+                url: url.clone(),
+                trace: None,
+            };
+            let served = match first_cluster.proxy(home).handle_request_detailed(url, &ctx) {
+                Ok(s) => s,
+                Err(e) => {
+                    violations.push(Violation {
+                        invariant: "restart-settle",
+                        detail: format!("settle fetch of {url} on shard {home} failed: {e}"),
+                    });
+                    continue;
+                }
+            };
+            let payload = match &cfg.signer {
+                Some(s) => match s.detach(&served.bytes) {
+                    (SignatureCheck::Valid, Some(p)) => p.to_vec(),
+                    other => {
+                        violations.push(Violation {
+                            invariant: "restart-settle",
+                            detail: format!("settle signature on {url}: {:?}", other.0),
+                        });
+                        continue;
+                    }
+                },
+                None => served.bytes.to_vec(),
+            };
+            oracle.insert(url.clone(), payload);
+        }
+        if oracle.len() != urls.len() {
+            let _ = first_cluster.shutdown();
+            return RestartReport {
+                first: empty_report(cfg, shards, Vec::new()),
+                second: empty_report(cfg, shards, Vec::new()),
+                recovered_records: 0,
+                violations,
+            };
+        }
+
+        let first = Self::run_inner(&mut first_cluster, urls, cfg, Some(&oracle));
+
+        // The crash: servers die, stores are dropped *without* a flush.
+        // Only what the append path already wrote to the logs survives
+        // into the second life.
+        let _ = first_cluster.shutdown();
+
+        let mut second_cluster = make_cluster();
+        let recovered_records: u64 = (0..second_cluster.len())
+            .filter_map(|i| second_cluster.proxy(i).store_stats())
+            .map(|s| s.recovered_records)
+            .sum();
+
+        // The second life is clean — no faults, no kills, a derived seed
+        // so the clients walk different shuffles — and must be warm.
+        let mut clean = cfg.clone();
+        clean.seed = SimRng::derive(cfg.seed, 0x4000).next_u64();
+        clean.schedule = ChaosSchedule::default();
+        clean.kills.clear();
+        let second = Self::run_inner(&mut second_cluster, urls, &clean, Some(&oracle));
+
+        // --- warm-restart-serves-without-re-rewrite ---------------------
+        if recovered_records == 0 {
+            violations.push(Violation {
+                invariant: "warm-restart-serves-without-re-rewrite",
+                detail: "restarted shards recovered zero records — the restart was cold".into(),
+            });
+        }
+        let rewrites: u64 = (0..second_cluster.len())
+            .map(|i| second_cluster.proxy(i).stats().rewrites)
+            .sum();
+        if rewrites > 0 {
+            violations.push(Violation {
+                invariant: "warm-restart-serves-without-re-rewrite",
+                detail: format!("second life re-rewrote {rewrites} classes"),
+            });
+        }
+        if second.serves_disk == 0 {
+            violations.push(Violation {
+                invariant: "warm-restart-serves-without-re-rewrite",
+                detail: "no second-life fetch was served from the disk tier".into(),
+            });
+        }
+
+        // --- no-post-recovery-corruption --------------------------------
+        if second.fetches_failed > 0 {
+            violations.push(Violation {
+                invariant: "no-post-recovery-corruption",
+                detail: format!(
+                    "{} second-life fetches failed on a fault-free network",
+                    second.fetches_failed
+                ),
+            });
+        }
+        for v in &second.violations {
+            if v.invariant == "payload-matches-oracle" {
+                violations.push(Violation {
+                    invariant: "no-post-recovery-corruption",
+                    detail: format!("recovered payload diverged: {}", v.detail),
+                });
+            }
+        }
+        for i in 0..second_cluster.len() {
+            let cache = second_cluster.proxy(i).cache_stats();
+            if cache.disk_load_rejects > 0 {
+                violations.push(Violation {
+                    invariant: "no-post-recovery-corruption",
+                    detail: format!(
+                        "shard {i} rejected {} disk-tier loads after recovery",
+                        cache.disk_load_rejects
+                    ),
+                });
+            }
+            if let Some(store) = second_cluster.proxy(i).store_stats() {
+                if store.read_corruptions > 0 {
+                    violations.push(Violation {
+                        invariant: "no-post-recovery-corruption",
+                        detail: format!(
+                            "shard {i} hit {} corrupt store reads after recovery",
+                            store.read_corruptions
+                        ),
+                    });
+                }
+            }
+        }
+
+        let _ = second_cluster.shutdown();
+
+        RestartReport {
+            first,
+            second,
+            recovered_records,
             violations,
         }
     }
@@ -556,6 +823,10 @@ fn run_client(
         audit_emitted: 0,
         audit_sent: 0,
         audit_dropped: 0,
+        serves_rewritten: 0,
+        serves_memory: 0,
+        serves_disk: 0,
+        serves_peer: 0,
         snapshot: telemetry.registry().snapshot(),
     };
 
@@ -563,8 +834,14 @@ fn run_client(
         let url = &urls[order[j % order.len()]];
         let started = Instant::now();
         match provider.fetch(url) {
-            Ok((bytes, _)) => {
+            Ok((bytes, transfer)) => {
                 outcome.ok += 1;
+                match transfer.served_from {
+                    ServedFrom::Rewritten => outcome.serves_rewritten += 1,
+                    ServedFrom::MemoryCache => outcome.serves_memory += 1,
+                    ServedFrom::DiskCache => outcome.serves_disk += 1,
+                    ServedFrom::Peer => outcome.serves_peer += 1,
+                }
                 outcome
                     .latencies_ns
                     .push(started.elapsed().as_nanos() as u64);

@@ -10,6 +10,7 @@
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -17,6 +18,7 @@ use parking_lot::Mutex;
 use dvm_monitor::AdminConsole;
 use dvm_net::{Hello, NetConfig, ProxyServer, ServerConfig, ServerStats};
 use dvm_proxy::Proxy;
+use dvm_store::{Store, StoreConfig};
 use dvm_telemetry::{MetricsSnapshot, StatsReport, Telemetry};
 
 use crate::peer::{ClusterPeer, PeerLink, PeerStats};
@@ -35,6 +37,12 @@ pub struct ClusterOptions {
     pub peer_net: NetConfig,
     /// Whether shards probe the home shard's cache before rewriting.
     pub peer_fill: bool,
+    /// When set, each shard's rewrite cache is backed by a persistent
+    /// store at `<data_dir>/shard<i>`: a killed shard that restarts
+    /// over the same directory serves its previous rewrites from disk.
+    pub data_dir: Option<PathBuf>,
+    /// Store tuning for persistent shards (segment size, durability).
+    pub store: StoreConfig,
 }
 
 impl Default for ClusterOptions {
@@ -45,6 +53,8 @@ impl Default for ClusterOptions {
             server: ServerConfig::default(),
             peer_net: NetConfig::default(),
             peer_fill: true,
+            data_dir: None,
+            store: StoreConfig::default(),
         }
     }
 }
@@ -82,6 +92,15 @@ impl ProxyCluster {
                 std::io::ErrorKind::InvalidInput,
                 "a cluster needs at least one shard",
             ));
+        }
+        // Persistent shards open their stores before serving a single
+        // request, so a restarted shard is warm from its first fetch.
+        if let Some(data_dir) = &opts.data_dir {
+            for (i, proxy) in proxies.iter().enumerate() {
+                let store = Store::open(data_dir.join(format!("shard{i}")), opts.store.clone())
+                    .map_err(|e| std::io::Error::other(e.to_string()))?;
+                proxy.attach_store(store);
+            }
         }
         let mut servers = Vec::with_capacity(proxies.len());
         let mut addrs = Vec::with_capacity(proxies.len());

@@ -74,7 +74,7 @@ impl ClassProvider for ProxyProvider {
                 }
                 payload?.to_vec()
             }
-            None => response.bytes.clone(),
+            None => response.bytes.to_vec(),
         };
         self.transfers.lock().push(TransferRecord {
             class: name.to_owned(),

@@ -350,6 +350,31 @@ impl Organization {
         ProxyCluster::start(proxies, Some(self.console.clone()), opts)
     }
 
+    /// Backs the primary proxy's rewrite cache with a persistent store
+    /// at `dir`: rewrites cached from now on survive a kill, and a new
+    /// organization built over the same classes and `dir` serves them
+    /// from the disk tier without re-rewriting.
+    pub fn persist(&self, dir: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let store = dvm_store::Store::open(dir, dvm_store::StoreConfig::default())
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        self.proxy.attach_store(store);
+        Ok(())
+    }
+
+    /// [`Organization::serve_cluster_with`] with per-shard persistent
+    /// data directories under `data_dir` (`shard0`, `shard1`, …): the
+    /// warm-restart deployment shape. Restarting a cluster over the
+    /// same directory serves previously rewritten classes from disk.
+    pub fn serve_cluster_persistent(
+        &self,
+        shards: usize,
+        mut opts: ClusterOptions,
+        data_dir: impl Into<std::path::PathBuf>,
+    ) -> std::io::Result<ProxyCluster> {
+        opts.data_dir = Some(data_dir.into());
+        self.serve_cluster_with(shards, opts)
+    }
+
     /// Creates a DVM client whose classes arrive from the shard cluster:
     /// each fetch is routed by the shared ring and fails over to replica
     /// shards on transport failures or typed overload rejections.

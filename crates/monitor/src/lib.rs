@@ -12,6 +12,7 @@ pub mod console;
 pub mod profile;
 pub mod rewriter;
 pub mod sites;
+pub mod spool;
 
 pub use console::{
     AdminConsole, AuditRecord, AuditSink, ClientDescription, ConsoleSink, EventKind, SessionId,
@@ -21,3 +22,4 @@ pub use rewriter::{
     audit_class, audit_class_filtered, profile_class, InstrumentStats, ProfileMode,
 };
 pub use sites::{SiteId, SiteTable};
+pub use spool::{AuditSpool, SpooledAuditEvent};

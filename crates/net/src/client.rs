@@ -18,7 +18,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use dvm_jvm::ClassProvider;
-use dvm_monitor::{AuditSink, EventKind, SiteId};
+use dvm_monitor::{AuditSink, AuditSpool, EventKind, SiteId};
 use dvm_proxy::{ServedFrom, SignatureCheck, Signer};
 use dvm_telemetry::{SpanId, StatsReport, Telemetry, TraceContext, TraceId};
 
@@ -633,6 +633,11 @@ pub struct RemoteConsole {
     conn: Option<Conn>,
     sent: u64,
     dropped: u64,
+    /// Events diverted to the durable spool instead of being dropped.
+    spooled: u64,
+    /// Spooled events later delivered by a replay.
+    replayed: u64,
+    spool: Option<AuditSpool>,
     telemetry: Arc<Telemetry>,
     /// True once this connection's first delivery failure was logged
     /// (reset on reconnect, so each connection logs at most once).
@@ -675,6 +680,9 @@ impl RemoteConsole {
             conn: None,
             sent: 0,
             dropped: 0,
+            spooled: 0,
+            replayed: 0,
+            spool: None,
             telemetry,
             failure_logged: false,
         };
@@ -729,6 +737,69 @@ impl RemoteConsole {
         self.dropped
     }
 
+    /// Attaches a durable spool: from now on, events that fail to reach
+    /// the console are persisted (in order) instead of dropped, and
+    /// replayed — still in order — once the console answers again.
+    /// Replayed events carry the session id of the connection that
+    /// delivers them, not the one that failed; the console's log keys
+    /// events by site, so ordering is what matters.
+    pub fn set_spool(&mut self, spool: AuditSpool) {
+        self.spool = Some(spool);
+    }
+
+    /// Events diverted into the spool so far.
+    pub fn spooled(&self) -> u64 {
+        self.spooled
+    }
+
+    /// Spooled events later delivered by a replay.
+    pub fn replayed(&self) -> u64 {
+        self.replayed
+    }
+
+    /// Events currently waiting in the spool.
+    pub fn spool_backlog(&self) -> usize {
+        self.spool.as_ref().map_or(0, |s| s.len())
+    }
+
+    /// Drains the spool through the current connection, oldest first,
+    /// stopping at the first failed send. Returns how many delivered.
+    fn drain_spool(&mut self) -> u64 {
+        let Some(mut spool) = self.spool.take() else {
+            return 0;
+        };
+        let delivered = spool
+            .replay(|site, kind| self.try_send(site, kind))
+            .unwrap_or(0);
+        self.spool = Some(spool);
+        if delivered > 0 {
+            self.sent += delivered;
+            self.replayed += delivered;
+            self.telemetry
+                .registry()
+                .counter("audit_replayed_total")
+                .add(delivered);
+        }
+        delivered
+    }
+
+    /// Spools `site`/`kind`, or reports `false` when there is no spool
+    /// (or the spool itself fails) so the caller counts a drop.
+    fn spool_event(&mut self, site: SiteId, kind: EventKind) -> bool {
+        let pushed = match &mut self.spool {
+            Some(spool) => spool.push(site, kind).is_ok(),
+            None => false,
+        };
+        if pushed {
+            self.spooled += 1;
+            self.telemetry
+                .registry()
+                .counter("audit_spooled_total")
+                .inc();
+        }
+        pushed
+    }
+
     /// Sends an orderly `BYE` and closes the channel.
     pub fn close(&mut self) {
         if let Some(mut conn) = self.conn.take() {
@@ -756,30 +827,67 @@ impl RemoteConsole {
 
 impl AuditSink for RemoteConsole {
     fn record(&mut self, site: SiteId, kind: EventKind) {
+        // A backlog means earlier events are still queued; this event
+        // must not overtake them. Try to drain first, and if anything
+        // is still queued afterwards, append behind it.
+        if self.spool_backlog() > 0 {
+            if self.conn.is_none() {
+                let _ = self.reconnect();
+            }
+            self.drain_spool();
+            if self.spool_backlog() > 0 && self.spool_event(site, kind) {
+                return;
+            }
+        }
         if self.try_send(site, kind) {
             self.sent += 1;
             return;
         }
-        // One reconnect attempt, then drop the event — but never
-        // silently: the drop is counted where the stats plane can see
-        // it, and the first failure per connection reaches stderr.
-        if self.reconnect().is_ok() && self.try_send(site, kind) {
-            self.sent += 1;
-        } else {
-            self.dropped += 1;
-            self.telemetry
-                .registry()
-                .counter("audit_dropped_total")
-                .inc();
+        // One reconnect attempt, then spool the event — or, with no
+        // spool attached, drop it. Neither is silent: both are counted
+        // where the stats plane can see them, and the first failure per
+        // connection reaches stderr.
+        if self.reconnect().is_ok() {
+            self.drain_spool();
+            if self.try_send(site, kind) {
+                self.sent += 1;
+                return;
+            }
+        }
+        if self.spool_event(site, kind) {
             if !self.failure_logged {
                 self.failure_logged = true;
                 eprintln!(
-                    "dvm-net: audit event dropped (site {}, console {} unreachable); \
-                     further drops on this connection are counted silently",
-                    site.0, self.addr
+                    "dvm-net: console {} unreachable; audit events are spooling durably \
+                     (site {}); they replay in order on reconnect",
+                    self.addr, site.0
                 );
             }
+            return;
         }
+        self.dropped += 1;
+        self.telemetry
+            .registry()
+            .counter("audit_dropped_total")
+            .inc();
+        if !self.failure_logged {
+            self.failure_logged = true;
+            eprintln!(
+                "dvm-net: audit event dropped (site {}, console {} unreachable); \
+                 further drops on this connection are counted silently",
+                site.0, self.addr
+            );
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.spool_backlog() == 0 {
+            return;
+        }
+        if self.conn.is_none() && self.reconnect().is_err() {
+            return;
+        }
+        self.drain_spool();
     }
 }
 
@@ -841,6 +949,86 @@ mod tests {
             Some(console.dropped()),
             "counter disagrees with the console's own accounting"
         );
+    }
+
+    #[test]
+    fn spooled_audit_events_replay_in_order_on_a_new_console() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "dvm-net-spool-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Life 1: a console that handshakes and vanishes. Events spool.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let _ = Frame::read_from(&mut s).unwrap(); // HELLO
+            Frame::Welcome { session: 7 }.write_to(&mut s).unwrap();
+            s
+        });
+        let mut console =
+            RemoteConsole::connect(addr, Hello::default(), NetConfig::default()).unwrap();
+        console.set_spool(AuditSpool::open(&dir).unwrap());
+        drop(server.join().unwrap()); // stream AND listener gone
+
+        // TCP death registers lazily; early sends may land in the
+        // socket buffer. Spool three *known* events once it has.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while console.spooled() == 0 && std::time::Instant::now() < deadline {
+            console.record(SiteId(0), EventKind::Enter);
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(console.spooled() >= 1, "spooling never engaged");
+        assert_eq!(console.dropped(), 0, "a spooled event is not a drop");
+        for site in [101, 102, 103] {
+            console.record(SiteId(site), EventKind::Event);
+        }
+        let backlog = console.spool_backlog();
+        assert!(backlog >= 3);
+        let snap = console.telemetry().registry().snapshot();
+        assert_eq!(
+            snap.counters.get("audit_spooled_total").copied(),
+            Some(console.spooled())
+        );
+        drop(console); // SIGKILL-equivalent: the spool is on disk
+
+        // Life 2: a live console at a fresh address; the recovered
+        // spool must drain into it oldest-first.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr2 = listener.local_addr().unwrap();
+        let collector = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let _ = Frame::read_from(&mut s).unwrap(); // HELLO
+            Frame::Welcome { session: 8 }.write_to(&mut s).unwrap();
+            let mut sites = Vec::new();
+            while let Ok(frame) = Frame::read_from(&mut s) {
+                match frame {
+                    Frame::AuditEvent { site, .. } => sites.push(site),
+                    Frame::Bye => break,
+                    _ => {}
+                }
+            }
+            sites
+        });
+        let mut console =
+            RemoteConsole::connect(addr2, Hello::default(), NetConfig::default()).unwrap();
+        console.set_spool(AuditSpool::open(&dir).unwrap());
+        assert_eq!(console.spool_backlog(), backlog, "spool survived the kill");
+        console.flush();
+        assert_eq!(console.spool_backlog(), 0, "flush drained the spool");
+        assert_eq!(console.replayed(), backlog as u64);
+        console.close();
+        let sites = collector.join().unwrap();
+        // Everything replayed, in order, with our three markers as the
+        // most recent events.
+        assert_eq!(sites.len(), backlog);
+        assert_eq!(&sites[sites.len() - 3..], &[101, 102, 103]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

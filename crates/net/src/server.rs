@@ -613,7 +613,7 @@ fn serve_connection(stream: TcpStream, inner: &Inner) {
                             request_id,
                             served_from: response.served_from,
                             processing_ns: response.processing_ns,
-                            bytes: response.bytes,
+                            bytes: response.bytes.to_vec(),
                         }
                     }
                     Err(e) => {
@@ -707,7 +707,7 @@ fn serve_connection(stream: TcpStream, inner: &Inner) {
                                 CacheTier::Disk => ServedFrom::DiskCache,
                             },
                             processing_ns: 0,
-                            bytes,
+                            bytes: bytes.to_vec(),
                         }
                     }
                     None => Frame::Error {

@@ -15,6 +15,7 @@ use parking_lot::Mutex;
 
 use dvm_classfile::ClassFile;
 use dvm_netsim::CycleModel;
+use dvm_store::{Store, StoreStats};
 use dvm_telemetry::{Counter, Histogram, SpanId, Telemetry};
 
 use crate::cache::{CacheStats, CacheTier, RewriteCache};
@@ -155,8 +156,9 @@ pub trait PeerCache: Send + Sync {
 /// A served response with provenance.
 #[derive(Debug, Clone)]
 pub struct ServedResponse {
-    /// The (possibly rewritten and signed) class bytes.
-    pub bytes: Vec<u8>,
+    /// The (possibly rewritten and signed) class bytes. Shared, not
+    /// owned: a memory-tier hit hands out the cache's allocation.
+    pub bytes: Arc<[u8]>,
     /// How the request was satisfied.
     pub served_from: ServedFrom,
     /// Simulated processing time in nanoseconds, charged by the
@@ -340,7 +342,8 @@ impl Proxy {
 
     /// Handles one code request, returning just the bytes.
     pub fn handle_request(&self, url: &str, ctx: &RequestContext) -> Result<Vec<u8>, ProxyError> {
-        self.handle_request_detailed(url, ctx).map(|r| r.bytes)
+        self.handle_request_detailed(url, ctx)
+            .map(|r| r.bytes.to_vec())
     }
 
     /// Handles one code request with provenance details (clients use the
@@ -410,13 +413,16 @@ impl Proxy {
             let peer = self.peer.read().clone();
             if let Some(peer) = peer {
                 if let Some(bytes) = peer.fetch_from_home(url) {
+                    let bytes: Arc<[u8]> = bytes.into();
                     self.stats.lock().peer_fills += 1;
                     self.metrics.peer_fills.inc();
                     // Hot here (a client just asked), so fill the memory
                     // tier — unlike unsolicited offers, which land on disk.
-                    self.cache
-                        .lock()
-                        .put_tier(url.to_owned(), bytes.clone(), CacheTier::Memory);
+                    self.cache.lock().put_tier(
+                        url.to_owned(),
+                        Arc::clone(&bytes),
+                        CacheTier::Memory,
+                    );
                     self.finish(url, ctx, &bytes, ServedFrom::Peer, 0);
                     return Ok(ServedResponse {
                         bytes,
@@ -486,8 +492,9 @@ impl Proxy {
         }
         self.metrics.rewrites.inc();
         self.metrics.rewrite_bytes_out.add(bytes.len() as u64);
+        let bytes: Arc<[u8]> = bytes.into();
         if self.caching {
-            self.cache.lock().put(url.to_owned(), bytes.clone());
+            self.cache.lock().put(url.to_owned(), Arc::clone(&bytes));
             let peer = self.peer.read().clone();
             if let Some(peer) = peer {
                 // One organization-wide rewrite should populate the fleet:
@@ -537,7 +544,7 @@ impl Proxy {
     /// Probes the rewrite cache without touching hit/miss accounting or
     /// tier promotion: how a shard answers a peer's `PEER_GET`. Returns
     /// `None` when caching is disabled.
-    pub fn cache_peek(&self, url: &str) -> Option<(Vec<u8>, CacheTier)> {
+    pub fn cache_peek(&self, url: &str) -> Option<(Arc<[u8]>, CacheTier)> {
         if !self.caching {
             return None;
         }
@@ -546,12 +553,39 @@ impl Proxy {
 
     /// Inserts already-rewritten (signed) bytes into the given cache
     /// tier: how a shard ingests a peer's `PEER_PUT`. A no-op when
-    /// caching is disabled.
+    /// caching is disabled. With a persistent store attached, a `Disk`
+    /// fill lands durably — a peer's offer survives this shard's death.
     pub fn cache_fill(&self, url: &str, bytes: Vec<u8>, tier: CacheTier) {
         if !self.caching {
             return;
         }
-        self.cache.lock().put_tier(url.to_owned(), bytes, tier);
+        self.cache
+            .lock()
+            .put_tier(url.to_owned(), bytes.into(), tier);
+    }
+
+    /// Backs this proxy's disk cache tier with a persistent store: what
+    /// is cached from now on (and anything already cached) survives a
+    /// kill, and whatever a previous life of this shard stored becomes
+    /// servable again without re-rewriting. The store joins this
+    /// proxy's telemetry plane.
+    pub fn attach_store(&self, mut store: Store) {
+        store.set_telemetry(&self.telemetry);
+        self.cache.lock().attach_store(store);
+    }
+
+    /// The persistent store's counters, when [`Proxy::attach_store`]
+    /// has been called (`None` for an ephemeral cache).
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.cache.lock().store_stats()
+    }
+
+    /// Fsyncs the persistent store (graceful-shutdown path; a no-op
+    /// without one). Crash-safety does *not* depend on this.
+    pub fn flush_store(&self) {
+        if let Some(store) = self.cache.lock().store_mut() {
+            let _ = store.flush();
+        }
     }
 
     /// Snapshot of the audit trail.
@@ -729,7 +763,7 @@ mod tests {
         let ctx = RequestContext::default();
         let r = proxy.handle_request_detailed("u", &ctx).unwrap();
         assert_eq!(r.served_from, ServedFrom::Peer);
-        assert_eq!(r.bytes, canned);
+        assert_eq!(&r.bytes[..], &canned[..]);
         assert_eq!(r.processing_ns, 0, "no rewrite was paid");
         assert_eq!(proxy.stats().rewrites, 0);
         assert_eq!(proxy.stats().peer_fills, 1);
@@ -775,7 +809,7 @@ mod tests {
         assert!(proxy.cache_peek("u").is_none());
         proxy.cache_fill("u", vec![1, 2, 3], crate::cache::CacheTier::Disk);
         let (bytes, tier) = proxy.cache_peek("u").unwrap();
-        assert_eq!(bytes, vec![1, 2, 3]);
+        assert_eq!(&bytes[..], &[1, 2, 3][..]);
         assert_eq!(tier, crate::cache::CacheTier::Disk);
         // Peer traffic leaves the local hit/miss accounting untouched.
         assert_eq!(proxy.cache_stats(), crate::cache::CacheStats::default());
@@ -822,6 +856,51 @@ mod tests {
         assert!(snap.counter("proxy.rewrite.bytes_in") > 0);
         assert_eq!(snap.histograms["proxy.request_ns"].count, 2);
         assert_eq!(snap.histograms["proxy.stage.null_ns"].count, 1);
+    }
+
+    #[test]
+    fn attached_store_makes_the_proxy_restart_warm() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "dvm-proxy-warm-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let make = || {
+            Proxy::new(
+                Box::new(origin_with("t/W", "u")),
+                null_pipeline(),
+                1 << 20,
+                true,
+                Some(Signer::new(b"org")),
+            )
+        };
+        let ctx = RequestContext::default();
+
+        let proxy = make();
+        proxy
+            .attach_store(dvm_store::Store::open(&dir, dvm_store::StoreConfig::default()).unwrap());
+        let first = proxy.handle_request_detailed("u", &ctx).unwrap();
+        assert_eq!(first.served_from, ServedFrom::Rewritten);
+        // SIGKILL-equivalent: no flush, no graceful shutdown.
+        drop(proxy);
+
+        let proxy = make();
+        proxy
+            .attach_store(dvm_store::Store::open(&dir, dvm_store::StoreConfig::default()).unwrap());
+        let again = proxy.handle_request_detailed("u", &ctx).unwrap();
+        assert_eq!(
+            again.served_from,
+            ServedFrom::DiskCache,
+            "restart must be warm"
+        );
+        assert_eq!(proxy.stats().rewrites, 0, "no re-rewrite after restart");
+        assert_eq!(&again.bytes[..], &first.bytes[..]);
+        let stats = proxy.store_stats().unwrap();
+        assert!(stats.recovered_records >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -17,6 +17,7 @@ pub use dvm_netsim as netsim;
 pub use dvm_optimizer as optimizer;
 pub use dvm_proxy as proxy;
 pub use dvm_security as security;
+pub use dvm_store as store;
 pub use dvm_telemetry as telemetry;
 pub use dvm_verifier as verifier;
 pub use dvm_workload as workload;

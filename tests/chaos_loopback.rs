@@ -362,6 +362,83 @@ fn disabled_verification_lets_corruption_through_and_is_caught() {
     assert!(report.ok(), "{}", report.render());
 }
 
+/// The crash-recovery scenario: a faulted first life over persistent
+/// shards (including a mid-run shard kill), an unflushed shutdown, and
+/// a second life over the same data directories that must serve every
+/// class warm — zero re-rewrites, at least one disk-tier serve, no
+/// corruption after recovery. Both of the store's chaos invariants
+/// (`warm-restart-serves-without-re-rewrite`,
+/// `no-post-recovery-corruption`) are checked by the runner itself.
+#[test]
+fn kill_then_restart_serves_warm_from_disk() {
+    struct Cleanup(std::path::PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+    let dir = std::env::temp_dir().join(format!("dvm-chaos-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let _cleanup = Cleanup(dir.clone());
+
+    let applets = small_applets(91, 3);
+    let org = org_over(&applets);
+    let urls = class_urls(&applets);
+
+    let make = || {
+        org.serve_cluster_persistent(
+            2,
+            ClusterOptions {
+                seed: 5,
+                ..ClusterOptions::default()
+            },
+            dir.clone(),
+        )
+        .unwrap()
+    };
+
+    let cfg = RunnerConfig {
+        seed: 0xFEED_FACE,
+        clients: 4,
+        fetches_per_client: 8,
+        schedule: ChaosSchedule::parse("<delay:2ms@p0.08 reset@p0.02 <corrupt@p0.03").unwrap(),
+        client_config: fast_config(),
+        signer: org_signer(),
+        hello: hello("restart"),
+        kills: vec![ShardKill {
+            shard: 1,
+            after: Duration::from_millis(200),
+        }],
+        audit: true,
+    };
+
+    let report = ChaosRunner::run_restart(make, &urls, &cfg);
+
+    assert!(report.ok(), "{}", report.render());
+    assert!(
+        report.recovered_records > 0,
+        "the restart recovered nothing:\n{}",
+        report.render()
+    );
+    assert_eq!(
+        report.second.serves_rewritten,
+        0,
+        "the warm second life re-rewrote classes:\n{}",
+        report.render()
+    );
+    assert!(
+        report.second.serves_disk > 0,
+        "no second-life fetch touched the disk tier:\n{}",
+        report.render()
+    );
+    assert_eq!(
+        report.second.fetches_failed,
+        0,
+        "fault-free second life had failures:\n{}",
+        report.render()
+    );
+}
+
 /// `Dir` filters hold at the transport level: a client→server-only
 /// schedule never touches server→client bytes.
 #[test]
