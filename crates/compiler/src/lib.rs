@@ -11,6 +11,7 @@
 //! elimination) → [`target::lower`] to a simulated x86 or Alpha image.
 
 pub mod error;
+pub mod exec_service;
 pub mod ir;
 pub mod opt;
 pub mod service;
@@ -18,6 +19,7 @@ pub mod target;
 pub mod translate;
 
 pub use error::{CompileError, Result};
+pub use exec_service::{ExecCompiler, ExecCompilerStats, IrPackage, IR_COMPILE_CYCLES_PER_INSN};
 pub use ir::{BinOp, Cond, IrBody, IrConst, IrInsn, Reg};
 pub use opt::{optimize, OptStats};
 pub use service::{ClassImage, CompilerStats, NetworkCompiler};

@@ -2,11 +2,13 @@
 //! whose dynamic service components are wired to the organization's
 //! servers.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use dvm_cluster::ClusterClassProvider;
+use dvm_exec::ClassIr;
 use dvm_jvm::{AuditKind, ClassProvider, Completion, DynamicServices, SecurityDecision, Value, Vm};
 use dvm_monitor::{AuditSink, EventKind, ProfileCollector, SiteId};
 use dvm_net::NetClassProvider;
@@ -28,6 +30,11 @@ pub struct TransferRecord {
     pub served_from: ServedFrom,
 }
 
+/// Compiled-IR packages deposited by a provider for the VM's execution
+/// tier to bind as their classes finish linking (the VM's pending map,
+/// shared via [`dvm_jvm::ExecTier::adopt_pending`]).
+type IrPending = Arc<Mutex<HashMap<String, ClassIr>>>;
+
 /// The provider that fetches classes through the proxy.
 struct ProxyProvider {
     proxy: Arc<Proxy>,
@@ -36,6 +43,41 @@ struct ProxyProvider {
     transfers: Arc<Mutex<Vec<TransferRecord>>>,
     telemetry: Arc<Telemetry>,
     fetch_ns: Arc<Histogram>,
+    ir_pending: IrPending,
+}
+
+impl ProxyProvider {
+    /// Fetches and deposits the compiled-IR package belonging to the
+    /// served payload `served`. Every absence (no producer on the proxy,
+    /// unparseable package, bad signature) leaves the class on the
+    /// interpreter tier — the tier is an optimization, never a
+    /// requirement.
+    fn fetch_ir(&mut self, served: &[u8]) {
+        let key = dvm_proxy::ir_key(served);
+        let Ok(response) = self.proxy.handle_request_detailed(&key, &self.ctx) else {
+            return;
+        };
+        let payload = match &self.signer {
+            Some(s) => {
+                let (check, payload) = s.detach(&response.bytes);
+                if check != dvm_proxy::SignatureCheck::Valid {
+                    return;
+                }
+                match payload {
+                    Some(p) => p.to_vec(),
+                    None => return,
+                }
+            }
+            None => response.bytes.to_vec(),
+        };
+        if let Ok(ir) = dvm_exec::decode(&payload) {
+            self.telemetry
+                .registry()
+                .counter("client.ir_installs")
+                .inc();
+            self.ir_pending.lock().insert(ir.class.clone(), ir);
+        }
+    }
 }
 
 impl ClassProvider for ProxyProvider {
@@ -63,6 +105,7 @@ impl ClassProvider for ProxyProvider {
             end.saturating_sub(start),
         );
         let response = response.ok()?;
+        self.fetch_ir(&response.bytes);
         let bytes = match &self.signer {
             // Clients "redirect incorrectly signed or unsigned code to the
             // centralized services"; in this provider a bad signature
@@ -193,6 +236,7 @@ impl DvmClient {
         let transfers = Arc::new(Mutex::new(Vec::new()));
         let telemetry = Arc::new(Telemetry::new(&format!("client:{}", ctx.client)));
         let fetch_ns = telemetry.registry().histogram("client.fetch_ns");
+        let ir_pending: IrPending = Arc::new(Mutex::new(HashMap::new()));
         let provider = ProxyProvider {
             proxy,
             ctx,
@@ -200,6 +244,7 @@ impl DvmClient {
             transfers: transfers.clone(),
             telemetry: telemetry.clone(),
             fetch_ns,
+            ir_pending: ir_pending.clone(),
         };
         Self::assemble(
             Box::new(provider),
@@ -209,6 +254,7 @@ impl DvmClient {
             transfers,
             cost,
             telemetry,
+            Some(ir_pending),
         )
     }
 
@@ -227,12 +273,25 @@ impl DvmClient {
         let transfers = Arc::new(Mutex::new(Vec::new()));
         let sink = transfers.clone();
         provider.set_transfer_hook(Box::new(move |t: &dvm_net::NetTransfer| {
+            // The transfer manifest is per-class, like the in-process
+            // provider's; IR-package fetches ride alongside and are
+            // accounted by the `net.client.ir_*` counters instead.
+            if t.url.starts_with(dvm_proxy::IR_SCHEME) {
+                return;
+            }
             let class = t.url.strip_prefix("class://").unwrap_or(&t.url).to_owned();
             sink.lock().push(TransferRecord {
                 class,
                 bytes: t.bytes,
                 served_from: t.served_from,
             });
+        }));
+        let ir_pending: IrPending = Arc::new(Mutex::new(HashMap::new()));
+        let ir_sink = ir_pending.clone();
+        provider.set_ir_hook(Box::new(move |_name: &str, payload: &[u8]| {
+            if let Ok(ir) = dvm_exec::decode(payload) {
+                ir_sink.lock().insert(ir.class.clone(), ir);
+            }
         }));
         let telemetry = provider.telemetry();
         Self::assemble(
@@ -243,6 +302,7 @@ impl DvmClient {
             transfers,
             cost,
             telemetry,
+            Some(ir_pending),
         )
     }
 
@@ -276,6 +336,7 @@ impl DvmClient {
             transfers,
             cost,
             telemetry,
+            None,
         )
     }
 
@@ -288,6 +349,7 @@ impl DvmClient {
         transfers: Arc<Mutex<Vec<TransferRecord>>>,
         cost: CostModel,
         telemetry: Arc<Telemetry>,
+        ir_pending: Option<IrPending>,
     ) -> dvm_jvm::Result<DvmClient> {
         let profile = Arc::new(Mutex::new(ProfileCollector::new()));
         let services = ClientServices {
@@ -296,7 +358,13 @@ impl DvmClient {
             audit,
             profile: profile.clone(),
         };
-        let vm = Vm::with_services(provider, Box::new(services))?;
+        let mut vm = Vm::with_services(provider, Box::new(services))?;
+        if let Some(pending) = ir_pending {
+            // The provider deposits fetched IR packages into this map
+            // mid-load; adopting it lets the VM bind each package the
+            // moment its class links.
+            vm.exec.adopt_pending(pending);
+        }
         Ok(DvmClient {
             vm,
             profile,

@@ -55,6 +55,10 @@ pub struct ServiceConfig {
     pub caching: bool,
     /// Attach signatures to rewritten code.
     pub signing: bool,
+    /// Proxy-side IR compilation for the client's optimizing execution
+    /// tier (`dvm-exec`): rewritten classes are lowered, optimized, and
+    /// cached as `ir://` packages clients install next to the class.
+    pub exec_tier: bool,
 }
 
 impl ServiceConfig {
@@ -68,6 +72,7 @@ impl ServiceConfig {
             profile: false,
             caching: true,
             signing: false,
+            exec_tier: true,
         }
     }
 
@@ -80,6 +85,7 @@ impl ServiceConfig {
             profile: false,
             caching: false,
             signing: false,
+            exec_tier: false,
         }
     }
 }

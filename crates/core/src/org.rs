@@ -6,12 +6,15 @@ use parking_lot::Mutex;
 
 use dvm_classfile::ClassFile;
 use dvm_cluster::{ClusterClassProvider, ClusterClientConfig, ClusterOptions, ProxyCluster};
-use dvm_compiler::NetworkCompiler;
+use dvm_compiler::{ExecCompiler, ExecCompilerStats, NetworkCompiler};
 use dvm_monitor::{
     AdminConsole, AuditSink, ClientDescription, ConsoleSink, ProfileMode, SiteTable,
 };
 use dvm_net::{Hello, NetClassProvider, NetConfig, ProxyServer, RemoteConsole, ServerConfig};
-use dvm_proxy::{CodeOrigin, MapOrigin, Pipeline, Proxy, RequestContext, RewriteCost, Signer};
+use dvm_proxy::{
+    CodeOrigin, IrProducer, IrProduct, MapOrigin, Pipeline, Proxy, RequestContext, RewriteCost,
+    Signer,
+};
 use dvm_security::{EnforcementManager, Policy, SecurityId, SecurityServer};
 use dvm_telemetry::{StatsReport, Telemetry};
 use dvm_verifier::{MapEnvironment, StaticVerifier};
@@ -43,8 +46,51 @@ pub struct Organization {
     services: ServiceConfig,
     // Shared by the primary proxy and any cluster shards built later.
     origin: Arc<dyn CodeOrigin>,
+    // The IR compiler every proxy shard shares (one per-signature cache
+    // for the whole organization); `None` with the exec tier disabled.
+    ir_producer: Option<Arc<ExecIrProducer>>,
     /// The cost model all timing derives from.
     pub cost: CostModel,
+}
+
+/// Adapts the `dvm-compiler` IR service to the proxy's producer hook:
+/// the rewritten payload's MD5 is the compilation-cache signature, and
+/// the pass-pipeline statistics become `exec.opt.<pass>` span work.
+struct ExecIrProducer {
+    compiler: Mutex<ExecCompiler>,
+}
+
+impl ExecIrProducer {
+    fn new() -> ExecIrProducer {
+        ExecIrProducer {
+            compiler: Mutex::new(ExecCompiler::new()),
+        }
+    }
+
+    fn stats(&self) -> ExecCompilerStats {
+        self.compiler.lock().stats
+    }
+}
+
+impl IrProducer for ExecIrProducer {
+    fn produce(&self, class_bytes: &[u8]) -> Option<IrProduct> {
+        let signature = dvm_proxy::md5::hex(&dvm_proxy::md5::md5(class_bytes));
+        let pkg = self.compiler.lock().compile(&signature, class_bytes).ok()?;
+        if pkg.methods_compiled == 0 {
+            return None;
+        }
+        let p = &pkg.passes;
+        Some(IrProduct {
+            bytes: pkg.bytes.clone(),
+            pass_work: vec![
+                ("inline".to_owned(), p.services_inlined as u64),
+                ("fold".to_owned(), p.folded as u64),
+                ("copy".to_owned(), p.copies_propagated as u64),
+                ("dce".to_owned(), p.eliminated as u64),
+            ],
+            compile_cycles: pkg.compile_cycles,
+        })
+    }
 }
 
 /// Builds one static-service filter pipeline per `config`. Filters hold
@@ -138,6 +184,13 @@ impl Organization {
                 cpu: cost.cpu,
             }),
         );
+        let ir_producer = if config.exec_tier {
+            let producer = Arc::new(ExecIrProducer::new());
+            proxy.set_ir_producer(producer.clone());
+            Some(producer)
+        } else {
+            None
+        };
         let security = Arc::new(Mutex::new(SecurityServer::new(policy.lock().clone())));
         Organization {
             proxy,
@@ -150,8 +203,15 @@ impl Organization {
             signer,
             services: config,
             origin,
+            ir_producer,
             cost,
         }
+    }
+
+    /// Statistics of the shared IR compilation service, when the exec
+    /// tier is enabled.
+    pub fn exec_compiler_stats(&self) -> Option<ExecCompilerStats> {
+        self.ir_producer.as_ref().map(|p| p.stats())
     }
 
     /// Builds one additional proxy shard: its own pipeline and rewrite
@@ -173,7 +233,7 @@ impl Organization {
             &self.sites,
             &self.service_stats,
         );
-        Arc::new(
+        let proxy = Arc::new(
             Proxy::new(
                 Box::new(self.origin.clone()),
                 pipeline,
@@ -186,7 +246,13 @@ impl Organization {
                 cpu: self.cost.cpu,
             })
             .with_telemetry(Arc::new(Telemetry::new(node))),
-        )
+        );
+        if let Some(producer) = &self.ir_producer {
+            // All shards share one compilation cache: a signature
+            // compiled anywhere in the fleet is compiled once.
+            proxy.set_ir_producer(producer.clone());
+        }
+        proxy
     }
 
     /// The primary proxy's observable state: its metrics snapshot plus

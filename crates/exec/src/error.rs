@@ -1,0 +1,85 @@
+//! Typed lowering errors.
+//!
+//! Lowering runs on whatever the proxy hands it — including hostile or
+//! degenerate method bodies — so every failure mode is a typed error and
+//! never a panic. A method that fails to lower simply stays on the
+//! interpreter tier.
+
+use std::fmt;
+
+use dvm_bytecode::BytecodeError;
+use dvm_classfile::ClassFileError;
+
+/// Errors raised while lowering bytecode to the register IR.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// Operand-stack inconsistency (underflow, broken wide pair, or a
+    /// merge whose incoming shapes disagree).
+    BadStack {
+        /// Bytecode instruction index.
+        at: usize,
+        /// Explanation.
+        reason: String,
+    },
+    /// A construct the execution tier does not lower (`jsr`/`ret`,
+    /// `multianewarray`, `ldc` of a class constant, ...). The method
+    /// stays interpreted.
+    Unsupported(String),
+    /// The method body has no instructions.
+    EmptyBody,
+    /// A branch or handler index is outside the method body.
+    BadTarget {
+        /// The offending index.
+        index: usize,
+        /// Number of instructions in the body.
+        len: usize,
+    },
+    /// The register file would exceed the 16-bit register namespace
+    /// (absurd `max_locals` plus stack depth).
+    TooManyRegs(u32),
+    /// A serialized IR package failed to decode.
+    BadPackage(String),
+    /// Underlying class-file error.
+    ClassFile(ClassFileError),
+    /// Underlying bytecode error.
+    Bytecode(BytecodeError),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::BadStack { at, reason } => {
+                write!(f, "stack inconsistency at instruction {at}: {reason}")
+            }
+            ExecError::Unsupported(what) => write!(f, "unsupported construct: {what}"),
+            ExecError::EmptyBody => write!(f, "empty method body"),
+            ExecError::BadTarget { index, len } => {
+                write!(
+                    f,
+                    "branch target {index} outside body of {len} instructions"
+                )
+            }
+            ExecError::TooManyRegs(n) => write!(f, "register file of {n} exceeds 16-bit space"),
+            ExecError::BadPackage(reason) => write!(f, "malformed IR package: {reason}"),
+            ExecError::ClassFile(e) => write!(f, "{e}"),
+            ExecError::Bytecode(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<ClassFileError> for ExecError {
+    fn from(e: ClassFileError) -> Self {
+        ExecError::ClassFile(e)
+    }
+}
+
+impl From<BytecodeError> for ExecError {
+    fn from(e: BytecodeError) -> Self {
+        ExecError::Bytecode(e)
+    }
+}
+
+/// Crate-local result alias.
+pub type Result<T> = std::result::Result<T, ExecError>;

@@ -107,10 +107,16 @@ impl Vm {
             let decl_name = self.registry.get(decl).name.clone();
             return self.call_native_toplevel(&decl_name, &name, &desc, &args);
         }
+        // Prefer compiled IR for the entry method when the exec tier has it.
+        if self.exec.installed(decl, idx) {
+            return crate::exec::run_ir(self, decl, idx, args);
+        }
+        let m = &self.registry.get(decl).methods[idx];
         let code = m
             .code
             .clone()
             .ok_or_else(|| VmError::BadCode(format!("{class}.{method} has no body")))?;
+        self.exec.stats.interp_invocations += 1;
         let frame = make_frame(decl, idx, code, args);
         frames.push(frame);
         execute(self, &mut frames)
@@ -204,6 +210,36 @@ fn make_frame(class: ClassId, method: usize, code: Arc<Code>, args: Vec<Value>) 
         locals,
         stack: Vec::new(),
     }
+}
+
+/// Runs one method on the interpreter tier to completion (used by the
+/// compiled-IR executor when a callee has no compiled code).
+pub(crate) fn run_interp_call(
+    vm: &mut Vm,
+    class: ClassId,
+    method: usize,
+    args: Vec<Value>,
+) -> Result<Completion> {
+    let m = &vm.registry.get(class).methods[method];
+    let code = m
+        .code
+        .clone()
+        .ok_or_else(|| VmError::BadCode(format!("{} is abstract", m.name)))?;
+    vm.exec.stats.interp_invocations += 1;
+    let mut frames = vec![make_frame(class, method, code, args)];
+    execute(vm, &mut frames)
+}
+
+/// Runs `<clinit>` for `class` (and uninitialized superclasses) to
+/// completion. Returns an exception that escaped initialization, if any.
+pub(crate) fn run_clinit(vm: &mut Vm, class: ClassId) -> Result<Option<HeapRef>> {
+    let mut frames = Vec::new();
+    if vm.push_clinit_frames(&mut frames, class)? {
+        if let Completion::Exception(e) = execute(vm, &mut frames)? {
+            return Ok(Some(e));
+        }
+    }
+    Ok(None)
 }
 
 // ---- Stack helpers ----------------------------------------------------------
@@ -981,30 +1017,38 @@ fn step(vm: &mut Vm, frames: &mut Vec<Frame>, insn: &Insn) -> Result<Step> {
     }
 }
 
+/// Resolves (and caches) a static-field site to `(declaring class,
+/// offset)` for `idx` in `caller`'s pool.
+pub(crate) fn resolve_static_site(
+    vm: &mut Vm,
+    caller: ClassId,
+    idx: u16,
+) -> Result<(ClassId, usize)> {
+    if let Some(&t) = vm.registry.get(caller).sfield_cache.get(&idx) {
+        return Ok(t);
+    }
+    let (class_name, field_name) = {
+        let rc = vm.registry.get(caller);
+        let (c, n, _) = rc.pool.get_member_ref(idx)?;
+        (c.to_owned(), n.to_owned())
+    };
+    let class = vm.load_class(&class_name)?;
+    let Some(t) = vm.registry.resolve_static(class, &field_name) else {
+        return Err(VmError::NoSuchMember {
+            class: class_name,
+            name: field_name,
+            descriptor: "<static>".into(),
+        });
+    };
+    vm.registry.get_mut(caller).sfield_cache.insert(idx, t);
+    Ok(t)
+}
+
 /// Handles `getstatic`/`putstatic`, triggering class initialization.
 #[allow(clippy::ptr_arg)] // clinit frames are pushed onto the live stack
 fn static_field(vm: &mut Vm, frames: &mut Vec<Frame>, idx: u16, is_put: bool) -> Result<Step> {
     let caller = top!(frames).class;
-    let (decl, off) = match vm.registry.get(caller).sfield_cache.get(&idx) {
-        Some(&t) => t,
-        None => {
-            let (class_name, field_name) = {
-                let rc = vm.registry.get(caller);
-                let (c, n, _) = rc.pool.get_member_ref(idx)?;
-                (c.to_owned(), n.to_owned())
-            };
-            let class = vm.load_class(&class_name)?;
-            let Some(t) = vm.registry.resolve_static(class, &field_name) else {
-                return Err(VmError::NoSuchMember {
-                    class: class_name,
-                    name: field_name,
-                    descriptor: "<static>".into(),
-                });
-            };
-            vm.registry.get_mut(caller).sfield_cache.insert(idx, t);
-            t
-        }
-    };
+    let (decl, off) = resolve_static_site(vm, caller, idx)?;
     if vm.registry.get(decl).init_state == InitState::NotInitialized {
         let mut tmp = Vec::new();
         if vm.push_clinit_frames(&mut tmp, decl)? {
@@ -1025,7 +1069,7 @@ fn static_field(vm: &mut Vm, frames: &mut Vec<Frame>, idx: u16, is_put: bool) ->
 /// Resolves (and caches) an instance-field offset for `idx` in `caller`'s
 /// pool. Offsets are receiver-independent because subclass layouts share
 /// the superclass prefix.
-fn instance_field_offset(
+pub(crate) fn instance_field_offset(
     vm: &mut Vm,
     caller: ClassId,
     idx: u16,
@@ -1050,7 +1094,7 @@ fn instance_field_offset(
     Ok(off)
 }
 
-fn icond(cond: ICond, a: i32, b: i32) -> bool {
+pub(crate) fn icond(cond: ICond, a: i32, b: i32) -> bool {
     match cond {
         ICond::Eq => a == b,
         ICond::Ne => a != b,
@@ -1070,7 +1114,7 @@ fn branch_if(frame: &mut Frame, take: bool, target: usize) -> Result<Step> {
     }
 }
 
-fn fcmp(a: f64, b: f64, g: bool) -> i32 {
+pub(crate) fn fcmp(a: f64, b: f64, g: bool) -> i32 {
     if a.is_nan() || b.is_nan() {
         if g {
             1
@@ -1086,7 +1130,7 @@ fn fcmp(a: f64, b: f64, g: bool) -> i32 {
     }
 }
 
-fn f2i(v: f64) -> i32 {
+pub(crate) fn f2i(v: f64) -> i32 {
     if v.is_nan() {
         0
     } else if v >= i32::MAX as f64 {
@@ -1098,7 +1142,7 @@ fn f2i(v: f64) -> i32 {
     }
 }
 
-fn f2l(v: f64) -> i64 {
+pub(crate) fn f2l(v: f64) -> i64 {
     if v.is_nan() {
         0
     } else if v >= i64::MAX as f64 {
@@ -1265,7 +1309,12 @@ enum Dispatch {
 
 /// Resolves (and caches) the invoke-site information for `idx` in
 /// `caller`'s pool.
-fn invoke_info(vm: &mut Vm, caller: ClassId, idx: u16, is_static: bool) -> Result<InvokeInfo> {
+pub(crate) fn invoke_info(
+    vm: &mut Vm,
+    caller: ClassId,
+    idx: u16,
+    is_static: bool,
+) -> Result<InvokeInfo> {
     if let Some(info) = vm.registry.get(caller).invoke_cache.get(&idx) {
         return Ok(info.clone());
     }
@@ -1299,7 +1348,11 @@ fn invoke_info(vm: &mut Vm, caller: ClassId, idx: u16, is_static: bool) -> Resul
 }
 
 /// Looks up (and caches on the method) the native implementation.
-fn native_fn_of(vm: &mut Vm, class: ClassId, method: usize) -> Result<crate::natives::NativeFn> {
+pub(crate) fn native_fn_of(
+    vm: &mut Vm,
+    class: ClassId,
+    method: usize,
+) -> Result<crate::natives::NativeFn> {
     if let Some(f) = vm.registry.get(class).methods[method].native_impl {
         return Ok(f);
     }
@@ -1419,6 +1472,33 @@ fn invoke(vm: &mut Vm, frames: &mut Vec<Frame>, idx: u16, dispatch: Dispatch) ->
                 Ok(Step::Throw(e))
             }
         }
+    } else if vm.exec.installed(target_class, target_idx) {
+        // Compiled-IR tier. Publish the suspended interpreter frames'
+        // references so a collection triggered inside compiled code sees
+        // them; the compiled activation publishes its own registers.
+        let base = vm.exec_roots.len();
+        for f in frames.iter() {
+            for v in f.locals.iter().chain(f.stack.iter()) {
+                if let Value::Ref(Some(r)) = v {
+                    vm.exec_roots.push(*r);
+                }
+            }
+        }
+        let done = crate::exec::run_ir(vm, target_class, target_idx, full_args);
+        vm.exec_roots.truncate(base);
+        match done? {
+            Completion::Normal(v) => {
+                // The caller frame is still on top; pc already advanced.
+                if let Some(v) = v {
+                    top!(frames).stack.push(v);
+                }
+                Ok(Step::Jumped)
+            }
+            Completion::Exception(e) => {
+                top!(frames).pc -= 1;
+                Ok(Step::Throw(e))
+            }
+        }
     } else {
         if frames.len() >= MAX_FRAMES {
             return Err(VmError::StackOverflow);
@@ -1427,12 +1507,13 @@ fn invoke(vm: &mut Vm, frames: &mut Vec<Frame>, idx: u16, dispatch: Dispatch) ->
             .code
             .clone()
             .ok_or_else(|| VmError::BadCode(format!("{} is abstract", info.name)))?;
+        vm.exec.stats.interp_invocations += 1;
         frames.push(make_frame(target_class, target_idx, code, full_args));
         Ok(Step::Jumped)
     }
 }
 
-fn reference_instanceof(vm: &mut Vm, r: HeapRef, target: &str) -> Result<bool> {
+pub(crate) fn reference_instanceof(vm: &mut Vm, r: HeapRef, target: &str) -> Result<bool> {
     if target.starts_with('[') {
         // Array types: match on array-ness only (sufficient for the
         // workloads this system generates).

@@ -16,6 +16,7 @@
 pub mod bootstrap;
 pub mod classes;
 pub mod error;
+pub mod exec;
 pub mod heap;
 pub mod hooks;
 pub mod interp;
@@ -25,6 +26,7 @@ pub mod vm;
 
 pub use classes::{ClassProvider, MapProvider, Registry, RuntimeClass, RuntimeMethod};
 pub use error::{Result, VmError};
+pub use exec::{ExecStats, ExecTier};
 pub use heap::{ArrayData, ClassId, Heap, HeapObject, HeapRef};
 pub use hooks::{AuditKind, BuiltinChecks, DynamicServices, NoServices, SecurityDecision};
 pub use interp::Completion;

@@ -3,9 +3,11 @@
 use std::collections::HashMap;
 
 use dvm_classfile::ClassFile;
+use dvm_exec::ClassIr;
 
 use crate::classes::{ClassProvider, InitState, Registry};
 use crate::error::{Result, VmError};
+use crate::exec::ExecTier;
 use crate::heap::{ClassId, Heap, HeapObject, HeapRef};
 use crate::hooks::{BuiltinChecks, DynamicServices, NoServices};
 use crate::natives::NativeRegistry;
@@ -86,6 +88,13 @@ pub struct Vm {
     /// Monolithic-model security check costs hardwired into library
     /// natives (all `None` for DVM clients).
     pub builtin_checks: BuiltinChecks,
+    /// The optimizing execution tier: compiled-IR methods and per-tier
+    /// dispatch counters.
+    pub exec: ExecTier,
+    /// References published by suspended compiled-IR activations (and by
+    /// interpreter frames around cross-tier calls) so the collector can
+    /// see them; see `crate::exec`.
+    pub exec_roots: Vec<HeapRef>,
     loading: Vec<String>,
 }
 
@@ -127,6 +136,8 @@ impl Vm {
             fuel: None,
             site_names: HashMap::new(),
             builtin_checks: BuiltinChecks::default(),
+            exec: ExecTier::new(),
+            exec_roots: Vec::new(),
             loading: Vec::new(),
         };
         for cf in crate::bootstrap::bootstrap_classes() {
@@ -193,7 +204,47 @@ impl Vm {
         self.loading.pop();
         let id = result?;
         self.stats.classes_loaded.push((name.to_owned(), size));
+        self.bind_exec_ir(id);
         Ok(id)
+    }
+
+    /// Installs compiled IR for a class, binding immediately when the
+    /// class is already linked and deferring otherwise (the tier binds
+    /// pending IR when the class loads).
+    pub fn install_ir(&mut self, ir: ClassIr) {
+        match self.registry.id_of(&ir.class) {
+            Some(id) => self.bind_exec_ir_class(id, ir),
+            None => self.exec.offer(ir),
+        }
+    }
+
+    /// Binds any pending compiled IR for a freshly-linked class.
+    fn bind_exec_ir(&mut self, id: ClassId) {
+        let name = self.registry.get(id).name.clone();
+        if let Some(ir) = self.exec.take_pending(&name) {
+            self.bind_exec_ir_class(id, ir);
+        }
+    }
+
+    fn bind_exec_ir_class(&mut self, id: ClassId, ir: ClassIr) {
+        let mut installed = 0u64;
+        for func in ir.methods {
+            let idx = {
+                let rc = self.registry.get(id);
+                rc.method_index
+                    .get(&(func.name.clone(), func.descriptor.clone()))
+                    .copied()
+                    // Never shadow native or abstract methods.
+                    .filter(|&i| rc.methods[i].code.is_some())
+            };
+            if let Some(idx) = idx {
+                self.exec.install(id, idx, func);
+                installed += 1;
+            }
+        }
+        if installed > 0 {
+            self.exec.stats.installed_classes += 1;
+        }
     }
 
     /// Allocates a zero-initialized instance of `class`.
@@ -320,6 +371,7 @@ impl Vm {
     /// strings, open streams).
     pub fn global_roots(&self) -> Vec<HeapRef> {
         let mut roots: Vec<HeapRef> = self.interned.values().copied().collect();
+        roots.extend_from_slice(&self.exec_roots);
         for (_, class) in self.registry.iter() {
             for v in &class.statics {
                 if let Value::Ref(Some(r)) = v {

@@ -203,6 +203,10 @@ pub struct NetTransfer {
     pub served_from: ServedFrom,
     /// Simulated proxy processing time in nanoseconds.
     pub processing_ns: u64,
+    /// The `ir://` cache key for this payload's compiled-IR package
+    /// (derived from the signed bytes as served; `None` for `ir://`
+    /// fetches themselves).
+    pub ir_key: Option<String>,
 }
 
 /// Counters for one provider's lifetime.
@@ -228,6 +232,11 @@ struct Conn {
 /// Observer invoked once per successful transfer.
 pub type TransferHook = Box<dyn FnMut(&NetTransfer) + Send>;
 
+/// Observer invoked with each fetched compiled-IR package: the class
+/// name and the verified IR payload. Installed by `DvmClient`, which
+/// decodes and installs the package into its VM's execution tier.
+pub type IrHook = Box<dyn FnMut(&str, &[u8]) + Send>;
+
 /// A `ClassProvider` fetching rewritten classes over TCP.
 pub struct NetClassProvider {
     addr: SocketAddr,
@@ -238,6 +247,7 @@ pub struct NetClassProvider {
     next_request: u32,
     stats: NetClientStats,
     hook: Option<TransferHook>,
+    ir_hook: Option<IrHook>,
     jitter: StdRng,
     telemetry: Arc<Telemetry>,
 }
@@ -279,6 +289,7 @@ impl NetClassProvider {
             next_request: 1,
             stats: NetClientStats::default(),
             hook: None,
+            ir_hook: None,
             jitter,
             telemetry,
         })
@@ -316,6 +327,15 @@ impl NetClassProvider {
     /// `DvmClient` to account network costs).
     pub fn set_transfer_hook(&mut self, hook: TransferHook) {
         self.hook = Some(hook);
+    }
+
+    /// Enables the optimizing-tier side channel: after every class
+    /// fetch, the provider also requests the class's `ir://` package and
+    /// feeds the verified payload to `hook`. A proxy without an IR
+    /// producer answers `NOT_FOUND`, which is silently tolerated — the
+    /// class simply stays on the interpreter tier.
+    pub fn set_ir_hook(&mut self, hook: IrHook) {
+        self.ir_hook = Some(hook);
     }
 
     /// Counter snapshot.
@@ -500,6 +520,14 @@ impl NetClassProvider {
                         "response id {rid} for request {request_id}"
                     )));
                 }
+                // Derive the compiled-IR key from the bytes exactly as
+                // served (signature included) — the same digest the
+                // proxy keyed the package under at rewrite time.
+                let ir_key = if url.starts_with(dvm_proxy::IR_SCHEME) {
+                    None
+                } else {
+                    Some(dvm_proxy::ir_key(&bytes))
+                };
                 let payload = match &self.signer {
                     Some(signer) => match signer.detach(&bytes) {
                         (SignatureCheck::Valid, Some(payload)) => payload.to_vec(),
@@ -516,6 +544,7 @@ impl NetClassProvider {
                     bytes: payload.len(),
                     served_from,
                     processing_ns,
+                    ir_key,
                 };
                 if let Some(hook) = &mut self.hook {
                     hook(&transfer);
@@ -544,7 +573,25 @@ impl NetClassProvider {
 impl ClassProvider for NetClassProvider {
     fn load(&mut self, name: &str) -> Option<Vec<u8>> {
         let url = format!("class://{name}");
-        self.fetch(&url).ok().map(|(bytes, _)| bytes)
+        let (bytes, transfer) = self.fetch(&url).ok()?;
+        if self.ir_hook.is_some() {
+            if let Some(key) = transfer.ir_key.clone() {
+                self.telemetry
+                    .registry()
+                    .counter("net.client.ir_requests")
+                    .inc();
+                if let Ok((ir, _)) = self.fetch(&key) {
+                    self.telemetry
+                        .registry()
+                        .counter("net.client.ir_fetches")
+                        .inc();
+                    if let Some(hook) = &mut self.ir_hook {
+                        hook(name, &ir);
+                    }
+                }
+            }
+        }
+        Some(bytes)
     }
 }
 

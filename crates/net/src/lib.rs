@@ -28,7 +28,8 @@ pub mod sema;
 pub mod server;
 
 pub use client::{
-    fetch_stats, NetClassProvider, NetClientStats, NetConfig, NetError, NetTransfer, RemoteConsole,
+    fetch_stats, IrHook, NetClassProvider, NetClientStats, NetConfig, NetError, NetTransfer,
+    RemoteConsole,
 };
 pub use frame::{kind_from_u8, kind_to_u8, ErrorCode, Frame, FrameError, Hello, MAX_FRAME_LEN};
 pub use server::{

@@ -1,0 +1,154 @@
+//! The proxy's optimizer stage for the register-IR execution tier.
+//!
+//! The repartitioning service decides *where* code lives; this stage
+//! decides *what shape* it ships in. It lowers each method of a served
+//! class to register IR, runs the `dvm-exec` pass pipeline (service-stub
+//! inlining, constant folding, copy propagation, dead-code elimination),
+//! and reports per-method and aggregate pass work so the proxy's
+//! telemetry plane can attribute optimization effort per class.
+
+use dvm_bytecode::Code;
+use dvm_classfile::ClassFile;
+use dvm_exec::{lower, optimize, ClassIr, PassStats};
+
+use crate::error::Result;
+
+/// Pass-pipeline outcome for one method.
+#[derive(Debug, Clone)]
+pub struct MethodOptReport {
+    /// Method name.
+    pub name: String,
+    /// Method descriptor.
+    pub descriptor: String,
+    /// IR instructions straight out of lowering.
+    pub insns_before: usize,
+    /// IR instructions after the pass pipeline.
+    pub insns_after: usize,
+    /// Pass work performed.
+    pub stats: PassStats,
+}
+
+/// Pass-pipeline outcome for a whole class.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineReport {
+    /// Class internal name.
+    pub class: String,
+    /// Per-method outcomes (lowered methods only).
+    pub methods: Vec<MethodOptReport>,
+    /// Methods left on the interpreter tier.
+    pub skipped: usize,
+}
+
+impl PipelineReport {
+    /// Total IR instructions before optimization.
+    pub fn insns_before(&self) -> usize {
+        self.methods.iter().map(|m| m.insns_before).sum()
+    }
+
+    /// Total IR instructions after optimization.
+    pub fn insns_after(&self) -> usize {
+        self.methods.iter().map(|m| m.insns_after).sum()
+    }
+
+    /// Aggregate pass work across all methods.
+    pub fn totals(&self) -> PassStats {
+        let mut t = PassStats::default();
+        for m in &self.methods {
+            t.absorb(&m.stats);
+        }
+        t
+    }
+
+    /// Code-size reduction achieved by the pipeline, in percent.
+    pub fn reduction_percent(&self) -> f64 {
+        let before = self.insns_before();
+        if before == 0 {
+            return 0.0;
+        }
+        100.0 * (before - self.insns_after()) as f64 / before as f64
+    }
+}
+
+/// Lowers and optimizes every method of `cf`, returning the installable
+/// IR plus the stage report. Methods that decline to lower are skipped
+/// (the client interprets them), mirroring `dvm_exec::compile_class`.
+pub fn optimize_class_ir(cf: &ClassFile) -> Result<(ClassIr, PipelineReport)> {
+    let class = cf.name()?.to_owned();
+    let mut report = PipelineReport {
+        class: class.clone(),
+        ..PipelineReport::default()
+    };
+    let mut methods = Vec::new();
+    for m in &cf.methods {
+        let (Ok(name), Ok(descriptor)) = (m.name(&cf.pool), m.descriptor(&cf.pool)) else {
+            report.skipped += 1;
+            continue;
+        };
+        let Some(attr) = m.code() else {
+            report.skipped += 1;
+            continue;
+        };
+        let Ok(code) = Code::decode(attr) else {
+            report.skipped += 1;
+            continue;
+        };
+        let Ok(mut func) = lower(&code, &cf.pool, name, descriptor) else {
+            report.skipped += 1;
+            continue;
+        };
+        let insns_before = func.insns.len();
+        let stats = optimize(&mut func, &cf.pool);
+        report.methods.push(MethodOptReport {
+            name: name.to_owned(),
+            descriptor: descriptor.to_owned(),
+            insns_before,
+            insns_after: func.insns.len(),
+            stats,
+        });
+        methods.push(func);
+    }
+    Ok((ClassIr { class, methods }, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvm_bytecode::asm::Asm;
+    use dvm_bytecode::insn::Kind;
+    use dvm_classfile::{AccessFlags, Attribute, ClassBuilder, MemberInfo};
+
+    fn foldable_class() -> ClassFile {
+        let mut cf = ClassBuilder::new("t/Shape").build();
+        let mut a = Asm::new(2);
+        a.iconst(2)
+            .iconst(3)
+            .iadd()
+            .iconst(4)
+            .imul()
+            .ret_val(Kind::Int);
+        let attr = a.finish().unwrap().encode(&cf.pool).unwrap();
+        let n = cf.pool.utf8("k").unwrap();
+        let d = cf.pool.utf8("()I").unwrap();
+        cf.methods.push(MemberInfo {
+            access: AccessFlags::PUBLIC | AccessFlags::STATIC,
+            name_index: n,
+            descriptor_index: d,
+            attributes: vec![Attribute::Code(attr)],
+        });
+        cf
+    }
+
+    #[test]
+    fn pipeline_shrinks_foldable_code_and_reports_it() {
+        let cf = foldable_class();
+        let (ir, report) = optimize_class_ir(&cf).unwrap();
+        assert_eq!(ir.class, "t/Shape");
+        assert_eq!(ir.methods.len(), 1);
+        assert_eq!(report.methods.len(), 1);
+        let m = &report.methods[0];
+        assert_eq!(m.name, "k");
+        assert!(m.insns_after < m.insns_before, "folding should shrink code");
+        assert!(report.totals().folded >= 2, "both ops fold");
+        assert!(report.reduction_percent() > 0.0);
+    }
+}

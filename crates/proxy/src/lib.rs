@@ -17,7 +17,7 @@ pub mod sign;
 pub use cache::{CacheStats, CacheTier, RewriteCache};
 pub use filter::{Filter, FilterError, NullFilter, Pipeline, RequestContext};
 pub use proxy::{
-    CodeOrigin, MapOrigin, PeerCache, Proxy, ProxyAuditRecord, ProxyError, ProxyStats, RewriteCost,
-    ServedFrom, ServedResponse,
+    ir_key, CodeOrigin, IrProducer, IrProduct, MapOrigin, PeerCache, Proxy, ProxyAuditRecord,
+    ProxyError, ProxyStats, RewriteCost, ServedFrom, ServedResponse, IR_SCHEME,
 };
 pub use sign::{SignatureCheck, Signer, TAG_LEN};

@@ -153,6 +153,44 @@ pub trait PeerCache: Send + Sync {
     fn offer_to_home(&self, url: &str, bytes: &[u8]) -> bool;
 }
 
+/// A compiled-IR package produced for a rewritten class.
+#[derive(Debug, Clone)]
+pub struct IrProduct {
+    /// Wire-encoded register IR for the rewritten class.
+    pub bytes: Vec<u8>,
+    /// Pass-pipeline work per pass name (units of rewriting work), used
+    /// to attribute `exec.opt.<pass>` child spans.
+    pub pass_work: Vec<(String, u64)>,
+    /// Simulated cycles the compilation cost.
+    pub compile_cycles: u64,
+}
+
+/// Produces optimized register IR for a served class: the proxy's
+/// `compiler`/`optimizer` stages for the client's optimizing execution
+/// tier. Implementations live above this crate (`dvm-core` wires the
+/// `dvm-compiler` service in); the proxy only caches and serves the
+/// result under `ir://<signature>` keys.
+pub trait IrProducer: Send + Sync {
+    /// Compiles `class_bytes` (the rewritten, pre-signature payload), or
+    /// `None` to leave the class on the interpreter tier.
+    fn produce(&self, class_bytes: &[u8]) -> Option<IrProduct>;
+}
+
+/// URL scheme under which compiled IR packages are cached and served.
+pub const IR_SCHEME: &str = "ir://";
+
+/// The cache/serve key for the IR package belonging to a served payload.
+///
+/// Keyed by the MD5 of the *signed served bytes* — the same signature the
+/// rewrite cache already identifies payloads by — so a client that holds
+/// a served class can derive the key without another round trip.
+pub fn ir_key(served_bytes: &[u8]) -> String {
+    format!(
+        "{IR_SCHEME}{}",
+        crate::md5::hex(&crate::md5::md5(served_bytes))
+    )
+}
+
 /// A served response with provenance.
 #[derive(Debug, Clone)]
 pub struct ServedResponse {
@@ -200,6 +238,10 @@ pub struct ProxyStats {
     pub peer_fills: u64,
     /// Rewrites offered to their home shard after completing locally.
     pub peer_offers: u64,
+    /// IR packages compiled by the attached [`IrProducer`].
+    pub ir_compiles: u64,
+    /// `ir://` requests served from the cache.
+    pub ir_served: u64,
 }
 
 /// Pre-registered telemetry handles for the request hot path: resolved
@@ -216,8 +258,13 @@ struct ProxyMetrics {
     rewrites: Arc<Counter>,
     rewrite_bytes_in: Arc<Counter>,
     rewrite_bytes_out: Arc<Counter>,
+    ir_compiles: Arc<Counter>,
+    ir_served: Arc<Counter>,
+    ir_bytes: Arc<Counter>,
+    ir_compile_cycles: Arc<Counter>,
     request_ns: Arc<Histogram>,
     origin_fetch_ns: Arc<Histogram>,
+    ir_lower_ns: Arc<Histogram>,
 }
 
 impl ProxyMetrics {
@@ -234,8 +281,13 @@ impl ProxyMetrics {
             rewrites: r.counter("proxy.rewrites"),
             rewrite_bytes_in: r.counter("proxy.rewrite.bytes_in"),
             rewrite_bytes_out: r.counter("proxy.rewrite.bytes_out"),
+            ir_compiles: r.counter("exec.ir.compiles"),
+            ir_served: r.counter("exec.ir.served"),
+            ir_bytes: r.counter("exec.ir.bytes"),
+            ir_compile_cycles: r.counter("exec.ir.compile_cycles"),
             request_ns: r.histogram("proxy.request_ns"),
             origin_fetch_ns: r.histogram("proxy.origin.fetch_ns"),
+            ir_lower_ns: r.histogram("exec.lower_ns"),
         }
     }
 }
@@ -249,6 +301,7 @@ pub struct Proxy {
     signer: Option<Signer>,
     rewrite_cost: RewriteCost,
     peer: parking_lot::RwLock<Option<Arc<dyn PeerCache>>>,
+    ir_producer: parking_lot::RwLock<Option<Arc<dyn IrProducer>>>,
     audit: Mutex<Vec<ProxyAuditRecord>>,
     stats: Mutex<ProxyStats>,
     telemetry: Arc<Telemetry>,
@@ -288,6 +341,7 @@ impl Proxy {
             signer,
             rewrite_cost: RewriteCost::default(),
             peer: parking_lot::RwLock::new(None),
+            ir_producer: parking_lot::RwLock::new(None),
             audit: Mutex::new(Vec::new()),
             stats: Mutex::new(ProxyStats::default()),
             telemetry,
@@ -306,6 +360,19 @@ impl Proxy {
     /// Detaches the proxy from its fleet (used at shard shutdown).
     pub fn clear_peer_cache(&self) {
         *self.peer.write() = None;
+    }
+
+    /// Attaches the compiler stage for the optimizing execution tier:
+    /// every future rewrite also produces an IR package, cached under
+    /// [`ir_key`] of the served bytes and fetchable as `ir://<hex>`.
+    pub fn set_ir_producer(&self, producer: Arc<dyn IrProducer>) {
+        *self.ir_producer.write() = Some(producer);
+    }
+
+    /// Builder-style variant of [`Proxy::set_ir_producer`].
+    pub fn with_ir_producer(self, producer: Arc<dyn IrProducer>) -> Proxy {
+        self.set_ir_producer(producer);
+        self
     }
 
     /// Replaces the rewrite-cost model (builder style).
@@ -397,6 +464,10 @@ impl Proxy {
                         ServedFrom::DiskCache
                     }
                 };
+                if url.starts_with(IR_SCHEME) {
+                    self.stats.lock().ir_served += 1;
+                    self.metrics.ir_served.inc();
+                }
                 self.finish(url, ctx, &bytes, served_from, 0);
                 return Ok(ServedResponse {
                     bytes,
@@ -423,6 +494,10 @@ impl Proxy {
                         Arc::clone(&bytes),
                         CacheTier::Memory,
                     );
+                    if url.starts_with(IR_SCHEME) {
+                        self.stats.lock().ir_served += 1;
+                        self.metrics.ir_served.inc();
+                    }
                     self.finish(url, ctx, &bytes, ServedFrom::Peer, 0);
                     return Ok(ServedResponse {
                         bytes,
@@ -431,6 +506,13 @@ impl Proxy {
                     });
                 }
             }
+        }
+
+        // IR packages only exist as cache entries (they are produced as a
+        // side effect of rewriting their class); there is no origin to
+        // fetch them from and nothing to rewrite.
+        if url.starts_with(IR_SCHEME) {
+            return Err(ProxyError::NotFound(url.to_owned()));
         }
 
         let recorder = self.telemetry.recorder();
@@ -480,6 +562,18 @@ impl Proxy {
         let mut bytes = rewritten
             .to_bytes()
             .map_err(|e| ProxyError::Parse(e.to_string()))?;
+        // Compile the rewritten payload for the optimizing execution
+        // tier before the signature is attached: the IR must describe the
+        // class the client will actually link.
+        let ir = {
+            let producer = self.ir_producer.read().clone();
+            producer.and_then(|p| {
+                let start = recorder.now_ns();
+                let product = p.produce(&bytes);
+                let lower_ns = recorder.now_ns().saturating_sub(start);
+                product.map(|pr| (pr, start, lower_ns))
+            })
+        };
         if let Some(signer) = &self.signer {
             bytes = signer.attach(bytes);
         }
@@ -505,12 +599,72 @@ impl Proxy {
                 }
             }
         }
+        if let Some((product, start, lower_ns)) = ir {
+            self.install_ir(&bytes, product, start, lower_ns, span);
+        }
         self.finish(url, ctx, &bytes, ServedFrom::Rewritten, elapsed);
         Ok(ServedResponse {
             bytes,
             served_from: ServedFrom::Rewritten,
             processing_ns: elapsed,
         })
+    }
+
+    /// Caches a freshly produced IR package under the served payload's
+    /// `ir://` key, records the `exec.*` telemetry, and offers the
+    /// package to the fleet like any other rewrite product.
+    fn install_ir(
+        &self,
+        served_bytes: &Arc<[u8]>,
+        product: IrProduct,
+        start: u64,
+        lower_ns: u64,
+        span: Option<(dvm_telemetry::TraceId, SpanId)>,
+    ) {
+        let key = ir_key(served_bytes);
+        self.stats.lock().ir_compiles += 1;
+        self.metrics.ir_compiles.inc();
+        self.metrics.ir_bytes.add(product.bytes.len() as u64);
+        self.metrics.ir_compile_cycles.add(product.compile_cycles);
+        self.metrics.ir_lower_ns.record(lower_ns);
+        if let Some((trace, parent)) = span {
+            let recorder = self.telemetry.recorder();
+            let lower = SpanId::generate();
+            recorder.record_span(trace, lower, parent, "exec.lower", start, lower_ns);
+            // Attribute pass-pipeline work as children of the lowering
+            // span; durations are the pipeline's deterministic work
+            // units, not wall time.
+            let mut at = start;
+            for (pass, work) in &product.pass_work {
+                recorder.record_span(
+                    trace,
+                    SpanId::generate(),
+                    lower,
+                    &format!("exec.opt.{pass}"),
+                    at,
+                    *work,
+                );
+                at = at.saturating_add(*work);
+            }
+        }
+        if self.caching {
+            // IR ships under the same signature regime as classes: the
+            // optimized code is no less sensitive than the rewrites it
+            // encodes.
+            let wire = match &self.signer {
+                Some(signer) => signer.attach(product.bytes),
+                None => product.bytes,
+            };
+            let bytes: Arc<[u8]> = wire.into();
+            self.cache.lock().put(key.clone(), Arc::clone(&bytes));
+            let peer = self.peer.read().clone();
+            if let Some(peer) = peer {
+                if peer.offer_to_home(&key, &bytes) {
+                    self.stats.lock().peer_offers += 1;
+                    self.metrics.peer_offers.inc();
+                }
+            }
+        }
     }
 
     fn finish(
@@ -901,6 +1055,100 @@ mod tests {
         let stats = proxy.store_stats().unwrap();
         assert!(stats.recovered_records >= 1);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    struct CannedProducer;
+
+    impl IrProducer for CannedProducer {
+        fn produce(&self, class_bytes: &[u8]) -> Option<IrProduct> {
+            Some(IrProduct {
+                bytes: vec![0xd0, class_bytes[0]],
+                pass_work: vec![("fold".to_owned(), 3), ("dce".to_owned(), 2)],
+                compile_cycles: 1_000,
+            })
+        }
+    }
+
+    #[test]
+    fn rewrites_produce_cached_ir_packages() {
+        let proxy = Proxy::new(
+            Box::new(origin_with("t/I", "u")),
+            null_pipeline(),
+            1 << 20,
+            true,
+            Some(Signer::new(b"org")),
+        );
+        proxy.set_ir_producer(Arc::new(CannedProducer));
+        let ctx = RequestContext::default();
+        let served = proxy.handle_request_detailed("u", &ctx).unwrap();
+        assert_eq!(proxy.stats().ir_compiles, 1);
+
+        // The client derives the key from the bytes it received.
+        let key = ir_key(&served.bytes);
+        let ir = proxy.handle_request_detailed(&key, &ctx).unwrap();
+        assert_eq!(ir.served_from, ServedFrom::MemoryCache);
+        // The package is signed like any served payload; the payload is
+        // the producer's bytes (0xCA is the class-file magic it echoed).
+        let signer = Signer::new(b"org");
+        let (check, payload) = signer.detach(&ir.bytes);
+        assert_eq!(check, crate::sign::SignatureCheck::Valid);
+        assert_eq!(payload.unwrap(), &[0xd0, 0xca][..]);
+        assert_eq!(ir.processing_ns, 0, "no re-lowering on the serve path");
+        assert_eq!(proxy.stats().ir_served, 1);
+
+        // A cached class serve does not recompile.
+        proxy.handle_request_detailed("u", &ctx).unwrap();
+        assert_eq!(proxy.stats().ir_compiles, 1);
+
+        let snap = proxy.telemetry().registry().snapshot();
+        assert_eq!(snap.counter("exec.ir.compiles"), 1);
+        assert_eq!(snap.counter("exec.ir.served"), 1);
+        assert_eq!(snap.counter("exec.ir.compile_cycles"), 1_000);
+    }
+
+    #[test]
+    fn unknown_ir_key_is_not_found_not_a_rewrite() {
+        let proxy = Proxy::new(
+            Box::new(origin_with("t/I", "u")),
+            null_pipeline(),
+            1 << 20,
+            true,
+            None,
+        );
+        proxy.set_ir_producer(Arc::new(CannedProducer));
+        let miss = proxy.handle_request("ir://deadbeef", &RequestContext::default());
+        assert!(matches!(miss, Err(ProxyError::NotFound(_))));
+        assert_eq!(proxy.stats().rewrites, 0);
+    }
+
+    #[test]
+    fn traced_rewrite_records_exec_spans() {
+        use dvm_telemetry::{TraceContext, TraceId};
+        let proxy = Proxy::new(
+            Box::new(origin_with("t/I", "u")),
+            null_pipeline(),
+            1 << 20,
+            true,
+            None,
+        );
+        proxy.set_ir_producer(Arc::new(CannedProducer));
+        let trace = TraceId::generate();
+        let ctx = RequestContext {
+            trace: Some(TraceContext {
+                trace,
+                parent: SpanId::NONE,
+            }),
+            ..Default::default()
+        };
+        proxy.handle_request("u", &ctx).unwrap();
+        let spans = proxy.telemetry().recorder().for_trace(trace);
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"exec.lower"), "{names:?}");
+        assert!(names.contains(&"exec.opt.fold"), "{names:?}");
+        assert!(names.contains(&"exec.opt.dce"), "{names:?}");
+        let lower = spans.iter().find(|s| s.name == "exec.lower").unwrap();
+        let fold = spans.iter().find(|s| s.name == "exec.opt.fold").unwrap();
+        assert_eq!(fold.parent, lower.id);
     }
 
     #[test]

@@ -10,6 +10,7 @@ pub use dvm_classfile as classfile;
 pub use dvm_cluster as cluster;
 pub use dvm_compiler as compiler;
 pub use dvm_core as core;
+pub use dvm_exec as exec;
 pub use dvm_jvm as jvm;
 pub use dvm_monitor as monitor;
 pub use dvm_net as net;
