@@ -94,6 +94,7 @@ fn client_config() -> ClusterClientConfig {
         },
         rounds: 4,
         round_backoff: Duration::from_millis(15),
+        ..ClusterClientConfig::default()
     }
 }
 

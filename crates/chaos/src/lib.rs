@@ -36,12 +36,14 @@
 
 pub mod link;
 pub mod runner;
+pub mod scale;
 pub mod schedule;
 
 pub use link::{ChaosLink, FaultEvent, LinkStats};
 pub use runner::{
     oracle_payloads, ChaosReport, ChaosRunner, RestartReport, RunnerConfig, ShardKill, Violation,
 };
+pub use scale::{run_scale, ScaleConfig, ScaleReport};
 pub use schedule::{
     ChaosFault, ChaosRule, ChaosSchedule, Dir, FaultState, ParseError, Placement, Trigger,
 };

@@ -1,0 +1,455 @@
+//! Elastic-scale chaos: grow and shrink a live cluster under client
+//! load.
+//!
+//! The scenario the membership plane exists for: a cluster serving
+//! concurrent clients grows from its starting width to `grow_to`
+//! shards (each join migrating its key range in), then shrinks down to
+//! a survivor set (each retirement draining its keys out), while the
+//! clients keep fetching through every epoch change — re-learning the
+//! ring over `RING_UPDATE` rather than reconnecting. The run checks:
+//!
+//! * `zero-failed-clients-across-epoch-change` — no fetch fails, ever;
+//!   a membership transition is invisible to clients beyond latency.
+//! * `payload-matches-oracle` — whichever shard (and whichever epoch)
+//!   served a fetch, the bytes are exactly the fault-free rewrite.
+//! * `bounded-re-rewrites` — live migration works: the whole scale
+//!   dance re-rewrites at most one class per URL plus one racing fetch
+//!   per transition, instead of every transition re-paying the rewrite
+//!   cost for every key that moved.
+//! * `epoch-advances` — every transition published a strictly larger
+//!   epoch (clients can order views).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dvm_cluster::{ClusterClassProvider, ClusterClientConfig};
+use dvm_membership::MembershipPlane;
+use dvm_net::Hello;
+use dvm_netsim::SimRng;
+use dvm_proxy::{Proxy, RequestContext, SignatureCheck, Signer};
+
+use crate::runner::Violation;
+
+/// Everything a scale run needs besides the plane itself.
+#[derive(Clone)]
+pub struct ScaleConfig {
+    /// Master seed for client shuffles.
+    pub seed: u64,
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Target width of the grow phase.
+    pub grow_to: usize,
+    /// Shard ids that survive the shrink phase; every other ring member
+    /// is retired.
+    pub keep: Vec<u32>,
+    /// Cluster-client tuning (`ring_sync` is forced on — the scenario
+    /// is pointless without it).
+    pub client_config: ClusterClientConfig,
+    /// Signature verification key shared with the cluster.
+    pub signer: Option<Signer>,
+    /// Identity template; each client gets `user = "<user><i>"`.
+    pub hello: Hello,
+    /// Pause before and between membership transitions, letting client
+    /// load overlap them.
+    pub transition_pause: Duration,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig {
+            seed: 0,
+            clients: 8,
+            grow_to: 6,
+            keep: vec![1, 4],
+            client_config: ClusterClientConfig::default(),
+            signer: None,
+            hello: Hello {
+                user: "scale".into(),
+                principal: "applets".into(),
+                ..Hello::default()
+            },
+            transition_pause: Duration::from_millis(30),
+        }
+    }
+}
+
+/// The outcome of one scale run.
+#[derive(Debug, Clone)]
+pub struct ScaleReport {
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Ring width at start / after growing / after shrinking.
+    pub shards_start: usize,
+    /// Peak width (after the grow phase).
+    pub shards_peak: usize,
+    /// Final width (after the shrink phase).
+    pub shards_end: usize,
+    /// Epoch before any transition.
+    pub epoch_start: u64,
+    /// Epoch after the last transition.
+    pub epoch_end: u64,
+    /// Fetches attempted across all clients.
+    pub fetches_attempted: u64,
+    /// Fetches that delivered verified bytes.
+    pub fetches_ok: u64,
+    /// Fetches that failed with a typed error.
+    pub fetches_failed: u64,
+    /// Median successful-fetch latency in nanoseconds.
+    pub fetch_p50_ns: u64,
+    /// 99th-percentile successful-fetch latency in nanoseconds.
+    pub fetch_p99_ns: u64,
+    /// Rewrites spent warming the cluster before load (== unique URLs).
+    pub settle_rewrites: u64,
+    /// Rewrites during the run proper — what migration is supposed to
+    /// make (close to) zero.
+    pub run_rewrites: u64,
+    /// Cache entries moved by join migrations.
+    pub migrated_keys: u64,
+    /// Cache entries drained out of retiring shards.
+    pub drained_keys: u64,
+    /// Ring-sync pulls clients performed.
+    pub client_ring_syncs: u64,
+    /// Every invariant failure (empty on a clean run).
+    pub violations: Vec<Violation>,
+}
+
+impl ScaleReport {
+    /// True when every invariant held.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// A human summary.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "scale run {}→{}→{} shards, epoch {}→{}: {}/{} fetches ok ({} failed), p50 {:.2}ms p99 {:.2}ms\n",
+            self.shards_start,
+            self.shards_peak,
+            self.shards_end,
+            self.epoch_start,
+            self.epoch_end,
+            self.fetches_ok,
+            self.fetches_attempted,
+            self.fetches_failed,
+            self.fetch_p50_ns as f64 / 1e6,
+            self.fetch_p99_ns as f64 / 1e6,
+        );
+        out.push_str(&format!(
+            "migration: {} keys in (joins), {} keys drained (retires), {} run rewrites ({} settle), {} client ring syncs\n",
+            self.migrated_keys,
+            self.drained_keys,
+            self.run_rewrites,
+            self.settle_rewrites,
+            self.client_ring_syncs,
+        ));
+        if self.violations.is_empty() {
+            out.push_str("all invariants held\n");
+        } else {
+            for v in &self.violations {
+                out.push_str(&format!("VIOLATION {v}\n"));
+            }
+        }
+        out
+    }
+}
+
+struct ScaleOutcome {
+    ok: u64,
+    failed: u64,
+    latencies_ns: Vec<u64>,
+    mismatches: Vec<String>,
+    ring_syncs: u64,
+}
+
+fn total_rewrites(plane: &MembershipPlane) -> u64 {
+    (0..plane.cluster().len())
+        .map(|i| plane.cluster().proxy(i).stats().rewrites)
+        .sum()
+}
+
+/// Runs the grow-then-shrink scenario under concurrent client load.
+/// `make_proxy` builds the proxy for each joining shard id (same
+/// policy/signer substrate as the seed shards — e.g.
+/// `Organization::shard_proxy_named`).
+pub fn run_scale(
+    plane: &mut MembershipPlane,
+    make_proxy: &mut dyn FnMut(u32) -> Arc<Proxy>,
+    urls: &[String],
+    cfg: &ScaleConfig,
+) -> ScaleReport {
+    assert!(!urls.is_empty(), "a scale run needs at least one URL");
+    let shards_start = plane.cluster().ring().shards().len();
+    let epoch_start = plane.cluster().ring().epoch();
+    let mut violations: Vec<Violation> = Vec::new();
+
+    // Settle pass: serve every URL once, in-process, on its home shard.
+    // This warms the starting shards (so run-phase rewrites measure
+    // migration quality, not cold-start cost) and yields the oracle.
+    let mut oracle: HashMap<String, Vec<u8>> = HashMap::new();
+    for url in urls {
+        let home = plane.cluster().ring().home(url).unwrap_or(0) as usize;
+        let ctx = RequestContext {
+            client: "scale-settle".into(),
+            principal: cfg.hello.principal.clone(),
+            url: url.clone(),
+            trace: None,
+        };
+        let served = match plane
+            .cluster()
+            .proxy(home)
+            .handle_request_detailed(url, &ctx)
+        {
+            Ok(s) => s,
+            Err(e) => {
+                violations.push(Violation {
+                    invariant: "scale-settle",
+                    detail: format!("settle fetch of {url} on shard {home} failed: {e}"),
+                });
+                continue;
+            }
+        };
+        let payload = match &cfg.signer {
+            Some(s) => match s.detach(&served.bytes) {
+                (SignatureCheck::Valid, Some(p)) => p.to_vec(),
+                other => {
+                    violations.push(Violation {
+                        invariant: "scale-settle",
+                        detail: format!("settle signature on {url}: {:?}", other.0),
+                    });
+                    continue;
+                }
+            },
+            None => served.bytes.to_vec(),
+        };
+        oracle.insert(url.clone(), payload);
+    }
+    let settle_rewrites = total_rewrites(plane);
+
+    let start_addrs: Vec<std::net::SocketAddr> = plane.cluster().addrs()[..shards_start].to_vec();
+    let start_ring = plane.cluster().ring().clone();
+    let stop = AtomicBool::new(false);
+    let mut client_cfg = cfg.client_config;
+    client_cfg.ring_sync = true;
+
+    let mut outcomes: Vec<ScaleOutcome> = Vec::new();
+    let mut shards_peak = shards_start;
+    let mut epoch_end = epoch_start;
+    let mut migrated_keys = 0u64;
+    let mut drained_keys = 0u64;
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|c| {
+                let start_addrs = start_addrs.clone();
+                let start_ring = start_ring.clone();
+                let oracle = &oracle;
+                let stop = &stop;
+                scope.spawn(move || {
+                    let hello = Hello {
+                        user: format!("{}{c}", cfg.hello.user),
+                        ..cfg.hello.clone()
+                    };
+                    let mut provider = ClusterClassProvider::new(
+                        start_addrs,
+                        start_ring,
+                        hello,
+                        cfg.signer.clone(),
+                        client_cfg,
+                    );
+                    let mut order: Vec<usize> = (0..urls.len()).collect();
+                    let mut rng = SimRng::derive(cfg.seed, 0x5CA1E + c as u64);
+                    for i in (1..order.len()).rev() {
+                        order.swap(i, rng.next_below(i as u64 + 1) as usize);
+                    }
+                    let mut outcome = ScaleOutcome {
+                        ok: 0,
+                        failed: 0,
+                        latencies_ns: Vec::new(),
+                        mismatches: Vec::new(),
+                        ring_syncs: 0,
+                    };
+                    // Passes run until the driver finishes its
+                    // transitions, plus one final pass over the settled
+                    // end-state ring; every pass boundary re-syncs the
+                    // ring, which is how epoch adoption mid-flight gets
+                    // exercised.
+                    let mut final_pass_done = false;
+                    loop {
+                        let stopping = stop.load(Ordering::Acquire);
+                        for (j, &u) in order.iter().enumerate() {
+                            let url = &urls[u];
+                            let started = Instant::now();
+                            match provider.fetch(url) {
+                                Ok((bytes, _)) => {
+                                    outcome.ok += 1;
+                                    outcome
+                                        .latencies_ns
+                                        .push(started.elapsed().as_nanos() as u64);
+                                    if bytes != oracle[url] {
+                                        outcome.mismatches.push(format!(
+                                            "client {c} fetch {j} of {url}: payload diverged"
+                                        ));
+                                    }
+                                }
+                                Err(_) => outcome.failed += 1,
+                            }
+                        }
+                        if provider.sync_ring() {
+                            outcome.ring_syncs += 1;
+                        }
+                        if stopping {
+                            if final_pass_done {
+                                break;
+                            }
+                            final_pass_done = true;
+                        }
+                    }
+                    provider.close();
+                    outcome
+                })
+            })
+            .collect();
+
+        // The driver runs on this thread: grow, then shrink, with load
+        // overlapping every transition.
+        std::thread::sleep(cfg.transition_pause);
+        while plane.cluster().ring().shards().len() < cfg.grow_to {
+            let id = plane.cluster().len() as u32;
+            let proxy = make_proxy(id);
+            match plane.join(proxy) {
+                Ok(report) => {
+                    migrated_keys += report.migration.keys;
+                    if !report.migration.complete {
+                        violations.push(Violation {
+                            invariant: "scale-join",
+                            detail: format!(
+                                "shard {} joined with an incomplete migration (failed sources {:?})",
+                                report.shard, report.failed_sources
+                            ),
+                        });
+                    }
+                }
+                Err(e) => {
+                    violations.push(Violation {
+                        invariant: "scale-join",
+                        detail: format!("join of shard {id} failed: {e}"),
+                    });
+                    break;
+                }
+            }
+            std::thread::sleep(cfg.transition_pause);
+        }
+        shards_peak = plane.cluster().ring().shards().len();
+
+        let members: Vec<u32> = plane.cluster().ring().shards().to_vec();
+        for s in members {
+            if cfg.keep.contains(&s) {
+                continue;
+            }
+            let report = plane.retire(s);
+            drained_keys += report.drained.keys;
+            if !report.drain_ok {
+                violations.push(Violation {
+                    invariant: "scale-retire",
+                    detail: format!("shard {s} retired without a complete drain"),
+                });
+            }
+            std::thread::sleep(cfg.transition_pause);
+        }
+        epoch_end = plane.cluster().ring().epoch();
+        stop.store(true, Ordering::Release);
+
+        for h in handles {
+            match h.join() {
+                Ok(o) => outcomes.push(o),
+                Err(_) => violations.push(Violation {
+                    invariant: "zero-failed-clients-across-epoch-change",
+                    detail: "a client panicked".into(),
+                }),
+            }
+        }
+    });
+
+    // --- zero-failed-clients-across-epoch-change ------------------------
+    let fetches_ok: u64 = outcomes.iter().map(|o| o.ok).sum();
+    let fetches_failed: u64 = outcomes.iter().map(|o| o.failed).sum();
+    if fetches_failed > 0 {
+        violations.push(Violation {
+            invariant: "zero-failed-clients-across-epoch-change",
+            detail: format!("{fetches_failed} fetches failed during the scale dance"),
+        });
+    }
+
+    // --- payload-matches-oracle -----------------------------------------
+    for o in &outcomes {
+        for m in &o.mismatches {
+            violations.push(Violation {
+                invariant: "payload-matches-oracle",
+                detail: m.clone(),
+            });
+        }
+    }
+
+    // --- bounded-re-rewrites --------------------------------------------
+    // Every URL was rewritten once in the settle pass. Live migration
+    // moved those rewrites with the keys, so the scale dance may
+    // re-rewrite at most |urls| classes plus one racing fetch per
+    // transition (the ring is published before the last chunk lands, so
+    // a client can reach a key's new home just ahead of its migrated
+    // copy) — never per-transition multiples of the moved set, which is
+    // the signature of migration not carrying the cache at all.
+    let transitions = epoch_end.saturating_sub(epoch_start);
+    let run_rewrites = total_rewrites(plane).saturating_sub(settle_rewrites);
+    if run_rewrites > urls.len() as u64 + transitions {
+        violations.push(Violation {
+            invariant: "bounded-re-rewrites",
+            detail: format!(
+                "{} re-rewrites for {} urls — migration is not carrying the cache",
+                run_rewrites,
+                urls.len()
+            ),
+        });
+    }
+
+    // --- epoch-advances --------------------------------------------------
+    if epoch_end <= epoch_start {
+        violations.push(Violation {
+            invariant: "epoch-advances",
+            detail: format!("epoch went {epoch_start} → {epoch_end} across the scale dance"),
+        });
+    }
+
+    let mut latencies: Vec<u64> = outcomes
+        .iter()
+        .flat_map(|o| o.latencies_ns.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        latencies[((latencies.len() - 1) as f64 * p).round() as usize]
+    };
+
+    ScaleReport {
+        seed: cfg.seed,
+        shards_start,
+        shards_peak,
+        shards_end: plane.cluster().ring().shards().len(),
+        epoch_start,
+        epoch_end,
+        fetches_attempted: fetches_ok + fetches_failed,
+        fetches_ok,
+        fetches_failed,
+        fetch_p50_ns: pct(0.50),
+        fetch_p99_ns: pct(0.99),
+        settle_rewrites,
+        run_rewrites,
+        migrated_keys,
+        drained_keys,
+        client_ring_syncs: outcomes.iter().map(|o| o.ring_syncs).sum(),
+        violations,
+    }
+}

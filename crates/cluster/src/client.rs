@@ -11,19 +11,21 @@
 //! skipped without paying their connect timeout; a half-open probe
 //! readmits them when they recover.
 
-use std::net::SocketAddr;
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
 
 use dvm_jvm::ClassProvider;
-use dvm_net::{Hello, NetClassProvider, NetClientStats, NetConfig, NetError, NetTransfer};
+use dvm_net::{Frame, Hello, NetClassProvider, NetClientStats, NetConfig, NetError, NetTransfer};
 use dvm_proxy::Signer;
 use dvm_telemetry::{Counter, Histogram, Registry, SpanId, Telemetry, TraceContext, TraceId};
 
 use crate::health::{HealthConfig, HealthTracker};
 use crate::ring::HashRing;
+use crate::snapshot::RingSnapshot;
 
 /// Observer invoked once per successful transfer (shared across every
 /// per-shard connection).
@@ -40,6 +42,13 @@ pub struct ClusterClientConfig {
     pub rounds: u32,
     /// Pause between passes (lets a briefly-overloaded cluster drain).
     pub round_backoff: Duration,
+    /// When true, a round that fails on every shard triggers a
+    /// `RING_UPDATE` pull before the next pass, so the client relearns
+    /// membership (new shards, retired shards, restarted addresses)
+    /// without reconnecting by hand. Off by default: clients routed
+    /// through interposers (tests, chaos harness) must keep the
+    /// addresses they were given.
+    pub ring_sync: bool,
 }
 
 impl Default for ClusterClientConfig {
@@ -49,6 +58,7 @@ impl Default for ClusterClientConfig {
             health: HealthConfig::default(),
             rounds: 3,
             round_backoff: Duration::from_millis(20),
+            ring_sync: false,
         }
     }
 }
@@ -67,6 +77,8 @@ pub struct ClusterClientStats {
     pub quarantine_skips: u64,
     /// Rounds where every shard was quarantined and one was force-probed.
     pub desperation_probes: u64,
+    /// `RING_UPDATE` pulls that installed a newer ring epoch.
+    pub ring_syncs: u64,
 }
 
 /// A cluster fetch failure.
@@ -102,6 +114,7 @@ struct ClusterMetrics {
     quarantine_skips: Arc<Counter>,
     non_home_serves: Arc<Counter>,
     desperation_probes: Arc<Counter>,
+    ring_syncs: Arc<Counter>,
     fetch_ns: Arc<Histogram>,
 }
 
@@ -113,19 +126,25 @@ impl ClusterMetrics {
             quarantine_skips: registry.counter("cluster.quarantine.skips"),
             non_home_serves: registry.counter("cluster.non_home_serves"),
             desperation_probes: registry.counter("cluster.desperation_probes"),
+            ring_syncs: registry.counter("cluster.ring_syncs"),
             fetch_ns: registry.histogram("cluster.fetch_ns"),
         }
     }
 }
 
 /// A `ClassProvider` spreading fetches over a shard cluster.
+///
+/// Membership is dynamic: the shard table is keyed by ring id (ids need
+/// not be contiguous once shards join and retire), and
+/// [`ClusterClassProvider::sync_ring`] pulls the cluster's published
+/// ring snapshot to learn new epochs at runtime.
 pub struct ClusterClassProvider {
-    addrs: Vec<SocketAddr>,
+    addrs: HashMap<u32, SocketAddr>,
     ring: HashRing,
     hello: Hello,
     signer: Option<Signer>,
     config: ClusterClientConfig,
-    providers: Vec<Option<NetClassProvider>>,
+    providers: HashMap<u32, NetClassProvider>,
     health: HealthTracker,
     stats: ClusterClientStats,
     hook: Arc<Mutex<Option<TransferHook>>>,
@@ -157,7 +176,11 @@ impl ClusterClassProvider {
         signer: Option<Signer>,
         config: ClusterClientConfig,
     ) -> ClusterClassProvider {
-        let providers = (0..addrs.len()).map(|_| None).collect();
+        let addrs: HashMap<u32, SocketAddr> = addrs
+            .into_iter()
+            .enumerate()
+            .map(|(i, a)| (i as u32, a))
+            .collect();
         let telemetry = Arc::new(Telemetry::new(&format!("cluster:{}", hello.user)));
         let metrics = ClusterMetrics::register(telemetry.registry());
         let mut health = HealthTracker::new(config.health);
@@ -168,7 +191,7 @@ impl ClusterClassProvider {
             hello,
             signer,
             config,
-            providers,
+            providers: HashMap::new(),
             health,
             stats: ClusterClientStats::default(),
             hook: Arc::new(Mutex::new(None)),
@@ -189,7 +212,7 @@ impl ClusterClassProvider {
     pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
         self.metrics = ClusterMetrics::register(telemetry.registry());
         self.health.attach_metrics(telemetry.registry());
-        for p in self.providers.iter_mut().flatten() {
+        for p in self.providers.values_mut() {
             p.set_telemetry(telemetry.clone());
         }
         self.telemetry = telemetry;
@@ -210,7 +233,7 @@ impl ClusterClassProvider {
     /// client never contacted).
     pub fn net_stats(&self) -> NetClientStats {
         let mut total = NetClientStats::default();
-        for p in self.providers.iter().flatten() {
+        for p in self.providers.values() {
             let s = p.stats();
             total.requests += s.requests;
             total.retries += s.retries;
@@ -227,19 +250,70 @@ impl ClusterClassProvider {
         self.ring.route(url)
     }
 
+    /// The epoch of the ring this client routes with.
+    pub fn ring_epoch(&self) -> u64 {
+        self.ring.epoch()
+    }
+
+    /// Pulls the cluster's published ring snapshot over a short-lived
+    /// connection and, when it names a newer epoch, swaps in the new
+    /// ring and address table without dropping still-valid shard
+    /// connections. Returns `true` when a newer ring was installed.
+    ///
+    /// Every known shard is tried in id order until one answers; the
+    /// membership plane guarantees any live shard serves the same
+    /// published snapshot.
+    pub fn sync_ring(&mut self) -> bool {
+        let mut order: Vec<(u32, SocketAddr)> = self.addrs.iter().map(|(&s, &a)| (s, a)).collect();
+        order.sort_by_key(|&(s, _)| s);
+        let my_epoch = self.ring.epoch();
+        for (_, addr) in order {
+            let Some((epoch, ring_bytes)) = pull_ring(addr, &self.hello, self.config.net, my_epoch)
+            else {
+                continue;
+            };
+            if epoch <= my_epoch || ring_bytes.is_empty() {
+                // This shard answered and we are already current.
+                return false;
+            }
+            let Ok(snap) = RingSnapshot::decode(&ring_bytes) else {
+                // A corrupt snapshot from one shard must not wedge the
+                // client on it; try the next shard.
+                continue;
+            };
+            self.install_snapshot(&snap);
+            return true;
+        }
+        false
+    }
+
+    fn install_snapshot(&mut self, snap: &RingSnapshot) {
+        self.ring = snap.to_ring();
+        let mut fresh: HashMap<u32, SocketAddr> = HashMap::new();
+        for (shard, addr) in &snap.addrs {
+            if let Ok(parsed) = addr.parse::<SocketAddr>() {
+                fresh.insert(*shard, parsed);
+            }
+        }
+        // Drop connections whose shard left or moved; keep the rest —
+        // an epoch change must not cost every client a reconnect storm.
+        self.providers
+            .retain(|shard, _| fresh.get(shard) == self.addrs.get(shard));
+        self.addrs = fresh;
+        self.stats.ring_syncs += 1;
+        self.metrics.ring_syncs.inc();
+    }
+
     fn provider(&mut self, shard: u32) -> Result<&mut NetClassProvider, NetError> {
-        let slot = &mut self.providers[shard as usize];
-        if slot.is_none() {
+        if !self.providers.contains_key(&shard) {
+            let Some(&addr) = self.addrs.get(&shard) else {
+                return Err(NetError::Protocol(format!("no address for shard {shard}")));
+            };
             // Decorrelate each shard connection's backoff jitter while
             // keeping the whole client replayable from one seed.
             let mut net = self.config.net;
             net.jitter_seed ^= (shard as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            let mut p = NetClassProvider::new(
-                self.addrs[shard as usize],
-                self.hello.clone(),
-                self.signer.clone(),
-                net,
-            )?;
+            let mut p = NetClassProvider::new(addr, self.hello.clone(), self.signer.clone(), net)?;
             let hook = self.hook.clone();
             p.set_transfer_hook(Box::new(move |t| {
                 if let Some(h) = hook.lock().as_mut() {
@@ -247,9 +321,9 @@ impl ClusterClassProvider {
                 }
             }));
             p.set_telemetry(self.telemetry.clone());
-            *slot = Some(p);
+            self.providers.insert(shard, p);
         }
-        Ok(slot.as_mut().expect("installed above"))
+        Ok(self.providers.get_mut(&shard).expect("installed above"))
     }
 
     fn attempt(
@@ -316,7 +390,7 @@ impl ClusterClassProvider {
         url: &str,
         ctx: TraceContext,
     ) -> Result<(Vec<u8>, NetTransfer), ClusterError> {
-        let order = self.ring.route(url);
+        let mut order = self.ring.route(url);
         if order.is_empty() {
             return Err(ClusterError::NoShards);
         }
@@ -368,6 +442,15 @@ impl ClusterClassProvider {
                     Err(e) => return Err(ClusterError::Fatal(e)),
                 }
             }
+            // A whole round failed: membership may have moved under us
+            // (shard retired, restarted at a new address). Relearn the
+            // ring before burning another round on stale routes.
+            if self.config.ring_sync && self.sync_ring() {
+                order = self.ring.route(url);
+                if order.is_empty() {
+                    return Err(ClusterError::NoShards);
+                }
+            }
         }
         Err(ClusterError::Exhausted(Box::new(last.unwrap_or(
             NetError::Protocol("no shard could be attempted".into()),
@@ -376,10 +459,42 @@ impl ClusterClassProvider {
 
     /// Closes every per-shard connection (re-established lazily).
     pub fn close(&mut self) {
-        for p in self.providers.iter_mut().flatten() {
+        for p in self.providers.values_mut() {
             p.close();
         }
     }
+}
+
+/// One `RING_UPDATE` exchange over a throwaway connection: Hello,
+/// Welcome, ask with our epoch, read the answer. `None` on any
+/// transport or protocol trouble — the caller tries the next shard.
+fn pull_ring(
+    addr: SocketAddr,
+    hello: &Hello,
+    net: NetConfig,
+    my_epoch: u64,
+) -> Option<(u64, Vec<u8>)> {
+    let mut stream = TcpStream::connect_timeout(&addr, net.connect_timeout).ok()?;
+    stream.set_read_timeout(Some(net.read_timeout)).ok()?;
+    stream.set_write_timeout(Some(net.write_timeout)).ok()?;
+    let _ = stream.set_nodelay(true);
+    Frame::Hello(hello.clone()).write_to(&mut stream).ok()?;
+    match Frame::read_from(&mut stream) {
+        Ok(Frame::Welcome { .. }) => {}
+        _ => return None,
+    }
+    Frame::RingUpdate {
+        epoch: my_epoch,
+        ring: Vec::new(),
+    }
+    .write_to(&mut stream)
+    .ok()?;
+    let answer = match Frame::read_from(&mut stream) {
+        Ok(Frame::RingUpdate { epoch, ring }) => Some((epoch, ring)),
+        _ => None,
+    };
+    let _ = Frame::Bye.write_to(&mut stream);
+    answer
 }
 
 impl ClassProvider for ClusterClassProvider {

@@ -16,13 +16,18 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use dvm_monitor::AdminConsole;
-use dvm_net::{Hello, NetConfig, ProxyServer, ServerConfig, ServerStats};
+use dvm_net::{
+    Hello, MembershipView, MigrateBatch, MigrateExporter, NetConfig, ProxyServer, ServerConfig,
+    ServerStats,
+};
 use dvm_proxy::Proxy;
 use dvm_store::{Store, StoreConfig};
 use dvm_telemetry::{MetricsSnapshot, StatsReport, Telemetry};
 
 use crate::peer::{ClusterPeer, PeerLink, PeerStats};
-use crate::ring::HashRing;
+use crate::ring::{HashRing, RemapPlan};
+use crate::snapshot::RingSnapshot;
+use crate::stats::{collect_fleet_stats_live, FleetStats};
 
 /// Cluster construction knobs.
 #[derive(Debug, Clone)]
@@ -59,6 +64,65 @@ impl Default for ClusterOptions {
     }
 }
 
+/// The source side of live cache migration, installed on every shard's
+/// server: answers `MIGRATE_BEGIN` by walking this shard's cached
+/// population and streaming out the entries the *asking* shard owns
+/// under the published ring. The ring is re-read from the membership
+/// view per batch, so the exporter always serves the epoch it
+/// advertises.
+struct ShardExporter {
+    proxy: Arc<Proxy>,
+    view: Arc<MembershipView>,
+}
+
+impl MigrateExporter for ShardExporter {
+    fn export(
+        &self,
+        shard: u32,
+        epoch: u64,
+        after: &str,
+        max: usize,
+    ) -> Result<MigrateBatch, String> {
+        let snapshot = self.view.snapshot();
+        if snapshot.is_empty() {
+            return Err("no ring published on this shard".into());
+        }
+        let snap = RingSnapshot::decode(&snapshot).map_err(|e| e.to_string())?;
+        if epoch > snap.epoch {
+            return Err(format!(
+                "migration epoch {epoch} is ahead of this shard's epoch {}",
+                snap.epoch
+            ));
+        }
+        let ring = snap.to_ring();
+        let max = max.max(1);
+        let mut entries = Vec::new();
+        let mut cursor = after.to_string();
+        let mut complete = true;
+        'scan: loop {
+            // Page the underlying cache and keep only the asker's keys;
+            // the scan advances by *underlying* key so a page with no
+            // owned keys still makes progress.
+            let (page, page_complete) = self.proxy.cache_export_after(&cursor, max);
+            let last_key = page.last().map(|(k, _)| k.clone());
+            for (key, value) in page {
+                if ring.home(&key) == Some(shard) {
+                    entries.push((key, value.to_vec()));
+                    if entries.len() >= max {
+                        complete = false;
+                        break 'scan;
+                    }
+                }
+            }
+            match last_key {
+                Some(k) if !page_complete => cursor = k,
+                _ => break 'scan,
+            }
+        }
+        Ok(MigrateBatch { entries, complete })
+    }
+}
+
 /// A running cluster of proxy shards on loopback sockets.
 pub struct ProxyCluster {
     servers: Vec<Option<ProxyServer>>,
@@ -66,6 +130,11 @@ pub struct ProxyCluster {
     peers: Vec<Option<Arc<ClusterPeer>>>,
     addrs: Vec<SocketAddr>,
     ring: HashRing,
+    console: Option<Arc<Mutex<AdminConsole>>>,
+    opts: ClusterOptions,
+    /// One view shared by every shard's server: the published ring
+    /// epoch that `RING_UPDATE` askers converge on.
+    view: Arc<MembershipView>,
 }
 
 impl std::fmt::Debug for ProxyCluster {
@@ -102,6 +171,7 @@ impl ProxyCluster {
                 proxy.attach_store(store);
             }
         }
+        let view = Arc::new(MembershipView::new());
         let mut servers = Vec::with_capacity(proxies.len());
         let mut addrs = Vec::with_capacity(proxies.len());
         for proxy in &proxies {
@@ -111,6 +181,11 @@ impl ProxyCluster {
                 console.clone(),
                 opts.server.clone(),
             )?;
+            server.set_membership_view(view.clone());
+            server.set_migrate_exporter(Arc::new(ShardExporter {
+                proxy: proxy.clone(),
+                view: view.clone(),
+            }));
             addrs.push(server.addr());
             servers.push(Some(server));
         }
@@ -146,13 +221,224 @@ impl ProxyCluster {
             peers.push(Some(peer));
         }
 
-        Ok(ProxyCluster {
+        let cluster = ProxyCluster {
             servers,
             proxies,
             peers,
             addrs,
             ring,
-        })
+            console,
+            opts,
+            view,
+        };
+        cluster.publish_view();
+        Ok(cluster)
+    }
+
+    /// Captures the current ring + address book as a snapshot and
+    /// publishes it to every shard's `RING_UPDATE` view, so any client
+    /// (or joining shard) asking any live shard converges on this
+    /// epoch. Peer tables are *not* touched here — see `rewire_peers`.
+    fn publish_view(&self) {
+        let pairs: Vec<(u32, String)> = self
+            .ring
+            .shards()
+            .iter()
+            .map(|&s| (s, self.addrs[s as usize].to_string()))
+            .collect();
+        let snap = RingSnapshot::capture(&self.ring, &pairs);
+        self.view.publish(snap.epoch, snap.encode());
+    }
+
+    /// Rebuilds every live shard's peer table against the current ring
+    /// and membership: links go to every *other* live ring member, and
+    /// existing peer tables keep their stats (only the ring and link
+    /// set are swapped). Shards that had no peer table (single-shard
+    /// start) get one as soon as there are two live members.
+    fn rewire_peers(&mut self) {
+        if !self.opts.peer_fill {
+            return;
+        }
+        let live: Vec<u32> = self
+            .ring
+            .shards()
+            .iter()
+            .copied()
+            .filter(|&s| self.is_alive(s as usize))
+            .collect();
+        for &i in &live {
+            let links: HashMap<u32, Arc<PeerLink>> = live
+                .iter()
+                .filter(|&&j| j != i)
+                .map(|&j| {
+                    let hello = Hello {
+                        user: format!("shard{i}"),
+                        principal: "cluster-peer".into(),
+                        ..Hello::default()
+                    };
+                    (
+                        j,
+                        Arc::new(PeerLink::new(
+                            self.addrs[j as usize],
+                            hello,
+                            self.opts.peer_net,
+                        )),
+                    )
+                })
+                .collect();
+            if links.is_empty() {
+                continue;
+            }
+            let slot = &mut self.peers[i as usize];
+            match slot {
+                Some(peer) => {
+                    peer.set_ring(self.ring.clone());
+                    peer.set_links(links);
+                }
+                None => {
+                    let peer = Arc::new(ClusterPeer::new(i, self.ring.clone()));
+                    peer.set_links(links);
+                    self.proxies[i as usize].set_peer_cache(peer.clone());
+                    *slot = Some(peer);
+                }
+            }
+        }
+    }
+
+    /// Adds a brand-new shard at runtime: binds a server for `proxy`
+    /// (opening `shard<id>`'s persistent store first when the cluster
+    /// is persistent), claims the new shard's key range on the ring via
+    /// a minimal remap, rewires peer tables, and publishes the new
+    /// epoch. Returns the new shard's id and the remap plan — the
+    /// membership plane uses the plan to pull the shard's keys out of
+    /// their previous owners (live cache migration) so it starts warm.
+    pub fn spawn_shard(&mut self, proxy: Arc<Proxy>) -> std::io::Result<(u32, RemapPlan)> {
+        let id = self.servers.len() as u32;
+        if let Some(data_dir) = &self.opts.data_dir {
+            let store = Store::open(data_dir.join(format!("shard{id}")), self.opts.store.clone())
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+            proxy.attach_store(store);
+        }
+        let server = ProxyServer::bind(
+            "127.0.0.1:0",
+            proxy.clone(),
+            self.console.clone(),
+            self.opts.server.clone(),
+        )?;
+        server.set_membership_view(self.view.clone());
+        server.set_migrate_exporter(Arc::new(ShardExporter {
+            proxy: proxy.clone(),
+            view: self.view.clone(),
+        }));
+        self.addrs.push(server.addr());
+        self.servers.push(Some(server));
+        self.proxies.push(proxy);
+        self.peers.push(None);
+        let plan = self.ring.join_shard(id);
+        self.rewire_peers();
+        self.publish_view();
+        Ok((id, plan))
+    }
+
+    /// The remap a retirement of `shard` *would* produce, without
+    /// changing anything: the membership plane drains the departing
+    /// shard's keys to the survivors this plan names before committing
+    /// with [`ProxyCluster::retire_shard`].
+    pub fn plan_retire(&self, shard: u32) -> RemapPlan {
+        let mut preview = self.ring.clone();
+        preview.retire_shard(shard)
+    }
+
+    /// Removes shard `i` from membership: its segments move to the
+    /// clockwise survivors (the committed plan is identical to
+    /// [`ProxyCluster::plan_retire`]'s preview — retirement is
+    /// deterministic), peer tables drop their links to it, its server
+    /// shuts down cleanly, and the new epoch is published. The server
+    /// stats are `None` when the shard was already dead.
+    pub fn retire_shard(&mut self, i: usize) -> (RemapPlan, Option<ServerStats>) {
+        let was_member = self.ring.shards().contains(&(i as u32));
+        let plan = self.ring.retire_shard(i as u32);
+        if !was_member {
+            return (plan, None);
+        }
+        if self.peers.get(i).is_some_and(|p| p.is_some()) {
+            self.proxies[i].clear_peer_cache();
+            self.peers[i] = None;
+        }
+        let stats = self
+            .servers
+            .get_mut(i)
+            .and_then(|slot| slot.take())
+            .map(|s| s.shutdown());
+        self.rewire_peers();
+        self.publish_view();
+        (plan, stats)
+    }
+
+    /// Restarts a killed shard in place: rebinds a server over the same
+    /// proxy (whose cache — and persistent store, if any — survived the
+    /// kill), re-publishes the address book at a bumped epoch so
+    /// clients and peers re-learn the shard's new socket, and rewires
+    /// peer tables. The ring's key ownership is unchanged — this is an
+    /// address-only membership transition. Errors if the shard is still
+    /// alive or was never a member.
+    pub fn restart_shard(&mut self, i: usize) -> std::io::Result<SocketAddr> {
+        if self.is_alive(i) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("shard {i} is still alive"),
+            ));
+        }
+        if !self.ring.shards().contains(&(i as u32)) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("shard {i} is not a cluster member"),
+            ));
+        }
+        let proxy = self.proxies[i].clone();
+        let server = ProxyServer::bind(
+            "127.0.0.1:0",
+            proxy.clone(),
+            self.console.clone(),
+            self.opts.server.clone(),
+        )?;
+        server.set_membership_view(self.view.clone());
+        server.set_migrate_exporter(Arc::new(ShardExporter {
+            proxy,
+            view: self.view.clone(),
+        }));
+        let addr = server.addr();
+        self.addrs[i] = addr;
+        self.servers[i] = Some(server);
+        self.ring.bump_epoch();
+        self.rewire_peers();
+        self.publish_view();
+        Ok(addr)
+    }
+
+    /// Live membership: every shard that is both a ring member and
+    /// currently serving, with its address.
+    pub fn live_addrs(&self) -> Vec<(u32, SocketAddr)> {
+        self.ring
+            .shards()
+            .iter()
+            .copied()
+            .filter(|&s| self.is_alive(s as usize))
+            .map(|s| (s, self.addrs[s as usize]))
+            .collect()
+    }
+
+    /// The shared membership view (epoch + published ring snapshot).
+    pub fn membership_view(&self) -> Arc<MembershipView> {
+        self.view.clone()
+    }
+
+    /// Pulls a stats report from every shard in *live membership* over
+    /// the wire and merges them: joined shards appear as soon as they
+    /// serve, and retired shards stop being polled (and reported
+    /// unreachable) forever.
+    pub fn fleet_stats(&self, hello: &Hello, net: NetConfig, include_spans: bool) -> FleetStats {
+        collect_fleet_stats_live(&self.live_addrs(), hello, net, include_spans)
     }
 
     /// Number of shards (including killed ones — slots keep their ids).

@@ -37,6 +37,7 @@ pub mod cluster;
 pub mod health;
 pub mod peer;
 pub mod ring;
+pub mod snapshot;
 pub mod stats;
 
 pub use client::{
@@ -45,5 +46,6 @@ pub use client::{
 pub use cluster::{ClusterOptions, ProxyCluster};
 pub use health::{HealthConfig, HealthTracker};
 pub use peer::{ClusterPeer, PeerLink, PeerStats};
-pub use ring::HashRing;
-pub use stats::{collect_fleet_stats, FleetStats, ShardReport};
+pub use ring::{HashRing, RemapPlan, SegmentMove};
+pub use snapshot::{RingSnapshot, SnapshotError};
+pub use stats::{collect_fleet_stats, collect_fleet_stats_live, FleetStats, ShardReport};

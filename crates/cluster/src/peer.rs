@@ -176,7 +176,10 @@ impl PeerLink {
 /// [`dvm_proxy::Proxy::set_peer_cache`].
 pub struct ClusterPeer {
     shard: u32,
-    ring: HashRing,
+    /// The ring is behind a lock so the membership plane can swap in a
+    /// new epoch while requests are in flight; a home lookup sees either
+    /// the old owner or the new one, never a torn table.
+    ring: RwLock<HashRing>,
     links: RwLock<HashMap<u32, Arc<PeerLink>>>,
     stats: Mutex<PeerStats>,
 }
@@ -197,7 +200,7 @@ impl ClusterPeer {
     pub fn new(shard: u32, ring: HashRing) -> ClusterPeer {
         ClusterPeer {
             shard,
-            ring,
+            ring: RwLock::new(ring),
             links: RwLock::new(HashMap::new()),
             stats: Mutex::new(PeerStats::default()),
         }
@@ -208,13 +211,38 @@ impl ClusterPeer {
         *self.links.write() = links;
     }
 
+    /// Swaps in the ring for a new epoch (membership change). Peer
+    /// traffic started under the old epoch completes against whichever
+    /// shard it already chose — both sides still verify signatures, so
+    /// a stale home costs a miss, never wrong bytes.
+    pub fn set_ring(&self, ring: HashRing) {
+        *self.ring.write() = ring;
+    }
+
+    /// The epoch of the ring this peer table routes with.
+    pub fn ring_epoch(&self) -> u64 {
+        self.ring.read().epoch()
+    }
+
+    /// Adds (or replaces) the link to one shard — a join in progress.
+    pub fn add_link(&self, shard: u32, link: Arc<PeerLink>) {
+        self.links.write().insert(shard, link);
+    }
+
+    /// Drops the link to a departed shard; its connection closes.
+    pub fn remove_link(&self, shard: u32) {
+        if let Some(link) = self.links.write().remove(&shard) {
+            link.close();
+        }
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> PeerStats {
         *self.stats.lock()
     }
 
     fn link_for_home(&self, url: &str) -> Option<Arc<PeerLink>> {
-        let home = self.ring.home(url)?;
+        let home = self.ring.read().home(url)?;
         if home == self.shard {
             // This shard *is* the home: nothing to ask, nowhere to push.
             return None;

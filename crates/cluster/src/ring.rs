@@ -50,6 +50,65 @@ fn shuffle_block(seed: u64, block: u64, items: &mut [u32]) {
     }
 }
 
+/// One segment changing owner in a membership transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentMove {
+    /// Segment index on the ring.
+    pub segment: u32,
+    /// The owner before the transition.
+    pub from: u32,
+    /// The owner after the transition.
+    pub to: u32,
+}
+
+/// The explicit, minimal remap produced by an online membership change:
+/// exactly the segments whose owner changed, nothing else. The plan is
+/// what drives live cache migration — each `from` shard streams the keys
+/// of its moved segments to the matching `to` shard — and its `epoch` is
+/// the version clients compare against to learn they are stale.
+#[derive(Debug, Clone, Default)]
+pub struct RemapPlan {
+    /// The ring epoch *after* the transition this plan describes.
+    pub epoch: u64,
+    /// Every segment that changed hands.
+    pub moves: Vec<SegmentMove>,
+    /// Total segments on the ring (for computing moved fractions).
+    pub segments_total: u32,
+}
+
+impl RemapPlan {
+    /// True when the transition moved nothing.
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+
+    /// Number of segments that changed owner.
+    pub fn len(&self) -> usize {
+        self.moves.len()
+    }
+
+    /// Distinct shards losing segments, sorted (the migration sources).
+    pub fn sources(&self) -> Vec<u32> {
+        let mut s: Vec<u32> = self.moves.iter().map(|m| m.from).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    }
+
+    /// Distinct shards gaining segments, sorted (the migration targets).
+    pub fn targets(&self) -> Vec<u32> {
+        let mut t: Vec<u32> = self.moves.iter().map(|m| m.to).collect();
+        t.sort_unstable();
+        t.dedup();
+        t
+    }
+
+    /// True when `segment` changes owner under this plan.
+    pub fn covers_segment(&self, segment: u32) -> bool {
+        self.moves.iter().any(|m| m.segment == segment)
+    }
+}
+
 /// A seeded, deterministic consistent-hash ring over shard ids.
 #[derive(Debug, Clone)]
 pub struct HashRing {
@@ -61,6 +120,12 @@ pub struct HashRing {
     shards: Vec<u32>,
     vnodes: u32,
     seed: u64,
+    /// Monotonically increasing version of the membership. Construction
+    /// (and the offline `add_shard`/`remove_shard` used by fixed-size
+    /// clusters) leaves it at zero; every *online* transition
+    /// ([`HashRing::join_shard`] / [`HashRing::retire_shard`]) bumps it,
+    /// and clients compare epochs to learn their routing is stale.
+    epoch: u64,
 }
 
 impl HashRing {
@@ -71,6 +136,7 @@ impl HashRing {
             shards: Vec::new(),
             vnodes: vnodes.max(1),
             seed,
+            epoch: 0,
         }
     }
 
@@ -137,6 +203,174 @@ impl HashRing {
             }
             self.owners[p] = self.owners[q];
         }
+    }
+
+    /// Adds `shard` online with a *minimal* remap: the segment layout is
+    /// left in place and the new shard claims exactly its fair share of
+    /// segments — a deterministic, seeded pick spread proportionally
+    /// across the current owners — so the only keys whose home changes
+    /// are the ones moving *to* the new shard. Returns the explicit
+    /// remap plan and bumps the epoch. Idempotent for present shards
+    /// (empty plan, epoch unchanged).
+    pub fn join_shard(&mut self, shard: u32) -> RemapPlan {
+        if self.shards.contains(&shard) {
+            return RemapPlan {
+                epoch: self.epoch,
+                moves: Vec::new(),
+                segments_total: self.owners.len() as u32,
+            };
+        }
+        if self.shards.is_empty() {
+            // First member: lay out one block of segments, all its own.
+            self.shards.push(shard);
+            self.owners = vec![shard; self.vnodes as usize];
+            self.epoch += 1;
+            return RemapPlan {
+                epoch: self.epoch,
+                moves: Vec::new(),
+                segments_total: self.owners.len() as u32,
+            };
+        }
+        self.shards.push(shard);
+        self.shards.sort_unstable();
+        let n = self.shards.len() as u64;
+        let total = self.owners.len();
+        let target = (total as u64 / n) as usize;
+
+        // Group segments by current owner, preserving segment order.
+        let mut owned: Vec<(u32, Vec<usize>)> = Vec::new();
+        for (p, &o) in self.owners.iter().enumerate() {
+            match owned.iter_mut().find(|(id, _)| *id == o) {
+                Some((_, v)) => v.push(p),
+                None => owned.push((o, vec![p])),
+            }
+        }
+        owned.sort_by_key(|(id, _)| *id);
+
+        // Largest-remainder apportionment: each owner cedes ~1/n of its
+        // segments so post-join counts stay within one segment of fair.
+        let mut takes: Vec<usize> = owned.iter().map(|(_, v)| v.len() / n as usize).collect();
+        let mut deficit = target.saturating_sub(takes.iter().sum::<usize>());
+        let mut order: Vec<usize> = (0..owned.len()).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(owned[i].1.len() % n as usize), owned[i].0));
+        while deficit > 0 {
+            let before = deficit;
+            for &i in &order {
+                if deficit == 0 {
+                    break;
+                }
+                if takes[i] < owned[i].1.len() {
+                    takes[i] += 1;
+                    deficit -= 1;
+                }
+            }
+            if deficit == before {
+                break; // nothing left to cede (degenerate tiny rings)
+            }
+        }
+
+        // Which of an owner's segments move is a seeded rank over
+        // (seed, joiner, segment): deterministic, so two replicas
+        // applying the same join agree segment for segment.
+        let mut moves = Vec::new();
+        for ((owner, segs), take) in owned.into_iter().zip(takes) {
+            let mut ranked = segs;
+            ranked.sort_by_key(|&p| {
+                mix64(self.seed ^ (shard as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93) ^ p as u64)
+            });
+            for &p in ranked.iter().take(take) {
+                self.owners[p] = shard;
+                moves.push(SegmentMove {
+                    segment: p as u32,
+                    from: owner,
+                    to: shard,
+                });
+            }
+        }
+        moves.sort_by_key(|m| m.segment);
+        self.epoch += 1;
+        RemapPlan {
+            epoch: self.epoch,
+            moves,
+            segments_total: total as u32,
+        }
+    }
+
+    /// Removes `shard` online, handing each of its segments to the next
+    /// surviving owner clockwise (the same minimal remap as
+    /// [`HashRing::remove_shard`]) — but returns the explicit plan and
+    /// bumps the epoch, so a departure can *drain*: every move names the
+    /// survivor that must receive the departing shard's keys before its
+    /// socket closes. Unknown shards yield an empty plan.
+    pub fn retire_shard(&mut self, shard: u32) -> RemapPlan {
+        let total = self.owners.len() as u32;
+        if !self.shards.contains(&shard) {
+            return RemapPlan {
+                epoch: self.epoch,
+                moves: Vec::new(),
+                segments_total: total,
+            };
+        }
+        let before = self.owners.clone();
+        self.remove_shard(shard);
+        let mut moves = Vec::new();
+        for (p, (&was, &now)) in before.iter().zip(&self.owners).enumerate() {
+            if was != now {
+                moves.push(SegmentMove {
+                    segment: p as u32,
+                    from: was,
+                    to: now,
+                });
+            }
+        }
+        self.epoch += 1;
+        RemapPlan {
+            epoch: self.epoch,
+            moves,
+            segments_total: total,
+        }
+    }
+
+    /// The ring's membership version (see the `epoch` field docs).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Advances the epoch without remapping any segment — used for
+    /// address-only membership transitions (a shard restarting at a new
+    /// socket keeps its ownership but clients must relearn where it is).
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// The raw segment-owner table, clockwise (for snapshot encoding).
+    pub fn owners(&self) -> &[u32] {
+        &self.owners
+    }
+
+    /// Rebuilds a ring from raw snapshot state, e.g. one received in a
+    /// `RING_UPDATE`. The caller vouches that `owners` only names shards
+    /// in `shards`; routing treats the table as authoritative either way.
+    pub fn from_snapshot(
+        vnodes: u32,
+        seed: u64,
+        epoch: u64,
+        shards: Vec<u32>,
+        owners: Vec<u32>,
+    ) -> HashRing {
+        HashRing {
+            owners,
+            shards,
+            vnodes: vnodes.max(1),
+            seed,
+            epoch,
+        }
+    }
+
+    /// The segment index `key` hashes into (for migration filters and
+    /// remap-plan checks).
+    pub fn segment_of(&self, key: &str) -> Option<u32> {
+        self.segment(key).map(|i| i as u32)
     }
 
     /// The current shard ids, sorted.
@@ -276,6 +510,107 @@ mod tests {
             } else {
                 assert_ne!(now, 2, "{k} still maps to the removed shard");
             }
+        }
+    }
+
+    #[test]
+    fn join_remaps_only_keys_moving_to_the_new_shard() {
+        let mut ring = HashRing::with_shards(3, 128, 11);
+        let keys: Vec<String> = (0..2000).map(|i| format!("class://k{i}")).collect();
+        let before: Vec<u32> = keys.iter().map(|k| ring.home(k).unwrap()).collect();
+        let plan = ring.join_shard(3);
+        assert_eq!(plan.epoch, 1);
+        assert!(!plan.is_empty());
+        for (k, &was) in keys.iter().zip(&before) {
+            let now = ring.home(k).unwrap();
+            if now != was {
+                assert_eq!(now, 3, "{k} moved {was}->{now}, not to the joiner");
+            }
+        }
+    }
+
+    #[test]
+    fn join_plan_matches_ownership_delta() {
+        let mut ring = HashRing::with_shards(4, 64, 23);
+        let before = ring.owners().to_vec();
+        let plan = ring.join_shard(9);
+        let after = ring.owners();
+        let mut delta = Vec::new();
+        for (p, (&was, &now)) in before.iter().zip(after).enumerate() {
+            if was != now {
+                assert_eq!(now, 9);
+                delta.push((p as u32, was));
+            }
+        }
+        assert_eq!(plan.moves.len(), delta.len());
+        for (m, (seg, from)) in plan.moves.iter().zip(delta) {
+            assert_eq!((m.segment, m.from, m.to), (seg, from, 9));
+        }
+        assert_eq!(plan.targets(), vec![9]);
+    }
+
+    #[test]
+    fn join_keeps_balance_near_fair() {
+        let mut ring = HashRing::with_shards(3, 128, 7);
+        ring.join_shard(3);
+        ring.join_shard(4);
+        ring.join_shard(5);
+        let total = ring.owners().len();
+        let fair = total / 6;
+        for &s in &[0u32, 1, 2, 3, 4, 5] {
+            let c = ring.owners().iter().filter(|&&o| o == s).count();
+            assert!(
+                (c as i64 - fair as i64).abs() <= 2,
+                "shard {s}: {c} segments vs fair {fair}"
+            );
+        }
+    }
+
+    #[test]
+    fn retire_plan_names_clockwise_survivors_and_bumps_epoch() {
+        let mut ring = HashRing::with_shards(5, 64, 5);
+        let removal_only = {
+            let mut r = ring.clone();
+            r.remove_shard(2);
+            r.owners().to_vec()
+        };
+        let plan = ring.retire_shard(2);
+        assert_eq!(ring.epoch(), 1);
+        assert_eq!(plan.epoch, 1);
+        assert_eq!(ring.owners(), &removal_only[..]);
+        assert_eq!(plan.sources(), vec![2]);
+        assert!(plan.moves.iter().all(|m| m.to != 2));
+        // Idempotent on unknown shard: empty plan, epoch untouched.
+        let noop = ring.retire_shard(2);
+        assert!(noop.is_empty());
+        assert_eq!(ring.epoch(), 1);
+    }
+
+    #[test]
+    fn join_is_deterministic_across_replicas() {
+        let mut a = HashRing::with_shards(3, 128, 77);
+        let mut b = HashRing::with_shards(3, 128, 77);
+        let pa = a.join_shard(3);
+        let pb = b.join_shard(3);
+        assert_eq!(pa.moves, pb.moves);
+        assert_eq!(a.owners(), b.owners());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_routing() {
+        let mut ring = HashRing::with_shards(4, 64, 13);
+        ring.join_shard(4);
+        let copy = HashRing::from_snapshot(
+            ring.vnodes(),
+            ring.seed(),
+            ring.epoch(),
+            ring.shards().to_vec(),
+            ring.owners().to_vec(),
+        );
+        assert_eq!(copy.epoch(), ring.epoch());
+        for i in 0..500 {
+            let k = format!("class://k{i}");
+            assert_eq!(copy.home(&k), ring.home(&k));
         }
     }
 

@@ -1,0 +1,297 @@
+//! Wire codec for ring snapshots.
+//!
+//! A `RING_UPDATE` frame carries the ring as opaque bytes — `dvm-net`
+//! stays membership-agnostic — and this module gives those bytes a
+//! shape: epoch, geometry (`vnodes`, `seed`), the shard set, the full
+//! segment-owner table, and each shard's advertised socket address.
+//! Shipping the owner table verbatim (4 bytes × vnodes × shards)
+//! instead of replaying a transition log means a client that missed any
+//! number of epochs converges in one frame.
+//!
+//! The decoder is hostile-input safe in the same way `dvm_net::frame`
+//! is: every length is bounds-checked, counts are capped, and all
+//! failures are typed `SnapshotError`s — never panics.
+
+use crate::ring::HashRing;
+use std::fmt;
+
+/// Upper bound on encoded snapshots we will accept: generous for any
+/// realistic fleet (a 64-shard, 1024-vnode ring is ~256 KiB), small
+/// enough that a hostile length can't balloon allocation.
+pub const MAX_SNAPSHOT_LEN: usize = 4 << 20;
+
+const MAGIC: u32 = 0x44564D52; // "DVMR"
+const VERSION: u8 = 1;
+
+/// A self-contained description of one ring epoch, as shipped in
+/// `RING_UPDATE` frames and fed to joining shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingSnapshot {
+    pub epoch: u64,
+    pub vnodes: u32,
+    pub seed: u64,
+    /// Sorted live shard ids.
+    pub shards: Vec<u32>,
+    /// The clockwise segment-owner table (`vnodes × shards.len()` at
+    /// steady state, but treated as authoritative whatever its length).
+    pub owners: Vec<u32>,
+    /// `shard id → advertised address` pairs, sorted by shard id.
+    pub addrs: Vec<(u32, String)>,
+}
+
+/// Typed decode failures for [`RingSnapshot::decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Input too short for a declared field.
+    Truncated { at: &'static str },
+    /// Magic/version mismatch or a structurally impossible value.
+    Malformed(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Truncated { at } => write!(f, "snapshot truncated at {at}"),
+            SnapshotError::Malformed(m) => write!(f, "malformed snapshot: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl RingSnapshot {
+    /// Captures the ring plus an address book into a snapshot.
+    pub fn capture(ring: &HashRing, addrs: &[(u32, String)]) -> RingSnapshot {
+        let mut addrs = addrs.to_vec();
+        addrs.sort_by_key(|(s, _)| *s);
+        RingSnapshot {
+            epoch: ring.epoch(),
+            vnodes: ring.vnodes(),
+            seed: ring.seed(),
+            shards: ring.shards().to_vec(),
+            owners: ring.owners().to_vec(),
+            addrs,
+        }
+    }
+
+    /// Rebuilds a routable ring from this snapshot.
+    pub fn to_ring(&self) -> HashRing {
+        HashRing::from_snapshot(
+            self.vnodes,
+            self.seed,
+            self.epoch,
+            self.shards.clone(),
+            self.owners.clone(),
+        )
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + 4 * self.owners.len());
+        out.extend_from_slice(&MAGIC.to_be_bytes());
+        out.push(VERSION);
+        out.extend_from_slice(&self.epoch.to_be_bytes());
+        out.extend_from_slice(&self.vnodes.to_be_bytes());
+        out.extend_from_slice(&self.seed.to_be_bytes());
+        out.extend_from_slice(&(self.shards.len() as u32).to_be_bytes());
+        for &s in &self.shards {
+            out.extend_from_slice(&s.to_be_bytes());
+        }
+        out.extend_from_slice(&(self.owners.len() as u32).to_be_bytes());
+        for &o in &self.owners {
+            out.extend_from_slice(&o.to_be_bytes());
+        }
+        out.extend_from_slice(&(self.addrs.len() as u32).to_be_bytes());
+        for (s, a) in &self.addrs {
+            out.extend_from_slice(&s.to_be_bytes());
+            let bytes = a.as_bytes();
+            out.extend_from_slice(&(bytes.len() as u16).to_be_bytes());
+            out.extend_from_slice(bytes);
+        }
+        out
+    }
+
+    pub fn decode(bytes: &[u8]) -> Result<RingSnapshot, SnapshotError> {
+        if bytes.len() > MAX_SNAPSHOT_LEN {
+            return Err(SnapshotError::Malformed(format!(
+                "snapshot of {} bytes exceeds cap {}",
+                bytes.len(),
+                MAX_SNAPSHOT_LEN
+            )));
+        }
+        let mut c = Reader { buf: bytes, pos: 0 };
+        let magic = c.u32("magic")?;
+        if magic != MAGIC {
+            return Err(SnapshotError::Malformed(format!("bad magic {magic:#x}")));
+        }
+        let version = c.u8("version")?;
+        if version != VERSION {
+            return Err(SnapshotError::Malformed(format!(
+                "unsupported snapshot version {version}"
+            )));
+        }
+        let epoch = c.u64("epoch")?;
+        let vnodes = c.u32("vnodes")?;
+        let seed = c.u64("seed")?;
+        let n_shards = c.u32("shard count")? as usize;
+        c.check_room(n_shards, 4, "shard table")?;
+        let mut shards = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            shards.push(c.u32("shard id")?);
+        }
+        let n_owners = c.u32("owner count")? as usize;
+        c.check_room(n_owners, 4, "owner table")?;
+        let mut owners = Vec::with_capacity(n_owners);
+        for _ in 0..n_owners {
+            owners.push(c.u32("owner id")?);
+        }
+        let n_addrs = c.u32("addr count")? as usize;
+        c.check_room(n_addrs, 6, "addr table")?;
+        let mut addrs = Vec::with_capacity(n_addrs);
+        for _ in 0..n_addrs {
+            let shard = c.u32("addr shard")?;
+            let len = c.u16("addr length")? as usize;
+            let raw = c.take(len, "addr bytes")?;
+            let addr = std::str::from_utf8(raw)
+                .map_err(|_| SnapshotError::Malformed("addr is not UTF-8".into()))?;
+            addrs.push((shard, addr.to_string()));
+        }
+        if c.pos != bytes.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "{} trailing bytes after snapshot",
+                bytes.len() - c.pos
+            )));
+        }
+        Ok(RingSnapshot {
+            epoch,
+            vnodes,
+            seed,
+            shards,
+            owners,
+            addrs,
+        })
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, at: &'static str) -> Result<&'a [u8], SnapshotError> {
+        if self.buf.len() - self.pos < n {
+            return Err(SnapshotError::Truncated { at });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Rejects a declared element count the remaining bytes can't hold,
+    /// before `Vec::with_capacity` trusts it.
+    fn check_room(
+        &self,
+        count: usize,
+        min_each: usize,
+        at: &'static str,
+    ) -> Result<(), SnapshotError> {
+        let room = self.buf.len() - self.pos;
+        if count.checked_mul(min_each).is_none_or(|need| need > room) {
+            return Err(SnapshotError::Truncated { at });
+        }
+        Ok(())
+    }
+
+    fn u8(&mut self, at: &'static str) -> Result<u8, SnapshotError> {
+        Ok(self.take(1, at)?[0])
+    }
+
+    fn u16(&mut self, at: &'static str) -> Result<u16, SnapshotError> {
+        let b = self.take(2, at)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self, at: &'static str) -> Result<u32, SnapshotError> {
+        let b = self.take(4, at)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, at: &'static str) -> Result<u64, SnapshotError> {
+        let b = self.take(8, at)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_be_bytes(a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RingSnapshot {
+        let mut ring = HashRing::with_shards(3, 64, 42);
+        ring.join_shard(3);
+        RingSnapshot::capture(
+            &ring,
+            &[
+                (2, "127.0.0.1:9002".into()),
+                (0, "127.0.0.1:9000".into()),
+                (1, "127.0.0.1:9001".into()),
+                (3, "127.0.0.1:9003".into()),
+            ],
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let snap = sample();
+        let decoded = RingSnapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(decoded, snap);
+        assert_eq!(decoded.addrs[0].0, 0, "addrs come back sorted");
+        let ring = decoded.to_ring();
+        assert_eq!(ring.epoch(), 1);
+        assert_eq!(ring.shards(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn truncations_are_typed() {
+        let bytes = sample().encode();
+        for cut in [0, 3, 4, 5, 12, 20, bytes.len() - 1] {
+            let err = RingSnapshot::decode(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, SnapshotError::Truncated { .. }),
+                "cut {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_counts_are_rejected_without_allocating() {
+        // Declare u32::MAX shards with no bytes behind the claim.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC.to_be_bytes());
+        bytes.push(VERSION);
+        bytes.extend_from_slice(&7u64.to_be_bytes());
+        bytes.extend_from_slice(&64u32.to_be_bytes());
+        bytes.extend_from_slice(&42u64.to_be_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_be_bytes());
+        let err = RingSnapshot::decode(&bytes).unwrap_err();
+        assert!(matches!(err, SnapshotError::Truncated { .. }), "{err}");
+    }
+
+    #[test]
+    fn trailing_bytes_and_bad_magic_are_malformed() {
+        let mut bytes = sample().encode();
+        bytes.push(0);
+        assert!(matches!(
+            RingSnapshot::decode(&bytes).unwrap_err(),
+            SnapshotError::Malformed(_)
+        ));
+        let mut bad = sample().encode();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            RingSnapshot::decode(&bad).unwrap_err(),
+            SnapshotError::Malformed(_)
+        ));
+    }
+}

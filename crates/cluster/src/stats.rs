@@ -1,11 +1,17 @@
 //! Fleet-wide stats collection over the wire.
 //!
-//! [`collect_fleet_stats`] is the pull side of the stats plane: it walks
-//! a shard address list, asks each live server for its
-//! `STATS_RESPONSE`, and merges the per-shard metrics into one
-//! fleet-wide snapshot. Unreachable shards are reported as such rather
-//! than failing the whole collection — an operator asking "how is the
-//! cluster doing" most needs an answer when part of it is down.
+//! [`collect_fleet_stats_live`] is the pull side of the stats plane: it
+//! walks the cluster's *live membership* (shard id → address pairs),
+//! asks each live server for its `STATS_RESPONSE`, and merges the
+//! per-shard metrics into one fleet-wide snapshot. Unreachable shards
+//! are reported as such rather than failing the whole collection — an
+//! operator asking "how is the cluster doing" most needs an answer when
+//! part of it is down.
+//!
+//! Walking live membership (rather than a boot-time address list)
+//! matters under elastic scaling: shards that joined after boot appear
+//! in the report, and retired shards stop being reported as eternally
+//! unreachable ghosts.
 
 use std::net::SocketAddr;
 
@@ -15,6 +21,8 @@ use dvm_telemetry::{MetricsSnapshot, StatsReport};
 /// One shard's answer to a stats pull.
 #[derive(Debug)]
 pub struct ShardReport {
+    /// The shard's ring id.
+    pub shard: u32,
     /// The shard's address, as given to the collector.
     pub addr: SocketAddr,
     /// Its report, when the pull succeeded.
@@ -46,25 +54,31 @@ impl FleetStats {
     }
 }
 
-/// Pulls a [`StatsReport`] from every address in `addrs` (serially — the
-/// collector is an operator tool, not a hot path) and merges the
+/// Pulls a [`StatsReport`] from every `(shard, addr)` pair (serially —
+/// the collector is an operator tool, not a hot path) and merges the
 /// reachable ones. `include_spans` asks each shard for its span window
 /// too; leave it off for cheap periodic polling.
-pub fn collect_fleet_stats(
-    addrs: &[SocketAddr],
+///
+/// The pairs should come from the cluster's live membership (see
+/// `ProxyCluster::live_addrs`), so the report tracks joins and retires
+/// instead of the boot-time roster.
+pub fn collect_fleet_stats_live(
+    pairs: &[(u32, SocketAddr)],
     hello: &Hello,
     config: NetConfig,
     include_spans: bool,
 ) -> FleetStats {
-    let mut shards = Vec::with_capacity(addrs.len());
-    for &addr in addrs {
+    let mut shards = Vec::with_capacity(pairs.len());
+    for &(shard, addr) in pairs {
         match fetch_stats(addr, hello.clone(), config, include_spans) {
             Ok(report) => shards.push(ShardReport {
+                shard,
                 addr,
                 report: Some(report),
                 error: None,
             }),
             Err(e) => shards.push(ShardReport {
+                shard,
                 addr,
                 report: None,
                 error: Some(e.to_string()),
@@ -73,4 +87,20 @@ pub fn collect_fleet_stats(
     }
     let merged = StatsReport::merge_metrics(shards.iter().filter_map(|s| s.report.as_ref()));
     FleetStats { shards, merged }
+}
+
+/// Address-list variant kept for callers without a membership view; the
+/// list index doubles as the shard id.
+pub fn collect_fleet_stats(
+    addrs: &[SocketAddr],
+    hello: &Hello,
+    config: NetConfig,
+    include_spans: bool,
+) -> FleetStats {
+    let pairs: Vec<(u32, SocketAddr)> = addrs
+        .iter()
+        .enumerate()
+        .map(|(i, &addr)| (i as u32, addr))
+        .collect();
+    collect_fleet_stats_live(&pairs, hello, config, include_spans)
 }

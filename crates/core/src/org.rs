@@ -7,6 +7,7 @@ use parking_lot::Mutex;
 use dvm_classfile::ClassFile;
 use dvm_cluster::{ClusterClassProvider, ClusterClientConfig, ClusterOptions, ProxyCluster};
 use dvm_compiler::{ExecCompiler, ExecCompilerStats, NetworkCompiler};
+use dvm_membership::{MembershipOptions, MembershipPlane};
 use dvm_monitor::{
     AdminConsole, AuditSink, ClientDescription, ConsoleSink, ProfileMode, SiteTable,
 };
@@ -414,6 +415,46 @@ impl Organization {
             .map(|i| self.shard_proxy_named(&format!("shard{i}")))
             .collect();
         ProxyCluster::start(proxies, Some(self.console.clone()), opts)
+    }
+
+    /// [`Organization::serve_cluster_with`] wrapped in a
+    /// [`dvm_membership::MembershipPlane`]: the cluster starts at
+    /// `shards` shards and can then grow ([`Organization::grow_cluster`]),
+    /// shrink ([`Organization::shrink_cluster`]), and self-heal (gossip
+    /// failure detection) at runtime while clients keep fetching.
+    pub fn serve_elastic(
+        &self,
+        shards: usize,
+        opts: ClusterOptions,
+        membership: MembershipOptions,
+    ) -> std::io::Result<MembershipPlane> {
+        let cluster = self.serve_cluster_with(shards, opts)?;
+        Ok(MembershipPlane::new(cluster, membership))
+    }
+
+    /// Grows an elastic cluster by one shard built from this
+    /// organization's substrate (same policy, signer, console, and
+    /// rewrite pipeline as every other shard). The new shard pulls its
+    /// key range out of the current owners before this returns, so its
+    /// first fetches hit warm cache.
+    pub fn grow_cluster(
+        &self,
+        plane: &mut MembershipPlane,
+    ) -> std::io::Result<dvm_membership::JoinReport> {
+        let id = plane.cluster().len();
+        let proxy = self.shard_proxy_named(&format!("shard{id}"));
+        plane.join(proxy)
+    }
+
+    /// Shrinks an elastic cluster by retiring `shard`: its keys drain
+    /// to the survivors first, then its server shuts down and the new
+    /// epoch is published.
+    pub fn shrink_cluster(
+        &self,
+        plane: &mut MembershipPlane,
+        shard: u32,
+    ) -> dvm_membership::RetireReport {
+        plane.retire(shard)
     }
 
     /// Backs the primary proxy's rewrite cache with a persistent store

@@ -1,0 +1,33 @@
+//! `dvm-membership`: elastic cluster membership for the sharded proxy.
+//!
+//! The paper's organization proxy is provisioned once; this crate makes
+//! the sharded version of it *elastic* — shards join, retire, and fail
+//! at runtime while clients keep fetching:
+//!
+//! - [`plane`] — [`MembershipPlane`], the orchestration layer over
+//!   [`dvm_cluster::ProxyCluster`]. A **join** claims a minimal key
+//!   range on the ring at a new epoch and pulls that range out of the
+//!   previous owners before returning, so the new shard's first fetches
+//!   hit warm cache. A **retirement** drains the departing shard's keys
+//!   into the survivors that inherit them before the server goes away,
+//!   bounding re-rewrites. Clients learn each new epoch via the
+//!   `RING_UPDATE` frame without reconnecting.
+//! - [`migrate`] — [`MigrationClient`], the pull side of live cache
+//!   migration: `MIGRATE_BEGIN`/`MIGRATE_CHUNK`/`MIGRATE_END` over the
+//!   existing wire protocol, MD5 re-checked per chunk at decode,
+//!   bounded batches, and cursor-based resumption across cut streams —
+//!   a shard killed mid-migration costs a reconnect, not a restart.
+//! - [`gossip`] — [`SwimDetector`], a from-scratch SWIM-style failure
+//!   detector: seeded round-robin probing, indirect probes before
+//!   suspicion, incarnation-numbered refutation, and deterministic
+//!   replay from the seed. Dead members are auto-proposed for
+//!   retirement and every probe outcome feeds the plane's
+//!   [`dvm_cluster::HealthTracker`].
+
+pub mod gossip;
+pub mod migrate;
+pub mod plane;
+
+pub use gossip::{GossipConfig, GossipEvent, MemberState, Pinger, SwimDetector, TcpPinger};
+pub use migrate::{MigrationClient, MigrationConfig, MigrationError, MigrationReport};
+pub use plane::{JoinReport, MembershipOptions, MembershipPlane, MembershipStats, RetireReport};

@@ -1,0 +1,249 @@
+//! Live cache migration: pulling a shard's owned keys over the wire.
+//!
+//! Migration is pull-based. The side that wants bytes (a joining shard
+//! warming up, or the survivors draining a retiring shard) opens a
+//! connection to the side that has them and drives a
+//! `MIGRATE_BEGIN` / `MIGRATE_CHUNK`… / `MIGRATE_END` exchange. The
+//! source streams at most [`dvm_net::MIGRATE_BATCH`] chunks per request
+//! and then reports whether the range is exhausted; the puller simply
+//! re-issues `MIGRATE_BEGIN` with the last key it ingested until the
+//! source says `complete`.
+//!
+//! That same resumption loop is the crash story: a cut stream — source
+//! killed mid-migration, transport error, a chunk failing its MD5
+//! re-check at decode — costs a reconnect and a re-issue from the last
+//! good key, never a restart from scratch. Values travel signed and
+//! digest-checked, so a migrated entry is exactly as trustworthy as one
+//! rewritten locally.
+
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use dvm_net::{ErrorCode, Frame, Hello, NetConfig};
+
+/// Tuning for one migration pull.
+#[derive(Debug, Clone, Copy)]
+pub struct MigrationConfig {
+    /// Transport knobs for the migration connection.
+    pub net: NetConfig,
+    /// Consecutive failed connection attempts tolerated before the pull
+    /// gives up. Progress (any chunk ingested) resets the count, so a
+    /// flaky link retries indefinitely as long as it keeps moving.
+    pub max_attempts: u32,
+    /// Pause between reconnection attempts.
+    pub retry_backoff: Duration,
+}
+
+impl Default for MigrationConfig {
+    fn default() -> Self {
+        MigrationConfig {
+            net: NetConfig::default(),
+            max_attempts: 3,
+            retry_backoff: Duration::from_millis(25),
+        }
+    }
+}
+
+/// What one migration pull accomplished.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MigrationReport {
+    /// Entries ingested.
+    pub keys: u64,
+    /// Value bytes ingested.
+    pub bytes: u64,
+    /// Times the stream was cut and resumed from the last good key
+    /// (reconnects and mid-stream decode failures alike).
+    pub resumes: u64,
+    /// True when the source confirmed the full range was transferred;
+    /// false when the pull gave up (source dead or persistently
+    /// refusing) — whatever was ingested before that still counts.
+    pub complete: bool,
+}
+
+/// A migration pull failure that resumption cannot fix.
+#[derive(Debug)]
+pub enum MigrationError {
+    /// The source answered with a typed refusal (stale epoch, no
+    /// exporter) — retrying the same request cannot succeed.
+    Refused(String),
+    /// The source could not be reached (or kept cutting the stream)
+    /// `max_attempts` times in a row with no progress.
+    Unreachable,
+}
+
+impl std::fmt::Display for MigrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MigrationError::Refused(why) => write!(f, "migration refused: {why}"),
+            MigrationError::Unreachable => write!(f, "migration source unreachable"),
+        }
+    }
+}
+
+impl std::error::Error for MigrationError {}
+
+/// Pulls every key that `shard` owns (under the ring at `epoch`) out of
+/// the source at `addr`, feeding each entry to `ingest`.
+pub struct MigrationClient {
+    addr: SocketAddr,
+    hello: Hello,
+    config: MigrationConfig,
+    /// Exclusive lower bound of the next request — the last key
+    /// ingested, carried across reconnects for resumption.
+    cursor: String,
+    next_request: u32,
+}
+
+impl MigrationClient {
+    /// Creates a puller against the source shard at `addr`,
+    /// identifying itself with `hello` (conventionally user
+    /// `shard<target>` principal `cluster-peer`).
+    pub fn new(addr: SocketAddr, hello: Hello, config: MigrationConfig) -> MigrationClient {
+        MigrationClient {
+            addr,
+            hello,
+            config,
+            cursor: String::new(),
+            next_request: 1,
+        }
+    }
+
+    fn connect(&self) -> Option<TcpStream> {
+        let stream =
+            TcpStream::connect_timeout(&self.addr, self.config.net.connect_timeout).ok()?;
+        stream
+            .set_read_timeout(Some(self.config.net.read_timeout))
+            .ok()?;
+        stream
+            .set_write_timeout(Some(self.config.net.write_timeout))
+            .ok()?;
+        let _ = stream.set_nodelay(true);
+        let mut stream = stream;
+        Frame::Hello(self.hello.clone())
+            .write_to(&mut stream)
+            .ok()?;
+        match Frame::read_from(&mut stream) {
+            Ok(Frame::Welcome { .. }) => Some(stream),
+            _ => None,
+        }
+    }
+
+    /// One `MIGRATE_BEGIN` → chunks → `MIGRATE_END` exchange on an open
+    /// connection. `Ok(Some(complete))` when the stream ended cleanly;
+    /// `Ok(None)` when it was cut (resume on a fresh connection);
+    /// `Err` on a typed refusal.
+    fn pull_once(
+        &mut self,
+        stream: &mut TcpStream,
+        shard: u32,
+        epoch: u64,
+        ingest: &mut dyn FnMut(&str, &[u8]),
+        report: &mut MigrationReport,
+    ) -> Result<Option<bool>, MigrationError> {
+        let request_id = self.next_request;
+        self.next_request = self.next_request.wrapping_add(1).max(1);
+        let begin = Frame::MigrateBegin {
+            request_id,
+            epoch,
+            shard,
+            resume_from: self.cursor.clone(),
+        };
+        if begin.write_to(stream).is_err() {
+            return Ok(None);
+        }
+        loop {
+            match Frame::read_from(stream) {
+                Ok(Frame::MigrateChunk {
+                    request_id: rid,
+                    url,
+                    bytes,
+                    ..
+                }) if rid == request_id => {
+                    ingest(&url, &bytes);
+                    report.keys += 1;
+                    report.bytes += bytes.len() as u64;
+                    self.cursor = url;
+                }
+                Ok(Frame::MigrateEnd {
+                    request_id: rid,
+                    complete,
+                    ..
+                }) if rid == request_id => return Ok(Some(complete)),
+                Ok(Frame::Error { code, message, .. }) => {
+                    // Overload is transient — back off and resume; any
+                    // other typed refusal (stale epoch, no exporter)
+                    // will repeat forever if we retry.
+                    if code == ErrorCode::Overloaded {
+                        return Ok(None);
+                    }
+                    return Err(MigrationError::Refused(message));
+                }
+                // A digest-failed chunk, truncated frame, or transport
+                // drop all land here: cut the stream, resume from the
+                // last ingested key.
+                _ => return Ok(None),
+            }
+        }
+    }
+
+    /// Runs the pull to completion (or bounded failure). `ingest` is
+    /// called once per migrated entry and must be idempotent — a cut
+    /// stream may replay the entry after the cursor.
+    pub fn pull(
+        &mut self,
+        shard: u32,
+        epoch: u64,
+        mut ingest: impl FnMut(&str, &[u8]),
+    ) -> Result<MigrationReport, MigrationError> {
+        let mut report = MigrationReport::default();
+        let mut failures = 0u32;
+        let mut stream: Option<TcpStream> = None;
+        loop {
+            if stream.is_none() {
+                stream = self.connect();
+                if stream.is_none() {
+                    failures += 1;
+                    if failures >= self.config.max_attempts.max(1) {
+                        return Err(MigrationError::Unreachable);
+                    }
+                    std::thread::sleep(self.config.retry_backoff);
+                    continue;
+                }
+            }
+            let conn = stream.as_mut().expect("connected above");
+            let before = report.keys;
+            match self.pull_once(conn, shard, epoch, &mut ingest, &mut report) {
+                Ok(Some(true)) => {
+                    let _ = Frame::Bye.write_to(conn);
+                    report.complete = true;
+                    return Ok(report);
+                }
+                Ok(Some(false)) => {
+                    // Batch truncated; the connection is fine, ask for
+                    // the next slice immediately.
+                    failures = 0;
+                }
+                Ok(None) => {
+                    stream = None;
+                    report.resumes += 1;
+                    if report.keys > before {
+                        failures = 0;
+                    } else {
+                        failures += 1;
+                        if failures >= self.config.max_attempts.max(1) {
+                            return Err(MigrationError::Unreachable);
+                        }
+                        std::thread::sleep(self.config.retry_backoff);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The resumption cursor (last key ingested) — for tests asserting
+    /// a resumed pull did not restart from scratch.
+    pub fn cursor(&self) -> &str {
+        &self.cursor
+    }
+}

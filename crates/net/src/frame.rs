@@ -42,6 +42,10 @@ mod tag {
     pub const PEER_PUT: u8 = 0x09;
     pub const STATS_REQUEST: u8 = 0x0A;
     pub const STATS_RESPONSE: u8 = 0x0B;
+    pub const RING_UPDATE: u8 = 0x0C;
+    pub const MIGRATE_BEGIN: u8 = 0x0D;
+    pub const MIGRATE_CHUNK: u8 = 0x0E;
+    pub const MIGRATE_END: u8 = 0x0F;
 }
 
 /// Typed error codes carried by [`Frame::Error`].
@@ -217,6 +221,62 @@ pub enum Frame {
         request_id: u32,
         /// `StatsReport::encode()` output.
         report: Vec<u8>,
+    },
+    /// Either direction: membership epoch exchange. A client (or peer
+    /// shard) sends the epoch it is routing with and an empty `ring`;
+    /// the server answers with the same tag carrying its current epoch
+    /// and — when the asker is behind — the encoded ring snapshot
+    /// (`dvm_cluster::RingSnapshot` bytes, opaque at this layer). An
+    /// up-to-date asker gets the epoch back with `ring` empty.
+    RingUpdate {
+        /// Sender's current epoch (request) or the server's (response).
+        epoch: u64,
+        /// Encoded ring snapshot; empty when no update is needed or
+        /// when asking.
+        ring: Vec<u8>,
+    },
+    /// Shard → shard: start (or resume) pulling the keys the *sending*
+    /// shard now owns out of the receiving shard's cache. Answered with
+    /// a stream of `MIGRATE_CHUNK` frames and one `MIGRATE_END`.
+    MigrateBegin {
+        /// Sender-chosen id echoed on every chunk and the end marker.
+        request_id: u32,
+        /// The epoch whose remap plan justifies this transfer; the
+        /// source rejects epochs it has not reached.
+        epoch: u64,
+        /// The requesting (target) shard id — the source streams only
+        /// keys this shard owns under its current ring.
+        shard: u32,
+        /// Exclusive lower bound for resumption after a cut stream:
+        /// empty to start from the beginning, else the last key already
+        /// ingested.
+        resume_from: String,
+    },
+    /// Shard → shard: one migrated cache entry. The wire format carries
+    /// an MD5 digest of `bytes` that `encode` computes and `decode`
+    /// re-checks — a corrupted value surfaces as a typed
+    /// [`FrameError::Malformed`] at the frame layer, before ingest.
+    MigrateChunk {
+        /// Echo of the `MIGRATE_BEGIN` request id.
+        request_id: u32,
+        /// Zero-based chunk sequence number within this transfer.
+        seq: u32,
+        /// The cache key (resource URL).
+        url: String,
+        /// The signed cached value.
+        bytes: Vec<u8>,
+    },
+    /// Shard → shard: the migration stream is done (or was cut short by
+    /// the source with `complete: false`, telling the target to resume).
+    MigrateEnd {
+        /// Echo of the `MIGRATE_BEGIN` request id.
+        request_id: u32,
+        /// Chunks sent in this stream.
+        total: u32,
+        /// True when every owned key at or after `resume_from` was
+        /// sent; false when the source truncated the batch (the target
+        /// re-issues `MIGRATE_BEGIN` with the last key it saw).
+        complete: bool,
     },
     /// Either direction: orderly shutdown of the connection.
     Bye,
@@ -487,6 +547,46 @@ impl Frame {
                 put_u32(&mut body, *request_id);
                 put_bytes(&mut body, report);
             }
+            Frame::RingUpdate { epoch, ring } => {
+                body.push(tag::RING_UPDATE);
+                put_u64(&mut body, *epoch);
+                put_bytes(&mut body, ring);
+            }
+            Frame::MigrateBegin {
+                request_id,
+                epoch,
+                shard,
+                resume_from,
+            } => {
+                body.push(tag::MIGRATE_BEGIN);
+                put_u32(&mut body, *request_id);
+                put_u64(&mut body, *epoch);
+                put_u32(&mut body, *shard);
+                put_str(&mut body, resume_from);
+            }
+            Frame::MigrateChunk {
+                request_id,
+                seq,
+                url,
+                bytes,
+            } => {
+                body.push(tag::MIGRATE_CHUNK);
+                put_u32(&mut body, *request_id);
+                put_u32(&mut body, *seq);
+                put_str(&mut body, url);
+                body.extend_from_slice(&dvm_proxy::md5::md5(bytes));
+                put_bytes(&mut body, bytes);
+            }
+            Frame::MigrateEnd {
+                request_id,
+                total,
+                complete,
+            } => {
+                body.push(tag::MIGRATE_END);
+                put_u32(&mut body, *request_id);
+                put_u32(&mut body, *total);
+                body.push(u8::from(*complete));
+            }
             Frame::Bye => body.push(tag::BYE),
         }
         debug_assert!(body.len() <= MAX_FRAME_LEN);
@@ -578,6 +678,48 @@ impl Frame {
                 request_id: c.u32()?,
                 report: c.bytes()?,
             },
+            tag::RING_UPDATE => Frame::RingUpdate {
+                epoch: c.u64()?,
+                ring: c.bytes()?,
+            },
+            tag::MIGRATE_BEGIN => Frame::MigrateBegin {
+                request_id: c.u32()?,
+                epoch: c.u64()?,
+                shard: c.u32()?,
+                resume_from: c.string()?,
+            },
+            tag::MIGRATE_CHUNK => {
+                let request_id = c.u32()?;
+                let seq = c.u32()?;
+                let url = c.string()?;
+                let digest: [u8; 16] = c.take(16)?.try_into().unwrap();
+                let bytes = c.bytes()?;
+                if dvm_proxy::md5::md5(&bytes) != digest {
+                    return Err(FrameError::malformed(format!(
+                        "migrate chunk digest mismatch for {url}"
+                    )));
+                }
+                Frame::MigrateChunk {
+                    request_id,
+                    seq,
+                    url,
+                    bytes,
+                }
+            }
+            tag::MIGRATE_END => {
+                let request_id = c.u32()?;
+                let total = c.u32()?;
+                let complete = match c.u8()? {
+                    0 => false,
+                    1 => true,
+                    other => return Err(FrameError::malformed(format!("end flag {other}"))),
+                };
+                Frame::MigrateEnd {
+                    request_id,
+                    total,
+                    complete,
+                }
+            }
             tag::BYE => Frame::Bye,
             other => return Err(FrameError::UnknownTag(other)),
         };
@@ -763,6 +905,42 @@ mod tests {
                 request_id: 11,
                 report: vec![1, 0, 0, 0, 0, 0],
             },
+            Frame::RingUpdate {
+                epoch: 3,
+                ring: vec![0x44, 0x56, 0x4D, 0x52, 1],
+            },
+            Frame::RingUpdate {
+                epoch: 0,
+                ring: Vec::new(),
+            },
+            Frame::MigrateBegin {
+                request_id: 21,
+                epoch: 3,
+                shard: 5,
+                resume_from: String::new(),
+            },
+            Frame::MigrateBegin {
+                request_id: 22,
+                epoch: 3,
+                shard: 5,
+                resume_from: "class://demo/App".into(),
+            },
+            Frame::MigrateChunk {
+                request_id: 21,
+                seq: 0,
+                url: "class://demo/App".into(),
+                bytes: vec![0xCA, 0xFE, 0xBA, 0xBE, 7, 7],
+            },
+            Frame::MigrateEnd {
+                request_id: 21,
+                total: 1,
+                complete: true,
+            },
+            Frame::MigrateEnd {
+                request_id: 22,
+                total: 0,
+                complete: false,
+            },
             Frame::Bye,
         ]
     }
@@ -867,6 +1045,33 @@ mod tests {
         // Grow the payload without updating the tag's grammar.
         encoded.splice(0..4, 3u32.to_be_bytes());
         encoded.extend_from_slice(&[0xAA, 0xBB]);
+        assert!(matches!(
+            Frame::decode(&encoded),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn migrate_chunk_digest_is_verified_on_decode() {
+        let frame = Frame::MigrateChunk {
+            request_id: 1,
+            seq: 0,
+            url: "class://demo/App".into(),
+            bytes: vec![1, 2, 3, 4],
+        };
+        let mut encoded = frame.encode();
+        // Flip one payload byte (the last value byte): the digest no
+        // longer matches and decode must reject with a typed error.
+        let last = encoded.len() - 1;
+        encoded[last] ^= 0xFF;
+        assert!(matches!(
+            Frame::decode(&encoded),
+            Err(FrameError::Malformed(_))
+        ));
+        // Flip a digest byte instead: same typed rejection.
+        let mut encoded = frame.encode();
+        let digest_at = encoded.len() - 24; // 16-byte digest sits before the u32 len + 4 value bytes
+        encoded[digest_at] ^= 0xFF;
         assert!(matches!(
             Frame::decode(&encoded),
             Err(FrameError::Malformed(_))

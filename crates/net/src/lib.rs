@@ -33,6 +33,6 @@ pub use client::{
 };
 pub use frame::{kind_from_u8, kind_to_u8, ErrorCode, Frame, FrameError, Hello, MAX_FRAME_LEN};
 pub use server::{
-    FaultAction, FaultPlan, FaultRule, FaultScope, FaultTrigger, ProxyServer, ServerConfig,
-    ServerStats,
+    FaultAction, FaultPlan, FaultRule, FaultScope, FaultTrigger, MembershipView, MigrateBatch,
+    MigrateExporter, ProxyServer, ServerConfig, ServerStats, MIGRATE_BATCH,
 };

@@ -172,6 +172,78 @@ pub enum FaultScope {
     PerConnection,
 }
 
+/// Most entries a single `MIGRATE_BEGIN` answer will stream before
+/// closing the batch with `complete: false`. Bounds both the memory a
+/// source shard pins per transfer and the work lost to a cut stream —
+/// the target resumes from the last key it ingested.
+pub const MIGRATE_BATCH: usize = 64;
+
+/// The server's read-only view of cluster membership, installed by the
+/// membership plane after bind. `RING_UPDATE` requests are answered
+/// from here: askers at an older epoch get the published snapshot
+/// bytes, up-to-date askers get just the epoch. Publishing is
+/// epoch-monotonic; stale publishes are ignored.
+#[derive(Debug, Default)]
+pub struct MembershipView {
+    epoch: AtomicU64,
+    snapshot: Mutex<Arc<Vec<u8>>>,
+}
+
+impl MembershipView {
+    pub fn new() -> MembershipView {
+        MembershipView::default()
+    }
+
+    /// Installs the encoded ring for `epoch`. Ignored unless `epoch`
+    /// advances the view (publishes may race during rapid transitions).
+    pub fn publish(&self, epoch: u64, encoded: Vec<u8>) {
+        let mut snap = self.snapshot.lock();
+        if epoch >= self.epoch.load(Ordering::SeqCst) {
+            *snap = Arc::new(encoded);
+            self.epoch.store(epoch, Ordering::SeqCst);
+        }
+    }
+
+    /// The most recently published epoch (0 before any publish).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// The published snapshot bytes (empty before any publish).
+    pub fn snapshot(&self) -> Arc<Vec<u8>> {
+        self.snapshot.lock().clone()
+    }
+}
+
+/// One batch of a migration stream, as produced by a
+/// [`MigrateExporter`].
+#[derive(Debug, Clone, Default)]
+pub struct MigrateBatch {
+    /// `(url, signed bytes)` pairs in ascending url order.
+    pub entries: Vec<(String, Vec<u8>)>,
+    /// False when the exporter truncated the batch (more keys remain
+    /// after the last entry).
+    pub complete: bool,
+}
+
+/// Source side of live cache migration: enumerates the cached entries a
+/// given shard owns, in key order, resumable from any key. Installed on
+/// the server by the membership plane; the frame layer stays ignorant
+/// of rings and stores.
+pub trait MigrateExporter: Send + Sync {
+    /// Up to `max` owned entries strictly after `after` (empty = from
+    /// the start) for `shard`, under the exporter's ring at `epoch`.
+    /// `Err` is a typed refusal (e.g. the source has not reached
+    /// `epoch`), relayed to the asker as an `ERROR` frame.
+    fn export(
+        &self,
+        shard: u32,
+        epoch: u64,
+        after: &str,
+        max: usize,
+    ) -> Result<MigrateBatch, String>;
+}
+
 /// Aggregate server statistics.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ServerStats {
@@ -197,6 +269,15 @@ pub struct ServerStats {
     pub peer_hits: u64,
     /// `PEER_PUT` offers ingested into the local cache.
     pub peer_puts: u64,
+    /// `RING_UPDATE` requests answered.
+    pub ring_updates: u64,
+    /// `MIGRATE_BEGIN` streams served (including resumed ones).
+    pub migrate_streams: u64,
+    /// `MIGRATE_CHUNK` frames sent to joining shards.
+    pub migrate_chunks_out: u64,
+    /// `MIGRATE_BEGIN` requests refused by the exporter (epoch mismatch
+    /// or no exporter installed).
+    pub migrate_rejects: u64,
 }
 
 /// Pre-registered wire-layer telemetry handles (the proxy's plane is
@@ -212,6 +293,8 @@ struct ServerMetrics {
     audit_events: Arc<Counter>,
     stats_requests: Arc<Counter>,
     serve_ns: Arc<Histogram>,
+    ring_updates: Arc<Counter>,
+    migrate_chunks_out: Arc<Counter>,
 }
 
 impl ServerMetrics {
@@ -228,6 +311,8 @@ impl ServerMetrics {
             audit_events: r.counter("net.server.audit_events"),
             stats_requests: r.counter("net.server.stats_requests"),
             serve_ns: r.histogram("net.server.serve_ns"),
+            ring_updates: r.counter("net.server.ring_updates"),
+            migrate_chunks_out: r.counter("net.server.migrate_chunks_out"),
         }
     }
 }
@@ -245,6 +330,8 @@ struct Inner {
     conns: Mutex<Vec<JoinHandle<()>>>,
     telemetry: Arc<Telemetry>,
     metrics: ServerMetrics,
+    membership: Mutex<Option<Arc<MembershipView>>>,
+    exporter: Mutex<Option<Arc<dyn MigrateExporter>>>,
 }
 
 impl Inner {
@@ -302,6 +389,8 @@ impl ProxyServer {
             conns: Mutex::new(Vec::new()),
             telemetry,
             metrics,
+            membership: Mutex::new(None),
+            exporter: Mutex::new(None),
         });
         let accept_inner = inner.clone();
         let accept = std::thread::Builder::new()
@@ -333,6 +422,19 @@ impl ProxyServer {
     /// Connections currently being served.
     pub fn live_connections(&self) -> usize {
         self.inner.live.load(Ordering::SeqCst)
+    }
+
+    /// Installs the membership view answering `RING_UPDATE` requests.
+    /// Called by the membership plane after bind; before this, askers
+    /// are told epoch 0 with no snapshot.
+    pub fn set_membership_view(&self, view: Arc<MembershipView>) {
+        *self.inner.membership.lock() = Some(view);
+    }
+
+    /// Installs the cache exporter answering `MIGRATE_BEGIN` streams.
+    /// Without one, migration requests get a typed `Internal` error.
+    pub fn set_migrate_exporter(&self, exporter: Arc<dyn MigrateExporter>) {
+        *self.inner.exporter.lock() = Some(exporter);
     }
 
     /// Stops accepting, waits for every connection thread to exit, and
@@ -748,11 +850,105 @@ fn serve_connection(stream: TcpStream, inner: &Inner) {
                     break;
                 }
             }
+            Frame::RingUpdate { epoch, .. } => {
+                // Epoch exchange: an asker behind the published epoch
+                // gets the full snapshot; an up-to-date one gets just
+                // our epoch back (cheap enough to poll).
+                inner.stats.lock().ring_updates += 1;
+                inner.metrics.ring_updates.inc();
+                let view = inner.membership.lock().clone();
+                let (our_epoch, ring) = match view {
+                    Some(v) => {
+                        let e = v.epoch();
+                        if epoch < e {
+                            (e, v.snapshot().to_vec())
+                        } else {
+                            (e, Vec::new())
+                        }
+                    }
+                    None => (0, Vec::new()),
+                };
+                if !inner.send(
+                    &mut writer,
+                    &Frame::RingUpdate {
+                        epoch: our_epoch,
+                        ring,
+                    },
+                ) {
+                    break;
+                }
+            }
+            Frame::MigrateBegin {
+                request_id,
+                epoch,
+                shard,
+                resume_from,
+            } => {
+                // Live cache migration, source side: stream the keys
+                // `shard` now owns out of our cache in bounded batches.
+                // The exporter owns ring/ownership logic; refusals (no
+                // exporter, epoch mismatch) are typed errors, and a
+                // truncated batch ends with `complete: false` so the
+                // target resumes from the last key it saw.
+                let exporter = inner.exporter.lock().clone();
+                let batch = match &exporter {
+                    Some(x) => x.export(shard, epoch, &resume_from, MIGRATE_BATCH),
+                    None => Err("no migration exporter installed".into()),
+                };
+                match batch {
+                    Ok(batch) => {
+                        inner.stats.lock().migrate_streams += 1;
+                        let total = batch.entries.len() as u32;
+                        let mut sent_all = true;
+                        for (seq, (url, bytes)) in batch.entries.into_iter().enumerate() {
+                            let chunk = Frame::MigrateChunk {
+                                request_id,
+                                seq: seq as u32,
+                                url,
+                                bytes,
+                            };
+                            if !inner.send(&mut writer, &chunk) {
+                                sent_all = false;
+                                break;
+                            }
+                            inner.stats.lock().migrate_chunks_out += 1;
+                            inner.metrics.migrate_chunks_out.inc();
+                        }
+                        if !sent_all
+                            || !inner.send(
+                                &mut writer,
+                                &Frame::MigrateEnd {
+                                    request_id,
+                                    total,
+                                    complete: batch.complete,
+                                },
+                            )
+                        {
+                            break;
+                        }
+                    }
+                    Err(msg) => {
+                        inner.stats.lock().migrate_rejects += 1;
+                        if !inner.send(
+                            &mut writer,
+                            &Frame::Error {
+                                request_id,
+                                code: ErrorCode::Internal,
+                                message: msg,
+                            },
+                        ) {
+                            break;
+                        }
+                    }
+                }
+            }
             Frame::Bye => break,
             Frame::Welcome { .. }
             | Frame::CodeResponse { .. }
             | Frame::Error { .. }
-            | Frame::StatsResponse { .. } => {
+            | Frame::StatsResponse { .. }
+            | Frame::MigrateChunk { .. }
+            | Frame::MigrateEnd { .. } => {
                 // Server-to-client frames arriving at the server.
                 inner.stats.lock().malformed += 1;
                 inner.metrics.malformed.inc();

@@ -25,6 +25,10 @@ use dvm_store::{Store, StoreStats};
 
 use crate::md5::md5;
 
+/// One page of a key-ordered cache export: the entries plus a flag that
+/// is `true` when the range is exhausted.
+pub type CacheExportPage = (Vec<(String, Arc<[u8]>)>, bool);
+
 /// Which tier served a lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheTier {
@@ -243,6 +247,56 @@ impl RewriteCache {
         self.disk_get(key).map(|v| (v, CacheTier::Disk))
     }
 
+    /// Up to `max` cached entries in ascending key order, strictly after
+    /// `after`, plus `true` when the range is exhausted. The disk tier
+    /// is the full cached population (every `put` writes through), so
+    /// exporting it never misses a memory-resident entry. Persistent
+    /// envelopes are verified: an entry whose digest no longer matches
+    /// is purged and skipped, counted in `disk_load_rejects` — corrupt
+    /// bytes never migrate. No hit/miss accounting, no promotion.
+    pub fn export_after(&mut self, after: &str, max: usize) -> CacheExportPage {
+        match &mut self.disk {
+            DiskTier::Ephemeral(map) => {
+                let mut keys: Vec<&String> = map.keys().filter(|k| k.as_str() > after).collect();
+                keys.sort();
+                let complete = keys.len() <= max;
+                let keys: Vec<String> = keys.into_iter().take(max).cloned().collect();
+                let out = keys
+                    .into_iter()
+                    .map(|k| {
+                        let v = map[&k].clone();
+                        (k, v)
+                    })
+                    .collect();
+                (out, complete)
+            }
+            DiskTier::Persistent(store) => {
+                let mut rejects = 0;
+                let result = match store.export_after(after, max) {
+                    Ok((entries, complete)) => {
+                        let mut out = Vec::with_capacity(entries.len());
+                        for (k, sealed) in entries {
+                            match unseal(sealed) {
+                                Some(payload) => out.push((k, Arc::from(payload))),
+                                None => {
+                                    let _ = store.delete(&k);
+                                    rejects += 1;
+                                }
+                            }
+                        }
+                        (out, complete)
+                    }
+                    Err(_) => {
+                        self.stats.store_errors += 1;
+                        (Vec::new(), true)
+                    }
+                };
+                self.stats.disk_load_rejects += rejects;
+                result
+            }
+        }
+    }
+
     fn insert_memory(&mut self, key: String, value: Arc<[u8]>) {
         if self.memory.contains_key(&key) {
             return;
@@ -442,6 +496,44 @@ mod tests {
         assert_eq!(c.get("huge").unwrap().1, CacheTier::Disk);
         assert_eq!(c.peek("hot1").map(|(_, t)| t), Some(CacheTier::Memory));
         assert_eq!(c.stats.evictions, 0);
+    }
+
+    #[test]
+    fn export_after_walks_both_tier_backends_in_key_order() {
+        // Ephemeral backend.
+        let mut c = RewriteCache::new(8);
+        for i in 0..6 {
+            c.put(format!("k{i}"), bytes(vec![i as u8; 16])); // oversized: disk-only
+        }
+        let (page, complete) = c.export_after("", 4);
+        assert!(!complete);
+        let keys: Vec<&str> = page.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["k0", "k1", "k2", "k3"]);
+        let (page, complete) = c.export_after("k3", 4);
+        assert!(complete);
+        assert_eq!(page.len(), 2);
+        assert_eq!(&page[1].1[..], &[5u8; 16][..]);
+        let before = c.stats;
+        assert_eq!(c.stats, before, "export touches no hit/miss accounting");
+
+        // Persistent backend, including a corrupt entry that must be
+        // skipped and purged rather than exported.
+        let tmp = TempDir::new("export");
+        let mut c = RewriteCache::new(100);
+        let mut store = store_at(&tmp.0);
+        let mut sealed = seal(b"rotten");
+        let n = sealed.len();
+        sealed[n - 1] ^= 0xFF;
+        store.put("bad", &sealed).unwrap();
+        c.attach_store(store);
+        c.put("a".into(), bytes(b"alpha".to_vec()));
+        c.put("z".into(), bytes(b"zeta".to_vec()));
+        let (page, complete) = c.export_after("", 10);
+        assert!(complete);
+        let keys: Vec<&str> = page.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["a", "z"], "corrupt entry must not migrate");
+        assert_eq!(c.stats.disk_load_rejects, 1);
+        assert!(!c.contains("bad"), "corrupt entry purged");
     }
 
     // ---- persistent disk tier ----

@@ -14,7 +14,7 @@ pub mod md5;
 pub mod proxy;
 pub mod sign;
 
-pub use cache::{CacheStats, CacheTier, RewriteCache};
+pub use cache::{CacheExportPage, CacheStats, CacheTier, RewriteCache};
 pub use filter::{Filter, FilterError, NullFilter, Pipeline, RequestContext};
 pub use proxy::{
     ir_key, CodeOrigin, IrProducer, IrProduct, MapOrigin, PeerCache, Proxy, ProxyAuditRecord,

@@ -18,7 +18,7 @@ use dvm_netsim::CycleModel;
 use dvm_store::{Store, StoreStats};
 use dvm_telemetry::{Counter, Histogram, SpanId, Telemetry};
 
-use crate::cache::{CacheStats, CacheTier, RewriteCache};
+use crate::cache::{CacheExportPage, CacheStats, CacheTier, RewriteCache};
 use crate::filter::{FilterError, Pipeline, RequestContext};
 use crate::sign::Signer;
 
@@ -242,6 +242,8 @@ pub struct ProxyStats {
     pub ir_compiles: u64,
     /// `ir://` requests served from the cache.
     pub ir_served: u64,
+    /// Cache entries ingested from a migration stream (shard join).
+    pub migrate_ingests: u64,
 }
 
 /// Pre-registered telemetry handles for the request hot path: resolved
@@ -262,6 +264,7 @@ struct ProxyMetrics {
     ir_served: Arc<Counter>,
     ir_bytes: Arc<Counter>,
     ir_compile_cycles: Arc<Counter>,
+    migrate_ingests: Arc<Counter>,
     request_ns: Arc<Histogram>,
     origin_fetch_ns: Arc<Histogram>,
     ir_lower_ns: Arc<Histogram>,
@@ -285,6 +288,7 @@ impl ProxyMetrics {
             ir_served: r.counter("exec.ir.served"),
             ir_bytes: r.counter("exec.ir.bytes"),
             ir_compile_cycles: r.counter("exec.ir.compile_cycles"),
+            migrate_ingests: r.counter("proxy.migrate.ingests"),
             request_ns: r.histogram("proxy.request_ns"),
             origin_fetch_ns: r.histogram("proxy.origin.fetch_ns"),
             ir_lower_ns: r.histogram("exec.lower_ns"),
@@ -716,6 +720,37 @@ impl Proxy {
         self.cache
             .lock()
             .put_tier(url.to_owned(), bytes.into(), tier);
+    }
+
+    /// Pages the cached population in ascending key order — up to `max`
+    /// entries strictly after `after` (empty = from the start) plus a
+    /// flag that is `true` when the range is exhausted. This is the
+    /// source side of live cache migration: entries come from the
+    /// unbounded disk tier (the full population), persistent envelopes
+    /// are verified before export, and nothing here touches hit/miss
+    /// accounting or tier promotion. Empty-and-complete when caching is
+    /// disabled.
+    pub fn cache_export_after(&self, after: &str, max: usize) -> CacheExportPage {
+        if !self.caching {
+            return (Vec::new(), true);
+        }
+        self.cache.lock().export_after(after, max)
+    }
+
+    /// Ingests one entry from a migration stream (a joining shard
+    /// receiving its key range, or a survivor absorbing a drain). Lands
+    /// on the disk tier like a peer offer — migration must not evict
+    /// the hot set — and is counted separately so the chaos invariants
+    /// can tell migrated keys from peer fills.
+    pub fn migrate_ingest(&self, url: &str, bytes: Vec<u8>) {
+        if !self.caching {
+            return;
+        }
+        self.cache
+            .lock()
+            .put_tier(url.to_owned(), bytes.into(), CacheTier::Disk);
+        self.stats.lock().migrate_ingests += 1;
+        self.metrics.migrate_ingests.inc();
     }
 
     /// Backs this proxy's disk cache tier with a persistent store: what

@@ -26,7 +26,7 @@ pub mod record;
 mod store;
 
 pub use crc::crc32;
-pub use store::{Durability, Store, StoreConfig, StoreError, StoreStats};
+pub use store::{Durability, ExportPage, Store, StoreConfig, StoreError, StoreStats};
 
 #[cfg(test)]
 mod tests {
@@ -309,6 +309,35 @@ mod tests {
         let spans = t.recorder().dump();
         assert!(spans.iter().any(|sp| sp.name == "store.compact"));
         assert_eq!(t.registry().snapshot().counter("store.compactions"), 1);
+    }
+
+    #[test]
+    fn export_after_pages_the_key_space_in_order() {
+        let tmp = TempDir::new("export");
+        let mut s = open(&tmp);
+        for i in 0..10 {
+            s.put(&format!("k{i}"), &[i as u8; 8]).unwrap();
+        }
+        // First page from the start.
+        let (page, complete) = s.export_after("", 4).unwrap();
+        assert!(!complete);
+        let keys: Vec<&str> = page.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["k0", "k1", "k2", "k3"]);
+        assert_eq!(page[2].1, vec![2u8; 8]);
+        // Resume strictly after the last key seen.
+        let (page, complete) = s.export_after("k3", 100).unwrap();
+        assert!(complete);
+        assert_eq!(page.len(), 6);
+        assert_eq!(page[0].0, "k4");
+        assert_eq!(page[5].0, "k9");
+        // Past the end: empty and complete.
+        let (page, complete) = s.export_after("k9", 4).unwrap();
+        assert!(page.is_empty());
+        assert!(complete);
+        // Exactly max remaining counts as complete.
+        let (page, complete) = s.export_after("k7", 2).unwrap();
+        assert_eq!(page.len(), 2);
+        assert!(complete);
     }
 
     #[test]

@@ -183,6 +183,10 @@ fn segment_path(dir: &Path, id: u64) -> PathBuf {
     dir.join(format!("{id:016x}.seg"))
 }
 
+/// One page of a key-ordered export: the `(key, value)` pairs plus a
+/// flag that is `true` when the requested range is exhausted.
+pub type ExportPage = (Vec<(String, Vec<u8>)>, bool);
+
 /// A crash-safe, log-structured key→bytes store. See the module docs
 /// for the on-disk format and recovery rules.
 pub struct Store {
@@ -577,6 +581,29 @@ impl Store {
         let mut keys: Vec<String> = self.index.keys().cloned().collect();
         keys.sort();
         keys
+    }
+
+    /// Up to `max` live `(key, value)` pairs in ascending key order,
+    /// strictly after `after` (empty string = from the first key), each
+    /// value re-validated like [`Store::get`] — records that no longer
+    /// verify are skipped, not served. The second return is `true` when
+    /// the range is exhausted. This is the source side of live cache
+    /// migration: resumable (the caller passes back the last key it
+    /// ingested) and bounded (never pins more than `max` values).
+    pub fn export_after(&mut self, after: &str, max: usize) -> Result<ExportPage, StoreError> {
+        let keys: Vec<String> = {
+            let mut keys: Vec<&String> = self.index.keys().filter(|k| k.as_str() > after).collect();
+            keys.sort();
+            keys.into_iter().cloned().collect()
+        };
+        let complete = keys.len() <= max;
+        let mut out = Vec::with_capacity(keys.len().min(max));
+        for key in keys.into_iter().take(max) {
+            if let Some(value) = self.get(&key)? {
+                out.push((key, value));
+            }
+        }
+        Ok((out, complete))
     }
 
     /// Rewrites every live record into fresh segments and deletes the

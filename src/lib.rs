@@ -12,6 +12,7 @@ pub use dvm_compiler as compiler;
 pub use dvm_core as core;
 pub use dvm_exec as exec;
 pub use dvm_jvm as jvm;
+pub use dvm_membership as membership;
 pub use dvm_monitor as monitor;
 pub use dvm_net as net;
 pub use dvm_netsim as netsim;

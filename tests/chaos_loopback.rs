@@ -92,6 +92,7 @@ fn fast_config() -> ClusterClientConfig {
         },
         rounds: 4,
         round_backoff: Duration::from_millis(15),
+        ..ClusterClientConfig::default()
     }
 }
 

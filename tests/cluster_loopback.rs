@@ -71,6 +71,7 @@ fn fast_config() -> ClusterClientConfig {
         },
         rounds: 3,
         round_backoff: Duration::from_millis(10),
+        ..ClusterClientConfig::default()
     }
 }
 

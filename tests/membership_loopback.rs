@@ -1,0 +1,495 @@
+//! End-to-end tests for dvm-membership: real sockets, live joins and
+//! retirements under client load, warm-cache handoff to a joining
+//! shard, a mid-migration shard kill that resumes from the cursor, and
+//! gossip detection of a dead shard feeding automatic retirement.
+
+use std::collections::HashMap;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+use dvm_repro::chaos::{run_scale, ScaleConfig};
+use dvm_repro::cluster::{ClusterClassProvider, ClusterClientConfig, ClusterOptions, HealthConfig};
+use dvm_repro::core::{CostModel, Organization, ServiceConfig};
+use dvm_repro::membership::{MembershipOptions, MigrationClient, MigrationConfig};
+use dvm_repro::net::{Hello, NetConfig, MIGRATE_BATCH};
+use dvm_repro::proxy::Signer;
+use dvm_repro::security::Policy;
+use dvm_repro::workload::{corpus, Applet};
+
+fn org_over(applets: &[Applet]) -> Organization {
+    let classes: Vec<_> = applets
+        .iter()
+        .flat_map(|a| a.classes.iter().cloned())
+        .collect();
+    let mut services = ServiceConfig::dvm();
+    services.signing = true;
+    Organization::new(
+        &classes,
+        Policy::parse(dvm_repro::security::policy::example_policy()).unwrap(),
+        services,
+        CostModel::default(),
+    )
+    .unwrap()
+}
+
+fn hello(user: &str) -> Hello {
+    Hello {
+        user: user.to_owned(),
+        principal: "applets".to_owned(),
+        hardware: "x86/200MHz/64MB".to_owned(),
+        native_format: "x86".to_owned(),
+        jvm_version: "dvm-repro-0.1".to_owned(),
+    }
+}
+
+/// The smallest `n` corpus applets (cheap to rewrite in a debug build).
+fn small_applets(seed: u64, n: usize) -> Vec<Applet> {
+    let mut applets = corpus(seed);
+    applets.sort_by_key(|a| {
+        a.classes
+            .iter()
+            .map(|c| c.clone().to_bytes().unwrap().len())
+            .sum::<usize>()
+    });
+    applets.truncate(n);
+    applets
+}
+
+fn urls_of(applets: &[Applet]) -> Vec<String> {
+    applets
+        .iter()
+        .flat_map(|a| a.classes.iter())
+        .map(|c| format!("class://{}", c.name().unwrap()))
+        .collect()
+}
+
+fn fast_config() -> ClusterClientConfig {
+    ClusterClientConfig {
+        net: NetConfig {
+            connect_timeout: Duration::from_millis(250),
+            read_timeout: Duration::from_millis(2_000),
+            write_timeout: Duration::from_millis(2_000),
+            ..NetConfig::default()
+        },
+        health: HealthConfig {
+            failure_threshold: 2,
+            quarantine: Duration::from_millis(200),
+        },
+        rounds: 3,
+        round_backoff: Duration::from_millis(10),
+        ring_sync: true,
+    }
+}
+
+/// The acceptance scenario: a 3-shard cluster grows to 6 and shrinks to
+/// 2 while 8 clients fetch through every epoch change. No fetch fails,
+/// every payload matches the fault-free oracle, migration carries the
+/// cache (bounded re-rewrites), and each transition publishes a larger
+/// epoch.
+#[test]
+fn scale_dance_under_load_loses_no_client() {
+    let applets = small_applets(11, 4);
+    let urls = urls_of(&applets);
+    let org = org_over(&applets);
+    let mut plane = org
+        .serve_elastic(
+            3,
+            ClusterOptions {
+                seed: 7,
+                ..ClusterOptions::default()
+            },
+            MembershipOptions::default(),
+        )
+        .unwrap();
+
+    let cfg = ScaleConfig {
+        seed: 0xD1CE,
+        clients: 8,
+        grow_to: 6,
+        keep: vec![1, 4],
+        client_config: fast_config(),
+        signer: Some(Signer::new(b"dvm-org-key")),
+        hello: hello("scale"),
+        transition_pause: Duration::from_millis(30),
+    };
+    let mut make_proxy = |id: u32| org.shard_proxy_named(&format!("shard{id}"));
+    let report = run_scale(&mut plane, &mut make_proxy, &urls, &cfg);
+    plane.into_cluster().shutdown();
+
+    assert!(
+        report.ok(),
+        "scale invariants violated:\n{}",
+        report.render()
+    );
+    assert_eq!(report.fetches_failed, 0, "{}", report.render());
+    assert!(report.fetches_ok > 0);
+    assert_eq!(report.shards_peak, 6);
+    assert_eq!(report.shards_end, 2);
+    assert!(report.epoch_end > report.epoch_start);
+    assert!(
+        report.migrated_keys > 0,
+        "joins should have migrated cache entries:\n{}",
+        report.render()
+    );
+    assert!(
+        report.client_ring_syncs > 0,
+        "clients should have adopted new epochs over RING_UPDATE:\n{}",
+        report.render()
+    );
+}
+
+/// A join pulls its key range out of the previous owners before
+/// returning, so the joining shard's first fetches hit warm cache: the
+/// acceptance bar is a > 90% first-fetch hit rate, and with the join
+/// fully sequenced before the fetches it is exactly 100% — zero
+/// rewrites on the new shard.
+#[test]
+fn joining_shard_first_fetches_hit_warm_cache() {
+    let applets = small_applets(11, 5);
+    let urls = urls_of(&applets);
+    let org = org_over(&applets);
+    let mut plane = org
+        .serve_elastic(
+            3,
+            ClusterOptions {
+                seed: 21,
+                ..ClusterOptions::default()
+            },
+            MembershipOptions::default(),
+        )
+        .unwrap();
+
+    let mut provider = ClusterClassProvider::new(
+        plane.cluster().addrs().to_vec(),
+        plane.cluster().ring().clone(),
+        hello("warm"),
+        Some(Signer::new(b"dvm-org-key")),
+        fast_config(),
+    );
+    // Warm every key on the starting shards.
+    for url in &urls {
+        provider.fetch(url).expect("warmup fetch");
+    }
+
+    // Join until the new shard owns at least one of the warmed keys
+    // (ownership is hash-determined; one join almost always suffices).
+    let mut owned: Vec<String> = Vec::new();
+    let mut joined = None;
+    for _ in 0..3 {
+        let report = org.grow_cluster(&mut plane).expect("join");
+        assert!(
+            report.migration.complete,
+            "join migration did not complete: failed sources {:?}",
+            report.failed_sources
+        );
+        owned = urls
+            .iter()
+            .filter(|u| plane.cluster().ring().home(u) == Some(report.shard))
+            .cloned()
+            .collect();
+        joined = Some(report);
+        if !owned.is_empty() {
+            break;
+        }
+    }
+    let joined = joined.unwrap();
+    assert!(
+        !owned.is_empty(),
+        "no warmed key landed on a joining shard across three joins"
+    );
+    assert!(
+        joined.migration.keys >= owned.len() as u64,
+        "migration moved {} keys but the shard owns {} warmed urls",
+        joined.migration.keys,
+        owned.len()
+    );
+
+    // Re-route over RING_UPDATE (no reconnect) and fetch every key the
+    // new shard now owns: all of them must be served from the migrated
+    // cache, i.e. zero rewrites on the joining shard.
+    assert!(provider.sync_ring(), "client should observe the new epoch");
+    assert_eq!(provider.ring_epoch(), plane.cluster().ring().epoch());
+    let shard = joined.shard as usize;
+    let rewrites_before = plane.cluster().proxy(shard).stats().rewrites;
+    for url in &owned {
+        provider.fetch(url).expect("post-join fetch");
+    }
+    let cold = plane
+        .cluster()
+        .proxy(shard)
+        .stats()
+        .rewrites
+        .saturating_sub(rewrites_before);
+    assert_eq!(
+        cold,
+        0,
+        "{} of {} first fetches on the joining shard missed the migrated cache",
+        cold,
+        owned.len()
+    );
+    provider.close();
+    plane.into_cluster().shutdown();
+}
+
+/// A byte-level TCP forwarder whose upstream can be swapped at runtime:
+/// the migration puller connects to a stable address while the shard
+/// behind it is killed and restarted (on a fresh port, as real restarts
+/// are).
+struct Forwarder {
+    addr: SocketAddr,
+    upstream: Arc<Mutex<SocketAddr>>,
+    running: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Forwarder {
+    fn start(upstream: SocketAddr) -> Forwarder {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let upstream = Arc::new(Mutex::new(upstream));
+        let running = Arc::new(AtomicBool::new(true));
+        let accept = {
+            let upstream = upstream.clone();
+            let running = running.clone();
+            std::thread::spawn(move || {
+                for client in listener.incoming() {
+                    if !running.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let client = match client {
+                        Ok(c) => c,
+                        Err(_) => break,
+                    };
+                    let up = *upstream.lock().unwrap();
+                    let server = match TcpStream::connect_timeout(&up, Duration::from_millis(500)) {
+                        Ok(s) => s,
+                        // Upstream dead: the client observes an
+                        // immediate close — exactly what a killed
+                        // shard looks like.
+                        Err(_) => continue,
+                    };
+                    let (c2, s2) = (client.try_clone().unwrap(), server.try_clone().unwrap());
+                    std::thread::spawn(move || pump(client, server));
+                    std::thread::spawn(move || pump(s2, c2));
+                }
+            })
+        };
+        Forwarder {
+            addr,
+            upstream,
+            running,
+            accept: Some(accept),
+        }
+    }
+
+    fn set_upstream(&self, addr: SocketAddr) {
+        *self.upstream.lock().unwrap() = addr;
+    }
+
+    fn shutdown(mut self) {
+        self.running.store(false, Ordering::SeqCst);
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn pump(mut from: TcpStream, mut to: TcpStream) {
+    let _ = std::io::copy(&mut from, &mut to);
+    let _ = to.shutdown(Shutdown::Both);
+    let _ = from.shutdown(Shutdown::Both);
+}
+
+/// The crash story of live migration: the source shard is killed while
+/// a pull is mid-range and restarted on a new port; the puller resumes
+/// from its cursor over the same (forwarded) address and still receives
+/// every key exactly once — a kill costs a reconnect, never a restart
+/// from scratch.
+#[test]
+fn mid_migration_kill_resumes_from_cursor() {
+    let applets = small_applets(11, 2);
+    let org = org_over(&applets);
+    let mut cluster = org
+        .serve_cluster_with(
+            2,
+            ClusterOptions {
+                seed: 33,
+                ..ClusterOptions::default()
+            },
+        )
+        .unwrap();
+
+    // Seed shard 0's cache with enough entries that the new shard's
+    // range spans several MIGRATE_BEGIN exchanges.
+    let mut seeded: HashMap<String, Vec<u8>> = HashMap::new();
+    for i in 0..300u32 {
+        let url = format!("class://bulk/K{i:03}");
+        let value = vec![(i % 251) as u8; 64 + (i % 7) as usize];
+        cluster.proxy(0).migrate_ingest(&url, value.clone());
+        seeded.insert(url, value);
+    }
+
+    // A third shard joins the ring (no automatic migration at this
+    // layer — the pull below is the migration).
+    let (shard, _plan) = cluster
+        .spawn_shard(org.shard_proxy_named("shard2"))
+        .unwrap();
+    let epoch = cluster.ring().epoch();
+    let expected: HashMap<String, Vec<u8>> = seeded
+        .iter()
+        .filter(|(url, _)| cluster.ring().home(url) == Some(shard))
+        .map(|(u, v)| (u.clone(), v.clone()))
+        .collect();
+    assert!(
+        expected.len() > MIGRATE_BATCH,
+        "want a multi-batch range to cut mid-stream, got {} keys",
+        expected.len()
+    );
+
+    let forwarder = Forwarder::start(cluster.addrs()[0]);
+    let fwd_addr = forwarder.addr;
+    let (cut_tx, cut_rx) = mpsc::channel::<()>();
+    let (resume_tx, resume_rx) = mpsc::channel::<()>();
+
+    let puller = std::thread::spawn(move || {
+        let mut client = MigrationClient::new(
+            fwd_addr,
+            Hello {
+                user: format!("shard{shard}"),
+                principal: "cluster-peer".to_owned(),
+                ..hello("mig")
+            },
+            MigrationConfig {
+                net: NetConfig {
+                    connect_timeout: Duration::from_millis(500),
+                    read_timeout: Duration::from_millis(2_000),
+                    write_timeout: Duration::from_millis(2_000),
+                    ..NetConfig::default()
+                },
+                max_attempts: 10,
+                retry_backoff: Duration::from_millis(20),
+            },
+        );
+        let mut got: HashMap<String, Vec<u8>> = HashMap::new();
+        let mut signalled = false;
+        let result = client.pull(shard, epoch, |url, bytes| {
+            got.insert(url.to_owned(), bytes.to_vec());
+            if got.len() == 10 && !signalled {
+                signalled = true;
+                // Mid-range: hold the stream while the main thread
+                // kills and restarts the source.
+                cut_tx.send(()).unwrap();
+                resume_rx.recv().unwrap();
+            }
+        });
+        (result, got)
+    });
+
+    cut_rx.recv().expect("puller reached mid-range");
+    cluster.kill_shard(0).expect("shard 0 was serving");
+    let new_addr = cluster.restart_shard(0).expect("restart shard 0");
+    forwarder.set_upstream(new_addr);
+    resume_tx.send(()).unwrap();
+
+    let (result, got) = puller.join().expect("puller thread");
+    let report = result.expect("pull completes after the kill");
+    assert!(report.complete, "source confirmed the full range");
+    assert!(
+        report.resumes >= 1,
+        "the kill must have cut the stream at least once"
+    );
+    assert_eq!(
+        got.len(),
+        expected.len(),
+        "resumed pull must deliver every owned key exactly once"
+    );
+    for (url, value) in &expected {
+        assert_eq!(
+            got.get(url).map(|v| v.as_slice()),
+            Some(value.as_slice()),
+            "migrated bytes for {url} diverged"
+        );
+    }
+
+    forwarder.shutdown();
+    cluster.shutdown();
+}
+
+/// Gossip failure detection closes the loop: a killed shard is probed,
+/// suspected, declared dead (deterministically, from the seed), and
+/// auto-retired from the ring — after which clients re-sync and keep
+/// fetching from the survivors.
+#[test]
+fn gossip_detects_dead_shard_and_retires_it() {
+    let applets = small_applets(11, 3);
+    let urls = urls_of(&applets);
+    let org = org_over(&applets);
+    let mut plane = org
+        .serve_elastic(
+            3,
+            ClusterOptions {
+                seed: 5,
+                ..ClusterOptions::default()
+            },
+            MembershipOptions {
+                net: NetConfig {
+                    connect_timeout: Duration::from_millis(200),
+                    read_timeout: Duration::from_millis(1_000),
+                    write_timeout: Duration::from_millis(1_000),
+                    ..NetConfig::default()
+                },
+                ..MembershipOptions::default()
+            },
+        )
+        .unwrap();
+
+    let mut provider = ClusterClassProvider::new(
+        plane.cluster().addrs().to_vec(),
+        plane.cluster().ring().clone(),
+        hello("gossip"),
+        Some(Signer::new(b"dvm-org-key")),
+        fast_config(),
+    );
+    for url in &urls {
+        provider.fetch(url).expect("warmup fetch");
+    }
+
+    let epoch_before = plane.cluster().ring().epoch();
+    plane.cluster_mut().kill_shard(2).expect("shard 2 serving");
+
+    // Probe until the detector walks the full suspect → dead path for
+    // shard 2 (ping fails, indirect probes fail, suspicion expires).
+    for _ in 0..32 {
+        plane.gossip_tick();
+        if plane.dead_members().contains(&2) {
+            break;
+        }
+    }
+    assert!(
+        plane.dead_members().contains(&2),
+        "gossip never declared the killed shard dead"
+    );
+
+    let reports = plane.retire_dead();
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].shard, 2);
+    assert!(
+        !plane.cluster().ring().shards().contains(&2),
+        "dead shard must leave the ring"
+    );
+    assert!(plane.cluster().ring().epoch() > epoch_before);
+    let stats = plane.stats();
+    assert!(stats.deaths >= 1, "death not counted: {stats:?}");
+    assert!(stats.undrained_retires >= 1, "a dead shard cannot drain");
+
+    // Survivors still serve everything after a ring re-sync.
+    assert!(provider.sync_ring(), "client should observe the new epoch");
+    for url in &urls {
+        provider.fetch(url).expect("post-retirement fetch");
+    }
+    provider.close();
+    plane.into_cluster().shutdown();
+}

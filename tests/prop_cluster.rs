@@ -67,6 +67,44 @@ proptest! {
         }
     }
 
+    /// The join mirror of removal: adding one shard moves only the keys
+    /// the newcomer claims — every key whose home survives keeps it —
+    /// and the grown ring still balances within ±25% of fair share.
+    #[test]
+    fn join_remaps_only_the_keys_the_newcomer_claims(
+        shards in 2u32..=7,
+        vnodes in 64u32..=256,
+        seed in any::<u64>(),
+    ) {
+        let mut ring = HashRing::with_shards(shards, vnodes, seed);
+        let keys = keys(2000);
+        let before: Vec<u32> = keys.iter().map(|k| ring.home(k).unwrap()).collect();
+        let newcomer = shards;
+        let plan = ring.join_shard(newcomer);
+        prop_assert!(plan.targets().contains(&newcomer) || plan.is_empty());
+        let mut counts = vec![0u64; shards as usize + 1];
+        for (k, &was) in keys.iter().zip(&before) {
+            let now = ring.home(k).unwrap();
+            counts[now as usize] += 1;
+            if now != was {
+                prop_assert_eq!(
+                    now, newcomer,
+                    "{} moved to shard {} although only shard {} joined",
+                    k, now, newcomer
+                );
+            }
+        }
+        let fair = keys.len() as f64 / (shards + 1) as f64;
+        for (s, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - fair).abs() / fair;
+            prop_assert!(
+                dev <= 0.25,
+                "shard {}/{}: {} keys vs fair {:.0} after join (deviation {:.3}, vnodes {}, seed {})",
+                s, shards + 1, c, fair, dev, vnodes, seed
+            );
+        }
+    }
+
     /// Two rings built independently from the same (shards, vnodes,
     /// seed) agree on every key — the zero-coordination contract between
     /// clients and shards.

@@ -128,6 +128,35 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
             proptest::collection::vec(any::<u8>(), 0..2048)
         )
             .prop_map(|(request_id, report)| Frame::StatsResponse { request_id, report }),
+        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..512))
+            .prop_map(|(epoch, ring)| Frame::RingUpdate { epoch, ring }),
+        (any::<u32>(), any::<u64>(), any::<u32>(), arb_string()).prop_map(
+            |(request_id, epoch, shard, resume_from)| Frame::MigrateBegin {
+                request_id,
+                epoch,
+                shard,
+                resume_from,
+            }
+        ),
+        (
+            any::<u32>(),
+            any::<u32>(),
+            arb_string(),
+            proptest::collection::vec(any::<u8>(), 0..2048)
+        )
+            .prop_map(|(request_id, seq, url, bytes)| Frame::MigrateChunk {
+                request_id,
+                seq,
+                url,
+                bytes,
+            }),
+        (any::<u32>(), any::<u32>(), any::<bool>()).prop_map(|(request_id, total, complete)| {
+            Frame::MigrateEnd {
+                request_id,
+                total,
+                complete,
+            }
+        }),
         Just(Frame::Bye),
     ]
 }
