@@ -1,0 +1,269 @@
+//! The induced-brownout scenario: drive a healthy cluster into a
+//! full outage and back out, and assert the *observability plane* saw
+//! it — the error-ratio SLO alert must fire during the fault window
+//! and resolve after it.
+//!
+//! Where [`crate::runner`] checks that the data plane survives faults,
+//! this scenario checks that `dvm-watch` notices them. The clock is
+//! synthetic (one tick per batch), so the alert state machine's walk
+//! through ok → firing → resolved is a pure function of the phase
+//! lengths and the error budget — replayable like every other chaos
+//! run.
+
+use std::sync::Arc;
+
+use dvm_cluster::{ClusterClassProvider, ClusterClientConfig, ProxyCluster};
+use dvm_net::Hello;
+use dvm_proxy::Signer;
+use dvm_telemetry::events::{ALERT_FIRING, ALERT_OK, ALERT_RESOLVED};
+use dvm_telemetry::{JournalKind, Telemetry};
+use dvm_watch::{Objective, Watch, WatchConfig};
+
+use crate::runner::Violation;
+
+const SEC: u64 = 1_000_000_000;
+
+/// Tuning for [`ChaosRunner::run_brownout`](crate::ChaosRunner).
+#[derive(Clone)]
+pub struct BrownoutConfig {
+    /// Fetches per batch (one batch == one synthetic second).
+    pub fetches_per_batch: usize,
+    /// Healthy batches before the fault window.
+    pub healthy_batches: usize,
+    /// Batches with every shard down (the brownout).
+    pub brownout_batches: usize,
+    /// Clean batches after the shards come back.
+    pub recovery_batches: usize,
+    /// Error-ratio budget for the objective (e.g. `0.1` = 10%).
+    pub error_budget: f64,
+    /// Client tuning; should fail fast so the fault window stays short.
+    pub client_config: ClusterClientConfig,
+    /// Signature verification key.
+    pub signer: Option<Signer>,
+    /// Client identity.
+    pub hello: Hello,
+}
+
+impl Default for BrownoutConfig {
+    fn default() -> Self {
+        BrownoutConfig {
+            fetches_per_batch: 4,
+            // Fast window 2 ticks, slow window 6: six bad batches are
+            // enough to burn both, twelve clean ones to clear them.
+            healthy_batches: 3,
+            brownout_batches: 6,
+            recovery_batches: 12,
+            error_budget: 0.1,
+            client_config: ClusterClientConfig::default(),
+            signer: None,
+            hello: Hello {
+                user: "brownout".into(),
+                principal: "applets".into(),
+                ..Hello::default()
+            },
+        }
+    }
+}
+
+/// What the brownout run observed.
+#[derive(Debug, Clone)]
+pub struct BrownoutReport {
+    /// Every alert transition the journal recorded, in order
+    /// (`from`, `to` as [`dvm_telemetry::events`] `ALERT_*` values).
+    pub transitions: Vec<(u8, u8)>,
+    /// Alert state at the end of the fault window.
+    pub state_during_fault: u8,
+    /// Alert state after the recovery batches.
+    pub state_after_recovery: u8,
+    /// Successful fetches across all phases.
+    pub fetches_ok: u64,
+    /// Failed fetches across all phases.
+    pub fetches_failed: u64,
+    /// Scenario invariant failures (empty on a clean run).
+    pub violations: Vec<Violation>,
+}
+
+impl BrownoutReport {
+    /// True when the alert fired inside the fault window and resolved
+    /// after it.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl crate::ChaosRunner {
+    /// Drives `cluster` through three phases — healthy traffic, a full
+    /// brownout (every shard killed), and recovery (shards restarted,
+    /// clean traffic) — while a client-side [`Watch`] evaluates an
+    /// error-ratio objective over the run's own fetch counters on a
+    /// synthetic one-second-per-batch clock. Checks three invariants:
+    ///
+    /// * `brownout-alert-quiet-while-healthy` — the alert is still ok
+    ///   when the fault window opens;
+    /// * `brownout-alert-fires` — it is firing by the end of the fault
+    ///   window, and the journal holds the transition;
+    /// * `brownout-alert-resolves` — after recovery it walked through
+    ///   resolved back to ok, all of it in the journal.
+    pub fn run_brownout(
+        cluster: &mut ProxyCluster,
+        urls: &[String],
+        cfg: &BrownoutConfig,
+    ) -> BrownoutReport {
+        assert!(!urls.is_empty(), "a brownout run needs at least one URL");
+        let telemetry = Arc::new(Telemetry::new("brownout-client"));
+        let errors = telemetry.registry().counter("chaos.fetch.errors");
+        let total = telemetry.registry().counter("chaos.fetch.total");
+        let watch = Watch::new(
+            telemetry.clone(),
+            WatchConfig {
+                objectives: vec![Objective::error_ratio(
+                    "brownout-error-ratio",
+                    "chaos.fetch.errors",
+                    "chaos.fetch.total",
+                    cfg.error_budget,
+                    2 * SEC,
+                    6 * SEC,
+                )],
+                ..WatchConfig::default()
+            },
+        );
+
+        let mut now = 0u64;
+        watch.tick_at(now);
+        let mut fetches_ok = 0u64;
+        let mut fetches_failed = 0u64;
+        let mut violations = Vec::new();
+
+        // One batch: every URL round-robined into `fetches_per_batch`
+        // attempts, outcomes counted, then one synthetic second passes.
+        let run_batches = |provider: &mut ClusterClassProvider,
+                           batches: usize,
+                           ok: &mut u64,
+                           failed: &mut u64,
+                           now: &mut u64| {
+            for _ in 0..batches {
+                for j in 0..cfg.fetches_per_batch {
+                    let url = &urls[j % urls.len()];
+                    total.inc();
+                    match provider.fetch(url) {
+                        Ok(_) => *ok += 1,
+                        Err(_) => {
+                            errors.inc();
+                            *failed += 1;
+                        }
+                    }
+                }
+                *now += SEC;
+                watch.tick_at(*now);
+            }
+        };
+
+        // Phase 1: healthy traffic.
+        let mut provider = ClusterClassProvider::new(
+            cluster.addrs().to_vec(),
+            cluster.ring().clone(),
+            cfg.hello.clone(),
+            cfg.signer.clone(),
+            cfg.client_config,
+        );
+        run_batches(
+            &mut provider,
+            cfg.healthy_batches,
+            &mut fetches_ok,
+            &mut fetches_failed,
+            &mut now,
+        );
+        let healthy_state = watch.alerts()[0].state.as_u8();
+        if healthy_state != ALERT_OK {
+            violations.push(Violation {
+                invariant: "brownout-alert-quiet-while-healthy",
+                detail: format!("alert state {healthy_state} before any fault"),
+            });
+        }
+
+        // Phase 2: the brownout — every live shard goes down at once.
+        let downed: Vec<usize> = (0..cluster.len())
+            .filter(|&i| cluster.is_alive(i))
+            .collect();
+        for &i in &downed {
+            let _ = cluster.kill_shard(i);
+        }
+        run_batches(
+            &mut provider,
+            cfg.brownout_batches,
+            &mut fetches_ok,
+            &mut fetches_failed,
+            &mut now,
+        );
+        provider.close();
+        let state_during_fault = watch.alerts()[0].state.as_u8();
+        if state_during_fault != ALERT_FIRING {
+            violations.push(Violation {
+                invariant: "brownout-alert-fires",
+                detail: format!(
+                    "alert state {state_during_fault} at the end of the fault window, expected firing"
+                ),
+            });
+        }
+
+        // Phase 3: recovery. Restarted shards rebind to new sockets, so
+        // the recovery traffic uses a fresh provider over the new
+        // address book — exactly what a ring-refreshing client would do.
+        for &i in &downed {
+            let _ = cluster.restart_shard(i);
+        }
+        let mut provider = ClusterClassProvider::new(
+            cluster.addrs().to_vec(),
+            cluster.ring().clone(),
+            cfg.hello.clone(),
+            cfg.signer.clone(),
+            cfg.client_config,
+        );
+        run_batches(
+            &mut provider,
+            cfg.recovery_batches,
+            &mut fetches_ok,
+            &mut fetches_failed,
+            &mut now,
+        );
+        provider.close();
+        let state_after_recovery = watch.alerts()[0].state.as_u8();
+
+        let transitions: Vec<(u8, u8)> = telemetry
+            .journal()
+            .events_after(0, 10_000)
+            .into_iter()
+            .filter_map(|e| match e.kind {
+                JournalKind::AlertTransition { from, to, .. } => Some((from, to)),
+                _ => None,
+            })
+            .collect();
+        if !transitions.iter().any(|&(_, to)| to == ALERT_FIRING) {
+            violations.push(Violation {
+                invariant: "brownout-alert-fires",
+                detail: "journal holds no transition into firing".into(),
+            });
+        }
+        if !transitions.contains(&(ALERT_FIRING, ALERT_RESOLVED)) {
+            violations.push(Violation {
+                invariant: "brownout-alert-resolves",
+                detail: format!("journal transitions {transitions:?} never left firing"),
+            });
+        }
+        if state_after_recovery != ALERT_OK {
+            violations.push(Violation {
+                invariant: "brownout-alert-resolves",
+                detail: format!("alert state {state_after_recovery} after recovery, expected ok"),
+            });
+        }
+
+        BrownoutReport {
+            transitions,
+            state_during_fault,
+            state_after_recovery,
+            fetches_ok,
+            fetches_failed,
+            violations,
+        }
+    }
+}

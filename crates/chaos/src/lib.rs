@@ -34,11 +34,13 @@
 //! truncated replies at the source), the link injects them *on the
 //! wire*, and the same invariants must hold under both.
 
+pub mod brownout;
 pub mod link;
 pub mod runner;
 pub mod scale;
 pub mod schedule;
 
+pub use brownout::{BrownoutConfig, BrownoutReport};
 pub use link::{ChaosLink, FaultEvent, LinkStats};
 pub use runner::{
     oracle_payloads, ChaosReport, ChaosRunner, RestartReport, RunnerConfig, ShardKill, Violation,

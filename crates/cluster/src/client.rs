@@ -185,6 +185,7 @@ impl ClusterClassProvider {
         let metrics = ClusterMetrics::register(telemetry.registry());
         let mut health = HealthTracker::new(config.health);
         health.attach_metrics(telemetry.registry());
+        health.attach_journal(telemetry.clone());
         ClusterClassProvider {
             addrs,
             ring,
@@ -212,6 +213,7 @@ impl ClusterClassProvider {
     pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
         self.metrics = ClusterMetrics::register(telemetry.registry());
         self.health.attach_metrics(telemetry.registry());
+        self.health.attach_journal(telemetry.clone());
         for p in self.providers.values_mut() {
             p.set_telemetry(telemetry.clone());
         }

@@ -17,12 +17,13 @@ use parking_lot::Mutex;
 
 use dvm_monitor::AdminConsole;
 use dvm_net::{
-    Hello, MembershipView, MigrateBatch, MigrateExporter, NetConfig, ProxyServer, ServerConfig,
-    ServerStats,
+    Hello, MembershipView, MetricsSource, MigrateBatch, MigrateExporter, NetConfig, ProxyServer,
+    ServerConfig, ServerStats,
 };
 use dvm_proxy::Proxy;
 use dvm_store::{Store, StoreConfig};
 use dvm_telemetry::{MetricsSnapshot, StatsReport, Telemetry};
+use dvm_watch::{MetricsHttp, StoreSpool, Watch, WatchConfig, WatchDriver};
 
 use crate::peer::{ClusterPeer, PeerLink, PeerStats};
 use crate::ring::{HashRing, RemapPlan};
@@ -48,6 +49,17 @@ pub struct ClusterOptions {
     pub data_dir: Option<PathBuf>,
     /// Store tuning for persistent shards (segment size, durability).
     pub store: StoreConfig,
+    /// When set, every shard runs a background [`Watch`] over its
+    /// telemetry: time-series rings, SLO burn-rate alerts, and the
+    /// `METRICS_SCRAPE` exposition. Persistent clusters (`data_dir`
+    /// set) additionally spool each shard's event journal through a
+    /// `dvm-store` log at `<data_dir>/journal<i>`, so cursor tails
+    /// survive restarts.
+    pub watch: Option<WatchConfig>,
+    /// With `watch` enabled, also bind a plain HTTP/1.0 `GET /metrics`
+    /// listener per shard on `127.0.0.1:0` (for scrapers that speak
+    /// HTTP rather than the DVM wire protocol).
+    pub metrics_http: bool,
 }
 
 impl Default for ClusterOptions {
@@ -60,8 +72,30 @@ impl Default for ClusterOptions {
             peer_fill: true,
             data_dir: None,
             store: StoreConfig::default(),
+            watch: None,
+            metrics_http: false,
         }
     }
+}
+
+/// Adapts a shard's [`Watch`] to the net layer's [`MetricsSource`]
+/// hook, so the shard's server can answer `METRICS_SCRAPE` frames with
+/// the watch's Prometheus-text exposition.
+pub struct WatchScrape(pub Arc<Watch>);
+
+impl MetricsSource for WatchScrape {
+    fn render_metrics(&self) -> String {
+        self.0.render()
+    }
+}
+
+/// One shard's running observability plane: the watch itself, its
+/// background ticker, and (optionally) its HTTP scrape listener. Drops
+/// stop the ticker and close the listener.
+struct ShardWatch {
+    watch: Arc<Watch>,
+    _driver: WatchDriver,
+    http: Option<MetricsHttp>,
 }
 
 /// The source side of live cache migration, installed on every shard's
@@ -128,6 +162,7 @@ pub struct ProxyCluster {
     servers: Vec<Option<ProxyServer>>,
     proxies: Vec<Arc<Proxy>>,
     peers: Vec<Option<Arc<ClusterPeer>>>,
+    watches: Vec<Option<ShardWatch>>,
     addrs: Vec<SocketAddr>,
     ring: HashRing,
     console: Option<Arc<Mutex<AdminConsole>>>,
@@ -221,18 +256,72 @@ impl ProxyCluster {
             peers.push(Some(peer));
         }
 
-        let cluster = ProxyCluster {
+        let mut cluster = ProxyCluster {
             servers,
             proxies,
             peers,
+            watches: Vec::new(),
             addrs,
             ring,
             console,
             opts,
             view,
         };
+        cluster.watches = (0..cluster.servers.len())
+            .map(|i| cluster.attach_watch(i))
+            .collect();
         cluster.publish_view();
         Ok(cluster)
+    }
+
+    /// Starts shard `i`'s observability plane per the cluster options:
+    /// a [`Watch`] ticking on the shard's telemetry, installed as the
+    /// server's `METRICS_SCRAPE` source, plus (for persistent clusters)
+    /// a durable journal spool and (when asked) an HTTP listener.
+    /// Returns `None` when watching is not configured.
+    fn attach_watch(&self, i: usize) -> Option<ShardWatch> {
+        let config = self.opts.watch.clone()?;
+        let server = self.servers.get(i)?.as_ref()?;
+        let telemetry = server.telemetry();
+        if let Some(data_dir) = &self.opts.data_dir {
+            // Re-attaching after a restart is safe: the spool only ever
+            // advances the journal's next sequence number.
+            if let Ok(spool) = StoreSpool::open(data_dir.join(format!("journal{i}"))) {
+                telemetry.journal().set_spool(Arc::new(spool));
+            }
+        }
+        let interval_ns = config.interval_ns;
+        let watch = Watch::new(telemetry, config);
+        server.set_metrics_source(Arc::new(WatchScrape(watch.clone())));
+        let http = if self.opts.metrics_http {
+            MetricsHttp::bind("127.0.0.1:0", watch.clone()).ok()
+        } else {
+            None
+        };
+        Some(ShardWatch {
+            watch: watch.clone(),
+            _driver: WatchDriver::start(watch, interval_ns),
+            http,
+        })
+    }
+
+    /// Shard `i`'s observability plane, `None` when watching is off or
+    /// the shard is killed.
+    pub fn watch(&self, i: usize) -> Option<Arc<Watch>> {
+        self.watches
+            .get(i)
+            .and_then(|w| w.as_ref())
+            .map(|w| w.watch.clone())
+    }
+
+    /// Shard `i`'s HTTP `GET /metrics` address, when
+    /// [`ClusterOptions::metrics_http`] is set.
+    pub fn metrics_addr(&self, i: usize) -> Option<SocketAddr> {
+        self.watches
+            .get(i)
+            .and_then(|w| w.as_ref())
+            .and_then(|w| w.http.as_ref())
+            .map(|h| h.addr())
     }
 
     /// Captures the current ring + address book as a snapshot and
@@ -334,6 +423,8 @@ impl ProxyCluster {
         self.servers.push(Some(server));
         self.proxies.push(proxy);
         self.peers.push(None);
+        let watch = self.attach_watch(id as usize);
+        self.watches.push(watch);
         let plan = self.ring.join_shard(id);
         self.rewire_peers();
         self.publish_view();
@@ -364,6 +455,9 @@ impl ProxyCluster {
         if self.peers.get(i).is_some_and(|p| p.is_some()) {
             self.proxies[i].clear_peer_cache();
             self.peers[i] = None;
+        }
+        if let Some(w) = self.watches.get_mut(i) {
+            *w = None;
         }
         let stats = self
             .servers
@@ -410,6 +504,7 @@ impl ProxyCluster {
         let addr = server.addr();
         self.addrs[i] = addr;
         self.servers[i] = Some(server);
+        self.watches[i] = self.attach_watch(i);
         self.ring.bump_epoch();
         self.rewire_peers();
         self.publish_view();
@@ -529,6 +624,9 @@ impl ProxyCluster {
         if let Some(Some(_peer)) = self.peers.get(i) {
             self.proxies[i].clear_peer_cache();
         }
+        if let Some(w) = self.watches.get_mut(i) {
+            *w = None;
+        }
         self.servers.get_mut(i)?.take().map(|s| s.shutdown())
     }
 
@@ -547,6 +645,7 @@ impl ProxyCluster {
                 self.proxies[i].clear_peer_cache();
             }
         }
+        self.watches.clear();
         self.servers
             .iter_mut()
             .map(|slot| slot.take().map(|s| s.shutdown()))

@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dvm_telemetry::{Counter, Gauge, Registry};
+use dvm_telemetry::{Counter, Gauge, GaugeMode, JournalKind, Registry, Telemetry};
 
 /// Breaker tuning.
 #[derive(Debug, Clone, Copy)]
@@ -65,7 +65,9 @@ impl BreakerMetrics {
             opened: registry.counter("cluster.breaker.opened"),
             half_open: registry.counter("cluster.breaker.half_open"),
             closed: registry.counter("cluster.breaker.closed"),
-            open_now: registry.gauge("cluster.breaker.open_now"),
+            // Point-in-time view of the *same* shards from every
+            // observer: fleet merges take the worst case, not the sum.
+            open_now: registry.gauge_with_mode("cluster.breaker.open_now", GaugeMode::Max),
         }
     }
 }
@@ -76,6 +78,7 @@ pub struct HealthTracker {
     config: HealthConfig,
     states: HashMap<u32, State>,
     metrics: Option<BreakerMetrics>,
+    journal: Option<Arc<Telemetry>>,
 }
 
 impl HealthTracker {
@@ -85,6 +88,7 @@ impl HealthTracker {
             config,
             states: HashMap::new(),
             metrics: None,
+            journal: None,
         }
     }
 
@@ -94,9 +98,32 @@ impl HealthTracker {
         self.metrics = Some(BreakerMetrics::register(registry));
     }
 
-    /// Moves `shard` to `next`, counting the state transition.
+    /// Records every breaker state transition into `telemetry`'s event
+    /// journal (kind [`JournalKind::BreakerTransition`]).
+    pub fn attach_journal(&mut self, telemetry: Arc<Telemetry>) {
+        self.journal = Some(telemetry);
+    }
+
+    /// Moves `shard` to `next`, counting and journaling the transition.
     fn transition(&mut self, shard: u32, next: State) {
+        fn kind(s: State) -> u8 {
+            match s {
+                State::Closed { .. } => 0,
+                State::Open { .. } => 1,
+                State::Probing => 2,
+            }
+        }
         let prev = self.states.insert(shard, next);
+        // Unknown shards start closed, so None→Closed is not a change.
+        let prev_kind = kind(prev.unwrap_or(State::Closed { failures: 0 }));
+        if prev_kind != kind(next) {
+            if let Some(t) = &self.journal {
+                t.record_event(JournalKind::BreakerTransition {
+                    shard,
+                    state: kind(next),
+                });
+            }
+        }
         let Some(m) = &self.metrics else { return };
         let was_open = matches!(prev, Some(State::Open { .. }));
         match next {
@@ -267,6 +294,27 @@ mod tests {
         assert_eq!(snap.counters["cluster.breaker.half_open"], 2);
         assert_eq!(snap.counters["cluster.breaker.closed"], 1);
         assert_eq!(snap.gauges["cluster.breaker.open_now"], 0);
+    }
+
+    #[test]
+    fn breaker_transitions_are_journaled() {
+        let telemetry = Arc::new(Telemetry::new("client"));
+        let mut t = tracker(1, 0);
+        t.attach_journal(telemetry.clone());
+        t.record_failure(2); // closed -> open
+        assert!(t.allow(2)); // open -> probing
+        t.record_success(2); // probing -> closed
+        t.record_success(2); // closed -> closed: no event
+        let states: Vec<(u32, u8)> = telemetry
+            .journal()
+            .events_after(0, 100)
+            .into_iter()
+            .filter_map(|e| match e.kind {
+                JournalKind::BreakerTransition { shard, state } => Some((shard, state)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(states, vec![(2, 1), (2, 2), (2, 0)]);
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod stats;
 pub use client::{
     ClusterClassProvider, ClusterClientConfig, ClusterClientStats, ClusterError, TransferHook,
 };
-pub use cluster::{ClusterOptions, ProxyCluster};
+pub use cluster::{ClusterOptions, ProxyCluster, WatchScrape};
 pub use health::{HealthConfig, HealthTracker};
 pub use peer::{ClusterPeer, PeerLink, PeerStats};
 pub use ring::{HashRing, RemapPlan, SegmentMove};

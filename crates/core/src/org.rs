@@ -19,6 +19,7 @@ use dvm_proxy::{
 use dvm_security::{EnforcementManager, Policy, SecurityId, SecurityServer};
 use dvm_telemetry::{StatsReport, Telemetry};
 use dvm_verifier::{MapEnvironment, StaticVerifier};
+use dvm_watch::{Watch, WatchConfig};
 
 use crate::client::DvmClient;
 use crate::config::{CostModel, ServiceConfig};
@@ -50,6 +51,9 @@ pub struct Organization {
     // The IR compiler every proxy shard shares (one per-signature cache
     // for the whole organization); `None` with the exec tier disabled.
     ir_producer: Option<Arc<ExecIrProducer>>,
+    // Memoized continuous-observability plane over the primary proxy
+    // (created on first `watch()` call).
+    watch: Mutex<Option<Arc<Watch>>>,
     /// The cost model all timing derives from.
     pub cost: CostModel,
 }
@@ -205,8 +209,32 @@ impl Organization {
             services: config,
             origin,
             ir_producer,
+            watch: Mutex::new(None),
             cost,
         }
+    }
+
+    /// This organization's continuous-observability plane: a
+    /// [`Watch`] over the primary proxy's telemetry, created on first
+    /// call (with default tuning and no objectives) and shared
+    /// thereafter. Callers drive it with [`Watch::tick_at`] or a
+    /// [`dvm_watch::WatchDriver`]; for per-shard watches on a cluster
+    /// use [`ClusterOptions`]'s `watch` field instead.
+    pub fn watch(&self) -> Arc<Watch> {
+        self.watch_with(WatchConfig::default())
+    }
+
+    /// [`Organization::watch`] with explicit tuning and objectives.
+    /// The first caller's configuration wins; later calls return the
+    /// already-created watch unchanged.
+    pub fn watch_with(&self, config: WatchConfig) -> Arc<Watch> {
+        let mut slot = self.watch.lock();
+        if let Some(w) = slot.as_ref() {
+            return w.clone();
+        }
+        let w = Watch::new(self.proxy.telemetry(), config);
+        *slot = Some(w.clone());
+        w
     }
 
     /// Statistics of the shared IR compilation service, when the exec

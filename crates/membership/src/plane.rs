@@ -15,7 +15,7 @@ use std::sync::Arc;
 use dvm_cluster::{HealthConfig, HealthTracker, ProxyCluster, RemapPlan};
 use dvm_net::{Hello, NetConfig};
 use dvm_proxy::Proxy;
-use dvm_telemetry::{Counter, Gauge, Registry, Telemetry};
+use dvm_telemetry::{Counter, Gauge, JournalKind, Registry, Telemetry};
 
 use crate::gossip::{GossipConfig, GossipEvent, Pinger, SwimDetector, TcpPinger};
 use crate::migrate::{MigrationClient, MigrationConfig, MigrationError, MigrationReport};
@@ -202,6 +202,7 @@ impl MembershipPlane {
         }
         let mut health = HealthTracker::new(opts.health);
         health.attach_metrics(telemetry.registry());
+        health.attach_journal(telemetry.clone());
         let plane = MembershipPlane {
             cluster,
             opts,
@@ -278,6 +279,10 @@ impl MembershipPlane {
     /// recorded in the report and skipped — its keys warm up lazily.
     pub fn join(&mut self, proxy: Arc<Proxy>) -> std::io::Result<JoinReport> {
         let (shard, plan) = self.cluster.spawn_shard(proxy)?;
+        self.telemetry
+            .record_event(JournalKind::RingEpoch { epoch: plan.epoch });
+        self.telemetry
+            .record_event(JournalKind::MigrationBegun { shard });
         let target = self.cluster.proxy(shard as usize).clone();
         let live: Vec<(u32, SocketAddr)> = self.cluster.live_addrs();
         let mut migration = MigrationReport {
@@ -308,6 +313,11 @@ impl MembershipPlane {
             }
         }
         self.track(&migration);
+        self.telemetry
+            .record_event(JournalKind::MigrationCompleted {
+                shard,
+                entries: migration.keys,
+            });
         self.detector.add_member(shard);
         self.stats.joins += 1;
         self.metrics.joins.inc();
@@ -345,6 +355,8 @@ impl MembershipPlane {
                 .collect();
             let mut puller =
                 MigrationClient::new(addr, Self::migration_hello(shard), self.opts.migration);
+            self.telemetry
+                .record_event(JournalKind::MigrationBegun { shard });
             match puller.pull(shard, epoch, |url, bytes| {
                 if let Some(home) = preview.home(url) {
                     if let Some((_, p)) = survivors.iter().find(|&&(s, _)| s == home) {
@@ -358,10 +370,18 @@ impl MembershipPlane {
                 }
                 Err(_) => drain_ok = false,
             }
+            self.telemetry
+                .record_event(JournalKind::MigrationCompleted {
+                    shard,
+                    entries: drained.keys,
+                });
         }
         self.track(&drained);
         let (plan, _) = self.cluster.retire_shard(shard as usize);
         if is_member {
+            self.telemetry.record_event(JournalKind::RingEpoch {
+                epoch: self.cluster.ring().epoch(),
+            });
             self.detector.remove_member(shard);
             self.stats.retires += 1;
             self.metrics.retires.inc();
@@ -383,6 +403,9 @@ impl MembershipPlane {
     /// socket, bumped epoch) and re-admits it to gossip.
     pub fn restart(&mut self, shard: u32) -> std::io::Result<SocketAddr> {
         let addr = self.cluster.restart_shard(shard as usize)?;
+        self.telemetry.record_event(JournalKind::RingEpoch {
+            epoch: self.cluster.ring().epoch(),
+        });
         self.detector.add_member(shard);
         self.stats.restarts += 1;
         self.metrics.restarts.inc();

@@ -20,7 +20,8 @@ use rand::{Rng, SeedableRng};
 use dvm_jvm::ClassProvider;
 use dvm_monitor::{AuditSink, AuditSpool, EventKind, SiteId};
 use dvm_proxy::{ServedFrom, SignatureCheck, Signer};
-use dvm_telemetry::{SpanId, StatsReport, Telemetry, TraceContext, TraceId};
+use dvm_telemetry::events::decode_events;
+use dvm_telemetry::{JournalEvent, SpanId, StatsReport, Telemetry, TraceContext, TraceId};
 
 use crate::frame::{kind_to_u8, ErrorCode, Frame, FrameError, Hello};
 
@@ -656,6 +657,112 @@ pub fn fetch_stats(
     let _ = Frame::Bye.write_to(&mut stream);
     let _ = stream.shutdown(std::net::Shutdown::Both);
     Ok(report)
+}
+
+/// One-frame helper connections for the continuous-observability
+/// planes: handshake, send one request, decode one response, `BYE`.
+fn observe_connect(
+    addr: impl ToSocketAddrs,
+    hello: Hello,
+    config: &NetConfig,
+) -> Result<TcpStream, NetError> {
+    let addr = addr
+        .to_socket_addrs()
+        .map_err(NetError::from)?
+        .next()
+        .ok_or_else(|| {
+            NetError::Io(
+                std::io::ErrorKind::AddrNotAvailable,
+                "no address resolved".into(),
+            )
+        })?;
+    let mut stream = TcpStream::connect_timeout(&addr, config.connect_timeout)?;
+    stream.set_read_timeout(Some(config.read_timeout))?;
+    stream.set_write_timeout(Some(config.write_timeout))?;
+    let _ = stream.set_nodelay(true);
+    Frame::Hello(hello).write_to(&mut stream)?;
+    match Frame::read_from(&mut stream)? {
+        Frame::Welcome { .. } => Ok(stream),
+        Frame::Error { code, message, .. } => Err(NetError::Remote { code, message }),
+        other => Err(NetError::Protocol(format!(
+            "expected WELCOME, got {other:?}"
+        ))),
+    }
+}
+
+/// Scrapes a server's Prometheus-text metrics exposition over the wire
+/// protocol (`METRICS_SCRAPE`/`METRICS_TEXT`).
+pub fn fetch_metrics_text(
+    addr: impl ToSocketAddrs,
+    hello: Hello,
+    config: NetConfig,
+) -> Result<String, NetError> {
+    let mut stream = observe_connect(addr, hello, &config)?;
+    Frame::MetricsScrape { request_id: 1 }.write_to(&mut stream)?;
+    let text = match Frame::read_from(&mut stream)? {
+        Frame::MetricsText { request_id, text } => {
+            if request_id != 1 {
+                return Err(NetError::Protocol(format!(
+                    "metrics response id {request_id}, expected 1"
+                )));
+            }
+            String::from_utf8(text)
+                .map_err(|_| NetError::Protocol("exposition is not UTF-8".into()))?
+        }
+        Frame::Error { code, message, .. } => return Err(NetError::Remote { code, message }),
+        other => {
+            return Err(NetError::Protocol(format!(
+                "expected METRICS_TEXT, got {other:?}"
+            )))
+        }
+    };
+    let _ = Frame::Bye.write_to(&mut stream);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    Ok(text)
+}
+
+/// Tails a server's event journal: events with `seq > after_seq` (at
+/// most `max`), plus the cursor to pass next time. An unchanged cursor
+/// with no events means the tail is caught up.
+pub fn fetch_events(
+    addr: impl ToSocketAddrs,
+    hello: Hello,
+    config: NetConfig,
+    after_seq: u64,
+    max: u32,
+) -> Result<(Vec<JournalEvent>, u64), NetError> {
+    let mut stream = observe_connect(addr, hello, &config)?;
+    Frame::EventsRequest {
+        request_id: 1,
+        after_seq,
+        max,
+    }
+    .write_to(&mut stream)?;
+    let page = match Frame::read_from(&mut stream)? {
+        Frame::EventsResponse {
+            request_id,
+            next_seq,
+            events,
+        } => {
+            if request_id != 1 {
+                return Err(NetError::Protocol(format!(
+                    "events response id {request_id}, expected 1"
+                )));
+            }
+            let events = decode_events(&events)
+                .map_err(|e| NetError::Protocol(format!("undecodable event batch: {e}")))?;
+            (events, next_seq)
+        }
+        Frame::Error { code, message, .. } => return Err(NetError::Remote { code, message }),
+        other => {
+            return Err(NetError::Protocol(format!(
+                "expected EVENTS_RESPONSE, got {other:?}"
+            )))
+        }
+    };
+    let _ = Frame::Bye.write_to(&mut stream);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    Ok(page)
 }
 
 impl Drop for NetClassProvider {

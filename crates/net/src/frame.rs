@@ -46,6 +46,10 @@ mod tag {
     pub const MIGRATE_BEGIN: u8 = 0x0D;
     pub const MIGRATE_CHUNK: u8 = 0x0E;
     pub const MIGRATE_END: u8 = 0x0F;
+    pub const METRICS_SCRAPE: u8 = 0x10;
+    pub const METRICS_TEXT: u8 = 0x11;
+    pub const EVENTS_REQUEST: u8 = 0x12;
+    pub const EVENTS_RESPONSE: u8 = 0x13;
 }
 
 /// Typed error codes carried by [`Frame::Error`].
@@ -277,6 +281,43 @@ pub enum Frame {
         /// sent; false when the source truncated the batch (the target
         /// re-issues `MIGRATE_BEGIN` with the last key it saw).
         complete: bool,
+    },
+    /// Client → server: ask for the Prometheus-text metrics exposition
+    /// (the same body the HTTP `GET /metrics` listener serves), so wire
+    /// tooling can scrape a shard without a second port.
+    MetricsScrape {
+        /// Sender-chosen id echoed in the response.
+        request_id: u32,
+    },
+    /// Server → client: the exposition text. Opaque bytes at the frame
+    /// layer — the frame grammar does not re-state the text format.
+    MetricsText {
+        /// Echo of the request id.
+        request_id: u32,
+        /// UTF-8 Prometheus-text exposition.
+        text: Vec<u8>,
+    },
+    /// Client → server: tail the server's event journal with a cursor.
+    EventsRequest {
+        /// Sender-chosen id echoed in the response.
+        request_id: u32,
+        /// Return only events with sequence numbers beyond this (0 for
+        /// everything retained).
+        after_seq: u64,
+        /// Upper bound on events returned.
+        max: u32,
+    },
+    /// Server → client: one page of journal events. The payload is the
+    /// `dvm_telemetry::events` batch encoding, opaque at this layer
+    /// (the same pattern as [`Frame::StatsResponse`]).
+    EventsResponse {
+        /// Echo of the request id.
+        request_id: u32,
+        /// Cursor to pass as `after_seq` next time (the last sequence
+        /// in this page, or the echoed cursor when the page is empty).
+        next_seq: u64,
+        /// `dvm_telemetry::events::encode_events()` output.
+        events: Vec<u8>,
     },
     /// Either direction: orderly shutdown of the connection.
     Bye,
@@ -587,6 +628,35 @@ impl Frame {
                 put_u32(&mut body, *total);
                 body.push(u8::from(*complete));
             }
+            Frame::MetricsScrape { request_id } => {
+                body.push(tag::METRICS_SCRAPE);
+                put_u32(&mut body, *request_id);
+            }
+            Frame::MetricsText { request_id, text } => {
+                body.push(tag::METRICS_TEXT);
+                put_u32(&mut body, *request_id);
+                put_bytes(&mut body, text);
+            }
+            Frame::EventsRequest {
+                request_id,
+                after_seq,
+                max,
+            } => {
+                body.push(tag::EVENTS_REQUEST);
+                put_u32(&mut body, *request_id);
+                put_u64(&mut body, *after_seq);
+                put_u32(&mut body, *max);
+            }
+            Frame::EventsResponse {
+                request_id,
+                next_seq,
+                events,
+            } => {
+                body.push(tag::EVENTS_RESPONSE);
+                put_u32(&mut body, *request_id);
+                put_u64(&mut body, *next_seq);
+                put_bytes(&mut body, events);
+            }
             Frame::Bye => body.push(tag::BYE),
         }
         debug_assert!(body.len() <= MAX_FRAME_LEN);
@@ -720,6 +790,23 @@ impl Frame {
                     complete,
                 }
             }
+            tag::METRICS_SCRAPE => Frame::MetricsScrape {
+                request_id: c.u32()?,
+            },
+            tag::METRICS_TEXT => Frame::MetricsText {
+                request_id: c.u32()?,
+                text: c.bytes()?,
+            },
+            tag::EVENTS_REQUEST => Frame::EventsRequest {
+                request_id: c.u32()?,
+                after_seq: c.u64()?,
+                max: c.u32()?,
+            },
+            tag::EVENTS_RESPONSE => Frame::EventsResponse {
+                request_id: c.u32()?,
+                next_seq: c.u64()?,
+                events: c.bytes()?,
+            },
             tag::BYE => Frame::Bye,
             other => return Err(FrameError::UnknownTag(other)),
         };
@@ -940,6 +1027,35 @@ mod tests {
                 request_id: 22,
                 total: 0,
                 complete: false,
+            },
+            Frame::MetricsScrape { request_id: 31 },
+            Frame::MetricsText {
+                request_id: 31,
+                text: b"# TYPE dvm_proxy_requests counter\ndvm_proxy_requests 7\n".to_vec(),
+            },
+            Frame::MetricsText {
+                request_id: 32,
+                text: Vec::new(),
+            },
+            Frame::EventsRequest {
+                request_id: 33,
+                after_seq: 0,
+                max: 64,
+            },
+            Frame::EventsRequest {
+                request_id: 34,
+                after_seq: u64::MAX,
+                max: 0,
+            },
+            Frame::EventsResponse {
+                request_id: 33,
+                next_seq: 12,
+                events: vec![1, 0, 0, 0, 0],
+            },
+            Frame::EventsResponse {
+                request_id: 34,
+                next_seq: 0,
+                events: Vec::new(),
             },
             Frame::Bye,
         ]

@@ -28,11 +28,11 @@ pub mod sema;
 pub mod server;
 
 pub use client::{
-    fetch_stats, IrHook, NetClassProvider, NetClientStats, NetConfig, NetError, NetTransfer,
-    RemoteConsole,
+    fetch_events, fetch_metrics_text, fetch_stats, IrHook, NetClassProvider, NetClientStats,
+    NetConfig, NetError, NetTransfer, RemoteConsole,
 };
 pub use frame::{kind_from_u8, kind_to_u8, ErrorCode, Frame, FrameError, Hello, MAX_FRAME_LEN};
 pub use server::{
-    FaultAction, FaultPlan, FaultRule, FaultScope, FaultTrigger, MembershipView, MigrateBatch,
-    MigrateExporter, ProxyServer, ServerConfig, ServerStats, MIGRATE_BATCH,
+    FaultAction, FaultPlan, FaultRule, FaultScope, FaultTrigger, MembershipView, MetricsSource,
+    MigrateBatch, MigrateExporter, ProxyServer, ServerConfig, ServerStats, MIGRATE_BATCH,
 };

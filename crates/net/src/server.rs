@@ -244,6 +244,15 @@ pub trait MigrateExporter: Send + Sync {
     ) -> Result<MigrateBatch, String>;
 }
 
+/// Renders the Prometheus-text metrics exposition for this node,
+/// answered over `METRICS_SCRAPE`. Installed by the serving layer
+/// (`dvm-watch` provides the implementation); the frame layer stays
+/// ignorant of the text format, same as it is of rings and stores.
+pub trait MetricsSource: Send + Sync {
+    /// The current exposition text.
+    fn render_metrics(&self) -> String;
+}
+
 /// Aggregate server statistics.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ServerStats {
@@ -292,6 +301,8 @@ struct ServerMetrics {
     malformed: Arc<Counter>,
     audit_events: Arc<Counter>,
     stats_requests: Arc<Counter>,
+    scrape_requests: Arc<Counter>,
+    events_requests: Arc<Counter>,
     serve_ns: Arc<Histogram>,
     ring_updates: Arc<Counter>,
     migrate_chunks_out: Arc<Counter>,
@@ -310,6 +321,8 @@ impl ServerMetrics {
             malformed: r.counter("net.server.malformed"),
             audit_events: r.counter("net.server.audit_events"),
             stats_requests: r.counter("net.server.stats_requests"),
+            scrape_requests: r.counter("net.server.scrape_requests"),
+            events_requests: r.counter("net.server.events_requests"),
             serve_ns: r.histogram("net.server.serve_ns"),
             ring_updates: r.counter("net.server.ring_updates"),
             migrate_chunks_out: r.counter("net.server.migrate_chunks_out"),
@@ -332,6 +345,7 @@ struct Inner {
     metrics: ServerMetrics,
     membership: Mutex<Option<Arc<MembershipView>>>,
     exporter: Mutex<Option<Arc<dyn MigrateExporter>>>,
+    scrape: Mutex<Option<Arc<dyn MetricsSource>>>,
 }
 
 impl Inner {
@@ -391,6 +405,7 @@ impl ProxyServer {
             metrics,
             membership: Mutex::new(None),
             exporter: Mutex::new(None),
+            scrape: Mutex::new(None),
         });
         let accept_inner = inner.clone();
         let accept = std::thread::Builder::new()
@@ -435,6 +450,14 @@ impl ProxyServer {
     /// Without one, migration requests get a typed `Internal` error.
     pub fn set_migrate_exporter(&self, exporter: Arc<dyn MigrateExporter>) {
         *self.inner.exporter.lock() = Some(exporter);
+    }
+
+    /// Installs the exposition renderer answering `METRICS_SCRAPE`
+    /// requests. Without one, scrapers get a typed `Internal` error
+    /// (`EVENTS_REQUEST` works regardless — the journal lives on the
+    /// telemetry plane itself).
+    pub fn set_metrics_source(&self, source: Arc<dyn MetricsSource>) {
+        *self.inner.scrape.lock() = Some(source);
     }
 
     /// Stops accepting, waits for every connection thread to exit, and
@@ -942,13 +965,60 @@ fn serve_connection(stream: TcpStream, inner: &Inner) {
                     }
                 }
             }
+            Frame::MetricsScrape { request_id } => {
+                // The scrape plane: render the Prometheus-text
+                // exposition through the installed source. Scraping is
+                // itself counted, so pollers are visible in what they
+                // poll (same discipline as STATS_REQUEST).
+                inner.metrics.scrape_requests.inc();
+                let source = inner.scrape.lock().clone();
+                let reply = match source {
+                    Some(s) => Frame::MetricsText {
+                        request_id,
+                        text: s.render_metrics().into_bytes(),
+                    },
+                    None => Frame::Error {
+                        request_id,
+                        code: ErrorCode::Internal,
+                        message: "no metrics source installed".into(),
+                    },
+                };
+                if !inner.send(&mut writer, &reply) {
+                    break;
+                }
+            }
+            Frame::EventsRequest {
+                request_id,
+                after_seq,
+                max,
+            } => {
+                // Journal tailing: serve the cursor page straight from
+                // the telemetry plane's event journal (and its durable
+                // spool, when one is installed).
+                inner.metrics.events_requests.inc();
+                let page = inner
+                    .telemetry
+                    .journal()
+                    .events_after(after_seq, (max as usize).min(1024));
+                let next_seq = page.last().map(|e| e.seq).unwrap_or(after_seq);
+                let reply = Frame::EventsResponse {
+                    request_id,
+                    next_seq,
+                    events: dvm_telemetry::events::encode_events(&page),
+                };
+                if !inner.send(&mut writer, &reply) {
+                    break;
+                }
+            }
             Frame::Bye => break,
             Frame::Welcome { .. }
             | Frame::CodeResponse { .. }
             | Frame::Error { .. }
             | Frame::StatsResponse { .. }
             | Frame::MigrateChunk { .. }
-            | Frame::MigrateEnd { .. } => {
+            | Frame::MigrateEnd { .. }
+            | Frame::MetricsText { .. }
+            | Frame::EventsResponse { .. } => {
                 // Server-to-client frames arriving at the server.
                 inner.stats.lock().malformed += 1;
                 inner.metrics.malformed.inc();

@@ -613,6 +613,7 @@ impl Store {
     /// the new one — never a mix that loses a key.
     pub fn compact(&mut self) -> Result<(), StoreError> {
         let started = Instant::now();
+        let reclaimable = self.dead_bytes;
         let mut live: Vec<(String, IndexEntry)> =
             self.index.iter().map(|(k, e)| (k.clone(), *e)).collect();
         live.sort_by(|a, b| a.0.cmp(&b.0));
@@ -671,6 +672,10 @@ impl Store {
                 rec.now_ns().saturating_sub(dur),
                 dur,
             );
+            t.record_event(dvm_telemetry::JournalKind::StoreCompaction {
+                live: self.index.len() as u64,
+                reclaimed: reclaimable,
+            });
         }
         Ok(())
     }

@@ -22,26 +22,39 @@
 //!   binary encoding (the same length-prefixed style as the wire
 //!   protocol, deliberately from scratch).
 //!
+//! - [`events`] — a bounded, sequenced [`EventJournal`] of typed
+//!   cluster events (breaker transitions, ring epochs, migrations,
+//!   compactions, alert transitions), tailable with a cursor and
+//!   optionally spooled durably by a higher layer.
+//!
 //! The crate sits below every other DVM crate and depends on nothing but
 //! `parking_lot`: proxy, net, cluster, and core all register into it
 //! without it knowing any of them.
 
+pub mod events;
 pub mod metrics;
 pub mod report;
 pub mod trace;
 
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use events::{EventJournal, JournalEvent, JournalKind, JournalSpool};
+pub use metrics::{
+    Counter, Gauge, GaugeMode, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
+};
 pub use report::{ReportError, StatsReport};
 pub use trace::{FlightRecorder, Span, SpanId, TraceContext, TraceId};
 
+use std::sync::Arc;
+
 /// One process's (or component's) telemetry plane: a metrics registry
-/// plus a span flight recorder, under a node name that survives into
-/// serialized reports so fleet-wide dumps stay attributable.
+/// plus a span flight recorder and an event journal, under a node name
+/// that survives into serialized reports so fleet-wide dumps stay
+/// attributable.
 #[derive(Debug)]
 pub struct Telemetry {
     node: String,
     registry: Registry,
     recorder: FlightRecorder,
+    journal: Arc<EventJournal>,
 }
 
 impl Telemetry {
@@ -55,10 +68,13 @@ impl Telemetry {
     pub fn with_capacity(node: &str, spans: usize) -> Telemetry {
         let recorder = FlightRecorder::new(spans);
         recorder.set_node(node);
+        let journal = Arc::new(EventJournal::default());
+        journal.set_node(node);
         Telemetry {
             node: node.to_owned(),
             registry: Registry::new(),
             recorder,
+            journal,
         }
     }
 
@@ -75,6 +91,17 @@ impl Telemetry {
     /// The span flight recorder.
     pub fn recorder(&self) -> &FlightRecorder {
         &self.recorder
+    }
+
+    /// The structured event journal. Shared (`Arc`) because recorders
+    /// (breaker, store, membership) hold it independently of this plane.
+    pub fn journal(&self) -> &Arc<EventJournal> {
+        &self.journal
+    }
+
+    /// Records a journal event stamped with the recorder's clock.
+    pub fn record_event(&self, kind: JournalKind) -> u64 {
+        self.journal.record(self.recorder.now_ns(), kind)
     }
 
     /// Snapshots this node's full observable state: metrics plus the

@@ -47,6 +47,48 @@ impl Counter {
     }
 }
 
+/// How a gauge combines across nodes when fleet snapshots merge.
+///
+/// Counters always add — more shards, more events. Gauges do not:
+/// `net.server.live_connections` summed across shards is a real fleet
+/// total, but `cluster.breaker.open_now` summed across *observers* of
+/// the same breaker double-counts, and a config-value gauge summed is
+/// nonsense. The registrant declares the semantics once; merging and
+/// the wire encoding carry it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GaugeMode {
+    /// Values add (per-shard quantities: live connections, queue depth).
+    #[default]
+    Sum,
+    /// The maximum wins (worst-case point-in-time values: breakers open,
+    /// backlog high-water marks).
+    Max,
+    /// The most recently merged value wins (config echoes, epochs —
+    /// values every node reports identically).
+    Last,
+}
+
+impl GaugeMode {
+    /// Stable wire byte.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            GaugeMode::Sum => 0,
+            GaugeMode::Max => 1,
+            GaugeMode::Last => 2,
+        }
+    }
+
+    /// Parses a wire byte.
+    pub fn from_u8(b: u8) -> Option<GaugeMode> {
+        match b {
+            0 => Some(GaugeMode::Sum),
+            1 => Some(GaugeMode::Max),
+            2 => Some(GaugeMode::Last),
+            _ => None,
+        }
+    }
+}
+
 /// An instantaneous signed value (e.g. live connections).
 #[derive(Debug, Default)]
 pub struct Gauge(AtomicI64);
@@ -262,6 +304,7 @@ impl HistogramSnapshot {
 pub struct Registry {
     counters: RwLock<BTreeMap<String, Arc<Counter>>>,
     gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    gauge_modes: RwLock<BTreeMap<String, GaugeMode>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
 }
 
@@ -286,8 +329,17 @@ impl Registry {
         get_or_insert(&self.counters, name)
     }
 
-    /// The gauge named `name`, created on first use.
+    /// The gauge named `name`, created on first use with the default
+    /// [`GaugeMode::Sum`] merge semantics.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, name)
+    }
+
+    /// The gauge named `name` with explicit fleet-merge semantics.
+    pub fn gauge_with_mode(&self, name: &str, mode: GaugeMode) -> Arc<Gauge> {
+        if mode != GaugeMode::Sum {
+            self.gauge_modes.write().insert(name.to_owned(), mode);
+        }
         get_or_insert(&self.gauges, name)
     }
 
@@ -311,6 +363,7 @@ impl Registry {
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
+            gauge_modes: self.gauge_modes.read().clone(),
             histograms: self
                 .histograms
                 .read()
@@ -328,23 +381,58 @@ pub struct MetricsSnapshot {
     pub counters: BTreeMap<String, u64>,
     /// Gauge values by name.
     pub gauges: BTreeMap<String, i64>,
+    /// Merge semantics for gauges that are not [`GaugeMode::Sum`]
+    /// (absent means `Sum`, keeping the map sparse).
+    pub gauge_modes: BTreeMap<String, GaugeMode>,
     /// Histogram snapshots by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
 
 impl MetricsSnapshot {
-    /// Merges `other` into this snapshot: counters and gauges add,
-    /// histograms combine bucket-wise. Metrics present on only one side
-    /// survive unchanged, so shards with disjoint instrumentation still
-    /// aggregate.
+    /// Merge semantics for the gauge named `name`.
+    pub fn gauge_mode(&self, name: &str) -> GaugeMode {
+        self.gauge_modes.get(name).copied().unwrap_or_default()
+    }
+
+    /// Merges `other` into this snapshot: counters add, gauges combine
+    /// per their declared [`GaugeMode`], histograms combine bucket-wise.
+    /// Metrics present on only one side survive unchanged, so shards
+    /// with disjoint instrumentation still aggregate.
     pub fn merge(&mut self, other: &MetricsSnapshot) {
         for (k, v) in &other.counters {
             let slot = self.counters.entry(k.clone()).or_insert(0);
             *slot = slot.saturating_add(*v);
         }
         for (k, v) in &other.gauges {
-            let slot = self.gauges.entry(k.clone()).or_insert(0);
-            *slot = slot.saturating_add(*v);
+            // Either side may carry the declaration (a freshly-started
+            // shard can report a gauge the aggregate hasn't seen).
+            let mode = self
+                .gauge_modes
+                .get(k)
+                .or_else(|| other.gauge_modes.get(k))
+                .copied()
+                .unwrap_or_default();
+            match self.gauges.entry(k.clone()) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(*v);
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => match mode {
+                    GaugeMode::Sum => {
+                        let cur = *slot.get();
+                        slot.insert(cur.saturating_add(*v));
+                    }
+                    GaugeMode::Max => {
+                        let cur = *slot.get();
+                        slot.insert(cur.max(*v));
+                    }
+                    GaugeMode::Last => {
+                        slot.insert(*v);
+                    }
+                },
+            }
+        }
+        for (k, m) in &other.gauge_modes {
+            self.gauge_modes.entry(k.clone()).or_insert(*m);
         }
         for (k, v) in &other.histograms {
             self.histograms.entry(k.clone()).or_default().merge(v);
@@ -488,5 +576,28 @@ mod tests {
         assert_eq!(h.count, 2);
         assert_eq!(h.min, 10);
         assert_eq!(h.max, 1_000_000);
+    }
+
+    #[test]
+    fn gauge_merge_modes_govern_fleet_aggregation() {
+        // Three shards each report: a per-shard quantity (sum), a
+        // point-in-time worst case (max), and an identical config echo
+        // (last). Summing everything — the old behavior — was only
+        // right for the first.
+        let mut merged = MetricsSnapshot::default();
+        for (live, open) in [(4i64, 0i64), (7, 1), (2, 1)] {
+            let r = Registry::new();
+            r.gauge("live_connections").set(live);
+            r.gauge_with_mode("breaker.open_now", GaugeMode::Max)
+                .set(open);
+            r.gauge_with_mode("ring.vnodes", GaugeMode::Last).set(64);
+            merged.merge(&r.snapshot());
+        }
+        assert_eq!(merged.gauge("live_connections"), 13);
+        assert_eq!(merged.gauge("breaker.open_now"), 1);
+        assert_eq!(merged.gauge("ring.vnodes"), 64);
+        // The declaration itself survives the merge for re-aggregation.
+        assert_eq!(merged.gauge_mode("breaker.open_now"), GaugeMode::Max);
+        assert_eq!(merged.gauge_mode("live_connections"), GaugeMode::Sum);
     }
 }

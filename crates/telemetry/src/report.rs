@@ -11,11 +11,12 @@
 
 use std::collections::BTreeMap;
 
-use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+use crate::metrics::{GaugeMode, HistogramSnapshot, MetricsSnapshot};
 use crate::trace::{Span, SpanId, TraceId};
 
 /// Encoding version byte (bump on incompatible layout changes).
-const VERSION: u8 = 1;
+/// Version 2 added a [`GaugeMode`] byte to every gauge entry.
+const VERSION: u8 = 2;
 
 /// A decode failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -176,6 +177,7 @@ impl StatsReport {
         for (k, v) in &self.metrics.gauges {
             put_str(&mut out, k);
             put_i64(&mut out, *v);
+            out.push(self.metrics.gauge_mode(k).as_u8());
         }
         put_u32(&mut out, self.metrics.histograms.len() as u32);
         for (k, h) in &self.metrics.histograms {
@@ -210,9 +212,15 @@ impl StatsReport {
             counters.insert(k, c.u64()?);
         }
         let mut gauges = BTreeMap::new();
-        for _ in 0..c.count(10)? {
+        let mut gauge_modes = BTreeMap::new();
+        for _ in 0..c.count(11)? {
             let k = c.string()?;
-            gauges.insert(k, c.i64()?);
+            let v = c.i64()?;
+            let mode = GaugeMode::from_u8(c.u8()?).ok_or_else(|| malformed("bad gauge mode"))?;
+            if mode != GaugeMode::Sum {
+                gauge_modes.insert(k.clone(), mode);
+            }
+            gauges.insert(k, v);
         }
         let mut histograms = BTreeMap::new();
         for _ in 0..c.count(38)? {
@@ -241,6 +249,7 @@ impl StatsReport {
             metrics: MetricsSnapshot {
                 counters,
                 gauges,
+                gauge_modes,
                 histograms,
             },
             spans,
@@ -270,6 +279,8 @@ mod tests {
         metrics.counters.insert("a".into(), 1);
         metrics.counters.insert("b".into(), u64::MAX);
         metrics.gauges.insert("g".into(), -7);
+        metrics.gauges.insert("peak".into(), 12);
+        metrics.gauge_modes.insert("peak".into(), GaugeMode::Max);
         metrics.histograms.insert(
             "h".into(),
             HistogramSnapshot {

@@ -1,0 +1,198 @@
+//! Prometheus-text-format exposition, from scratch.
+//!
+//! Renders one node's observable state as the plain-text format every
+//! scraper understands: `# TYPE` headers, `name{labels} value` samples,
+//! histograms as summaries (`{quantile="..."}` series plus `_sum` and
+//! `_count`), alerts as a numeric state gauge, and per-counter windowed
+//! rates from the sampler. Metric names are sanitized into the
+//! `[a-zA-Z_][a-zA-Z0-9_]*` charset and prefixed `dvm_`.
+
+use dvm_telemetry::MetricsSnapshot;
+
+use crate::slo::Alert;
+
+/// Maps a registry metric name to a legal Prometheus name.
+pub fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("dvm_");
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || (c == ':' && i > 0) {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders the exposition for one node.
+///
+/// `rates` supplies `(metric name, events/sec)` pairs from the sampler
+/// (empty when no sampler is running); `alerts` supplies the live SLO
+/// state machines.
+pub fn render(
+    node: &str,
+    snapshot: &MetricsSnapshot,
+    rates: &[(String, f64)],
+    alerts: &[Alert],
+) -> String {
+    let mut out = String::with_capacity(4096);
+    let node_label = format!("node=\"{}\"", escape_label(node));
+
+    for (name, value) in &snapshot.counters {
+        let pname = sanitize(name);
+        out.push_str(&format!("# TYPE {pname} counter\n"));
+        out.push_str(&format!("{pname}{{{node_label}}} {value}\n"));
+    }
+    for (name, value) in &snapshot.gauges {
+        let pname = sanitize(name);
+        out.push_str(&format!("# TYPE {pname} gauge\n"));
+        out.push_str(&format!("{pname}{{{node_label}}} {value}\n"));
+    }
+    for (name, h) in &snapshot.histograms {
+        let pname = sanitize(name);
+        out.push_str(&format!("# TYPE {pname} summary\n"));
+        for q in [0.5, 0.9, 0.99] {
+            out.push_str(&format!(
+                "{pname}{{{node_label},quantile=\"{q}\"}} {}\n",
+                h.quantile(q)
+            ));
+        }
+        out.push_str(&format!("{pname}_sum{{{node_label}}} {}\n", h.sum));
+        out.push_str(&format!("{pname}_count{{{node_label}}} {}\n", h.count));
+    }
+    if !rates.is_empty() {
+        out.push_str("# TYPE dvm_rate_per_sec gauge\n");
+        for (name, rate) in rates {
+            out.push_str(&format!(
+                "dvm_rate_per_sec{{{node_label},name=\"{}\"}} {}\n",
+                escape_label(name),
+                fmt_f64(*rate)
+            ));
+        }
+    }
+    if !alerts.is_empty() {
+        out.push_str("# TYPE dvm_alert_state gauge\n");
+        out.push_str("# TYPE dvm_alert_burn_fast gauge\n");
+        out.push_str("# TYPE dvm_alert_burn_slow gauge\n");
+        for a in alerts {
+            let obj = escape_label(&a.objective.name);
+            out.push_str(&format!(
+                "dvm_alert_state{{{node_label},objective=\"{obj}\"}} {}\n",
+                a.state.as_u8()
+            ));
+            out.push_str(&format!(
+                "dvm_alert_burn_fast{{{node_label},objective=\"{obj}\"}} {}\n",
+                fmt_f64(a.fast_burn)
+            ));
+            out.push_str(&format!(
+                "dvm_alert_burn_slow{{{node_label},objective=\"{obj}\"}} {}\n",
+                fmt_f64(a.slow_burn)
+            ));
+        }
+    }
+    out
+}
+
+/// A minimal exposition parser — enough for tests and the console to
+/// read back `name{labels} value` samples. Returns `(name, labels,
+/// value)` triples, skipping comments and blank lines; fails on lines
+/// that fit neither shape.
+pub fn parse(text: &str) -> Result<Vec<(String, String, f64)>, String> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("no value separator: {line:?}"))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("bad sample value: {line:?}"))?;
+        let (name, labels) = match series.split_once('{') {
+            Some((name, rest)) => {
+                let labels = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("unclosed label set: {line:?}"))?;
+                (name, labels)
+            }
+            None => (series, ""),
+        };
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(format!("bad metric name: {line:?}"));
+        }
+        out.push((name.to_owned(), labels.to_owned(), value));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvm_telemetry::Registry;
+
+    #[test]
+    fn exposition_round_trips_through_the_parser() {
+        let reg = Registry::new();
+        reg.counter("proxy.requests").add(128);
+        reg.gauge("net.server.live_connections").set(3);
+        for v in [1_000u64, 2_000, 50_000] {
+            reg.histogram("shard.serve_ns").record(v);
+        }
+        let text = render(
+            "shard0",
+            &reg.snapshot(),
+            &[("proxy.requests".into(), 12.5)],
+            &[],
+        );
+        let samples = parse(&text).unwrap();
+        let get = |name: &str| {
+            samples
+                .iter()
+                .find(|(n, _, _)| n == name)
+                .map(|(_, _, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(get("dvm_proxy_requests"), 128.0);
+        assert_eq!(get("dvm_net_server_live_connections"), 3.0);
+        assert_eq!(get("dvm_shard_serve_ns_count"), 3.0);
+        assert_eq!(get("dvm_shard_serve_ns_sum"), 53_000.0);
+        assert!(samples
+            .iter()
+            .any(|(n, l, _)| n == "dvm_shard_serve_ns" && l.contains("quantile=\"0.99\"")));
+        assert!(text.contains("node=\"shard0\""));
+    }
+
+    #[test]
+    fn hostile_names_are_sanitized() {
+        assert_eq!(sanitize("a.b-c d"), "dvm_a_b_c_d");
+        assert_eq!(sanitize("9lives"), "dvm_9lives");
+    }
+
+    #[test]
+    fn parser_rejects_junk() {
+        assert!(parse("dvm_ok 1\nnot a line at all {").is_err());
+        assert!(parse("dvm_x{a=\"b\" 1").is_err());
+        assert!(parse("dvm_x nan-ish").is_err());
+    }
+}

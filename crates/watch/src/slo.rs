@@ -1,0 +1,356 @@
+//! SLO objectives and multi-window burn-rate alerting.
+//!
+//! An [`Objective`] declares a target over the sampled series — "p99
+//! fetch latency under N ns", "error ratio under 0.1%". Each evaluation
+//! computes a **burn rate** (observed / budget; 1.0 = exactly at
+//! target) over two windows: a *fast* window that reacts in seconds and
+//! a *slow* window that filters blips. The classic multi-window rule:
+//!
+//! - fast burning, slow not → **warning** (could be a spike);
+//! - fast *and* slow burning → **firing** (sustained, page);
+//! - both recovered from firing → **resolved**, then back to **ok** —
+//!   so a consumer polling the state machine can observe that an
+//!   incident ended, not just that it is currently absent.
+//!
+//! Every transition is returned to the caller (`dvm-watch` records it
+//! into the event journal as an [`AlertTransition`] event).
+//!
+//! [`AlertTransition`]: dvm_telemetry::JournalKind::AlertTransition
+
+use dvm_telemetry::events::{ALERT_FIRING, ALERT_OK, ALERT_RESOLVED, ALERT_WARNING};
+
+use crate::series::Sampler;
+
+/// What an objective measures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObjectiveKind {
+    /// Windowed p99 of `histogram` must stay under `threshold_ns`.
+    LatencyP99 {
+        /// Histogram metric name (e.g. `"cluster.fetch_ns"`).
+        histogram: String,
+        /// Burn 1.0 point: the SLO latency bound, nanoseconds.
+        threshold_ns: u64,
+    },
+    /// Windowed `errors / total` must stay under `budget`.
+    ErrorRatio {
+        /// Error counter name.
+        errors: String,
+        /// Total counter name.
+        total: String,
+        /// Burn 1.0 point: the allowed error fraction (e.g. `0.001`).
+        budget: f64,
+    },
+}
+
+/// One declared service-level objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Objective {
+    /// Stable name, used in journal events and the exposition.
+    pub name: String,
+    /// What to measure.
+    pub kind: ObjectiveKind,
+    /// Fast (reactive) evaluation window, nanoseconds.
+    pub fast_window_ns: u64,
+    /// Slow (confirming) evaluation window, nanoseconds.
+    pub slow_window_ns: u64,
+    /// Burn rate at or above which a window counts as burning
+    /// (1.0 = at the objective's budget exactly).
+    pub burn_threshold: f64,
+}
+
+impl Objective {
+    /// An error-ratio objective with a 1.0 burn threshold.
+    pub fn error_ratio(
+        name: &str,
+        errors: &str,
+        total: &str,
+        budget: f64,
+        fast_window_ns: u64,
+        slow_window_ns: u64,
+    ) -> Objective {
+        Objective {
+            name: name.to_owned(),
+            kind: ObjectiveKind::ErrorRatio {
+                errors: errors.to_owned(),
+                total: total.to_owned(),
+                budget,
+            },
+            fast_window_ns,
+            slow_window_ns,
+            burn_threshold: 1.0,
+        }
+    }
+
+    /// A windowed-p99 latency objective with a 1.0 burn threshold.
+    pub fn latency_p99(
+        name: &str,
+        histogram: &str,
+        threshold_ns: u64,
+        fast_window_ns: u64,
+        slow_window_ns: u64,
+    ) -> Objective {
+        Objective {
+            name: name.to_owned(),
+            kind: ObjectiveKind::LatencyP99 {
+                histogram: histogram.to_owned(),
+                threshold_ns,
+            },
+            fast_window_ns,
+            slow_window_ns,
+            burn_threshold: 1.0,
+        }
+    }
+
+    /// Burn rate over a window: observed / budget.
+    fn burn(&self, sampler: &Sampler, window_ns: u64, now_ns: u64) -> f64 {
+        match &self.kind {
+            ObjectiveKind::LatencyP99 {
+                histogram,
+                threshold_ns,
+            } => {
+                let p99 = sampler.window_quantile(histogram, 0.99, window_ns, now_ns);
+                p99 as f64 / (*threshold_ns).max(1) as f64
+            }
+            ObjectiveKind::ErrorRatio {
+                errors,
+                total,
+                budget,
+            } => {
+                sampler.window_ratio(errors, total, window_ns, now_ns)
+                    / budget.max(f64::MIN_POSITIVE)
+            }
+        }
+    }
+}
+
+/// Alert lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AlertState {
+    /// Within budget.
+    #[default]
+    Ok,
+    /// Fast window burning; not yet confirmed by the slow window.
+    Warning,
+    /// Both windows burning: the objective is being violated.
+    Firing,
+    /// Was firing; burn has subsided. One clean evaluation later the
+    /// alert returns to [`AlertState::Ok`].
+    Resolved,
+}
+
+impl AlertState {
+    /// The stable journal/exposition byte (`ALERT_*` constants).
+    pub fn as_u8(self) -> u8 {
+        match self {
+            AlertState::Ok => ALERT_OK,
+            AlertState::Warning => ALERT_WARNING,
+            AlertState::Firing => ALERT_FIRING,
+            AlertState::Resolved => ALERT_RESOLVED,
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AlertState::Ok => "ok",
+            AlertState::Warning => "warning",
+            AlertState::Firing => "firing",
+            AlertState::Resolved => "resolved",
+        }
+    }
+}
+
+/// Live alert status for one objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// The objective being tracked.
+    pub objective: Objective,
+    /// Current lifecycle state.
+    pub state: AlertState,
+    /// When the current state was entered, nanoseconds.
+    pub since_ns: u64,
+    /// Burn rate over the fast window at the last evaluation.
+    pub fast_burn: f64,
+    /// Burn rate over the slow window at the last evaluation.
+    pub slow_burn: f64,
+}
+
+impl Alert {
+    /// Creates an alert in the `Ok` state.
+    pub fn new(objective: Objective) -> Alert {
+        Alert {
+            objective,
+            state: AlertState::Ok,
+            since_ns: 0,
+            fast_burn: 0.0,
+            slow_burn: 0.0,
+        }
+    }
+
+    /// Evaluates both windows at `now_ns` and steps the state machine.
+    /// Returns `Some((from, to))` when the state changed.
+    pub fn evaluate(&mut self, sampler: &Sampler, now_ns: u64) -> Option<(AlertState, AlertState)> {
+        let o = &self.objective;
+        self.fast_burn = o.burn(sampler, o.fast_window_ns, now_ns);
+        self.slow_burn = o.burn(sampler, o.slow_window_ns, now_ns);
+        let fast = self.fast_burn >= o.burn_threshold;
+        let slow = self.slow_burn >= o.burn_threshold;
+        let next = match self.state {
+            AlertState::Ok | AlertState::Warning => {
+                if fast && slow {
+                    AlertState::Firing
+                } else if fast {
+                    AlertState::Warning
+                } else {
+                    AlertState::Ok
+                }
+            }
+            AlertState::Firing => {
+                if fast || slow {
+                    AlertState::Firing
+                } else {
+                    AlertState::Resolved
+                }
+            }
+            AlertState::Resolved => {
+                if fast && slow {
+                    AlertState::Firing
+                } else {
+                    AlertState::Ok
+                }
+            }
+        };
+        if next != self.state {
+            let from = self.state;
+            self.state = next;
+            self.since_ns = now_ns;
+            Some((from, next))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvm_telemetry::Registry;
+
+    const SEC: u64 = 1_000_000_000;
+
+    /// Drives an error-ratio alert through the full lifecycle with a
+    /// deterministic fault schedule.
+    #[test]
+    fn error_ratio_alert_walks_ok_warning_firing_resolved_ok() {
+        let reg = Registry::new();
+        let errors = reg.counter("errs");
+        let total = reg.counter("total");
+        let mut sampler = Sampler::new(256);
+        let mut alert = Alert::new(Objective::error_ratio(
+            "error-ratio",
+            "errs",
+            "total",
+            0.001,
+            2 * SEC,
+            10 * SEC,
+        ));
+
+        let mut now = 0;
+        let step = |sampler: &mut Sampler, now: &mut u64, errs: u64, tot: u64| {
+            *now += SEC;
+            errors.add(errs);
+            total.add(tot);
+            sampler.tick(*now, reg.snapshot());
+        };
+
+        // Healthy traffic: stays ok.
+        sampler.tick(now, reg.snapshot());
+        for _ in 0..3 {
+            step(&mut sampler, &mut now, 0, 100);
+            assert!(alert.evaluate(&sampler, now).is_none());
+            assert_eq!(alert.state, AlertState::Ok);
+        }
+        // Fault begins: fast window burns first (warning), then the
+        // slow window confirms (firing).
+        step(&mut sampler, &mut now, 50, 100);
+        // Both windows immediately exceed a 0.1% budget here, so the
+        // alert may jump straight to firing; accept either path but
+        // require firing within the sustained fault.
+        alert.evaluate(&sampler, now);
+        for _ in 0..4 {
+            step(&mut sampler, &mut now, 50, 100);
+            alert.evaluate(&sampler, now);
+        }
+        assert_eq!(alert.state, AlertState::Firing);
+        assert!(alert.fast_burn >= 1.0 && alert.slow_burn >= 1.0);
+        // Fault clears: firing holds until *both* windows drain, then
+        // resolved, then ok.
+        let mut saw_resolved = false;
+        for _ in 0..20 {
+            step(&mut sampler, &mut now, 0, 100);
+            if let Some((from, to)) = alert.evaluate(&sampler, now) {
+                if to == AlertState::Resolved {
+                    assert_eq!(from, AlertState::Firing);
+                    saw_resolved = true;
+                }
+            }
+        }
+        assert!(saw_resolved);
+        assert_eq!(alert.state, AlertState::Ok);
+    }
+
+    #[test]
+    fn latency_objective_burns_on_slow_quantiles() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat");
+        let mut sampler = Sampler::new(64);
+        let mut alert = Alert::new(Objective::latency_p99(
+            "p99",
+            "lat",
+            1_000_000,
+            SEC,
+            3 * SEC,
+        ));
+        sampler.tick(0, reg.snapshot());
+        for _ in 0..100 {
+            h.record(5_000_000);
+        }
+        sampler.tick(SEC, reg.snapshot());
+        let change = alert.evaluate(&sampler, SEC);
+        assert_eq!(change, Some((AlertState::Ok, AlertState::Firing)));
+        assert!(alert.fast_burn > 1.0);
+    }
+
+    #[test]
+    fn a_spike_only_warns() {
+        let reg = Registry::new();
+        let errors = reg.counter("errs");
+        let total = reg.counter("total");
+        let mut sampler = Sampler::new(256);
+        let mut alert = Alert::new(Objective::error_ratio(
+            "error-ratio",
+            "errs",
+            "total",
+            0.1,
+            SEC,
+            30 * SEC,
+        ));
+        sampler.tick(0, reg.snapshot());
+        // Long healthy history dilutes the slow window.
+        let mut now = 0;
+        for _ in 0..20 {
+            now += SEC;
+            total.add(1000);
+            sampler.tick(now, reg.snapshot());
+            alert.evaluate(&sampler, now);
+        }
+        // One bad second: 50% errors in the fast window, negligible in
+        // the slow one.
+        now += SEC;
+        errors.add(500);
+        total.add(1000);
+        sampler.tick(now, reg.snapshot());
+        alert.evaluate(&sampler, now);
+        assert_eq!(alert.state, AlertState::Warning);
+    }
+}

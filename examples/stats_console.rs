@@ -1,23 +1,31 @@
-//! Fleet health console: the stats plane end to end.
+//! Fleet health console: the stats and watch planes end to end.
 //!
-//! Stands up a three-shard `ProxyCluster`, drives a fleet of DVM
-//! clients through it, then plays operator: pulls every shard's
-//! `STATS_RESPONSE` over the wire, renders a fleet health table
-//! (per-shard requests, cache tiers, wire traffic, latency quantiles),
-//! prints one distributed trace as a span tree, kills a shard, and
-//! pulls again to show the collector marking it unreachable while the
-//! merged view keeps answering.
+//! Stands up a three-shard `ProxyCluster` with per-shard watches,
+//! drives a fleet of DVM clients through it, then plays operator:
+//! pulls every shard's `STATS_RESPONSE` over the wire, renders a fleet
+//! health table (per-shard requests, cache tiers, wire traffic,
+//! latency quantiles), prints one distributed trace as a span tree,
+//! runs a few top-style live refreshes off the time-series plane
+//! (windowed rates, p99, SLO burn, alert state), kills a shard, pulls
+//! again to show the collector marking it unreachable while the merged
+//! view keeps answering, and finally tails the survivors' event
+//! journals — operator annotations included — over `EVENTS_REQUEST`.
 //!
 //! ```sh
 //! cargo run --release --example stats_console
 //! ```
 
-use dvm_cluster::{collect_fleet_stats, FleetStats};
+use std::time::Duration;
+
+use dvm_cluster::{collect_fleet_stats, ClusterOptions, FleetStats};
 use dvm_core::{CostModel, Organization, ServiceConfig};
-use dvm_net::{Hello, NetConfig};
+use dvm_net::{fetch_events, Hello, NetConfig};
 use dvm_security::Policy;
-use dvm_telemetry::{Span, SpanId};
+use dvm_telemetry::{JournalKind, Span, SpanId};
+use dvm_watch::{http_get, Objective, WatchConfig};
 use dvm_workload::corpus;
+
+const SEC: u64 = 1_000_000_000;
 
 fn hello(user: &str) -> Hello {
     Hello {
@@ -129,7 +137,30 @@ fn main() {
     )
     .unwrap();
 
-    let mut cluster = org.serve_cluster(3).unwrap();
+    // Per-shard watches: a 100 ms sampler, one latency SLO (serve p99
+    // under 2 ms — tight enough that the cold-start rewrite burst
+    // visibly fires the alert in the live view), and an HTTP /metrics
+    // listener per shard.
+    let mut cluster = org
+        .serve_cluster_with(
+            3,
+            ClusterOptions {
+                watch: Some(WatchConfig {
+                    interval_ns: 100_000_000,
+                    objectives: vec![Objective::latency_p99(
+                        "serve-p99",
+                        "net.server.serve_ns",
+                        2_000_000,
+                        2 * SEC,
+                        6 * SEC,
+                    )],
+                    ..WatchConfig::default()
+                }),
+                metrics_http: true,
+                ..ClusterOptions::default()
+            },
+        )
+        .unwrap();
     println!("cluster of {} shards up\n", cluster.len());
 
     // Drive a fleet through the cluster; keep one client's telemetry so
@@ -175,9 +206,60 @@ fn main() {
         println!();
     }
 
+    // The live view: three top-style refreshes off the time-series
+    // plane — windowed rates and quantiles from each shard's sampler,
+    // SLO burn and alert state from its objective — while traffic runs.
+    println!("-- live watch (3 refreshes, 2s window) --");
+    for frame in 0..3 {
+        for (i, client) in clients.iter_mut().enumerate() {
+            client
+                .run_main(&applets[(frame + i) % applets.len()].main_class)
+                .unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(250));
+        println!(
+            "{:<8} {:>8} {:>9} {:>10} {:>10} {:>9}",
+            "shard", "req/s", "p99(us)", "burn-fast", "burn-slow", "alert"
+        );
+        for i in 0..cluster.len() {
+            let Some(watch) = cluster.watch(i) else {
+                continue;
+            };
+            let alert = &watch.alerts()[0];
+            println!(
+                "{:<8} {:>8.1} {:>9.0} {:>10.2} {:>10.2} {:>9}",
+                i,
+                watch.rate("proxy.requests", 2 * SEC),
+                watch.quantile("net.server.serve_ns", 0.99, 2 * SEC) as f64 / 1_000.0,
+                alert.fast_burn,
+                alert.slow_burn,
+                alert.state.label(),
+            );
+        }
+        println!();
+    }
+
+    // The same plane, as an external scraper sees it.
+    if let Some(addr) = cluster.metrics_addr(0) {
+        let body = http_get(addr, "/metrics").unwrap();
+        println!("-- GET http://{addr}/metrics (first lines) --");
+        for line in body.lines().take(8) {
+            println!("{line}");
+        }
+        println!("...\n");
+    }
+
     // Operator's bad day: a shard dies. Fresh clients (cold VM class
     // caches, so they really fetch) fail over to the survivors; the
-    // collector says which shard is gone.
+    // collector says which shard is gone. The annotation goes into the
+    // survivors' journals so the tail below shows when and why.
+    for i in [0, 2] {
+        if let Some(t) = cluster.shard_telemetry(i) {
+            t.record_event(JournalKind::Note {
+                text: "operator: killing shard 1 for the demo".into(),
+            });
+        }
+    }
     cluster.kill_shard(1).unwrap();
     for (i, a) in applets.iter().enumerate() {
         let mut late = org
@@ -212,5 +294,29 @@ fn main() {
             .copied()
             .unwrap_or(0),
     );
+
+    // Tail the survivors' structured event journals over the wire: the
+    // operator annotation plus whatever the watch plane recorded.
+    println!("\n-- journal tail (EVENTS_REQUEST, cursor 0) --");
+    for i in [0usize, 2] {
+        let (events, next) = fetch_events(
+            cluster.addrs()[i],
+            hello("operator"),
+            NetConfig::default(),
+            0,
+            32,
+        )
+        .unwrap();
+        for e in &events {
+            println!(
+                "shard {i}  seq {:>3}  {:>9.3}s  {:<13} {:?}",
+                e.seq,
+                e.at_ns as f64 / 1e9,
+                e.kind.label(),
+                e.kind,
+            );
+        }
+        println!("shard {i}: {} event(s), cursor now {next}", events.len());
+    }
     cluster.shutdown();
 }

@@ -22,4 +22,5 @@ pub use dvm_security as security;
 pub use dvm_store as store;
 pub use dvm_telemetry as telemetry;
 pub use dvm_verifier as verifier;
+pub use dvm_watch as watch;
 pub use dvm_workload as workload;

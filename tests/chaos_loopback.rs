@@ -8,7 +8,9 @@
 
 use std::time::Duration;
 
-use dvm_repro::chaos::{ChaosLink, ChaosRunner, ChaosSchedule, Dir, RunnerConfig, ShardKill};
+use dvm_repro::chaos::{
+    BrownoutConfig, ChaosLink, ChaosRunner, ChaosSchedule, Dir, RunnerConfig, ShardKill,
+};
 use dvm_repro::cluster::{ClusterClientConfig, ClusterOptions, HealthConfig};
 use dvm_repro::core::{CostModel, Organization, ServiceConfig};
 use dvm_repro::net::{Hello, NetClassProvider, NetConfig, NetError};
@@ -472,4 +474,43 @@ fn direction_filters_only_touch_their_direction() {
         stats.events
     );
     server.shutdown();
+}
+
+/// The observability-plane scenario: a full brownout (every shard
+/// killed) must drive the client-side error-ratio alert through
+/// ok → firing, and the recovery must walk it back through resolved to
+/// ok — with every transition in the event journal. The clock is
+/// synthetic (one tick per batch), so the walk is deterministic.
+#[test]
+fn brownout_fires_and_resolves_the_error_ratio_alert() {
+    let applets = small_applets(29, 2);
+    let org = org_over(&applets);
+    let urls = class_urls(&applets);
+    let mut cluster = org
+        .serve_cluster_with(
+            3,
+            ClusterOptions {
+                seed: 5,
+                ..ClusterOptions::default()
+            },
+        )
+        .unwrap();
+
+    let cfg = BrownoutConfig {
+        client_config: fast_config(),
+        signer: org_signer(),
+        hello: hello("brownout"),
+        ..BrownoutConfig::default()
+    };
+    let report = ChaosRunner::run_brownout(&mut cluster, &urls, &cfg);
+    cluster.shutdown();
+
+    assert!(
+        report.ok(),
+        "brownout invariants failed: {:?}\ntransitions: {:?}",
+        report.violations,
+        report.transitions,
+    );
+    assert!(report.fetches_failed > 0, "the fault window saw no errors");
+    assert!(report.fetches_ok > 0, "no healthy traffic ever succeeded");
 }

@@ -157,6 +157,29 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                 complete,
             }
         }),
+        any::<u32>().prop_map(|request_id| Frame::MetricsScrape { request_id }),
+        (
+            any::<u32>(),
+            proptest::collection::vec(any::<u8>(), 0..2048)
+        )
+            .prop_map(|(request_id, text)| Frame::MetricsText { request_id, text }),
+        (any::<u32>(), any::<u64>(), any::<u32>()).prop_map(|(request_id, after_seq, max)| {
+            Frame::EventsRequest {
+                request_id,
+                after_seq,
+                max,
+            }
+        }),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..2048)
+        )
+            .prop_map(|(request_id, next_seq, events)| Frame::EventsResponse {
+                request_id,
+                next_seq,
+                events,
+            }),
         Just(Frame::Bye),
     ]
 }

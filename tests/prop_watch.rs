@@ -1,0 +1,178 @@
+//! Property-based tests for the `dvm-watch` time-series arithmetic and
+//! the `dvm-telemetry` event journal: counter-delta rates survive
+//! counter resets without going negative, windowed histogram quantiles
+//! agree with a sorted reference to within one log-linear bucket, and
+//! journal sequence numbers stay strictly increasing — with cursor
+//! tails that never drop or duplicate — under concurrent writers.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use dvm_repro::telemetry::metrics::{bucket_lower, bucket_upper};
+use dvm_repro::telemetry::{EventJournal, JournalKind, Registry};
+use dvm_repro::watch::Sampler;
+
+const SEC: u64 = 1_000_000_000;
+
+proptest! {
+    /// Each element of `values` is the counter's *absolute* value at one
+    /// tick. Downward jumps model process restarts (the registry is
+    /// rebuilt from zero); the sampler must clamp the delta to the new
+    /// value, never wrap, and every derived rate must be finite and
+    /// non-negative.
+    #[test]
+    fn counter_rates_never_go_negative_across_restarts(
+        values in proptest::collection::vec(any::<u32>(), 1..40)
+    ) {
+        let mut s = Sampler::new(64);
+        s.tick(0, Registry::new().snapshot());
+        let mut now = 0u64;
+        let mut prev = 0u64;
+        for &v in &values {
+            let reg = Registry::new();
+            reg.counter("c").add(u64::from(v));
+            now += SEC;
+            s.tick(now, reg.snapshot());
+            let p = *s.counter_points("c").last().unwrap();
+            let expected = if u64::from(v) >= prev {
+                u64::from(v) - prev
+            } else {
+                u64::from(v) // restart: the whole new count is the delta
+            };
+            prop_assert_eq!(p.delta, expected);
+            prop_assert!(p.rate().is_finite() && p.rate() >= 0.0);
+            prev = u64::from(v);
+        }
+        let windowed = s.window_rate("c", now.max(1), now);
+        prop_assert!(windowed.is_finite() && windowed >= 0.0);
+    }
+
+    /// A windowed quantile (merged from per-tick histogram deltas) must
+    /// land in the same log-linear bucket as the exact quantile of the
+    /// sorted reference — i.e. within the histogram's 1/16 relative
+    /// resolution.
+    #[test]
+    fn windowed_quantiles_agree_with_the_sorted_reference(
+        values in proptest::collection::vec(1u64..1_000_000_000, 1..200),
+        pct in 1u32..99,
+    ) {
+        let q = f64::from(pct) / 100.0;
+        let mut s = Sampler::new(64);
+        let reg = Registry::new();
+        let h = reg.histogram("lat");
+        s.tick(0, reg.snapshot());
+        let mut now = 0u64;
+        for chunk in values.chunks(37) {
+            for &v in chunk {
+                h.record(v);
+            }
+            now += SEC;
+            s.tick(now, reg.snapshot());
+        }
+        let got = s.window_quantile("lat", q, now, now);
+
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let reference = sorted[rank - 1];
+        let bucket = (0..)
+            .find(|&i| bucket_upper(i) > reference)
+            .expect("every u64 lands in a bucket");
+        prop_assert!(
+            got >= bucket_lower(bucket) && got < bucket_upper(bucket),
+            "windowed q{} = {} outside reference bucket [{}, {}) around {}",
+            q, got, bucket_lower(bucket), bucket_upper(bucket), reference
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12 })]
+
+    /// Concurrent writers each observe their own sequence numbers in
+    /// strictly increasing order, the union is exactly `1..=total`
+    /// (nothing skipped, nothing reused), and a full journal read
+    /// returns them sorted.
+    #[test]
+    fn journal_seqs_strictly_increase_under_concurrent_writers(
+        writers in 2usize..5,
+        per_writer in 1usize..50,
+    ) {
+        let journal = Arc::new(EventJournal::new(4096));
+        let mut seq_lists: Vec<Vec<u64>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..writers)
+                .map(|w| {
+                    let journal = journal.clone();
+                    scope.spawn(move || {
+                        (0..per_writer)
+                            .map(|i| {
+                                journal.record(
+                                    (w * per_writer + i) as u64,
+                                    JournalKind::Note { text: format!("w{w}e{i}") },
+                                )
+                            })
+                            .collect::<Vec<u64>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                seq_lists.push(h.join().unwrap());
+            }
+        });
+
+        for seqs in &seq_lists {
+            for pair in seqs.windows(2) {
+                prop_assert!(pair[0] < pair[1], "writer saw seqs out of order: {seqs:?}");
+            }
+        }
+        let total = writers * per_writer;
+        let mut all: Vec<u64> = seq_lists.into_iter().flatten().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (1..=total as u64).collect::<Vec<u64>>());
+
+        let read: Vec<u64> = journal.events_after(0, total + 10).iter().map(|e| e.seq).collect();
+        prop_assert_eq!(read, (1..=total as u64).collect::<Vec<u64>>());
+    }
+
+    /// A cursor tail running *while* writers are still recording never
+    /// drops or duplicates an event: paging with `events_after` until
+    /// the writers finish reconstructs exactly `1..=total`.
+    #[test]
+    fn cursor_tail_never_drops_or_duplicates_under_concurrent_writers(
+        writers in 2usize..5,
+        per_writer in 1usize..50,
+        page in 1usize..7,
+    ) {
+        let journal = Arc::new(EventJournal::new(4096));
+        let total = (writers * per_writer) as u64;
+        let mut collected: Vec<u64> = Vec::new();
+        std::thread::scope(|scope| {
+            for w in 0..writers {
+                let journal = journal.clone();
+                scope.spawn(move || {
+                    for i in 0..per_writer {
+                        journal.record(
+                            (w * per_writer + i) as u64,
+                            JournalKind::Note { text: format!("w{w}e{i}") },
+                        );
+                    }
+                });
+            }
+            // The tail races the writers; it must only ever see new,
+            // in-order events past its cursor.
+            let mut cursor = 0u64;
+            while collected.len() < total as usize {
+                let batch = journal.events_after(cursor, page);
+                for e in &batch {
+                    assert!(e.seq > cursor, "tail went backwards: {} after {cursor}", e.seq);
+                    cursor = e.seq;
+                    collected.push(e.seq);
+                }
+                std::hint::spin_loop();
+            }
+        });
+        prop_assert_eq!(collected, (1..=total).collect::<Vec<u64>>());
+    }
+}
