@@ -1,0 +1,195 @@
+//! Coverage-guided fuzzing session over the five untrusted-input
+//! surfaces (ROADMAP item 5a, DESIGN.md §5h).
+//!
+//! Runs each [`dvm_bench::fuzz`] target under the `dvm-fuzz` driver:
+//! seeds from the committed corpora plus valid encodings, mutates with
+//! the seeded engine, admits inputs that light new coverage features,
+//! and reports unique panics as minimized, replayable findings.
+//!
+//! ```text
+//! cargo run --release -p dvm-bench --features probes --bin repro_fuzz -- --quick --json
+//! ```
+//!
+//! Flags:
+//!
+//! * `--quick`         — divide every iteration budget by 5 (CI smoke);
+//! * `--json`          — also write `BENCH_fuzz.json` for the perf gate;
+//! * `--target <name>` — fuzz one surface (`frame`, `classfile`,
+//!   `verifier`, `exec`, `store`) instead of all five;
+//! * `--iters <n>`     — override the per-target iteration budget;
+//! * `--seed <n>`      — master seed (default `0xD7F055ED`); every
+//!   session is a pure function of it;
+//! * `--replay <hex>`  — with `--target`: run one input through the
+//!   target *without* catching panics, then exit (reproduces a
+//!   `FUZZ REPLAY:` line);
+//! * `--crash-dir <d>` — write each minimized finding as a `.hex`
+//!   corpus entry under `<d>`.
+//!
+//! Exit status: `0` when no target crashed, `1` on any finding, `2`
+//! when the probes are compiled out (a coverage-blind search is not
+//! the experiment this binary exists to run).
+//!
+//! The gated scalar is `edges_total` — the distinct probe edges the
+//! session covered, summed over targets. A probe-threading or seeding
+//! regression shows up as an edge-count drop long before it shows up
+//! as a missed bug.
+
+use std::process::ExitCode;
+
+use dvm_bench::fuzz::{all_targets, target, FuzzTarget};
+use dvm_bench::{emit_json, Json, Table};
+use dvm_fuzz::fuzzer::{compact_hex, parse_compact_hex};
+use dvm_fuzz::{corpus, FuzzConfig, FuzzReport, Fuzzer, Mutator};
+
+fn flag_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn main() -> ExitCode {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let seed = flag_value("--seed")
+        .map(|s| parse_seed(&s))
+        .unwrap_or(0xD7F0_55ED);
+    let iters_override = flag_value("--iters").map(|s| s.parse::<u64>().expect("bad --iters"));
+    let picked = flag_value("--target");
+    let crash_dir = flag_value("--crash-dir");
+
+    if let Some(hex) = flag_value("--replay") {
+        let name = picked.expect("--replay needs --target <name>");
+        let mut t = target(&name).unwrap_or_else(|| panic!("unknown target {name:?}"));
+        let input = parse_compact_hex(&hex).expect("bad --replay hex");
+        // No catch_unwind: a real finding aborts loudly, backtrace and
+        // all, which is exactly what a reproducer is for.
+        (t.run)(&input);
+        println!(
+            "replay ok: target={name} len={} — decoder rejected or accepted without panicking",
+            input.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if !dvm_fuzz::cov::enabled() {
+        eprintln!(
+            "repro_fuzz: probes are compiled out; rebuild with \
+             `--features probes` (dvm-bench) for a coverage-guided session"
+        );
+        return ExitCode::from(2);
+    }
+
+    let targets: Vec<FuzzTarget> = match &picked {
+        Some(name) => vec![target(name).unwrap_or_else(|| panic!("unknown target {name:?}"))],
+        None => all_targets(),
+    };
+
+    let mut table = Table::new(&[
+        "Target", "Iters", "Execs", "Exec/s", "Seeds", "SeedFeat", "NewFeat", "Edges", "Corpus",
+        "Crashes",
+    ]);
+    let mut per_target: Vec<(String, FuzzReport)> = Vec::new();
+    let mut total_crashes = 0usize;
+
+    for mut t in targets {
+        let iters = iters_override.unwrap_or(if quick {
+            (t.default_iters / 5).max(500)
+        } else {
+            t.default_iters
+        });
+        let cfg = FuzzConfig {
+            seed,
+            ..FuzzConfig::default()
+        };
+        let mut fuzzer = Fuzzer::new(cfg, Mutator::new(t.dict.clone()));
+        let seed_count = t.seeds.len();
+        for bytes in t.seeds.drain(..) {
+            fuzzer.add_seed(&mut *t.run, bytes);
+        }
+        let report = fuzzer.run(&mut *t.run, iters);
+
+        for crash in &report.crashes {
+            println!("{}", crash.replay_line(t.name));
+            if let Some(dir) = &crash_dir {
+                let name = format!("fuzz-{}-{:016x}.hex", t.name, crash.signature);
+                let note = format!(
+                    "minimized repro_fuzz finding for target `{}`\npanic: {}",
+                    t.name, crash.message
+                );
+                let path =
+                    corpus::write_entry(dir, &name, &note, &[("expect", "reject")], &crash.input);
+                eprintln!("wrote {}", path.display());
+            }
+        }
+        total_crashes += report.crashes.len();
+
+        table.row(&[
+            t.name.into(),
+            iters.to_string(),
+            report.execs.to_string(),
+            format!("{:.0}", report.execs_per_sec()),
+            seed_count.to_string(),
+            report.seed_features.to_string(),
+            report.new_features().to_string(),
+            report.total_edges.to_string(),
+            report.corpus_len.to_string(),
+            report.crashes.len().to_string(),
+        ]);
+        per_target.push((t.name.to_owned(), report));
+    }
+
+    table.print();
+
+    let edges_total: usize = per_target.iter().map(|(_, r)| r.total_edges).sum();
+    let new_features_total: usize = per_target.iter().map(|(_, r)| r.new_features()).sum();
+    let execs_total: u64 = per_target.iter().map(|(_, r)| r.execs).sum();
+    println!(
+        "\n{execs_total} execs over {} target(s): {edges_total} distinct edges, \
+         {new_features_total} features beyond the seeds, {total_crashes} unique crash(es)",
+        per_target.len()
+    );
+    if total_crashes > 0 {
+        println!(
+            "replay any finding with: cargo run --release -p dvm-bench --features probes \
+             --bin repro_fuzz -- --target <t> --replay <hex>"
+        );
+    }
+
+    emit_json(
+        "fuzz",
+        &[("targets", &table)],
+        &[
+            ("seed", Json::Str(format!("{:#x}", seed))),
+            ("quick", Json::Bool(quick)),
+            ("edges_total", Json::Num(edges_total as f64)),
+            ("new_features_total", Json::Num(new_features_total as f64)),
+            ("execs_total", Json::Num(execs_total as f64)),
+            ("crashes_total", Json::Num(total_crashes as f64)),
+        ],
+    );
+
+    // Exercise the replay-line plumbing even on clean runs: a session
+    // must be able to round-trip its own hex.
+    debug_assert!(per_target
+        .iter()
+        .flat_map(|(_, r)| &r.crashes)
+        .all(|c| parse_compact_hex(&compact_hex(&c.input)).as_deref() == Ok(&c.input[..])));
+
+    if total_crashes > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `--seed` accepts decimal or `0x…` hex.
+fn parse_seed(s: &str) -> u64 {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).expect("bad --seed hex")
+    } else {
+        s.parse().expect("bad --seed")
+    }
+}

@@ -66,6 +66,17 @@ const GATES: &[Gate] = &[
         noise_floor: None,
     },
     Gate {
+        // Distinct probe edges the quick fuzzing session covers; a
+        // probe-threading or seed-corpus regression drops it well
+        // before it costs a missed bug.
+        bench: "fuzz",
+        metric: "edges_total",
+        better: Better::Higher,
+        tolerance: Some(DEFAULT_TOLERANCE),
+        ceiling: None,
+        noise_floor: None,
+    },
+    Gate {
         bench: "watch",
         metric: "sampler_overhead_pct",
         better: Better::Lower,

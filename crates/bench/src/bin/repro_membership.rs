@@ -37,7 +37,7 @@ use dvm_workload::corpus;
 
 /// Master seed: ring placement, client shuffles, and gossip probe order
 /// all derive from it.
-const SEED: u64 = 0xE1A5_71C;
+const SEED: u64 = 0x0E1A_571C;
 
 fn hello(user: &str) -> Hello {
     Hello {
@@ -66,7 +66,6 @@ fn client_config() -> ClusterClientConfig {
         rounds: 4,
         round_backoff: Duration::from_millis(15),
         ring_sync: true,
-        ..ClusterClientConfig::default()
     }
 }
 

@@ -31,7 +31,7 @@ use dvm_security::Policy;
 use dvm_watch::{expo, http_get, Objective, WatchConfig};
 use dvm_workload::corpus;
 
-const SEED: u64 = 0x0B5E_21;
+const SEED: u64 = 0x000B_5E21;
 const SEC: u64 = 1_000_000_000;
 
 fn hello(user: &str) -> Hello {

@@ -7,6 +7,7 @@
 
 pub mod fig11;
 pub mod fig9;
+pub mod fuzz;
 pub mod json;
 pub mod runners;
 pub mod table;

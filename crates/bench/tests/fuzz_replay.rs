@@ -1,0 +1,116 @@
+//! Corpus replay and deterministic smoke for the fuzzing harness.
+//!
+//! Two contracts, enforced in CI on every change:
+//!
+//! * every committed `tests/corpus/**/*.hex` entry replays through its
+//!   matching fuzz target without panicking — a corpus entry is a pinned
+//!   regression the decoders must keep rejecting gracefully;
+//! * a short fixed-seed fuzzing session over each target finds zero
+//!   crashes, and (when probes are compiled in) discovers coverage
+//!   beyond the seed corpus — the search is alive, not just spinning.
+//!
+//! The coverage map is one global resource, so every test here takes
+//! the same lock before constructing a `Fuzzer` or touching probes.
+
+use std::sync::{Mutex, MutexGuard};
+
+use dvm_bench::fuzz::{all_targets, TARGET_NAMES};
+use dvm_fuzz::{FuzzConfig, Fuzzer, Mutator};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn every_corpus_entry_replays_without_panicking() {
+    let _guard = lock();
+    let mut cases = 0usize;
+    for mut t in all_targets() {
+        if !t.corpus_dir.is_dir() {
+            continue;
+        }
+        for entry in dvm_fuzz::corpus::load_dir(&t.corpus_dir) {
+            (t.run)(&entry.bytes);
+            cases += 1;
+        }
+    }
+    assert!(
+        cases >= 30,
+        "expected the committed corpora to produce at least 30 replays, saw {cases}"
+    );
+}
+
+#[test]
+fn every_seed_input_replays_without_panicking() {
+    let _guard = lock();
+    for mut t in all_targets() {
+        let seeds = std::mem::take(&mut t.seeds);
+        assert!(!seeds.is_empty(), "target {} has no seeds", t.name);
+        for bytes in seeds {
+            (t.run)(&bytes);
+        }
+    }
+}
+
+#[test]
+fn deterministic_smoke_finds_coverage_and_no_crashes() {
+    let _guard = lock();
+    let mut names = Vec::new();
+    for mut t in all_targets() {
+        names.push(t.name);
+        let iters = match t.name {
+            "store" => 800,
+            "verifier" => 600,
+            _ => 2_000,
+        };
+        let mut fuzzer = Fuzzer::new(FuzzConfig::default(), Mutator::new(t.dict.clone()));
+        for bytes in std::mem::take(&mut t.seeds) {
+            fuzzer.add_seed(&mut *t.run, bytes);
+        }
+        let report = fuzzer.run(&mut *t.run, iters);
+        assert!(
+            report.crashes.is_empty(),
+            "target {} crashed in the smoke session:\n{}",
+            t.name,
+            report.crashes[0].replay_line(t.name)
+        );
+        if dvm_fuzz::cov::enabled() {
+            assert!(
+                report.total_features > 0,
+                "target {} recorded no coverage with probes enabled",
+                t.name
+            );
+            assert!(
+                report.new_features() > 0,
+                "target {} discovered nothing beyond its seeds",
+                t.name
+            );
+        }
+    }
+    assert_eq!(names, TARGET_NAMES, "smoke must cover every target");
+}
+
+#[test]
+fn same_seed_smoke_is_deterministic() {
+    let _guard = lock();
+    let mut runs = Vec::new();
+    for _ in 0..2 {
+        let mut t = dvm_bench::fuzz::target("frame").unwrap();
+        let mut fuzzer = Fuzzer::new(FuzzConfig::default(), Mutator::new(t.dict.clone()));
+        for bytes in std::mem::take(&mut t.seeds) {
+            fuzzer.add_seed(&mut *t.run, bytes);
+        }
+        let report = fuzzer.run(&mut *t.run, 2_000);
+        runs.push((
+            report.execs,
+            report.total_features,
+            report.corpus_len,
+            report.crashes.len(),
+        ));
+    }
+    assert_eq!(
+        runs[0], runs[1],
+        "a session must be a pure function of its seed"
+    );
+}

@@ -103,6 +103,7 @@ impl Attribute {
         let mut inner = Reader::new(data);
         let attr = match name.as_str() {
             "Code" => {
+                dvm_fuzz::cov!("attr.code");
                 let max_stack = inner.u16("max_stack")?;
                 let max_locals = inner.u16("max_locals")?;
                 let code_len = inner.u32("code length")? as usize;
@@ -130,8 +131,12 @@ impl Attribute {
                     attributes,
                 })
             }
-            "ConstantValue" => Attribute::ConstantValue(inner.u16("constantvalue index")?),
+            "ConstantValue" => {
+                dvm_fuzz::cov!("attr.constant_value");
+                Attribute::ConstantValue(inner.u16("constantvalue index")?)
+            }
             "Exceptions" => {
+                dvm_fuzz::cov!("attr.exceptions");
                 let n = inner.u16("exception count")?;
                 let mut v = Vec::with_capacity(n as usize);
                 for _ in 0..n {
@@ -139,10 +144,20 @@ impl Attribute {
                 }
                 Attribute::Exceptions(v)
             }
-            "SourceFile" => Attribute::SourceFile(inner.u16("sourcefile index")?),
-            "Synthetic" => Attribute::Synthetic,
-            "Deprecated" => Attribute::Deprecated,
+            "SourceFile" => {
+                dvm_fuzz::cov!("attr.source_file");
+                Attribute::SourceFile(inner.u16("sourcefile index")?)
+            }
+            "Synthetic" => {
+                dvm_fuzz::cov!("attr.synthetic");
+                Attribute::Synthetic
+            }
+            "Deprecated" => {
+                dvm_fuzz::cov!("attr.deprecated");
+                Attribute::Deprecated
+            }
             "DvmSelfDescribing" => {
+                dvm_fuzz::cov!("attr.self_describing");
                 let n = inner.u16("exported member count")?;
                 let mut members = Vec::with_capacity(n as usize);
                 for _ in 0..n {
@@ -159,14 +174,18 @@ impl Attribute {
                 }
                 Attribute::DvmSelfDescribing(members)
             }
-            _ => Attribute::Unknown {
-                name: name.clone(),
-                data: data.to_vec(),
-            },
+            _ => {
+                dvm_fuzz::cov!("attr.unknown");
+                Attribute::Unknown {
+                    name: name.clone(),
+                    data: data.to_vec(),
+                }
+            }
         };
         // Unknown attributes keep their payload verbatim and never advance
         // `inner`, so the exact-length check applies only to parsed kinds.
         if !matches!(attr, Attribute::Unknown { .. }) && !inner.is_empty() {
+            dvm_fuzz::cov!("attr.length_mismatch");
             return Err(ClassFileError::BadAttributeLength {
                 name,
                 declared: len as u32,

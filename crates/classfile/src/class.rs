@@ -52,20 +52,25 @@ impl ClassFile {
         let mut r = Reader::new(bytes);
         let magic = r.u32("magic")?;
         if magic != MAGIC {
+            dvm_fuzz::cov!("classfile.bad_magic");
             return Err(ClassFileError::BadMagic(magic));
         }
+        dvm_fuzz::cov!("classfile.magic_ok");
         let minor_version = r.u16("minor version")?;
         let major_version = r.u16("major version")?;
         if !(45..=48).contains(&major_version) {
+            dvm_fuzz::cov!("classfile.bad_version");
             return Err(ClassFileError::UnsupportedVersion {
                 major: major_version,
                 minor: minor_version,
             });
         }
+        dvm_fuzz::cov!("classfile.version_ok");
         let pool = ConstPool::parse(&mut r)?;
         let access = AccessFlags(r.u16("class access flags")?);
         let this_class = r.u16("this_class")?;
         let super_class = r.u16("super_class")?;
+        dvm_fuzz::cov!("classfile.pool_ok");
         let n_ifaces = r.u16("interface count")?;
         let mut interfaces = Vec::with_capacity(n_ifaces as usize);
         for _ in 0..n_ifaces {
@@ -81,13 +86,16 @@ impl ClassFile {
         for _ in 0..n_methods {
             methods.push(MemberInfo::parse(&mut r, &pool)?);
         }
+        dvm_fuzz::cov!("classfile.members_ok");
         let attributes = parse_attributes(&mut r, &pool)?;
         if !r.is_empty() {
+            dvm_fuzz::cov!("classfile.trailing");
             return Err(ClassFileError::Malformed(format!(
                 "{} trailing bytes after class file",
                 r.remaining()
             )));
         }
+        dvm_fuzz::cov!("classfile.parse_ok");
         Ok(ClassFile {
             minor_version,
             major_version,

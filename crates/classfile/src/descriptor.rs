@@ -85,10 +85,14 @@ impl FieldType {
                 Ok((FieldType::Object(s[1..end].to_owned()), end + 1))
             }
             b'[' => {
+                dvm_fuzz::cov!("descriptor.array");
                 let (inner, used) = FieldType::parse_prefix(&s[1..])?;
                 Ok((FieldType::Array(Box::new(inner)), used + 1))
             }
-            _ => Err(bad()),
+            _ => {
+                dvm_fuzz::cov!("descriptor.bad");
+                Err(bad())
+            }
         }
     }
 

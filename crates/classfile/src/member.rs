@@ -23,6 +23,7 @@ pub struct MemberInfo {
 impl MemberInfo {
     /// Parses one member from `r`.
     pub fn parse(r: &mut Reader<'_>, pool: &ConstPool) -> Result<MemberInfo> {
+        dvm_fuzz::cov!("member.parse");
         let access = AccessFlags(r.u16("member access flags")?);
         let name_index = r.u16("member name index")?;
         let descriptor_index = r.u16("member descriptor index")?;

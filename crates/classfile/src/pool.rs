@@ -410,39 +410,75 @@ impl ConstPool {
             let tag = r.u8("constant tag")?;
             let c = match tag {
                 tag::UTF8 => {
+                    dvm_fuzz::cov!("pool.tag.utf8");
                     let len = r.u16("utf8 length")? as usize;
                     let bytes = r.bytes(len, "utf8 bytes")?;
-                    let s = std::str::from_utf8(bytes)
-                        .map_err(|_| ClassFileError::BadUtf8 { index: i })?;
+                    let s = std::str::from_utf8(bytes).map_err(|_| {
+                        dvm_fuzz::cov!("pool.utf8.invalid");
+                        ClassFileError::BadUtf8 { index: i }
+                    })?;
                     Constant::Utf8(s.to_owned())
                 }
-                tag::INTEGER => Constant::Integer(r.u32("integer")? as i32),
-                tag::FLOAT => Constant::Float(f32::from_bits(r.u32("float")?)),
-                tag::LONG => Constant::Long(r.u64("long")? as i64),
-                tag::DOUBLE => Constant::Double(f64::from_bits(r.u64("double")?)),
-                tag::CLASS => Constant::Class {
-                    name: r.u16("class name index")?,
-                },
-                tag::STRING => Constant::String {
-                    string: r.u16("string index")?,
-                },
-                tag::FIELDREF => Constant::Fieldref {
-                    class: r.u16("fieldref class")?,
-                    name_and_type: r.u16("fieldref nat")?,
-                },
-                tag::METHODREF => Constant::Methodref {
-                    class: r.u16("methodref class")?,
-                    name_and_type: r.u16("methodref nat")?,
-                },
-                tag::INTERFACE_METHODREF => Constant::InterfaceMethodref {
-                    class: r.u16("imethodref class")?,
-                    name_and_type: r.u16("imethodref nat")?,
-                },
-                tag::NAME_AND_TYPE => Constant::NameAndType {
-                    name: r.u16("nat name")?,
-                    descriptor: r.u16("nat descriptor")?,
-                },
-                other => return Err(ClassFileError::BadConstantTag(other)),
+                tag::INTEGER => {
+                    dvm_fuzz::cov!("pool.tag.integer");
+                    Constant::Integer(r.u32("integer")? as i32)
+                }
+                tag::FLOAT => {
+                    dvm_fuzz::cov!("pool.tag.float");
+                    Constant::Float(f32::from_bits(r.u32("float")?))
+                }
+                tag::LONG => {
+                    dvm_fuzz::cov!("pool.tag.long");
+                    Constant::Long(r.u64("long")? as i64)
+                }
+                tag::DOUBLE => {
+                    dvm_fuzz::cov!("pool.tag.double");
+                    Constant::Double(f64::from_bits(r.u64("double")?))
+                }
+                tag::CLASS => {
+                    dvm_fuzz::cov!("pool.tag.class");
+                    Constant::Class {
+                        name: r.u16("class name index")?,
+                    }
+                }
+                tag::STRING => {
+                    dvm_fuzz::cov!("pool.tag.string");
+                    Constant::String {
+                        string: r.u16("string index")?,
+                    }
+                }
+                tag::FIELDREF => {
+                    dvm_fuzz::cov!("pool.tag.fieldref");
+                    Constant::Fieldref {
+                        class: r.u16("fieldref class")?,
+                        name_and_type: r.u16("fieldref nat")?,
+                    }
+                }
+                tag::METHODREF => {
+                    dvm_fuzz::cov!("pool.tag.methodref");
+                    Constant::Methodref {
+                        class: r.u16("methodref class")?,
+                        name_and_type: r.u16("methodref nat")?,
+                    }
+                }
+                tag::INTERFACE_METHODREF => {
+                    dvm_fuzz::cov!("pool.tag.imethodref");
+                    Constant::InterfaceMethodref {
+                        class: r.u16("imethodref class")?,
+                        name_and_type: r.u16("imethodref nat")?,
+                    }
+                }
+                tag::NAME_AND_TYPE => {
+                    dvm_fuzz::cov!("pool.tag.nat");
+                    Constant::NameAndType {
+                        name: r.u16("nat name")?,
+                        descriptor: r.u16("nat descriptor")?,
+                    }
+                }
+                other => {
+                    dvm_fuzz::cov!("pool.tag.bad");
+                    return Err(ClassFileError::BadConstantTag(other));
+                }
             };
             let wide = c.is_wide();
             // Parsing must preserve indices exactly, so bypass dedup.

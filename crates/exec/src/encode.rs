@@ -506,6 +506,7 @@ struct R<'a> {
 }
 
 fn bad(reason: impl Into<String>) -> ExecError {
+    dvm_fuzz::cov!("exec.decode.reject");
     ExecError::BadPackage(reason.into())
 }
 
@@ -674,8 +675,10 @@ fn service_kind_of(t: u8) -> Result<ServiceKind> {
 
 #[allow(clippy::too_many_lines)]
 fn read_insn(r: &mut R<'_>) -> Result<RInsn> {
+    dvm_fuzz::cov!("exec.insn");
     Ok(match r.u8()? {
         1 => {
+            dvm_fuzz::cov!("exec.insn.const");
             let dst = r.reg()?;
             let v = match r.u8()? {
                 0 => RConst::Null,
@@ -762,6 +765,7 @@ fn read_insn(r: &mut R<'_>) -> Result<RInsn> {
         },
         14 => RInsn::Goto { target: r.idx()? },
         15 => {
+            dvm_fuzz::cov!("exec.insn.tableswitch");
             let on = r.reg()?;
             let low = r.i32()?;
             let count = r.u32()? as usize;
@@ -780,6 +784,7 @@ fn read_insn(r: &mut R<'_>) -> Result<RInsn> {
             }
         }
         16 => {
+            dvm_fuzz::cov!("exec.insn.lookupswitch");
             let on = r.reg()?;
             let count = r.u32()? as usize;
             if count > MAX_ITEMS {
@@ -816,6 +821,7 @@ fn read_insn(r: &mut R<'_>) -> Result<RInsn> {
             src: r.reg()?,
         },
         22 => {
+            dvm_fuzz::cov!("exec.insn.invoke");
             let kind = invoke_kind_of(r.u8()?)?;
             let idx = r.u16()?;
             let argc = r.u8()? as usize;
@@ -874,11 +880,14 @@ fn read_insn(r: &mut R<'_>) -> Result<RInsn> {
             enter: r.u8()? != 0,
             obj: r.reg()?,
         },
-        33 => RInsn::Service {
-            kind: service_kind_of(r.u8()?)?,
-            a: r.sop()?,
-            b: r.sop()?,
-        },
+        33 => {
+            dvm_fuzz::cov!("exec.insn.service");
+            RInsn::Service {
+                kind: service_kind_of(r.u8()?)?,
+                a: r.sop()?,
+                b: r.sop()?,
+            }
+        }
         t => return Err(bad(format!("bad instruction tag {t}"))),
     })
 }
@@ -887,6 +896,7 @@ fn read_insn(r: &mut R<'_>) -> Result<RInsn> {
 /// branch target and handler index inside the body. A function that
 /// passes is safe to execute without further bounds checks.
 fn validate(f: &Function) -> Result<()> {
+    dvm_fuzz::cov!("exec.validate");
     let len = f.insns.len();
     let nr = f.num_regs;
     if f.max_locals > nr {
@@ -923,10 +933,12 @@ pub fn decode(bytes: &[u8]) -> Result<ClassIr> {
     if r.take(4)? != MAGIC {
         return Err(bad("bad magic"));
     }
+    dvm_fuzz::cov!("exec.magic_ok");
     let version = r.u8()?;
     if version != VERSION {
         return Err(bad(format!("unsupported version {version}")));
     }
+    dvm_fuzz::cov!("exec.version_ok");
     let class = r.str()?;
     let method_count = r.u16()? as usize;
     let mut methods = Vec::with_capacity(method_count.min(1024));
@@ -962,11 +974,13 @@ pub fn decode(bytes: &[u8]) -> Result<ClassIr> {
             num_regs,
         };
         validate(&f)?;
+        dvm_fuzz::cov!("exec.method_ok");
         methods.push(f);
     }
     if r.pos != bytes.len() {
         return Err(bad("trailing bytes"));
     }
+    dvm_fuzz::cov!("exec.decode_ok");
     Ok(ClassIr { class, methods })
 }
 

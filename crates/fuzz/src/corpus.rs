@@ -1,0 +1,224 @@
+//! The shared `.hex` corpus format.
+//!
+//! Every hostile-input corpus in the repository (`tests/corpus/`,
+//! `tests/corpus/store/`, `tests/corpus/exec/`, `tests/corpus/classfile/`)
+//! uses one file shape, and this module is its single implementation —
+//! the property tests replay through it and the fuzzer seeds from and
+//! writes findings through it:
+//!
+//! ```text
+//! # free-form comment lines describing the entry
+//! # expect: reject                  ← store-style annotation
+//! 00 00 00 0E   # inline comments after hex are fine
+//! 06 00 00
+//! ```
+//!
+//! `#` starts a comment to end of line; everything else must be hex
+//! digits (whitespace ignored, case-insensitive). Annotations are
+//! comment lines of the form `# expect…: value` — e.g. `# expect:
+//! reject`, `# expect-live: 3` — and carry the entry's machine-checked
+//! expectation so a loader does not need per-directory parsing code.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One corpus entry: its file name, raw text, decoded bytes, and
+/// parsed annotations.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// File name, e.g. `hello-bad-utf8.hex`.
+    pub name: String,
+    /// Absolute path the entry was loaded from.
+    pub path: PathBuf,
+    /// Decoded payload bytes.
+    pub bytes: Vec<u8>,
+    /// `(key, value)` pairs from `# key: value` annotation lines.
+    pub annotations: Vec<(String, String)>,
+}
+
+impl CorpusEntry {
+    /// Looks up an annotation by key (`expect`, `expect-live`, …).
+    pub fn annotation(&self, key: &str) -> Option<&str> {
+        self.annotations
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Decodes the hex payload of one corpus file: `#` comments stripped,
+/// whitespace ignored. Errors on non-hex characters or an odd digit
+/// count.
+pub fn parse_hex(text: &str) -> Result<Vec<u8>, String> {
+    let mut nibbles: Vec<u8> = Vec::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("");
+        for c in line.chars() {
+            if c.is_whitespace() {
+                continue;
+            }
+            let d = c
+                .to_digit(16)
+                .ok_or_else(|| format!("non-hex character {c:?}"))?;
+            nibbles.push(d as u8);
+        }
+    }
+    if !nibbles.len().is_multiple_of(2) {
+        return Err(format!("odd number of hex digits ({})", nibbles.len()));
+    }
+    Ok(nibbles.chunks(2).map(|p| (p[0] << 4) | p[1]).collect())
+}
+
+/// Extracts `# key: value` annotation lines. Only comment lines whose
+/// key starts with `expect` are annotations; ordinary prose comments
+/// (which may well contain colons) are left alone.
+pub fn parse_annotations(text: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(comment) = line.trim().strip_prefix('#') else {
+            continue;
+        };
+        let Some((key, value)) = comment.split_once(':') else {
+            continue;
+        };
+        let key = key.trim();
+        if key.starts_with("expect") && !key.contains(' ') {
+            out.push((key.to_owned(), value.trim().to_owned()));
+        }
+    }
+    out
+}
+
+/// Loads every `*.hex` entry in `dir`, sorted by file name. Panics on
+/// unreadable files or malformed hex — a corrupt corpus is a repo bug,
+/// not an input condition.
+pub fn load_dir(dir: impl AsRef<Path>) -> Vec<CorpusEntry> {
+    let dir = dir.as_ref();
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("corpus dir {}: {e}", dir.display()))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "hex"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|path| {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("corpus entry {name}: {e}"));
+            let bytes = parse_hex(&text).unwrap_or_else(|e| panic!("corpus entry {name}: {e}"));
+            let annotations = parse_annotations(&text);
+            CorpusEntry {
+                name,
+                path,
+                bytes,
+                annotations,
+            }
+        })
+        .collect()
+}
+
+/// Formats `bytes` as a 16-per-line hex dump.
+pub fn format_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 3 + 8);
+    for row in bytes.chunks(16) {
+        let mut line = String::with_capacity(48);
+        for b in row {
+            let _ = write!(line, "{b:02X} ");
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one complete corpus entry: note lines as comments, then
+/// annotations, then the hex dump. `note` may span multiple lines.
+pub fn render_entry(note: &str, annotations: &[(&str, &str)], bytes: &[u8]) -> String {
+    let mut out = String::new();
+    for line in note.lines() {
+        if line.is_empty() {
+            out.push_str("#\n");
+        } else {
+            let _ = writeln!(out, "# {line}");
+        }
+    }
+    for (k, v) in annotations {
+        let _ = writeln!(out, "# {k}: {v}");
+    }
+    out.push_str(&format_hex(bytes));
+    out
+}
+
+/// Writes a corpus entry to `dir/name` (creating `dir` if needed).
+pub fn write_entry(
+    dir: impl AsRef<Path>,
+    name: &str,
+    note: &str,
+    annotations: &[(&str, &str)],
+    bytes: &[u8],
+) -> PathBuf {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("corpus dir {}: {e}", dir.display()));
+    let path = dir.join(name);
+    std::fs::write(&path, render_entry(note, annotations, bytes))
+        .unwrap_or_else(|e| panic!("corpus entry {name}: {e}"));
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trips_through_render_and_parse() {
+        let bytes: Vec<u8> = (0u8..=255).collect();
+        let text = render_entry(
+            "all byte values\nsecond line",
+            &[("expect", "reject"), ("expect-live", "3")],
+            &bytes,
+        );
+        assert_eq!(parse_hex(&text).unwrap(), bytes);
+        let notes = parse_annotations(&text);
+        assert_eq!(
+            notes,
+            vec![
+                ("expect".to_owned(), "reject".to_owned()),
+                ("expect-live".to_owned(), "3".to_owned()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_ignored() {
+        let text = "# note: this prose colon is not an annotation\n00 01\n  0A0b # tail\n";
+        assert_eq!(parse_hex(text).unwrap(), vec![0x00, 0x01, 0x0A, 0x0B]);
+        assert!(parse_annotations(text).is_empty());
+    }
+
+    #[test]
+    fn bad_hex_is_an_error_not_a_panic() {
+        assert!(parse_hex("0x zz").is_err());
+        assert!(parse_hex("ABC").is_err());
+    }
+
+    #[test]
+    fn write_and_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("dvm-fuzz-corpus-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        write_entry(
+            &dir,
+            "b-second.hex",
+            "note",
+            &[("expect", "reject")],
+            &[1, 2],
+        );
+        write_entry(&dir, "a-first.hex", "note", &[], &[3]);
+        let entries = load_dir(&dir);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].name, "a-first.hex");
+        assert_eq!(entries[0].bytes, vec![3]);
+        assert_eq!(entries[1].annotation("expect"), Some("reject"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

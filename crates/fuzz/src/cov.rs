@@ -1,0 +1,264 @@
+//! Hand-planted edge-coverage probes.
+//!
+//! Target crates mark interesting control-flow points with
+//! [`cov!`](crate::cov!)`("crate.site")`. Each probe id is hashed to a
+//! slot at **compile time** (a `const` FNV-1a), and at runtime a hit
+//! records the *edge* `prev ⊕ slot` into a fixed 64 Ki map of
+//! saturating 8-bit counters — the libFuzzer trick that distinguishes
+//! *paths between probes*, not just probes, so a parser that reaches
+//! the same error site through a new route still counts as progress.
+//!
+//! Everything here is gated on the `probes` cargo feature. Without it
+//! [`hit`] is an empty `#[inline(always)]` function and the planted
+//! probes cost literally nothing; with it a hit is one thread-local
+//! read, one XOR, and one relaxed atomic bump. The map is global and
+//! shared across threads (coverage is a heuristic — racy increments
+//! are acceptable), while the `prev` half of the edge pair is
+//! thread-local so concurrent targets do not scramble each other's
+//! transitions.
+
+#[cfg(feature = "probes")]
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// log2 of the coverage map size.
+pub const MAP_BITS: u32 = 16;
+
+/// Number of edge slots in the coverage map.
+pub const MAP_SIZE: usize = 1 << MAP_BITS;
+
+/// Compile-time FNV-1a of a probe id, folded into the map domain.
+/// `const` so every `cov!` call site bakes its slot into the binary.
+pub const fn slot(id: &str) -> u16 {
+    let bytes = id.as_bytes();
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut i = 0;
+    while i < bytes.len() {
+        hash ^= bytes[i] as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        i += 1;
+    }
+    // Fold the high bits in so short ids spread over the whole map.
+    ((hash >> 48) ^ (hash >> 32) ^ (hash >> 16) ^ hash) as u16
+}
+
+/// Records a hit on one planted probe. Call through the
+/// [`cov!`](crate::cov!) macro, which computes the slot at compile
+/// time.
+#[inline(always)]
+pub fn hit(slot: u16) {
+    #[cfg(feature = "probes")]
+    record(slot);
+    #[cfg(not(feature = "probes"))]
+    let _ = slot;
+}
+
+/// Whether probe recording is compiled in.
+#[inline]
+pub fn enabled() -> bool {
+    cfg!(feature = "probes")
+}
+
+/// Marks one edge-coverage probe. The id is any short stable string,
+/// conventionally `crate.site`:
+///
+/// ```
+/// dvm_fuzz::cov!("frame.decode.hello");
+/// ```
+///
+/// Expands to a compile-time slot computation plus a call to
+/// [`cov::hit`](crate::cov::hit) — an empty inlined function unless
+/// `dvm-fuzz/probes` is enabled.
+#[macro_export]
+macro_rules! cov {
+    ($id:expr) => {{
+        const __COV_SLOT: u16 = $crate::cov::slot($id);
+        $crate::cov::hit(__COV_SLOT);
+    }};
+}
+
+#[cfg(feature = "probes")]
+mod map {
+    use super::*;
+    use std::cell::{Cell, RefCell};
+
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ZERO: AtomicU8 = AtomicU8::new(0);
+    pub(super) static MAP: [AtomicU8; MAP_SIZE] = [ZERO; MAP_SIZE];
+
+    thread_local! {
+        pub(super) static PREV: Cell<u16> = const { Cell::new(0) };
+        /// Edges this thread drove from 0 → 1 since the last reset:
+        /// makes reset/collect proportional to edges *hit*, not to the
+        /// map size (the driver resets once per execution, so a
+        /// full-map sweep would dominate small parses).
+        pub(super) static TOUCHED: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+    }
+}
+
+#[cfg(feature = "probes")]
+#[inline]
+fn record(slot: u16) {
+    map::PREV.with(|prev| {
+        let edge = (prev.get() ^ slot) as usize & (MAP_SIZE - 1);
+        // Saturating bump; a lost race under-counts, which coverage
+        // bucketing tolerates.
+        let c = map::MAP[edge].load(Ordering::Relaxed);
+        if c == 0 {
+            map::TOUCHED.with(|t| t.borrow_mut().push(edge as u32));
+        }
+        if c < u8::MAX {
+            map::MAP[edge].store(c + 1, Ordering::Relaxed);
+        }
+        // Shift so A→B and B→A land in different slots.
+        prev.set(slot >> 1);
+    });
+}
+
+/// Zeroes every edge this thread has touched plus its edge state, so
+/// the next target execution is measured in isolation. (Coverage is
+/// accounted per driver thread: a target must run on the thread that
+/// resets and collects.)
+pub fn reset() {
+    #[cfg(feature = "probes")]
+    {
+        map::TOUCHED.with(|t| {
+            for edge in t.borrow_mut().drain(..) {
+                map::MAP[edge as usize].store(0, Ordering::Relaxed);
+            }
+        });
+        map::PREV.with(|prev| prev.set(0));
+    }
+}
+
+/// Zeroes the *entire* map, this thread's touch log, and its edge
+/// state. [`reset`] only clears edges this thread touched, so counts
+/// left behind by other threads (or by probes hit outside a session)
+/// would stay nonzero forever and mask those edges from the touch log.
+/// Call once at session start; [`Fuzzer::new`](crate::Fuzzer::new)
+/// does.
+pub fn reset_all() {
+    #[cfg(feature = "probes")]
+    {
+        for c in map::MAP.iter() {
+            if c.load(Ordering::Relaxed) != 0 {
+                c.store(0, Ordering::Relaxed);
+            }
+        }
+        map::TOUCHED.with(|t| t.borrow_mut().clear());
+        map::PREV.with(|prev| prev.set(0));
+    }
+}
+
+/// Number of distinct edges with at least one hit since the last
+/// [`reset`]. Zero when probes are compiled out.
+pub fn edges_hit() -> usize {
+    #[cfg(feature = "probes")]
+    {
+        map::TOUCHED.with(|t| t.borrow().len())
+    }
+    #[cfg(not(feature = "probes"))]
+    0
+}
+
+/// libFuzzer-style hit-count bucketing: collapses raw counts into 8
+/// coarse classes so loops do not generate unbounded "new" features.
+#[inline]
+pub fn bucket(count: u8) -> u32 {
+    match count {
+        0 => unreachable!("bucket of a zero count"),
+        1 => 0,
+        2 => 1,
+        3 => 2,
+        4..=7 => 3,
+        8..=15 => 4,
+        16..=31 => 5,
+        32..=127 => 6,
+        _ => 7,
+    }
+}
+
+/// Collects the features of the current map state into `out` (cleared
+/// first): one `u32` per hit edge, `edge * 8 + bucket(count)`. The
+/// driver unions these into its seen-set to decide corpus admission.
+pub fn collect_features(out: &mut Vec<u32>) {
+    out.clear();
+    #[cfg(feature = "probes")]
+    map::TOUCHED.with(|t| {
+        for &edge in t.borrow().iter() {
+            let count = map::MAP[edge as usize].load(Ordering::Relaxed);
+            if count != 0 {
+                out.push(edge * 8 + bucket(count));
+            }
+        }
+    });
+}
+
+/// Serializes this crate's own tests: the map is one global resource,
+/// so tests that record or assert coverage must not interleave.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_are_stable_and_spread() {
+        assert_eq!(slot("frame.decode"), slot("frame.decode"));
+        let ids = [
+            "a",
+            "b",
+            "frame.hello",
+            "frame.bye",
+            "pool.utf8",
+            "store.rec",
+        ];
+        let mut slots: Vec<u16> = ids.iter().map(|i| slot(i)).collect();
+        slots.sort_unstable();
+        slots.dedup();
+        assert_eq!(slots.len(), ids.len(), "tiny id set should not collide");
+    }
+
+    #[test]
+    fn bucketing_is_monotone_and_coarse() {
+        let mut last = 0;
+        for c in 1..=255u8 {
+            let b = bucket(c);
+            assert!(b >= last);
+            assert!(b <= 7);
+            last = b;
+        }
+    }
+
+    #[test]
+    #[cfg_attr(not(feature = "probes"), ignore = "needs --features probes")]
+    fn probes_record_edges_when_enabled() {
+        let _guard = test_lock();
+        reset_all();
+        cov!("cov.test.a");
+        cov!("cov.test.b");
+        cov!("cov.test.a");
+        let hits = edges_hit();
+        assert!(hits >= 2, "expected at least 2 edges, saw {hits}");
+        let mut features = Vec::new();
+        collect_features(&mut features);
+        assert_eq!(features.len(), hits);
+        reset();
+        assert_eq!(edges_hit(), 0);
+    }
+
+    #[test]
+    fn disabled_probes_are_inert() {
+        if enabled() {
+            return;
+        }
+        cov!("cov.test.inert");
+        assert_eq!(edges_hit(), 0);
+        let mut f = vec![1, 2, 3];
+        collect_features(&mut f);
+        assert!(f.is_empty());
+    }
+}

@@ -1,0 +1,572 @@
+//! The coverage-guided driver.
+//!
+//! One [`Fuzzer`] owns one target's search state: the live corpus, the
+//! set of coverage features ever seen, the unique crashes found so
+//! far, and the deterministic RNG stream. Each iteration picks a
+//! corpus entry, mutates it, runs the target under `catch_unwind`, and
+//! then either
+//!
+//! * **admits** the input to the corpus (it produced a coverage
+//!   feature never seen before),
+//! * **records a crash** (the target panicked — deduplicated by the
+//!   coverage signature of the crashing execution, then minimized by
+//!   chunk-deletion and truncation while the panic persists), or
+//! * discards it.
+//!
+//! Every crash is replayable from its `FUZZ REPLAY:` line, which
+//! carries the exact input bytes in hex — no corpus state needed.
+
+use std::collections::HashSet;
+use std::panic::{self, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+use crate::cov;
+use crate::mutate::Mutator;
+use crate::rng::FuzzRng;
+
+/// Tuning knobs for one fuzzing session.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Master seed; the whole session is a pure function of it.
+    pub seed: u64,
+    /// Upper bound on mutated input length.
+    pub max_len: usize,
+    /// Stop collecting new unique crashes past this many.
+    pub max_crashes: usize,
+    /// Execution budget for minimizing each crash input.
+    pub minimize_budget: u32,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            seed: 0xD7F0_55ED,
+            max_len: 4096,
+            max_crashes: 16,
+            minimize_budget: 2000,
+        }
+    }
+}
+
+/// One unique crash finding.
+#[derive(Debug, Clone)]
+pub struct Crash {
+    /// The minimized reproducer.
+    pub input: Vec<u8>,
+    /// The original mutated input that first hit the crash.
+    pub original: Vec<u8>,
+    /// The panic payload, when it was a string.
+    pub message: String,
+    /// Coverage signature of the crashing execution (dedup key).
+    pub signature: u64,
+}
+
+impl Crash {
+    /// The replay line printed for every finding: paste the hex back
+    /// through `repro_fuzz --target <t> --replay <hex>` to reproduce.
+    pub fn replay_line(&self, target: &str) -> String {
+        format!(
+            "FUZZ REPLAY: target={target} sig={:016x} input={}",
+            self.signature,
+            compact_hex(&self.input)
+        )
+    }
+}
+
+/// Outcome of one [`Fuzzer::run`] session.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// Target executions performed (including seeding and
+    /// minimization).
+    pub execs: u64,
+    /// Wall-clock spent inside [`Fuzzer::run`].
+    pub elapsed: Duration,
+    /// Coverage features contributed by the seed corpus alone.
+    pub seed_features: usize,
+    /// Total features seen by the end of the session.
+    pub total_features: usize,
+    /// Distinct probe edges seen by the end of the session.
+    pub total_edges: usize,
+    /// Live corpus size after admission.
+    pub corpus_len: usize,
+    /// Unique crashes found (deduplicated, minimized).
+    pub crashes: Vec<Crash>,
+}
+
+impl FuzzReport {
+    /// Features discovered beyond the seed corpus.
+    pub fn new_features(&self) -> usize {
+        self.total_features - self.seed_features
+    }
+
+    /// Executions per second over the session.
+    pub fn execs_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.execs as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The per-target driver. See the module docs for the loop shape.
+pub struct Fuzzer {
+    cfg: FuzzConfig,
+    rng: FuzzRng,
+    mutator: Mutator,
+    corpus: Vec<Vec<u8>>,
+    seen: HashSet<u32>,
+    seed_features: usize,
+    crashes: Vec<Crash>,
+    crash_sigs: HashSet<u64>,
+    execs: u64,
+    scratch: Vec<u32>,
+}
+
+/// What one execution of the target did.
+struct ExecOutcome {
+    /// Panic message when the target panicked.
+    panicked: Option<String>,
+    /// Coverage features of this execution (empty when probes are
+    /// compiled out).
+    features: Vec<u32>,
+    /// Whether any feature was new to the session.
+    novel: bool,
+}
+
+impl Fuzzer {
+    /// Creates a driver with the given config and mutation engine.
+    /// Clears the whole coverage map: stale counts from earlier
+    /// sessions would otherwise mask their edges from this one. One
+    /// driver at a time owns the global map — run targets
+    /// sequentially, on the driver's thread.
+    pub fn new(cfg: FuzzConfig, mutator: Mutator) -> Fuzzer {
+        cov::reset_all();
+        let rng = FuzzRng::new(cfg.seed);
+        Fuzzer {
+            cfg,
+            rng,
+            mutator,
+            corpus: Vec::new(),
+            seen: HashSet::new(),
+            seed_features: 0,
+            crashes: Vec::new(),
+            crash_sigs: HashSet::new(),
+            execs: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The live corpus (seeds plus admitted mutants).
+    pub fn corpus(&self) -> &[Vec<u8>] {
+        &self.corpus
+    }
+
+    /// Unique crashes found so far.
+    pub fn crashes(&self) -> &[Crash] {
+        &self.crashes
+    }
+
+    /// Runs `target` once on `input`, recording coverage and catching
+    /// panics. The caller-installed silent panic hook (see
+    /// [`Fuzzer::run`]) keeps expected panics quiet.
+    fn execute(&mut self, target: &mut dyn FnMut(&[u8]), input: &[u8]) -> ExecOutcome {
+        self.execs += 1;
+        cov::reset();
+        let result = panic::catch_unwind(AssertUnwindSafe(|| target(input)));
+        cov::collect_features(&mut self.scratch);
+        let novel = self.scratch.iter().any(|f| !self.seen.contains(f));
+        let panicked = match result {
+            Ok(()) => None,
+            Err(payload) => Some(panic_message(payload)),
+        };
+        ExecOutcome {
+            panicked,
+            features: self.scratch.clone(),
+            novel,
+        }
+    }
+
+    fn absorb_features(&mut self, features: &[u32]) {
+        for &f in features {
+            self.seen.insert(f);
+        }
+    }
+
+    /// Seeds the corpus with one initial input: executes it, unions its
+    /// coverage, and always keeps it (seeds are the trusted starting
+    /// population even when they add no distinct feature). A seed that
+    /// panics is recorded as a crash, exactly like a found input.
+    pub fn add_seed(&mut self, target: &mut dyn FnMut(&[u8]), bytes: Vec<u8>) {
+        let outcome = self.execute(target, &bytes);
+        let features = outcome.features.clone();
+        self.absorb_features(&features);
+        if let Some(message) = outcome.panicked {
+            self.record_crash(target, bytes.clone(), message, &features);
+        }
+        self.corpus.push(bytes);
+        self.seed_features = self.seen.len();
+    }
+
+    /// The main loop: `iters` mutate-execute-triage rounds. Installs a
+    /// silent panic hook for the duration (expected panics are data,
+    /// not console noise) and restores the previous hook before
+    /// returning.
+    pub fn run(&mut self, target: &mut dyn FnMut(&[u8]), iters: u64) -> FuzzReport {
+        let started = Instant::now();
+        let prev_hook = panic::take_hook();
+        panic::set_hook(Box::new(|_| {}));
+
+        for _ in 0..iters {
+            let mut input = if self.corpus.is_empty() {
+                Vec::new()
+            } else if self.corpus.len() > 4 && self.rng.one_in(2) {
+                // Recency bias: the newest admissions are the frontier
+                // of the search, so mutate them half the time.
+                let tail = self.corpus.len() - 1 - self.rng.below(4);
+                self.corpus[tail].clone()
+            } else {
+                self.corpus[self.rng.below(self.corpus.len())].clone()
+            };
+            let max_len = self.cfg.max_len;
+            // Split the corpus borrow from the rng borrow via a local
+            // clone-free pick: mutate draws splice partners directly.
+            let m = std::mem::take(&mut self.mutator);
+            m.mutate(&mut self.rng, &mut input, &self.corpus, max_len);
+            self.mutator = m;
+
+            let outcome = self.execute(target, &input);
+            let features = outcome.features.clone();
+            match outcome.panicked {
+                Some(message) => {
+                    self.absorb_features(&features);
+                    if self.crashes.len() < self.cfg.max_crashes {
+                        self.record_crash(target, input, message, &features);
+                    }
+                }
+                None => {
+                    if outcome.novel {
+                        self.absorb_features(&features);
+                        self.corpus.push(input);
+                    }
+                }
+            }
+        }
+
+        panic::set_hook(prev_hook);
+        self.report(started.elapsed())
+    }
+
+    fn report(&self, elapsed: Duration) -> FuzzReport {
+        FuzzReport {
+            execs: self.execs,
+            elapsed,
+            seed_features: self.seed_features,
+            total_features: self.seen.len(),
+            total_edges: self
+                .seen
+                .iter()
+                .map(|f| f / 8)
+                .collect::<HashSet<u32>>()
+                .len(),
+            corpus_len: self.corpus.len(),
+            crashes: self.crashes.clone(),
+        }
+    }
+
+    /// Deduplicates by coverage signature, minimizes, and stores one
+    /// crash. With probes compiled out the signature degrades to a hash
+    /// of the panic message.
+    fn record_crash(
+        &mut self,
+        target: &mut dyn FnMut(&[u8]),
+        input: Vec<u8>,
+        message: String,
+        features: &[u32],
+    ) {
+        let signature = crash_signature(features, &message);
+        if !self.crash_sigs.insert(signature) {
+            return;
+        }
+        let minimized = self.minimize(target, input.clone());
+        self.crashes.push(Crash {
+            input: minimized,
+            original: input,
+            message,
+            signature,
+        });
+    }
+
+    /// Shrinks a crashing input: repeated chunk deletions (halving
+    /// chunk sizes), then tail truncation, then byte simplification,
+    /// keeping any candidate that still panics. Bounded by
+    /// `minimize_budget` executions.
+    fn minimize(&mut self, target: &mut dyn FnMut(&[u8]), mut input: Vec<u8>) -> Vec<u8> {
+        let mut budget = self.cfg.minimize_budget;
+        let mut crashes_with = |this: &mut Self, candidate: &[u8], budget: &mut u32| -> bool {
+            if *budget == 0 {
+                return false;
+            }
+            *budget -= 1;
+            this.execute(target, candidate).panicked.is_some()
+        };
+
+        // Chunk deletion, coarse to fine.
+        let mut chunk = (input.len() / 2).max(1);
+        while chunk >= 1 && budget > 0 {
+            let mut at = 0;
+            while at < input.len() && budget > 0 {
+                let end = (at + chunk).min(input.len());
+                let mut candidate = input.clone();
+                candidate.drain(at..end);
+                if crashes_with(self, &candidate, &mut budget) {
+                    input = candidate;
+                } else {
+                    at = end;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        // Byte simplification: prefer zeros (readable corpus entries).
+        let mut i = 0;
+        while i < input.len() && budget > 0 {
+            if input[i] != 0 {
+                let mut candidate = input.clone();
+                candidate[i] = 0;
+                if crashes_with(self, &candidate, &mut budget) {
+                    input = candidate;
+                }
+            }
+            i += 1;
+        }
+        input
+    }
+
+    /// Corpus minimization: re-runs entries smallest-first and keeps
+    /// only those that contribute a feature not covered by an earlier
+    /// kept entry. A no-op (keeps everything) when probes are compiled
+    /// out, since without coverage every entry looks redundant.
+    pub fn minimize_corpus(&mut self, target: &mut dyn FnMut(&[u8])) {
+        if !cov::enabled() {
+            return;
+        }
+        let mut entries = std::mem::take(&mut self.corpus);
+        entries.sort_by_key(|e| e.len());
+        let mut kept: Vec<Vec<u8>> = Vec::new();
+        let mut covered: HashSet<u32> = HashSet::new();
+        let prev_hook = panic::take_hook();
+        panic::set_hook(Box::new(|_| {}));
+        for entry in entries {
+            let outcome = self.execute(target, &entry);
+            if outcome.panicked.is_some() {
+                continue;
+            }
+            if kept.is_empty() || outcome.features.iter().any(|f| !covered.contains(f)) {
+                covered.extend(outcome.features.iter().copied());
+                kept.push(entry);
+            }
+        }
+        panic::set_hook(prev_hook);
+        self.corpus = kept;
+    }
+}
+
+/// FNV-1a over the sorted feature set (and the message, which is all
+/// we have when probes are off): the crash dedup key.
+fn crash_signature(features: &[u32], message: &str) -> u64 {
+    let mut sorted: Vec<u32> = features.to_vec();
+    sorted.sort_unstable();
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut eat = |b: u8| {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    for f in &sorted {
+        for b in f.to_le_bytes() {
+            eat(b);
+        }
+    }
+    if sorted.is_empty() {
+        for b in message.bytes() {
+            eat(b);
+        }
+    }
+    hash
+}
+
+/// Extracts a printable message from a panic payload. Takes the boxed
+/// payload by value: `&Box<dyn Any>` would itself coerce to `&dyn Any`
+/// with the *box* as the concrete type and every downcast would miss.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<&str>() {
+        Ok(s) => (*s).to_owned(),
+        Err(other) => match other.downcast::<String>() {
+            Ok(s) => *s,
+            Err(_) => "<non-string panic payload>".to_owned(),
+        },
+    }
+}
+
+/// One-line hex (no spaces) for replay lines.
+pub fn compact_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// Parses a compact replay hex string back to bytes.
+pub fn parse_compact_hex(text: &str) -> Result<Vec<u8>, String> {
+    crate::corpus::parse_hex(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy parser with a staged bug: panics on inputs starting
+    /// "BUG!". Probes (when compiled in) give the search a gradient.
+    fn toy(data: &[u8]) {
+        crate::cov!("toy.enter");
+        if data.first() == Some(&b'B') {
+            crate::cov!("toy.b");
+            if data.get(1) == Some(&b'U') {
+                crate::cov!("toy.u");
+                if data.get(2) == Some(&b'G') {
+                    crate::cov!("toy.g");
+                    if data.get(3) == Some(&b'!') {
+                        panic!("toy bug reached");
+                    }
+                }
+            }
+        }
+    }
+
+    fn config(seed: u64) -> FuzzConfig {
+        FuzzConfig {
+            seed,
+            max_len: 64,
+            max_crashes: 4,
+            minimize_budget: 800,
+        }
+    }
+
+    #[test]
+    fn finds_a_dictionary_guarded_bug_and_minimizes_it() {
+        let _guard = crate::cov::test_lock();
+        // The dictionary carries the magic token, so the bug is
+        // findable with or without compiled-in probes.
+        let mutator = Mutator::new(vec![b"BUG!".to_vec()]);
+        let mut fuzzer = Fuzzer::new(config(0xFEED), mutator);
+        let mut target = toy;
+        fuzzer.add_seed(&mut target, b"hello world".to_vec());
+        let report = fuzzer.run(&mut target, 30_000);
+        assert!(
+            !report.crashes.is_empty(),
+            "the dictionary should steer onto BUG! within the budget"
+        );
+        let crash = &report.crashes[0];
+        assert!(crash.input.starts_with(b"BUG!"));
+        assert!(
+            crash.input.len() <= 8,
+            "minimization should shrink to (nearly) the 4-byte trigger, got {} bytes",
+            crash.input.len()
+        );
+        assert_eq!(crash.message, "toy bug reached");
+        assert!(crash
+            .replay_line("toy")
+            .starts_with("FUZZ REPLAY: target=toy"));
+    }
+
+    #[test]
+    #[cfg_attr(not(feature = "probes"), ignore = "needs --features probes")]
+    fn coverage_guides_the_search_without_a_dictionary() {
+        let _guard = crate::cov::test_lock();
+        // No dictionary: only the edge gradient B → BU → BUG → BUG!
+        // makes this reachable in a small budget.
+        let mutator = Mutator::new(vec![]);
+        let mut cfg = config(0xC0FFEE);
+        cfg.max_len = 16;
+        let mut fuzzer = Fuzzer::new(cfg, mutator);
+        let mut target = toy;
+        fuzzer.add_seed(&mut target, b"A".to_vec());
+        let report = fuzzer.run(&mut target, 300_000);
+        assert!(
+            !report.crashes.is_empty(),
+            "edge coverage should walk the prefix ladder to the bug"
+        );
+        assert!(report.new_features() > 0);
+        assert!(report.corpus_len > 1, "intermediate prefixes get admitted");
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_same_session() {
+        let _guard = crate::cov::test_lock();
+        let run = |seed| {
+            let mut fuzzer = Fuzzer::new(config(seed), Mutator::new(vec![b"BUG!".to_vec()]));
+            let mut target = toy;
+            fuzzer.add_seed(&mut target, b"seed".to_vec());
+            let report = fuzzer.run(&mut target, 5_000);
+            (
+                report.execs,
+                report.corpus_len,
+                report.crashes.len(),
+                report.crashes.first().map(|c| c.input.clone()),
+            )
+        };
+        assert_eq!(run(123), run(123));
+    }
+
+    #[test]
+    #[cfg_attr(not(feature = "probes"), ignore = "needs --features probes")]
+    fn corpus_minimization_keeps_coverage() {
+        let _guard = crate::cov::test_lock();
+        let mutator = Mutator::new(vec![]);
+        let mut fuzzer = Fuzzer::new(config(5), mutator);
+        let mut target = toy;
+        for seed in [&b"A"[..], b"B", b"BU", b"BUG", b"xyzzy", b"BU__"] {
+            fuzzer.add_seed(&mut target, seed.to_vec());
+        }
+        let before_edges = {
+            let report = fuzzer.report(Duration::ZERO);
+            report.total_edges
+        };
+        fuzzer.minimize_corpus(&mut target);
+        assert!(fuzzer.corpus().len() <= 6);
+        // Re-run every kept entry: the union must still cover the same
+        // edges the seeds did.
+        cov::reset();
+        let mut all = HashSet::new();
+        for entry in fuzzer.corpus().to_vec() {
+            cov::reset();
+            toy(&entry);
+            let mut f = Vec::new();
+            cov::collect_features(&mut f);
+            all.extend(f.into_iter().map(|x| x / 8));
+        }
+        assert!(all.len() >= before_edges.min(4) - 1);
+    }
+
+    #[test]
+    fn crash_signatures_dedupe() {
+        let a = crash_signature(&[1, 2, 3], "m");
+        let b = crash_signature(&[3, 2, 1], "m");
+        assert_eq!(a, b, "order-insensitive");
+        assert_ne!(a, crash_signature(&[1, 2], "m"));
+        assert_ne!(
+            crash_signature(&[], "one message"),
+            crash_signature(&[], "another message")
+        );
+    }
+
+    #[test]
+    fn compact_hex_round_trips() {
+        let bytes = vec![0u8, 1, 0xAB, 0xFF];
+        assert_eq!(parse_compact_hex(&compact_hex(&bytes)).unwrap(), bytes);
+    }
+}

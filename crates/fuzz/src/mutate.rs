@@ -1,0 +1,255 @@
+//! The seeded mutation engine.
+//!
+//! Structure-blind havoc in the libFuzzer tradition, tuned for the
+//! length-prefixed binary grammars this workspace parses: alongside
+//! bit/byte flips, chunk surgery, and corpus splices there is a
+//! dedicated *length-field havoc* pass that overwrites an aligned
+//! u16/u32 with boundary values (0, 1, `0xFFFF`, `0x7FFFFFFF`, the
+//! input's own length ± 1, …) in both endiannesses — exactly the
+//! corruption class that turns a declared length into an overrun — and
+//! a dictionary pass that stamps harvested tokens (frame tags, magic
+//! bytes like `DVMX`, `0xCAFEBABE`, `DVMSTOR1`) into the input so the
+//! search does not have to rediscover 8-byte constants by luck.
+
+use crate::rng::FuzzRng;
+
+/// Boundary integers the length-field havoc pass writes.
+const INTERESTING: &[u64] = &[
+    0,
+    1,
+    2,
+    0x7F,
+    0x80,
+    0xFF,
+    0x100,
+    0x7FFF,
+    0x8000,
+    0xFFFF,
+    0x1_0000,
+    0x00FF_FFFF,
+    0x7FFF_FFFF,
+    0xFFFF_FFF0,
+    0xFFFF_FFFF,
+];
+
+/// The mutation engine: a dictionary plus pure functions of the
+/// caller's [`FuzzRng`] stream.
+#[derive(Debug, Clone, Default)]
+pub struct Mutator {
+    /// Tokens stamped into inputs by the dictionary pass.
+    pub dict: Vec<Vec<u8>>,
+}
+
+impl Mutator {
+    /// Creates an engine with the given dictionary (may be empty).
+    pub fn new(dict: Vec<Vec<u8>>) -> Mutator {
+        Mutator { dict }
+    }
+
+    /// Applies 1–4 stacked mutations to `input`, drawing every choice
+    /// from `rng`. `splice_pool` supplies crossover partners (the live
+    /// corpus); `max_len` bounds growth.
+    pub fn mutate(
+        &self,
+        rng: &mut FuzzRng,
+        input: &mut Vec<u8>,
+        splice_pool: &[Vec<u8>],
+        max_len: usize,
+    ) {
+        // Favor single mutations: a good one-byte step toward new
+        // coverage survives admission only if a second stacked round
+        // does not wreck it.
+        let rounds = if rng.one_in(2) { 1 } else { 1 + rng.below(4) };
+        for _ in 0..rounds {
+            self.mutate_once(rng, input, splice_pool, max_len);
+        }
+        if input.len() > max_len {
+            input.truncate(max_len);
+        }
+    }
+
+    fn mutate_once(
+        &self,
+        rng: &mut FuzzRng,
+        input: &mut Vec<u8>,
+        splice_pool: &[Vec<u8>],
+        max_len: usize,
+    ) {
+        // Empty inputs can only grow.
+        if input.is_empty() {
+            let n = 1 + rng.below(8);
+            for _ in 0..n {
+                input.push(rng.byte());
+            }
+            return;
+        }
+        match rng.below(10) {
+            // Flip one bit.
+            0 => {
+                let i = rng.below(input.len());
+                input[i] ^= 1 << rng.below(8);
+            }
+            // Overwrite one byte.
+            1 => {
+                let i = rng.below(input.len());
+                input[i] = rng.byte();
+            }
+            // Insert a short random run.
+            2 => {
+                let at = rng.below(input.len() + 1);
+                let n = 1 + rng.below(8);
+                for k in 0..n {
+                    if input.len() < max_len {
+                        input.insert(at + k, rng.byte());
+                    }
+                }
+            }
+            // Delete a chunk.
+            3 => {
+                let at = rng.below(input.len());
+                let n = 1 + rng.below((input.len() - at).min(16));
+                input.drain(at..at + n);
+            }
+            // Duplicate a chunk in place.
+            4 => {
+                let at = rng.below(input.len());
+                let n = 1 + rng.below((input.len() - at).min(16));
+                let chunk: Vec<u8> = input[at..at + n].to_vec();
+                let to = rng.below(input.len() + 1);
+                for (k, b) in chunk.into_iter().enumerate() {
+                    if input.len() < max_len {
+                        input.insert(to + k, b);
+                    }
+                }
+            }
+            // Splice: keep a prefix of ours, append a suffix of theirs.
+            5 => {
+                if let Some(other) = pick(rng, splice_pool) {
+                    if !other.is_empty() {
+                        let keep = rng.below(input.len() + 1);
+                        let from = rng.below(other.len());
+                        input.truncate(keep);
+                        input.extend_from_slice(&other[from..]);
+                        return;
+                    }
+                }
+                // No partner: fall back to a byte overwrite.
+                let i = rng.below(input.len());
+                input[i] = rng.byte();
+            }
+            // Length-field havoc: stamp a boundary u16/u32, BE or LE.
+            6 => {
+                let value = INTERESTING[rng.below(INTERESTING.len())];
+                let width = if rng.one_in(2) { 2 } else { 4 };
+                let i = rng.below(input.len());
+                let bytes = if rng.one_in(2) {
+                    (value as u32).to_be_bytes()
+                } else {
+                    (value as u32).to_le_bytes()
+                };
+                for (k, b) in bytes[4 - width..].iter().enumerate() {
+                    if i + k < input.len() {
+                        input[i + k] = *b;
+                    } else if input.len() < max_len {
+                        input.push(*b);
+                    }
+                }
+            }
+            // Havoc the input's own length field, off by a little.
+            7 => {
+                let delta = [0i64, 1, -1, 16, -16][rng.below(5)];
+                let claimed = (input.len() as i64 + delta).max(0) as u32;
+                let i = rng.below(input.len());
+                let bytes = claimed.to_be_bytes();
+                for (k, b) in bytes.iter().enumerate() {
+                    if i + k < input.len() {
+                        input[i + k] = *b;
+                    }
+                }
+            }
+            // Dictionary token: insert or overwrite.
+            8 => {
+                if let Some(token) = pick(rng, &self.dict) {
+                    let token = token.clone();
+                    if rng.one_in(2) {
+                        let at = rng.below(input.len() + 1);
+                        for (k, b) in token.into_iter().enumerate() {
+                            if input.len() < max_len {
+                                input.insert(at + k, b);
+                            }
+                        }
+                    } else {
+                        let at = rng.below(input.len());
+                        for (k, b) in token.into_iter().enumerate() {
+                            if at + k < input.len() {
+                                input[at + k] = b;
+                            }
+                        }
+                    }
+                } else {
+                    let i = rng.below(input.len());
+                    input[i] ^= 1 << rng.below(8);
+                }
+            }
+            // Truncate.
+            _ => {
+                let keep = rng.below(input.len());
+                input.truncate(keep);
+            }
+        }
+    }
+}
+
+fn pick<'a>(rng: &mut FuzzRng, pool: &'a [Vec<u8>]) -> Option<&'a Vec<u8>> {
+    if pool.is_empty() {
+        None
+    } else {
+        Some(&pool[rng.below(pool.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutation_is_deterministic_per_seed() {
+        let m = Mutator::new(vec![b"DVMX".to_vec()]);
+        let pool = vec![vec![9u8; 12]];
+        let mut a = vec![1u8, 2, 3, 4, 5, 6, 7, 8];
+        let mut b = a.clone();
+        let mut ra = FuzzRng::new(77);
+        let mut rb = FuzzRng::new(77);
+        for _ in 0..50 {
+            m.mutate(&mut ra, &mut a, &pool, 256);
+            m.mutate(&mut rb, &mut b, &pool, 256);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn mutation_respects_max_len_and_changes_inputs() {
+        let m = Mutator::new(vec![]);
+        let mut rng = FuzzRng::new(3);
+        let original = vec![0u8; 32];
+        let mut changed = 0;
+        for _ in 0..100 {
+            let mut input = original.clone();
+            m.mutate(&mut rng, &mut input, &[], 64);
+            assert!(input.len() <= 64);
+            if input != original {
+                changed += 1;
+            }
+        }
+        assert!(changed > 90, "mutations almost always change the input");
+    }
+
+    #[test]
+    fn empty_inputs_grow() {
+        let m = Mutator::new(vec![]);
+        let mut rng = FuzzRng::new(11);
+        let mut input = Vec::new();
+        m.mutate(&mut rng, &mut input, &[], 64);
+        assert!(!input.is_empty());
+    }
+}

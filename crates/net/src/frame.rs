@@ -95,7 +95,10 @@ impl ErrorCode {
             4 => ErrorCode::Overloaded,
             5 => ErrorCode::Internal,
             6 => ErrorCode::CacheMiss,
-            other => return Err(FrameError::malformed(format!("error code {other}"))),
+            other => {
+                dvm_fuzz::cov!("frame.error_code.bad");
+                return Err(FrameError::malformed(format!("error code {other}")));
+            }
         })
     }
 }
@@ -404,7 +407,10 @@ fn served_from_from_u8(b: u8) -> Result<ServedFrom, FrameError> {
         1 => ServedFrom::MemoryCache,
         2 => ServedFrom::DiskCache,
         3 => ServedFrom::Peer,
-        other => return Err(FrameError::malformed(format!("served-from tier {other}"))),
+        other => {
+            dvm_fuzz::cov!("frame.served_from.bad");
+            return Err(FrameError::malformed(format!("served-from tier {other}")));
+        }
     })
 }
 
@@ -449,7 +455,10 @@ impl<'a> Cursor<'a> {
             .pos
             .checked_add(n)
             .filter(|&e| e <= self.buf.len())
-            .ok_or_else(|| FrameError::malformed("payload truncated"))?;
+            .ok_or_else(|| {
+                dvm_fuzz::cov!("frame.cursor.short");
+                FrameError::malformed("payload truncated")
+            })?;
         let slice = &self.buf[self.pos..end];
         self.pos = end;
         Ok(slice)
@@ -478,7 +487,10 @@ impl<'a> Cursor<'a> {
     fn string(&mut self) -> Result<String, FrameError> {
         let len = self.u16()? as usize;
         let raw = self.take(len)?;
-        String::from_utf8(raw.to_vec()).map_err(|_| FrameError::malformed("invalid UTF-8"))
+        String::from_utf8(raw.to_vec()).map_err(|_| {
+            dvm_fuzz::cov!("frame.cursor.utf8");
+            FrameError::malformed("invalid UTF-8")
+        })
     }
 
     fn bytes(&mut self) -> Result<Vec<u8>, FrameError> {
@@ -490,6 +502,7 @@ impl<'a> Cursor<'a> {
         if self.pos == self.buf.len() {
             Ok(())
         } else {
+            dvm_fuzz::cov!("frame.cursor.trailing");
             Err(FrameError::malformed("trailing bytes after payload"))
         }
     }
@@ -671,26 +684,39 @@ impl Frame {
     pub fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
         let mut c = Cursor::new(body);
         let frame = match c.u8()? {
-            tag::HELLO => Frame::Hello(Hello {
-                user: c.string()?,
-                principal: c.string()?,
-                hardware: c.string()?,
-                native_format: c.string()?,
-                jvm_version: c.string()?,
-            }),
-            tag::WELCOME => Frame::Welcome { session: c.u64()? },
+            tag::HELLO => {
+                dvm_fuzz::cov!("frame.tag.hello");
+                Frame::Hello(Hello {
+                    user: c.string()?,
+                    principal: c.string()?,
+                    hardware: c.string()?,
+                    native_format: c.string()?,
+                    jvm_version: c.string()?,
+                })
+            }
+            tag::WELCOME => {
+                dvm_fuzz::cov!("frame.tag.welcome");
+                Frame::Welcome { session: c.u64()? }
+            }
             tag::CODE_REQUEST => {
+                dvm_fuzz::cov!("frame.tag.code_request");
                 let request_id = c.u32()?;
                 let session = c.u64()?;
                 let url = c.string()?;
                 let native_format = c.string()?;
                 let trace = match c.u8()? {
                     0 => None,
-                    1 => Some(TraceContext {
-                        trace: TraceId(c.u64()?),
-                        parent: SpanId(c.u64()?),
-                    }),
-                    other => return Err(FrameError::malformed(format!("trace flag {other}"))),
+                    1 => {
+                        dvm_fuzz::cov!("frame.code_request.traced");
+                        Some(TraceContext {
+                            trace: TraceId(c.u64()?),
+                            parent: SpanId(c.u64()?),
+                        })
+                    }
+                    other => {
+                        dvm_fuzz::cov!("frame.code_request.bad_flag");
+                        return Err(FrameError::malformed(format!("trace flag {other}")));
+                    }
                 };
                 Frame::CodeRequest {
                     request_id,
@@ -700,22 +726,30 @@ impl Frame {
                     trace,
                 }
             }
-            tag::CODE_RESPONSE => Frame::CodeResponse {
-                request_id: c.u32()?,
-                served_from: served_from_from_u8(c.u8()?)?,
-                processing_ns: c.u64()?,
-                bytes: c.bytes()?,
-            },
-            tag::ERROR => Frame::Error {
-                request_id: c.u32()?,
-                code: ErrorCode::from_u8(c.u8()?)?,
-                message: c.string()?,
-            },
+            tag::CODE_RESPONSE => {
+                dvm_fuzz::cov!("frame.tag.code_response");
+                Frame::CodeResponse {
+                    request_id: c.u32()?,
+                    served_from: served_from_from_u8(c.u8()?)?,
+                    processing_ns: c.u64()?,
+                    bytes: c.bytes()?,
+                }
+            }
+            tag::ERROR => {
+                dvm_fuzz::cov!("frame.tag.error");
+                Frame::Error {
+                    request_id: c.u32()?,
+                    code: ErrorCode::from_u8(c.u8()?)?,
+                    message: c.string()?,
+                }
+            }
             tag::AUDIT_EVENT => {
+                dvm_fuzz::cov!("frame.tag.audit_event");
                 let session = c.u64()?;
                 let site = c.i32()?;
                 let kind = c.u8()?;
                 if kind > 2 {
+                    dvm_fuzz::cov!("frame.audit.bad_kind");
                     return Err(FrameError::malformed(format!("audit kind {kind}")));
                 }
                 Frame::AuditEvent {
@@ -724,51 +758,73 @@ impl Frame {
                     kind,
                 }
             }
-            tag::PEER_GET => Frame::PeerGet {
-                request_id: c.u32()?,
-                url: c.string()?,
-            },
-            tag::PEER_PUT => Frame::PeerPut {
-                url: c.string()?,
-                bytes: c.bytes()?,
-            },
+            tag::PEER_GET => {
+                dvm_fuzz::cov!("frame.tag.peer_get");
+                Frame::PeerGet {
+                    request_id: c.u32()?,
+                    url: c.string()?,
+                }
+            }
+            tag::PEER_PUT => {
+                dvm_fuzz::cov!("frame.tag.peer_put");
+                Frame::PeerPut {
+                    url: c.string()?,
+                    bytes: c.bytes()?,
+                }
+            }
             tag::STATS_REQUEST => {
+                dvm_fuzz::cov!("frame.tag.stats_request");
                 let request_id = c.u32()?;
                 let include_spans = match c.u8()? {
                     0 => false,
                     1 => true,
-                    other => return Err(FrameError::malformed(format!("stats flag {other}"))),
+                    other => {
+                        dvm_fuzz::cov!("frame.stats.bad_flag");
+                        return Err(FrameError::malformed(format!("stats flag {other}")));
+                    }
                 };
                 Frame::StatsRequest {
                     request_id,
                     include_spans,
                 }
             }
-            tag::STATS_RESPONSE => Frame::StatsResponse {
-                request_id: c.u32()?,
-                report: c.bytes()?,
-            },
-            tag::RING_UPDATE => Frame::RingUpdate {
-                epoch: c.u64()?,
-                ring: c.bytes()?,
-            },
-            tag::MIGRATE_BEGIN => Frame::MigrateBegin {
-                request_id: c.u32()?,
-                epoch: c.u64()?,
-                shard: c.u32()?,
-                resume_from: c.string()?,
-            },
+            tag::STATS_RESPONSE => {
+                dvm_fuzz::cov!("frame.tag.stats_response");
+                Frame::StatsResponse {
+                    request_id: c.u32()?,
+                    report: c.bytes()?,
+                }
+            }
+            tag::RING_UPDATE => {
+                dvm_fuzz::cov!("frame.tag.ring_update");
+                Frame::RingUpdate {
+                    epoch: c.u64()?,
+                    ring: c.bytes()?,
+                }
+            }
+            tag::MIGRATE_BEGIN => {
+                dvm_fuzz::cov!("frame.tag.migrate_begin");
+                Frame::MigrateBegin {
+                    request_id: c.u32()?,
+                    epoch: c.u64()?,
+                    shard: c.u32()?,
+                    resume_from: c.string()?,
+                }
+            }
             tag::MIGRATE_CHUNK => {
+                dvm_fuzz::cov!("frame.tag.migrate_chunk");
                 let request_id = c.u32()?;
                 let seq = c.u32()?;
                 let url = c.string()?;
                 let digest: [u8; 16] = c.take(16)?.try_into().unwrap();
                 let bytes = c.bytes()?;
                 if dvm_proxy::md5::md5(&bytes) != digest {
+                    dvm_fuzz::cov!("frame.migrate.digest_mismatch");
                     return Err(FrameError::malformed(format!(
                         "migrate chunk digest mismatch for {url}"
                     )));
                 }
+                dvm_fuzz::cov!("frame.migrate.digest_ok");
                 Frame::MigrateChunk {
                     request_id,
                     seq,
@@ -777,12 +833,16 @@ impl Frame {
                 }
             }
             tag::MIGRATE_END => {
+                dvm_fuzz::cov!("frame.tag.migrate_end");
                 let request_id = c.u32()?;
                 let total = c.u32()?;
                 let complete = match c.u8()? {
                     0 => false,
                     1 => true,
-                    other => return Err(FrameError::malformed(format!("end flag {other}"))),
+                    other => {
+                        dvm_fuzz::cov!("frame.migrate_end.bad_flag");
+                        return Err(FrameError::malformed(format!("end flag {other}")));
+                    }
                 };
                 Frame::MigrateEnd {
                     request_id,
@@ -790,27 +850,46 @@ impl Frame {
                     complete,
                 }
             }
-            tag::METRICS_SCRAPE => Frame::MetricsScrape {
-                request_id: c.u32()?,
-            },
-            tag::METRICS_TEXT => Frame::MetricsText {
-                request_id: c.u32()?,
-                text: c.bytes()?,
-            },
-            tag::EVENTS_REQUEST => Frame::EventsRequest {
-                request_id: c.u32()?,
-                after_seq: c.u64()?,
-                max: c.u32()?,
-            },
-            tag::EVENTS_RESPONSE => Frame::EventsResponse {
-                request_id: c.u32()?,
-                next_seq: c.u64()?,
-                events: c.bytes()?,
-            },
-            tag::BYE => Frame::Bye,
-            other => return Err(FrameError::UnknownTag(other)),
+            tag::METRICS_SCRAPE => {
+                dvm_fuzz::cov!("frame.tag.metrics_scrape");
+                Frame::MetricsScrape {
+                    request_id: c.u32()?,
+                }
+            }
+            tag::METRICS_TEXT => {
+                dvm_fuzz::cov!("frame.tag.metrics_text");
+                Frame::MetricsText {
+                    request_id: c.u32()?,
+                    text: c.bytes()?,
+                }
+            }
+            tag::EVENTS_REQUEST => {
+                dvm_fuzz::cov!("frame.tag.events_request");
+                Frame::EventsRequest {
+                    request_id: c.u32()?,
+                    after_seq: c.u64()?,
+                    max: c.u32()?,
+                }
+            }
+            tag::EVENTS_RESPONSE => {
+                dvm_fuzz::cov!("frame.tag.events_response");
+                Frame::EventsResponse {
+                    request_id: c.u32()?,
+                    next_seq: c.u64()?,
+                    events: c.bytes()?,
+                }
+            }
+            tag::BYE => {
+                dvm_fuzz::cov!("frame.tag.bye");
+                Frame::Bye
+            }
+            other => {
+                dvm_fuzz::cov!("frame.tag.unknown");
+                return Err(FrameError::UnknownTag(other));
+            }
         };
         c.finish()?;
+        dvm_fuzz::cov!("frame.decode.ok");
         Ok(frame)
     }
 
@@ -818,13 +897,16 @@ impl Frame {
     /// included), returning the frame and the bytes consumed.
     pub fn decode(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
         if buf.len() < 4 {
+            dvm_fuzz::cov!("frame.decode.short_prefix");
             return Err(FrameError::malformed("short length prefix"));
         }
         let len = u32::from_be_bytes(buf[..4].try_into().unwrap()) as usize;
         if len == 0 || len > MAX_FRAME_LEN {
+            dvm_fuzz::cov!("frame.decode.bad_length");
             return Err(FrameError::BadLength(len as u64));
         }
         if buf.len() < 4 + len {
+            dvm_fuzz::cov!("frame.decode.truncated");
             return Err(FrameError::malformed("payload truncated"));
         }
         Ok((Frame::decode_body(&buf[4..4 + len])?, 4 + len))

@@ -53,12 +53,15 @@ pub fn encode_segment_header(id: u64) -> [u8; SEGMENT_HEADER_LEN] {
 /// the magic/version do not match or the buffer is short.
 pub fn parse_segment_header(buf: &[u8]) -> Option<u64> {
     if buf.len() < SEGMENT_HEADER_LEN || buf[..8] != MAGIC {
+        dvm_fuzz::cov!("store.header.bad");
         return None;
     }
     let version = u32::from_le_bytes(buf[8..12].try_into().unwrap());
     if version != VERSION {
+        dvm_fuzz::cov!("store.header.bad_version");
         return None;
     }
+    dvm_fuzz::cov!("store.header.ok");
     Some(u64::from_le_bytes(buf[12..20].try_into().unwrap()))
 }
 
@@ -99,38 +102,53 @@ pub struct ParsedRecord {
 pub fn parse_record(buf: &[u8], offset: usize) -> Option<ParsedRecord> {
     let rest = buf.get(offset..)?;
     if rest.len() < RECORD_HEADER_LEN {
+        dvm_fuzz::cov!("store.record.short_header");
         return None;
     }
     let body_len = u32::from_le_bytes(rest[0..4].try_into().unwrap());
     if body_len > MAX_BODY_LEN {
+        dvm_fuzz::cov!("store.record.oversized");
         return None;
     }
     let body_len = body_len as usize;
     let total_len = RECORD_HEADER_LEN + body_len + 1;
     if rest.len() < total_len {
+        dvm_fuzz::cov!("store.record.overrun");
         return None;
     }
     let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
     let body = &rest[RECORD_HEADER_LEN..RECORD_HEADER_LEN + body_len];
     if rest[RECORD_HEADER_LEN + body_len] != COMMIT || crate::crc::crc32(body) != crc {
+        dvm_fuzz::cov!("store.record.uncommitted");
         return None;
     }
     // Body: kind | key_len | key | value.
     if body.len() < 5 {
+        dvm_fuzz::cov!("store.record.short_body");
         return None;
     }
     let kind = body[0];
     if kind != KIND_PUT && kind != KIND_TOMBSTONE {
+        dvm_fuzz::cov!("store.record.bad_kind");
         return None;
     }
     let key_len = u32::from_le_bytes(body[1..5].try_into().unwrap()) as usize;
     if 5 + key_len > body.len() {
+        dvm_fuzz::cov!("store.record.key_overrun");
         return None;
     }
-    let key = std::str::from_utf8(&body[5..5 + key_len]).ok()?;
+    let key = match std::str::from_utf8(&body[5..5 + key_len]) {
+        Ok(k) => k,
+        Err(_) => {
+            dvm_fuzz::cov!("store.record.bad_utf8");
+            return None;
+        }
+    };
     if kind == KIND_TOMBSTONE && body.len() != 5 + key_len {
+        dvm_fuzz::cov!("store.record.fat_tombstone");
         return None;
     }
+    dvm_fuzz::cov!("store.record.ok");
     Some(ParsedRecord {
         kind,
         key: key.to_owned(),

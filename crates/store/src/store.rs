@@ -276,6 +276,7 @@ impl Store {
             let buf = fs::read(&path)?;
             let header_ok = parse_segment_header(&buf) == Some(id);
             if !header_ok {
+                dvm_fuzz::cov!("store.recover.bad_header");
                 // Nothing in this segment is trustworthy; it and every
                 // later segment leave the committed prefix.
                 self.stats.truncated_bytes += buf.len() as u64;
@@ -288,6 +289,7 @@ impl Store {
             while offset < buf.len() {
                 match parse_record(&buf, offset) {
                     Some(rec) => {
+                        dvm_fuzz::cov!("store.recover.record");
                         self.stats.recovered_records += 1;
                         let entry = IndexEntry {
                             segment: id,
@@ -313,6 +315,7 @@ impl Store {
                         offset += rec.total_len;
                     }
                     None => {
+                        dvm_fuzz::cov!("store.recover.torn");
                         // Torn tail: truncate here, drop later segments.
                         self.stats.truncated_bytes += (buf.len() - offset) as u64;
                         let f = OpenOptions::new().write(true).open(&path)?;

@@ -90,6 +90,7 @@ impl StaticVerifier {
         report.static_checks += p3.checks;
         report.assumptions = p3.assumptions.clone();
         let out = rewrite::split_and_rewrite(cf, &p3.assumptions, &self.env)?;
+        dvm_fuzz::cov!("verify.ok");
         report.static_checks += out.discharged;
         report.discharged_assumptions = out.discharged;
         report.dynamic_checks_injected = out.injected_checks;

@@ -12,6 +12,7 @@ use dvm_classfile::{AccessFlags, ClassFile};
 use crate::error::{Result, VerifyFailure};
 
 fn fail(class: &str, reason: String) -> VerifyFailure {
+    dvm_fuzz::cov!("verify.phase1.fail");
     VerifyFailure {
         phase: 1,
         class: class.to_owned(),
@@ -23,6 +24,7 @@ fn fail(class: &str, reason: String) -> VerifyFailure {
 
 /// Runs phase 1, returning the number of checks performed.
 pub fn check(cf: &ClassFile) -> Result<u64> {
+    dvm_fuzz::cov!("verify.phase1");
     let mut checks = 0u64;
     let name = cf.name().map_err(|e| fail("?", e.to_string()))?.to_owned();
 

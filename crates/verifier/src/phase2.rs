@@ -13,6 +13,7 @@ use dvm_classfile::ClassFile;
 use crate::error::{Result, VerifyFailure};
 
 fn fail(class: &str, method: &str, at: Option<usize>, reason: String) -> VerifyFailure {
+    dvm_fuzz::cov!("verify.phase2.fail");
     VerifyFailure {
         phase: 2,
         class: class.to_owned(),
@@ -25,6 +26,7 @@ fn fail(class: &str, method: &str, at: Option<usize>, reason: String) -> VerifyF
 /// Runs phase 2 over every method with a body. Returns
 /// `(checks_performed, decoded bodies)` so phase 3 can reuse the decode.
 pub fn check(cf: &ClassFile) -> Result<(u64, Vec<(usize, Code)>)> {
+    dvm_fuzz::cov!("verify.phase2");
     let class = cf.name()?.to_owned();
     let mut checks = 0u64;
     let mut bodies = Vec::new();

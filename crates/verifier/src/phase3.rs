@@ -75,6 +75,7 @@ struct Ctx<'a> {
 
 impl Ctx<'_> {
     fn fail(&self, at: usize, reason: String) -> VerifyFailure {
+        dvm_fuzz::cov!("verify.phase3.fail");
         VerifyFailure {
             phase: 3,
             class: self.class.clone(),
@@ -109,6 +110,7 @@ impl Ctx<'_> {
 
 /// Runs phase 3 over the decoded bodies from phase 2.
 pub fn check(cf: &ClassFile, bodies: &[(usize, Code)]) -> Result<Phase3Output> {
+    dvm_fuzz::cov!("verify.phase3");
     let class = cf.name()?.to_owned();
     let mut out = Phase3Output::default();
 
@@ -194,6 +196,7 @@ fn verify_method(
     desc: &MethodDescriptor,
     code: &Code,
 ) -> Result<()> {
+    dvm_fuzz::cov!("verify.phase3.method");
     let n = code.insns.len();
     let mut states: Vec<Option<MState>> = vec![None; n];
     let mut work: Vec<usize> = Vec::new();

@@ -11,6 +11,7 @@ pub use dvm_cluster as cluster;
 pub use dvm_compiler as compiler;
 pub use dvm_core as core;
 pub use dvm_exec as exec;
+pub use dvm_fuzz as fuzz;
 pub use dvm_jvm as jvm;
 pub use dvm_membership as membership;
 pub use dvm_monitor as monitor;

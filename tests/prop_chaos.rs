@@ -1,0 +1,116 @@
+//! Property-based negative-path tests for the chaos fault grammar
+//! (`dvm_chaos::schedule`): arbitrary byte soup never panics the
+//! parser, any schedule the parser *does* accept survives a
+//! `Display → parse` round-trip, and structurally-generated schedules
+//! round-trip exactly — so a failing chaos run can always print the
+//! schedule string needed to replay it.
+
+use proptest::prelude::*;
+
+use dvm_repro::chaos::{ChaosFault, ChaosRule, ChaosSchedule, Dir, Trigger};
+
+fn arb_fault() -> impl Strategy<Value = ChaosFault> {
+    prop_oneof![
+        Just(ChaosFault::Reset),
+        Just(ChaosFault::HalfClose),
+        Just(ChaosFault::Corrupt),
+        any::<u64>().prop_map(ChaosFault::Stall),
+        any::<u64>().prop_map(ChaosFault::Delay),
+        any::<u32>().prop_map(|n| ChaosFault::Truncate(n as usize)),
+        (1u64..u64::MAX).prop_map(ChaosFault::Throttle),
+    ]
+}
+
+fn arb_trigger() -> impl Strategy<Value = Trigger> {
+    prop_oneof![
+        Just(Trigger::Always),
+        (1u64..u64::MAX).prop_map(Trigger::EveryNth),
+        (1u64..u64::MAX).prop_map(Trigger::Once),
+        // A draw in [0, 1]: the grammar rejects anything outside.
+        any::<u32>().prop_map(|v| Trigger::Prob(f64::from(v) / f64::from(u32::MAX))),
+    ]
+}
+
+fn arb_rule() -> impl Strategy<Value = ChaosRule> {
+    (
+        arb_fault(),
+        arb_trigger(),
+        prop_oneof![Just(Dir::ToServer), Just(Dir::ToClient), Just(Dir::Both)],
+    )
+        .prop_map(|(fault, trigger, dir)| ChaosRule {
+            fault,
+            trigger,
+            dir,
+        })
+}
+
+proptest! {
+    /// The parser is total: any string — control characters, stray `@`
+    /// and `:` separators, Latin-1 soup — yields `Ok` or a typed
+    /// `ParseError`, never a panic. And anything it accepts must print
+    /// back to a string it accepts *identically*, so every reachable
+    /// schedule value is replayable from its own `Display` output.
+    #[test]
+    fn hostile_schedule_text_never_panics(text in "[ -~\\n\\t¡-ÿ]{0,80}") {
+        if let Ok(schedule) = ChaosSchedule::parse(&text) {
+            let printed = schedule.to_string();
+            let reparsed = ChaosSchedule::parse(&printed);
+            prop_assert_eq!(
+                reparsed,
+                Ok(schedule),
+                "accepted schedule did not survive Display → parse: {:?}",
+                printed
+            );
+        }
+    }
+
+    /// Near-miss tokens built from grammar fragments: gluing valid-ish
+    /// pieces together must also never panic (this walks the parser's
+    /// error paths much more densely than uniform soup does).
+    #[test]
+    fn grammar_fragment_soup_never_panics(
+        dir in "[<>]{0,2}",
+        name in prop_oneof![
+            Just("reset".to_owned()), Just("halfclose".to_owned()),
+            Just("corrupt".to_owned()), Just("stall".to_owned()),
+            Just("delay".to_owned()), Just("trunc".to_owned()),
+            Just("throttle".to_owned()), "[a-z]{0,9}".prop_map(|s| s),
+        ],
+        arg in "(:[0-9]{0,21}(ms)?)?",
+        trig in "(@[pn]?(once)?-?[0-9.]{0,12})?",
+    ) {
+        let token = format!("{dir}{name}{arg}{trig}");
+        if let Ok(schedule) = ChaosSchedule::parse(&token) {
+            prop_assert_eq!(
+                ChaosSchedule::parse(&schedule.to_string()),
+                Ok(schedule)
+            );
+        }
+    }
+
+    /// Structurally-generated schedules round-trip exactly through the
+    /// textual grammar: `parse(schedule.to_string()) == schedule` for
+    /// every rule list the builder API can produce, including extreme
+    /// argument values (u64::MAX stalls, probability 0 and 1).
+    #[test]
+    fn display_then_parse_is_identity(rules in proptest::collection::vec(arb_rule(), 0..8)) {
+        let schedule = ChaosSchedule { rules };
+        let printed = schedule.to_string();
+        let reparsed = ChaosSchedule::parse(&printed)
+            .unwrap_or_else(|e| panic!("printed schedule {printed:?} rejected: {e}"));
+        prop_assert_eq!(reparsed, schedule);
+    }
+
+    /// Parse errors carry the offending token verbatim, so the operator
+    /// can find it in a long schedule string: the reported token is
+    /// always one of the whitespace-separated input tokens.
+    #[test]
+    fn parse_errors_name_an_input_token(text in "[ -~¡-ÿ]{0,60}") {
+        if let Err(e) = ChaosSchedule::parse(&text) {
+            prop_assert!(
+                text.split_whitespace().any(|t| t == e.token),
+                "error token {:?} not found in input {:?}", e.token, text
+            );
+        }
+    }
+}

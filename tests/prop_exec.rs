@@ -393,47 +393,182 @@ proptest! {
 
 // ---- Corpus replay ----------------------------------------------------------
 
-/// Parses one corpus `.hex` file: `#` comments, whitespace-separated or
-/// contiguous hex digits.
-fn parse_hex_corpus(text: &str) -> Vec<u8> {
-    let digits: String = text
-        .lines()
-        .map(|line| line.split('#').next().unwrap_or(""))
-        .collect::<Vec<_>>()
-        .join(" ")
-        .chars()
-        .filter(|c| c.is_ascii_hexdigit())
-        .collect();
-    assert!(
-        digits.len().is_multiple_of(2),
-        "corpus file holds an odd number of hex digits"
-    );
-    digits
-        .as_bytes()
-        .chunks(2)
-        .map(|pair| u8::from_str_radix(std::str::from_utf8(pair).unwrap(), 16).unwrap())
-        .collect()
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/exec")
 }
 
 /// Replays every hostile package in `tests/corpus/exec/` against the
-/// IR decoder. Each must be rejected with a typed
+/// IR decoder through the shared `dvm_fuzz::corpus` loader. Each
+/// entry carries `# expect: reject` and must be rejected with a typed
 /// `ExecError::BadPackage` — never accepted, never a panic.
 #[test]
 fn corpus_packages_are_rejected_without_panicking() {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/exec");
-    let mut entries: Vec<_> = std::fs::read_dir(&dir)
-        .expect("tests/corpus/exec exists")
-        .map(|e| e.unwrap().path())
-        .filter(|p| p.extension().is_some_and(|x| x == "hex"))
-        .collect();
-    entries.sort();
+    let entries = dvm_repro::fuzz::corpus::load_dir(corpus_dir());
     assert!(!entries.is_empty(), "corpus directory has no .hex entries");
-    for path in entries {
-        let name = path.file_name().unwrap().to_string_lossy().into_owned();
-        let bytes = parse_hex_corpus(&std::fs::read_to_string(&path).unwrap());
-        match decode(&bytes) {
+    for entry in &entries {
+        let name = &entry.name;
+        assert_eq!(
+            entry.annotation("expect"),
+            Some("reject"),
+            "{name}: missing or unexpected '# expect:' annotation"
+        );
+        match decode(&entry.bytes) {
             Err(ExecError::BadPackage(_)) => {}
             other => panic!("{name}: expected BadPackage, got {other:?}"),
         }
     }
+}
+
+/// Writes the corpus through the shared `dvm_fuzz::corpus` renderer.
+/// Every entry is one hostile DVMX package annotated `# expect:
+/// reject`. Run with `-- --ignored` after a format change, then review
+/// the diff — an entry that stops being rejected is a decoder break,
+/// not a refresh.
+#[test]
+#[ignore = "regenerates tests/corpus/exec/*.hex"]
+fn regenerate_exec_corpus() {
+    let dir = corpus_dir();
+
+    /// `"DVMX"` magic plus the current version byte.
+    fn header() -> Vec<u8> {
+        vec![0x44, 0x56, 0x4D, 0x58, 0x01]
+    }
+    /// Header plus class name `"t/C"`.
+    fn class() -> Vec<u8> {
+        let mut v = header();
+        v.extend_from_slice(&[0x00, 0x03]);
+        v.extend_from_slice(b"t/C");
+        v
+    }
+    /// One-method package: name `"m"`, descriptor `"()V"`, the given
+    /// frame shape, instruction bytes, and handler bytes.
+    fn method(
+        max_locals: u16,
+        num_regs: u16,
+        insn_count: u32,
+        insns: &[u8],
+        handlers: &[u8],
+    ) -> Vec<u8> {
+        let mut v = class();
+        v.extend_from_slice(&[0x00, 0x01]); // one method
+        v.extend_from_slice(&[0x00, 0x01]);
+        v.push(b'm');
+        v.extend_from_slice(&[0x00, 0x03]);
+        v.extend_from_slice(b"()V");
+        v.extend_from_slice(&max_locals.to_be_bytes());
+        v.extend_from_slice(&num_regs.to_be_bytes());
+        v.extend_from_slice(&insn_count.to_be_bytes());
+        v.extend_from_slice(insns);
+        v.extend_from_slice(handlers);
+        v
+    }
+    const NO_HANDLERS: &[u8] = &[0x00, 0x00];
+
+    let dump = |name: &str, note: &str, bytes: &[u8]| {
+        dvm_repro::fuzz::corpus::write_entry(&dir, name, note, &[("expect", "reject")], bytes);
+    };
+
+    dump(
+        "bad-constant-tag.hex",
+        "Const instruction with constant tag 9 (valid tags are 0-5).\n\
+         Expect ExecError::BadPackage(\"bad constant tag 9\").",
+        &method(1, 2, 1, &[0x01, 0x00, 0x01, 0x09], NO_HANDLERS),
+    );
+    dump(
+        "bad-magic.hex",
+        "Magic reads \"DVMY\", not \"DVMX\".\n\
+         Expect ExecError::BadPackage(\"bad magic\").",
+        &[0x44, 0x56, 0x4D, 0x59, 0x01],
+    );
+    dump(
+        "bad-version.hex",
+        "Valid magic, version byte 0x63 (99) names no format revision.\n\
+         Expect ExecError::BadPackage(\"unsupported version 99\").",
+        &[0x44, 0x56, 0x4D, 0x58, 0x63],
+    );
+    dump(
+        "branch-target-out-of-range.hex",
+        "Goto targets instruction 9 of a 1-instruction body.\n\
+         Expect ExecError::BadPackage(\"branch target 9 out of 1\").",
+        &method(1, 2, 1, &[0x0E, 0x00, 0x00, 0x00, 0x09], NO_HANDLERS),
+    );
+    dump(
+        "class-name-overrun.hex",
+        "Class-name length claims 32 bytes but only two follow.\n\
+         Expect ExecError::BadPackage (truncated).",
+        &{
+            let mut v = header();
+            v.extend_from_slice(&[0x00, 0x20]);
+            v.extend_from_slice(b"t/");
+            v
+        },
+    );
+    dump(
+        "handler-out-of-bounds.hex",
+        "Exception handler covers the empty range [0, 0).\n\
+         Expect ExecError::BadPackage(\"handler range out of bounds\").",
+        &method(
+            1,
+            2,
+            1,
+            &[0x11, 0x00],
+            &[
+                0x00, 0x01, // one handler
+                0x00, 0x00, 0x00, 0x00, // start 0
+                0x00, 0x00, 0x00, 0x00, // end 0 (start >= end)
+                0x00, 0x00, 0x00, 0x00, // handler 0
+                0x00, 0x00, // catch_type 0
+            ],
+        ),
+    );
+    dump(
+        "max-locals-exceed-regs.hex",
+        "max_locals 5 in a 2-register frame: arguments could not be\n\
+         received. Expect ExecError::BadPackage(\"max_locals exceeds\n\
+         num_regs\").",
+        &method(5, 2, 1, &[0x11, 0x00], NO_HANDLERS),
+    );
+    dump(
+        "oversized-body.hex",
+        "Instruction count 0x00200001 exceeds the decoder's MAX_ITEMS cap;\n\
+         the length field must be rejected before any allocation.\n\
+         Expect ExecError::BadPackage(\"oversized method body\").",
+        &method(1, 2, 0x0020_0001, &[], &[]),
+    );
+    dump(
+        "register-out-of-range.hex",
+        "Move writes register 255 in a 2-register frame; post-decode\n\
+         validation must refuse to install it.\n\
+         Expect ExecError::BadPackage(\"register 255 out of 2\").",
+        &method(1, 2, 1, &[0x02, 0x00, 0xFF, 0x00, 0x00], NO_HANDLERS),
+    );
+    dump(
+        "trailing-bytes.hex",
+        "A well-formed empty package followed by one stray byte.\n\
+         Expect ExecError::BadPackage(\"trailing bytes\").",
+        &{
+            let mut v = class();
+            v.extend_from_slice(&[0x00, 0x00]); // no methods
+            v.push(0xFF);
+            v
+        },
+    );
+    dump(
+        "truncated-magic.hex",
+        "Three bytes of magic; the package ends mid-header.\n\
+         Expect ExecError::BadPackage (truncated).",
+        &[0x44, 0x56, 0x4D],
+    );
+    dump(
+        "unknown-insn-tag.hex",
+        "A one-instruction body whose tag (0xEE) names no IR instruction.\n\
+         Expect ExecError::BadPackage(\"bad instruction tag 238\").",
+        &method(1, 2, 1, &[0xEE], &[]),
+    );
+    dump(
+        "zero-length.hex",
+        "The empty package: not even a magic number.\n\
+         Expect ExecError::BadPackage (truncated).",
+        &[],
+    );
 }

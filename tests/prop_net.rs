@@ -242,60 +242,49 @@ proptest! {
     }
 }
 
-/// Parses one corpus `.hex` file: `#` comments, whitespace-separated or
-/// contiguous hex digits.
-fn parse_hex_corpus(text: &str) -> Vec<u8> {
-    let digits: String = text
-        .lines()
-        .map(|line| line.split('#').next().unwrap_or(""))
-        .collect::<Vec<_>>()
-        .join(" ")
-        .chars()
-        .filter(|c| c.is_ascii_hexdigit())
-        .collect();
-    assert!(
-        digits.len().is_multiple_of(2),
-        "corpus file holds an odd number of hex digits"
-    );
-    digits
-        .as_bytes()
-        .chunks(2)
-        .map(|pair| u8::from_str_radix(std::str::from_utf8(pair).unwrap(), 16).unwrap())
-        .collect()
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
 }
 
 /// Replays every hostile input in `tests/corpus/` against both
-/// decoders. Each must be rejected with a typed `FrameError` by the
-/// strict decoder — never accepted, never a panic. The streaming
-/// decoder may additionally answer `Ok(None)` (incomplete), which the
-/// connection-level reader later converts to `FrameError::Truncated`.
+/// decoders through the shared `dvm_fuzz::corpus` loader. Each must be
+/// rejected with a typed `FrameError` by the strict decoder — never
+/// accepted, never a panic. Each entry's `# expect:` annotation states
+/// what the streaming decoder may do: `reject` means it too must
+/// error, `incomplete` means it may answer `Ok(None)` (still waiting
+/// for bytes the wire cut off — the connection-level reader later
+/// converts that to `FrameError::Truncated`).
 #[test]
 fn corpus_inputs_are_rejected_without_panicking() {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
-    let mut cases = 0usize;
-    let mut entries: Vec<_> = std::fs::read_dir(&dir)
-        .expect("tests/corpus exists")
-        .map(|e| e.unwrap().path())
-        .filter(|p| p.extension().is_some_and(|x| x == "hex"))
-        .collect();
-    entries.sort();
-    assert!(!entries.is_empty(), "corpus directory has no .hex entries");
-    for path in entries {
-        let name = path.file_name().unwrap().to_string_lossy().into_owned();
-        let bytes = parse_hex_corpus(&std::fs::read_to_string(&path).unwrap());
-        cases += 1;
+    let entries = dvm_repro::fuzz::corpus::load_dir(corpus_dir());
+    assert!(
+        entries.len() >= 10,
+        "corpus shrank to {} entries",
+        entries.len()
+    );
+    for entry in &entries {
+        let name = &entry.name;
+        let bytes = &entry.bytes;
+        let expect = entry
+            .annotation("expect")
+            .unwrap_or_else(|| panic!("{name}: missing '# expect:' annotation"));
 
-        let strict = Frame::decode(&bytes);
+        let strict = Frame::decode(bytes);
         assert!(
             strict.is_err(),
             "{name}: strict decoder accepted hostile bytes: {strict:?}"
         );
 
-        match Frame::try_decode(&bytes) {
+        match Frame::try_decode(bytes) {
             Err(_) => {}
             Ok(None) => {
-                // Only legitimate for inputs shorter than their declared
-                // frame — the decoder is still waiting for bytes.
+                assert_eq!(
+                    expect, "incomplete",
+                    "{name}: streaming decoder withheld judgment on a complete frame"
+                );
+                // Cross-check the annotation: `Ok(None)` is only
+                // legitimate when fewer bytes exist than the prefix
+                // declares.
                 let declared = if bytes.len() >= 4 {
                     4 + u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize
                 } else {
@@ -303,7 +292,7 @@ fn corpus_inputs_are_rejected_without_panicking() {
                 };
                 assert!(
                     bytes.len() < declared,
-                    "{name}: streaming decoder withheld judgment on a complete frame"
+                    "{name}: annotated incomplete but the frame is complete"
                 );
             }
             Ok(Some((frame, _))) => {
@@ -311,5 +300,267 @@ fn corpus_inputs_are_rejected_without_panicking() {
             }
         }
     }
-    assert!(cases >= 10, "corpus shrank to {cases} entries");
+}
+
+/// Writes the corpus through the shared `dvm_fuzz::corpus` renderer.
+/// Each entry is one hostile wire input with a `# expect:` annotation —
+/// `reject` (both decoders must error) or `incomplete` (the streaming
+/// decoder may answer `Ok(None)` for bytes cut short of their declared
+/// frame). Run with `-- --ignored` after a grammar change, then review
+/// the diff — an entry that stops being rejected is a decoder break,
+/// not a refresh.
+#[test]
+#[ignore = "regenerates tests/corpus/*.hex"]
+fn regenerate_net_corpus() {
+    let dir = corpus_dir();
+
+    fn u16be(v: u16) -> [u8; 2] {
+        v.to_be_bytes()
+    }
+    fn u32be(v: u32) -> [u8; 4] {
+        v.to_be_bytes()
+    }
+    fn u64be(v: u64) -> [u8; 8] {
+        v.to_be_bytes()
+    }
+    /// Body framed with a correct length prefix.
+    fn framed(body: &[u8]) -> Vec<u8> {
+        let mut out = u32be(body.len() as u32).to_vec();
+        out.extend_from_slice(body);
+        out
+    }
+    /// Body framed with a deliberately wrong declared length.
+    fn framed_as(declared: u32, body: &[u8]) -> Vec<u8> {
+        let mut out = u32be(declared).to_vec();
+        out.extend_from_slice(body);
+        out
+    }
+    fn cat(parts: &[&[u8]]) -> Vec<u8> {
+        parts.concat()
+    }
+
+    let dump = |name: &str, note: &str, expect: &str, bytes: &[u8]| {
+        dvm_repro::fuzz::corpus::write_entry(&dir, name, note, &[("expect", expect)], bytes);
+    };
+
+    dump(
+        "audit-bad-kind.hex",
+        "AUDIT_EVENT with event kind 0x07 (only 0..=2 exist).\n\
+         Expect FrameError::Malformed (\"audit kind 7\").",
+        "reject",
+        &framed(&cat(&[&[0x06], &u64be(42), &u32be(7), &[0x07]])),
+    );
+    dump(
+        "bye-trailing-bytes.hex",
+        "BYE followed by two junk bytes inside the declared body. A frame\n\
+         must consume its whole body exactly. Expect FrameError::Malformed\n\
+         (\"trailing bytes after payload\").",
+        "reject",
+        &framed(&[0x07, 0xAA, 0xBB]),
+    );
+    dump(
+        "code-request-bad-trace-flag.hex",
+        "CODE_REQUEST whose trace-presence flag is 0x02 (only 0 and 1 are\n\
+         legal). Expect FrameError::Malformed (\"trace flag 2\").",
+        "reject",
+        &framed(&cat(&[
+            &[0x03],
+            &u32be(1),
+            &u64be(0),
+            &u16be(1),
+            b"A",
+            &u16be(0),
+            &[0x02],
+        ])),
+    );
+    dump(
+        "code-response-bad-tier.hex",
+        "CODE_RESPONSE with served-from tier 0x09 (only 0..=3 exist). This\n\
+         is exactly what a single flipped byte in the tier field looks like.\n\
+         Expect FrameError::Malformed (\"served-from tier 9\").",
+        "reject",
+        &framed(&cat(&[&[0x04], &u32be(1), &[0x09], &u64be(0), &u32be(0)])),
+    );
+    dump(
+        "code-response-bytes-overrun.hex",
+        "CODE_RESPONSE declaring a ~4 GiB class-bytes blob inside an\n\
+         18-byte body: a length-field corruption that must not drive an\n\
+         allocation or an out-of-bounds read. Expect FrameError::Malformed.",
+        "reject",
+        &framed(&cat(&[
+            &[0x04],
+            &u32be(1),
+            &[0x00],
+            &u64be(0),
+            &u32be(0xFFFF_FFF0),
+        ])),
+    );
+    dump(
+        "events-request-truncated.hex",
+        "EVENTS_REQUEST cut off before the max field: after_seq is complete\n\
+         but the u32 max is missing entirely, and the length prefix agrees —\n\
+         a complete frame whose body ends early. Expect FrameError::Malformed.",
+        "reject",
+        &framed(&cat(&[&[0x12], &u32be(1), &u64be(5)])),
+    );
+    dump(
+        "events-response-events-overrun.hex",
+        "EVENTS_RESPONSE whose event-batch length prefix (0x7FFFFFFF)\n\
+         dwarfs both the frame and MAX_FRAME_LEN; must be rejected before\n\
+         allocation.",
+        "reject",
+        &framed(&cat(&[
+            &[0x13],
+            &u32be(2),
+            &u64be(10),
+            &u32be(0x7FFF_FFFF),
+            &[0x00],
+        ])),
+    );
+    dump(
+        "hello-bad-utf8.hex",
+        "HELLO whose user field contains invalid UTF-8 (FF FE), remaining\n\
+         four string fields empty. Expect FrameError::Malformed\n\
+         (\"invalid UTF-8\").",
+        "reject",
+        &framed(&cat(&[
+            &[0x01],
+            &u16be(2),
+            &[0xFF, 0xFE],
+            &u16be(0),
+            &u16be(0),
+            &u16be(0),
+            &u16be(0),
+        ])),
+    );
+    dump(
+        "hello-string-overrun.hex",
+        "HELLO whose user string claims 0xFFFF bytes but the body holds two.\n\
+         The cursor must bounds-check, not read past the buffer.\n\
+         Expect FrameError::Malformed (\"payload truncated\").",
+        "reject",
+        &framed(&cat(&[&[0x01], &u16be(0xFFFF), b"AA"])),
+    );
+    dump(
+        "metrics-scrape-trailing-bytes.hex",
+        "METRICS_SCRAPE with a stray byte after the request id: the decoder\n\
+         must reject payload bytes its grammar did not consume.",
+        "reject",
+        &framed(&cat(&[&[0x10], &u32be(1), &[0xFF]])),
+    );
+    dump(
+        "metrics-text-bytes-overrun.hex",
+        "METRICS_TEXT whose byte-field length prefix (255) promises more\n\
+         exposition text than the frame carries (2 bytes).",
+        "reject",
+        &framed(&cat(&[&[0x11], &u32be(1), &u32be(0xFF), &[0xAB, 0xCD]])),
+    );
+    dump(
+        "migrate-chunk-bytes-overrun.hex",
+        "A MIGRATE_CHUNK carrying an oversized length field (~4 GiB claimed\n\
+         inside a 40-byte declared body) — a corruption that must not drive\n\
+         an allocation or out-of-bounds read. Expect FrameError::Malformed.",
+        "reject",
+        &framed_as(
+            0x28,
+            &cat(&[
+                &[0x0E],
+                &u32be(1),
+                &u32be(0),
+                &u32be(9),
+                b"class://a",
+                &[
+                    0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xAA, 0xBB, 0xCC,
+                    0xDD, 0xEE, 0xFF,
+                ],
+                &u32be(0xFFFF_FFF0),
+                b"AB",
+            ]),
+        ),
+    );
+    dump(
+        "migrate-chunk-digest-mismatch.hex",
+        "A MIGRATE_CHUNK whose MD5 digest field does not match its value\n\
+         bytes — a corrupted (or tampered) migration payload. The decoder\n\
+         re-hashes on ingest and must reject with FrameError::Malformed\n\
+         rather than admit the bytes into a cache.",
+        "reject",
+        &framed(&cat(&[
+            &[0x0E],
+            &u32be(1),
+            &u32be(0),
+            &u32be(9),
+            b"class://a",
+            &[0u8; 16],
+            &u32be(2),
+            b"AB",
+        ])),
+    );
+    dump(
+        "migrate-chunk-truncated.hex",
+        "A MIGRATE_CHUNK cut mid-transfer: the frame declares a 64-byte body\n\
+         but the stream dies 8 bytes in — the shape a killed migration\n\
+         source leaves on the wire. The strict decoder errors; the streaming\n\
+         decoder may answer Ok(None) pending bytes that will never come (the\n\
+         puller's resumption loop turns that into a reconnect).",
+        "incomplete",
+        &framed_as(0x40, &cat(&[&[0x0E], &u32be(1), &[0x00, 0x00, 0x00]])),
+    );
+    dump(
+        "migrate-end-bad-flag.hex",
+        "A MIGRATE_END whose `complete` flag is 7: booleans on the wire are\n\
+         0 or 1, anything else is FrameError::Malformed (a decoder that\n\
+         treats nonzero as true would mask corruption).",
+        "reject",
+        &framed(&cat(&[&[0x0F], &u32be(1), &u32be(64), &[0x07]])),
+    );
+    dump(
+        "oversized-length.hex",
+        "Length prefix 0xFFFFFFFF, far beyond MAX_FRAME_LEN. Must be\n\
+         rejected before any allocation is attempted. Expect\n\
+         FrameError::BadLength.",
+        "reject",
+        &[0xFF, 0xFF, 0xFF, 0xFF, 0x01, 0x02, 0x03, 0x04],
+    );
+    dump(
+        "ring-update-epoch-truncated.hex",
+        "A RING_UPDATE whose body ends inside the epoch field: the length\n\
+         prefix says 4 body bytes, so after the tag only 3 of the epoch's 8\n\
+         bytes exist. A complete frame with a bad epoch encoding must be a\n\
+         typed error from both decoders, never a stall or a panic.",
+        "reject",
+        &framed(&[0x0C, 0x00, 0x00, 0x00]),
+    );
+    dump(
+        "truncated-body.hex",
+        "A frame declaring 32 body bytes, cut after 5 — the shape a\n\
+         ChaosLink `trunc:` fault writes on the wire. The strict decoder\n\
+         errors; the streaming decoder may answer Ok(None) pending more\n\
+         bytes that will never come (the connection-level reader turns that\n\
+         into FrameError::Truncated).",
+        "incomplete",
+        &framed_as(0x20, &[0x04, 0x00, 0x00, 0x00, 0x01]),
+    );
+    dump(
+        "truncated-prefix.hex",
+        "Two bytes of a four-byte length prefix: the cut fell inside the\n\
+         prefix itself. The strict decoder errors; the streaming decoder may\n\
+         answer Ok(None) — it cannot yet know a frame exists.",
+        "incomplete",
+        &[0x00, 0x00],
+    );
+    dump(
+        "unknown-tag.hex",
+        "A well-formed one-byte body whose tag (0xFF) names no frame kind.\n\
+         Expect FrameError::UnknownTag(0xFF).",
+        "reject",
+        &framed(&[0xFF]),
+    );
+    dump(
+        "zero-length.hex",
+        "A frame declaring a zero-byte body: no room for even a tag.\n\
+         Expect FrameError::BadLength(0).",
+        "reject",
+        &framed(&[]),
+    );
 }

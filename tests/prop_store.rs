@@ -44,60 +44,28 @@ fn corpus_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/store")
 }
 
-/// Parses one corpus `.hex` file: `#` comments, whitespace-separated or
-/// packed hex digits.
-fn parse_hex_corpus(text: &str) -> Vec<u8> {
-    let digits: String = text
-        .lines()
-        .map(|line| line.split('#').next().unwrap_or(""))
-        .collect::<Vec<_>>()
-        .join(" ")
-        .chars()
-        .filter(|c| c.is_ascii_hexdigit())
-        .collect();
-    assert!(
-        digits.len().is_multiple_of(2),
-        "corpus file holds an odd number of hex digits"
-    );
-    digits
-        .as_bytes()
-        .chunks(2)
-        .map(|pair| u8::from_str_radix(std::str::from_utf8(pair).unwrap(), 16).unwrap())
-        .collect()
-}
-
-/// Pulls the `# expect-live: N` annotation out of a corpus file.
-fn expected_live(text: &str) -> usize {
-    text.lines()
-        .find_map(|l| l.trim().strip_prefix("# expect-live:"))
-        .expect("corpus file carries an '# expect-live: N' line")
-        .trim()
-        .parse()
-        .expect("expect-live value parses")
-}
-
 /// Replays every damaged segment image in `tests/corpus/store/` as
-/// segment 0 of a store directory. Recovery must succeed, index exactly
-/// the annotated committed prefix, and serve every surviving key
-/// without a corruption miss.
+/// segment 0 of a store directory, loaded through the shared
+/// `dvm_fuzz::corpus` helper. Recovery must succeed, index exactly the
+/// `# expect-live: N` annotated committed prefix, and serve every
+/// surviving key without a corruption miss.
 #[test]
 fn store_corpus_recovers_to_the_committed_prefix() {
-    let mut entries: Vec<_> = std::fs::read_dir(corpus_dir())
-        .expect("tests/corpus/store exists")
-        .map(|e| e.unwrap().path())
-        .filter(|p| p.extension().is_some_and(|x| x == "hex"))
-        .collect();
-    entries.sort();
+    let entries = dvm_repro::fuzz::corpus::load_dir(corpus_dir());
     assert!(!entries.is_empty(), "store corpus has no .hex entries");
 
-    for path in entries {
-        let text = std::fs::read_to_string(&path).unwrap();
-        let bytes = parse_hex_corpus(&text);
-        let expect = expected_live(&text);
+    for entry in entries {
+        let path = &entry.path;
+        let bytes = &entry.bytes;
+        let expect: usize = entry
+            .annotation("expect-live")
+            .expect("corpus file carries an '# expect-live: N' line")
+            .parse()
+            .expect("expect-live value parses");
 
         let dir = TempDir::new();
         std::fs::create_dir_all(&dir.0).unwrap();
-        std::fs::write(dir.0.join(format!("{:016x}.seg", 0)), &bytes).unwrap();
+        std::fs::write(dir.0.join(format!("{:016x}.seg", 0)), bytes).unwrap();
 
         let mut store = Store::open(&dir.0, StoreConfig::default())
             .unwrap_or_else(|e| panic!("{path:?}: recovery must not fail, got {e}"));
@@ -141,14 +109,14 @@ fn regenerate_store_corpus() {
     let header = encode_segment_header(0).to_vec();
 
     let dump = |name: &str, note: &str, expect: usize, bytes: &[u8]| {
-        let mut out = String::new();
-        out.push_str(&format!("# {note}\n# expect-live: {expect}\n"));
-        for chunk in bytes.chunks(16) {
-            let hex: Vec<String> = chunk.iter().map(|b| format!("{b:02x}")).collect();
-            out.push_str(&hex.join(" "));
-            out.push('\n');
-        }
-        std::fs::write(dir.join(name), out).unwrap();
+        let expect = expect.to_string();
+        dvm_repro::fuzz::corpus::write_entry(
+            &dir,
+            name,
+            note,
+            &[("expect-live", expect.as_str())],
+            bytes,
+        );
     };
 
     // 1. A header cut mid-way: the whole segment is unreadable.

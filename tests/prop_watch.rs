@@ -5,6 +5,7 @@
 //! journal sequence numbers stay strictly increasing — with cursor
 //! tails that never drop or duplicate — under concurrent writers.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use proptest::prelude::*;
@@ -174,5 +175,103 @@ proptest! {
             }
         });
         prop_assert_eq!(collected, (1..=total).collect::<Vec<u64>>());
+    }
+}
+
+// ---- Exposition (expo) properties ------------------------------------------
+
+proptest! {
+    /// `parse ∘ render` is lossless for the samples that matter: every
+    /// counter and gauge registered under an arbitrary (hostile) name
+    /// comes back under its sanitized name with its exact value, every
+    /// rate sample round-trips bit-for-bit, and the parser accepts the
+    /// whole exposition. Values stay under 2^32 so `u64 → f64 → u64`
+    /// is exact.
+    #[test]
+    fn exposition_parse_inverts_render(
+        node in "[ -~\\n¡-ÿ]{0,12}",
+        counters in proptest::collection::vec(("[ -~]{1,18}", any::<u32>()), 0..6),
+        gauges in proptest::collection::vec(("[ -~]{1,18}", any::<i32>()), 0..6),
+        hist in proptest::collection::vec(1u64..1_000_000, 0..20),
+        rates in proptest::collection::vec(("[ -~]{0,18}", any::<u32>(), 0u32..1000), 0..4),
+    ) {
+        use dvm_repro::watch::expo;
+
+        let reg = Registry::new();
+        // The registry keys by raw name: repeated counter names accumulate
+        // and a re-set gauge keeps its last value. Model both so the
+        // round-trip assertion compares against what was actually stored.
+        let mut counter_model: BTreeMap<&str, u64> = BTreeMap::new();
+        for (name, v) in &counters {
+            reg.counter(name).add(u64::from(*v));
+            *counter_model.entry(name).or_default() += u64::from(*v);
+        }
+        let mut gauge_model: BTreeMap<&str, i64> = BTreeMap::new();
+        for (name, v) in &gauges {
+            reg.gauge(name).set(i64::from(*v));
+            gauge_model.insert(name, i64::from(*v));
+        }
+        if !hist.is_empty() {
+            let h = reg.histogram("lat.ns");
+            for v in &hist {
+                h.record(*v);
+            }
+        }
+        let rates: Vec<(String, f64)> = rates
+            .into_iter()
+            .map(|(n, whole, frac)| (n, f64::from(whole) + f64::from(frac) / 1000.0))
+            .collect();
+
+        let text = expo::render(&node, &reg.snapshot(), &rates, &[]);
+        let samples = expo::parse(&text).unwrap();
+
+        let has = |name: &str, v: f64| samples.iter().any(|(n, _, sv)| n == name && *sv == v);
+        for (name, v) in &counter_model {
+            prop_assert!(
+                has(&expo::sanitize(name), *v as f64),
+                "counter {name:?} lost in round-trip"
+            );
+        }
+        for (name, v) in &gauge_model {
+            prop_assert!(
+                has(&expo::sanitize(name), *v as f64),
+                "gauge {name:?} lost in round-trip"
+            );
+        }
+        if !hist.is_empty() {
+            prop_assert!(has("dvm_lat_ns_count", hist.len() as f64));
+            prop_assert!(has("dvm_lat_ns_sum", hist.iter().sum::<u64>() as f64));
+        }
+        for (_, rate) in &rates {
+            prop_assert!(
+                samples.iter().any(|(n, _, v)| n == "dvm_rate_per_sec" && v == rate),
+                "rate {rate} lost in round-trip"
+            );
+        }
+        // Every sample line the renderer emitted parsed back out.
+        let rendered_samples = text
+            .lines()
+            .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+            .count();
+        prop_assert_eq!(samples.len(), rendered_samples);
+    }
+
+    /// Hostile scrape text never panics the parser: any byte soup is a
+    /// clean `Ok` or a typed `Err`.
+    #[test]
+    fn hostile_scrape_text_never_panics(text in "[ -~\\n\\t¡-ÿ]{0,300}") {
+        let _ = dvm_repro::watch::expo::parse(&text);
+    }
+
+    /// Sanitized names are always legal Prometheus identifiers, so a
+    /// hostile registry name cannot corrupt the exposition grammar.
+    #[test]
+    fn sanitize_always_yields_legal_names(name in "[ -~\\n¡-ÿ]{0,40}") {
+        let s = dvm_repro::watch::expo::sanitize(&name);
+        prop_assert!(s.starts_with("dvm_"));
+        prop_assert!(s
+            .chars()
+            .enumerate()
+            .all(|(i, c)| c.is_ascii_alphanumeric() || c == '_' || (c == ':' && i > 0)));
     }
 }
