@@ -1,4 +1,4 @@
-//! Coverage-guided fuzzing session over the five untrusted-input
+//! Coverage-guided fuzzing session over the six untrusted-input
 //! surfaces (ROADMAP item 5a, DESIGN.md §5h).
 //!
 //! Runs each [`dvm_bench::fuzz`] target under the `dvm-fuzz` driver:
@@ -14,8 +14,8 @@
 //!
 //! * `--quick`         — divide every iteration budget by 5 (CI smoke);
 //! * `--json`          — also write `BENCH_fuzz.json` for the perf gate;
-//! * `--target <name>` — fuzz one surface (`frame`, `classfile`,
-//!   `verifier`, `exec`, `store`) instead of all five;
+//! * `--target <name>` — fuzz one surface (`frame`, `assembler`,
+//!   `classfile`, `verifier`, `exec`, `store`) instead of all six;
 //! * `--iters <n>`     — override the per-target iteration budget;
 //! * `--seed <n>`      — master seed (default `0xD7F055ED`); every
 //!   session is a pure function of it;

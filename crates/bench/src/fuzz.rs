@@ -1,7 +1,8 @@
 //! Per-target fuzzing harnesses for `repro_fuzz` (DESIGN.md §5h).
 //!
-//! The five untrusted-input surfaces of the proxy — the wire-frame
-//! decoder, the classfile parser, the bytecode verifier, the DVMX
+//! The untrusted-input surfaces of the proxy — the wire-frame decoder,
+//! the incremental frame assembler (the reactor's byte-arrival state
+//! machine), the classfile parser, the bytecode verifier, the DVMX
 //! exec-package decoder, and store segment recovery — each get one
 //! [`FuzzTarget`]: a closure that feeds arbitrary bytes to the decoder
 //! (any `Err` is a correct rejection; only a panic is a finding), a
@@ -19,13 +20,20 @@ use std::path::{Path, PathBuf};
 
 use dvm_classfile::ClassFile;
 use dvm_fuzz::corpus as fuzz_corpus;
-use dvm_net::{ErrorCode, Frame, Hello};
+use dvm_net::{ErrorCode, Frame, FrameAssembler, Hello};
 use dvm_proxy::ServedFrom;
 use dvm_store::{Store, StoreConfig};
 use dvm_verifier::{MapEnvironment, StaticVerifier};
 
-/// Names of the five fuzzed surfaces, in reporting order.
-pub const TARGET_NAMES: [&str; 5] = ["frame", "classfile", "verifier", "exec", "store"];
+/// Names of the six fuzzed surfaces, in reporting order.
+pub const TARGET_NAMES: [&str; 6] = [
+    "frame",
+    "assembler",
+    "classfile",
+    "verifier",
+    "exec",
+    "store",
+];
 
 /// The closure feeding one input to a target's decoder.
 pub type TargetFn = Box<dyn FnMut(&[u8])>;
@@ -110,6 +118,92 @@ fn frame_target() -> FuzzTarget {
             let _ = Frame::decode_body(input);
         }),
         default_iters: 60_000,
+    }
+}
+
+/// The incremental frame assembler, checked for *chunk-partition
+/// equivalence*: the input's first byte seeds a deterministic partition
+/// of the remaining bytes into hostile chunks (1–13 bytes each), and
+/// feeding those chunks through [`FrameAssembler`] must yield exactly
+/// the frames — and the same terminal error — as a one-shot
+/// `Frame::try_decode` pass over the whole buffer. Short reads must
+/// re-buffer, never re-parse; the `assert_eq!`s turn any divergence
+/// into a panic, i.e. a finding. This is the reactor's byte-arrival
+/// state machine, fuzzed the way a hostile network delivers bytes.
+fn assembler_target() -> FuzzTarget {
+    // Reuse the hostile frame corpus: each entry's first byte becomes
+    // the partition spec and the rest the stream, so every pinned
+    // reject path is also partition-tested. Fresh seeds cover the
+    // accept path with pipelined multi-frame streams.
+    let mut seeds = corpus_seeds(&corpus_root());
+    for spec in [0u8, 3, 11] {
+        let mut stream = vec![spec];
+        for frame in sample_frames().into_iter().take(6) {
+            stream.extend(frame.encode());
+        }
+        seeds.push(stream);
+    }
+    let mut dict: Vec<Vec<u8>> = (0x01u8..=0x13).map(|t| vec![t]).collect();
+    dict.push(vec![0x00, 0x00, 0x00, 0x01]);
+    dict.push(vec![0x00, 0x00, 0x00, 0x00]);
+    FuzzTarget {
+        name: "assembler",
+        corpus_dir: corpus_root(),
+        dict,
+        seeds,
+        run: Box::new(|input: &[u8]| {
+            let Some((&spec, stream)) = input.split_first() else {
+                return;
+            };
+            // Reference: one-shot decode over the whole buffer.
+            let mut rest = stream;
+            let mut want = Vec::new();
+            let mut want_err = None;
+            loop {
+                match Frame::try_decode(rest) {
+                    Ok(Some((frame, consumed))) => {
+                        want.push(frame);
+                        rest = &rest[consumed..];
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        want_err = Some(e);
+                        break;
+                    }
+                }
+            }
+            // Same bytes, hostile arrival: chunk sizes are a pure
+            // function of (spec, chunk index).
+            let mut asm = FrameAssembler::new();
+            let mut got = Vec::new();
+            let mut got_err = None;
+            let mut pos = 0usize;
+            let mut i = 0usize;
+            'feed: while pos < stream.len() {
+                let size = (spec as usize)
+                    .wrapping_mul(31)
+                    .wrapping_add(i.wrapping_mul(17))
+                    % 13
+                    + 1;
+                let end = (pos + size).min(stream.len());
+                asm.push(&stream[pos..end]);
+                pos = end;
+                i += 1;
+                loop {
+                    match asm.next_frame() {
+                        Ok(Some(frame)) => got.push(frame),
+                        Ok(None) => break,
+                        Err(e) => {
+                            got_err = Some(e);
+                            break 'feed;
+                        }
+                    }
+                }
+            }
+            assert_eq!(got, want, "chunked frames diverged from one-shot decode");
+            assert_eq!(got_err, want_err, "chunked error diverged from one-shot");
+        }),
+        default_iters: 40_000,
     }
 }
 
@@ -351,6 +445,7 @@ fn build_segment_image() -> Vec<u8> {
 pub fn target(name: &str) -> Option<FuzzTarget> {
     match name {
         "frame" => Some(frame_target()),
+        "assembler" => Some(assembler_target()),
         "classfile" => Some(classfile_target()),
         "verifier" => Some(verifier_target()),
         "exec" => Some(exec_target()),
@@ -359,7 +454,7 @@ pub fn target(name: &str) -> Option<FuzzTarget> {
     }
 }
 
-/// All five targets in reporting order.
+/// All six targets in reporting order.
 pub fn all_targets() -> Vec<FuzzTarget> {
     TARGET_NAMES
         .iter()

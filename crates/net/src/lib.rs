@@ -22,11 +22,15 @@
 //! bytes, while the simulated cost model continues to price them for
 //! machine-independent experiment output.
 
+pub mod assembler;
 pub mod client;
 pub mod frame;
+pub(crate) mod protocol;
+pub(crate) mod reactor_server;
 pub mod sema;
 pub mod server;
 
+pub use assembler::{peek_frame, FrameAssembler};
 pub use client::{
     fetch_events, fetch_metrics_text, fetch_stats, IrHook, NetClassProvider, NetClientStats,
     NetConfig, NetError, NetTransfer, RemoteConsole,

@@ -1,0 +1,434 @@
+//! Engine-agnostic server protocol logic.
+//!
+//! The server speaks one protocol through two engines: the blocking
+//! thread-per-connection loop (`server::serve_connection`) and the
+//! epoll reactor (`reactor_server`). Both funnel every decoded frame
+//! through [`handle_frame`], which owns the request/response semantics
+//! — stats, fault-plan decisions, membership and migration answers —
+//! and stays ignorant of sockets. The one frame that does real work,
+//! `CODE_REQUEST`, comes back as [`Flow::Execute`] so each engine can
+//! run [`execute_plan`] where blocking is acceptable: inline on a
+//! connection thread, or on the reactor's worker pool.
+
+use std::sync::atomic::Ordering;
+
+use dvm_monitor::{ClientDescription, SessionId, SiteId};
+use dvm_proxy::{CacheTier, ProxyError, RequestContext, ServedFrom};
+use dvm_telemetry::{SpanId, TraceContext};
+
+use crate::frame::{kind_from_u8, ErrorCode, Frame, Hello};
+use crate::server::{FaultAction, Inner, MIGRATE_BATCH};
+
+/// What the engine must do after a frame is handled. Replies queued in
+/// the `replies` buffer are sent regardless; `Flow` says what happens
+/// next.
+#[derive(Debug)]
+pub(crate) enum Flow {
+    /// Keep serving this connection.
+    Continue,
+    /// Flush queued replies, then close cleanly.
+    Close,
+    /// Drop the connection abruptly, without flushing.
+    Kill,
+    /// Run [`execute_plan`] (blocking work) and deliver its output.
+    Execute(ExecPlan),
+}
+
+/// A `CODE_REQUEST` lifted out of the frame loop: everything
+/// [`execute_plan`] needs, owned, so it can move to a worker thread.
+#[derive(Debug)]
+pub(crate) struct ExecPlan {
+    pub request_id: u32,
+    pub url: String,
+    pub trace: Option<TraceContext>,
+    /// A non-`Drop` fault to apply on the response path.
+    pub fault: Option<FaultAction>,
+    /// Client identity captured from the connection's handshake.
+    pub client: String,
+    pub principal: String,
+}
+
+/// The outcome of [`execute_plan`]: raw wire bytes (already counted on
+/// the out-metrics) plus whether the connection must close after they
+/// flush (`Truncate` kills the connection by design).
+#[derive(Debug)]
+pub(crate) struct ExecOutput {
+    pub bytes: Vec<u8>,
+    pub close: bool,
+}
+
+/// Per-connection protocol state, engine-owned.
+#[derive(Debug, Default)]
+pub(crate) struct ConnProto {
+    /// The handshake, once one arrived (identity for later requests).
+    pub hello: Option<Hello>,
+    /// 1-based count of code requests on this connection, for
+    /// per-connection fault triggers.
+    pub conn_requests: u64,
+}
+
+/// Handles one client frame: updates stats, queues reply frames, and
+/// reports the resulting control flow. Pure protocol — no socket I/O.
+pub(crate) fn handle_frame(
+    inner: &Inner,
+    proto: &mut ConnProto,
+    frame: Frame,
+    replies: &mut Vec<Frame>,
+) -> Flow {
+    inner.metrics.frames_in.inc();
+    match frame {
+        Frame::Hello(h) => {
+            let session = match &inner.console {
+                Some(console) => {
+                    console
+                        .lock()
+                        .handshake(ClientDescription {
+                            user: h.user.clone(),
+                            hardware: h.hardware.clone(),
+                            native_format: h.native_format.clone(),
+                            jvm_version: h.jvm_version.clone(),
+                        })
+                        .0
+                }
+                None => inner.anon_sessions.fetch_add(1, Ordering::SeqCst),
+            };
+            proto.hello = Some(h);
+            replies.push(Frame::Welcome { session });
+            Flow::Continue
+        }
+        Frame::CodeRequest {
+            request_id,
+            url,
+            trace,
+            ..
+        } => {
+            inner.stats.lock().requests += 1;
+            proto.conn_requests += 1;
+            let fault = inner.config.fault.as_ref().and_then(|plan| {
+                let server_seq = inner.request_counter.fetch_add(1, Ordering::SeqCst) + 1;
+                plan.decide(server_seq, proto.conn_requests)
+            });
+            if fault.is_some() {
+                inner.stats.lock().faults_injected += 1;
+            }
+            if fault == Some(FaultAction::Drop) {
+                return Flow::Kill;
+            }
+            Flow::Execute(ExecPlan {
+                request_id,
+                url,
+                trace,
+                fault,
+                client: proto
+                    .hello
+                    .as_ref()
+                    .map(|h| h.user.clone())
+                    .unwrap_or_default(),
+                principal: proto
+                    .hello
+                    .as_ref()
+                    .map(|h| h.principal.clone())
+                    .unwrap_or_default(),
+            })
+        }
+        Frame::AuditEvent {
+            session,
+            site,
+            kind,
+        } => {
+            // Console ingest: the wire form of the client-resident audit
+            // service component reporting upstream.
+            if let (Some(console), Some(kind)) = (&inner.console, kind_from_u8(kind)) {
+                console
+                    .lock()
+                    .record(SessionId(session), SiteId(site), kind);
+                inner.stats.lock().audit_events += 1;
+                inner.metrics.audit_events.inc();
+            }
+            Flow::Continue
+        }
+        Frame::PeerGet { request_id, url } => {
+            // Cache-fill probe from a peer shard: answer from the local
+            // cache only — a peer probe must never trigger a rewrite
+            // here (the asking shard owns that fallback).
+            inner.stats.lock().peer_gets += 1;
+            let reply = match inner.proxy.cache_peek(&url) {
+                Some((bytes, tier)) => {
+                    inner.stats.lock().peer_hits += 1;
+                    Frame::CodeResponse {
+                        request_id,
+                        served_from: match tier {
+                            CacheTier::Memory => ServedFrom::MemoryCache,
+                            CacheTier::Disk => ServedFrom::DiskCache,
+                        },
+                        processing_ns: 0,
+                        bytes: bytes.to_vec(),
+                    }
+                }
+                None => Frame::Error {
+                    request_id,
+                    code: ErrorCode::CacheMiss,
+                    message: String::new(),
+                },
+            };
+            replies.push(reply);
+            Flow::Continue
+        }
+        Frame::PeerPut { url, bytes } => {
+            // Unsolicited offer from the shard that just rewrote the url
+            // we own: land it on the disk tier so it cannot evict our
+            // hot set, and send nothing back.
+            inner.stats.lock().peer_puts += 1;
+            inner.proxy.cache_fill(&url, bytes, CacheTier::Disk);
+            Flow::Continue
+        }
+        Frame::StatsRequest {
+            request_id,
+            include_spans,
+        } => {
+            // The stats plane: serialize this node's live telemetry and
+            // hand it back. Reading the plane is itself counted, so
+            // pollers are visible in what they poll.
+            inner.metrics.stats_requests.inc();
+            let report = if include_spans {
+                inner.telemetry.report()
+            } else {
+                inner.telemetry.report_metrics_only()
+            };
+            replies.push(Frame::StatsResponse {
+                request_id,
+                report: report.encode(),
+            });
+            Flow::Continue
+        }
+        Frame::RingUpdate { epoch, .. } => {
+            // Epoch exchange: an asker behind the published epoch gets
+            // the full snapshot; an up-to-date one gets just our epoch
+            // back (cheap enough to poll).
+            inner.stats.lock().ring_updates += 1;
+            inner.metrics.ring_updates.inc();
+            let view = inner.membership.lock().clone();
+            let (our_epoch, ring) = match view {
+                Some(v) => {
+                    let e = v.epoch();
+                    if epoch < e {
+                        (e, v.snapshot().to_vec())
+                    } else {
+                        (e, Vec::new())
+                    }
+                }
+                None => (0, Vec::new()),
+            };
+            replies.push(Frame::RingUpdate {
+                epoch: our_epoch,
+                ring,
+            });
+            Flow::Continue
+        }
+        Frame::MigrateBegin {
+            request_id,
+            epoch,
+            shard,
+            resume_from,
+        } => {
+            // Live cache migration, source side: stream the keys `shard`
+            // now owns out of our cache in bounded batches. The exporter
+            // owns ring/ownership logic; refusals (no exporter, epoch
+            // mismatch) are typed errors, and a truncated batch ends
+            // with `complete: false` so the target resumes from the last
+            // key it saw.
+            let exporter = inner.exporter.lock().clone();
+            let batch = match &exporter {
+                Some(x) => x.export(shard, epoch, &resume_from, MIGRATE_BATCH),
+                None => Err("no migration exporter installed".into()),
+            };
+            match batch {
+                Ok(batch) => {
+                    inner.stats.lock().migrate_streams += 1;
+                    let total = batch.entries.len() as u32;
+                    for (seq, (url, bytes)) in batch.entries.into_iter().enumerate() {
+                        replies.push(Frame::MigrateChunk {
+                            request_id,
+                            seq: seq as u32,
+                            url,
+                            bytes,
+                        });
+                        inner.stats.lock().migrate_chunks_out += 1;
+                        inner.metrics.migrate_chunks_out.inc();
+                    }
+                    replies.push(Frame::MigrateEnd {
+                        request_id,
+                        total,
+                        complete: batch.complete,
+                    });
+                }
+                Err(msg) => {
+                    inner.stats.lock().migrate_rejects += 1;
+                    replies.push(Frame::Error {
+                        request_id,
+                        code: ErrorCode::Internal,
+                        message: msg,
+                    });
+                }
+            }
+            Flow::Continue
+        }
+        Frame::MetricsScrape { request_id } => {
+            // The scrape plane: render the Prometheus-text exposition
+            // through the installed source. Scraping is itself counted,
+            // so pollers are visible in what they poll (same discipline
+            // as STATS_REQUEST).
+            inner.metrics.scrape_requests.inc();
+            let source = inner.scrape.lock().clone();
+            let reply = match source {
+                Some(s) => Frame::MetricsText {
+                    request_id,
+                    text: s.render_metrics().into_bytes(),
+                },
+                None => Frame::Error {
+                    request_id,
+                    code: ErrorCode::Internal,
+                    message: "no metrics source installed".into(),
+                },
+            };
+            replies.push(reply);
+            Flow::Continue
+        }
+        Frame::EventsRequest {
+            request_id,
+            after_seq,
+            max,
+        } => {
+            // Journal tailing: serve the cursor page straight from the
+            // telemetry plane's event journal (and its durable spool,
+            // when one is installed).
+            inner.metrics.events_requests.inc();
+            let page = inner
+                .telemetry
+                .journal()
+                .events_after(after_seq, (max as usize).min(1024));
+            let next_seq = page.last().map(|e| e.seq).unwrap_or(after_seq);
+            replies.push(Frame::EventsResponse {
+                request_id,
+                next_seq,
+                events: dvm_telemetry::events::encode_events(&page),
+            });
+            Flow::Continue
+        }
+        Frame::Bye => Flow::Close,
+        Frame::Welcome { .. }
+        | Frame::CodeResponse { .. }
+        | Frame::Error { .. }
+        | Frame::StatsResponse { .. }
+        | Frame::MigrateChunk { .. }
+        | Frame::MigrateEnd { .. }
+        | Frame::MetricsText { .. }
+        | Frame::EventsResponse { .. } => {
+            // Server-to-client frames arriving at the server.
+            inner.stats.lock().malformed += 1;
+            inner.metrics.malformed.inc();
+            replies.push(Frame::Error {
+                request_id: 0,
+                code: ErrorCode::Malformed,
+                message: "unexpected frame direction".into(),
+            });
+            Flow::Close
+        }
+    }
+}
+
+/// Serves one `CODE_REQUEST` through the proxy pipeline. This is the
+/// blocking half — rewrite pipeline, store I/O, injected delays — and
+/// must run off the reactor loop (the blocking engine runs it inline on
+/// its connection thread). Out-metrics for the returned bytes are
+/// counted here.
+pub(crate) fn execute_plan(inner: &Inner, plan: ExecPlan) -> ExecOutput {
+    if let Some(FaultAction::Delay(d)) = plan.fault {
+        std::thread::sleep(d);
+    }
+    // A traced request gets a "shard.serve" span covering the whole
+    // server-side handling; its id is allocated now so the proxy's
+    // spans parent under it.
+    let recorder = inner.telemetry.recorder();
+    let serve_start = recorder.now_ns();
+    let serve_span = plan.trace.map(|t| (t, SpanId::generate()));
+    let ctx = RequestContext {
+        client: plan.client,
+        principal: plan.principal,
+        url: plan.url.clone(),
+        trace: serve_span.map(|(t, id)| TraceContext {
+            trace: t.trace,
+            parent: id,
+        }),
+    };
+    let mut reply = match inner.proxy.handle_request_detailed(&plan.url, &ctx) {
+        Ok(response) => {
+            inner.stats.lock().responses += 1;
+            Frame::CodeResponse {
+                request_id: plan.request_id,
+                served_from: response.served_from,
+                processing_ns: response.processing_ns,
+                bytes: response.bytes.to_vec(),
+            }
+        }
+        Err(e) => {
+            inner.stats.lock().errors += 1;
+            let code = match &e {
+                ProxyError::NotFound(_) => ErrorCode::NotFound,
+                ProxyError::Parse(_) => ErrorCode::Parse,
+                ProxyError::Filter(_) => ErrorCode::Filter,
+            };
+            Frame::Error {
+                request_id: plan.request_id,
+                code,
+                message: e.to_string(),
+            }
+        }
+    };
+    let serve_duration = recorder.now_ns().saturating_sub(serve_start);
+    inner.metrics.serve_ns.record(serve_duration);
+    if let Some((t, id)) = serve_span {
+        recorder.record_span(
+            t.trace,
+            id,
+            t.parent,
+            "shard.serve",
+            serve_start,
+            serve_duration,
+        );
+    }
+    match plan.fault {
+        Some(FaultAction::Corrupt) => {
+            // Flip one byte in the middle of the payload: the frame
+            // still parses, so only the client's signature check can
+            // catch the damage.
+            if let Frame::CodeResponse { bytes, .. } = &mut reply {
+                if !bytes.is_empty() {
+                    let mid = bytes.len() / 2;
+                    bytes[mid] ^= 0xFF;
+                }
+            }
+            ExecOutput {
+                bytes: inner.encode_counted(&reply),
+                close: false,
+            }
+        }
+        Some(FaultAction::Truncate(n)) => {
+            // Deliver a strict prefix of the encoded frame, then die:
+            // the client must see a mid-frame truncation, never a
+            // short-but-clean close.
+            let encoded = reply.encode();
+            let cut = n.clamp(1, encoded.len().saturating_sub(1));
+            inner.metrics.frames_out.inc();
+            inner.metrics.bytes_out.add(cut as u64);
+            ExecOutput {
+                bytes: encoded[..cut].to_vec(),
+                close: true,
+            }
+        }
+        _ => ExecOutput {
+            bytes: inner.encode_counted(&reply),
+            close: false,
+        },
+    }
+}

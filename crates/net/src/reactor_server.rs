@@ -1,0 +1,222 @@
+//! The reactor engine: `ProxyServer`'s protocol on the `dvm-reactor`
+//! event loop.
+//!
+//! [`NetHandler`] is the glue between the loop's byte-level callbacks
+//! and the engine-agnostic protocol ([`crate::protocol`]): frame
+//! boundaries come from [`crate::assembler::peek_frame`], decoded
+//! frames go through `handle_frame`, and `CODE_REQUEST` execution
+//! (the one blocking step) is deferred to the reactor's worker pool so
+//! ten thousand idle connections cost buffers, not threads.
+//!
+//! Overload semantics match the blocking engine: a connection beyond
+//! `max_connections` is still accepted, its first complete frame is
+//! read, and it gets a typed `Overloaded` error before the close — the
+//! rejection is never lost to a reset racing the client's write.
+
+use std::sync::Arc;
+
+use dvm_reactor::{Boundary, CloseReason, Io, JobOutput, ReactorObserver};
+use dvm_telemetry::{Counter, Gauge, Histogram, Telemetry};
+
+use crate::assembler::peek_frame;
+use crate::frame::{ErrorCode, Frame};
+use crate::protocol::{execute_plan, handle_frame, ConnProto, Flow};
+use crate::server::Inner;
+
+/// Per-connection state on the reactor: protocol state plus the
+/// overload latch.
+#[derive(Debug, Default)]
+pub(crate) struct RConn {
+    proto: ConnProto,
+    /// Accepted beyond the serving limit: reply `Overloaded` to the
+    /// first frame, then drain and close.
+    overloaded: bool,
+    /// The overload rejection has been queued (ignore further frames
+    /// that race the close).
+    rejected: bool,
+}
+
+/// The `dvm-net` protocol as a reactor [`dvm_reactor::Handler`].
+pub(crate) struct NetHandler {
+    pub(crate) inner: Arc<Inner>,
+}
+
+impl NetHandler {
+    fn send_frame(&self, io: &mut Io<'_>, frame: &Frame) {
+        let encoded = self.inner.encode_counted(frame);
+        io.send(&encoded);
+    }
+}
+
+impl dvm_reactor::Handler for NetHandler {
+    type Conn = RConn;
+
+    fn on_open(&self, _token: u64, overloaded: bool) -> RConn {
+        if overloaded {
+            self.inner.stats.lock().overload_rejects += 1;
+            self.inner.metrics.overload_rejects.inc();
+        } else {
+            self.inner.stats.lock().connections += 1;
+            self.inner
+                .live
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            self.inner.metrics.live_connections.add(1);
+        }
+        RConn {
+            proto: ConnProto::default(),
+            overloaded,
+            rejected: false,
+        }
+    }
+
+    fn frame_boundary(&self, buf: &[u8]) -> Boundary {
+        match peek_frame(buf) {
+            Ok(None) => Boundary::NeedMore,
+            Ok(Some(n)) => Boundary::Frame(n),
+            Err(e) => Boundary::Violation(e.to_string()),
+        }
+    }
+
+    fn on_data(&self, n: usize) {
+        self.inner.metrics.bytes_in.add(n as u64);
+    }
+
+    fn on_frame(&self, io: &mut Io<'_>, conn: &mut RConn, frame: &[u8]) {
+        if conn.overloaded {
+            // At-capacity arrival: answer its opening frame with the
+            // typed rejection, then drain out and close.
+            if !conn.rejected {
+                conn.rejected = true;
+                self.send_frame(
+                    io,
+                    &Frame::Error {
+                        request_id: 0,
+                        code: ErrorCode::Overloaded,
+                        message: "server at connection capacity".into(),
+                    },
+                );
+                io.close_after_flush();
+            }
+            return;
+        }
+        // `frame` is exactly one length-delimited frame (prefix
+        // included), as judged by `peek_frame`; the body can still be
+        // semantically malformed (unknown tag, truncated payload).
+        let decoded = match Frame::decode_body(&frame[4..]) {
+            Ok(f) => f,
+            Err(e) => {
+                self.inner.stats.lock().malformed += 1;
+                self.inner.metrics.malformed.inc();
+                self.send_frame(
+                    io,
+                    &Frame::Error {
+                        request_id: 0,
+                        code: ErrorCode::Malformed,
+                        message: e.to_string(),
+                    },
+                );
+                io.close_after_flush();
+                return;
+            }
+        };
+        let mut replies = Vec::new();
+        let flow = handle_frame(&self.inner, &mut conn.proto, decoded, &mut replies);
+        for f in &replies {
+            self.send_frame(io, f);
+        }
+        match flow {
+            Flow::Continue => {}
+            Flow::Close => io.close_after_flush(),
+            Flow::Kill => io.close(),
+            Flow::Execute(plan) => {
+                // The blocking step — rewrite pipeline, store I/O,
+                // injected delays — runs on the pool; the loop stops
+                // consuming this connection's frames until the output
+                // is delivered back, which preserves response order.
+                let inner = self.inner.clone();
+                io.defer(move || {
+                    let out = execute_plan(&inner, plan);
+                    JobOutput {
+                        bytes: out.bytes,
+                        close: out.close,
+                        kill: false,
+                    }
+                });
+            }
+        }
+    }
+
+    fn on_violation(&self, io: &mut Io<'_>, _conn: &mut RConn, detail: &str) {
+        // Framing violation (bad length prefix): same typed answer the
+        // blocking engine gives to an unparseable stream.
+        self.inner.stats.lock().malformed += 1;
+        self.inner.metrics.malformed.inc();
+        self.send_frame(
+            io,
+            &Frame::Error {
+                request_id: 0,
+                code: ErrorCode::Malformed,
+                message: detail.into(),
+            },
+        );
+    }
+
+    fn on_close(&self, _token: u64, conn: RConn, reason: CloseReason) {
+        if !conn.overloaded {
+            self.inner
+                .live
+                .fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+            self.inner.metrics.live_connections.add(-1);
+        }
+        if reason == CloseReason::IdleExpired {
+            self.inner.stats.lock().idle_reaped += 1;
+            self.inner.metrics.idle_reaped.inc();
+        }
+    }
+}
+
+/// Loop instrumentation wired into the node's telemetry plane — the
+/// reactor's health is scrapeable and journaled like every other
+/// subsystem.
+pub(crate) struct ReactorTelemetry {
+    inner: Arc<Inner>,
+    loop_iterations: Arc<Counter>,
+    events_total: Arc<Counter>,
+    conns_open: Arc<Gauge>,
+    backpressure_stalls: Arc<Counter>,
+    wakeup_ns: Arc<Histogram>,
+}
+
+impl ReactorTelemetry {
+    pub(crate) fn register(telemetry: &Telemetry, inner: Arc<Inner>) -> ReactorTelemetry {
+        let r = telemetry.registry();
+        ReactorTelemetry {
+            inner,
+            loop_iterations: r.counter("reactor.loop_iterations"),
+            events_total: r.counter("reactor.events_total"),
+            conns_open: r.gauge("reactor.conns_open"),
+            backpressure_stalls: r.counter("reactor.backpressure_stalls_total"),
+            wakeup_ns: r.histogram("reactor.wakeup_ns"),
+        }
+    }
+}
+
+impl ReactorObserver for ReactorTelemetry {
+    fn loop_iteration(&self, events: usize) {
+        self.loop_iterations.inc();
+        self.events_total.add(events as u64);
+    }
+
+    fn conn_delta(&self, delta: i64) {
+        self.conns_open.add(delta);
+    }
+
+    fn backpressure_stall(&self) {
+        self.backpressure_stalls.inc();
+        self.inner.stats.lock().backpressure_stalls += 1;
+    }
+
+    fn wakeup_ns(&self, ns: u64) {
+        self.wakeup_ns.record(ns);
+    }
+}

@@ -1,31 +1,40 @@
 //! `ProxyServer`: the organization's proxy on a real TCP socket.
 //!
-//! A thread-per-connection server (bounded by a connection-limit
-//! [`Semaphore`]) wrapping the existing `dvm_proxy::Proxy` — its filter
+//! The server wraps the existing `dvm_proxy::Proxy` — its filter
 //! pipeline, rewrite cache, and signer all run unchanged behind the
-//! socket. `AUDIT_EVENT` frames from clients are ingested straight into
-//! the shared `AdminConsole`, so the paper's remote administration
-//! console keeps working when the trust boundary becomes a network hop.
+//! socket — and speaks the protocol through one of two engines sharing
+//! the logic in [`crate::protocol`]:
 //!
-//! Connection threads poll with a short read timeout so a shutdown
-//! request is observed promptly; [`ProxyServer::shutdown`] joins every
-//! thread before returning — no leaked connections.
+//! - **reactor** (default, `ServerConfig::reactor`): the `dvm-reactor`
+//!   epoll event loop — one loop thread owns every connection and a
+//!   bounded worker pool executes requests (`crate::reactor_server`).
+//! - **blocking**: the original thread-per-connection engine, bounded
+//!   by a connection-limit [`Semaphore`]; kept as a fallback and as a
+//!   baseline for the C10K benchmark.
+//!
+//! `AUDIT_EVENT` frames from clients are ingested straight into the
+//! shared `AdminConsole`, so the paper's remote administration console
+//! keeps working when the trust boundary becomes a network hop.
+//! [`ProxyServer::shutdown`] joins every thread before returning — no
+//! leaked connections, whichever engine serves.
 
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use dvm_monitor::{AdminConsole, ClientDescription, SessionId, SiteId};
+use dvm_monitor::AdminConsole;
 use dvm_netsim::SimRng;
-use dvm_proxy::{CacheTier, Proxy, ProxyError, RequestContext, ServedFrom};
-use dvm_telemetry::{Counter, Gauge, Histogram, SpanId, Telemetry, TraceContext};
+use dvm_proxy::Proxy;
+use dvm_telemetry::{Counter, Gauge, Histogram, Telemetry};
 
-use crate::frame::{kind_from_u8, ErrorCode, Frame, FrameError, Hello};
+use crate::assembler::FrameAssembler;
+use crate::frame::{ErrorCode, Frame, FrameError};
+use crate::protocol::{execute_plan, handle_frame, ConnProto, Flow};
 use crate::sema::Semaphore;
 
 /// Server tuning knobs.
@@ -37,10 +46,28 @@ pub struct ServerConfig {
     /// cluster client fails over to another shard immediately.
     pub max_connections: usize,
     /// Idle-poll granularity for connection threads (bounds shutdown
-    /// latency; not a client-visible deadline).
+    /// latency; not a client-visible deadline). Blocking engine only.
     pub poll_interval: Duration,
     /// Optional fault injection for resilience tests.
     pub fault: Option<FaultPlan>,
+    /// Serve through the epoll reactor (`dvm-reactor`): one loop thread
+    /// owns every connection and only request *execution* uses worker
+    /// threads. Off, the original thread-per-connection engine serves —
+    /// same protocol, same stats, same telemetry names.
+    pub reactor: bool,
+    /// Close connections with no read/write progress for this long
+    /// (slowloris defense). `None` keeps the pre-deadline behavior:
+    /// idle connections stay up indefinitely.
+    pub idle_deadline: Option<Duration>,
+    /// Reactor worker threads for request execution; `0` picks
+    /// `max(2, available_parallelism)`. Reactor engine only.
+    pub workers: usize,
+    /// Reactor per-connection read-buffer bound while a request is in
+    /// flight (see `dvm_reactor::ReactorConfig::read_buf_limit`).
+    pub read_buf_limit: usize,
+    /// Reactor per-connection output backlog beyond which the
+    /// connection is backpressured (reads pause until the peer drains).
+    pub write_buf_limit: usize,
 }
 
 impl Default for ServerConfig {
@@ -49,6 +76,11 @@ impl Default for ServerConfig {
             max_connections: 64,
             poll_interval: Duration::from_millis(50),
             fault: None,
+            reactor: true,
+            idle_deadline: None,
+            workers: 0,
+            read_buf_limit: 64 << 10,
+            write_buf_limit: 256 << 10,
         }
     }
 }
@@ -287,25 +319,32 @@ pub struct ServerStats {
     /// `MIGRATE_BEGIN` requests refused by the exporter (epoch mismatch
     /// or no exporter installed).
     pub migrate_rejects: u64,
+    /// Connections closed for exceeding the idle deadline (slowloris
+    /// reaping).
+    pub idle_reaped: u64,
+    /// Times a connection crossed its write-buffer limit and had its
+    /// reads paused until the peer drained (reactor engine only).
+    pub backpressure_stalls: u64,
 }
 
 /// Pre-registered wire-layer telemetry handles (the proxy's plane is
 /// shared: server and proxy report as one node).
-struct ServerMetrics {
-    frames_in: Arc<Counter>,
-    frames_out: Arc<Counter>,
-    bytes_in: Arc<Counter>,
-    bytes_out: Arc<Counter>,
-    live_connections: Arc<Gauge>,
-    overload_rejects: Arc<Counter>,
-    malformed: Arc<Counter>,
-    audit_events: Arc<Counter>,
-    stats_requests: Arc<Counter>,
-    scrape_requests: Arc<Counter>,
-    events_requests: Arc<Counter>,
-    serve_ns: Arc<Histogram>,
-    ring_updates: Arc<Counter>,
-    migrate_chunks_out: Arc<Counter>,
+pub(crate) struct ServerMetrics {
+    pub(crate) frames_in: Arc<Counter>,
+    pub(crate) frames_out: Arc<Counter>,
+    pub(crate) bytes_in: Arc<Counter>,
+    pub(crate) bytes_out: Arc<Counter>,
+    pub(crate) live_connections: Arc<Gauge>,
+    pub(crate) overload_rejects: Arc<Counter>,
+    pub(crate) malformed: Arc<Counter>,
+    pub(crate) audit_events: Arc<Counter>,
+    pub(crate) stats_requests: Arc<Counter>,
+    pub(crate) scrape_requests: Arc<Counter>,
+    pub(crate) events_requests: Arc<Counter>,
+    pub(crate) serve_ns: Arc<Histogram>,
+    pub(crate) ring_updates: Arc<Counter>,
+    pub(crate) migrate_chunks_out: Arc<Counter>,
+    pub(crate) idle_reaped: Arc<Counter>,
 }
 
 impl ServerMetrics {
@@ -326,34 +365,45 @@ impl ServerMetrics {
             serve_ns: r.histogram("net.server.serve_ns"),
             ring_updates: r.counter("net.server.ring_updates"),
             migrate_chunks_out: r.counter("net.server.migrate_chunks_out"),
+            idle_reaped: r.counter("net.server.idle_reaped"),
         }
     }
 }
 
-struct Inner {
-    proxy: Arc<Proxy>,
-    console: Option<Arc<Mutex<AdminConsole>>>,
-    config: ServerConfig,
-    running: AtomicBool,
-    sema: Arc<Semaphore>,
-    stats: Mutex<ServerStats>,
-    request_counter: AtomicU64,
-    anon_sessions: AtomicU64,
-    live: AtomicUsize,
-    conns: Mutex<Vec<JoinHandle<()>>>,
-    telemetry: Arc<Telemetry>,
-    metrics: ServerMetrics,
-    membership: Mutex<Option<Arc<MembershipView>>>,
-    exporter: Mutex<Option<Arc<dyn MigrateExporter>>>,
-    scrape: Mutex<Option<Arc<dyn MetricsSource>>>,
+/// Engine-shared server state: the protocol layer (`crate::protocol`)
+/// and both engines (blocking threads here, the reactor in
+/// `crate::reactor_server`) all work against this.
+pub(crate) struct Inner {
+    pub(crate) proxy: Arc<Proxy>,
+    pub(crate) console: Option<Arc<Mutex<AdminConsole>>>,
+    pub(crate) config: ServerConfig,
+    pub(crate) running: AtomicBool,
+    pub(crate) sema: Arc<Semaphore>,
+    pub(crate) stats: Mutex<ServerStats>,
+    pub(crate) request_counter: AtomicU64,
+    pub(crate) anon_sessions: AtomicU64,
+    pub(crate) live: AtomicUsize,
+    pub(crate) conns: Mutex<Vec<JoinHandle<()>>>,
+    pub(crate) telemetry: Arc<Telemetry>,
+    pub(crate) metrics: ServerMetrics,
+    pub(crate) membership: Mutex<Option<Arc<MembershipView>>>,
+    pub(crate) exporter: Mutex<Option<Arc<dyn MigrateExporter>>>,
+    pub(crate) scrape: Mutex<Option<Arc<dyn MetricsSource>>>,
 }
 
 impl Inner {
-    /// Writes `frame`, counting it and its bytes on the wire.
-    fn send(&self, writer: &mut TcpStream, frame: &Frame) -> bool {
+    /// Encodes `frame` for the wire, counting it and its bytes on the
+    /// out-metrics (the single choke point both engines send through).
+    pub(crate) fn encode_counted(&self, frame: &Frame) -> Vec<u8> {
         let encoded = frame.encode();
         self.metrics.frames_out.inc();
         self.metrics.bytes_out.add(encoded.len() as u64);
+        encoded
+    }
+
+    /// Writes `frame`, counting it and its bytes on the wire.
+    fn send(&self, writer: &mut TcpStream, frame: &Frame) -> bool {
+        let encoded = self.encode_counted(frame);
         writer.write_all(&encoded).is_ok()
     }
 }
@@ -362,7 +412,10 @@ impl Inner {
 pub struct ProxyServer {
     inner: Arc<Inner>,
     addr: SocketAddr,
+    /// Accept thread (blocking engine only).
     accept: Option<JoinHandle<()>>,
+    /// The event loop (reactor engine only).
+    reactor: Option<dvm_reactor::Reactor>,
 }
 
 impl std::fmt::Debug for ProxyServer {
@@ -386,6 +439,16 @@ impl ProxyServer {
         config: ServerConfig,
     ) -> std::io::Result<ProxyServer> {
         let listener = TcpListener::bind(addr)?;
+        // Deepen the accept queue past std's 128 on both engines: a
+        // connect burst deeper than the queue costs each overflowing
+        // peer a SYN retransmit (seconds of kernel backoff).
+        {
+            use std::os::unix::io::AsRawFd;
+            let _ = dvm_reactor::sys::deepen_backlog(
+                listener.as_raw_fd(),
+                config.max_connections.clamp(128, 65_535) as i32,
+            );
+        }
         let addr = listener.local_addr()?;
         let telemetry = proxy.telemetry();
         let metrics = ServerMetrics::register(&telemetry);
@@ -407,14 +470,35 @@ impl ProxyServer {
             exporter: Mutex::new(None),
             scrape: Mutex::new(None),
         });
-        let accept_inner = inner.clone();
-        let accept = std::thread::Builder::new()
-            .name("dvm-net-accept".into())
-            .spawn(move || accept_loop(listener, accept_inner))?;
+        let (accept, reactor) = if inner.config.reactor {
+            let handler = Arc::new(crate::reactor_server::NetHandler {
+                inner: inner.clone(),
+            });
+            let observer = Arc::new(crate::reactor_server::ReactorTelemetry::register(
+                &inner.telemetry,
+                inner.clone(),
+            ));
+            let rconfig = dvm_reactor::ReactorConfig {
+                max_connections,
+                workers: inner.config.workers,
+                read_buf_limit: inner.config.read_buf_limit,
+                write_buf_limit: inner.config.write_buf_limit,
+                idle_deadline: inner.config.idle_deadline,
+            };
+            let reactor = dvm_reactor::Reactor::start(listener, handler, rconfig, observer)?;
+            (None, Some(reactor))
+        } else {
+            let accept_inner = inner.clone();
+            let accept = std::thread::Builder::new()
+                .name("dvm-net-accept".into())
+                .spawn(move || accept_loop(listener, accept_inner))?;
+            (Some(accept), None)
+        };
         Ok(ProxyServer {
             inner,
             addr,
-            accept: Some(accept),
+            accept,
+            reactor,
         })
     }
 
@@ -469,6 +553,12 @@ impl ProxyServer {
 
     fn shutdown_in_place(&mut self) {
         if !self.inner.running.swap(false, Ordering::SeqCst) {
+            return;
+        }
+        if let Some(r) = self.reactor.take() {
+            // The loop closes every connection and joins its workers.
+            r.shutdown();
+            debug_assert_eq!(self.inner.live.load(Ordering::SeqCst), 0);
             return;
         }
         // Unblock the accept loop with a throwaway connection.
@@ -571,7 +661,7 @@ fn reject_overloaded(stream: TcpStream) {
             Ok(s) => s,
             Err(_) => return,
         },
-        buf: Vec::new(),
+        asm: FrameAssembler::new(),
         bytes_in: None,
     };
     let _ = reader.poll_frame();
@@ -584,11 +674,12 @@ fn reject_overloaded(stream: TcpStream) {
     let _ = stream.shutdown(Shutdown::Both);
 }
 
-/// Accumulates stream bytes and yields whole frames, tolerating idle
-/// timeouts between frames without losing partial reads.
+/// Accumulates stream bytes through a [`FrameAssembler`] and yields
+/// whole frames, tolerating idle timeouts between frames without losing
+/// partial reads.
 struct FrameReader {
     stream: TcpStream,
-    buf: Vec<u8>,
+    asm: FrameAssembler,
     /// When set, every byte read off the socket is counted here.
     bytes_in: Option<Arc<Counter>>,
 }
@@ -596,8 +687,7 @@ struct FrameReader {
 impl FrameReader {
     fn poll_frame(&mut self) -> Result<Option<Frame>, FrameError> {
         loop {
-            if let Some((frame, consumed)) = Frame::try_decode(&self.buf)? {
-                self.buf.drain(..consumed);
+            if let Some(frame) = self.asm.next_frame()? {
                 return Ok(Some(frame));
             }
             let mut chunk = [0u8; 8192];
@@ -612,7 +702,7 @@ impl FrameReader {
                     if let Some(c) = &self.bytes_in {
                         c.add(n as u64);
                     }
-                    self.buf.extend_from_slice(&chunk[..n]);
+                    self.asm.push(&chunk[..n]);
                 }
                 Err(e)
                     if e.kind() == std::io::ErrorKind::WouldBlock
@@ -636,18 +726,31 @@ fn serve_connection(stream: TcpStream, inner: &Inner) {
     };
     let mut reader = FrameReader {
         stream,
-        buf: Vec::new(),
+        asm: FrameAssembler::new(),
         bytes_in: Some(inner.metrics.bytes_in.clone()),
     };
-    let mut hello: Option<Hello> = None;
-    // 1-based count of code requests on *this* connection, for
-    // per-connection fault triggers.
-    let mut conn_requests: u64 = 0;
+    let mut proto = ConnProto::default();
+    let mut last_activity = Instant::now();
 
     while inner.running.load(Ordering::SeqCst) {
         let frame = match reader.poll_frame() {
-            Ok(Some(frame)) => frame,
-            Ok(None) => continue,
+            Ok(Some(frame)) => {
+                last_activity = Instant::now();
+                frame
+            }
+            Ok(None) => {
+                // Idle poll tick: reap the connection if it has made no
+                // progress within the deadline (slowloris defense — a
+                // stalled peer must not hold this thread forever).
+                if let Some(deadline) = inner.config.idle_deadline {
+                    if last_activity.elapsed() >= deadline {
+                        inner.stats.lock().idle_reaped += 1;
+                        inner.metrics.idle_reaped.inc();
+                        break;
+                    }
+                }
+                continue;
+            }
             // Transport-class failures (including a client that died
             // mid-frame) have no one left to answer.
             Err(e) if e.is_transport() => break,
@@ -665,372 +768,39 @@ fn serve_connection(stream: TcpStream, inner: &Inner) {
                 break;
             }
         };
-        inner.metrics.frames_in.inc();
-        match frame {
-            Frame::Hello(h) => {
-                let session = match &inner.console {
-                    Some(console) => {
-                        console
-                            .lock()
-                            .handshake(ClientDescription {
-                                user: h.user.clone(),
-                                hardware: h.hardware.clone(),
-                                native_format: h.native_format.clone(),
-                                jvm_version: h.jvm_version.clone(),
-                            })
-                            .0
-                    }
-                    None => inner.anon_sessions.fetch_add(1, Ordering::SeqCst),
-                };
-                hello = Some(h);
-                if !inner.send(&mut writer, &Frame::Welcome { session }) {
-                    break;
-                }
-            }
-            Frame::CodeRequest {
-                request_id,
-                url,
-                trace,
-                ..
-            } => {
-                inner.stats.lock().requests += 1;
-                conn_requests += 1;
-                let fault = inner.config.fault.as_ref().and_then(|plan| {
-                    let server_seq = inner.request_counter.fetch_add(1, Ordering::SeqCst) + 1;
-                    plan.decide(server_seq, conn_requests)
-                });
-                if let Some(action) = fault {
-                    inner.stats.lock().faults_injected += 1;
-                    match action {
-                        FaultAction::Drop => {
-                            let _ = reader.stream.shutdown(Shutdown::Both);
-                            break;
-                        }
-                        // Delay, Corrupt, and Truncate still serve the
-                        // request (the fault lands on the response path
-                        // below).
-                        FaultAction::Delay(d) => std::thread::sleep(d),
-                        FaultAction::Corrupt | FaultAction::Truncate(_) => {}
-                    }
-                }
-                // A traced request gets a "shard.serve" span covering
-                // the whole server-side handling; its id is allocated
-                // now so the proxy's spans parent under it.
-                let recorder = inner.telemetry.recorder();
-                let serve_start = recorder.now_ns();
-                let serve_span = trace.map(|t| (t, SpanId::generate()));
-                let ctx = RequestContext {
-                    client: hello.as_ref().map(|h| h.user.clone()).unwrap_or_default(),
-                    principal: hello
-                        .as_ref()
-                        .map(|h| h.principal.clone())
-                        .unwrap_or_default(),
-                    url: url.clone(),
-                    trace: serve_span.map(|(t, id)| TraceContext {
-                        trace: t.trace,
-                        parent: id,
-                    }),
-                };
-                let mut reply = match inner.proxy.handle_request_detailed(&url, &ctx) {
-                    Ok(response) => {
-                        inner.stats.lock().responses += 1;
-                        Frame::CodeResponse {
-                            request_id,
-                            served_from: response.served_from,
-                            processing_ns: response.processing_ns,
-                            bytes: response.bytes.to_vec(),
-                        }
-                    }
-                    Err(e) => {
-                        inner.stats.lock().errors += 1;
-                        let code = match &e {
-                            ProxyError::NotFound(_) => ErrorCode::NotFound,
-                            ProxyError::Parse(_) => ErrorCode::Parse,
-                            ProxyError::Filter(_) => ErrorCode::Filter,
-                        };
-                        Frame::Error {
-                            request_id,
-                            code,
-                            message: e.to_string(),
-                        }
-                    }
-                };
-                let serve_duration = recorder.now_ns().saturating_sub(serve_start);
-                inner.metrics.serve_ns.record(serve_duration);
-                if let Some((t, id)) = serve_span {
-                    recorder.record_span(
-                        t.trace,
-                        id,
-                        t.parent,
-                        "shard.serve",
-                        serve_start,
-                        serve_duration,
-                    );
-                }
-                match fault {
-                    Some(FaultAction::Corrupt) => {
-                        // Flip one byte in the middle of the payload: the
-                        // frame still parses, so only the client's
-                        // signature check can catch the damage.
-                        if let Frame::CodeResponse { bytes, .. } = &mut reply {
-                            if !bytes.is_empty() {
-                                let mid = bytes.len() / 2;
-                                bytes[mid] ^= 0xFF;
-                            }
-                        }
-                        if !inner.send(&mut writer, &reply) {
-                            break;
-                        }
-                    }
-                    Some(FaultAction::Truncate(n)) => {
-                        // Deliver a strict prefix of the encoded frame,
-                        // then die: the client must see a mid-frame
-                        // truncation, never a short-but-clean close.
-                        let encoded = reply.encode();
-                        let cut = n.clamp(1, encoded.len().saturating_sub(1));
-                        inner.metrics.frames_out.inc();
-                        inner.metrics.bytes_out.add(cut as u64);
-                        let _ = writer.write_all(&encoded[..cut]);
-                        let _ = writer.flush();
-                        let _ = reader.stream.shutdown(Shutdown::Both);
-                        break;
-                    }
-                    _ => {
-                        if !inner.send(&mut writer, &reply) {
-                            break;
-                        }
-                    }
-                }
-            }
-            Frame::AuditEvent {
-                session,
-                site,
-                kind,
-            } => {
-                // Console ingest: the wire form of the client-resident
-                // audit service component reporting upstream.
-                if let (Some(console), Some(kind)) = (&inner.console, kind_from_u8(kind)) {
-                    console
-                        .lock()
-                        .record(SessionId(session), SiteId(site), kind);
-                    inner.stats.lock().audit_events += 1;
-                    inner.metrics.audit_events.inc();
-                }
-            }
-            Frame::PeerGet { request_id, url } => {
-                // Cache-fill probe from a peer shard: answer from the
-                // local cache only — a peer probe must never trigger a
-                // rewrite here (the asking shard owns that fallback).
-                inner.stats.lock().peer_gets += 1;
-                let reply = match inner.proxy.cache_peek(&url) {
-                    Some((bytes, tier)) => {
-                        inner.stats.lock().peer_hits += 1;
-                        Frame::CodeResponse {
-                            request_id,
-                            served_from: match tier {
-                                CacheTier::Memory => ServedFrom::MemoryCache,
-                                CacheTier::Disk => ServedFrom::DiskCache,
-                            },
-                            processing_ns: 0,
-                            bytes: bytes.to_vec(),
-                        }
-                    }
-                    None => Frame::Error {
-                        request_id,
-                        code: ErrorCode::CacheMiss,
-                        message: String::new(),
-                    },
-                };
-                if !inner.send(&mut writer, &reply) {
-                    break;
-                }
-            }
-            Frame::PeerPut { url, bytes } => {
-                // Unsolicited offer from the shard that just rewrote the
-                // url we own: land it on the disk tier so it cannot
-                // evict our hot set, and send nothing back.
-                inner.stats.lock().peer_puts += 1;
-                inner.proxy.cache_fill(&url, bytes, CacheTier::Disk);
-            }
-            Frame::StatsRequest {
-                request_id,
-                include_spans,
-            } => {
-                // The stats plane: serialize this node's live telemetry
-                // and hand it back. Reading the plane is itself counted,
-                // so pollers are visible in what they poll.
-                inner.metrics.stats_requests.inc();
-                let report = if include_spans {
-                    inner.telemetry.report()
-                } else {
-                    inner.telemetry.report_metrics_only()
-                };
-                let reply = Frame::StatsResponse {
-                    request_id,
-                    report: report.encode(),
-                };
-                if !inner.send(&mut writer, &reply) {
-                    break;
-                }
-            }
-            Frame::RingUpdate { epoch, .. } => {
-                // Epoch exchange: an asker behind the published epoch
-                // gets the full snapshot; an up-to-date one gets just
-                // our epoch back (cheap enough to poll).
-                inner.stats.lock().ring_updates += 1;
-                inner.metrics.ring_updates.inc();
-                let view = inner.membership.lock().clone();
-                let (our_epoch, ring) = match view {
-                    Some(v) => {
-                        let e = v.epoch();
-                        if epoch < e {
-                            (e, v.snapshot().to_vec())
-                        } else {
-                            (e, Vec::new())
-                        }
-                    }
-                    None => (0, Vec::new()),
-                };
-                if !inner.send(
-                    &mut writer,
-                    &Frame::RingUpdate {
-                        epoch: our_epoch,
-                        ring,
-                    },
-                ) {
-                    break;
-                }
-            }
-            Frame::MigrateBegin {
-                request_id,
-                epoch,
-                shard,
-                resume_from,
-            } => {
-                // Live cache migration, source side: stream the keys
-                // `shard` now owns out of our cache in bounded batches.
-                // The exporter owns ring/ownership logic; refusals (no
-                // exporter, epoch mismatch) are typed errors, and a
-                // truncated batch ends with `complete: false` so the
-                // target resumes from the last key it saw.
-                let exporter = inner.exporter.lock().clone();
-                let batch = match &exporter {
-                    Some(x) => x.export(shard, epoch, &resume_from, MIGRATE_BATCH),
-                    None => Err("no migration exporter installed".into()),
-                };
-                match batch {
-                    Ok(batch) => {
-                        inner.stats.lock().migrate_streams += 1;
-                        let total = batch.entries.len() as u32;
-                        let mut sent_all = true;
-                        for (seq, (url, bytes)) in batch.entries.into_iter().enumerate() {
-                            let chunk = Frame::MigrateChunk {
-                                request_id,
-                                seq: seq as u32,
-                                url,
-                                bytes,
-                            };
-                            if !inner.send(&mut writer, &chunk) {
-                                sent_all = false;
-                                break;
-                            }
-                            inner.stats.lock().migrate_chunks_out += 1;
-                            inner.metrics.migrate_chunks_out.inc();
-                        }
-                        if !sent_all
-                            || !inner.send(
-                                &mut writer,
-                                &Frame::MigrateEnd {
-                                    request_id,
-                                    total,
-                                    complete: batch.complete,
-                                },
-                            )
-                        {
-                            break;
-                        }
-                    }
-                    Err(msg) => {
-                        inner.stats.lock().migrate_rejects += 1;
-                        if !inner.send(
-                            &mut writer,
-                            &Frame::Error {
-                                request_id,
-                                code: ErrorCode::Internal,
-                                message: msg,
-                            },
-                        ) {
-                            break;
-                        }
-                    }
-                }
-            }
-            Frame::MetricsScrape { request_id } => {
-                // The scrape plane: render the Prometheus-text
-                // exposition through the installed source. Scraping is
-                // itself counted, so pollers are visible in what they
-                // poll (same discipline as STATS_REQUEST).
-                inner.metrics.scrape_requests.inc();
-                let source = inner.scrape.lock().clone();
-                let reply = match source {
-                    Some(s) => Frame::MetricsText {
-                        request_id,
-                        text: s.render_metrics().into_bytes(),
-                    },
-                    None => Frame::Error {
-                        request_id,
-                        code: ErrorCode::Internal,
-                        message: "no metrics source installed".into(),
-                    },
-                };
-                if !inner.send(&mut writer, &reply) {
-                    break;
-                }
-            }
-            Frame::EventsRequest {
-                request_id,
-                after_seq,
-                max,
-            } => {
-                // Journal tailing: serve the cursor page straight from
-                // the telemetry plane's event journal (and its durable
-                // spool, when one is installed).
-                inner.metrics.events_requests.inc();
-                let page = inner
-                    .telemetry
-                    .journal()
-                    .events_after(after_seq, (max as usize).min(1024));
-                let next_seq = page.last().map(|e| e.seq).unwrap_or(after_seq);
-                let reply = Frame::EventsResponse {
-                    request_id,
-                    next_seq,
-                    events: dvm_telemetry::events::encode_events(&page),
-                };
-                if !inner.send(&mut writer, &reply) {
-                    break;
-                }
-            }
-            Frame::Bye => break,
-            Frame::Welcome { .. }
-            | Frame::CodeResponse { .. }
-            | Frame::Error { .. }
-            | Frame::StatsResponse { .. }
-            | Frame::MigrateChunk { .. }
-            | Frame::MigrateEnd { .. }
-            | Frame::MetricsText { .. }
-            | Frame::EventsResponse { .. } => {
-                // Server-to-client frames arriving at the server.
-                inner.stats.lock().malformed += 1;
-                inner.metrics.malformed.inc();
-                let _ = inner.send(
-                    &mut writer,
-                    &Frame::Error {
-                        request_id: 0,
-                        code: ErrorCode::Malformed,
-                        message: "unexpected frame direction".into(),
-                    },
-                );
+        let mut replies = Vec::new();
+        let flow = handle_frame(inner, &mut proto, frame, &mut replies);
+        let mut write_ok = true;
+        for f in &replies {
+            if !inner.send(&mut writer, f) {
+                write_ok = false;
                 break;
+            }
+        }
+        if !write_ok {
+            break;
+        }
+        match flow {
+            Flow::Continue => {}
+            Flow::Close => break,
+            Flow::Kill => {
+                let _ = reader.stream.shutdown(Shutdown::Both);
+                break;
+            }
+            Flow::Execute(plan) => {
+                // The blocking engine runs request execution inline on
+                // this connection thread (bytes are pre-counted by
+                // `execute_plan`).
+                let out = execute_plan(inner, plan);
+                let sent = writer.write_all(&out.bytes).is_ok();
+                if out.close {
+                    let _ = writer.flush();
+                    let _ = reader.stream.shutdown(Shutdown::Both);
+                    break;
+                }
+                if !sent {
+                    break;
+                }
             }
         }
     }

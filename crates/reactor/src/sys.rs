@@ -1,0 +1,243 @@
+//! Raw Linux syscall surface: the handful of libc entry points the
+//! reactor needs, declared directly (std already links libc, so an
+//! `extern "C"` block is all it takes — the same discipline as the
+//! vendored `shims/`: wrap exactly the external surface we use, nothing
+//! more). Everything above this module speaks `std::io::Result`.
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+const SOCK_NONBLOCK: i32 = 0o4000;
+const SOCK_CLOEXEC: i32 = 0o2000000;
+
+const EINTR: i32 = 4;
+const EAGAIN: i32 = 11;
+const ENFILE: i32 = 23;
+const EMFILE: i32 = 24;
+const ECONNABORTED: i32 = 103;
+
+const RLIMIT_NOFILE: i32 = 7;
+
+/// Mirror of the kernel's `struct epoll_event`. The x86-64 kernel ABI
+/// packs it to 12 bytes (no padding between `events` and `data`);
+/// other 64-bit targets use natural alignment.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    pub events: u32,
+    pub data: u64,
+}
+
+#[repr(C)]
+struct Rlimit {
+    rlim_cur: u64,
+    rlim_max: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn accept4(fd: i32, addr: *mut u8, addrlen: *mut u32, flags: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+    fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+    fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+    fn listen(fd: i32, backlog: i32) -> i32;
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+pub fn epoll_create() -> io::Result<RawFd> {
+    unsafe { cvt(epoll_create1(EPOLL_CLOEXEC)) }
+}
+
+fn ctl(epfd: RawFd, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+    let mut ev = EpollEvent {
+        events,
+        data: token,
+    };
+    unsafe { cvt(epoll_ctl(epfd, op, fd, &mut ev)) }.map(|_| ())
+}
+
+pub fn epoll_add(epfd: RawFd, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+    ctl(epfd, EPOLL_CTL_ADD, fd, events, token)
+}
+
+pub fn epoll_mod(epfd: RawFd, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+    ctl(epfd, EPOLL_CTL_MOD, fd, events, token)
+}
+
+pub fn epoll_del(epfd: RawFd, fd: RawFd) -> io::Result<()> {
+    ctl(epfd, EPOLL_CTL_DEL, fd, 0, 0)
+}
+
+/// Waits for readiness, retrying on `EINTR`. `timeout_ms < 0` blocks
+/// indefinitely. Returns the number of events written to `events`.
+pub fn epoll_wait_events(
+    epfd: RawFd,
+    events: &mut [EpollEvent],
+    timeout_ms: i32,
+) -> io::Result<usize> {
+    loop {
+        let ret = unsafe {
+            epoll_wait(
+                epfd,
+                events.as_mut_ptr(),
+                events.len().min(i32::MAX as usize) as i32,
+                timeout_ms,
+            )
+        };
+        if ret >= 0 {
+            return Ok(ret as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.raw_os_error() != Some(EINTR) {
+            return Err(err);
+        }
+    }
+}
+
+pub fn eventfd_new() -> io::Result<RawFd> {
+    unsafe { cvt(eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)) }
+}
+
+/// Adds 1 to the eventfd counter, making it readable (idempotent wake).
+pub fn eventfd_signal(fd: RawFd) {
+    let one: u64 = 1;
+    // A full counter (EAGAIN) already means "wake pending" — ignore.
+    unsafe { write(fd, one.to_ne_bytes().as_ptr(), 8) };
+}
+
+/// Consumes the pending wake count so the fd stops polling readable.
+pub fn eventfd_drain(fd: RawFd) {
+    let mut buf = [0u8; 8];
+    unsafe { read(fd, buf.as_mut_ptr(), 8) };
+}
+
+/// Outcome of one nonblocking accept attempt.
+pub enum Accepted {
+    /// A connection, already `O_NONBLOCK | O_CLOEXEC`.
+    Conn(RawFd),
+    /// Nothing pending right now.
+    Empty,
+    /// The connection aborted before we got it; try again.
+    Retry,
+    /// Out of file descriptors (process or system table full).
+    FdExhausted,
+    /// Anything else.
+    Err(io::Error),
+}
+
+pub fn accept_nonblocking(listener: RawFd) -> Accepted {
+    let fd = unsafe {
+        accept4(
+            listener,
+            std::ptr::null_mut(),
+            std::ptr::null_mut(),
+            SOCK_NONBLOCK | SOCK_CLOEXEC,
+        )
+    };
+    if fd >= 0 {
+        return Accepted::Conn(fd);
+    }
+    let err = io::Error::last_os_error();
+    match err.raw_os_error() {
+        Some(EAGAIN) => Accepted::Empty,
+        Some(ECONNABORTED) | Some(EINTR) => Accepted::Retry,
+        Some(EMFILE) | Some(ENFILE) => Accepted::FdExhausted,
+        _ => Accepted::Err(err),
+    }
+}
+
+pub fn close_fd(fd: RawFd) {
+    unsafe { close(fd) };
+}
+
+/// Deepens a listening socket's accept backlog (`listen` on an
+/// already-listening fd updates the queue depth on Linux, clamped by
+/// `net.core.somaxconn`). A connect flood deeper than the queue costs
+/// each overflowing peer a SYN retransmit — seconds of backoff — so a
+/// C10K listener wants far more than `std`'s 128.
+pub fn deepen_backlog(fd: RawFd, backlog: i32) -> io::Result<()> {
+    unsafe { cvt(listen(fd, backlog)) }.map(|_| ())
+}
+
+/// Raises `RLIMIT_NOFILE` so one process can hold `want` descriptors.
+/// Unprivileged processes can lift the soft limit to the hard limit;
+/// privileged ones (CAP_SYS_RESOURCE) can raise the hard limit too.
+/// Returns the soft limit actually in effect afterwards.
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    let mut lim = Rlimit {
+        rlim_cur: 0,
+        rlim_max: 0,
+    };
+    unsafe { cvt(getrlimit(RLIMIT_NOFILE, &mut lim)) }?;
+    if lim.rlim_cur >= want {
+        return Ok(lim.rlim_cur);
+    }
+    if lim.rlim_max < want {
+        // Needs privilege; harmless to try, fall back to the hard cap.
+        let raised = Rlimit {
+            rlim_cur: want,
+            rlim_max: want,
+        };
+        if unsafe { setrlimit(RLIMIT_NOFILE, &raised) } == 0 {
+            return Ok(want);
+        }
+    }
+    let capped = Rlimit {
+        rlim_cur: want.min(lim.rlim_max),
+        rlim_max: lim.rlim_max,
+    };
+    unsafe { cvt(setrlimit(RLIMIT_NOFILE, &capped)) }?;
+    Ok(capped.rlim_cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoll_event_matches_kernel_abi_size() {
+        let expected = if cfg!(target_arch = "x86_64") { 12 } else { 16 };
+        assert_eq!(std::mem::size_of::<EpollEvent>(), expected);
+    }
+
+    #[test]
+    fn eventfd_signal_then_drain() {
+        let fd = eventfd_new().unwrap();
+        eventfd_signal(fd);
+        eventfd_signal(fd);
+        eventfd_drain(fd);
+        close_fd(fd);
+    }
+
+    #[test]
+    fn nofile_limit_query_does_not_shrink() {
+        let got = raise_nofile_limit(64).unwrap();
+        assert!(got >= 64);
+    }
+}

@@ -19,6 +19,7 @@ pub use dvm_net as net;
 pub use dvm_netsim as netsim;
 pub use dvm_optimizer as optimizer;
 pub use dvm_proxy as proxy;
+pub use dvm_reactor as reactor;
 pub use dvm_security as security;
 pub use dvm_store as store;
 pub use dvm_telemetry as telemetry;

@@ -13,7 +13,7 @@ use dvm_repro::chaos::{
 };
 use dvm_repro::cluster::{ClusterClientConfig, ClusterOptions, HealthConfig};
 use dvm_repro::core::{CostModel, Organization, ServiceConfig};
-use dvm_repro::net::{Hello, NetClassProvider, NetConfig, NetError};
+use dvm_repro::net::{Hello, NetClassProvider, NetConfig, NetError, ServerConfig};
 use dvm_repro::netsim::SimRng;
 use dvm_repro::proxy::Signer;
 use dvm_repro::security::Policy;
@@ -290,6 +290,67 @@ fn mid_frame_truncation_through_the_link_is_typed() {
     let stats = link.shutdown();
     assert_eq!(stats.faults.get("trunc"), Some(&1));
     server.shutdown();
+}
+
+/// A link stall longer than the server's idle deadline must trip the
+/// reactor's reaper — the held request's connection is closed server-side
+/// (`idle_reaped`), the client sees a retryable transport error, and the
+/// retry's fresh connection clears the fault.
+#[test]
+fn request_stalled_past_the_idle_deadline_is_reaped_and_retried() {
+    let applets = small_applets(43, 1);
+    let org = org_over(&applets);
+    let server = org
+        .serve_with(
+            "127.0.0.1:0",
+            ServerConfig {
+                idle_deadline: Some(Duration::from_millis(150)),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+    // Hold the *third* client→server frame for 600 ms. On the first
+    // connection that is the second CODE_REQUEST (HELLO, request,
+    // request): while the link sits on it the server sees 600 ms of
+    // silence — four times its deadline — and reaps the connection. The
+    // retry's fresh connection only reaches frame 2, clearing the fault.
+    let schedule = ChaosSchedule::parse(">stall:600ms@once3").unwrap();
+    let link = ChaosLink::start(server.addr(), schedule, 5).unwrap();
+
+    let mut provider = NetClassProvider::new(
+        link.addr(),
+        hello("staller"),
+        org_signer(),
+        NetConfig::default(),
+    )
+    .unwrap();
+    let url = format!("class://{}", applets[0].main_class);
+    provider.fetch(&url).unwrap();
+    match provider.fetch_attempt(&url) {
+        Err(e) => {
+            assert!(
+                e.is_transport(),
+                "reaped mid-stall must be transport-class: {e:?}"
+            );
+            assert!(
+                e.is_retryable(),
+                "reaped mid-stall must be retryable: {e:?}"
+            );
+        }
+        Ok(_) => panic!("fetch succeeded through a 600ms stall against a 150ms deadline"),
+    }
+
+    // Recovery is the ordinary retry path on a fresh connection.
+    let (bytes, _) = provider.fetch(&url).expect("retry after reap");
+    assert!(!bytes.is_empty());
+
+    let stats = link.shutdown();
+    assert_eq!(stats.faults.get("stall"), Some(&1));
+    let server_stats = server.shutdown();
+    assert!(
+        server_stats.idle_reaped >= 1,
+        "the stalled connection was not reaped ({server_stats:?})"
+    );
 }
 
 /// The harness must catch real corruption: with signature verification

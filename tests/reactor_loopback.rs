@@ -1,0 +1,304 @@
+//! Loopback tests for the epoll reactor engine (`dvm-reactor` behind
+//! `ProxyServer`): slowloris reaping, write backpressure under pipelined
+//! load, the blocking fallback engine, and an ignored C10K soak.
+//!
+//! `net_loopback.rs` proves the protocol behaves the same on either
+//! engine; this file targets the properties only the reactor has — a
+//! deadline that reaps stalled connections without a thread per victim,
+//! bounded per-connection output with pause/resume, and one loop thread
+//! holding thousands of sockets.
+
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use dvm_repro::core::{CostModel, Organization, ServiceConfig};
+use dvm_repro::net::{Frame, ServerConfig};
+use dvm_repro::security::Policy;
+use dvm_repro::workload::{corpus, Applet};
+
+/// A signed, cached, fully-serviced organization over `applets`.
+fn org_over(applets: &[Applet]) -> Organization {
+    let classes: Vec<_> = applets
+        .iter()
+        .flat_map(|a| a.classes.iter().cloned())
+        .collect();
+    let mut services = ServiceConfig::dvm();
+    services.signing = true;
+    Organization::new(
+        &classes,
+        Policy::parse(dvm_repro::security::policy::example_policy()).unwrap(),
+        services,
+        CostModel::default(),
+    )
+    .unwrap()
+}
+
+/// The smallest `n` corpus applets (cheap to execute in a debug build).
+fn small_applets(seed: u64, n: usize) -> Vec<Applet> {
+    let mut applets = corpus(seed);
+    applets.sort_by_key(|a| {
+        a.classes
+            .iter()
+            .map(|c| c.clone().to_bytes().unwrap().len())
+            .sum::<usize>()
+    });
+    applets.truncate(n);
+    applets
+}
+
+/// Blocking read of one complete frame off `r`.
+fn read_frame(r: &mut impl Read) -> Frame {
+    let mut prefix = [0u8; 4];
+    r.read_exact(&mut prefix).unwrap();
+    let len = u32::from_be_bytes(prefix) as usize;
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body).unwrap();
+    Frame::decode_body(&body).unwrap()
+}
+
+/// Fifty connections dribble half a length prefix and stall forever; the
+/// idle deadline reaps every one of them while a real client fetches and
+/// runs code through the same loop, unharmed.
+#[test]
+fn slowloris_connections_are_reaped_while_real_clients_proceed() {
+    let applets = small_applets(7, 2);
+    let org = org_over(&applets);
+    let server = org
+        .serve_with(
+            "127.0.0.1:0",
+            ServerConfig {
+                max_connections: 128,
+                idle_deadline: Some(Duration::from_millis(250)),
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+    let addr = server.addr();
+
+    let attackers: Vec<TcpStream> = (0..50)
+        .map(|_| {
+            let mut s = TcpStream::connect(addr).unwrap();
+            // Half a length prefix: never a complete frame, never a
+            // violation — exactly the read a slowloris holds open.
+            s.write_all(&[0x00, 0x00]).unwrap();
+            s
+        })
+        .collect();
+
+    // Service is undisturbed while the attack is in progress.
+    let mut client = org.remote_client(addr, "victim", "applets").unwrap();
+    let report = client.run_main(&applets[0].main_class).unwrap();
+    assert!(
+        matches!(report.completion, dvm_repro::jvm::Completion::Normal(_)),
+        "client under slowloris: {:?}",
+        report.completion
+    );
+    drop(client);
+
+    // The reaper clears all fifty within a few deadlines — no thread was
+    // ever parked on any of them.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.stats().idle_reaped < 50 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let stats = server.stats();
+    assert!(
+        stats.idle_reaped >= 50,
+        "only {} of 50 stalled connections reaped",
+        stats.idle_reaped
+    );
+    assert_eq!(stats.errors, 0);
+
+    // The reaped sockets observe the close as EOF, not a protocol error.
+    for mut s in attackers {
+        let mut buf = [0u8; 16];
+        let n = s.read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "reaped connection delivered bytes");
+    }
+    server.shutdown();
+}
+
+/// One connection pipelines 400 cache probes whose replies total ~25 MB
+/// against a 32 KiB output bound, without reading a byte until the burst
+/// is sent. The reactor must pause reads (recording backpressure stalls)
+/// instead of buffering the amplification, then drain every reply intact
+/// once the peer starts reading.
+#[test]
+fn pipelined_reads_hit_backpressure_and_drain_intact() {
+    let applets = small_applets(11, 2);
+    let org = org_over(&applets);
+    let server = org
+        .serve_with(
+            "127.0.0.1:0",
+            ServerConfig {
+                write_buf_limit: 32 << 10,
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+    let addr = server.addr();
+
+    let url = "dvm://applets/BackpressureBlob.class";
+    let payload = vec![0xAB; 64 << 10];
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(
+        &Frame::PeerPut {
+            url: url.to_owned(),
+            bytes: payload.clone(),
+        }
+        .encode(),
+    )
+    .unwrap();
+
+    const GETS: u32 = 400;
+    let mut burst = Vec::new();
+    for request_id in 0..GETS {
+        burst.extend_from_slice(
+            &Frame::PeerGet {
+                request_id,
+                url: url.to_owned(),
+            }
+            .encode(),
+        );
+    }
+    s.write_all(&burst).unwrap();
+
+    // With this peer not reading, the kernel's socket buffers absorb a
+    // few megabytes at most — far less than the ~25 MB of replies — so
+    // the reactor must stall rather than queue the rest in memory.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.stats().backpressure_stalls == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        server.stats().backpressure_stalls >= 1,
+        "no backpressure stall while the peer refused to read"
+    );
+
+    // Start draining: every reply arrives, in order, bit-exact.
+    let mut r = BufReader::with_capacity(1 << 20, s.try_clone().unwrap());
+    for want_id in 0..GETS {
+        match read_frame(&mut r) {
+            Frame::CodeResponse {
+                request_id, bytes, ..
+            } => {
+                assert_eq!(request_id, want_id);
+                assert_eq!(bytes, payload, "reply {want_id} corrupted");
+            }
+            other => panic!("reply {want_id}: unexpected frame {other:?}"),
+        }
+    }
+
+    // The reactor's own telemetry flows through the ordinary stats plane.
+    let metrics = server.telemetry().report().metrics;
+    assert!(metrics.counter("reactor.loop_iterations") > 0);
+    assert!(metrics.counter("reactor.events_total") > 0);
+    assert!(metrics.counter("reactor.backpressure_stalls_total") >= 1);
+    assert_eq!(metrics.gauge("reactor.conns_open"), 1);
+
+    drop(r);
+    drop(s);
+    let stats = server.shutdown();
+    assert!(stats.backpressure_stalls >= 1);
+    assert_eq!(stats.errors, 0);
+}
+
+/// `reactor: false` still serves the full protocol on the original
+/// thread-per-connection engine — the fallback is live, not vestigial.
+#[test]
+fn blocking_engine_still_serves_with_reactor_off() {
+    let applets = small_applets(3, 2);
+    let org = org_over(&applets);
+    let server = org
+        .serve_with(
+            "127.0.0.1:0",
+            ServerConfig {
+                reactor: false,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+    let mut client = org
+        .remote_client(server.addr(), "fallback", "applets")
+        .unwrap();
+    let report = client.run_main(&applets[0].main_class).unwrap();
+    assert!(
+        matches!(report.completion, dvm_repro::jvm::Completion::Normal(_)),
+        "blocking engine: {:?}",
+        report.completion
+    );
+    drop(client);
+    let stats = server.shutdown();
+    assert_eq!(stats.connections, 2);
+    assert_eq!(stats.errors, 0);
+}
+
+/// C10K soak: one loop thread holds ten thousand live connections and
+/// still answers stats probes. Scaled down only if the file-descriptor
+/// limit cannot be raised. Run with `--ignored` (it raises
+/// `RLIMIT_NOFILE` and opens ~10k sockets).
+#[test]
+#[ignore = "10k-connection soak; run with --ignored"]
+fn c10k_soak_holds_ten_thousand_connections() {
+    let limit = dvm_repro::reactor::sys::raise_nofile_limit(25_000).unwrap_or(1024);
+    // Client + server ends both count against the same process limit,
+    // with headroom for everything else the test binary holds open.
+    let target = (((limit.saturating_sub(500)) / 2) as usize).min(10_000);
+
+    let applets = small_applets(5, 1);
+    let org = org_over(&applets);
+    let server = org
+        .serve_with(
+            "127.0.0.1:0",
+            ServerConfig {
+                max_connections: target + 64,
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+    let addr = server.addr();
+
+    let mut conns = Vec::with_capacity(target);
+    for _ in 0..target {
+        conns.push(TcpStream::connect(addr).unwrap());
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while server.live_connections() < target && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(
+        server.live_connections(),
+        target,
+        "not all connections admitted"
+    );
+
+    // With every socket open, the loop still serves: every 100th
+    // connection completes a stats round-trip.
+    for (i, s) in conns.iter_mut().enumerate().step_by(100) {
+        s.write_all(
+            &Frame::StatsRequest {
+                request_id: i as u32,
+                include_spans: false,
+            }
+            .encode(),
+        )
+        .unwrap();
+        match read_frame(s) {
+            Frame::StatsResponse { request_id, .. } => assert_eq!(request_id, i as u32),
+            other => panic!("conn {i}: unexpected frame {other:?}"),
+        }
+    }
+
+    drop(conns);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while server.live_connections() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.connections as usize, target);
+    assert_eq!(stats.errors, 0);
+}
